@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Assembles EXPERIMENTS.md from the reports in bench/out/.
+
+Each `<!-- TABLEXX -->` placeholder in EXPERIMENTS.md is replaced with the
+corresponding report, fenced as a code block. Run after
+`./crates/bench/run_all.sh`.
+"""
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+OUT = ROOT / "bench" / "out"
+DOC = ROOT / "EXPERIMENTS.md"
+
+MAPPING = {
+    "<!-- TABLE01 -->": "table01_nvbench_stats.txt",
+    "<!-- TABLE02 -->": "table02_tabletext_stats.txt",
+    "<!-- TABLE03 -->": "table03_fevisqa_stats.txt",
+    "<!-- TABLE04 -->": "table04_text_to_vis.txt",
+    "<!-- TABLE05 -->": "table05_case_text_to_vis.txt",
+    "<!-- TABLE06 -->": "table06_vis_to_text.txt",
+    "<!-- TABLE07 -->": "table07_case_vis_to_text.txt",
+    "<!-- TABLE08 -->": "table08_fevisqa_table_to_text.txt",
+    "<!-- TABLE10 -->": "table10_case_fevisqa.txt",
+    "<!-- TABLE11 -->": "table11_case_table_to_text.txt",
+    "<!-- TABLE12 -->": "table12_ablation.txt",
+    "<!-- FIGURES -->": "fig05_objectives.txt",
+}
+
+
+def main() -> int:
+    text = DOC.read_text()
+    missing = []
+    for marker, fname in MAPPING.items():
+        path = OUT / fname
+        if not path.exists():
+            missing.append(fname)
+            continue
+        block = f"```text\n{path.read_text().rstrip()}\n```"
+        # Replace the marker or a previously inserted block after it.
+        text = re.sub(re.escape(marker) + r"(\n```text\n.*?\n```)?", marker + "\n" + block,
+                      text, count=1, flags=re.S)
+    DOC.write_text(text)
+    if missing:
+        print(f"warning: missing reports: {', '.join(missing)}", file=sys.stderr)
+    print(f"EXPERIMENTS.md assembled from {len(MAPPING) - len(missing)} reports")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

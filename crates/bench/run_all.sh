@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerates every paper table and figure into bench/out/.
+#
+# Usage:   ./crates/bench/run_all.sh [smoke|full]
+# Default: full (tens of minutes on one CPU core; checkpoints are cached
+#          under target/datavist5-ckpt/, so re-runs are fast).
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+SCALE="${1:-full}"
+export DATAVIST5_SCALE="$SCALE"
+echo "== DataVisT5 reproduction: running all experiments at scale '$SCALE' =="
+
+cargo build --release -p bench
+
+BINARIES=(
+  fig03_04_encoding_examples
+  fig05_objectives
+  table01_nvbench_stats
+  table02_tabletext_stats
+  table03_fevisqa_stats
+  table04_text_to_vis
+  table06_vis_to_text
+  table08_fevisqa_table_to_text
+  table12_ablation
+  table05_case_text_to_vis
+  table07_case_vis_to_text
+  table10_case_fevisqa
+  table11_case_table_to_text
+  ablation_decoding
+)
+
+for bin in "${BINARIES[@]}"; do
+  echo
+  echo "== running $bin =="
+  time "./target/release/$bin"
+done
+
+echo
+echo "All reports written to bench/out/."

@@ -1,0 +1,78 @@
+//! Figures 3 & 4: DV knowledge encoding and standardized encoding
+//! examples — the paper's theme_gallery pie query and the soccer join
+//! query, reproduced end to end through the parser and standardizer.
+
+use bench::{emit, Report};
+use vql::encode::{encode_schema, encode_table, LinearTable};
+use vql::schema::{DbSchema, TableSchema};
+use vql::{parse_query, standardize};
+
+fn main() {
+    let mut r = Report::new("Figures 3 & 4 — DV knowledge encoding + standardized encoding");
+
+    // ---- Figure 3: the theme_gallery example. ----
+    let gallery = DbSchema::new(
+        "theme_gallery",
+        vec![TableSchema::new(
+            "artist",
+            vec![
+                "age".into(),
+                "name".into(),
+                "country".into(),
+                "year_join".into(),
+                "artist_id".into(),
+            ],
+        )],
+    );
+    let raw = "Visualize PIE SELECT Country, COUNT(Country) FROM artist GROUP BY Country";
+    let parsed = parse_query(raw).expect("parses");
+    let standardized = standardize(&parsed, &gallery);
+    r.line("Figure 3 — annotator-styled DV query:");
+    r.line(format!("  {raw}"));
+    r.line("Standardized DV query encoding:");
+    r.line(format!("  {standardized}"));
+    r.line("Database schema encoding:");
+    r.line(format!("  {}", encode_schema(&gallery)));
+    let table = LinearTable::new(
+        vec!["artist.country".into(), "count ( artist.country )".into()],
+        vec![
+            vec!["united states".into(), "4".into()],
+            vec!["england".into(), "1".into()],
+            vec!["france".into(), "1".into()],
+            vec!["japan".into(), "2".into()],
+        ],
+    );
+    r.line("Table encoding:");
+    r.line(format!("  {}", encode_table(&table)));
+    r.line("");
+
+    // ---- Figure 4: the join example with aliases. ----
+    let soccer = DbSchema::new(
+        "soccer_1",
+        vec![
+            TableSchema::new(
+                "player",
+                vec![
+                    "player_id".into(),
+                    "name".into(),
+                    "team_id".into(),
+                    "years_played".into(),
+                ],
+            ),
+            TableSchema::new("team", vec!["id".into(), "name".into()]),
+        ],
+    );
+    let raw_join = "VISUALIZE BAR SELECT T1.years_played, COUNT(*) FROM player AS T1 \
+                    JOIN team AS T2 ON T1.team_id = T2.id WHERE T2.name = \"Columbus Crew\" \
+                    GROUP BY T1.years_played ORDER BY COUNT(*)";
+    let parsed_join = parse_query(raw_join).expect("parses");
+    let standardized_join = standardize(&parsed_join, &soccer);
+    r.line("Figure 4 — DV query with join, aliases, count(*), double quotes, implicit asc:");
+    r.line(format!("  {raw_join}"));
+    r.line("Standardized (aliases resolved, count(*) specified, quotes normalized, asc explicit):");
+    r.line(format!("  {standardized_join}"));
+    r.line("");
+    r.line("Rules applied (§III-D): (1) T.col qualification and count(*) expansion, (2) spaces");
+    r.line("around parentheses + single quotes, (3) explicit asc, (4) alias substitution, (5) lowercase.");
+    emit("fig03_04_encoding_examples", &r.render());
+}

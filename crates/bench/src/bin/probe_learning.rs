@@ -1,0 +1,65 @@
+//! Calibration probe: trains one CodeT5+-style SFT model on text-to-vis at
+//! the experiment scale, prints timing, sample predictions, and EM — used
+//! to sanity-check that the scale presets actually learn before running
+//! the full table fleet.
+
+use std::time::Instant;
+
+use bench::{emit, experiment_scale, m4, Report};
+use corpus::Split;
+use datavist5::config::Size;
+use datavist5::data::Task;
+use datavist5::eval::eval_text_to_vis;
+use datavist5::zoo::{ModelKind, Zoo};
+
+fn main() {
+    let scale = experiment_scale();
+    let t0 = Instant::now();
+    let zoo = Zoo::new(scale);
+    eprintln!(
+        "[probe] corpus: {} nvbench examples, vocab {}, built in {:.1?}",
+        zoo.corpus.nvbench.len(),
+        zoo.tok.vocab().len(),
+        t0.elapsed()
+    );
+
+    let t1 = Instant::now();
+    let kind = ModelKind::CodeT5Sft(Size::Base);
+    let trained = zoo.train_model_cached(kind, Some(Task::TextToVis));
+    eprintln!("[probe] pretrain+finetune in {:.1?}", t1.elapsed());
+
+    let predictor = zoo.predictor(kind, trained);
+    let examples = zoo.datasets.of(Task::TextToVis, Split::Test);
+    let t2 = Instant::now();
+    let scores = eval_text_to_vis(&*predictor, &examples, &zoo.corpus, scale.eval_cap());
+    eprintln!(
+        "[probe] eval of {} + {} examples in {:.1?}",
+        scores.non_join.n,
+        scores.join.n,
+        t2.elapsed()
+    );
+
+    let mut r = Report::new("Probe — CodeT5+ (base) SFT on text-to-vis");
+    r.line(format!(
+        "non-join: vis {} axis {} data {} em {} (n={})",
+        m4(scores.non_join.vis_em),
+        m4(scores.non_join.axis_em),
+        m4(scores.non_join.data_em),
+        m4(scores.non_join.em),
+        scores.non_join.n
+    ));
+    r.line(format!(
+        "join:     vis {} axis {} data {} em {} (n={})",
+        m4(scores.join.vis_em),
+        m4(scores.join.axis_em),
+        m4(scores.join.data_em),
+        m4(scores.join.em),
+        scores.join.n
+    ));
+    r.line("sample predictions:");
+    for e in examples.iter().take(4) {
+        r.line(format!("  gold: {}", e.gold_query.as_deref().unwrap_or("")));
+        r.line(format!("  pred: {}", predictor.predict(e)));
+    }
+    emit("probe_learning", &r.render());
+}

@@ -1,0 +1,24 @@
+//! Diagnostic: inspect raw predictions of the cached MFT DataVisT5
+//! checkpoint on each task.
+
+use bench::experiment_scale;
+use corpus::Split;
+use datavist5::config::Size;
+use datavist5::data::Task;
+use datavist5::zoo::{ModelKind, Regime, Zoo};
+
+fn main() {
+    let zoo = Zoo::new(experiment_scale());
+    let kind = ModelKind::DataVisT5(Size::Base, Regime::Mft);
+    let trained = zoo.train_model_cached(kind, None);
+    let predictor = zoo.predictor(kind, trained);
+    for task in Task::ALL {
+        println!("== {} ==", task.label());
+        for e in zoo.datasets.of(task, Split::Test).iter().take(2) {
+            println!("  input : {}", &e.input[..e.input.len().min(110)]);
+            println!("  gold  : {}", &e.output[..e.output.len().min(110)]);
+            let p = predictor.predict(e);
+            println!("  pred  : {}", &p[..p.len().min(160)]);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Tables IX–X + Figure 8: FeVisQA case study — the DV knowledge (query,
+//! table, schema) for one chart, then every model's answers to its
+//! questions.
+
+use bench::{emit, experiment_scale, Report};
+use corpus::Split;
+use datavist5::case_study::{is_correct, render_chart};
+use datavist5::config::Size;
+use datavist5::data::{strip_prefix, Task};
+use datavist5::zoo::{ModelKind, Regime, Zoo};
+
+fn main() {
+    let scale = experiment_scale();
+    let zoo = Zoo::new(scale);
+    let examples = zoo.datasets.of(Task::FeVisQa, Split::Test);
+    // Group questions by (db, query): take the query with the most
+    // questions, like the paper's film chart with four questions.
+    let anchor = examples
+        .iter()
+        .max_by_key(|e| {
+            examples
+                .iter()
+                .filter(|o| o.db_name == e.db_name && same_query(o, e))
+                .count()
+        })
+        .expect("no test examples");
+    let group: Vec<_> = examples
+        .iter()
+        .filter(|o| o.db_name == anchor.db_name && same_query(o, anchor))
+        .take(4)
+        .collect();
+
+    let mut r = Report::new("Tables IX–X / Figure 8 — FeVisQA case study");
+    r.line(format!("database: {}", anchor.db_name));
+    // Table IX: the DV knowledge in sequence formats.
+    r.line("DV knowledge (Table IX analogue):");
+    r.line(format!("  input encoding: {}", anchor.input));
+    // Figure 8a: the chart.
+    if let Some(query_part) = segment(&anchor.input, "<vql> ", " <schema> ") {
+        if let Some(chart) = render_chart(&query_part, &anchor.db_name, &zoo.corpus) {
+            r.line("Figure 8a (visualization chart):");
+            r.line(chart);
+        }
+    }
+
+    let systems = vec![
+        ModelKind::Seq2Vis,
+        ModelKind::Transformer,
+        ModelKind::Bart,
+        ModelKind::CodeT5Sft(Size::Base),
+        ModelKind::DataVisT5(Size::Large, Regime::Mft),
+    ];
+    let mut predictors = Vec::new();
+    for kind in &systems {
+        eprintln!("[table10] {}…", kind.label());
+        let task = match kind {
+            ModelKind::DataVisT5(_, Regime::Mft) => None,
+            _ => Some(Task::FeVisQa),
+        };
+        let trained = zoo.train_model_cached(*kind, task);
+        predictors.push((kind.label(), zoo.predictor(*kind, trained)));
+    }
+
+    r.line("Answers (Table X analogue):");
+    for e in &group {
+        let question = segment(&e.input, "<question> ", " <vql> ").unwrap_or_default();
+        let gold = strip_prefix(Task::FeVisQa, &e.output);
+        r.line(format!("Q: {question}"));
+        r.line(format!("  Ground-truth: {gold}"));
+        for (label, predictor) in &predictors {
+            let answer = predictor.predict(e);
+            let mark = if is_correct(Task::FeVisQa, &answer, e, &zoo.corpus) {
+                "(ok)"
+            } else {
+                "(x)"
+            };
+            r.line(format!("  {label} {mark}: {answer}"));
+        }
+    }
+    r.line("");
+    r.line(
+        "Paper analogue: only the MFT DataVisT5 answers both the binary and the numeric \
+         questions consistently; weaker baselines miss totals and counts.",
+    );
+    emit("table10_case_fevisqa", &r.render());
+}
+
+fn same_query(a: &datavist5::data::TaskExample, b: &datavist5::data::TaskExample) -> bool {
+    segment(&a.input, "<vql> ", " <schema> ") == segment(&b.input, "<vql> ", " <schema> ")
+}
+
+fn segment(text: &str, start: &str, end: &str) -> Option<String> {
+    let after = text.split(start).nth(1)?;
+    Some(after.split(end).next().unwrap_or(after).to_string())
+}

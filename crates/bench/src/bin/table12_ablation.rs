@@ -1,0 +1,145 @@
+//! Table XII: ablation study — average metric value per task (×100) for
+//! the DataVisT5 (770M-tier) variants and the initialization baselines.
+//!
+//! Per-task summaries follow the paper: text-to-vis is the mean of the
+//! four EM metrics pooled over both join subsets; the generative tasks are
+//! the mean of their seven text metrics.
+
+use bench::{emit, experiment_scale, m100, Report};
+use corpus::Split;
+use datavist5::config::Size;
+use datavist5::data::Task;
+use datavist5::eval::{eval_text_gen, eval_text_to_vis};
+use datavist5::zoo::{ModelKind, Predictor, Regime, Zoo};
+
+const PAPER: &[(&str, [f64; 5])] = &[
+    ("DataVisT5 (770M) +MFT", [65.22, 36.18, 70.62, 56.80, 57.21]),
+    ("  w/o BDC", [64.49, 36.16, 69.26, 55.83, 56.44]),
+    ("  w/o up-sampling", [62.95, 36.41, 70.69, 56.34, 56.60]),
+    ("  w/o MFT", [62.36, 37.12, 67.35, 53.98, 54.93]),
+    ("DataVisT5 (770M) +SFT", [65.01, 36.50, 70.73, 55.67, 56.98]),
+    ("CodeT5+ (770M) +SFT", [62.79, 35.96, 63.03, 53.97, 53.94]),
+    ("T5-large +SFT", [61.34, 33.58, 61.90, 52.03, 52.21]),
+];
+
+struct Variant {
+    label: &'static str,
+    kind: ModelKind,
+    /// Multi-task models evaluate one checkpoint; SFT variants train one
+    /// model per task.
+    per_task_sft: bool,
+}
+
+fn main() {
+    let scale = experiment_scale();
+    let zoo = Zoo::new(scale);
+    let cap = scale.eval_cap();
+    let t2v = zoo.datasets.of(Task::TextToVis, Split::Test);
+    let v2t = zoo.datasets.of(Task::VisToText, Split::Test);
+    let qa = zoo.datasets.of(Task::FeVisQa, Split::Test);
+    let tt = zoo.datasets.of(Task::TableToText, Split::Test);
+
+    let variants = vec![
+        Variant {
+            label: "DataVisT5 (770M) +MFT",
+            kind: ModelKind::DataVisT5(Size::Large, Regime::Mft),
+            per_task_sft: false,
+        },
+        Variant {
+            label: "  w/o BDC",
+            kind: ModelKind::DataVisT5(Size::Large, Regime::MftNoBdc),
+            per_task_sft: false,
+        },
+        Variant {
+            label: "  w/o up-sampling",
+            kind: ModelKind::DataVisT5(Size::Large, Regime::MftNoUpsampling),
+            per_task_sft: false,
+        },
+        Variant {
+            label: "  w/o MFT",
+            kind: ModelKind::DataVisT5(Size::Large, Regime::ZeroShot),
+            per_task_sft: false,
+        },
+        Variant {
+            label: "DataVisT5 (770M) +SFT",
+            kind: ModelKind::DataVisT5(Size::Large, Regime::Sft),
+            per_task_sft: true,
+        },
+        Variant {
+            label: "CodeT5+ (770M) +SFT",
+            kind: ModelKind::CodeT5Sft(Size::Large),
+            per_task_sft: true,
+        },
+        Variant {
+            label: "T5-large +SFT",
+            kind: ModelKind::T5Sft(Size::Large),
+            per_task_sft: true,
+        },
+    ];
+
+    let widths = [24usize, 12, 12, 10, 14, 8];
+    let mut r = Report::new("Table XII — ablations: per-task average metric ×100 (paper in parens)");
+    r.row(
+        &widths,
+        &["Variant", "text-to-vis", "vis-to-text", "fevisqa", "table-to-text", "mean"],
+    );
+    r.rule(&widths);
+
+    for v in variants {
+        eprintln!("[table12] {}…", v.label);
+        let predictor_for = |task: Option<Task>| -> Box<dyn Predictor + '_> {
+            let trained = zoo.train_model_cached(v.kind, task);
+            zoo.predictor(v.kind, trained)
+        };
+        let (p_t2v, p_v2t, p_qa, p_tt): (
+            Box<dyn Predictor>,
+            Box<dyn Predictor>,
+            Box<dyn Predictor>,
+            Box<dyn Predictor>,
+        ) = if v.per_task_sft {
+            (
+                predictor_for(Some(Task::TextToVis)),
+                predictor_for(Some(Task::VisToText)),
+                predictor_for(Some(Task::FeVisQa)),
+                predictor_for(Some(Task::TableToText)),
+            )
+        } else {
+            (
+                predictor_for(None),
+                predictor_for(None),
+                predictor_for(None),
+                predictor_for(None),
+            )
+        };
+        let s_t2v = eval_text_to_vis(&*p_t2v, &t2v, &zoo.corpus, cap).mean_metric();
+        let s_v2t = eval_text_gen(&*p_v2t, &v2t, cap).mean_metric();
+        let s_qa = eval_text_gen(&*p_qa, &qa, cap).mean_metric();
+        let s_tt = eval_text_gen(&*p_tt, &tt, cap).mean_metric();
+        let mean = (s_t2v + s_v2t + s_qa + s_tt) / 4.0;
+        let paper = PAPER.iter().find(|(l, _)| *l == v.label);
+        let cell = |x: f64, i: usize| -> String {
+            match paper {
+                Some((_, p)) => format!("{} ({:.2})", m100(x), p[i]),
+                None => m100(x),
+            }
+        };
+        r.row(
+            &widths,
+            &[
+                v.label,
+                &cell(s_t2v, 0),
+                &cell(s_v2t, 1),
+                &cell(s_qa, 2),
+                &cell(s_tt, 3),
+                &cell(mean, 4),
+            ],
+        );
+    }
+    r.line("");
+    r.line(
+        "Expected shape: removing any designed component (BDC, up-sampling, MFT) lowers the \
+         mean; zero-shot (w/o MFT) falls hardest; a code-aware start beats a generic text \
+         start (CodeT5+ vs T5).",
+    );
+    emit("table12_ablation", &r.render());
+}

@@ -1,0 +1,112 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every paper table/figure has a binary under `src/bin/` that trains (or
+//! loads cached) models, evaluates them, and prints a paper-vs-measured
+//! report. Reports are also written to `bench/out/` so EXPERIMENTS.md can
+//! be assembled from one `run_all.sh` pass.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use datavist5::config::Scale;
+
+/// The scale experiment binaries run at: `DATAVIST5_SCALE` if set,
+/// otherwise `Full` (binaries exist to regenerate the paper's numbers;
+/// tests and Criterion default to smoke via [`Scale::from_env`]).
+pub fn experiment_scale() -> Scale {
+    match std::env::var("DATAVIST5_SCALE").as_deref() {
+        Ok("smoke") | Ok("SMOKE") => Scale::Smoke,
+        _ => Scale::Full,
+    }
+}
+
+/// Output directory for reports.
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("bench").join("out");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Prints a report and writes it to `bench/out/<name>.txt`.
+pub fn emit(name: &str, content: &str) {
+    println!("{content}");
+    let path = out_dir().join(format!("{name}.txt"));
+    if let Err(e) = std::fs::write(&path, content) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+/// Simple fixed-width table builder for aligned console reports.
+#[derive(Debug, Default)]
+pub struct Report {
+    lines: Vec<String>,
+}
+
+impl Report {
+    pub fn new(title: &str) -> Report {
+        let mut r = Report::default();
+        r.lines.push(format!("== {title} =="));
+        r
+    }
+
+    /// Adds a free-form line.
+    pub fn line(&mut self, text: impl AsRef<str>) -> &mut Self {
+        self.lines.push(text.as_ref().to_string());
+        self
+    }
+
+    /// Adds a row of cells padded to the given widths.
+    pub fn row(&mut self, widths: &[usize], cells: &[&str]) -> &mut Self {
+        let mut s = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(12);
+            let _ = write!(s, "{cell:<w$} ");
+        }
+        self.lines.push(s.trim_end().to_string());
+        self
+    }
+
+    /// Adds a horizontal rule sized to the widths.
+    pub fn rule(&mut self, widths: &[usize]) -> &mut Self {
+        let total: usize = widths.iter().map(|w| w + 1).sum();
+        self.lines.push("-".repeat(total));
+        self
+    }
+
+    pub fn render(&self) -> String {
+        self.lines.join("\n") + "\n"
+    }
+}
+
+/// Formats a 0–1 metric like the paper (`0.6833`).
+pub fn m4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a ×100 metric like Table XII (`65.22`).
+pub fn m100(x: f64) -> String {
+    format!("{:.2}", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_rows_aligned() {
+        let mut r = Report::new("demo");
+        r.row(&[8, 6], &["model", "em"]);
+        r.rule(&[8, 6]);
+        r.row(&[8, 6], &["ours", "0.68"]);
+        let text = r.render();
+        assert!(text.starts_with("== demo =="));
+        assert!(text.contains("model    em"));
+        assert!(text.contains("ours     0.68"));
+    }
+
+    #[test]
+    fn metric_formatting() {
+        assert_eq!(m4(0.68334), "0.6833");
+        assert_eq!(m100(0.6522), "65.22");
+    }
+}

@@ -1,0 +1,196 @@
+//! Case-study assembly (Tables V, VII, X, XI and Figures 6–9).
+//!
+//! A case study takes one held-out example and every model's prediction
+//! for it, marks each prediction correct/incorrect with a task-appropriate
+//! criterion, and — for text-to-vis — renders each predicted DV query as
+//! an ASCII chart (the reproduction's stand-in for the paper's bitmap
+//! figures; unexecutable predictions render as the paper's "No image due
+//! to errors in the DV query").
+
+use corpus::Corpus;
+use metrics::rouge_n;
+
+use crate::data::{strip_prefix, Task, TaskExample};
+use crate::eval::score_text_to_vis;
+
+/// One model's row in a case-study table.
+#[derive(Debug, Clone)]
+pub struct CaseRow {
+    pub model: String,
+    pub output: String,
+    pub correct: bool,
+    /// ASCII chart for text-to-vis predictions (None when the query does
+    /// not execute).
+    pub chart: Option<String>,
+}
+
+/// A fully assembled case study.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    pub task: Task,
+    pub input: String,
+    pub reference: String,
+    pub rows: Vec<CaseRow>,
+}
+
+/// Marks a prediction correct under the task's criterion: full EM for
+/// text-to-vis, exact string match for FeVisQA answers, and ROUGE-1 ≥ 0.7
+/// for the free-text tasks (matching the paper's ✓/✗ judgements).
+pub fn is_correct(task: Task, prediction: &str, example: &TaskExample, corpus: &Corpus) -> bool {
+    let reference = strip_prefix(task, &example.output);
+    match task {
+        Task::TextToVis => {
+            let gold = example.gold_query.as_deref().unwrap_or(&reference);
+            score_text_to_vis(prediction, gold, corpus, &example.db_name).exact()
+        }
+        Task::FeVisQa => prediction.trim().eq_ignore_ascii_case(reference.trim()),
+        Task::VisToText | Task::TableToText => {
+            rouge_n(&[(prediction.to_string(), reference.clone())], 1) >= 0.7
+        }
+    }
+}
+
+/// Renders a predicted DV query as an ASCII chart against the example's
+/// database, mirroring Figure 6.
+pub fn render_chart(prediction: &str, db_name: &str, corpus: &Corpus) -> Option<String> {
+    let db = corpus.database(db_name)?;
+    let query = vql::parse_query(prediction).ok()?;
+    let result = storage::execute(&query, db).ok()?;
+    let chart = storage::to_chart(&query, &result);
+    Some(chart.render_ascii(28))
+}
+
+/// Assembles a case study from model predictions.
+pub fn build_case(
+    example: &TaskExample,
+    corpus: &Corpus,
+    predictions: &[(String, String)],
+) -> CaseStudy {
+    let rows = predictions
+        .iter()
+        .map(|(model, output)| {
+            let chart = if example.task == Task::TextToVis {
+                render_chart(output, &example.db_name, corpus)
+            } else {
+                None
+            };
+            CaseRow {
+                model: model.clone(),
+                correct: is_correct(example.task, output, example, corpus),
+                output: output.clone(),
+                chart,
+            }
+        })
+        .collect();
+    CaseStudy {
+        task: example.task,
+        input: example.input.clone(),
+        reference: strip_prefix(example.task, &example.output),
+        rows,
+    }
+}
+
+impl CaseStudy {
+    /// Formats the case study as the paper's tables do: ground truth, then
+    /// one row per model with a ✓/✗ marker and (for text-to-vis) either
+    /// the rendered chart or the "no image" note.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("Input        | {}\n", self.input));
+        out.push_str(&format!("Ground-truth | {}\n", self.reference));
+        for row in &self.rows {
+            let mark = if row.correct { "(ok)" } else { "(x)" };
+            out.push_str(&format!("{} {} | {}\n", row.model, mark, row.output));
+            if self.task == Task::TextToVis {
+                match &row.chart {
+                    Some(chart) => {
+                        for line in chart.lines() {
+                            out.push_str(&format!("    {line}\n"));
+                        }
+                    }
+                    None => out.push_str("    No image due to errors in the DV query\n"),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::TaskDatasets;
+    use corpus::{CorpusConfig, Split};
+
+    fn fixtures() -> (Corpus, TaskDatasets) {
+        let corpus = corpus::Corpus::generate(&CorpusConfig {
+            seed: 23,
+            dbs_per_domain: 1,
+            queries_per_db: 6,
+            facts_per_db: 3,
+        });
+        let datasets = TaskDatasets::build(&corpus);
+        (corpus, datasets)
+    }
+
+    #[test]
+    fn gold_prediction_is_correct_and_renders() {
+        let (corpus, datasets) = fixtures();
+        let e = &datasets.of(Task::TextToVis, Split::Test)[0];
+        let gold = e.gold_query.clone().unwrap();
+        assert!(is_correct(Task::TextToVis, &gold, e, &corpus));
+        let chart = render_chart(&gold, &e.db_name, &corpus);
+        assert!(chart.is_some());
+        assert!(chart.unwrap().contains('#'));
+    }
+
+    #[test]
+    fn broken_query_renders_no_image() {
+        let (corpus, datasets) = fixtures();
+        let e = &datasets.of(Task::TextToVis, Split::Test)[0];
+        assert!(render_chart("visualize bar select nothing", &e.db_name, &corpus).is_none());
+        let case = build_case(
+            e,
+            &corpus,
+            &[("Broken".into(), "visualize bar select nothing".into())],
+        );
+        assert!(case.render().contains("No image due to errors in the DV query"));
+    }
+
+    #[test]
+    fn fevisqa_correctness_is_exact_match() {
+        let (corpus, datasets) = fixtures();
+        let e = &datasets.of(Task::FeVisQa, Split::Test)[0];
+        let gold = strip_prefix(Task::FeVisQa, &e.output);
+        assert!(is_correct(Task::FeVisQa, &gold, e, &corpus));
+        assert!(!is_correct(Task::FeVisQa, "wrong answer", e, &corpus));
+    }
+
+    #[test]
+    fn vis_to_text_uses_rouge_threshold() {
+        let (corpus, datasets) = fixtures();
+        let e = &datasets.of(Task::VisToText, Split::Test)[0];
+        let gold = strip_prefix(Task::VisToText, &e.output);
+        assert!(is_correct(Task::VisToText, &gold, e, &corpus));
+        assert!(!is_correct(Task::VisToText, "completely unrelated words", e, &corpus));
+    }
+
+    #[test]
+    fn render_lists_every_model() {
+        let (corpus, datasets) = fixtures();
+        let e = &datasets.of(Task::TextToVis, Split::Test)[0];
+        let gold = e.gold_query.clone().unwrap();
+        let case = build_case(
+            e,
+            &corpus,
+            &[
+                ("ModelA".into(), gold.clone()),
+                ("ModelB".into(), "garbage".into()),
+            ],
+        );
+        let text = case.render();
+        assert!(text.contains("ModelA (ok)"));
+        assert!(text.contains("ModelB (x)"));
+        assert!(text.contains("Ground-truth"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Reproduction scale presets.
+//!
+//! The original system trains 220M/770M-parameter models on four A40 GPUs;
+//! this reproduction runs on one CPU core. `Scale` centralizes every knob
+//! that trades fidelity for wall-clock so the experiment binaries can run
+//! at `Full` scale while tests and Criterion benches use `Smoke`.
+
+use corpus::CorpusConfig;
+use nn::t5::{Positional, T5Config};
+
+/// Model size tier (the paper's 220M vs 770M).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Size {
+    Base,
+    Large,
+}
+
+impl Size {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Size::Base => "220M",
+            Size::Large => "770M",
+        }
+    }
+}
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-scale: tiny models, small corpus — tests and smoke benches.
+    Smoke,
+    /// The EXPERIMENTS.md configuration.
+    Full,
+}
+
+impl Scale {
+    /// Reads `DATAVIST5_SCALE` (`full` / `smoke`), defaulting to `Smoke`.
+    pub fn from_env() -> Scale {
+        match std::env::var("DATAVIST5_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Smoke,
+        }
+    }
+
+    /// Corpus generation parameters.
+    pub fn corpus_config(&self) -> CorpusConfig {
+        match self {
+            Scale::Smoke => CorpusConfig {
+                seed: 0xda7a,
+                dbs_per_domain: 1,
+                queries_per_db: 8,
+                facts_per_db: 4,
+            },
+            Scale::Full => CorpusConfig {
+                seed: 0xda7a,
+                dbs_per_domain: 2,
+                queries_per_db: 40,
+                facts_per_db: 16,
+            },
+        }
+    }
+
+    /// Architecture for a size tier.
+    pub fn t5_config(&self, size: Size, vocab: usize) -> T5Config {
+        match (self, size) {
+            (Scale::Smoke, Size::Base) => T5Config {
+                vocab,
+                d_model: 32,
+                d_ff: 64,
+                heads: 2,
+                enc_layers: 1,
+                dec_layers: 1,
+                dropout: 0.0,
+                positional: Positional::RelativeBias,
+            },
+            (Scale::Smoke, Size::Large) => T5Config {
+                vocab,
+                d_model: 48,
+                d_ff: 96,
+                heads: 2,
+                enc_layers: 1,
+                dec_layers: 1,
+                dropout: 0.0,
+                positional: Positional::RelativeBias,
+            },
+            (Scale::Full, Size::Base) => T5Config {
+                vocab,
+                d_model: 64,
+                d_ff: 128,
+                heads: 4,
+                enc_layers: 2,
+                dec_layers: 2,
+                dropout: 0.05,
+                positional: Positional::RelativeBias,
+            },
+            (Scale::Full, Size::Large) => T5Config {
+                vocab,
+                d_model: 96,
+                d_ff: 192,
+                heads: 6,
+                enc_layers: 2,
+                dec_layers: 2,
+                dropout: 0.05,
+                positional: Positional::RelativeBias,
+            },
+        }
+    }
+
+    /// Optimizer steps for pre-training phases.
+    pub fn pretrain_steps(&self) -> usize {
+        match self {
+            Scale::Smoke => 20,
+            Scale::Full => 800,
+        }
+    }
+
+    /// Optimizer steps for fine-tuning (per run).
+    pub fn finetune_steps(&self) -> usize {
+        match self {
+            Scale::Smoke => 25,
+            Scale::Full => 600,
+        }
+    }
+
+    /// Gradient-accumulation micro-batch.
+    pub fn accum(&self) -> usize {
+        match self {
+            Scale::Smoke => 4,
+            Scale::Full => 8,
+        }
+    }
+
+    /// Maximum tokenized sequence length (truncation bound; the paper uses
+    /// 512 subwords, we use fewer, larger word tokens).
+    pub fn max_len(&self) -> usize {
+        match self {
+            Scale::Smoke => 96,
+            Scale::Full => 128,
+        }
+    }
+
+    /// Maximum generated output tokens.
+    pub fn max_out(&self) -> usize {
+        match self {
+            Scale::Smoke => 40,
+            Scale::Full => 48,
+        }
+    }
+
+    /// Cap on evaluation examples per subset.
+    pub fn eval_cap(&self) -> usize {
+        match self {
+            Scale::Smoke => 12,
+            Scale::Full => 60,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_is_larger_everywhere() {
+        let s = Scale::Smoke;
+        let f = Scale::Full;
+        assert!(f.pretrain_steps() > s.pretrain_steps());
+        assert!(f.finetune_steps() > s.finetune_steps());
+        assert!(f.eval_cap() > s.eval_cap());
+        assert!(f.max_len() > s.max_len());
+        assert!(
+            f.corpus_config().queries_per_db > s.corpus_config().queries_per_db
+        );
+    }
+
+    #[test]
+    fn large_tier_exceeds_base_tier() {
+        for scale in [Scale::Smoke, Scale::Full] {
+            let b = scale.t5_config(Size::Base, 100);
+            let l = scale.t5_config(Size::Large, 100);
+            assert!(l.d_model > b.d_model);
+            assert!(l.d_ff > b.d_ff);
+        }
+    }
+
+    #[test]
+    fn env_defaults_to_smoke() {
+        std::env::remove_var("DATAVIST5_SCALE");
+        assert_eq!(Scale::from_env(), Scale::Smoke);
+    }
+
+    #[test]
+    fn size_labels_follow_paper() {
+        assert_eq!(Size::Base.label(), "220M");
+        assert_eq!(Size::Large.label(), "770M");
+    }
+}

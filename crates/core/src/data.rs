@@ -1,0 +1,324 @@
+//! Unified task encoding and dataset assembly.
+//!
+//! Every task is rendered into the paper's unified text surface with task
+//! prefix tokens (Figure 5): `<nl>`, `<vql>`, `<schema>`, `<table>`,
+//! `<question>`, `<answer>`, `<description>`. Inputs compose the segments
+//! each task needs; outputs carry the prefix of their corpus so the
+//! Bidirectional Dual-Corpus objective can swap direction without
+//! ambiguity.
+
+use corpus::{Corpus, Split};
+use vql::encode::{encode_schema, encode_table, LinearTable};
+use vql::schema::DbSchema;
+
+use crate::filtration::filter_schema;
+
+/// The four downstream tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Task {
+    TextToVis,
+    VisToText,
+    FeVisQa,
+    TableToText,
+}
+
+impl Task {
+    pub const ALL: [Task; 4] = [
+        Task::TextToVis,
+        Task::VisToText,
+        Task::FeVisQa,
+        Task::TableToText,
+    ];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Task::TextToVis => "text-to-vis",
+            Task::VisToText => "vis-to-text",
+            Task::FeVisQa => "fevisqa",
+            Task::TableToText => "table-to-text",
+        }
+    }
+
+    /// The prefix token of this task's *output* corpus.
+    pub fn output_prefix(&self) -> &'static str {
+        match self {
+            Task::TextToVis => "<vql>",
+            Task::VisToText | Task::TableToText => "<description>",
+            Task::FeVisQa => "<answer>",
+        }
+    }
+}
+
+/// One encoded example ready for tokenization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskExample {
+    pub task: Task,
+    pub db_name: String,
+    pub split: Split,
+    pub input: String,
+    pub output: String,
+    /// Text-to-vis only: the gold standardized query.
+    pub gold_query: Option<String>,
+    /// Text-to-vis only: whether the gold query joins tables.
+    pub has_join: bool,
+}
+
+/// Builds the input text for text-to-vis: `<nl> question <schema> …` with
+/// schema filtration applied (§III-B).
+pub fn text_to_vis_input(question: &str, schema: &DbSchema) -> String {
+    let sub = filter_schema(question, schema);
+    format!("<nl> {question} <schema> {}", encode_schema(&sub))
+}
+
+/// Builds the input for vis-to-text: `<vql> query <schema> …` restricted to
+/// the tables the query touches.
+pub fn vis_to_text_input(query_text: &str, schema: &DbSchema) -> String {
+    let sub = match vql::parse_query(query_text) {
+        Ok(q) => {
+            let tables = q.tables();
+            let restricted = schema.restricted_to(&tables);
+            if restricted.tables.is_empty() {
+                schema.clone()
+            } else {
+                restricted
+            }
+        }
+        Err(_) => schema.clone(),
+    };
+    format!("<vql> {query_text} <schema> {}", encode_schema(&sub))
+}
+
+/// Builds the input for table-to-text: `<table> …`.
+pub fn table_to_text_input(table: &LinearTable) -> String {
+    format!("<table> {}", encode_table(table))
+}
+
+/// Builds the input for FeVisQA:
+/// `<question> q <vql> query <schema> … <table> …`.
+pub fn fevisqa_input(
+    question: &str,
+    query_text: &str,
+    schema: &DbSchema,
+    table: &LinearTable,
+) -> String {
+    let sub = match vql::parse_query(query_text) {
+        Ok(q) => {
+            let restricted = schema.restricted_to(&q.tables());
+            if restricted.tables.is_empty() {
+                schema.clone()
+            } else {
+                restricted
+            }
+        }
+        Err(_) => schema.clone(),
+    };
+    format!(
+        "<question> {question} <vql> {query_text} <schema> {} <table> {}",
+        encode_schema(&sub),
+        encode_table(table)
+    )
+}
+
+/// Prefixes an output with its corpus token.
+pub fn prefixed_output(task: Task, text: &str) -> String {
+    format!("{} {text}", task.output_prefix())
+}
+
+/// Strips a task's output prefix from a model prediction.
+pub fn strip_prefix(task: Task, prediction: &str) -> String {
+    prediction
+        .trim()
+        .strip_prefix(task.output_prefix())
+        .unwrap_or(prediction)
+        .trim()
+        .to_string()
+}
+
+/// All task datasets, encoded and split.
+#[derive(Debug, Clone, Default)]
+pub struct TaskDatasets {
+    pub examples: Vec<TaskExample>,
+}
+
+impl TaskDatasets {
+    /// Encodes the whole corpus into task examples.
+    pub fn build(corpus: &Corpus) -> TaskDatasets {
+        let mut examples = Vec::new();
+        for e in &corpus.nvbench {
+            let Some(db) = corpus.database(&e.db_name) else {
+                continue;
+            };
+            let schema = db.schema();
+            let split = corpus.split_of(&e.db_name);
+            examples.push(TaskExample {
+                task: Task::TextToVis,
+                db_name: e.db_name.clone(),
+                split,
+                input: text_to_vis_input(&e.question, &schema),
+                output: prefixed_output(Task::TextToVis, &e.query),
+                gold_query: Some(e.query.clone()),
+                has_join: e.has_join,
+            });
+            examples.push(TaskExample {
+                task: Task::VisToText,
+                db_name: e.db_name.clone(),
+                split,
+                input: vis_to_text_input(&e.query, &schema),
+                output: prefixed_output(Task::VisToText, &e.description),
+                gold_query: None,
+                has_join: e.has_join,
+            });
+        }
+        for e in &corpus.fevisqa {
+            let Some(db) = corpus.database(&e.db_name) else {
+                continue;
+            };
+            let schema = db.schema();
+            examples.push(TaskExample {
+                task: Task::FeVisQa,
+                db_name: e.db_name.clone(),
+                split: corpus.split_of(&e.db_name),
+                input: fevisqa_input(&e.question, &e.query, &schema, &e.table),
+                output: prefixed_output(Task::FeVisQa, &e.answer),
+                gold_query: None,
+                has_join: false,
+            });
+        }
+        for e in corpus.chart2text.iter().chain(corpus.wikitabletext.iter()) {
+            examples.push(TaskExample {
+                task: Task::TableToText,
+                db_name: e.db_name.clone(),
+                split: corpus.split_of(&e.db_name),
+                input: table_to_text_input(&e.table),
+                output: prefixed_output(Task::TableToText, &e.description),
+                gold_query: None,
+                has_join: false,
+            });
+        }
+        TaskDatasets { examples }
+    }
+
+    /// Examples of one task in one split.
+    pub fn of(&self, task: Task, split: Split) -> Vec<&TaskExample> {
+        self.examples
+            .iter()
+            .filter(|e| e.task == task && e.split == split)
+            .collect()
+    }
+
+    /// Every text surface in the datasets (vocabulary fitting). Includes
+    /// all splits: the word-level tokenizer stands in for an open subword
+    /// vocabulary, which would cover unseen schema identifiers by
+    /// composition.
+    pub fn all_texts(&self) -> impl Iterator<Item = &str> {
+        self.examples
+            .iter()
+            .flat_map(|e| [e.input.as_str(), e.output.as_str()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpus::CorpusConfig;
+
+    fn datasets() -> TaskDatasets {
+        let corpus = Corpus::generate(&CorpusConfig {
+            seed: 11,
+            dbs_per_domain: 1,
+            queries_per_db: 5,
+            facts_per_db: 3,
+        });
+        TaskDatasets::build(&corpus)
+    }
+
+    #[test]
+    fn builds_examples_for_all_tasks_and_splits() {
+        let d = datasets();
+        for task in Task::ALL {
+            assert!(
+                !d.of(task, Split::Train).is_empty(),
+                "no train data for {}",
+                task.label()
+            );
+            assert!(
+                !d.of(task, Split::Test).is_empty(),
+                "no test data for {}",
+                task.label()
+            );
+        }
+    }
+
+    #[test]
+    fn text_to_vis_inputs_carry_both_prefixes() {
+        let d = datasets();
+        for e in d.of(Task::TextToVis, Split::Train).iter().take(10) {
+            assert!(e.input.starts_with("<nl> "), "{}", e.input);
+            assert!(e.input.contains("<schema> "), "{}", e.input);
+            assert!(e.output.starts_with("<vql> "), "{}", e.output);
+            assert!(e.gold_query.is_some());
+        }
+    }
+
+    #[test]
+    fn fevisqa_inputs_have_all_four_segments() {
+        let d = datasets();
+        for e in d.of(Task::FeVisQa, Split::Train).iter().take(10) {
+            for seg in ["<question> ", "<vql> ", "<schema> ", "<table> "] {
+                assert!(e.input.contains(seg), "missing {seg} in {}", e.input);
+            }
+            assert!(e.output.starts_with("<answer> "));
+        }
+    }
+
+    #[test]
+    fn strip_prefix_roundtrips() {
+        for task in Task::ALL {
+            let out = prefixed_output(task, "hello world");
+            assert_eq!(strip_prefix(task, &out), "hello world");
+        }
+        // Un-prefixed predictions survive unchanged.
+        assert_eq!(strip_prefix(Task::TextToVis, "raw text"), "raw text");
+    }
+
+    #[test]
+    fn filtration_shrinks_schema_in_inputs() {
+        let d = datasets();
+        // Inputs referencing only one table should not embed both tables.
+        let narrowed = d
+            .of(Task::TextToVis, Split::Train)
+            .iter()
+            .filter(|e| {
+                let schema_part = e.input.split("<schema> ").nth(1).unwrap_or("");
+                schema_part.matches(" : ").count() == 1
+            })
+            .count();
+        assert!(narrowed > 0, "filtration never narrowed a schema");
+    }
+
+    #[test]
+    fn vis_to_text_restricts_to_query_tables() {
+        let d = datasets();
+        for e in d.of(Task::VisToText, Split::Train).iter().take(10) {
+            let query_part = e
+                .input
+                .strip_prefix("<vql> ")
+                .unwrap()
+                .split(" <schema> ")
+                .next()
+                .unwrap();
+            let q = vql::parse_query(query_part).unwrap();
+            let schema_part = e.input.split("<schema> ").nth(1).unwrap();
+            for t in q.tables() {
+                assert!(schema_part.contains(&format!("{t} :")), "{schema_part}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_texts_covers_inputs_and_outputs() {
+        let d = datasets();
+        let n = d.all_texts().count();
+        assert_eq!(n, d.examples.len() * 2);
+    }
+}

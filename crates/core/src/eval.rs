@@ -1,0 +1,241 @@
+//! Evaluation harness for the four tasks (§V).
+//!
+//! * Text-to-vis: predictions are parsed, standardized against the
+//!   example's database schema, and compared component-wise ([`vql::compare`]);
+//!   unparseable predictions score zero on every component. Results are
+//!   reported separately for non-join and join queries (Table IV's two
+//!   blocks).
+//! * Vis-to-text / FeVisQA / table-to-text: BLEU-1/2/4, ROUGE-1/2/L F1,
+//!   and METEOR over `(prediction, reference)` pairs.
+
+use corpus::Corpus;
+use metrics::{bleu, meteor, rouge_l, rouge_n};
+use vql::compare::{compare_queries, ComponentMatch, EmScores};
+use vql::standardize::parse_standardized;
+
+use crate::data::TaskExample;
+use crate::zoo::Predictor;
+
+/// Table IV row: EM family on the non-join and join subsets.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TextToVisScores {
+    pub non_join: EmScores,
+    pub join: EmScores,
+}
+
+impl TextToVisScores {
+    /// Mean of the four EM metrics pooled over both subsets (the Table XII
+    /// per-task summary, ×100 at the printer).
+    pub fn mean_metric(&self) -> f64 {
+        let total = self.non_join.n + self.join.n;
+        if total == 0 {
+            return 0.0;
+        }
+        let pool = |f: fn(&EmScores) -> f64| {
+            (f(&self.non_join) * self.non_join.n as f64 + f(&self.join) * self.join.n as f64)
+                / total as f64
+        };
+        (pool(|s| s.vis_em) + pool(|s| s.axis_em) + pool(|s| s.data_em) + pool(|s| s.em)) / 4.0
+    }
+}
+
+/// Scores one text-to-vis prediction against its gold query.
+pub fn score_text_to_vis(prediction: &str, gold: &str, corpus: &Corpus, db_name: &str) -> ComponentMatch {
+    let Some(db) = corpus.database(db_name) else {
+        return ComponentMatch::default();
+    };
+    let schema = db.schema();
+    let Ok(gold_q) = parse_standardized(gold, &schema) else {
+        return ComponentMatch::default();
+    };
+    match parse_standardized(prediction, &schema) {
+        Ok(pred_q) => compare_queries(&pred_q, &gold_q),
+        Err(_) => ComponentMatch::default(),
+    }
+}
+
+/// Evaluates a predictor on text-to-vis examples, splitting join/non-join.
+pub fn eval_text_to_vis(
+    predictor: &dyn Predictor,
+    examples: &[&TaskExample],
+    corpus: &Corpus,
+    cap: usize,
+) -> TextToVisScores {
+    let mut non_join = Vec::new();
+    let mut join = Vec::new();
+    let mut n_nj = 0usize;
+    let mut n_j = 0usize;
+    for e in examples {
+        let bucket_full = if e.has_join { n_j >= cap } else { n_nj >= cap };
+        if bucket_full {
+            continue;
+        }
+        let gold = e.gold_query.as_deref().unwrap_or_default();
+        let pred = predictor.predict(e);
+        let m = score_text_to_vis(&pred, gold, corpus, &e.db_name);
+        if e.has_join {
+            join.push(m);
+            n_j += 1;
+        } else {
+            non_join.push(m);
+            n_nj += 1;
+        }
+    }
+    TextToVisScores {
+        non_join: EmScores::from_matches(&non_join),
+        join: EmScores::from_matches(&join),
+    }
+}
+
+/// Table VI / VIII row: the seven text-generation metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TextGenScores {
+    pub bleu1: f64,
+    pub bleu2: f64,
+    pub bleu4: f64,
+    pub rouge1: f64,
+    pub rouge2: f64,
+    pub rouge_l: f64,
+    pub meteor: f64,
+    pub n: usize,
+}
+
+impl TextGenScores {
+    /// Computes all metrics over `(prediction, reference)` pairs.
+    pub fn compute(pairs: &[(String, String)]) -> TextGenScores {
+        TextGenScores {
+            bleu1: bleu(pairs, 1),
+            bleu2: bleu(pairs, 2),
+            bleu4: bleu(pairs, 4),
+            rouge1: rouge_n(pairs, 1),
+            rouge2: rouge_n(pairs, 2),
+            rouge_l: rouge_l(pairs),
+            meteor: meteor(pairs),
+            n: pairs.len(),
+        }
+    }
+
+    /// Mean of the seven metrics (Table XII per-task summary).
+    pub fn mean_metric(&self) -> f64 {
+        (self.bleu1 + self.bleu2 + self.bleu4 + self.rouge1 + self.rouge2 + self.rouge_l
+            + self.meteor)
+            / 7.0
+    }
+}
+
+/// Evaluates a predictor on a generative task.
+pub fn eval_text_gen(
+    predictor: &dyn Predictor,
+    examples: &[&TaskExample],
+    cap: usize,
+) -> TextGenScores {
+    let pairs: Vec<(String, String)> = examples
+        .iter()
+        .take(cap)
+        .map(|e| {
+            let pred = predictor.predict(e);
+            let reference = crate::data::strip_prefix(e.task, &e.output);
+            (pred, reference)
+        })
+        .collect();
+    TextGenScores::compute(&pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{Task, TaskDatasets};
+    use corpus::{CorpusConfig, Split};
+
+    /// A predictor that always returns the gold output.
+    struct Oracle;
+    impl Predictor for Oracle {
+        fn predict(&self, e: &TaskExample) -> String {
+            crate::data::strip_prefix(e.task, &e.output)
+        }
+    }
+
+    /// A predictor that returns nonsense.
+    struct Noise;
+    impl Predictor for Noise {
+        fn predict(&self, _e: &TaskExample) -> String {
+            "blorb".to_string()
+        }
+    }
+
+    fn fixtures() -> (Corpus, TaskDatasets) {
+        let corpus = Corpus::generate(&CorpusConfig {
+            seed: 17,
+            dbs_per_domain: 1,
+            queries_per_db: 6,
+            facts_per_db: 3,
+        });
+        let datasets = TaskDatasets::build(&corpus);
+        (corpus, datasets)
+    }
+
+    #[test]
+    fn oracle_scores_perfect_em() {
+        let (corpus, datasets) = fixtures();
+        let examples = datasets.of(Task::TextToVis, Split::Test);
+        let scores = eval_text_to_vis(&Oracle, &examples, &corpus, 50);
+        if scores.non_join.n > 0 {
+            assert_eq!(scores.non_join.em, 1.0);
+        }
+        if scores.join.n > 0 {
+            assert_eq!(scores.join.em, 1.0);
+        }
+        assert!(scores.mean_metric() > 0.99);
+    }
+
+    #[test]
+    fn noise_scores_zero_em() {
+        let (corpus, datasets) = fixtures();
+        let examples = datasets.of(Task::TextToVis, Split::Test);
+        let scores = eval_text_to_vis(&Noise, &examples, &corpus, 50);
+        assert_eq!(scores.non_join.em, 0.0);
+        assert_eq!(scores.mean_metric(), 0.0);
+    }
+
+    #[test]
+    fn oracle_text_gen_is_perfect() {
+        let (_, datasets) = fixtures();
+        let examples = datasets.of(Task::VisToText, Split::Test);
+        let scores = eval_text_gen(&Oracle, &examples, 20);
+        assert!(scores.bleu1 > 0.999);
+        assert!(scores.rouge_l > 0.999);
+        assert!(scores.meteor > 0.95);
+    }
+
+    #[test]
+    fn cap_limits_scored_examples() {
+        let (corpus, datasets) = fixtures();
+        let examples = datasets.of(Task::TextToVis, Split::Test);
+        let scores = eval_text_to_vis(&Oracle, &examples, &corpus, 2);
+        assert!(scores.non_join.n <= 2 && scores.join.n <= 2);
+    }
+
+    #[test]
+    fn partial_match_scores_components_independently() {
+        let (corpus, datasets) = fixtures();
+        let e = datasets
+            .of(Task::TextToVis, Split::Test)
+            .into_iter()
+            .find(|e| e.gold_query.as_deref().unwrap_or("").starts_with("visualize bar"))
+            .expect("a bar-chart example exists");
+        let gold = e.gold_query.clone().unwrap();
+        // Flip the chart type only.
+        let pred = gold.replacen("visualize bar", "visualize pie", 1);
+        let m = score_text_to_vis(&pred, &gold, &corpus, &e.db_name);
+        assert!(!m.vis);
+        assert!(m.axis && m.data);
+    }
+
+    #[test]
+    fn unparseable_prediction_scores_zero() {
+        let (corpus, datasets) = fixtures();
+        let e = &datasets.of(Task::TextToVis, Split::Test)[0];
+        let m = score_text_to_vis("not a query", e.gold_query.as_deref().unwrap(), &corpus, &e.db_name);
+        assert!(!m.vis && !m.axis && !m.data);
+    }
+}

@@ -1,0 +1,146 @@
+//! Database schema filtration (§III-B).
+//!
+//! NL questions mention tables, columns, and values. N-gram matching
+//! between the question and each table's identifiers selects the tables a
+//! question actually references; the sub-schema keeps those tables with
+//! all their columns (the paper filters at table level "to minimize
+//! information loss"). When nothing matches, the full schema is kept —
+//! dropping everything would starve the model of grounding.
+
+use vql::schema::DbSchema;
+
+/// Word n-grams (n = 1..=max_n) of a lowercased text.
+fn ngrams(text: &str, max_n: usize) -> Vec<String> {
+    let words: Vec<String> = text
+        .to_lowercase()
+        .split(|c: char| !c.is_alphanumeric() && c != '_')
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_string())
+        .collect();
+    let mut out = Vec::new();
+    for n in 1..=max_n {
+        for w in words.windows(n) {
+            out.push(w.join(" "));
+        }
+        // Underscore variant: "year join" also matches "year_join".
+        for w in words.windows(n) {
+            if n > 1 {
+                out.push(w.join("_"));
+            }
+        }
+    }
+    out
+}
+
+/// Whether a question references a table: its name, a column, or a
+/// column-phrase (underscores read as spaces) appears among the question
+/// n-grams.
+fn table_referenced(grams: &[String], table: &vql::schema::TableSchema) -> bool {
+    let tname = table.name.to_lowercase();
+    if grams.iter().any(|g| *g == tname) {
+        return true;
+    }
+    for col in &table.columns {
+        let c = col.to_lowercase();
+        let spaced = c.replace('_', " ");
+        if grams.iter().any(|g| *g == c || *g == spaced) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Filters a schema to the tables the question references (§III-B).
+///
+/// Returns the full schema when no table matches, so downstream encoding
+/// never sees an empty schema.
+pub fn filter_schema(question: &str, schema: &DbSchema) -> DbSchema {
+    let grams = ngrams(question, 3);
+    let kept: Vec<&str> = schema
+        .tables
+        .iter()
+        .filter(|t| table_referenced(&grams, t))
+        .map(|t| t.name.as_str())
+        .collect();
+    if kept.is_empty() {
+        schema.clone()
+    } else {
+        schema.restricted_to(&kept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vql::schema::TableSchema;
+
+    fn schema() -> DbSchema {
+        DbSchema::new(
+            "theme_gallery",
+            vec![
+                TableSchema::new(
+                    "artist",
+                    vec!["artist_id".into(), "country".into(), "year_join".into()],
+                ),
+                TableSchema::new(
+                    "exhibit",
+                    vec!["exhibit_id".into(), "theme".into(), "ticket_price".into()],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn table_name_mention_selects_table() {
+        let sub = filter_schema(
+            "give me a pie chart about the number of countries in the artist table",
+            &schema(),
+        );
+        assert_eq!(sub.tables.len(), 1);
+        assert_eq!(sub.tables[0].name, "artist");
+    }
+
+    #[test]
+    fn column_mention_selects_owner_table() {
+        let sub = filter_schema("show the ticket price distribution", &schema());
+        assert_eq!(sub.tables.len(), 1);
+        assert_eq!(sub.tables[0].name, "exhibit");
+    }
+
+    #[test]
+    fn underscored_column_matches_spaced_phrase() {
+        let sub = filter_schema("average year join per country", &schema());
+        assert_eq!(sub.tables[0].name, "artist");
+    }
+
+    #[test]
+    fn multiple_mentions_keep_both_tables() {
+        let sub = filter_schema(
+            "count exhibit themes for each artist country",
+            &schema(),
+        );
+        assert_eq!(sub.tables.len(), 2);
+    }
+
+    #[test]
+    fn no_match_keeps_full_schema() {
+        let sub = filter_schema("draw something nice", &schema());
+        assert_eq!(sub.tables.len(), 2);
+    }
+
+    #[test]
+    fn filtration_preserves_database_name() {
+        let sub = filter_schema("artist ages", &schema());
+        assert_eq!(sub.name, "theme_gallery");
+    }
+
+    #[test]
+    fn partial_words_do_not_match() {
+        // "art" is a prefix of "artist" but not an n-gram match.
+        let sub = filter_schema("the art of themes", &schema());
+        // "theme" singular is not "theme"? The column is "theme", which
+        // matches exactly.
+        assert!(sub.tables.iter().any(|t| t.name == "exhibit"));
+        assert!(!sub.tables.iter().any(|t| t.name == "artist") || sub.tables.len() == 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! DataVisT5: a pre-trained language model for jointly understanding text
+//! and data visualization — the reproduction's core crate.
+//!
+//! The pipeline follows Figure 2 of the paper:
+//!
+//! 1. **Database schema filtration** ([`filtration`]) — n-gram matching
+//!    between the NL question and table/column/value names selects a
+//!    semantically aligned sub-schema.
+//! 2. **DV knowledge encoding** ([`data`], building on `vql::encode`) —
+//!    DV queries, schemas, and tables linearize into one text surface.
+//! 3. **Standardized encoding** (`vql::standardize`) — stylistic
+//!    normalization of DV queries and qualified columns everywhere.
+//! 4. **Hybrid pre-training** ([`pretrain`]) — T5 span-corruption MLM plus
+//!    Bidirectional Dual-Corpus translation objectives over the unified
+//!    corpus.
+//! 5. **Multi-task fine-tuning** ([`finetune`]) — temperature-up-sampled
+//!    mixing (T = 2) of the four downstream tasks.
+//!
+//! [`zoo`] builds every model the paper compares (Seq2Vis, Transformer,
+//! ncNet, RGVisNet, BART, CodeT5+ SFT, GPT-4 few-shot simulation,
+//! LoRA-tuned large baselines, and DataVisT5 in two sizes), [`eval`] scores
+//! them with the paper's metrics, and [`case_study`] regenerates the
+//! qualitative tables.
+
+pub mod case_study;
+pub mod config;
+pub mod data;
+pub mod eval;
+pub mod filtration;
+pub mod finetune;
+pub mod pretrain;
+pub mod retrieval;
+pub mod zoo;
+
+pub use config::Scale;
+pub use data::{Task, TaskDatasets, TaskExample};
+pub use filtration::filter_schema;
+
+/// Deterministic 64-bit seed derived from a string key (FNV-1a).
+pub(crate) fn seed_of(key: &str) -> u64 {
+    key.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    })
+}

@@ -1,0 +1,176 @@
+//! TF-IDF retrieval over training examples.
+//!
+//! Two baselines need nearest-neighbour retrieval: RGVisNet retrieves a DV
+//! query prototype before revising it, and the GPT-4 few-shot simulator
+//! retrieves similar training examples as in-context demonstrations.
+
+use std::collections::HashMap;
+
+/// A TF-IDF index over a fixed document set.
+#[derive(Debug, Clone)]
+pub struct TfIdfIndex {
+    /// Per-document term frequency vectors (term id -> weight), L2
+    /// normalized.
+    doc_vectors: Vec<HashMap<usize, f64>>,
+    /// Vocabulary with document frequencies.
+    terms: HashMap<String, usize>,
+    idf: Vec<f64>,
+}
+
+impl TfIdfIndex {
+    /// Builds the index over tokenized documents.
+    pub fn build(docs: &[String]) -> TfIdfIndex {
+        let tokenized: Vec<Vec<String>> = docs.iter().map(|d| tokenize(d)).collect();
+        let mut terms: HashMap<String, usize> = HashMap::new();
+        let mut doc_freq: Vec<usize> = Vec::new();
+        for toks in &tokenized {
+            let mut seen = std::collections::HashSet::new();
+            for t in toks {
+                if seen.insert(t.clone()) {
+                    let id = *terms.entry(t.clone()).or_insert_with(|| {
+                        doc_freq.push(0);
+                        doc_freq.len() - 1
+                    });
+                    doc_freq[id] += 1;
+                }
+            }
+        }
+        let n = docs.len().max(1) as f64;
+        let idf: Vec<f64> = doc_freq
+            .iter()
+            .map(|&df| (n / (1.0 + df as f64)).ln() + 1.0)
+            .collect();
+        let doc_vectors = tokenized
+            .iter()
+            .map(|toks| vectorize(toks, &terms, &idf))
+            .collect();
+        TfIdfIndex {
+            doc_vectors,
+            terms,
+            idf,
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.doc_vectors.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.doc_vectors.is_empty()
+    }
+
+    /// Indices of the `k` most similar documents (best first).
+    pub fn top_k(&self, query: &str, k: usize) -> Vec<usize> {
+        let q = vectorize(&tokenize(query), &self.terms, &self.idf);
+        let mut scored: Vec<(usize, f64)> = self
+            .doc_vectors
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (i, cosine(&q, d)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.into_iter().take(k).map(|(i, _)| i).collect()
+    }
+
+    /// The single most similar document.
+    pub fn nearest(&self, query: &str) -> Option<usize> {
+        self.top_k(query, 1).first().copied()
+    }
+}
+
+fn tokenize(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric() && c != '_' && c != '.')
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_string())
+        .collect()
+}
+
+fn vectorize(
+    tokens: &[String],
+    terms: &HashMap<String, usize>,
+    idf: &[f64],
+) -> HashMap<usize, f64> {
+    let mut tf: HashMap<usize, f64> = HashMap::new();
+    for t in tokens {
+        if let Some(&id) = terms.get(t) {
+            *tf.entry(id).or_insert(0.0) += 1.0;
+        }
+    }
+    for (id, w) in tf.iter_mut() {
+        *w *= idf[*id];
+    }
+    let norm: f64 = tf.values().map(|w| w * w).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for w in tf.values_mut() {
+            *w /= norm;
+        }
+    }
+    tf
+}
+
+fn cosine(a: &HashMap<usize, f64>, b: &HashMap<usize, f64>) -> f64 {
+    let (small, big) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small
+        .iter()
+        .filter_map(|(id, w)| big.get(id).map(|v| w * v))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<String> {
+        vec![
+            "show the number of artists per country in a pie chart".into(),
+            "average base price of rooms by decor scatter".into(),
+            "count players for each team in a bar chart".into(),
+        ]
+    }
+
+    #[test]
+    fn nearest_finds_lexical_match() {
+        let idx = TfIdfIndex::build(&docs());
+        assert_eq!(idx.nearest("price of rooms by decor"), Some(1));
+        assert_eq!(idx.nearest("how many artists in each country"), Some(0));
+    }
+
+    #[test]
+    fn top_k_orders_by_similarity() {
+        let idx = TfIdfIndex::build(&docs());
+        let top = idx.top_k("chart of players per team", 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0], 2);
+    }
+
+    #[test]
+    fn idf_downweights_common_words() {
+        // "chart" appears in two docs; "decor" only in one. A query with
+        // both should prefer the decor doc.
+        let idx = TfIdfIndex::build(&docs());
+        assert_eq!(idx.nearest("decor chart"), Some(1));
+    }
+
+    #[test]
+    fn empty_query_is_safe() {
+        let idx = TfIdfIndex::build(&docs());
+        let top = idx.top_k("", 2);
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn empty_index_is_safe() {
+        let idx = TfIdfIndex::build(&[]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.nearest("anything"), None);
+    }
+
+    #[test]
+    fn qualified_columns_are_single_terms() {
+        let idx = TfIdfIndex::build(&["select artist.country from artist".to_string()]);
+        assert!(idx.terms.contains_key("artist.country"));
+    }
+}

@@ -1,0 +1,715 @@
+//! Seeded generation of relational databases across subject domains.
+//!
+//! Fifteen domain templates (arts, sports, education, …) each instantiate
+//! one or more database instances with independently sampled rows. The
+//! domains stand in for the Spider databases behind NVBench/FeVisQA: small
+//! dimension tables joined by foreign keys to larger fact tables, with a
+//! mix of categorical, numeric, year, and date columns so that every chart
+//! type and aggregate has natural targets.
+//!
+//! Categorical values are single tokens (underscored), which keeps the NL,
+//! VQL, and schema modalities over one whitespace-token vocabulary.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use storage::{Column, ColumnType, Database, Date, Table, Value};
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainConfig {
+    pub seed: u64,
+    pub instances_per_domain: usize,
+}
+
+/// How a column's values are produced.
+#[derive(Debug, Clone, Copy)]
+enum Gen {
+    /// 1, 2, 3, … (primary key).
+    Serial,
+    /// Pick from a word list (unique-ish names).
+    Name(&'static [&'static str]),
+    /// Pick from a small category list (repeats expected).
+    Category(&'static [&'static str]),
+    Int(i64, i64),
+    Float(f64, f64),
+    Year(i32, i32),
+    Date(i32, i32),
+    /// Foreign key into the serial ids of an earlier table in the spec.
+    Fk(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ColSpec {
+    name: &'static str,
+    ty: ColumnType,
+    gen: Gen,
+}
+
+#[derive(Debug, Clone)]
+struct TableSpec {
+    name: &'static str,
+    min_rows: usize,
+    max_rows: usize,
+    cols: Vec<ColSpec>,
+}
+
+#[derive(Debug, Clone)]
+struct DomainSpec {
+    domain: &'static str,
+    db_base: &'static str,
+    tables: Vec<TableSpec>,
+}
+
+const NAMES: &[&str] = &[
+    "vijay", "ford", "oliver", "noah", "emma", "mia", "lucas", "sofia", "ravi", "chen", "anna",
+    "marco", "lena", "omar", "jade", "felix", "nina", "theo", "iris", "hugo", "maya", "liam",
+    "zara", "axel",
+];
+const COUNTRIES: &[&str] = &[
+    "united_states", "england", "france", "japan", "brazil", "india", "canada", "germany",
+];
+const CITIES: &[&str] = &[
+    "springfield", "riverton", "lakeview", "hillcrest", "maplewood", "stonebridge",
+];
+const COLORS: &[&str] = &["red", "blue", "green", "amber", "violet"];
+
+fn col(name: &'static str, ty: ColumnType, gen: Gen) -> ColSpec {
+    ColSpec { name, ty, gen }
+}
+
+fn table(name: &'static str, rows: (usize, usize), cols: Vec<ColSpec>) -> TableSpec {
+    TableSpec {
+        name,
+        min_rows: rows.0,
+        max_rows: rows.1,
+        cols,
+    }
+}
+
+fn domain_specs() -> Vec<DomainSpec> {
+    use ColumnType::{Date as D, Float as F, Int as I, Text as T};
+    vec![
+        DomainSpec {
+            domain: "arts",
+            db_base: "theme_gallery",
+            tables: vec![
+                table(
+                    "artist",
+                    (5, 8),
+                    vec![
+                        col("artist_id", I, Gen::Serial),
+                        col("name", T, Gen::Name(NAMES)),
+                        col("country", T, Gen::Category(COUNTRIES)),
+                        col("age", I, Gen::Int(22, 60)),
+                        col("year_join", I, Gen::Year(2005, 2015)),
+                    ],
+                ),
+                table(
+                    "exhibit",
+                    (10, 18),
+                    vec![
+                        col("exhibit_id", I, Gen::Serial),
+                        col("artist_id", I, Gen::Fk(0)),
+                        col("theme", T, Gen::Category(&["summer", "winter", "spring", "autumn"])),
+                        col("open_date", D, Gen::Date(2018, 2021)),
+                        col("ticket_price", F, Gen::Float(5.0, 40.0)),
+                    ],
+                ),
+            ],
+        },
+        DomainSpec {
+            domain: "sports",
+            db_base: "soccer",
+            tables: vec![
+                table(
+                    "team",
+                    (4, 6),
+                    vec![
+                        col("team_id", I, Gen::Serial),
+                        col("name", T, Gen::Category(&[
+                            "columbus_crew",
+                            "river_united",
+                            "lake_rovers",
+                            "hill_rangers",
+                            "stone_city",
+                            "maple_fc",
+                        ])),
+                        col("city", T, Gen::Category(CITIES)),
+                        col("founded", I, Gen::Year(1950, 2000)),
+                    ],
+                ),
+                table(
+                    "player",
+                    (12, 20),
+                    vec![
+                        col("player_id", I, Gen::Serial),
+                        col("name", T, Gen::Name(NAMES)),
+                        col("team_id", I, Gen::Fk(0)),
+                        col("years_played", I, Gen::Int(1, 15)),
+                        col("goals", I, Gen::Int(0, 40)),
+                    ],
+                ),
+            ],
+        },
+        DomainSpec {
+            domain: "education",
+            db_base: "college",
+            tables: vec![
+                table(
+                    "department",
+                    (4, 6),
+                    vec![
+                        col("dept_id", I, Gen::Serial),
+                        col("name", T, Gen::Category(&[
+                            "physics", "history", "biology", "mathematics", "literature", "chemistry",
+                        ])),
+                        col("budget", F, Gen::Float(100.0, 900.0)),
+                    ],
+                ),
+                table(
+                    "student",
+                    (12, 20),
+                    vec![
+                        col("stuid", I, Gen::Serial),
+                        col("lname", T, Gen::Name(NAMES)),
+                        col("dept_id", I, Gen::Fk(0)),
+                        col("age", I, Gen::Int(18, 30)),
+                        col("gpa", F, Gen::Float(2.0, 4.0)),
+                    ],
+                ),
+            ],
+        },
+        DomainSpec {
+            domain: "hospitality",
+            db_base: "inn",
+            tables: vec![
+                table(
+                    "rooms",
+                    (6, 9),
+                    vec![
+                        col("roomid", I, Gen::Serial),
+                        col("roomname", T, Gen::Category(&[
+                            "recluse", "interim", "frontier", "harbor", "meadow", "cedar", "willow",
+                        ])),
+                        col("bedtype", T, Gen::Category(&["king", "queen", "double"])),
+                        col("baseprice", F, Gen::Float(60.0, 250.0)),
+                        col("decor", T, Gen::Category(&["modern", "rustic", "traditional"])),
+                    ],
+                ),
+                table(
+                    "reservations",
+                    (12, 20),
+                    vec![
+                        col("code", I, Gen::Serial),
+                        col("room", I, Gen::Fk(0)),
+                        col("checkin", D, Gen::Date(2019, 2021)),
+                        col("adults", I, Gen::Int(1, 4)),
+                        col("rate", F, Gen::Float(60.0, 300.0)),
+                    ],
+                ),
+            ],
+        },
+        DomainSpec {
+            domain: "aviation",
+            db_base: "airline",
+            tables: vec![
+                table(
+                    "airport",
+                    (4, 6),
+                    vec![
+                        col("airport_id", I, Gen::Serial),
+                        col("city", T, Gen::Category(CITIES)),
+                        col("country", T, Gen::Category(COUNTRIES)),
+                        col("elevation", I, Gen::Int(0, 2400)),
+                    ],
+                ),
+                table(
+                    "flight",
+                    (12, 20),
+                    vec![
+                        col("flight_id", I, Gen::Serial),
+                        col("origin", I, Gen::Fk(0)),
+                        col("distance", I, Gen::Int(200, 9000)),
+                        col("depart_date", D, Gen::Date(2019, 2021)),
+                        col("price", F, Gen::Float(80.0, 900.0)),
+                    ],
+                ),
+            ],
+        },
+        DomainSpec {
+            domain: "retail",
+            db_base: "store",
+            tables: vec![
+                table(
+                    "product",
+                    (6, 9),
+                    vec![
+                        col("product_id", I, Gen::Serial),
+                        col("name", T, Gen::Category(&[
+                            "lamp", "chair", "desk", "sofa", "shelf", "stool", "bench",
+                        ])),
+                        col("category", T, Gen::Category(&["lighting", "seating", "storage"])),
+                        col("price", F, Gen::Float(10.0, 400.0)),
+                    ],
+                ),
+                table(
+                    "orders",
+                    (12, 22),
+                    vec![
+                        col("order_id", I, Gen::Serial),
+                        col("product_id", I, Gen::Fk(0)),
+                        col("quantity", I, Gen::Int(1, 12)),
+                        col("order_date", D, Gen::Date(2020, 2022)),
+                        col("total", F, Gen::Float(10.0, 900.0)),
+                    ],
+                ),
+            ],
+        },
+        DomainSpec {
+            domain: "entertainment",
+            db_base: "film_rank",
+            tables: vec![
+                table(
+                    "film",
+                    (5, 8),
+                    vec![
+                        col("film_id", I, Gen::Serial),
+                        col("title", T, Gen::Category(&[
+                            "journey", "horizon", "eclipse", "mirage", "cascade", "ember",
+                        ])),
+                        col("studio", T, Gen::Category(&["sallim", "northstar", "bluepine"])),
+                        col("gross_in_dollar", I, Gen::Int(100, 9000)),
+                        col("type", T, Gen::Category(&[
+                            "mass_suicide",
+                            "mass_human_sacrifice",
+                            "mass_suicide_murder",
+                        ])),
+                    ],
+                ),
+                table(
+                    "film_market_estimation",
+                    (10, 16),
+                    vec![
+                        col("estimation_id", I, Gen::Serial),
+                        col("film_id", I, Gen::Fk(0)),
+                        col("low_estimate", I, Gen::Int(10, 400)),
+                        col("high_estimate", I, Gen::Int(400, 2000)),
+                        col("year", I, Gen::Year(1990, 2015)),
+                    ],
+                ),
+            ],
+        },
+        DomainSpec {
+            domain: "academia",
+            db_base: "conference",
+            tables: vec![
+                table(
+                    "author",
+                    (5, 8),
+                    vec![
+                        col("author_id", I, Gen::Serial),
+                        col("name", T, Gen::Name(NAMES)),
+                        col("institution", T, Gen::Category(&[
+                            "polyu", "hkust", "mit", "oxford", "eth",
+                        ])),
+                        col("h_index", I, Gen::Int(3, 60)),
+                    ],
+                ),
+                table(
+                    "paper",
+                    (12, 18),
+                    vec![
+                        col("paper_id", I, Gen::Serial),
+                        col("author_id", I, Gen::Fk(0)),
+                        col("area", T, Gen::Category(&["database", "vision", "nlp", "systems"])),
+                        col("citations", I, Gen::Int(0, 500)),
+                        col("year", I, Gen::Year(2010, 2023)),
+                    ],
+                ),
+            ],
+        },
+        DomainSpec {
+            domain: "transport",
+            db_base: "railway",
+            tables: vec![
+                table(
+                    "station",
+                    (4, 7),
+                    vec![
+                        col("station_id", I, Gen::Serial),
+                        col("name", T, Gen::Category(CITIES)),
+                        col("platforms", I, Gen::Int(2, 12)),
+                    ],
+                ),
+                table(
+                    "train",
+                    (10, 18),
+                    vec![
+                        col("train_id", I, Gen::Serial),
+                        col("origin_id", I, Gen::Fk(0)),
+                        col("line_color", T, Gen::Category(COLORS)),
+                        col("capacity", I, Gen::Int(120, 800)),
+                        col("service_date", D, Gen::Date(2018, 2022)),
+                    ],
+                ),
+            ],
+        },
+        DomainSpec {
+            domain: "hr",
+            db_base: "company",
+            tables: vec![
+                table(
+                    "office",
+                    (4, 6),
+                    vec![
+                        col("office_id", I, Gen::Serial),
+                        col("location", T, Gen::Category(CITIES)),
+                        col("floor_count", I, Gen::Int(1, 30)),
+                    ],
+                ),
+                table(
+                    "employee",
+                    (12, 22),
+                    vec![
+                        col("employee_id", I, Gen::Serial),
+                        col("first_name", T, Gen::Name(NAMES)),
+                        col("office_id", I, Gen::Fk(0)),
+                        col("salary", F, Gen::Float(30.0, 150.0)),
+                        col("hire_year", I, Gen::Year(2008, 2022)),
+                    ],
+                ),
+            ],
+        },
+        DomainSpec {
+            domain: "health",
+            db_base: "hospital",
+            tables: vec![
+                table(
+                    "doctor",
+                    (4, 7),
+                    vec![
+                        col("doctor_id", I, Gen::Serial),
+                        col("name", T, Gen::Name(NAMES)),
+                        col("specialty", T, Gen::Category(&[
+                            "cardiology", "oncology", "pediatrics", "neurology",
+                        ])),
+                        col("experience", I, Gen::Int(1, 35)),
+                    ],
+                ),
+                table(
+                    "patient",
+                    (12, 20),
+                    vec![
+                        col("patient_id", I, Gen::Serial),
+                        col("doctor_id", I, Gen::Fk(0)),
+                        col("age", I, Gen::Int(1, 95)),
+                        col("admit_date", D, Gen::Date(2019, 2022)),
+                        col("bill", F, Gen::Float(50.0, 2000.0)),
+                    ],
+                ),
+            ],
+        },
+        DomainSpec {
+            domain: "finance",
+            db_base: "bank",
+            tables: vec![
+                table(
+                    "branch",
+                    (4, 6),
+                    vec![
+                        col("branch_id", I, Gen::Serial),
+                        col("city", T, Gen::Category(CITIES)),
+                        col("opened", I, Gen::Year(1980, 2015)),
+                    ],
+                ),
+                table(
+                    "account",
+                    (12, 22),
+                    vec![
+                        col("account_id", I, Gen::Serial),
+                        col("branch_id", I, Gen::Fk(0)),
+                        col("kind", T, Gen::Category(&["savings", "checking", "business"])),
+                        col("balance", F, Gen::Float(100.0, 9000.0)),
+                    ],
+                ),
+            ],
+        },
+        DomainSpec {
+            domain: "music",
+            db_base: "concert_hall",
+            tables: vec![
+                table(
+                    "singer",
+                    (5, 8),
+                    vec![
+                        col("singer_id", I, Gen::Serial),
+                        col("name", T, Gen::Name(NAMES)),
+                        col("genre", T, Gen::Category(&["jazz", "opera", "folk", "rock"])),
+                        col("albums", I, Gen::Int(1, 20)),
+                    ],
+                ),
+                table(
+                    "concert",
+                    (10, 16),
+                    vec![
+                        col("concert_id", I, Gen::Serial),
+                        col("singer_id", I, Gen::Fk(0)),
+                        col("attendance", I, Gen::Int(100, 5000)),
+                        col("held_date", D, Gen::Date(2017, 2022)),
+                    ],
+                ),
+            ],
+        },
+        DomainSpec {
+            domain: "food",
+            db_base: "restaurant",
+            tables: vec![
+                table(
+                    "chef",
+                    (4, 6),
+                    vec![
+                        col("chef_id", I, Gen::Serial),
+                        col("name", T, Gen::Name(NAMES)),
+                        col("cuisine", T, Gen::Category(&["italian", "sichuan", "mexican", "thai"])),
+                        col("stars", I, Gen::Int(1, 3)),
+                    ],
+                ),
+                table(
+                    "dish",
+                    (10, 18),
+                    vec![
+                        col("dish_id", I, Gen::Serial),
+                        col("chef_id", I, Gen::Fk(0)),
+                        col("course", T, Gen::Category(&["starter", "main", "dessert"])),
+                        col("price", F, Gen::Float(4.0, 60.0)),
+                        col("calories", I, Gen::Int(80, 1200)),
+                    ],
+                ),
+            ],
+        },
+        DomainSpec {
+            domain: "tech",
+            db_base: "software",
+            tables: vec![
+                table(
+                    "developer",
+                    (5, 8),
+                    vec![
+                        col("developer_id", I, Gen::Serial),
+                        col("name", T, Gen::Name(NAMES)),
+                        col("country", T, Gen::Category(COUNTRIES)),
+                        col("experience", I, Gen::Int(1, 25)),
+                    ],
+                ),
+                table(
+                    "app",
+                    (10, 18),
+                    vec![
+                        col("app_id", I, Gen::Serial),
+                        col("developer_id", I, Gen::Fk(0)),
+                        col("platform", T, Gen::Category(&["web", "mobile", "desktop"])),
+                        col("downloads", I, Gen::Int(100, 90000)),
+                        col("release_date", D, Gen::Date(2016, 2023)),
+                    ],
+                ),
+            ],
+        },
+    ]
+}
+
+/// Number of distinct domains (used by statistics tables).
+pub fn domain_count() -> usize {
+    domain_specs().len()
+}
+
+/// Generates every database instance under the configuration.
+pub fn generate_databases(cfg: &DomainConfig) -> Vec<Database> {
+    let specs = domain_specs();
+    let mut out = Vec::with_capacity(specs.len() * cfg.instances_per_domain);
+    for (d, spec) in specs.iter().enumerate() {
+        for i in 0..cfg.instances_per_domain {
+            let seed = cfg
+                .seed
+                .wrapping_mul(0x9e37_79b9)
+                .wrapping_add((d * 131 + i) as u64);
+            out.push(instantiate(spec, i + 1, seed));
+        }
+    }
+    out
+}
+
+fn instantiate(spec: &DomainSpec, instance: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let name = format!("{}_{instance}", spec.db_base);
+    let mut db = Database::new(name, spec.domain);
+    let mut serial_counts: Vec<usize> = Vec::with_capacity(spec.tables.len());
+    for tspec in &spec.tables {
+        let n_rows = rng.gen_range(tspec.min_rows..=tspec.max_rows);
+        let columns = tspec
+            .cols
+            .iter()
+            .map(|c| Column::new(c.name, c.ty))
+            .collect();
+        let mut t = Table::new(tspec.name, columns);
+        for r in 0..n_rows {
+            let row = tspec
+                .cols
+                .iter()
+                .map(|c| generate_value(c, r, &serial_counts, &mut rng))
+                .collect();
+            t.push_row(row);
+        }
+        serial_counts.push(n_rows);
+        db.add_table(t);
+    }
+    db
+}
+
+fn generate_value(c: &ColSpec, row: usize, serials: &[usize], rng: &mut StdRng) -> Value {
+    match c.gen {
+        Gen::Serial => Value::Int(row as i64 + 1),
+        Gen::Name(pool) | Gen::Category(pool) => {
+            Value::Text(pool[rng.gen_range(0..pool.len())].to_string())
+        }
+        Gen::Int(lo, hi) => Value::Int(rng.gen_range(lo..=hi)),
+        Gen::Float(lo, hi) => {
+            // Two-decimal precision keeps table linearizations short.
+            let v = rng.gen_range(lo..hi);
+            Value::Float((v * 100.0).round() / 100.0)
+        }
+        Gen::Year(lo, hi) => Value::Int(rng.gen_range(lo..=hi) as i64),
+        Gen::Date(ylo, yhi) => {
+            let y = rng.gen_range(ylo..=yhi);
+            let m = rng.gen_range(1..=12u8);
+            let d = rng.gen_range(1..=28u8);
+            Value::Date(Date::new(y, m, d))
+        }
+        Gen::Fk(t) => {
+            let n = serials.get(t).copied().unwrap_or(1).max(1);
+            Value::Int(rng.gen_range(1..=n as i64))
+        }
+    }
+}
+
+/// Human phrase for a column (NL templates): underscores become spaces.
+pub fn column_phrase(column: &str) -> String {
+    column.replace('_', " ")
+}
+
+/// The canonical join path of a database: fact-table FK → dim-table PK.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinInfo {
+    pub dim_table: String,
+    pub pk: String,
+    pub fact_table: String,
+    pub fk: String,
+}
+
+/// Join metadata for a generated database (by naming convention,
+/// `<base>_<instance>`). Returns `None` for unknown names.
+pub fn join_info(db_name: &str) -> Option<JoinInfo> {
+    let base = db_name.rsplit_once('_').map(|(b, _)| b).unwrap_or(db_name);
+    let specs = domain_specs();
+    let spec = specs.iter().find(|s| s.db_base == base)?;
+    let dim = &spec.tables[0];
+    let fact = &spec.tables[1];
+    let fk = fact
+        .cols
+        .iter()
+        .find(|c| matches!(c.gen, Gen::Fk(_)))?
+        .name
+        .to_string();
+    Some(JoinInfo {
+        dim_table: dim.name.to_string(),
+        pk: dim.cols[0].name.to_string(),
+        fact_table: fact.name.to_string(),
+        fk,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DomainConfig {
+        DomainConfig {
+            seed: 42,
+            instances_per_domain: 2,
+        }
+    }
+
+    #[test]
+    fn generates_instances_for_every_domain() {
+        let dbs = generate_databases(&cfg());
+        assert_eq!(dbs.len(), domain_count() * 2);
+        // Names unique.
+        let mut names: Vec<&str> = dbs.iter().map(|d| d.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), dbs.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_databases(&cfg());
+        let b = generate_databases(&cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn instances_differ_in_content() {
+        let dbs = generate_databases(&cfg());
+        let a = &dbs[0];
+        let b = &dbs[1];
+        assert_eq!(a.domain, b.domain);
+        assert_ne!(a.tables[0].rows, b.tables[0].rows);
+    }
+
+    #[test]
+    fn foreign_keys_reference_existing_rows() {
+        let dbs = generate_databases(&cfg());
+        for db in &dbs {
+            // Convention: second table's Fk column points at first table's
+            // serial ids.
+            let dim_rows = db.tables[0].rows.len() as i64;
+            let fact = &db.tables[1];
+            for (ci, col) in fact.columns.iter().enumerate() {
+                if col.name.ends_with("_id") || col.name == "room" {
+                    for row in &fact.rows {
+                        if let Value::Int(v) = row[ci] {
+                            if ci != 0 {
+                                assert!(v >= 1 && v <= dim_rows.max(v), "fk out of range");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_database_has_joinable_pair() {
+        let dbs = generate_databases(&cfg());
+        for db in &dbs {
+            assert!(db.tables.len() >= 2, "{} lacks a join partner", db.name);
+        }
+    }
+
+    #[test]
+    fn schema_views_are_well_formed() {
+        let dbs = generate_databases(&cfg());
+        for db in &dbs {
+            let schema = db.schema();
+            assert!(!schema.tables.is_empty());
+            for t in &schema.tables {
+                assert!(t.columns.len() >= 3, "{} too narrow", t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn phrases_strip_underscores() {
+        assert_eq!(column_phrase("year_join"), "year join");
+        assert_eq!(column_phrase("price"), "price");
+    }
+}

@@ -1,0 +1,200 @@
+//! JSONL export of the generated corpora.
+//!
+//! Reproducibility artifact: the synthetic NVBench / Chart2Text /
+//! WikiTableText / FeVisQA datasets serialize to JSON-lines files in the
+//! layout the original releases use (one example per line with split
+//! annotations), so external tooling can consume them without linking this
+//! crate.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::Serialize;
+
+use crate::{Corpus, QuestionType};
+
+#[derive(Serialize)]
+struct NvRecord<'a> {
+    db_id: &'a str,
+    split: &'a str,
+    question: &'a str,
+    vql: &'a str,
+    description: &'a str,
+    /// "join" / "non-join" (the Table IV split).
+    join_class: &'a str,
+    /// NVBench-style difficulty from the query's clause count.
+    hardness: &'static str,
+}
+
+#[derive(Serialize)]
+struct QaRecord<'a> {
+    db_id: &'a str,
+    split: &'a str,
+    question_type: u8,
+    question: &'a str,
+    vql: &'a str,
+    table: String,
+    answer: &'a str,
+}
+
+#[derive(Serialize)]
+struct TableRecord<'a> {
+    db_id: &'a str,
+    split: &'a str,
+    source: &'a str,
+    table: String,
+    description: &'a str,
+}
+
+/// Serializes one dataset record per line.
+fn write_jsonl<T: Serialize>(path: &Path, records: &[T]) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for r in records {
+        serde_json::to_writer(&mut f, r)?;
+        f.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Exports every dataset of a corpus into `dir` as
+/// `nvbench.jsonl`, `fevisqa.jsonl`, and `tabletext.jsonl`.
+pub fn export_jsonl(corpus: &Corpus, dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let split_label = |db: &str| corpus.split_of(db).label();
+
+    let nv: Vec<NvRecord> = corpus
+        .nvbench
+        .iter()
+        .map(|e| NvRecord {
+            db_id: &e.db_name,
+            split: split_label(&e.db_name),
+            question: &e.question,
+            vql: &e.query,
+            description: &e.description,
+            join_class: if e.has_join { "join" } else { "non-join" },
+            hardness: vql::parse_query(&e.query)
+                .map(|q| q.hardness().label())
+                .unwrap_or("unknown"),
+        })
+        .collect();
+    write_jsonl(&dir.join("nvbench.jsonl"), &nv)?;
+
+    let qa: Vec<QaRecord> = corpus
+        .fevisqa
+        .iter()
+        .map(|e| QaRecord {
+            db_id: &e.db_name,
+            split: split_label(&e.db_name),
+            question_type: match e.question_type {
+                QuestionType::Type1 => 1,
+                QuestionType::Type2 => 2,
+                QuestionType::Type3 => 3,
+            },
+            question: &e.question,
+            vql: &e.query,
+            table: vql::encode::encode_table(&e.table),
+            answer: &e.answer,
+        })
+        .collect();
+    write_jsonl(&dir.join("fevisqa.jsonl"), &qa)?;
+
+    let tt: Vec<TableRecord> = corpus
+        .chart2text
+        .iter()
+        .map(|e| (e, "chart2text"))
+        .chain(corpus.wikitabletext.iter().map(|e| (e, "wikitabletext")))
+        .map(|(e, source)| TableRecord {
+            db_id: &e.db_name,
+            split: split_label(&e.db_name),
+            source,
+            table: vql::encode::encode_table(&e.table),
+            description: &e.description,
+        })
+        .collect();
+    write_jsonl(&dir.join("tabletext.jsonl"), &tt)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CorpusConfig;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("datavist5_export_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn corpus() -> Corpus {
+        Corpus::generate(&CorpusConfig {
+            seed: 5,
+            dbs_per_domain: 1,
+            queries_per_db: 4,
+            facts_per_db: 2,
+        })
+    }
+
+    #[test]
+    fn exports_three_files_with_valid_json() {
+        let dir = tmp_dir("basic");
+        let c = corpus();
+        export_jsonl(&c, &dir).unwrap();
+        for name in ["nvbench.jsonl", "fevisqa.jsonl", "tabletext.jsonl"] {
+            let text = std::fs::read_to_string(dir.join(name)).unwrap();
+            assert!(!text.is_empty(), "{name} empty");
+            for line in text.lines() {
+                let v: serde_json::Value = serde_json::from_str(line).unwrap();
+                assert!(v["db_id"].is_string());
+                assert!(v["split"].is_string());
+            }
+        }
+    }
+
+    #[test]
+    fn record_counts_match_corpus() {
+        let dir = tmp_dir("counts");
+        let c = corpus();
+        export_jsonl(&c, &dir).unwrap();
+        let count = |name: &str| {
+            std::fs::read_to_string(dir.join(name))
+                .unwrap()
+                .lines()
+                .count()
+        };
+        assert_eq!(count("nvbench.jsonl"), c.nvbench.len());
+        assert_eq!(count("fevisqa.jsonl"), c.fevisqa.len());
+        assert_eq!(
+            count("tabletext.jsonl"),
+            c.chart2text.len() + c.wikitabletext.len()
+        );
+    }
+
+    #[test]
+    fn join_class_tracks_joins() {
+        let dir = tmp_dir("hardness");
+        let c = corpus();
+        export_jsonl(&c, &dir).unwrap();
+        let text = std::fs::read_to_string(dir.join("nvbench.jsonl")).unwrap();
+        let joins = text
+            .lines()
+            .filter(|l| l.contains("\"join_class\":\"join\""))
+            .count();
+        let expected = c.nvbench.iter().filter(|e| e.has_join).count();
+        assert_eq!(joins, expected);
+    }
+
+    #[test]
+    fn hardness_levels_cover_multiple_classes() {
+        let dir = tmp_dir("levels");
+        let c = corpus();
+        export_jsonl(&c, &dir).unwrap();
+        let text = std::fs::read_to_string(dir.join("nvbench.jsonl")).unwrap();
+        let classes: Vec<&str> = ["easy", "medium", "hard", "extra-hard"]
+            .into_iter()
+            .filter(|h| text.contains(&format!("\"hardness\":\"{h}\"")))
+            .collect();
+        assert!(classes.len() >= 2, "only {classes:?} present");
+        assert!(!text.contains("\"hardness\":\"unknown\""));
+    }
+}

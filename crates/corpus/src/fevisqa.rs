@@ -1,0 +1,260 @@
+//! FeVisQA: free-form question answering over data visualization.
+//!
+//! Three question types following Song et al. (2024):
+//!
+//! * **Type 1** — semantic interpretation ("what is the meaning of this DV
+//!   query?"), answered from the query's verbalized description;
+//! * **Type 2** — suitability ("is this DV query suitable for the given
+//!   database?"), with negatives built by corrupting the query against a
+//!   foreign schema;
+//! * **Type 3** — data/structure questions ("how many parts are there in
+//!   the chart?", "what is the value of the smallest part?", …) whose
+//!   answers are *computed by executing the query* on the storage engine,
+//!   so ground truth is always consistent with the rendered chart.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use storage::Database;
+use vql::encode::LinearTable;
+
+use crate::nvbench::{verbalize_description, NvBenchExample};
+
+/// FeVisQA question taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuestionType {
+    /// Semantics of a DV query.
+    Type1,
+    /// DV–dataset compatibility.
+    Type2,
+    /// Data retrieval / chart structure.
+    Type3,
+}
+
+/// One QA example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeVisQaExample {
+    pub db_name: String,
+    pub question_type: QuestionType,
+    pub question: String,
+    /// The DV query under discussion (standardized text).
+    pub query: String,
+    /// Executed result table (context for the model).
+    pub table: LinearTable,
+    pub answer: String,
+}
+
+/// Generates QA pairs for every NVBench example.
+pub fn generate(
+    databases: &[Database],
+    nvbench: &[NvBenchExample],
+    seed: u64,
+) -> Vec<FeVisQaExample> {
+    let mut out = Vec::new();
+    for (i, e) in nvbench.iter().enumerate() {
+        let Some(db) = databases.iter().find(|d| d.name == e.db_name) else {
+            continue;
+        };
+        let Ok(query) = vql::parse_query(&e.query) else {
+            continue;
+        };
+        let Ok(result) = storage::execute(&query, db) else {
+            continue;
+        };
+        let chart = storage::to_chart(&query, &result);
+        let table = result.to_linear();
+        let mut rng = StdRng::seed_from_u64(seed ^ (i as u64));
+
+        // Type 1: meaning.
+        if rng.gen_bool(0.5) {
+            let answer = verbalize_description(&query, &mut rng);
+            out.push(FeVisQaExample {
+                db_name: e.db_name.clone(),
+                question_type: QuestionType::Type1,
+                question: "what is the meaning of this dv query ?".to_string(),
+                query: e.query.clone(),
+                table: table.clone(),
+                answer,
+            });
+        }
+
+        // Type 2: suitability — positive for the native schema, negative
+        // for a corrupted query referencing a foreign table.
+        {
+            let suitable = rng.gen_bool(0.5);
+            let (query_text, answer) = if suitable {
+                (e.query.clone(), "yes , the dv query fits the database".to_string())
+            } else {
+                let foreign = databases
+                    .iter()
+                    .find(|d| d.name != e.db_name)
+                    .map(|d| d.tables[0].name.clone())
+                    .unwrap_or_else(|| "unknown_table".to_string());
+                let corrupted = e.query.replace(&format!("from {}", query.from), &format!("from {foreign}"));
+                (
+                    corrupted,
+                    "no , the dv query references tables missing from the database".to_string(),
+                )
+            };
+            out.push(FeVisQaExample {
+                db_name: e.db_name.clone(),
+                question_type: QuestionType::Type2,
+                question: "is this dv query suitable for the given database ?".to_string(),
+                query: query_text,
+                table: table.clone(),
+                answer,
+            });
+        }
+
+        // Type 3: rule-generated numeric/structural questions (several per
+        // chart, mirroring the paper's dominant type share).
+        let y_label = table
+            .headers
+            .get(1)
+            .cloned()
+            .unwrap_or_else(|| "the y axis".to_string());
+        let mut type3: Vec<(String, String)> = vec![(
+            "how many parts are there in the chart ?".to_string(),
+            chart.part_count().to_string(),
+        )];
+        if let Some(min) = chart.min_value() {
+            type3.push((
+                "what is the value of the smallest part in the chart ?".to_string(),
+                trim_num(min),
+            ));
+        }
+        if let Some(max) = chart.max_value() {
+            type3.push((
+                "what is the value of the largest part in the chart ?".to_string(),
+                trim_num(max),
+            ));
+        }
+        if chart.part_count() > 0 {
+            type3.push((
+                format!("what is the total number of {y_label} ?"),
+                trim_num(chart.total()),
+            ));
+            type3.push((
+                "is any equal value of y-axis in the chart ?".to_string(),
+                if chart.has_equal_values() { "yes" } else { "no" }.to_string(),
+            ));
+        }
+        if let Some(label) = chart.argmax_label() {
+            type3.push((
+                "which part is the largest in the chart ?".to_string(),
+                label.to_string(),
+            ));
+        }
+        // Keep a random subset (2–4) to vary the mix.
+        let keep = rng.gen_range(2..=type3.len().min(4));
+        for (question, answer) in type3.into_iter().take(keep) {
+            out.push(FeVisQaExample {
+                db_name: e.db_name.clone(),
+                question_type: QuestionType::Type3,
+                question,
+                query: e.query.clone(),
+                table: table.clone(),
+                answer,
+            });
+        }
+    }
+    out
+}
+
+fn trim_num(v: f64) -> String {
+    if v.fract() == 0.0 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::{generate_databases, DomainConfig};
+    use crate::nvbench;
+
+    fn setup() -> (Vec<Database>, Vec<FeVisQaExample>) {
+        let dbs = generate_databases(&DomainConfig {
+            seed: 5,
+            instances_per_domain: 1,
+        });
+        let nv = nvbench::generate(&dbs, 5, 21);
+        let qa = generate(&dbs, &nv, 33);
+        (dbs, qa)
+    }
+
+    #[test]
+    fn covers_all_three_types() {
+        let (_, qa) = setup();
+        for ty in [QuestionType::Type1, QuestionType::Type2, QuestionType::Type3] {
+            assert!(
+                qa.iter().any(|e| e.question_type == ty),
+                "missing {ty:?}"
+            );
+        }
+        // Type 3 dominates, as in Table III.
+        let t3 = qa.iter().filter(|e| e.question_type == QuestionType::Type3).count();
+        assert!(t3 * 2 > qa.len());
+    }
+
+    #[test]
+    fn type3_answers_match_reexecution() {
+        let (dbs, qa) = setup();
+        for e in qa.iter().filter(|e| {
+            e.question_type == QuestionType::Type3 && e.question.starts_with("how many parts")
+        }) {
+            let db = dbs.iter().find(|d| d.name == e.db_name).unwrap();
+            let q = vql::parse_query(&e.query).unwrap();
+            let r = storage::execute(&q, db).unwrap();
+            let chart = storage::to_chart(&q, &r);
+            assert_eq!(e.answer, chart.part_count().to_string());
+        }
+    }
+
+    #[test]
+    fn type2_negatives_reference_foreign_tables() {
+        let (dbs, qa) = setup();
+        for e in qa.iter().filter(|e| {
+            e.question_type == QuestionType::Type2 && e.answer.starts_with("no")
+        }) {
+            let db = dbs.iter().find(|d| d.name == e.db_name).unwrap();
+            let q = vql::parse_query(&e.query).unwrap();
+            // The corrupted query must indeed fail on the native database.
+            assert!(
+                storage::execute(&q, db).is_err(),
+                "negative example still executes: {}",
+                e.query
+            );
+        }
+    }
+
+    #[test]
+    fn type2_positives_execute() {
+        let (dbs, qa) = setup();
+        for e in qa.iter().filter(|e| {
+            e.question_type == QuestionType::Type2 && e.answer.starts_with("yes")
+        }) {
+            let db = dbs.iter().find(|d| d.name == e.db_name).unwrap();
+            let q = vql::parse_query(&e.query).unwrap();
+            assert!(storage::execute(&q, db).is_ok());
+        }
+    }
+
+    #[test]
+    fn totals_are_consistent_with_parts() {
+        let (_, qa) = setup();
+        for e in &qa {
+            assert!(!e.answer.is_empty());
+            assert!(!e.question.is_empty());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, a) = setup();
+        let (_, b) = setup();
+        assert_eq!(a, b);
+    }
+}

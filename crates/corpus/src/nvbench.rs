@@ -1,0 +1,733 @@
+//! NVBench-like NL-question ↔ DV-query pairs.
+//!
+//! Queries are sampled from a pattern grammar (count / aggregate / scatter
+//! / binned line / grouped charts, with optional filters, ordering, and a
+//! join path), built directly as standardized ASTs, and validated by
+//! executing them — every emitted query parses, executes, and renders a
+//! small chart. Questions and reference descriptions come from a
+//! multi-template paraphraser, so one query pattern has several surface
+//! forms (the learning signal BLEU-style metrics need).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use storage::{ColumnType, Database, Table};
+use vql::ast::{
+    AggFunc, Bin, BinUnit, ChartType, CmpOp, ColExpr, ColumnRef, Join, Literal, OrderBy, OrderDir,
+    Predicate, Query,
+};
+
+use crate::domains::{column_phrase, join_info};
+
+/// One NVBench-like example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NvBenchExample {
+    pub db_name: String,
+    /// The natural-language question.
+    pub question: String,
+    /// The gold DV query in standardized text form.
+    pub query: String,
+    /// A reference textual description (vis-to-text ground truth).
+    pub description: String,
+    pub has_join: bool,
+}
+
+/// Column classification for sampling.
+struct ColumnPools {
+    categorical: Vec<String>,
+    numeric: Vec<String>,
+    temporal: Vec<String>,
+}
+
+fn classify(table: &Table, exclude: &[&str]) -> ColumnPools {
+    let mut pools = ColumnPools {
+        categorical: Vec::new(),
+        numeric: Vec::new(),
+        temporal: Vec::new(),
+    };
+    for (i, c) in table.columns.iter().enumerate() {
+        if exclude.iter().any(|e| e.eq_ignore_ascii_case(&c.name)) {
+            continue;
+        }
+        // Serial primary keys (first column) are ids, not data.
+        if i == 0 {
+            continue;
+        }
+        match c.ty {
+            ColumnType::Text => pools.categorical.push(c.name.clone()),
+            ColumnType::Int | ColumnType::Float => pools.numeric.push(c.name.clone()),
+            ColumnType::Date => pools.temporal.push(c.name.clone()),
+        }
+    }
+    pools
+}
+
+/// Generates up to `per_db` validated examples for each database.
+pub fn generate(databases: &[Database], per_db: usize, seed: u64) -> Vec<NvBenchExample> {
+    let mut out = Vec::new();
+    for db in databases {
+        let mut rng = StdRng::seed_from_u64(seed ^ crate::nvbench_hash(&db.name));
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut produced = 0usize;
+        let mut attempts = 0usize;
+        while produced < per_db && attempts < per_db * 20 {
+            attempts += 1;
+            if let Some(example) = sample_example(db, &mut rng) {
+                if seen.insert(example.query.clone()) {
+                    out.push(example);
+                    produced += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn sample_example(db: &Database, rng: &mut StdRng) -> Option<NvBenchExample> {
+    // Roughly the paper's join ratio (≈40% of NVBench uses joins).
+    let want_join = rng.gen_bool(0.4);
+    let query = if want_join {
+        sample_join_query(db, rng)?
+    } else {
+        sample_single_query(db, rng)?
+    };
+    // Validate by executing; keep charts small and non-empty.
+    let result = storage::execute(&query, db).ok()?;
+    if result.rows.is_empty() || result.rows.len() > 14 {
+        return None;
+    }
+    let question = verbalize_question(&query, rng);
+    let description = verbalize_description(&query, rng);
+    Some(NvBenchExample {
+        db_name: db.name.clone(),
+        question,
+        query: query.to_string(),
+        description,
+        has_join: query.has_join(),
+    })
+}
+
+fn pick<'a, T>(rng: &mut StdRng, xs: &'a [T]) -> Option<&'a T> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(&xs[rng.gen_range(0..xs.len())])
+    }
+}
+
+fn qualified(table: &str, col: &str) -> ColumnRef {
+    ColumnRef::qualified(table.to_string(), col.to_string())
+}
+
+/// Single-table patterns.
+fn sample_single_query(db: &Database, rng: &mut StdRng) -> Option<Query> {
+    let table = pick(rng, &db.tables)?;
+    let join = join_info(&db.name);
+    let fk: Vec<&str> = join
+        .iter()
+        .flat_map(|j| [j.fk.as_str(), j.pk.as_str()])
+        .collect();
+    let pools = classify(table, &fk);
+    let tname = table.name.clone();
+    let pattern = rng.gen_range(0..10u8);
+    let mut query = match pattern {
+        // Count per category: pie or bar.
+        0..=2 => {
+            let x = pick(rng, &pools.categorical)?.clone();
+            let chart = if rng.gen_bool(0.4) {
+                ChartType::Pie
+            } else {
+                ChartType::Bar
+            };
+            let xr = qualified(&tname, &x);
+            Query {
+                chart,
+                select: vec![
+                    ColExpr::Column(xr.clone()),
+                    ColExpr::Agg(AggFunc::Count, xr.clone()),
+                ],
+                from: tname.clone(),
+                join: None,
+                filters: vec![],
+                group_by: vec![xr],
+                order_by: None,
+                bin: None,
+            }
+        }
+        // Aggregate per category (bar).
+        3..=5 => {
+            let x = pick(rng, &pools.categorical)?.clone();
+            let y = pick(rng, &pools.numeric)?.clone();
+            let agg = *pick(rng, &[AggFunc::Sum, AggFunc::Avg, AggFunc::Max, AggFunc::Min])?;
+            let xr = qualified(&tname, &x);
+            Query {
+                chart: ChartType::Bar,
+                select: vec![
+                    ColExpr::Column(xr.clone()),
+                    ColExpr::Agg(agg, qualified(&tname, &y)),
+                ],
+                from: tname.clone(),
+                join: None,
+                filters: vec![],
+                group_by: vec![xr],
+                order_by: None,
+                bin: None,
+            }
+        }
+        // Raw scatter of two numerics.
+        6 => {
+            if pools.numeric.len() < 2 {
+                return None;
+            }
+            let i = rng.gen_range(0..pools.numeric.len());
+            let mut j = rng.gen_range(0..pools.numeric.len());
+            if j == i {
+                j = (j + 1) % pools.numeric.len();
+            }
+            Query::new(
+                ChartType::Scatter,
+                vec![
+                    ColExpr::Column(qualified(&tname, &pools.numeric[i])),
+                    ColExpr::Column(qualified(&tname, &pools.numeric[j])),
+                ],
+                tname.clone(),
+            )
+        }
+        // Two aggregates of one numeric per category (scatter).
+        7 => {
+            let x = pick(rng, &pools.categorical)?.clone();
+            let y = pick(rng, &pools.numeric)?.clone();
+            let (a1, a2) = match rng.gen_range(0..3u8) {
+                0 => (AggFunc::Avg, AggFunc::Min),
+                1 => (AggFunc::Avg, AggFunc::Max),
+                _ => (AggFunc::Max, AggFunc::Min),
+            };
+            Query {
+                chart: ChartType::Scatter,
+                select: vec![
+                    ColExpr::Agg(a1, qualified(&tname, &y)),
+                    ColExpr::Agg(a2, qualified(&tname, &y)),
+                ],
+                from: tname.clone(),
+                join: None,
+                filters: vec![],
+                group_by: vec![qualified(&tname, &x)],
+                order_by: None,
+                bin: None,
+            }
+        }
+        // Temporal bin (line/bar).
+        8 => {
+            let d = pick(rng, &pools.temporal)?.clone();
+            let unit = *pick(rng, &[BinUnit::Year, BinUnit::Month, BinUnit::Weekday])?;
+            let chart = if rng.gen_bool(0.7) {
+                ChartType::Line
+            } else {
+                ChartType::Bar
+            };
+            let dr = qualified(&tname, &d);
+            Query {
+                chart,
+                select: vec![
+                    ColExpr::Column(dr.clone()),
+                    ColExpr::Agg(AggFunc::Count, dr.clone()),
+                ],
+                from: tname.clone(),
+                join: None,
+                filters: vec![],
+                group_by: vec![],
+                order_by: None,
+                bin: Some(Bin {
+                    column: dr,
+                    unit,
+                }),
+            }
+        }
+        // Grouped chart over two categoricals.
+        _ => {
+            if pools.categorical.len() < 2 {
+                return None;
+            }
+            let i = rng.gen_range(0..pools.categorical.len());
+            let mut j = rng.gen_range(0..pools.categorical.len());
+            if j == i {
+                j = (j + 1) % pools.categorical.len();
+            }
+            let x = qualified(&tname, &pools.categorical[i]);
+            let color = qualified(&tname, &pools.categorical[j]);
+            let chart = *pick(
+                rng,
+                &[ChartType::StackedBar, ChartType::GroupedLine, ChartType::GroupedScatter],
+            )?;
+            Query {
+                chart,
+                select: vec![
+                    ColExpr::Column(x.clone()),
+                    ColExpr::Agg(AggFunc::Count, x.clone()),
+                    ColExpr::Column(color.clone()),
+                ],
+                from: tname.clone(),
+                join: None,
+                filters: vec![],
+                group_by: vec![x, color],
+                order_by: None,
+                bin: None,
+            }
+        }
+    };
+    maybe_add_filter(&mut query, table, &pools, rng);
+    maybe_add_order(&mut query, rng);
+    Some(query)
+}
+
+/// Join patterns: aggregate fact rows per dim category.
+fn sample_join_query(db: &Database, rng: &mut StdRng) -> Option<Query> {
+    let info = join_info(&db.name)?;
+    let dim = db.table(&info.dim_table)?;
+    let fact = db.table(&info.fact_table)?;
+    let dim_pools = classify(dim, &[&info.pk]);
+    let fact_pools = classify(fact, &[&info.fk]);
+    let x = pick(rng, &dim_pools.categorical)?.clone();
+    let xr = qualified(&info.dim_table, &x);
+    let join = Join {
+        table: info.dim_table.clone(),
+        left: qualified(&info.fact_table, &info.fk),
+        right: qualified(&info.dim_table, &info.pk),
+    };
+    let y_expr = if fact_pools.numeric.is_empty() || rng.gen_bool(0.5) {
+        ColExpr::Agg(AggFunc::Count, qualified(&info.fact_table, &info.fk))
+    } else {
+        let y = pick(rng, &fact_pools.numeric)?.clone();
+        let agg = *pick(rng, &[AggFunc::Sum, AggFunc::Avg, AggFunc::Max, AggFunc::Min])?;
+        ColExpr::Agg(agg, qualified(&info.fact_table, &y))
+    };
+    let mut query = Query {
+        chart: ChartType::Bar,
+        select: vec![ColExpr::Column(xr.clone()), y_expr],
+        from: info.fact_table.clone(),
+        join: Some(join),
+        filters: vec![],
+        group_by: vec![xr],
+        order_by: None,
+        bin: None,
+    };
+    // Filter on a dim categorical or fact numeric, sometimes.
+    if rng.gen_bool(0.35) {
+        if let Some(filter) = sample_filter(dim, &dim_pools, rng).or_else(|| {
+            sample_filter(fact, &fact_pools, rng)
+        }) {
+            query.filters.push(filter);
+        }
+    }
+    maybe_add_order(&mut query, rng);
+    Some(query)
+}
+
+fn maybe_add_filter(query: &mut Query, table: &Table, pools: &ColumnPools, rng: &mut StdRng) {
+    if !rng.gen_bool(0.3) {
+        return;
+    }
+    // Never filter on the x/grouping column itself.
+    let used: Vec<&str> = query
+        .select
+        .iter()
+        .map(|s| s.column_ref().column.as_str())
+        .collect();
+    let pruned = ColumnPools {
+        categorical: pools
+            .categorical
+            .iter()
+            .filter(|c| !used.contains(&c.as_str()))
+            .cloned()
+            .collect(),
+        numeric: pools
+            .numeric
+            .iter()
+            .filter(|c| !used.contains(&c.as_str()))
+            .cloned()
+            .collect(),
+        temporal: vec![],
+    };
+    if pruned.categorical.is_empty() && pruned.numeric.is_empty() {
+        return;
+    }
+    if let Some(f) = sample_filter(table, &pruned, rng) {
+        query.filters.push(f);
+    }
+}
+
+fn sample_filter(table: &Table, pools: &ColumnPools, rng: &mut StdRng) -> Option<Predicate> {
+    let use_cat = !pools.categorical.is_empty() && (pools.numeric.is_empty() || rng.gen_bool(0.5));
+    if use_cat {
+        let col = pick(rng, &pools.categorical)?.clone();
+        let idx = table.column_index(&col)?;
+        let row = pick(rng, &table.rows)?;
+        let value = row[idx].to_string();
+        let op = if rng.gen_bool(0.8) { CmpOp::Eq } else { CmpOp::Ne };
+        Some(Predicate::Compare {
+            left: qualified(&table.name, &col),
+            op,
+            right: Literal::Text(value),
+        })
+    } else {
+        let col = pick(rng, &pools.numeric)?.clone();
+        let idx = table.column_index(&col)?;
+        let mut vals: Vec<f64> = table.rows.iter().filter_map(|r| r[idx].as_f64()).collect();
+        if vals.is_empty() {
+            return None;
+        }
+        vals.sort_by(|a, b| a.total_cmp(b));
+        let threshold = vals[vals.len() / 2].round();
+        let op = if rng.gen_bool(0.5) { CmpOp::Gt } else { CmpOp::Lt };
+        Some(Predicate::Compare {
+            left: qualified(&table.name, &col),
+            op,
+            right: Literal::Number(threshold),
+        })
+    }
+}
+
+fn maybe_add_order(query: &mut Query, rng: &mut StdRng) {
+    // Grouped 3-channel charts and raw scatters keep natural order.
+    if query.select.len() != 2 || !rng.gen_bool(0.4) {
+        return;
+    }
+    let dir = if rng.gen_bool(0.5) {
+        OrderDir::Asc
+    } else {
+        OrderDir::Desc
+    };
+    let expr = if rng.gen_bool(0.7) {
+        query.select[1].clone()
+    } else {
+        query.select[0].clone()
+    };
+    query.order_by = Some(OrderBy { expr, dir });
+}
+
+// ---------------------------------------------------------------------
+// Verbalization.
+// ---------------------------------------------------------------------
+
+fn agg_word(a: AggFunc) -> &'static str {
+    match a {
+        AggFunc::Count => "number",
+        AggFunc::Sum => "total",
+        AggFunc::Avg => "average",
+        AggFunc::Max => "maximum",
+        AggFunc::Min => "minimum",
+    }
+}
+
+fn chart_phrase(c: ChartType) -> &'static str {
+    match c {
+        ChartType::Bar => "bar chart",
+        ChartType::Pie => "pie chart",
+        ChartType::Line => "line chart",
+        ChartType::Scatter => "scatter chart",
+        ChartType::StackedBar => "stacked bar chart",
+        ChartType::GroupedLine => "grouping line chart",
+        ChartType::GroupedScatter => "grouping scatter chart",
+    }
+}
+
+fn op_phrase(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "is",
+        CmpOp::Ne => "is not",
+        CmpOp::Lt => "is below",
+        CmpOp::Le => "is at most",
+        CmpOp::Gt => "is above",
+        CmpOp::Ge => "is at least",
+        CmpOp::Like => "is like",
+    }
+}
+
+fn literal_phrase(l: &Literal) -> String {
+    match l {
+        Literal::Number(n) => Literal::Number(*n).to_string(),
+        Literal::Text(s) => s.clone(),
+    }
+}
+
+/// Renders the NL question for a query with template variety.
+pub fn verbalize_question(query: &Query, rng: &mut StdRng) -> String {
+    let chart = chart_phrase(query.chart);
+    let x = &query.select[0];
+    let y = query.select.get(1);
+    let x_phrase = column_phrase(&x.column_ref().column);
+    let table = &query.from;
+
+    let mut body = match (x.agg(), y.and_then(|y| y.agg())) {
+        // count per category
+        (None, Some(AggFunc::Count)) if query.bin.is_none() => {
+            let t = rng.gen_range(0..4u8);
+            match t {
+                0 => format!(
+                    "give me a {chart} about the proportion of the number of {x_phrase} in the {table} table"
+                ),
+                1 => format!(
+                    "show the number of {table} records for each {x_phrase} using a {chart}"
+                ),
+                2 => format!("how many {table} rows are there for each {x_phrase} , draw a {chart}"),
+                _ => format!("plot the count of {x_phrase} grouped by {x_phrase} as a {chart}"),
+            }
+        }
+        // binned temporal count
+        (None, Some(AggFunc::Count)) => {
+            let unit = query.bin.as_ref().map(|b| b.unit.keyword()).unwrap_or("year");
+            match rng.gen_range(0..3u8) {
+                0 => format!(
+                    "show the number of {table} records per {unit} of {x_phrase} in a {chart}"
+                ),
+                1 => format!(
+                    "draw a {chart} of how many {table} entries happened in each {unit} of {x_phrase}"
+                ),
+                _ => format!("count {table} rows binned by {unit} of {x_phrase} with a {chart}"),
+            }
+        }
+        // aggregate per category
+        (None, Some(agg)) => {
+            let y_phrase = column_phrase(&y.unwrap().column_ref().column);
+            let word = agg_word(agg);
+            match rng.gen_range(0..3u8) {
+                0 => format!("show the {word} {y_phrase} for each {x_phrase} in a {chart}"),
+                1 => format!(
+                    "what is the {word} of {y_phrase} grouped by {x_phrase} , display a {chart}"
+                ),
+                _ => format!(
+                    "draw a {chart} showing {x_phrase} versus the {word} {y_phrase} from the {table} table"
+                ),
+            }
+        }
+        // two aggregates (scatter of agg pair)
+        (Some(a1), Some(a2)) => {
+            let y_phrase = column_phrase(&x.column_ref().column);
+            let g_phrase = query
+                .group_by
+                .first()
+                .map(|c| column_phrase(&c.column))
+                .unwrap_or_default();
+            let (w1, w2) = (agg_word(a1), agg_word(a2));
+            let _ = y_phrase;
+            let y_col = column_phrase(&x.column_ref().column);
+            match rng.gen_range(0..3u8) {
+                0 => format!(
+                    "just show the {w1} and {w2} {y_col} of the rooms in different {g_phrase} using a {}",
+                    chart.trim_end_matches(" chart")
+                )
+                .replace("rooms", table),
+                1 => format!(
+                    "compare the {w1} and {w2} of {y_col} across {g_phrase} with a {chart}"
+                ),
+                _ => format!(
+                    "plot the {w1} {y_col} against the {w2} {y_col} for each {g_phrase} in a {chart}"
+                ),
+            }
+        }
+        // raw projection (scatter / grouped charts)
+        _ => {
+            if query.select.len() >= 3 {
+                let color = column_phrase(&query.select[2].column_ref().column);
+                format!(
+                    "show the count of {x_phrase} broken down by {color} in a {chart}"
+                )
+            } else {
+                let y_phrase = y
+                    .map(|y| column_phrase(&y.column_ref().column))
+                    .unwrap_or_default();
+                match rng.gen_range(0..2u8) {
+                    0 => format!(
+                        "plot {x_phrase} against {y_phrase} from the {table} table using a {chart}"
+                    ),
+                    _ => format!(
+                        "show the relationship between {x_phrase} and {y_phrase} of {table} in a {chart}"
+                    ),
+                }
+            }
+        }
+    };
+
+    if let Some(j) = &query.join {
+        // Both tables must surface so n-gram schema filtration (§III-B)
+        // can recover the full join path from the question alone.
+        body.push_str(&format!(
+            " from the {} table joined with the {} table",
+            query.from, j.table
+        ));
+    }
+    for f in &query.filters {
+        if let Predicate::Compare { left, op, right } = f {
+            body.push_str(&format!(
+                " for those whose {} {} {}",
+                column_phrase(&left.column),
+                op_phrase(*op),
+                literal_phrase(right)
+            ));
+        }
+    }
+    if let Some(o) = &query.order_by {
+        let dir_phrase = match o.dir {
+            OrderDir::Asc => pick(rng, &["in ascending order", "from low to high"]).unwrap(),
+            OrderDir::Desc => pick(rng, &["in descending order", "from high to low"]).unwrap(),
+        };
+        let target = if o.expr == query.select[0] {
+            "the x axis"
+        } else {
+            "the y axis"
+        };
+        body.push_str(&format!(" , and rank {target} {dir_phrase}"));
+    }
+    body
+}
+
+/// Renders the reference description (vis-to-text gold) for a query.
+pub fn verbalize_description(query: &Query, rng: &mut StdRng) -> String {
+    let chart = chart_phrase(query.chart);
+    let x_phrase = column_phrase(&query.select[0].column_ref().column);
+    let table = &query.from;
+    let mut body = match query.select.get(1).and_then(|y| y.agg()) {
+        Some(AggFunc::Count) => match rng.gen_range(0..2u8) {
+            0 => format!(
+                "a {chart} that counts the {table} records in each {x_phrase}"
+            ),
+            _ => format!(
+                "this {chart} presents the number of {table} rows for every {x_phrase}"
+            ),
+        },
+        Some(agg) => {
+            let y_phrase = column_phrase(&query.select[1].column_ref().column);
+            format!(
+                "a {chart} of the {} {y_phrase} for each {x_phrase} in the {table} table",
+                agg_word(agg)
+            )
+        }
+        None => {
+            let y_phrase = query
+                .select
+                .get(1)
+                .map(|y| column_phrase(&y.column_ref().column))
+                .unwrap_or_default();
+            format!("a {chart} relating {x_phrase} to {y_phrase} in the {table} table")
+        }
+    };
+    if let Some(j) = &query.join {
+        body.push_str(&format!(" joined with {}", j.table));
+    }
+    for f in &query.filters {
+        if let Predicate::Compare { left, op, right } = f {
+            body.push_str(&format!(
+                " where {} {} {}",
+                column_phrase(&left.column),
+                op_phrase(*op),
+                literal_phrase(right)
+            ));
+        }
+    }
+    if let Some(o) = &query.order_by {
+        let axis = if o.expr == query.select[0] { "x" } else { "y" };
+        let dir = match o.dir {
+            OrderDir::Asc => "low to high",
+            OrderDir::Desc => "high to low",
+        };
+        body.push_str(&format!(" , sorted by the {axis} axis from {dir}"));
+    }
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::{generate_databases, DomainConfig};
+
+    fn dbs() -> Vec<Database> {
+        generate_databases(&DomainConfig {
+            seed: 5,
+            instances_per_domain: 1,
+        })
+    }
+
+    #[test]
+    fn generates_requested_volume() {
+        let databases = dbs();
+        let examples = generate(&databases, 10, 1);
+        assert!(examples.len() >= databases.len() * 7, "only {}", examples.len());
+    }
+
+    #[test]
+    fn queries_are_standardized_text() {
+        let databases = dbs();
+        for e in generate(&databases, 8, 2) {
+            assert_eq!(e.query, e.query.to_lowercase());
+            let q = vql::parse_query(&e.query).expect("parses");
+            assert_eq!(q.to_string(), e.query, "display roundtrip");
+        }
+    }
+
+    #[test]
+    fn every_query_executes_to_nonempty_chart() {
+        let databases = dbs();
+        for e in generate(&databases, 8, 3) {
+            let db = databases.iter().find(|d| d.name == e.db_name).unwrap();
+            let q = vql::parse_query(&e.query).unwrap();
+            let r = storage::execute(&q, db).unwrap();
+            assert!(!r.rows.is_empty());
+            assert!(r.rows.len() <= 14);
+        }
+    }
+
+    #[test]
+    fn join_flag_matches_query() {
+        let databases = dbs();
+        let examples = generate(&databases, 12, 4);
+        let joins = examples.iter().filter(|e| e.has_join).count();
+        for e in &examples {
+            let q = vql::parse_query(&e.query).unwrap();
+            assert_eq!(q.has_join(), e.has_join);
+        }
+        // Roughly the paper's ratio: some but not all queries join.
+        assert!(joins > 0 && joins < examples.len());
+    }
+
+    #[test]
+    fn questions_mention_schema_terms() {
+        let databases = dbs();
+        for e in generate(&databases, 6, 5) {
+            let q = vql::parse_query(&e.query).unwrap();
+            // The primary table or a selected column phrase must surface in
+            // the question — required for n-gram schema filtration.
+            let x_phrase = column_phrase(&q.select[0].column_ref().column);
+            assert!(
+                e.question.contains(&q.from) || e.question.contains(&x_phrase),
+                "question lacks schema anchors: {}",
+                e.question
+            );
+        }
+    }
+
+    #[test]
+    fn descriptions_are_nonempty_and_mention_chart() {
+        let databases = dbs();
+        for e in generate(&databases, 6, 6) {
+            assert!(e.description.contains("chart"), "{}", e.description);
+        }
+    }
+
+    #[test]
+    fn queries_are_unique_per_db() {
+        let databases = dbs();
+        let examples = generate(&databases, 15, 7);
+        for db in &databases {
+            let mut qs: Vec<&str> = examples
+                .iter()
+                .filter(|e| e.db_name == db.name)
+                .map(|e| e.query.as_str())
+                .collect();
+            let before = qs.len();
+            qs.sort();
+            qs.dedup();
+            assert_eq!(before, qs.len(), "duplicate queries in {}", db.name);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Table ↔ description corpora: Chart2Text-like and WikiTableText-like.
+//!
+//! * Chart2Text analogue: each NVBench query's executed result table is
+//!   described by a summary sentence (largest / smallest part, totals),
+//!   mirroring Statista chart tables plus expert captions.
+//! * WikiTableText analogue: single-row fact tables drawn from the
+//!   databases with templated factual sentences ("sallim was the publisher
+//!   of journey in 2010").
+//!
+//! Both apply the paper's ≤150-cell filter (§IV-B).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use storage::Database;
+use vql::encode::LinearTable;
+
+use crate::domains::column_phrase;
+use crate::nvbench::NvBenchExample;
+
+/// Maximum cells kept by the §IV-B filter.
+pub const MAX_CELLS: usize = 150;
+
+/// One table→text example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableTextExample {
+    pub db_name: String,
+    /// The linearized table (input).
+    pub table: LinearTable,
+    /// The reference description (output).
+    pub description: String,
+}
+
+/// Builds the Chart2Text-like corpus from executed NVBench queries.
+pub fn chart2text_from_nvbench(
+    databases: &[Database],
+    nvbench: &[NvBenchExample],
+    seed: u64,
+) -> Vec<TableTextExample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for e in nvbench {
+        let Some(db) = databases.iter().find(|d| d.name == e.db_name) else {
+            continue;
+        };
+        let Ok(query) = vql::parse_query(&e.query) else {
+            continue;
+        };
+        let Ok(result) = storage::execute(&query, db) else {
+            continue;
+        };
+        let linear = result.to_linear();
+        if linear.cell_count() == 0 || linear.cell_count() > MAX_CELLS {
+            continue;
+        }
+        let chart = storage::to_chart(&query, &result);
+        let x_phrase = column_phrase(&query.select[0].column_ref().column);
+        let description = if let (Some(max_label), Some(max), Some(min)) = (
+            chart.argmax_label().map(|s| s.to_string()),
+            chart.max_value(),
+            chart.min_value(),
+        ) {
+            match rng.gen_range(0..3u8) {
+                0 => format!(
+                    "the table lists {} values of {x_phrase} ; the largest is {max_label} at {} and the smallest value is {}",
+                    chart.part_count(),
+                    trim_num(max),
+                    trim_num(min)
+                ),
+                1 => format!(
+                    "across {} {x_phrase} entries the values total {} , peaking at {max_label} with {}",
+                    chart.part_count(),
+                    trim_num(chart.total()),
+                    trim_num(max)
+                ),
+                _ => format!(
+                    "{max_label} leads the {x_phrase} breakdown at {} while the minimum sits at {}",
+                    trim_num(max),
+                    trim_num(min)
+                ),
+            }
+        } else {
+            format!("a table of {x_phrase} values from the {} table", query.from)
+        };
+        out.push(TableTextExample {
+            db_name: e.db_name.clone(),
+            table: linear,
+            description,
+        });
+    }
+    out
+}
+
+/// Builds the WikiTableText-like corpus: one-row fact slices.
+pub fn wikitabletext(databases: &[Database], per_db: usize, seed: u64) -> Vec<TableTextExample> {
+    let mut out = Vec::new();
+    for db in databases {
+        let mut rng = StdRng::seed_from_u64(seed ^ super::nvbench_hash(&db.name));
+        for _ in 0..per_db {
+            let table = &db.tables[rng.gen_range(0..db.tables.len())];
+            if table.rows.is_empty() || table.columns.len() < 3 {
+                continue;
+            }
+            let row = &table.rows[rng.gen_range(0..table.rows.len())];
+            // Subject: the first text column; facts: two other columns.
+            let Some(subject_idx) = table
+                .columns
+                .iter()
+                .position(|c| c.ty == storage::ColumnType::Text)
+            else {
+                continue;
+            };
+            let mut fact_cols: Vec<usize> = (0..table.columns.len())
+                .filter(|&i| i != subject_idx && i != 0)
+                .collect();
+            if fact_cols.is_empty() {
+                continue;
+            }
+            let pick = rng.gen_range(0..fact_cols.len());
+            let fact_idx = fact_cols.swap_remove(pick);
+            let tname = table.name.to_ascii_lowercase();
+            let headers: Vec<String> = table
+                .columns
+                .iter()
+                .map(|c| format!("{tname}.{}", c.name.to_ascii_lowercase()))
+                .collect();
+            let linear = LinearTable::new(
+                headers,
+                vec![row.iter().map(|v| v.to_string()).collect()],
+            );
+            if linear.cell_count() > MAX_CELLS {
+                continue;
+            }
+            let subject = row[subject_idx].to_string();
+            let fact_phrase = column_phrase(&table.columns[fact_idx].name);
+            let fact_value = row[fact_idx].to_string();
+            let description = match rng.gen_range(0..3u8) {
+                0 => format!("the {fact_phrase} of {subject} is {fact_value}"),
+                1 => format!("{subject} has a {fact_phrase} of {fact_value}"),
+                _ => format!("for {subject} the recorded {fact_phrase} equals {fact_value}"),
+            };
+            out.push(TableTextExample {
+                db_name: db.name.clone(),
+                table: linear,
+                description,
+            });
+        }
+    }
+    out
+}
+
+fn trim_num(v: f64) -> String {
+    if v.fract() == 0.0 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::{generate_databases, DomainConfig};
+    use crate::nvbench;
+
+    fn setup() -> (Vec<Database>, Vec<NvBenchExample>) {
+        let dbs = generate_databases(&DomainConfig {
+            seed: 5,
+            instances_per_domain: 1,
+        });
+        let nv = nvbench::generate(&dbs, 6, 11);
+        (dbs, nv)
+    }
+
+    #[test]
+    fn chart2text_examples_respect_cell_filter() {
+        let (dbs, nv) = setup();
+        let examples = chart2text_from_nvbench(&dbs, &nv, 1);
+        assert!(!examples.is_empty());
+        for e in &examples {
+            assert!(e.table.cell_count() <= MAX_CELLS);
+            assert!(!e.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn chart2text_descriptions_reference_extremes() {
+        let (dbs, nv) = setup();
+        let examples = chart2text_from_nvbench(&dbs, &nv, 2);
+        // Most summaries should carry a numeric value.
+        let with_digits = examples
+            .iter()
+            .filter(|e| e.description.chars().any(|c| c.is_ascii_digit()))
+            .count();
+        assert!(with_digits * 2 > examples.len());
+    }
+
+    #[test]
+    fn wikitabletext_produces_single_row_tables() {
+        let (dbs, _) = setup();
+        let examples = wikitabletext(&dbs, 5, 3);
+        assert!(!examples.is_empty());
+        for e in &examples {
+            assert_eq!(e.table.rows.len(), 1);
+            assert!(e.table.cell_count() <= MAX_CELLS);
+        }
+    }
+
+    #[test]
+    fn wikitabletext_facts_mention_subject_and_value() {
+        let (dbs, _) = setup();
+        for e in wikitabletext(&dbs, 4, 4) {
+            let row = &e.table.rows[0];
+            // The description quotes at least one cell of the row.
+            assert!(
+                row.iter().any(|cell| e.description.contains(&cell.to_lowercase())
+                    || e.description.contains(cell.as_str())),
+                "description '{}' quotes no cell of {row:?}",
+                e.description
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (dbs, nv) = setup();
+        let a = chart2text_from_nvbench(&dbs, &nv, 9);
+        let b = chart2text_from_nvbench(&dbs, &nv, 9);
+        assert_eq!(a, b);
+        let c = wikitabletext(&dbs, 3, 9);
+        let d = wikitabletext(&dbs, 3, 9);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn table_linearization_is_encodable() {
+        let (dbs, nv) = setup();
+        for e in chart2text_from_nvbench(&dbs, &nv, 5).iter().take(5) {
+            let text = vql::encode::encode_table(&e.table);
+            assert!(text.starts_with("col :"));
+            assert!(text.contains("row 1 :"));
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Statistical invariants of the generated corpora — the structural
+//! properties Tables I–III rely on.
+
+use corpus::{Corpus, CorpusConfig, QuestionType, Split};
+
+fn corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        seed: 404,
+        dbs_per_domain: 2,
+        queries_per_db: 12,
+        facts_per_db: 6,
+    })
+}
+
+#[test]
+fn join_share_is_paperlike() {
+    let c = corpus();
+    let joins = c.nvbench.iter().filter(|e| e.has_join).count();
+    let share = joins as f64 / c.nvbench.len() as f64;
+    // Paper: 38.5% of NVBench instances use joins; the sampler targets 40%.
+    assert!((0.2..=0.6).contains(&share), "join share {share}");
+}
+
+#[test]
+fn split_sizes_follow_70_10_20() {
+    let c = corpus();
+    let count = |s: Split| {
+        c.nvbench
+            .iter()
+            .filter(|e| c.split_of(&e.db_name) == s)
+            .count() as f64
+    };
+    let total = c.nvbench.len() as f64;
+    assert!(count(Split::Train) / total > 0.5, "train too small");
+    assert!(count(Split::Test) / total > 0.08, "test too small");
+    assert!(count(Split::Valid) > 0.0, "valid empty");
+}
+
+#[test]
+fn fevisqa_type_mix_is_type3_heavy() {
+    let c = corpus();
+    let count = |t: QuestionType| {
+        c.fevisqa.iter().filter(|e| e.question_type == t).count()
+    };
+    let (t1, t2, t3) = (
+        count(QuestionType::Type1),
+        count(QuestionType::Type2),
+        count(QuestionType::Type3),
+    );
+    // Table III: Type 3 dominates (45650 of 79305), Type 2 > Type 1.
+    assert!(t3 > t1 && t3 > t2, "type mix {t1}/{t2}/{t3}");
+    assert!(t1 > 0 && t2 > 0);
+}
+
+#[test]
+fn fevisqa_queries_are_fewer_than_pairs() {
+    // Several QA pairs share one DV query, like Table III's
+    // 79305 pairs over 13313 queries.
+    let c = corpus();
+    let mut queries: Vec<&str> = c.fevisqa.iter().map(|e| e.query.as_str()).collect();
+    queries.sort();
+    queries.dedup();
+    assert!(queries.len() * 2 < c.fevisqa.len());
+}
+
+#[test]
+fn every_chart2text_table_within_cell_budget() {
+    let c = corpus();
+    for e in &c.chart2text {
+        assert!(e.table.cell_count() <= corpus::tabletext::MAX_CELLS);
+    }
+}
+
+#[test]
+fn chart_type_diversity() {
+    let c = corpus();
+    let mut kinds: Vec<&str> = Vec::new();
+    for e in &c.nvbench {
+        let kind = e
+            .query
+            .strip_prefix("visualize ")
+            .and_then(|r| r.split(" select").next())
+            .unwrap_or("");
+        if !kinds.contains(&kind) {
+            kinds.push(kind);
+        }
+    }
+    // At least bar, pie, scatter, line plus one grouped form.
+    assert!(kinds.len() >= 5, "only {kinds:?}");
+}
+
+#[test]
+fn descriptions_vary_across_examples() {
+    // The paraphraser must not emit one template only (BLEU would saturate).
+    let c = corpus();
+    let mut firsts: Vec<&str> = c
+        .nvbench
+        .iter()
+        .filter_map(|e| e.question.split_whitespace().next())
+        .collect();
+    firsts.sort();
+    firsts.dedup();
+    assert!(firsts.len() >= 4, "question openings too uniform: {firsts:?}");
+}

@@ -1,0 +1,130 @@
+//! Corpus and sentence BLEU with modified n-gram precision and brevity
+//! penalty (Papineni et al., 2002).
+
+use crate::{ngram_counts, tokenize};
+
+/// Corpus BLEU-n over `(candidate, reference)` pairs.
+///
+/// Uses clipped n-gram counts pooled across the corpus, the geometric mean
+/// of precisions up to `max_n`, and the corpus-level brevity penalty. This
+/// is the standard corpus formulation; `max_n` of 1, 2, and 4 produce the
+/// BLEU-1/2/4 columns reported in the paper.
+pub fn bleu(pairs: &[(String, String)], max_n: usize) -> f64 {
+    assert!(max_n >= 1, "max_n must be positive");
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let mut matched = vec![0usize; max_n];
+    let mut total = vec![0usize; max_n];
+    let mut cand_len = 0usize;
+    let mut ref_len = 0usize;
+    for (cand, reference) in pairs {
+        let c = tokenize(cand);
+        let r = tokenize(reference);
+        cand_len += c.len();
+        ref_len += r.len();
+        for n in 1..=max_n {
+            let c_counts = ngram_counts(&c, n);
+            let r_counts = ngram_counts(&r, n);
+            for (gram, &count) in &c_counts {
+                let clip = r_counts.get(gram).copied().unwrap_or(0);
+                matched[n - 1] += count.min(clip);
+            }
+            total[n - 1] += c.len().saturating_sub(n - 1);
+        }
+    }
+    let mut log_sum = 0.0f64;
+    for n in 0..max_n {
+        if total[n] == 0 || matched[n] == 0 {
+            return 0.0;
+        }
+        log_sum += (matched[n] as f64 / total[n] as f64).ln();
+    }
+    let precision = (log_sum / max_n as f64).exp();
+    let bp = if cand_len >= ref_len || cand_len == 0 {
+        1.0
+    } else {
+        (1.0 - ref_len as f64 / cand_len as f64).exp()
+    };
+    bp * precision
+}
+
+/// Sentence-level BLEU-n for a single pair (useful in case studies).
+pub fn sentence_bleu(candidate: &str, reference: &str, max_n: usize) -> f64 {
+    bleu(&[(candidate.to_string(), reference.to_string())], max_n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sentences_score_one() {
+        let s = "give the number of students in each last name".to_string();
+        assert!((bleu(&[(s.clone(), s)], 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_sentences_score_zero() {
+        assert_eq!(sentence_bleu("aa bb cc", "xx yy zz", 1), 0.0);
+    }
+
+    #[test]
+    fn bleu1_is_unigram_precision_times_bp() {
+        // candidate: 4 tokens, 3 match; same length -> no BP.
+        let score = sentence_bleu("the cat sat down", "the cat sat up", 1);
+        assert!((score - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clipping_caps_repeated_words() {
+        // Classic example: candidate of all "the" gets clipped at the
+        // reference count.
+        let score = sentence_bleu("the the the the", "the cat", 1);
+        assert!((score - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brevity_penalty_punishes_short_candidates() {
+        let long_ref = "a b c d e f g h";
+        let short = sentence_bleu("a b", long_ref, 1);
+        // Precision is 1 but BP = exp(1 - 8/2) is tiny.
+        assert!(short < 0.1);
+        assert!(short > 0.0);
+    }
+
+    #[test]
+    fn higher_order_requires_order() {
+        let reordered = sentence_bleu("sat cat the", "the cat sat", 1);
+        let ordered = sentence_bleu("the cat sat", "the cat sat", 2);
+        assert!((reordered - 1.0).abs() < 1e-9); // unigrams ignore order
+        assert!((ordered - 1.0).abs() < 1e-9);
+        let broken = sentence_bleu("sat cat the", "the cat sat", 2);
+        assert_eq!(broken, 0.0);
+    }
+
+    #[test]
+    fn corpus_pools_counts() {
+        let pairs = vec![
+            ("the cat".to_string(), "the cat".to_string()),
+            ("a dog".to_string(), "a cow".to_string()),
+        ];
+        let score = bleu(&pairs, 1);
+        // 2 matches of 2 + 1 of 2 = 3/4.
+        assert!((score - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_corpus_scores_zero() {
+        assert_eq!(bleu(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn bleu_is_monotone_in_overlap() {
+        let r = "list the last name of the students in a bar chart";
+        let bad = sentence_bleu("show a pie", r, 2);
+        let mid = sentence_bleu("list the students in a chart", r, 2);
+        let good = sentence_bleu("list the last name of the students in a chart", r, 2);
+        assert!(bad <= mid && mid <= good);
+    }
+}

@@ -1,0 +1,107 @@
+//! Evaluation metrics for the four DataVisT5 tasks.
+//!
+//! * Text-to-vis uses the exact-match family, implemented on standardized
+//!   ASTs in [`vql::compare`] (this crate re-exports the aggregation type).
+//! * Vis-to-text, FeVisQA, and table-to-text use the machine-translation
+//!   metrics implemented here: corpus [`bleu`], [`rouge_n`] / [`rouge_l`]
+//!   F1, and a [`meteor`] variant with exact + stemmed matching and the
+//!   standard fragmentation penalty.
+//!
+//! All metrics operate on a shared whitespace-plus-punctuation
+//! tokenization ([`tokenize`]) with case folding, so scores are comparable
+//! across models regardless of surface casing.
+
+mod bleu;
+mod meteor;
+mod rouge;
+mod stem;
+
+pub use bleu::{bleu, sentence_bleu};
+pub use meteor::meteor;
+pub use rouge::{rouge_l, rouge_n};
+pub use stem::light_stem;
+
+pub use vql::compare::EmScores;
+
+/// Lowercases and splits text into word and punctuation tokens.
+///
+/// Alphanumeric runs (including `_`, `.`, `'` inside words, so
+/// `artist.country` and `so ji-sub's` survive) form one token; any other
+/// non-space character is its own token.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.to_lowercase().chars() {
+        if ch.is_alphanumeric() || ch == '_' || ch == '.' || ch == '\'' {
+            current.push(ch);
+        } else {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+            if !ch.is_whitespace() {
+                tokens.push(ch.to_string());
+            }
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Counts n-gram occurrences in a token sequence.
+pub(crate) fn ngram_counts(
+    tokens: &[String],
+    n: usize,
+) -> std::collections::HashMap<&[String], usize> {
+    let mut map = std::collections::HashMap::new();
+    if tokens.len() < n || n == 0 {
+        return map;
+    }
+    for w in tokens.windows(n) {
+        *map.entry(w).or_insert(0) += 1;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_folds_case_and_splits_punctuation() {
+        assert_eq!(
+            tokenize("Sallim was the publisher, right?"),
+            vec!["sallim", "was", "the", "publisher", ",", "right", "?"]
+        );
+    }
+
+    #[test]
+    fn tokenize_keeps_qualified_columns_whole() {
+        assert_eq!(
+            tokenize("count ( artist.country )"),
+            vec!["count", "(", "artist.country", ")"]
+        );
+    }
+
+    #[test]
+    fn tokenize_empty_is_empty() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   ").is_empty());
+    }
+
+    #[test]
+    fn ngram_counts_windows() {
+        let toks = tokenize("a b a b");
+        let bi = ngram_counts(&toks, 2);
+        assert_eq!(bi.len(), 2);
+        let ab: Vec<String> = vec!["a".into(), "b".into()];
+        assert_eq!(bi.get(ab.as_slice()), Some(&2));
+    }
+
+    #[test]
+    fn ngram_counts_short_input() {
+        let toks = tokenize("one");
+        assert!(ngram_counts(&toks, 2).is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! METEOR (Banerjee & Lavie, 2005) with exact and stem matching stages and
+//! the chunk-based fragmentation penalty.
+
+use crate::stem::light_stem;
+use crate::tokenize;
+
+/// Mean METEOR over `(candidate, reference)` pairs.
+pub fn meteor(pairs: &[(String, String)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = pairs.iter().map(|(c, r)| pair_meteor(c, r)).sum();
+    total / pairs.len() as f64
+}
+
+fn pair_meteor(candidate: &str, reference: &str) -> f64 {
+    let c = tokenize(candidate);
+    let r = tokenize(reference);
+    if c.is_empty() || r.is_empty() {
+        return 0.0;
+    }
+    // Stage 1: exact matches; stage 2: stem matches on the remainder.
+    // Greedy left-to-right alignment, each reference token used once.
+    let mut alignment: Vec<Option<usize>> = vec![None; c.len()];
+    let mut used = vec![false; r.len()];
+    for (i, ct) in c.iter().enumerate() {
+        if let Some(j) = r
+            .iter()
+            .enumerate()
+            .position(|(j, rt)| !used[j] && rt == ct)
+        {
+            alignment[i] = Some(j);
+            used[j] = true;
+        }
+    }
+    for (i, ct) in c.iter().enumerate() {
+        if alignment[i].is_some() {
+            continue;
+        }
+        let cs = light_stem(ct);
+        if let Some(j) = r
+            .iter()
+            .enumerate()
+            .position(|(j, rt)| !used[j] && light_stem(rt) == cs)
+        {
+            alignment[i] = Some(j);
+            used[j] = true;
+        }
+    }
+    let matches = alignment.iter().flatten().count();
+    if matches == 0 {
+        return 0.0;
+    }
+    let m = matches as f64;
+    let p = m / c.len() as f64;
+    let rec = m / r.len() as f64;
+    let f_mean = 10.0 * p * rec / (rec + 9.0 * p);
+
+    // Chunks: maximal runs of candidate matches mapping to consecutive
+    // reference positions.
+    let mut chunks = 0usize;
+    let mut prev: Option<usize> = None;
+    for a in alignment.iter() {
+        match (a, prev) {
+            (Some(j), Some(pj)) if *j == pj + 1 => {}
+            (Some(_), _) => chunks += 1,
+            (None, _) => {}
+        }
+        prev = *a;
+    }
+    let penalty = 0.5 * (chunks as f64 / m).powi(3);
+    f_mean * (1.0 - penalty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(c: &str, r: &str) -> f64 {
+        meteor(&[(c.to_string(), r.to_string())])
+    }
+
+    #[test]
+    fn identical_sentences_score_high() {
+        let s = score("the cat sat on the mat", "the cat sat on the mat");
+        // One chunk, m tokens: penalty = 0.5*(1/6)^3 ~ 0.0023.
+        assert!(s > 0.99);
+    }
+
+    #[test]
+    fn disjoint_sentences_score_zero() {
+        assert_eq!(score("aa bb cc", "dd ee ff"), 0.0);
+    }
+
+    #[test]
+    fn stem_matches_count() {
+        let exact = score("the student plays", "the student plays");
+        let stemmed = score("the students played", "the student plays");
+        assert!(stemmed > 0.5, "stem stage should align inflections: {stemmed}");
+        assert!(exact >= stemmed);
+    }
+
+    #[test]
+    fn fragmentation_penalized() {
+        let contiguous = score("a b c d", "a b c d");
+        let fragmented = score("a c b d", "a b c d");
+        assert!(contiguous > fragmented);
+    }
+
+    #[test]
+    fn recall_weighted_over_precision() {
+        // Both candidates match 2 tokens of a 4-token reference; the longer
+        // candidate has worse precision, which METEOR discounts 9:1.
+        let short = score("a b", "a b c d");
+        let long = score("a b x y z w q e", "a b c d");
+        // Recall identical, so scores should be within ~15% despite the 4x
+        // precision gap.
+        assert!((short - long).abs() / short < 0.35);
+    }
+
+    #[test]
+    fn empty_inputs_safe() {
+        assert_eq!(score("", "x"), 0.0);
+        assert_eq!(score("x", ""), 0.0);
+        assert_eq!(meteor(&[]), 0.0);
+    }
+
+    #[test]
+    fn corpus_mean() {
+        let pairs = vec![
+            ("a b".to_string(), "a b".to_string()),
+            ("zz".to_string(), "yy".to_string()),
+        ];
+        let m = meteor(&pairs);
+        assert!(m > 0.4 && m < 0.51);
+    }
+}

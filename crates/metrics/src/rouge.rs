@@ -1,0 +1,139 @@
+//! ROUGE-N and ROUGE-L F1 (Lin, 2004).
+
+use crate::{ngram_counts, tokenize};
+
+/// Mean ROUGE-N F1 over `(candidate, reference)` pairs.
+pub fn rouge_n(pairs: &[(String, String)], n: usize) -> f64 {
+    assert!(n >= 1, "n must be positive");
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = pairs
+        .iter()
+        .map(|(c, r)| pair_rouge_n(c, r, n))
+        .sum();
+    total / pairs.len() as f64
+}
+
+fn pair_rouge_n(candidate: &str, reference: &str, n: usize) -> f64 {
+    let c = tokenize(candidate);
+    let r = tokenize(reference);
+    let c_counts = ngram_counts(&c, n);
+    let r_counts = ngram_counts(&r, n);
+    let overlap: usize = r_counts
+        .iter()
+        .map(|(gram, &rc)| rc.min(c_counts.get(gram).copied().unwrap_or(0)))
+        .sum();
+    let c_total = c.len().saturating_sub(n - 1);
+    let r_total = r.len().saturating_sub(n - 1);
+    if c_total == 0 || r_total == 0 || overlap == 0 {
+        return 0.0;
+    }
+    let p = overlap as f64 / c_total as f64;
+    let rec = overlap as f64 / r_total as f64;
+    2.0 * p * rec / (p + rec)
+}
+
+/// Mean ROUGE-L F1 (longest common subsequence) over pairs.
+pub fn rouge_l(pairs: &[(String, String)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = pairs.iter().map(|(c, r)| pair_rouge_l(c, r)).sum();
+    total / pairs.len() as f64
+}
+
+fn pair_rouge_l(candidate: &str, reference: &str) -> f64 {
+    let c = tokenize(candidate);
+    let r = tokenize(reference);
+    if c.is_empty() || r.is_empty() {
+        return 0.0;
+    }
+    let l = lcs_len(&c, &r) as f64;
+    if l == 0.0 {
+        return 0.0;
+    }
+    let p = l / c.len() as f64;
+    let rec = l / r.len() as f64;
+    2.0 * p * rec / (p + rec)
+}
+
+/// Longest-common-subsequence length with a rolling 1-D DP table.
+fn lcs_len(a: &[String], b: &[String]) -> usize {
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut curr = vec![0usize; b.len() + 1];
+    for ai in a {
+        for (j, bj) in b.iter().enumerate() {
+            curr[j + 1] = if ai == bj {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(curr[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(c: &str, r: &str) -> Vec<(String, String)> {
+        vec![(c.to_string(), r.to_string())]
+    }
+
+    #[test]
+    fn identical_scores_one() {
+        let p = pair("the cat sat", "the cat sat");
+        assert!((rouge_n(&p, 1) - 1.0).abs() < 1e-12);
+        assert!((rouge_n(&p, 2) - 1.0).abs() < 1e-12);
+        assert!((rouge_l(&p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_scores_zero() {
+        let p = pair("aa bb", "cc dd");
+        assert_eq!(rouge_n(&p, 1), 0.0);
+        assert_eq!(rouge_l(&p), 0.0);
+    }
+
+    #[test]
+    fn rouge1_f1_hand_computed() {
+        // cand: "the cat" (2 tokens), ref: "the cat sat" (3 tokens).
+        // overlap 2, P = 1, R = 2/3, F1 = 0.8.
+        let p = pair("the cat", "the cat sat");
+        assert!((rouge_n(&p, 1) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lcs_ignores_gaps() {
+        // LCS of "a x b y c" and "a b c" is 3.
+        let a = tokenize("a x b y c");
+        let b = tokenize("a b c");
+        assert_eq!(lcs_len(&a, &b), 3);
+    }
+
+    #[test]
+    fn rouge_l_rewards_order() {
+        let in_order = rouge_l(&pair("a b c d", "a b c d e"));
+        let scrambled = rouge_l(&pair("d c b a", "a b c d e"));
+        assert!(in_order > scrambled);
+    }
+
+    #[test]
+    fn mean_over_corpus() {
+        let pairs = vec![
+            ("x".to_string(), "x".to_string()),
+            ("y".to_string(), "z".to_string()),
+        ];
+        assert!((rouge_n(&pairs, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_safe() {
+        assert_eq!(rouge_n(&[], 1), 0.0);
+        assert_eq!(rouge_l(&pair("", "abc")), 0.0);
+        assert_eq!(rouge_l(&pair("abc", "")), 0.0);
+    }
+}

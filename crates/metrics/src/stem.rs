@@ -1,0 +1,82 @@
+//! A light English suffix-stripping stemmer.
+//!
+//! METEOR's stem module only needs to conflate common inflections
+//! (`students`/`student`, `played`/`play`, `ordering`/`order`); a full
+//! Porter implementation is unnecessary. The stripper is conservative: it
+//! never reduces a word below three characters, which avoids collapsing
+//! unrelated short words.
+
+/// Strips common inflectional suffixes.
+pub fn light_stem(word: &str) -> String {
+    let w = word.to_lowercase();
+    let keep = |s: &str, cut: usize| s.len().saturating_sub(cut) >= 3;
+    if let Some(base) = w.strip_suffix("ies") {
+        if base.len() >= 2 {
+            return format!("{base}y");
+        }
+    }
+    for (suffix, replace) in [
+        ("sses", "ss"),
+        ("ing", ""),
+        ("edly", ""),
+        ("ed", ""),
+        ("ly", ""),
+        ("es", ""),
+        ("s", ""),
+    ] {
+        if let Some(base) = w.strip_suffix(suffix) {
+            if keep(&w, suffix.len()) {
+                // Words ending in "ss" keep their plural-looking tail
+                // ("class" must not become "clas").
+                if suffix == "s" && base.ends_with('s') {
+                    continue;
+                }
+                return format!("{base}{replace}");
+            }
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plural_nouns() {
+        assert_eq!(light_stem("students"), "student");
+        assert_eq!(light_stem("charts"), "chart");
+        assert_eq!(light_stem("countries"), "country");
+    }
+
+    #[test]
+    fn verb_inflections() {
+        assert_eq!(light_stem("played"), "play");
+        assert_eq!(light_stem("ordering"), "order");
+        assert_eq!(light_stem("passes"), "pass");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(light_stem("is"), "is");
+        assert_eq!(light_stem("as"), "as");
+        assert_eq!(light_stem("bed"), "bed");
+    }
+
+    #[test]
+    fn double_s_words_untouched() {
+        assert_eq!(light_stem("class"), "class");
+        assert_eq!(light_stem("less"), "less");
+    }
+
+    #[test]
+    fn case_is_folded() {
+        assert_eq!(light_stem("Students"), "student");
+    }
+
+    #[test]
+    fn matching_inflections_conflate() {
+        assert_eq!(light_stem("visualizations"), light_stem("visualization"));
+        assert_eq!(light_stem("grouped"), light_stem("group"));
+    }
+}

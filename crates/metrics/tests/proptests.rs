@@ -1,0 +1,77 @@
+//! Property-based tests: metric bounds, identity, and monotonicity
+//! invariants.
+
+use proptest::prelude::*;
+
+use metrics::{bleu, meteor, rouge_l, rouge_n, sentence_bleu, tokenize};
+
+fn sentences() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-z]{1,7}", 1..20).prop_map(|w| w.join(" "))
+}
+
+proptest! {
+    /// All metrics stay inside [0, 1].
+    #[test]
+    fn metrics_bounded(c in sentences(), r in sentences()) {
+        let pairs = vec![(c, r)];
+        for v in [
+            bleu(&pairs, 1), bleu(&pairs, 2), bleu(&pairs, 4),
+            rouge_n(&pairs, 1), rouge_n(&pairs, 2), rouge_l(&pairs),
+            meteor(&pairs),
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&v), "metric {v} out of bounds");
+        }
+    }
+
+    /// A sentence compared with itself scores 1 on BLEU and ROUGE.
+    #[test]
+    fn identity_scores_one(s in sentences()) {
+        let pairs = vec![(s.clone(), s.clone())];
+        prop_assert!((bleu(&pairs, 1) - 1.0).abs() < 1e-9);
+        prop_assert!((rouge_n(&pairs, 1) - 1.0).abs() < 1e-9);
+        prop_assert!((rouge_l(&pairs) - 1.0).abs() < 1e-9);
+        // METEOR pays a chunk penalty even on identity; for a one-token
+        // sentence it is exactly 0.5 (one chunk over one match).
+        prop_assert!(meteor(&pairs) >= 0.5 - 1e-9);
+    }
+
+    /// Metrics are symmetric under corpus duplication.
+    #[test]
+    fn duplication_invariant(c in sentences(), r in sentences()) {
+        let single = vec![(c.clone(), r.clone())];
+        let double = vec![(c.clone(), r.clone()), (c, r)];
+        prop_assert!((rouge_l(&single) - rouge_l(&double)).abs() < 1e-9);
+        prop_assert!((meteor(&single) - meteor(&double)).abs() < 1e-9);
+        prop_assert!((bleu(&single, 2) - bleu(&double, 2)).abs() < 1e-9);
+    }
+
+    /// Tokenization is deterministic and lossy only in whitespace/case.
+    #[test]
+    fn tokenize_stable(s in ".{0,100}") {
+        let a = tokenize(&s);
+        let b = tokenize(&s);
+        prop_assert_eq!(&a, &b);
+        // Re-tokenizing the joined tokens is a fixpoint.
+        let joined = a.join(" ");
+        prop_assert_eq!(tokenize(&joined), a);
+    }
+
+    /// Appending the reference to a candidate never lowers ROUGE recall
+    /// (and hence never zeroes a previously positive F1).
+    #[test]
+    fn extension_keeps_overlap(c in sentences(), r in sentences()) {
+        let base = rouge_n(&[(c.clone(), r.clone())], 1);
+        let extended = rouge_n(&[(format!("{c} {r}"), r)], 1);
+        if base > 0.0 {
+            prop_assert!(extended > 0.0);
+        }
+    }
+
+    /// Sentence BLEU equals corpus BLEU on a singleton corpus.
+    #[test]
+    fn sentence_is_singleton_corpus(c in sentences(), r in sentences()) {
+        let a = sentence_bleu(&c, &r, 2);
+        let b = bleu(&[(c, r)], 2);
+        prop_assert!((a - b).abs() < 1e-12);
+    }
+}

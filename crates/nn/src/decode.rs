@@ -1,0 +1,292 @@
+//! Decoding strategies: greedy, beam search, and grammar-constrained.
+//!
+//! Every sequence model exposes an incremental state with a
+//! `step(token) -> logits` method; the [`StepDecoder`] trait unifies them
+//! so the same decoding routines drive the T5 family and the LSTM
+//! baseline. The decoder start token is the T5 convention (`<pad>`).
+
+use crate::t5::DECODER_START;
+
+/// An incremental decoder: feed the previously produced token, get logits
+/// for the next one.
+pub trait StepDecoder {
+    /// Feeds `token` and returns next-token logits over the vocabulary.
+    fn step(&mut self, token: u32) -> Vec<f32>;
+}
+
+impl StepDecoder for crate::t5::DecodeState<'_> {
+    fn step(&mut self, token: u32) -> Vec<f32> {
+        crate::t5::DecodeState::step(self, token)
+    }
+}
+
+impl StepDecoder for crate::lstm::LstmDecodeState<'_> {
+    fn step(&mut self, token: u32) -> Vec<f32> {
+        crate::lstm::LstmDecodeState::step(self, token)
+    }
+}
+
+/// Greedy decoding until `eos` or `max_len` tokens.
+///
+/// Returns generated tokens excluding the final `eos`.
+pub fn greedy_decode(state: &mut dyn StepDecoder, eos: u32, max_len: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut prev = DECODER_START;
+    for _ in 0..max_len {
+        let logits = state.step(prev);
+        let next = argmax(&logits);
+        if next == eos {
+            break;
+        }
+        out.push(next);
+        prev = next;
+    }
+    out
+}
+
+/// Grammar-constrained greedy decoding: at each step the caller maps the
+/// emitted prefix to the set of allowed token ids; the argmax is taken
+/// over that set only. An empty allowed set terminates decoding.
+pub fn constrained_decode(
+    state: &mut dyn StepDecoder,
+    eos: u32,
+    max_len: usize,
+    mut allowed: impl FnMut(&[u32]) -> Vec<u32>,
+) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut prev = DECODER_START;
+    for _ in 0..max_len {
+        let logits = state.step(prev);
+        let mask = allowed(&out);
+        if mask.is_empty() {
+            break;
+        }
+        let next = mask
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                logits[a as usize]
+                    .partial_cmp(&logits[b as usize])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty mask");
+        if next == eos {
+            break;
+        }
+        out.push(next);
+        prev = next;
+    }
+    out
+}
+
+/// Beam search with length-normalized log-probability scoring.
+///
+/// Each hypothesis owns a cloned decoder state, so `D` must be `Clone`
+/// (cheap for the cached states: a few `[t, d]` tensors).
+pub fn beam_decode<D: StepDecoder + Clone>(
+    start: D,
+    eos: u32,
+    max_len: usize,
+    beam_width: usize,
+) -> Vec<u32> {
+    assert!(beam_width >= 1);
+    struct Hyp<D> {
+        state: D,
+        tokens: Vec<u32>,
+        log_prob: f32,
+        done: bool,
+    }
+    let mut beams = vec![Hyp {
+        state: start,
+        tokens: Vec::new(),
+        log_prob: 0.0,
+        done: false,
+    }];
+    for _ in 0..max_len {
+        if beams.iter().all(|b| b.done) {
+            break;
+        }
+        let mut candidates: Vec<Hyp<D>> = Vec::new();
+        for hyp in beams {
+            if hyp.done {
+                candidates.push(hyp);
+                continue;
+            }
+            let prev = *hyp.tokens.last().unwrap_or(&DECODER_START);
+            let mut state = hyp.state.clone();
+            let logits = state.step(prev);
+            let log_probs = log_softmax(&logits);
+            let mut top: Vec<(usize, f32)> = log_probs.iter().copied().enumerate().collect();
+            top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            for &(tok, lp) in top.iter().take(beam_width) {
+                let mut tokens = hyp.tokens.clone();
+                let done = tok as u32 == eos;
+                if !done {
+                    tokens.push(tok as u32);
+                }
+                candidates.push(Hyp {
+                    state: state.clone(),
+                    tokens,
+                    log_prob: hyp.log_prob + lp,
+                    done,
+                });
+            }
+        }
+        candidates.sort_by(|a, b| {
+            score(b)
+                .partial_cmp(&score(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        candidates.truncate(beam_width);
+        beams = candidates;
+    }
+    fn score<D>(h: &Hyp<D>) -> f32 {
+        h.log_prob / (h.tokens.len().max(1) as f32)
+    }
+    beams
+        .into_iter()
+        .max_by(|a, b| {
+            score(a)
+                .partial_cmp(&score(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|h| h.tokens)
+        .unwrap_or_default()
+}
+
+fn argmax(xs: &[f32]) -> u32 {
+    let mut best = 0usize;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best as u32
+}
+
+fn log_softmax(xs: &[f32]) -> Vec<f32> {
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let log_sum = xs.iter().map(|x| (x - max).exp()).sum::<f32>().ln() + max;
+    xs.iter().map(|x| x - log_sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted decoder: at step `t` it returns logits favouring
+    /// `script[t]`.
+    #[derive(Clone)]
+    struct Scripted {
+        script: Vec<u32>,
+        t: usize,
+        vocab: usize,
+    }
+
+    impl StepDecoder for Scripted {
+        fn step(&mut self, _token: u32) -> Vec<f32> {
+            let mut logits = vec![0.0; self.vocab];
+            let tok = self.script.get(self.t).copied().unwrap_or(1);
+            logits[tok as usize] = 5.0;
+            self.t += 1;
+            logits
+        }
+    }
+
+    #[test]
+    fn greedy_follows_argmax_until_eos() {
+        let mut s = Scripted {
+            script: vec![4, 5, 6, 1],
+            t: 0,
+            vocab: 8,
+        };
+        assert_eq!(greedy_decode(&mut s, 1, 10), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn greedy_respects_max_len() {
+        let mut s = Scripted {
+            script: vec![4; 100],
+            t: 0,
+            vocab: 8,
+        };
+        assert_eq!(greedy_decode(&mut s, 1, 3).len(), 3);
+    }
+
+    #[test]
+    fn constrained_decoding_overrides_argmax() {
+        // Model wants 4 but only 5 is allowed.
+        let mut s = Scripted {
+            script: vec![4, 1],
+            t: 0,
+            vocab: 8,
+        };
+        let out = constrained_decode(&mut s, 1, 10, |prefix| {
+            if prefix.is_empty() {
+                vec![5]
+            } else {
+                vec![1]
+            }
+        });
+        assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn constrained_stops_on_empty_mask() {
+        let mut s = Scripted {
+            script: vec![4; 10],
+            t: 0,
+            vocab: 8,
+        };
+        let out = constrained_decode(&mut s, 1, 10, |prefix| {
+            if prefix.len() < 2 {
+                vec![4]
+            } else {
+                vec![]
+            }
+        });
+        assert_eq!(out, vec![4, 4]);
+    }
+
+    #[test]
+    fn beam_matches_greedy_on_peaked_distributions() {
+        let s = Scripted {
+            script: vec![3, 6, 2, 1],
+            t: 0,
+            vocab: 8,
+        };
+        let beam = beam_decode(s.clone(), 1, 10, 3);
+        let mut s2 = s;
+        let greedy = greedy_decode(&mut s2, 1, 10);
+        assert_eq!(beam, greedy);
+    }
+
+    /// A decoder where greedy is suboptimal: token 2 looks best first but
+    /// leads to low-probability continuations.
+    #[derive(Clone)]
+    struct Garden {
+        path: Vec<u32>,
+    }
+
+    impl StepDecoder for Garden {
+        fn step(&mut self, _token: u32) -> Vec<f32> {
+            match self.path.as_slice() {
+                // Step 0: token 2 slightly beats token 3.
+                [] => {
+                    self.path.push(99);
+                    vec![0.0, 0.0, 1.0, 0.9]
+                }
+                _ => vec![0.0, 2.0, 0.0, 0.0],
+            }
+        }
+    }
+
+    #[test]
+    fn beam_explores_more_than_one_path() {
+        // With width 2 both first tokens survive; the final scores differ
+        // only via the first step, so beam keeps the greedy winner — this
+        // exercises the multi-hypothesis bookkeeping end to end.
+        let out = beam_decode(Garden { path: vec![] }, 1, 2, 2);
+        assert!(!out.is_empty());
+    }
+}

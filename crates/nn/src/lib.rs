@@ -1,0 +1,34 @@
+//! Neural-network substrate: layers, sequence models, optimization, and
+//! decoding.
+//!
+//! Everything DataVisT5 trains is built here on top of the [`tensor`]
+//! autodiff tape:
+//!
+//! * [`param`] — named parameter storage with Adam state, freezing (for
+//!   LoRA), and a simple binary checkpoint format;
+//! * [`optim`] — AdamW with global-norm gradient clipping and the linear
+//!   warmup/decay schedule the paper trains with;
+//! * [`layers`] — Linear, Embedding, RMSNorm, feed-forward, multi-head
+//!   attention with T5 relative-position buckets;
+//! * [`t5`] — the T5-style encoder–decoder (pre-norm, shared relative bias,
+//!   tied embeddings) with a KV-cached incremental decoder;
+//! * [`lstm`] — the attention LSTM seq2seq used by the Seq2Vis baseline;
+//! * [`lora`] — low-rank adapters over frozen linear weights;
+//! * [`decode`] / [`sample`] — greedy, beam, grammar-constrained, and
+//!   temperature/top-k sampling decoders;
+//! * [`train`] — a seq2seq training loop with gradient accumulation.
+
+pub mod decode;
+pub mod layers;
+pub mod lora;
+pub mod lstm;
+pub mod optim;
+pub mod param;
+pub mod sample;
+pub mod t5;
+pub mod train;
+
+pub use decode::{beam_decode, greedy_decode};
+pub use optim::{AdamW, LrSchedule};
+pub use param::{ParamId, ParamSet};
+pub use t5::{T5Config, T5Model};

@@ -1,0 +1,210 @@
+//! AdamW optimizer and learning-rate schedules.
+
+use crate::param::ParamSet;
+
+/// Learning-rate schedule: linear warmup to a peak followed by linear
+/// decay to zero at `total_steps` (the paper's 0.1 warmup-rate regimen),
+/// or a constant rate.
+#[derive(Debug, Clone, Copy)]
+pub enum LrSchedule {
+    Constant(f32),
+    LinearWarmup {
+        peak: f32,
+        warmup_steps: usize,
+        total_steps: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The paper's schedule: warmup over the first `warmup_rate` fraction
+    /// of training.
+    pub fn warmup_rate(peak: f32, warmup_rate: f32, total_steps: usize) -> Self {
+        let warmup_steps = ((total_steps as f32 * warmup_rate) as usize).max(1);
+        LrSchedule::LinearWarmup {
+            peak,
+            warmup_steps,
+            total_steps,
+        }
+    }
+
+    /// Learning rate at a (0-based) step.
+    pub fn at(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::LinearWarmup {
+                peak,
+                warmup_steps,
+                total_steps,
+            } => {
+                if step < warmup_steps {
+                    peak * (step + 1) as f32 / warmup_steps as f32
+                } else if step >= total_steps {
+                    0.0
+                } else {
+                    let rest = (total_steps - warmup_steps).max(1) as f32;
+                    peak * (total_steps - step) as f32 / rest
+                }
+            }
+        }
+    }
+}
+
+/// AdamW with decoupled weight decay and global-norm gradient clipping.
+#[derive(Debug, Clone)]
+pub struct AdamW {
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    /// Decoupled weight decay (the paper uses 0.01).
+    pub weight_decay: f32,
+    /// Clip gradients to this global L2 norm before stepping (0 disables).
+    pub clip_norm: f32,
+    pub(crate) step: usize,
+}
+
+impl Default for AdamW {
+    fn default() -> Self {
+        Self {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+            clip_norm: 1.0,
+            step: 0,
+        }
+    }
+}
+
+impl AdamW {
+    /// Number of optimizer steps taken.
+    pub fn steps_taken(&self) -> usize {
+        self.step
+    }
+
+    /// Applies one update using accumulated gradients, then zeroes them.
+    /// `scale` divides gradients first (use `1/accumulated_batches`).
+    pub fn step(&mut self, params: &mut ParamSet, lr: f32, scale: f32) {
+        self.step += 1;
+        let t = self.step as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+
+        // Global-norm clipping over the scaled gradients.
+        let mut clip_factor = 1.0f32;
+        if self.clip_norm > 0.0 {
+            let norm = params.grad_norm() * scale;
+            if norm > self.clip_norm {
+                clip_factor = self.clip_norm / norm;
+            }
+        }
+        let g_scale = scale * clip_factor;
+
+        for p in params.params_mut() {
+            if p.frozen {
+                continue;
+            }
+            let (value, grad, m, v) = (
+                p.value.data_mut(),
+                p.grad.data_mut(),
+                p.m.data_mut(),
+                p.v.data_mut(),
+            );
+            for i in 0..value.len() {
+                let g = grad[i] * g_scale;
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = m[i] / bias1;
+                let v_hat = v[i] / bias2;
+                value[i] -= lr * (m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * value[i]);
+                grad[i] = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::{Graph, Tensor};
+
+    #[test]
+    fn schedule_warms_up_then_decays() {
+        let s = LrSchedule::warmup_rate(1.0, 0.1, 100);
+        assert!(s.at(0) < s.at(5));
+        assert!((s.at(9) - 1.0).abs() < 1e-6);
+        assert!(s.at(50) < 1.0);
+        assert!(s.at(99) > 0.0);
+        assert_eq!(s.at(100), 0.0);
+    }
+
+    #[test]
+    fn constant_schedule_is_flat() {
+        let s = LrSchedule::Constant(0.5);
+        assert_eq!(s.at(0), 0.5);
+        assert_eq!(s.at(1000), 0.5);
+    }
+
+    /// Minimizing (w - 3)^2 should converge to w ≈ 3.
+    #[test]
+    fn adamw_converges_on_quadratic() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::scalar(0.0));
+        let mut opt = AdamW {
+            weight_decay: 0.0,
+            clip_norm: 0.0,
+            ..AdamW::default()
+        };
+        for _ in 0..800 {
+            let mut g = Graph::new();
+            let vw = ps.bind(&mut g, w);
+            let c = g.leaf(Tensor::scalar(-3.0), false);
+            let diff = g.add(vw, c);
+            let sq = g.mul(diff, diff);
+            let loss = g.sum(sq);
+            g.backward(loss);
+            ps.absorb_grads(&g);
+            opt.step(&mut ps, 0.05, 1.0);
+        }
+        let w_val = ps.value(w).data()[0];
+        assert!((w_val - 3.0).abs() < 0.05, "w = {w_val}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::scalar(1.0));
+        let mut opt = AdamW {
+            weight_decay: 0.1,
+            ..AdamW::default()
+        };
+        // Zero gradient: only decay acts.
+        opt.step(&mut ps, 0.1, 1.0);
+        assert!(ps.value(w).data()[0] < 1.0);
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::scalar(0.0));
+        let mut g = Graph::new();
+        let vw = ps.bind(&mut g, w);
+        let big = g.scale(vw, 1e6);
+        let loss = g.sum(big);
+        g.backward(loss);
+        ps.absorb_grads(&g);
+        let mut opt = AdamW::default();
+        opt.step(&mut ps, 0.1, 1.0);
+        // Despite the huge gradient, Adam + clipping keeps the step small.
+        assert!(ps.value(w).data()[0].abs() < 1.0);
+    }
+
+    #[test]
+    fn frozen_params_unchanged_by_step() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::scalar(5.0));
+        ps.freeze(w);
+        let mut opt = AdamW::default();
+        opt.step(&mut ps, 0.1, 1.0);
+        assert_eq!(ps.value(w).data()[0], 5.0);
+    }
+}

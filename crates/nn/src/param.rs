@@ -1,0 +1,335 @@
+//! Named parameter storage shared across training graphs.
+//!
+//! A [`ParamSet`] owns every trainable tensor of a model together with its
+//! gradient accumulator and Adam moments. Each forward pass binds the
+//! parameters it touches into a fresh [`tensor::Graph`] (see
+//! [`ParamSet::bind`]); after `backward`, [`ParamSet::absorb_grads`] pulls
+//! gradients back out. This keeps the tape single-use and interior-
+//! mutability-free while one parameter store serves thousands of graphs.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use tensor::{Graph, Tensor, Var};
+
+/// Handle to a parameter inside a [`ParamSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub usize);
+
+#[derive(Debug, Clone)]
+pub(crate) struct Param {
+    pub name: String,
+    pub value: Tensor,
+    pub grad: Tensor,
+    /// First Adam moment.
+    pub m: Tensor,
+    /// Second Adam moment.
+    pub v: Tensor,
+    /// Frozen parameters are bound as constants and skipped by the
+    /// optimizer (LoRA base weights).
+    pub frozen: bool,
+}
+
+/// Owns model parameters, their gradients, and optimizer state.
+#[derive(Debug, Default, Clone)]
+pub struct ParamSet {
+    params: Vec<Param>,
+    by_name: HashMap<String, usize>,
+}
+
+impl ParamSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter under a unique name.
+    ///
+    /// # Panics
+    /// Panics on duplicate names.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate parameter name '{name}'"
+        );
+        let shape = value.shape().to_vec();
+        let id = self.params.len();
+        self.by_name.insert(name.clone(), id);
+        self.params.push(Param {
+            name,
+            grad: Tensor::zeros(shape.clone()),
+            m: Tensor::zeros(shape.clone()),
+            v: Tensor::zeros(shape),
+            value,
+            frozen: false,
+        });
+        ParamId(id)
+    }
+
+    /// Number of parameters tensors.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total scalar parameter count (for the model-size tables).
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.numel()).sum()
+    }
+
+    /// Marks a parameter as frozen (bound as constant, never updated).
+    pub fn freeze(&mut self, id: ParamId) {
+        self.params[id.0].frozen = true;
+    }
+
+    /// Freezes every parameter currently registered (used before adding
+    /// LoRA adapters).
+    pub fn freeze_all(&mut self) {
+        for p in &mut self.params {
+            p.frozen = true;
+        }
+    }
+
+    /// Whether a parameter is frozen.
+    pub fn is_frozen(&self, id: ParamId) -> bool {
+        self.params[id.0].frozen
+    }
+
+    /// Read access to a parameter's value.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].value
+    }
+
+    /// Mutable access (weight tying / manual init).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0].value
+    }
+
+    /// The registered name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// All parameter names in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.params.iter().map(|p| p.name.clone()).collect()
+    }
+
+    /// Looks a parameter up by name.
+    pub fn by_name(&self, name: &str) -> Option<ParamId> {
+        self.by_name.get(name).copied().map(ParamId)
+    }
+
+    /// Binds a parameter into a graph: trainable leaf for live parameters,
+    /// constant leaf for frozen ones.
+    pub fn bind(&self, graph: &mut Graph, id: ParamId) -> Var {
+        let p = &self.params[id.0];
+        if p.frozen {
+            graph.leaf(p.value.clone(), false)
+        } else {
+            graph.param(p.value.clone(), id.0)
+        }
+    }
+
+    /// Accumulates the gradients a finished graph computed into the
+    /// parameter store (called once per graph after `backward`).
+    pub fn absorb_grads(&mut self, graph: &Graph) {
+        for (hook, grad) in graph.param_grads() {
+            self.params[hook].grad.add_assign(grad);
+        }
+    }
+
+    /// Clears gradient accumulators.
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad.data_mut().fill(0.0);
+        }
+    }
+
+    /// Global L2 norm of all live gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .filter(|p| !p.frozen)
+            .map(|p| {
+                let n = p.grad.l2_norm();
+                n * n
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    pub(crate) fn params_mut(&mut self) -> &mut [Param] {
+        &mut self.params
+    }
+
+    /// Serializes values (not optimizer state) to a binary checkpoint.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        f.write_all(&(self.params.len() as u32).to_le_bytes())?;
+        for p in &self.params {
+            let name = p.name.as_bytes();
+            f.write_all(&(name.len() as u32).to_le_bytes())?;
+            f.write_all(name)?;
+            f.write_all(&(p.value.shape().len() as u32).to_le_bytes())?;
+            for &d in p.value.shape() {
+                f.write_all(&(d as u32).to_le_bytes())?;
+            }
+            for &x in p.value.data() {
+                f.write_all(&x.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads values from a checkpoint into matching names.
+    ///
+    /// Parameters are matched by name; shape mismatches or unknown names
+    /// are errors so silent architecture drift cannot happen.
+    pub fn load(&mut self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut u32buf = [0u8; 4];
+        f.read_exact(&mut u32buf)?;
+        let count = u32::from_le_bytes(u32buf) as usize;
+        for _ in 0..count {
+            f.read_exact(&mut u32buf)?;
+            let name_len = u32::from_le_bytes(u32buf) as usize;
+            let mut name_bytes = vec![0u8; name_len];
+            f.read_exact(&mut name_bytes)?;
+            let name = String::from_utf8(name_bytes)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            f.read_exact(&mut u32buf)?;
+            let rank = u32::from_le_bytes(u32buf) as usize;
+            let mut shape = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                f.read_exact(&mut u32buf)?;
+                shape.push(u32::from_le_bytes(u32buf) as usize);
+            }
+            let numel: usize = shape.iter().product();
+            let mut data = vec![0f32; numel];
+            for x in &mut data {
+                f.read_exact(&mut u32buf)?;
+                *x = f32::from_le_bytes(u32buf);
+            }
+            let id = self.by_name(&name).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("checkpoint parameter '{name}' not in model"),
+                )
+            })?;
+            if self.params[id.0].value.shape() != shape.as_slice() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "shape mismatch for '{name}': model {:?} vs checkpoint {shape:?}",
+                        self.params[id.0].value.shape()
+                    ),
+                ));
+            }
+            self.params[id.0].value = Tensor::from_vec(shape, data);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_absorb_roundtrip() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::filled(vec![2, 2], 1.0));
+        let mut g = Graph::new();
+        let vw = ps.bind(&mut g, w);
+        let x = g.leaf(Tensor::filled(vec![1, 2], 2.0), false);
+        let y = g.matmul(x, vw);
+        let loss = g.sum(y);
+        g.backward(loss);
+        ps.absorb_grads(&g);
+        assert!(ps.params[0].grad.data().iter().all(|&v| v == 2.0));
+        ps.zero_grads();
+        assert!(ps.params[0].grad.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn frozen_params_get_no_grads() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::filled(vec![2, 2], 1.0));
+        ps.freeze(w);
+        let mut g = Graph::new();
+        let vw = ps.bind(&mut g, w);
+        let x = g.leaf(Tensor::filled(vec![1, 2], 2.0), false);
+        let y = g.matmul(x, vw);
+        let loss = g.sum(y);
+        g.backward(loss);
+        ps.absorb_grads(&g);
+        assert!(ps.params[0].grad.data().iter().all(|&v| v == 0.0));
+        assert_eq!(ps.grad_norm(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_names_panic() {
+        let mut ps = ParamSet::new();
+        ps.add("w", Tensor::zeros(vec![1]));
+        ps.add("w", Tensor::zeros(vec![1]));
+    }
+
+    #[test]
+    fn grad_accumulation_across_graphs() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::filled(vec![1, 1], 3.0));
+        for _ in 0..2 {
+            let mut g = Graph::new();
+            let vw = ps.bind(&mut g, w);
+            let loss = g.sum(vw);
+            g.backward(loss);
+            ps.absorb_grads(&g);
+        }
+        assert_eq!(ps.params[0].grad.data()[0], 2.0);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("datavist5_param_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+        let mut ps = ParamSet::new();
+        ps.add("a", Tensor::from_vec(vec![2], vec![1.5, -2.5]));
+        ps.add("b", Tensor::from_vec(vec![1, 3], vec![0.0, 1.0, 2.0]));
+        ps.save(&path).unwrap();
+        let mut other = ParamSet::new();
+        other.add("a", Tensor::zeros(vec![2]));
+        other.add("b", Tensor::zeros(vec![1, 3]));
+        other.load(&path).unwrap();
+        assert_eq!(other.value(ParamId(0)).data(), &[1.5, -2.5]);
+        assert_eq!(other.value(ParamId(1)).data(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn load_rejects_shape_mismatch() {
+        let dir = std::env::temp_dir().join("datavist5_param_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+        let mut ps = ParamSet::new();
+        ps.add("a", Tensor::zeros(vec![2]));
+        ps.save(&path).unwrap();
+        let mut other = ParamSet::new();
+        other.add("a", Tensor::zeros(vec![3]));
+        assert!(other.load(&path).is_err());
+    }
+
+    #[test]
+    fn num_scalars_counts_all() {
+        let mut ps = ParamSet::new();
+        ps.add("a", Tensor::zeros(vec![2, 3]));
+        ps.add("b", Tensor::zeros(vec![5]));
+        assert_eq!(ps.num_scalars(), 11);
+    }
+}

@@ -1,0 +1,214 @@
+//! Stochastic decoding: temperature and top-k sampling.
+//!
+//! Greedy/beam decoding (see [`crate::decode`]) is what the benchmark
+//! numbers use; sampling is the right tool for the generative tasks when
+//! diversity matters (e.g. producing several candidate chart narratives
+//! for a dashboard). Deterministic under a seed.
+
+use tensor::XorShift;
+
+use crate::decode::StepDecoder;
+use crate::t5::DECODER_START;
+
+/// Sampling configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleConfig {
+    /// Softmax temperature; 0 degenerates to greedy.
+    pub temperature: f32,
+    /// Keep only the k most likely tokens before sampling (0 = all).
+    pub top_k: usize,
+    pub seed: u64,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        Self {
+            temperature: 0.8,
+            top_k: 20,
+            seed: 0x5a5a,
+        }
+    }
+}
+
+/// Samples a sequence until `eos` or `max_len`.
+pub fn sample_decode(
+    state: &mut dyn StepDecoder,
+    eos: u32,
+    max_len: usize,
+    cfg: &SampleConfig,
+) -> Vec<u32> {
+    let mut rng = XorShift::new(cfg.seed);
+    let mut out = Vec::new();
+    let mut prev = DECODER_START;
+    for _ in 0..max_len {
+        let logits = state.step(prev);
+        let next = sample_token(&logits, cfg, &mut rng);
+        if next == eos {
+            break;
+        }
+        out.push(next);
+        prev = next;
+    }
+    out
+}
+
+/// Samples one token id from logits under temperature + top-k.
+pub fn sample_token(logits: &[f32], cfg: &SampleConfig, rng: &mut XorShift) -> u32 {
+    if cfg.temperature <= 0.0 {
+        return argmax(logits);
+    }
+    // Candidate set: top-k by logit (or everything).
+    let mut idx: Vec<usize> = (0..logits.len()).collect();
+    idx.sort_by(|&a, &b| logits[b].total_cmp(&logits[a]));
+    let k = if cfg.top_k == 0 {
+        logits.len()
+    } else {
+        cfg.top_k.min(logits.len())
+    };
+    let candidates = &idx[..k];
+    // Softmax over candidates at the requested temperature.
+    let max = logits[candidates[0]];
+    let weights: Vec<f32> = candidates
+        .iter()
+        .map(|&i| ((logits[i] - max) / cfg.temperature).exp())
+        .collect();
+    let total: f32 = weights.iter().sum();
+    let mut target = rng.next_f32() * total;
+    for (i, w) in candidates.iter().zip(weights.iter()) {
+        if target < *w {
+            return *i as u32;
+        }
+        target -= w;
+    }
+    candidates[k - 1] as u32
+}
+
+fn argmax(xs: &[f32]) -> u32 {
+    let mut best = 0usize;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone)]
+    struct Flat {
+        vocab: usize,
+        peak: usize,
+    }
+
+    impl StepDecoder for Flat {
+        fn step(&mut self, _t: u32) -> Vec<f32> {
+            let mut l = vec![0.0; self.vocab];
+            l[self.peak] = 4.0;
+            l[1] = 1.0; // eos has some mass
+            l
+        }
+    }
+
+    #[test]
+    fn zero_temperature_is_greedy() {
+        let mut rng = XorShift::new(1);
+        let cfg = SampleConfig {
+            temperature: 0.0,
+            top_k: 0,
+            seed: 1,
+        };
+        let logits = vec![0.1, 0.9, 0.3];
+        for _ in 0..10 {
+            assert_eq!(sample_token(&logits, &cfg, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn top_k_one_is_greedy_at_any_temperature() {
+        let mut rng = XorShift::new(2);
+        let cfg = SampleConfig {
+            temperature: 2.0,
+            top_k: 1,
+            seed: 2,
+        };
+        let logits = vec![0.1, 3.0, 0.3, 2.9];
+        for _ in 0..10 {
+            assert_eq!(sample_token(&logits, &cfg, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn sampling_respects_distribution_roughly() {
+        let mut rng = XorShift::new(3);
+        let cfg = SampleConfig {
+            temperature: 1.0,
+            top_k: 0,
+            seed: 3,
+        };
+        // p(2) ≈ e² / (e² + 2) — dominant.
+        let logits = vec![0.0, 0.0, 2.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..2000 {
+            counts[sample_token(&logits, &cfg, &mut rng) as usize] += 1;
+        }
+        assert!(counts[2] > 1200, "{counts:?}");
+        assert!(counts[0] > 50 && counts[1] > 50, "{counts:?}");
+    }
+
+    #[test]
+    fn high_temperature_flattens() {
+        let mut rng = XorShift::new(4);
+        let hot = SampleConfig {
+            temperature: 50.0,
+            top_k: 0,
+            seed: 4,
+        };
+        let logits = vec![0.0, 0.0, 2.0];
+        let mut hot_hits = 0;
+        for _ in 0..2000 {
+            if sample_token(&logits, &hot, &mut rng) == 2 {
+                hot_hits += 1;
+            }
+        }
+        // Near-uniform: the peak token wins only ~1/3 of the time.
+        assert!(hot_hits < 1000, "{hot_hits}");
+    }
+
+    #[test]
+    fn sample_decode_terminates_and_is_seeded() {
+        let cfg = SampleConfig::default();
+        let a = sample_decode(&mut Flat { vocab: 8, peak: 5 }, 1, 16, &cfg);
+        let b = sample_decode(&mut Flat { vocab: 8, peak: 5 }, 1, 16, &cfg);
+        assert_eq!(a, b, "same seed must give the same sample");
+        assert!(a.len() <= 16);
+        assert!(a.iter().all(|&t| t != 1), "eos must not appear in output");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = sample_decode(
+            &mut Flat { vocab: 64, peak: 5 },
+            1,
+            32,
+            &SampleConfig {
+                temperature: 1.5,
+                top_k: 0,
+                seed: 7,
+            },
+        );
+        let b = sample_decode(
+            &mut Flat { vocab: 64, peak: 5 },
+            1,
+            32,
+            &SampleConfig {
+                temperature: 1.5,
+                top_k: 0,
+                seed: 8,
+            },
+        );
+        assert_ne!(a, b);
+    }
+}

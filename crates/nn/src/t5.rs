@@ -1,0 +1,629 @@
+//! T5-style encoder–decoder sequence model.
+//!
+//! Architecture follows the T5 family the paper builds on: pre-norm
+//! residual blocks with RMS normalization, ReLU feed-forward, relative-
+//! position attention bias shared across a stack, tied input/output
+//! embeddings, and `<pad>` as the decoder start token. A `Sinusoidal`
+//! positional mode turns the same code into the "vanilla Transformer"
+//! baseline of the paper's tables.
+//!
+//! Two forward paths exist:
+//!
+//! * [`T5Model::loss`] — the training path on the autodiff tape;
+//! * [`DecodeState`] — KV-cached incremental inference (one token per
+//!   step), used by every decoder in [`crate::decode`]. A unit test checks
+//!   the two paths produce identical logits.
+
+use tensor::{Graph, Tensor, Var, XorShift};
+
+use crate::layers::{
+    causal_mask, Embedding, FeedForward, MultiHeadAttention, RelPosBias, RmsNorm,
+};
+use crate::param::{ParamId, ParamSet};
+
+/// Positional information scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Positional {
+    /// T5 relative-position buckets (the DataVisT5 family).
+    RelativeBias,
+    /// Fixed sinusoidal absolute encodings (the vanilla Transformer
+    /// baseline).
+    Sinusoidal,
+}
+
+/// Model hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct T5Config {
+    pub vocab: usize,
+    pub d_model: usize,
+    pub d_ff: usize,
+    pub heads: usize,
+    pub enc_layers: usize,
+    pub dec_layers: usize,
+    pub dropout: f32,
+    pub positional: Positional,
+}
+
+impl T5Config {
+    /// The "base"-scale preset standing in for the 220M checkpoint.
+    pub fn base(vocab: usize) -> Self {
+        Self {
+            vocab,
+            d_model: 64,
+            d_ff: 128,
+            heads: 4,
+            enc_layers: 2,
+            dec_layers: 2,
+            dropout: 0.1,
+            positional: Positional::RelativeBias,
+        }
+    }
+
+    /// The "large"-scale preset standing in for the 770M checkpoint.
+    pub fn large(vocab: usize) -> Self {
+        Self {
+            vocab,
+            d_model: 96,
+            d_ff: 192,
+            heads: 6,
+            enc_layers: 3,
+            dec_layers: 3,
+            dropout: 0.1,
+            positional: Positional::RelativeBias,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct EncBlock {
+    norm1: RmsNorm,
+    attn: MultiHeadAttention,
+    norm2: RmsNorm,
+    ff: FeedForward,
+}
+
+#[derive(Debug, Clone)]
+struct DecBlock {
+    norm1: RmsNorm,
+    self_attn: MultiHeadAttention,
+    norm2: RmsNorm,
+    cross_attn: MultiHeadAttention,
+    norm3: RmsNorm,
+    ff: FeedForward,
+}
+
+/// The encoder–decoder model. Parameters live in the [`ParamSet`] passed at
+/// construction; the struct holds only ids and hyperparameters.
+#[derive(Debug, Clone)]
+pub struct T5Model {
+    pub cfg: T5Config,
+    emb: Embedding,
+    enc_bias: Option<RelPosBias>,
+    dec_bias: Option<RelPosBias>,
+    enc: Vec<EncBlock>,
+    dec: Vec<DecBlock>,
+    enc_final: RmsNorm,
+    dec_final: RmsNorm,
+}
+
+/// Decoder start token (T5 uses the pad id).
+pub const DECODER_START: u32 = 0;
+
+impl T5Model {
+    /// Builds a model, registering parameters under `prefix.*`.
+    pub fn new(ps: &mut ParamSet, prefix: &str, cfg: T5Config, rng: &mut XorShift) -> Self {
+        let emb = Embedding::new(ps, &format!("{prefix}.emb"), cfg.vocab, cfg.d_model, rng);
+        let (enc_bias, dec_bias) = match cfg.positional {
+            Positional::RelativeBias => (
+                Some(RelPosBias::new(ps, &format!("{prefix}.enc_bias"), cfg.heads, true, rng)),
+                Some(RelPosBias::new(ps, &format!("{prefix}.dec_bias"), cfg.heads, false, rng)),
+            ),
+            Positional::Sinusoidal => (None, None),
+        };
+        let enc = (0..cfg.enc_layers)
+            .map(|i| {
+                let n = format!("{prefix}.enc{i}");
+                EncBlock {
+                    norm1: RmsNorm::new(ps, &format!("{n}.norm1"), cfg.d_model),
+                    attn: MultiHeadAttention::new(ps, &format!("{n}.attn"), cfg.d_model, cfg.heads, rng),
+                    norm2: RmsNorm::new(ps, &format!("{n}.norm2"), cfg.d_model),
+                    ff: FeedForward::new(ps, &format!("{n}.ff"), cfg.d_model, cfg.d_ff, rng),
+                }
+            })
+            .collect();
+        let dec = (0..cfg.dec_layers)
+            .map(|i| {
+                let n = format!("{prefix}.dec{i}");
+                DecBlock {
+                    norm1: RmsNorm::new(ps, &format!("{n}.norm1"), cfg.d_model),
+                    self_attn: MultiHeadAttention::new(
+                        ps,
+                        &format!("{n}.self"),
+                        cfg.d_model,
+                        cfg.heads,
+                        rng,
+                    ),
+                    norm2: RmsNorm::new(ps, &format!("{n}.norm2"), cfg.d_model),
+                    cross_attn: MultiHeadAttention::new(
+                        ps,
+                        &format!("{n}.cross"),
+                        cfg.d_model,
+                        cfg.heads,
+                        rng,
+                    ),
+                    norm3: RmsNorm::new(ps, &format!("{n}.norm3"), cfg.d_model),
+                    ff: FeedForward::new(ps, &format!("{n}.ff"), cfg.d_model, cfg.d_ff, rng),
+                }
+            })
+            .collect();
+        Self {
+            emb,
+            enc_bias,
+            dec_bias,
+            enc,
+            dec,
+            enc_final: RmsNorm::new(ps, &format!("{prefix}.enc_final"), cfg.d_model),
+            dec_final: RmsNorm::new(ps, &format!("{prefix}.dec_final"), cfg.d_model),
+            cfg,
+        }
+    }
+
+    /// The embedding table id (exposed for weight-tying inspection).
+    pub fn embedding_table(&self) -> ParamId {
+        self.emb.table
+    }
+
+    /// Converts the model into a LoRA-tuned variant: every existing
+    /// parameter is frozen and rank-`rank` adapters are attached to all
+    /// attention query/value projections (the standard LoRA recipe).
+    pub fn lora_adapt(&mut self, ps: &mut ParamSet, rank: usize, alpha: f32, rng: &mut XorShift) {
+        ps.freeze_all();
+        for (i, block) in self.enc.iter_mut().enumerate() {
+            block
+                .attn
+                .wq
+                .attach_lora(ps, &format!("lora.enc{i}.q"), rank, alpha, rng);
+            block
+                .attn
+                .wv
+                .attach_lora(ps, &format!("lora.enc{i}.v"), rank, alpha, rng);
+        }
+        for (i, block) in self.dec.iter_mut().enumerate() {
+            block
+                .self_attn
+                .wq
+                .attach_lora(ps, &format!("lora.dec{i}.self_q"), rank, alpha, rng);
+            block
+                .self_attn
+                .wv
+                .attach_lora(ps, &format!("lora.dec{i}.self_v"), rank, alpha, rng);
+            block
+                .cross_attn
+                .wq
+                .attach_lora(ps, &format!("lora.dec{i}.cross_q"), rank, alpha, rng);
+            block
+                .cross_attn
+                .wv
+                .attach_lora(ps, &format!("lora.dec{i}.cross_v"), rank, alpha, rng);
+        }
+    }
+
+    fn sinusoidal(&self, len: usize, offset: usize) -> Tensor {
+        let d = self.cfg.d_model;
+        let mut t = Tensor::zeros(vec![len, d]);
+        for pos in 0..len {
+            let p = (pos + offset) as f32;
+            for i in 0..d / 2 {
+                let freq = 1.0 / 10_000f32.powf(2.0 * i as f32 / d as f32);
+                t.data_mut()[pos * d + 2 * i] = (p * freq).sin();
+                t.data_mut()[pos * d + 2 * i + 1] = (p * freq).cos();
+            }
+        }
+        t
+    }
+
+    fn embed(&self, g: &mut Graph, ps: &ParamSet, ids: &[usize], offset: usize) -> Var {
+        let x = self.emb.forward(g, ps, ids);
+        match self.cfg.positional {
+            Positional::RelativeBias => x,
+            Positional::Sinusoidal => {
+                let pos = g.leaf(self.sinusoidal(ids.len(), offset), false);
+                g.add(x, pos)
+            }
+        }
+    }
+
+    fn maybe_dropout(&self, g: &mut Graph, x: Var, train: bool) -> Var {
+        if train && self.cfg.dropout > 0.0 {
+            g.dropout(x, self.cfg.dropout)
+        } else {
+            x
+        }
+    }
+
+    /// Runs the encoder over source ids, returning `[ts, d]` states.
+    pub fn encode(&self, g: &mut Graph, ps: &ParamSet, src: &[usize], train: bool) -> Var {
+        let ts = src.len();
+        let mut x = self.embed(g, ps, src, 0);
+        x = self.maybe_dropout(g, x, train);
+        let bias = self
+            .enc_bias
+            .as_ref()
+            .map(|b| b.bias(g, ps, ts, ts, 0));
+        for block in &self.enc {
+            let normed = block.norm1.forward(g, ps, x);
+            let attn = block.attn.forward(g, ps, normed, normed, bias);
+            let attn = self.maybe_dropout(g, attn, train);
+            x = g.add(x, attn);
+            let normed = block.norm2.forward(g, ps, x);
+            let ff = block.ff.forward(g, ps, normed);
+            let ff = self.maybe_dropout(g, ff, train);
+            x = g.add(x, ff);
+        }
+        self.enc_final.forward(g, ps, x)
+    }
+
+    /// Full-sequence decoder pass (teacher forcing), returning `[tt, d]`.
+    pub fn decode_all(
+        &self,
+        g: &mut Graph,
+        ps: &ParamSet,
+        enc_out: Var,
+        dec_input: &[usize],
+        train: bool,
+    ) -> Var {
+        let tt = dec_input.len();
+        let mut x = self.embed(g, ps, dec_input, 0);
+        x = self.maybe_dropout(g, x, train);
+        let mask = g.leaf(causal_mask(self.cfg.heads, tt, tt, 0), false);
+        let self_bias = match self.dec_bias.as_ref() {
+            Some(b) => {
+                let rel = b.bias(g, ps, tt, tt, 0);
+                g.add(rel, mask)
+            }
+            None => mask,
+        };
+        for block in &self.dec {
+            let normed = block.norm1.forward(g, ps, x);
+            let attn = block
+                .self_attn
+                .forward(g, ps, normed, normed, Some(self_bias));
+            let attn = self.maybe_dropout(g, attn, train);
+            x = g.add(x, attn);
+            let normed = block.norm2.forward(g, ps, x);
+            let cross = block.cross_attn.forward(g, ps, normed, enc_out, None);
+            let cross = self.maybe_dropout(g, cross, train);
+            x = g.add(x, cross);
+            let normed = block.norm3.forward(g, ps, x);
+            let ff = block.ff.forward(g, ps, normed);
+            let ff = self.maybe_dropout(g, ff, train);
+            x = g.add(x, ff);
+        }
+        self.dec_final.forward(g, ps, x)
+    }
+
+    /// Projects decoder states to vocabulary logits via the tied embedding.
+    pub fn logits(&self, g: &mut Graph, ps: &ParamSet, dec_out: Var) -> Var {
+        let table = ps.bind(g, self.emb.table);
+        let raw = g.matmul_nt(dec_out, table);
+        g.scale(raw, 1.0 / (self.cfg.d_model as f32).sqrt())
+    }
+
+    /// Teacher-forced cross-entropy loss of `tgt` given `src`.
+    ///
+    /// The decoder input is `tgt` shifted right with [`DECODER_START`]; the
+    /// targets are `tgt` itself (which should end with the tokenizer's EOS).
+    pub fn loss(
+        &self,
+        g: &mut Graph,
+        ps: &ParamSet,
+        src: &[u32],
+        tgt: &[u32],
+        smoothing: f32,
+    ) -> Var {
+        assert!(!tgt.is_empty(), "empty target sequence");
+        let src: Vec<usize> = src.iter().map(|&t| t as usize).collect();
+        let mut dec_input: Vec<usize> = Vec::with_capacity(tgt.len());
+        dec_input.push(DECODER_START as usize);
+        dec_input.extend(tgt[..tgt.len() - 1].iter().map(|&t| t as usize));
+        let targets: Vec<usize> = tgt.iter().map(|&t| t as usize).collect();
+
+        let enc_out = self.encode(g, ps, &src, true);
+        let dec_out = self.decode_all(g, ps, enc_out, &dec_input, true);
+        let logits = self.logits(g, ps, dec_out);
+        g.cross_entropy(logits, &targets, smoothing)
+    }
+
+    /// Evaluation loss (dropout disabled).
+    pub fn eval_loss(&self, ps: &ParamSet, src: &[u32], tgt: &[u32]) -> f32 {
+        let mut g = Graph::new();
+        let src: Vec<usize> = src.iter().map(|&t| t as usize).collect();
+        let mut dec_input: Vec<usize> = vec![DECODER_START as usize];
+        dec_input.extend(tgt[..tgt.len() - 1].iter().map(|&t| t as usize));
+        let targets: Vec<usize> = tgt.iter().map(|&t| t as usize).collect();
+        let enc_out = self.encode(&mut g, ps, &src, false);
+        let dec_out = self.decode_all(&mut g, ps, enc_out, &dec_input, false);
+        let logits = self.logits(&mut g, ps, dec_out);
+        let l = g.cross_entropy(logits, &targets, 0.0);
+        g.value(l).data()[0]
+    }
+}
+
+/// KV-cached incremental decoding state for one source sequence.
+#[derive(Clone)]
+pub struct DecodeState<'m> {
+    model: &'m T5Model,
+    ps: &'m ParamSet,
+    /// Per-decoder-layer cached cross-attention keys/values `[ts, d]`.
+    cross_k: Vec<Tensor>,
+    cross_v: Vec<Tensor>,
+    /// Per-decoder-layer growing self-attention keys/values `[t, d]`.
+    self_k: Vec<Tensor>,
+    self_v: Vec<Tensor>,
+    /// Number of tokens fed so far.
+    t: usize,
+}
+
+impl<'m> DecodeState<'m> {
+    /// Runs the encoder and precomputes cross-attention keys/values.
+    pub fn new(model: &'m T5Model, ps: &'m ParamSet, src: &[u32]) -> Self {
+        let mut g = Graph::new();
+        let src: Vec<usize> = src.iter().map(|&t| t as usize).collect();
+        let enc_out = model.encode(&mut g, ps, &src, false);
+        let mut cross_k = Vec::with_capacity(model.dec.len());
+        let mut cross_v = Vec::with_capacity(model.dec.len());
+        for block in &model.dec {
+            let k = block.cross_attn.wk.forward(&mut g, ps, enc_out);
+            let v = block.cross_attn.wv.forward(&mut g, ps, enc_out);
+            cross_k.push(g.value(k).clone());
+            cross_v.push(g.value(v).clone());
+        }
+        Self {
+            model,
+            ps,
+            cross_k,
+            cross_v,
+            self_k: vec![Tensor::zeros(vec![0, model.cfg.d_model]); model.dec.len()],
+            self_v: vec![Tensor::zeros(vec![0, model.cfg.d_model]); model.dec.len()],
+            t: 0,
+        }
+    }
+
+    /// Number of decoder tokens consumed.
+    pub fn len(&self) -> usize {
+        self.t
+    }
+
+    /// Whether any step has been taken.
+    pub fn is_empty(&self) -> bool {
+        self.t == 0
+    }
+
+    /// Feeds one decoder token (the previous output, starting with
+    /// [`DECODER_START`]) and returns next-token logits.
+    pub fn step(&mut self, token: u32) -> Vec<f32> {
+        let m = self.model;
+        let ps = self.ps;
+        let d = m.cfg.d_model;
+        let heads = m.cfg.heads;
+        let dh = d / heads;
+        let pos = self.t;
+        let mut g = Graph::new();
+
+        let mut x = m.embed(&mut g, ps, &[token as usize], pos);
+        for (l, block) in m.dec.iter().enumerate() {
+            // Self-attention with cache.
+            let normed = block.norm1.forward(&mut g, ps, x);
+            let q = block.self_attn.wq.forward(&mut g, ps, normed);
+            let k_new = block.self_attn.wk.forward(&mut g, ps, normed);
+            let v_new = block.self_attn.wv.forward(&mut g, ps, normed);
+            append_row(&mut self.self_k[l], g.value(k_new));
+            append_row(&mut self.self_v[l], g.value(v_new));
+            let tk = pos + 1;
+            let k_all = g.leaf(self.self_k[l].clone(), false);
+            let v_all = g.leaf(self.self_v[l].clone(), false);
+            // Heads: q -> [H,1,dh], K/V -> [H,tk,dh].
+            let q3 = g.reshape(q, vec![1, heads, dh]);
+            let q3 = g.permute3(q3, [1, 0, 2]);
+            let k3 = g.reshape(k_all, vec![tk, heads, dh]);
+            let k3 = g.permute3(k3, [1, 0, 2]);
+            let v3 = g.reshape(v_all, vec![tk, heads, dh]);
+            let v3 = g.permute3(v3, [1, 0, 2]);
+            let scores = g.bmm(q3, k3, true);
+            let mut scores = g.scale(scores, 1.0 / (dh as f32).sqrt());
+            if let Some(b) = m.dec_bias.as_ref() {
+                let bias = b.bias(&mut g, ps, 1, tk, pos);
+                scores = g.add(scores, bias);
+            }
+            let probs = g.softmax(scores);
+            let ctx = g.bmm(probs, v3, false);
+            let ctx = g.permute3(ctx, [1, 0, 2]);
+            let ctx = g.reshape(ctx, vec![1, d]);
+            let attn = block.self_attn.wo.forward(&mut g, ps, ctx);
+            x = g.add(x, attn);
+
+            // Cross-attention with precomputed keys/values.
+            let normed = block.norm2.forward(&mut g, ps, x);
+            let q = block.cross_attn.wq.forward(&mut g, ps, normed);
+            let ts = self.cross_k[l].shape()[0];
+            let k_all = g.leaf(self.cross_k[l].clone(), false);
+            let v_all = g.leaf(self.cross_v[l].clone(), false);
+            let q3 = g.reshape(q, vec![1, heads, dh]);
+            let q3 = g.permute3(q3, [1, 0, 2]);
+            let k3 = g.reshape(k_all, vec![ts, heads, dh]);
+            let k3 = g.permute3(k3, [1, 0, 2]);
+            let v3 = g.reshape(v_all, vec![ts, heads, dh]);
+            let v3 = g.permute3(v3, [1, 0, 2]);
+            let scores = g.bmm(q3, k3, true);
+            let scores = g.scale(scores, 1.0 / (dh as f32).sqrt());
+            let probs = g.softmax(scores);
+            let ctx = g.bmm(probs, v3, false);
+            let ctx = g.permute3(ctx, [1, 0, 2]);
+            let ctx = g.reshape(ctx, vec![1, d]);
+            let cross = block.cross_attn.wo.forward(&mut g, ps, ctx);
+            x = g.add(x, cross);
+
+            // Feed-forward.
+            let normed = block.norm3.forward(&mut g, ps, x);
+            let ff = block.ff.forward(&mut g, ps, normed);
+            x = g.add(x, ff);
+        }
+        let x = m.dec_final.forward(&mut g, ps, x);
+        let logits = m.logits(&mut g, ps, x);
+        self.t += 1;
+        g.value(logits).data().to_vec()
+    }
+}
+
+fn append_row(store: &mut Tensor, row: &Tensor) {
+    let d = row.shape()[1];
+    let t = store.shape()[0];
+    let mut data = std::mem::take(store).into_data();
+    data.extend_from_slice(row.data());
+    *store = Tensor::from_vec(vec![t + 1, d], data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(positional: Positional) -> T5Config {
+        T5Config {
+            vocab: 20,
+            d_model: 16,
+            d_ff: 32,
+            heads: 2,
+            enc_layers: 2,
+            dec_layers: 2,
+            dropout: 0.0,
+            positional,
+        }
+    }
+
+    fn build(positional: Positional) -> (T5Model, ParamSet) {
+        let mut ps = ParamSet::new();
+        let mut rng = XorShift::new(7);
+        let m = T5Model::new(&mut ps, "m", tiny_cfg(positional), &mut rng);
+        (m, ps)
+    }
+
+    #[test]
+    fn loss_is_finite_and_positive() {
+        let (m, ps) = build(Positional::RelativeBias);
+        let mut g = Graph::new();
+        let loss = m.loss(&mut g, &ps, &[3, 4, 5, 1], &[6, 7, 1], 0.0);
+        let v = g.value(loss).data()[0];
+        assert!(v.is_finite() && v > 0.0, "loss {v}");
+    }
+
+    #[test]
+    fn loss_backward_reaches_embeddings() {
+        let (m, mut ps) = build(Positional::RelativeBias);
+        let mut g = Graph::new();
+        let loss = m.loss(&mut g, &ps, &[3, 4, 1], &[5, 1], 0.0);
+        g.backward(loss);
+        ps.absorb_grads(&g);
+        let table_grad = &ps;
+        let id = m.embedding_table();
+        // The embedding grad should be non-zero (tied head guarantees it).
+        let norm: f32 = {
+            let mut g2 = Graph::new();
+            let _ = g2; // keep clippy quiet about unused
+            table_grad.value(id).l2_norm()
+        };
+        assert!(norm > 0.0);
+        // More importantly, at least one grad is non-zero.
+        assert!(ps.grad_norm() > 0.0);
+    }
+
+    #[test]
+    fn incremental_decode_matches_full_forward() {
+        for positional in [Positional::RelativeBias, Positional::Sinusoidal] {
+            let (m, ps) = build(positional);
+            let src = [3u32, 4, 5, 6, 1];
+            let tgt_prefix = [DECODER_START, 7, 8, 9];
+
+            // Full forward logits at every position.
+            let mut g = Graph::new();
+            let src_usize: Vec<usize> = src.iter().map(|&t| t as usize).collect();
+            let dec_input: Vec<usize> = tgt_prefix.iter().map(|&t| t as usize).collect();
+            let enc_out = m.encode(&mut g, &ps, &src_usize, false);
+            let dec_out = m.decode_all(&mut g, &ps, enc_out, &dec_input, false);
+            let logits = m.logits(&mut g, &ps, dec_out);
+            let full = g.value(logits).clone();
+
+            // Incremental decode.
+            let mut state = DecodeState::new(&m, &ps, &src);
+            for (i, &tok) in tgt_prefix.iter().enumerate() {
+                let step_logits = state.step(tok);
+                let want = &full.data()[i * m.cfg.vocab..(i + 1) * m.cfg.vocab];
+                for (a, b) in step_logits.iter().zip(want.iter()) {
+                    assert!(
+                        (a - b).abs() < 1e-3,
+                        "{positional:?} pos {i}: incremental {a} vs full {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sinusoidal_positions_distinguish_order() {
+        let (m, ps) = build(Positional::Sinusoidal);
+        let mut g = Graph::new();
+        let a = m.encode(&mut g, &ps, &[3, 4], false);
+        let b = m.encode(&mut g, &ps, &[4, 3], false);
+        let diff = g
+            .value(a)
+            .data()
+            .iter()
+            .zip(g.value(b).data().iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(diff > 1e-4, "order made no difference");
+    }
+
+    #[test]
+    fn presets_scale_up() {
+        let base = T5Config::base(100);
+        let large = T5Config::large(100);
+        assert!(large.d_model > base.d_model);
+        assert!(large.enc_layers > base.enc_layers);
+        let mut ps_b = ParamSet::new();
+        let mut ps_l = ParamSet::new();
+        let mut rng = XorShift::new(1);
+        let _ = T5Model::new(&mut ps_b, "b", base, &mut rng);
+        let _ = T5Model::new(&mut ps_l, "l", large, &mut rng);
+        assert!(ps_l.num_scalars() > ps_b.num_scalars());
+    }
+
+    #[test]
+    fn training_reduces_loss_on_copy_task() {
+        // Teach the tiny model to copy a 3-token sequence; loss must drop
+        // substantially, demonstrating the full backward path works.
+        let (m, mut ps) = build(Positional::RelativeBias);
+        let mut opt = crate::optim::AdamW {
+            weight_decay: 0.0,
+            ..Default::default()
+        };
+        let pairs: Vec<(Vec<u32>, Vec<u32>)> = vec![
+            (vec![3, 4, 5, 1], vec![3, 4, 5, 1]),
+            (vec![6, 7, 8, 1], vec![6, 7, 8, 1]),
+            (vec![9, 10, 11, 1], vec![9, 10, 11, 1]),
+        ];
+        let initial: f32 = pairs.iter().map(|(s, t)| m.eval_loss(&ps, s, t)).sum();
+        for step in 0..400 {
+            let (s, t) = &pairs[step % pairs.len()];
+            let mut g = Graph::new();
+            let loss = m.loss(&mut g, &ps, s, t, 0.0);
+            g.backward(loss);
+            ps.absorb_grads(&g);
+            opt.step(&mut ps, 5e-3, 1.0);
+        }
+        let trained: f32 = pairs.iter().map(|(s, t)| m.eval_loss(&ps, s, t)).sum();
+        assert!(
+            trained < initial * 0.3,
+            "loss did not drop: {initial} -> {trained}"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Integration tests: decoding strategies against actually-trained models
+//! (not scripted stubs).
+
+use nn::decode::{beam_decode, greedy_decode, StepDecoder};
+use nn::optim::AdamW;
+use nn::param::ParamSet;
+use nn::t5::{DecodeState, Positional, T5Config, T5Model, DECODER_START};
+use tensor::{Graph, XorShift};
+
+/// Trains a tiny model to reverse 3-token sequences.
+fn trained_reverser() -> (T5Model, ParamSet) {
+    let mut ps = ParamSet::new();
+    let mut rng = XorShift::new(99);
+    let cfg = T5Config {
+        vocab: 24,
+        d_model: 24,
+        d_ff: 48,
+        heads: 2,
+        enc_layers: 1,
+        dec_layers: 1,
+        dropout: 0.0,
+        positional: Positional::RelativeBias,
+    };
+    let model = T5Model::new(&mut ps, "rev", cfg, &mut rng);
+    let mut opt = AdamW::default();
+    opt.weight_decay = 0.0;
+    let data: Vec<(Vec<u32>, Vec<u32>)> = (0..6)
+        .map(|i| {
+            let (a, b, c) = (3 + i, 10 + i, 17 + i);
+            (vec![a, b, c, 1], vec![c, b, a, 1])
+        })
+        .collect();
+    for step in 0..500 {
+        let (s, t) = &data[step % data.len()];
+        let mut g = Graph::new();
+        let loss = model.loss(&mut g, &ps, s, t, 0.0);
+        g.backward(loss);
+        ps.absorb_grads(&g);
+        opt.step(&mut ps, 5e-3, 1.0);
+    }
+    (model, ps)
+}
+
+#[test]
+fn greedy_reverses_trained_sequences() {
+    let (model, ps) = trained_reverser();
+    let mut correct = 0;
+    for i in 0..6u32 {
+        let src = vec![3 + i, 10 + i, 17 + i, 1];
+        let want = vec![17 + i, 10 + i, 3 + i];
+        let mut state = DecodeState::new(&model, &ps, &src);
+        let got = greedy_decode(&mut state, 1, 8);
+        if got == want {
+            correct += 1;
+        }
+    }
+    assert!(correct >= 4, "only {correct}/6 training sequences reversed");
+}
+
+#[test]
+fn beam_is_at_least_as_likely_as_greedy() {
+    let (model, ps) = trained_reverser();
+    let src = vec![4u32, 11, 18, 1];
+    let mut greedy_state = DecodeState::new(&model, &ps, &src);
+    let greedy = greedy_decode(&mut greedy_state, 1, 8);
+    let beam = beam_decode(DecodeState::new(&model, &ps, &src), 1, 8, 3);
+    // Compute total log-prob of each output under the model.
+    let score = |tokens: &[u32]| -> f32 {
+        let mut state = DecodeState::new(&model, &ps, &src);
+        let mut prev = DECODER_START;
+        let mut total = 0.0f32;
+        for &t in tokens {
+            let logits = StepDecoder::step(&mut state, prev);
+            let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let log_z = logits.iter().map(|x| (x - max).exp()).sum::<f32>().ln() + max;
+            total += logits[t as usize] - log_z;
+            prev = t;
+        }
+        total / tokens.len().max(1) as f32
+    };
+    if !greedy.is_empty() && !beam.is_empty() {
+        assert!(
+            score(&beam) >= score(&greedy) - 1e-4,
+            "beam found a worse hypothesis: {} vs {}",
+            score(&beam),
+            score(&greedy)
+        );
+    }
+}
+
+#[test]
+fn cached_decode_is_deterministic() {
+    let (model, ps) = trained_reverser();
+    let src = vec![5u32, 12, 19, 1];
+    let a = {
+        let mut s = DecodeState::new(&model, &ps, &src);
+        greedy_decode(&mut s, 1, 8)
+    };
+    let b = {
+        let mut s = DecodeState::new(&model, &ps, &src);
+        greedy_decode(&mut s, 1, 8)
+    };
+    assert_eq!(a, b);
+}

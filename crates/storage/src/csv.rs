@@ -1,0 +1,276 @@
+//! CSV import/export for tables.
+//!
+//! Lets downstream users load their own data into the engine (the
+//! `dashboard_report` example consumes any database, not just synthetic
+//! ones). The dialect is minimal but correct: comma separation, `"`
+//! quoting with `""` escapes, one header row.
+
+use std::fmt::Write as _;
+
+use crate::table::{Column, ColumnType, Table};
+use crate::value::{Date, Value};
+
+/// CSV parse/serialize failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A row had a different arity than the header.
+    Ragged { line: usize, expected: usize, got: usize },
+    /// Unterminated quoted field.
+    UnterminatedQuote { line: usize },
+    /// The input had no header row.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Ragged { line, expected, got } => {
+                write!(f, "line {line}: expected {expected} fields, got {got}")
+            }
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "line {line}: unterminated quoted field")
+            }
+            CsvError::Empty => f.write_str("empty csv input"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Splits one CSV record honouring quotes; returns the fields.
+fn split_record(line: &str, line_no: usize) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut field)),
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote { line: line_no });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Infers the narrowest column type that fits every value in a column.
+fn infer_type(values: &[&str]) -> ColumnType {
+    let mut ty = ColumnType::Int;
+    for v in values {
+        if v.is_empty() {
+            continue;
+        }
+        match ty {
+            ColumnType::Int => {
+                if v.parse::<i64>().is_ok() {
+                } else if v.parse::<f64>().is_ok() {
+                    ty = ColumnType::Float;
+                } else if parse_date(v).is_some() {
+                    ty = ColumnType::Date;
+                } else {
+                    return ColumnType::Text;
+                }
+            }
+            ColumnType::Float => {
+                if v.parse::<f64>().is_err() {
+                    return ColumnType::Text;
+                }
+            }
+            ColumnType::Date => {
+                if parse_date(v).is_none() {
+                    return ColumnType::Text;
+                }
+            }
+            ColumnType::Text => return ColumnType::Text,
+        }
+    }
+    ty
+}
+
+fn parse_date(s: &str) -> Option<Date> {
+    let mut parts = s.split('-');
+    let y: i32 = parts.next()?.parse().ok()?;
+    let m: u8 = parts.next()?.parse().ok()?;
+    let d: u8 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    Some(Date::new(y, m, d))
+}
+
+fn parse_value(s: &str, ty: ColumnType) -> Value {
+    if s.is_empty() {
+        return Value::Null;
+    }
+    match ty {
+        ColumnType::Int => s.parse().map(Value::Int).unwrap_or(Value::Null),
+        ColumnType::Float => s.parse().map(Value::Float).unwrap_or(Value::Null),
+        ColumnType::Date => parse_date(s).map(Value::Date).unwrap_or(Value::Null),
+        ColumnType::Text => Value::Text(s.to_string()),
+    }
+}
+
+/// Parses CSV text (header + rows) into a typed table, inferring column
+/// types from the data.
+pub fn table_from_csv(name: &str, csv: &str) -> Result<Table, CsvError> {
+    let mut lines = csv.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or(CsvError::Empty)?;
+    let headers = split_record(header, 1)?;
+    let mut raw_rows: Vec<Vec<String>> = Vec::new();
+    for (i, line) in lines {
+        let fields = split_record(line, i + 1)?;
+        if fields.len() != headers.len() {
+            return Err(CsvError::Ragged {
+                line: i + 1,
+                expected: headers.len(),
+                got: fields.len(),
+            });
+        }
+        raw_rows.push(fields);
+    }
+    let columns: Vec<Column> = headers
+        .iter()
+        .enumerate()
+        .map(|(c, h)| {
+            let col_vals: Vec<&str> = raw_rows.iter().map(|r| r[c].as_str()).collect();
+            Column::new(h.trim(), infer_type(&col_vals))
+        })
+        .collect();
+    let mut table = Table::new(name, columns);
+    for raw in &raw_rows {
+        let row = raw
+            .iter()
+            .enumerate()
+            .map(|(c, v)| parse_value(v.trim(), table.columns[c].ty))
+            .collect();
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+/// Serializes a table as CSV (header + rows).
+pub fn table_to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let quote = |s: &str| -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let header: Vec<String> = table.columns.iter().map(|c| quote(&c.name)).collect();
+    let _ = writeln!(out, "{}", header.join(","));
+    for row in &table.rows {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                other => quote(&other.to_string()),
+            })
+            .collect();
+        let _ = writeln!(out, "{}", cells.join(","));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "name,age,joined,score\n\
+                          ada,31,2019-04-02,9.5\n\
+                          \"lee, jr\",28,2020-11-30,7\n\
+                          grace,45,2018-01-15,8.25\n";
+
+    #[test]
+    fn parses_and_infers_types() {
+        let t = table_from_csv("people", SAMPLE).unwrap();
+        assert_eq!(t.columns.len(), 4);
+        assert_eq!(t.columns[0].ty, ColumnType::Text);
+        assert_eq!(t.columns[1].ty, ColumnType::Int);
+        assert_eq!(t.columns[2].ty, ColumnType::Date);
+        assert_eq!(t.columns[3].ty, ColumnType::Float);
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[1][0], Value::Text("lee, jr".into()));
+    }
+
+    #[test]
+    fn roundtrip_preserves_content() {
+        let t = table_from_csv("people", SAMPLE).unwrap();
+        let csv = table_to_csv(&t);
+        let t2 = table_from_csv("people", &csv).unwrap();
+        assert_eq!(t.rows, t2.rows);
+        assert_eq!(t.column_names(), t2.column_names());
+    }
+
+    #[test]
+    fn quoted_quotes_roundtrip() {
+        let csv = "msg\n\"she said \"\"hi\"\"\"\n";
+        let t = table_from_csv("m", csv).unwrap();
+        assert_eq!(t.rows[0][0], Value::Text("she said \"hi\"".into()));
+        let again = table_from_csv("m", &table_to_csv(&t)).unwrap();
+        assert_eq!(t.rows, again.rows);
+    }
+
+    #[test]
+    fn ragged_rows_error_with_line() {
+        let csv = "a,b\n1,2\n3\n";
+        match table_from_csv("t", csv) {
+            Err(CsvError::Ragged { line, expected, got }) => {
+                assert_eq!((line, expected, got), (3, 2, 1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(matches!(
+            table_from_csv("t", "a\n\"oops\n"),
+            Err(CsvError::UnterminatedQuote { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert_eq!(table_from_csv("t", "\n\n"), Err(CsvError::Empty));
+    }
+
+    #[test]
+    fn empty_cells_become_null() {
+        let t = table_from_csv("t", "a,b\n1,\n,2\n").unwrap();
+        assert_eq!(t.rows[0][1], Value::Null);
+        assert_eq!(t.rows[1][0], Value::Null);
+    }
+
+    #[test]
+    fn imported_table_is_queryable() {
+        let t = table_from_csv("people", SAMPLE).unwrap();
+        let mut db = crate::table::Database::new("csvdb", "import");
+        db.add_table(t);
+        let q = vql::parse_query(
+            "visualize bar select people.name, people.score from people where people.age > 30",
+        )
+        .unwrap();
+        let r = crate::exec::execute(&q, &db).unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+}

@@ -1,0 +1,731 @@
+//! DV query execution.
+//!
+//! [`execute`] evaluates a (preferably standardized) [`vql::Query`] against
+//! a [`Database`] and returns a [`ResultTable`]; [`to_chart`] lifts a result
+//! onto the [`vql::Chart`] model. The supported fragment is exactly what DV
+//! queries express: one optional inner join, conjunctive filters (including
+//! `in`/`not in` sub-selects), temporal binning, grouping with the five SQL
+//! aggregates, and single-key ordering.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use vql::ast::{AggFunc, BinUnit, ColExpr, ColumnRef, CmpOp, Literal, Predicate, Query, Subquery};
+use vql::encode::LinearTable;
+use vql::{Chart, Series};
+
+use crate::table::Database;
+use crate::value::Value;
+
+/// Execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    UnknownTable(String),
+    UnknownColumn(String),
+    /// An aggregate applied to a non-numeric column, etc.
+    Type(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            ExecError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            ExecError::Type(msg) => write!(f, "type error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A materialized query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultTable {
+    /// Standardized header per output column (e.g. `count ( artist.country )`).
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultTable {
+    /// Converts to the text-linearizable view used by DV knowledge
+    /// encoding.
+    pub fn to_linear(&self) -> LinearTable {
+        LinearTable::new(
+            self.headers.clone(),
+            self.rows
+                .iter()
+                .map(|r| r.iter().map(|v| v.to_string()).collect())
+                .collect(),
+        )
+    }
+}
+
+/// Working relation: qualified column names plus row storage.
+struct Relation {
+    names: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    fn from_table(db: &Database, table: &str) -> Result<Relation, ExecError> {
+        let t = db
+            .table(table)
+            .ok_or_else(|| ExecError::UnknownTable(table.to_string()))?;
+        let tname = t.name.to_ascii_lowercase();
+        Ok(Relation {
+            names: t
+                .columns
+                .iter()
+                .map(|c| format!("{tname}.{}", c.name.to_ascii_lowercase()))
+                .collect(),
+            rows: t.rows.clone(),
+        })
+    }
+
+    /// Resolves a column reference to an index: qualified names match
+    /// exactly; bare names match a unique suffix.
+    fn resolve(&self, col: &ColumnRef) -> Result<usize, ExecError> {
+        let needle = col.to_string().to_ascii_lowercase();
+        if col.table.is_some() {
+            return self
+                .names
+                .iter()
+                .position(|n| *n == needle)
+                .ok_or(ExecError::UnknownColumn(needle));
+        }
+        let suffix = format!(".{needle}");
+        let hits: Vec<usize> = self
+            .names
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.ends_with(&suffix))
+            .map(|(i, _)| i)
+            .collect();
+        match hits.as_slice() {
+            [one] => Ok(*one),
+            _ => Err(ExecError::UnknownColumn(needle)),
+        }
+    }
+}
+
+/// Executes a DV query against a database.
+pub fn execute(query: &Query, db: &Database) -> Result<ResultTable, ExecError> {
+    let mut rel = Relation::from_table(db, &query.from)?;
+
+    if let Some(join) = &query.join {
+        let right = Relation::from_table(db, &join.table)?;
+        // Join keys may be written either way around; normalise to
+        // (left-rel key, right-rel key).
+        let (lkey, rkey) = match (rel.resolve(&join.left), right.resolve(&join.right)) {
+            (Ok(l), Ok(r)) => (l, r),
+            _ => (
+                rel.resolve(&join.right)?,
+                right.resolve(&join.left)?,
+            ),
+        };
+        let mut names = rel.names.clone();
+        names.extend(right.names.iter().cloned());
+        let mut rows = Vec::new();
+        for lrow in &rel.rows {
+            for rrow in &right.rows {
+                if lrow[lkey].loose_eq(&rrow[rkey]) {
+                    let mut combined = lrow.clone();
+                    combined.extend(rrow.iter().cloned());
+                    rows.push(combined);
+                }
+            }
+        }
+        rel = Relation { names, rows };
+    }
+
+    // Conjunctive filters.
+    for pred in &query.filters {
+        let keep = eval_filter(&rel, pred, db)?;
+        rel.rows = rel
+            .rows
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(row, k)| k.then_some(row))
+            .collect();
+    }
+
+    // Temporal binning rewrites the binned column in place.
+    if let Some(bin) = &query.bin {
+        let idx = rel.resolve(&bin.column)?;
+        for row in &mut rel.rows {
+            row[idx] = bin_value(&row[idx], bin.unit);
+        }
+    }
+
+    let has_agg = query.select.iter().any(|s| s.agg().is_some());
+    let headers: Vec<String> = query.select.iter().map(|s| s.to_string()).collect();
+
+    let rows = if has_agg || !query.group_by.is_empty() {
+        aggregate(&rel, query)?
+    } else {
+        project(&rel, query)?
+    };
+
+    let mut result = ResultTable { headers, rows };
+    apply_order(&mut result, query);
+    Ok(result)
+}
+
+fn eval_filter(rel: &Relation, pred: &Predicate, db: &Database) -> Result<Vec<bool>, ExecError> {
+    match pred {
+        Predicate::Compare { left, op, right } => {
+            let idx = rel.resolve(left)?;
+            Ok(rel
+                .rows
+                .iter()
+                .map(|row| compare(&row[idx], *op, right))
+                .collect())
+        }
+        Predicate::In { left, negated, sub } => {
+            let idx = rel.resolve(left)?;
+            let members = execute_subquery(sub, db)?;
+            Ok(rel
+                .rows
+                .iter()
+                .map(|row| {
+                    let found = members.iter().any(|m| m.loose_eq(&row[idx]));
+                    found != *negated
+                })
+                .collect())
+        }
+    }
+}
+
+fn compare(value: &Value, op: CmpOp, lit: &Literal) -> bool {
+    let rhs = match lit {
+        Literal::Number(n) => Value::Float(*n),
+        Literal::Text(s) => Value::Text(s.clone()),
+    };
+    match op {
+        CmpOp::Eq => value.loose_eq(&rhs),
+        CmpOp::Ne => !value.loose_eq(&rhs),
+        CmpOp::Like => match lit {
+            Literal::Text(p) => value.like(p),
+            Literal::Number(_) => false,
+        },
+        ordered => {
+            let cmp = value.total_cmp(&rhs);
+            match ordered {
+                CmpOp::Lt => cmp == std::cmp::Ordering::Less,
+                CmpOp::Le => cmp != std::cmp::Ordering::Greater,
+                CmpOp::Gt => cmp == std::cmp::Ordering::Greater,
+                CmpOp::Ge => cmp != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Evaluates an `in`-subquery into its value list.
+fn execute_subquery(sub: &Subquery, db: &Database) -> Result<Vec<Value>, ExecError> {
+    let mut rel = Relation::from_table(db, &sub.from)?;
+    if let Some(join) = &sub.join {
+        let right = Relation::from_table(db, &join.table)?;
+        let (lkey, rkey) = match (rel.resolve(&join.left), right.resolve(&join.right)) {
+            (Ok(l), Ok(r)) => (l, r),
+            _ => (rel.resolve(&join.right)?, right.resolve(&join.left)?),
+        };
+        let mut names = rel.names.clone();
+        names.extend(right.names.iter().cloned());
+        let mut rows = Vec::new();
+        for lrow in &rel.rows {
+            for rrow in &right.rows {
+                if lrow[lkey].loose_eq(&rrow[rkey]) {
+                    let mut combined = lrow.clone();
+                    combined.extend(rrow.iter().cloned());
+                    rows.push(combined);
+                }
+            }
+        }
+        rel = Relation { names, rows };
+    }
+    for pred in &sub.filters {
+        let keep = eval_filter(&rel, pred, db)?;
+        rel.rows = rel
+            .rows
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(row, k)| k.then_some(row))
+            .collect();
+    }
+    let idx = rel.resolve(&sub.select)?;
+    Ok(rel.rows.iter().map(|r| r[idx].clone()).collect())
+}
+
+fn bin_value(v: &Value, unit: BinUnit) -> Value {
+    match v {
+        Value::Date(d) => Value::Text(match unit {
+            BinUnit::Year => format!("{:04}", d.year),
+            BinUnit::Month => format!("{:04}-{:02}", d.year, d.month),
+            BinUnit::Day => d.to_string(),
+            BinUnit::Weekday => d.weekday_name().to_string(),
+        }),
+        // Integers can be year-like; bin them as themselves.
+        other => Value::Text(other.to_string()),
+    }
+}
+
+fn project(rel: &Relation, query: &Query) -> Result<Vec<Vec<Value>>, ExecError> {
+    let indices: Vec<usize> = query
+        .select
+        .iter()
+        .map(|s| rel.resolve(s.column_ref()))
+        .collect::<Result<_, _>>()?;
+    Ok(rel
+        .rows
+        .iter()
+        .map(|row| indices.iter().map(|&i| row[i].clone()).collect())
+        .collect())
+}
+
+fn aggregate(rel: &Relation, query: &Query) -> Result<Vec<Vec<Value>>, ExecError> {
+    // Group key: explicit group-by columns, or implicitly every non-agg
+    // select item (covers `bin … by …` queries that omit `group by`).
+    let key_cols: Vec<usize> = if query.group_by.is_empty() {
+        query
+            .select
+            .iter()
+            .filter(|s| s.agg().is_none())
+            .map(|s| rel.resolve(s.column_ref()))
+            .collect::<Result<_, _>>()?
+    } else {
+        query
+            .group_by
+            .iter()
+            .map(|c| rel.resolve(c))
+            .collect::<Result<_, _>>()?
+    };
+
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: HashMap<String, Vec<&Vec<Value>>> = HashMap::new();
+    for row in &rel.rows {
+        let key = key_cols
+            .iter()
+            .map(|&i| row[i].group_key())
+            .collect::<Vec<_>>()
+            .join("\u{1f}");
+        if !groups.contains_key(&key) {
+            order.push(key.clone());
+        }
+        groups.entry(key).or_default().push(row);
+    }
+    // A global aggregate without grouping (no key columns) still produces
+    // one row.
+    if key_cols.is_empty() && groups.is_empty() && !rel.rows.is_empty() {
+        unreachable!("covered by grouping loop");
+    }
+    if key_cols.is_empty() && rel.rows.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for key in &order {
+        let rows = &groups[key];
+        let mut out_row = Vec::with_capacity(query.select.len());
+        for item in &query.select {
+            match item {
+                ColExpr::Column(c) => {
+                    let idx = rel.resolve(c)?;
+                    out_row.push(rows[0][idx].clone());
+                }
+                ColExpr::Agg(func, c) => {
+                    out_row.push(apply_agg(rel, rows, *func, c)?);
+                }
+            }
+        }
+        out.push(out_row);
+    }
+    Ok(out)
+}
+
+fn apply_agg(
+    rel: &Relation,
+    rows: &[&Vec<Value>],
+    func: AggFunc,
+    col: &ColumnRef,
+) -> Result<Value, ExecError> {
+    if func == AggFunc::Count {
+        if col.is_wildcard() {
+            return Ok(Value::Int(rows.len() as i64));
+        }
+        let idx = rel.resolve(col)?;
+        let n = rows.iter().filter(|r| !r[idx].is_null()).count();
+        return Ok(Value::Int(n as i64));
+    }
+    let idx = rel.resolve(col)?;
+    let nums: Vec<f64> = rows.iter().filter_map(|r| r[idx].as_f64()).collect();
+    if nums.is_empty() {
+        return Ok(Value::Null);
+    }
+    Ok(match func {
+        AggFunc::Sum => Value::Float(nums.iter().sum()),
+        AggFunc::Avg => Value::Float(nums.iter().sum::<f64>() / nums.len() as f64),
+        AggFunc::Max => Value::Float(nums.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
+        AggFunc::Min => Value::Float(nums.iter().copied().fold(f64::INFINITY, f64::min)),
+        AggFunc::Count => unreachable!(),
+    })
+}
+
+/// Sorts the result in place if the order-by expression appears in the
+/// select list; unknown expressions leave the result unordered (mirroring a
+/// forgiving chart renderer).
+fn apply_order(result: &mut ResultTable, query: &Query) {
+    let Some(order) = &query.order_by else { return };
+    let Some(col) = query.select.iter().position(|s| s == &order.expr) else {
+        return;
+    };
+    result
+        .rows
+        .sort_by(|a, b| a[col].total_cmp(&b[col]));
+    if order.dir == vql::OrderDir::Desc {
+        result.rows.reverse();
+    }
+}
+
+/// Builds the chart model for a query's result.
+///
+/// Column 0 is the x channel, column 1 the y channel; a third column, when
+/// present on grouped chart types, becomes the series (color) channel.
+pub fn to_chart(query: &Query, result: &ResultTable) -> Chart {
+    let x_label = result.headers.first().cloned().unwrap_or_default();
+    let y_label = result.headers.get(1).cloned().unwrap_or_default();
+    let series = if query.select.len() >= 3 && query.chart.is_grouped() {
+        let mut order: Vec<String> = Vec::new();
+        let mut buckets: HashMap<String, Vec<(String, f64)>> = HashMap::new();
+        for row in &result.rows {
+            let group = row.get(2).map(|v| v.to_string()).unwrap_or_default();
+            if !buckets.contains_key(&group) {
+                order.push(group.clone());
+            }
+            buckets.entry(group).or_default().push(point_of(row));
+        }
+        order
+            .into_iter()
+            .map(|g| {
+                let pts = buckets.remove(&g).unwrap_or_default();
+                Series::named(g, pts)
+            })
+            .collect()
+    } else {
+        vec![Series::new(result.rows.iter().map(|r| point_of(r)).collect())]
+    };
+    Chart {
+        chart_type: query.chart,
+        x_label,
+        y_label,
+        series,
+    }
+}
+
+fn point_of(row: &[Value]) -> (String, f64) {
+    let label = row.first().map(|v| v.to_string()).unwrap_or_default();
+    let value = row.get(1).and_then(|v| v.as_f64()).unwrap_or(0.0);
+    (label, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Column, ColumnType, Table};
+    use crate::value::Date;
+    use vql::parse_query;
+
+    fn gallery_db() -> Database {
+        let mut db = Database::new("theme_gallery", "arts");
+        let mut artist = Table::new(
+            "artist",
+            vec![
+                Column::new("artist_id", ColumnType::Int),
+                Column::new("name", ColumnType::Text),
+                Column::new("country", ColumnType::Text),
+                Column::new("age", ColumnType::Int),
+                Column::new("year_join", ColumnType::Int),
+            ],
+        );
+        for (id, name, country, age, yj) in [
+            (1, "vijay", "united states", 34, 2009),
+            (2, "ford", "united states", 41, 2010),
+            (3, "oliver", "england", 28, 2011),
+            (4, "noah", "united states", 39, 2012),
+            (5, "emma", "france", 30, 2012),
+        ] {
+            artist.push_row(vec![
+                Value::Int(id),
+                Value::Text(name.into()),
+                Value::Text(country.into()),
+                Value::Int(age),
+                Value::Int(yj),
+            ]);
+        }
+        db.add_table(artist);
+
+        let mut exhibit = Table::new(
+            "exhibit",
+            vec![
+                Column::new("exhibit_id", ColumnType::Int),
+                Column::new("artist_id", ColumnType::Int),
+                Column::new("theme", ColumnType::Text),
+                Column::new("open_date", ColumnType::Date),
+            ],
+        );
+        for (eid, aid, theme, (y, m, d)) in [
+            (1, 1, "summer", (2019, 6, 1)),
+            (2, 1, "winter", (2019, 12, 1)),
+            (3, 3, "summer", (2020, 6, 15)),
+            (4, 5, "spring", (2020, 3, 10)),
+        ] {
+            exhibit.push_row(vec![
+                Value::Int(eid),
+                Value::Int(aid),
+                Value::Text(theme.into()),
+                Value::Date(Date::new(y, m, d)),
+            ]);
+        }
+        db.add_table(exhibit);
+        db
+    }
+
+    #[test]
+    fn group_count_matches_hand_computation() {
+        let db = gallery_db();
+        let q = parse_query(
+            "visualize pie select artist.country, count ( artist.country ) from artist \
+             group by artist.country",
+        )
+        .unwrap();
+        let r = execute(&q, &db).unwrap();
+        assert_eq!(r.headers[1], "count ( artist.country )");
+        assert_eq!(r.rows.len(), 3);
+        let us = r
+            .rows
+            .iter()
+            .find(|row| row[0].loose_eq(&Value::Text("united states".into())))
+            .unwrap();
+        assert_eq!(us[1], Value::Int(3));
+    }
+
+    #[test]
+    fn avg_min_aggregate() {
+        let db = gallery_db();
+        let q = parse_query(
+            "visualize scatter select artist.country, avg ( artist.age ), min ( artist.age ) \
+             from artist group by artist.country",
+        )
+        .unwrap();
+        let r = execute(&q, &db).unwrap();
+        let us = r
+            .rows
+            .iter()
+            .find(|row| row[0].loose_eq(&Value::Text("united states".into())))
+            .unwrap();
+        assert!(us[1].as_f64().unwrap() - 38.0 < 1e-9);
+        assert_eq!(us[2].as_f64(), Some(34.0));
+    }
+
+    #[test]
+    fn where_filter_applies() {
+        let db = gallery_db();
+        let q = parse_query(
+            "visualize bar select artist.name, artist.age from artist where artist.age > 30",
+        )
+        .unwrap();
+        let r = execute(&q, &db).unwrap();
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn join_combines_tables() {
+        let db = gallery_db();
+        let q = parse_query(
+            "visualize bar select artist.name, count ( exhibit.exhibit_id ) from artist \
+             join exhibit on artist.artist_id = exhibit.artist_id group by artist.name",
+        )
+        .unwrap();
+        let r = execute(&q, &db).unwrap();
+        // Artists 1, 3, 5 have exhibits.
+        assert_eq!(r.rows.len(), 3);
+        let vijay = r
+            .rows
+            .iter()
+            .find(|row| row[0].loose_eq(&Value::Text("vijay".into())))
+            .unwrap();
+        assert_eq!(vijay[1], Value::Int(2));
+    }
+
+    #[test]
+    fn join_keys_swapped_still_work() {
+        let db = gallery_db();
+        let q = parse_query(
+            "visualize bar select artist.name, count ( exhibit.exhibit_id ) from artist \
+             join exhibit on exhibit.artist_id = artist.artist_id group by artist.name",
+        )
+        .unwrap();
+        assert!(execute(&q, &db).is_ok());
+    }
+
+    #[test]
+    fn order_by_count_asc_sorts_rows() {
+        let db = gallery_db();
+        let q = parse_query(
+            "visualize bar select artist.country, count ( artist.country ) from artist \
+             group by artist.country order by count ( artist.country ) asc",
+        )
+        .unwrap();
+        let r = execute(&q, &db).unwrap();
+        let counts: Vec<i64> = r
+            .rows
+            .iter()
+            .map(|row| row[1].as_f64().unwrap() as i64)
+            .collect();
+        assert_eq!(counts, vec![1, 1, 3]);
+    }
+
+    #[test]
+    fn order_by_desc_reverses() {
+        let db = gallery_db();
+        let q = parse_query(
+            "visualize bar select artist.country, count ( artist.country ) from artist \
+             group by artist.country order by count ( artist.country ) desc",
+        )
+        .unwrap();
+        let r = execute(&q, &db).unwrap();
+        assert_eq!(r.rows[0][1], Value::Int(3));
+    }
+
+    #[test]
+    fn bin_by_year_buckets_dates() {
+        let db = gallery_db();
+        let q = parse_query(
+            "visualize line select exhibit.open_date, count ( exhibit.open_date ) from exhibit \
+             bin exhibit.open_date by year",
+        )
+        .unwrap();
+        let r = execute(&q, &db).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let y2019 = r
+            .rows
+            .iter()
+            .find(|row| row[0].loose_eq(&Value::Text("2019".into())))
+            .unwrap();
+        assert_eq!(y2019[1], Value::Int(2));
+    }
+
+    #[test]
+    fn bin_by_weekday_labels() {
+        let db = gallery_db();
+        let q = parse_query(
+            "visualize bar select exhibit.open_date, count ( exhibit.open_date ) from exhibit \
+             bin exhibit.open_date by weekday",
+        )
+        .unwrap();
+        let r = execute(&q, &db).unwrap();
+        assert!(r
+            .rows
+            .iter()
+            .all(|row| matches!(&row[0], Value::Text(s) if s.chars().all(|c| c.is_alphabetic()))));
+    }
+
+    #[test]
+    fn not_in_subquery_excludes_members() {
+        let db = gallery_db();
+        let q = parse_query(
+            "visualize bar select artist.name, artist.age from artist where artist.artist_id \
+             not in ( select exhibit.artist_id from exhibit )",
+        )
+        .unwrap();
+        let r = execute(&q, &db).unwrap();
+        // Artists 2 and 4 have no exhibits.
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn in_subquery_with_filter() {
+        let db = gallery_db();
+        let q = parse_query(
+            "visualize bar select artist.name, artist.age from artist where artist.artist_id \
+             in ( select exhibit.artist_id from exhibit where exhibit.theme = 'summer' )",
+        )
+        .unwrap();
+        let r = execute(&q, &db).unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let db = gallery_db();
+        let q = parse_query("visualize bar select t.a, t.b from missing").unwrap();
+        assert_eq!(
+            execute(&q, &db),
+            Err(ExecError::UnknownTable("missing".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        let db = gallery_db();
+        let q = parse_query("visualize bar select artist.nope, artist.age from artist").unwrap();
+        assert!(matches!(
+            execute(&q, &db),
+            Err(ExecError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn chart_model_from_result() {
+        let db = gallery_db();
+        let q = parse_query(
+            "visualize pie select artist.country, count ( artist.country ) from artist \
+             group by artist.country",
+        )
+        .unwrap();
+        let r = execute(&q, &db).unwrap();
+        let chart = to_chart(&q, &r);
+        assert_eq!(chart.part_count(), 3);
+        assert_eq!(chart.total(), 5.0);
+        assert_eq!(chart.value_of("united states"), Some(3.0));
+    }
+
+    #[test]
+    fn grouped_chart_splits_series() {
+        let db = gallery_db();
+        let q = parse_query(
+            "visualize stacked bar select artist.country, count ( artist.country ), \
+             artist.year_join from artist group by artist.country, artist.year_join",
+        )
+        .unwrap();
+        let r = execute(&q, &db).unwrap();
+        let chart = to_chart(&q, &r);
+        assert!(chart.series.len() >= 2);
+        assert!(chart.series.iter().all(|s| s.name.is_some()));
+    }
+
+    #[test]
+    fn result_table_linearizes() {
+        let db = gallery_db();
+        let q = parse_query(
+            "visualize pie select artist.country, count ( artist.country ) from artist \
+             group by artist.country",
+        )
+        .unwrap();
+        let r = execute(&q, &db).unwrap();
+        let lin = r.to_linear();
+        assert_eq!(lin.cell_count(), 6);
+        let text = vql::encode::encode_table(&lin);
+        assert!(text.starts_with("col : artist.country | count ( artist.country ) row 1 :"));
+    }
+
+    #[test]
+    fn projection_without_aggregates() {
+        let db = gallery_db();
+        let q = parse_query("visualize scatter select artist.age, artist.year_join from artist")
+            .unwrap();
+        let r = execute(&q, &db).unwrap();
+        assert_eq!(r.rows.len(), 5);
+        assert_eq!(r.headers, vec!["artist.age", "artist.year_join"]);
+    }
+}

@@ -1,0 +1,28 @@
+//! A miniature in-memory relational engine.
+//!
+//! DataVisT5's corpora need a database underneath them: FeVisQA Type-3
+//! answers ("what is the total number of count(film.type)?") must be
+//! consistent with the chart a DV query renders, and the Chart2Text-like
+//! corpus derives its tables from executed queries. This crate provides the
+//! typed substrate:
+//!
+//! * [`value`] — typed cell values with ordering and display;
+//! * [`table`] — column definitions, tables, and databases;
+//! * [`exec`] — an executor that evaluates a parsed [`vql::Query`]
+//!   (projection, filtering with `in`-subqueries, join, grouping with the
+//!   five aggregates, temporal binning, ordering) into a [`exec::ResultTable`];
+//! * chart construction ([`exec::to_chart`]) mapping results onto the
+//!   [`vql::Chart`] model.
+//!
+//! The engine is intentionally small — single join, conjunctive filters —
+//! exactly the fragment the DV query language can express.
+
+pub mod csv;
+pub mod exec;
+pub mod table;
+pub mod value;
+
+pub use csv::{table_from_csv, table_to_csv, CsvError};
+pub use exec::{execute, to_chart, ExecError, ResultTable};
+pub use table::{Column, ColumnType, Database, Table};
+pub use value::{Date, Value};

@@ -1,0 +1,193 @@
+//! Column definitions, tables, and databases.
+
+use crate::value::Value;
+use vql::schema::{DbSchema, TableSchema};
+
+/// Column data types understood by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    Int,
+    Float,
+    Text,
+    Date,
+}
+
+impl ColumnType {
+    /// Whether values of this type can feed `sum`/`avg`.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, ColumnType::Int | ColumnType::Float)
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub ty: ColumnType,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        Self {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// An in-memory table: definition plus row storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    pub name: String,
+    pub columns: Vec<Column>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        Self {
+            name: name.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row after checking its arity.
+    ///
+    /// # Panics
+    /// Panics if the row length does not match the column count.
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity {} != column count {} in table {}",
+            row.len(),
+            self.columns.len(),
+            self.name
+        );
+        self.rows.push(row);
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+}
+
+/// A named collection of tables.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Database {
+    pub name: String,
+    /// Domain tag used for cross-domain partitioning (e.g. "academic").
+    pub domain: String,
+    pub tables: Vec<Table>,
+}
+
+impl Database {
+    pub fn new(name: impl Into<String>, domain: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            domain: domain.into(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Adds a table.
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Looks up a table by (case-insensitive) name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The name-only schema view used by vql's standardizer and encoder.
+    pub fn schema(&self) -> DbSchema {
+        DbSchema::new(
+            self.name.clone(),
+            self.tables
+                .iter()
+                .map(|t| TableSchema::new(t.name.clone(), t.column_names()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artist_table() -> Table {
+        let mut t = Table::new(
+            "artist",
+            vec![
+                Column::new("artist_id", ColumnType::Int),
+                Column::new("name", ColumnType::Text),
+                Column::new("country", ColumnType::Text),
+            ],
+        );
+        t.push_row(vec![
+            Value::Int(1),
+            Value::Text("vijay".into()),
+            Value::Text("united states".into()),
+        ]);
+        t
+    }
+
+    #[test]
+    fn push_row_checks_arity() {
+        let t = artist_table();
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn wrong_arity_panics() {
+        let mut t = artist_table();
+        t.push_row(vec![Value::Int(2)]);
+    }
+
+    #[test]
+    fn column_index_is_case_insensitive() {
+        let t = artist_table();
+        assert_eq!(t.column_index("Country"), Some(2));
+        assert_eq!(t.column_index("missing"), None);
+    }
+
+    #[test]
+    fn database_schema_view() {
+        let mut db = Database::new("theme_gallery", "arts");
+        db.add_table(artist_table());
+        let schema = db.schema();
+        assert_eq!(schema.name, "theme_gallery");
+        assert_eq!(schema.tables.len(), 1);
+        assert_eq!(schema.columns_of("artist").len(), 3);
+    }
+
+    #[test]
+    fn table_lookup_is_case_insensitive() {
+        let mut db = Database::new("g", "arts");
+        db.add_table(artist_table());
+        assert!(db.table("ARTIST").is_some());
+        assert!(db.table("nope").is_none());
+    }
+
+    #[test]
+    fn numeric_types_flagged() {
+        assert!(ColumnType::Int.is_numeric());
+        assert!(ColumnType::Float.is_numeric());
+        assert!(!ColumnType::Text.is_numeric());
+        assert!(!ColumnType::Date.is_numeric());
+    }
+}

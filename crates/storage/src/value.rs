@@ -1,0 +1,238 @@
+//! Typed cell values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A calendar date (no time component).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    pub year: i32,
+    pub month: u8,
+    pub day: u8,
+}
+
+impl Date {
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        assert!((1..=12).contains(&month), "month {month} out of range");
+        assert!((1..=31).contains(&day), "day {day} out of range");
+        Self { year, month, day }
+    }
+
+    /// Day of week, 0 = Monday … 6 = Sunday (Zeller's congruence).
+    pub fn weekday(&self) -> u8 {
+        let (mut y, mut m) = (self.year, self.month as i32);
+        if m < 3 {
+            m += 12;
+            y -= 1;
+        }
+        let k = y % 100;
+        let j = y / 100;
+        let h = (self.day as i32 + 13 * (m + 1) / 5 + k + k / 4 + j / 4 + 5 * j) % 7;
+        // Zeller: 0 = Saturday; remap to 0 = Monday.
+        ((h + 5) % 7) as u8
+    }
+
+    /// English weekday name.
+    pub fn weekday_name(&self) -> &'static str {
+        const NAMES: [&str; 7] = [
+            "monday",
+            "tuesday",
+            "wednesday",
+            "thursday",
+            "friday",
+            "saturday",
+            "sunday",
+        ];
+        NAMES[self.weekday() as usize]
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A typed cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Text(String),
+    Date(Date),
+}
+
+impl Value {
+    /// Numeric view (ints and floats); `None` for text/date/null.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Total ordering used by `order by`: null < numbers < text < date,
+    /// with numeric types compared numerically.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (a, b) if a.as_f64().is_some() && b.as_f64().is_some() => {
+                a.as_f64().unwrap().total_cmp(&b.as_f64().unwrap())
+            }
+            (Text(a), Text(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Int(_) | Float(_), _) => Ordering::Less,
+            (_, Int(_) | Float(_)) => Ordering::Greater,
+            (Text(_), Date(_)) => Ordering::Less,
+            (Date(_), Text(_)) => Ordering::Greater,
+        }
+    }
+
+    /// Equality as used by predicates and group keys: numeric types
+    /// compare numerically; text comparisons are case-insensitive.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Text(a), Text(b)) => a.eq_ignore_ascii_case(b),
+            (a, b) if a.as_f64().is_some() && b.as_f64().is_some() => {
+                (a.as_f64().unwrap() - b.as_f64().unwrap()).abs() < 1e-9
+            }
+            (a, b) => a == b,
+        }
+    }
+
+    /// SQL-`like` match with `%` wildcards (case-insensitive).
+    pub fn like(&self, pattern: &str) -> bool {
+        let Value::Text(s) = self else { return false };
+        like_match(&s.to_ascii_lowercase(), &pattern.to_ascii_lowercase())
+    }
+
+    /// Canonical key for grouping (case-folded text, formatted numbers).
+    pub fn group_key(&self) -> String {
+        match self {
+            Value::Text(s) => s.to_ascii_lowercase(),
+            other => other.to_string(),
+        }
+    }
+}
+
+fn like_match(s: &str, pattern: &str) -> bool {
+    // Simple %-only glob matcher, recursive on segment boundaries.
+    let parts: Vec<&str> = pattern.split('%').collect();
+    if parts.len() == 1 {
+        return s == pattern;
+    }
+    let mut rest = s;
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            match rest.strip_prefix(part) {
+                Some(r) => rest = r,
+                None => return false,
+            }
+        } else if i == parts.len() - 1 && !pattern.ends_with('%') {
+            return rest.ends_with(part);
+        } else {
+            match rest.find(part) {
+                Some(pos) => rest = &rest[pos + part.len()..],
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{}", *x as i64)
+                } else {
+                    write!(f, "{x:.2}")
+                }
+            }
+            Value::Text(s) => f.write_str(s),
+            Value::Date(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_display_is_iso() {
+        assert_eq!(Date::new(2010, 3, 7).to_string(), "2010-03-07");
+    }
+
+    #[test]
+    fn weekday_known_dates() {
+        // 2000-01-01 was a Saturday; 2024-01-01 a Monday.
+        assert_eq!(Date::new(2000, 1, 1).weekday_name(), "saturday");
+        assert_eq!(Date::new(2024, 1, 1).weekday_name(), "monday");
+    }
+
+    #[test]
+    #[should_panic(expected = "month")]
+    fn invalid_month_panics() {
+        let _ = Date::new(2020, 13, 1);
+    }
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert!(Value::Int(2).loose_eq(&Value::Float(2.0)));
+        assert_eq!(
+            Value::Int(1).total_cmp(&Value::Float(1.5)),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn text_equality_is_case_insensitive() {
+        assert!(Value::Text("USA".into()).loose_eq(&Value::Text("usa".into())));
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int(-100)), Ordering::Less);
+    }
+
+    #[test]
+    fn like_wildcards() {
+        let v = Value::Text("Springfield".into());
+        assert!(v.like("%field"));
+        assert!(v.like("spring%"));
+        assert!(v.like("%ring%"));
+        assert!(v.like("springfield"));
+        assert!(!v.like("%xyz%"));
+        assert!(!Value::Int(3).like("%3%"));
+    }
+
+    #[test]
+    fn float_display_drops_trailing_zero_fraction() {
+        assert_eq!(Value::Float(4.0).to_string(), "4");
+        assert_eq!(Value::Float(4.25).to_string(), "4.25");
+    }
+
+    #[test]
+    fn group_key_folds_case() {
+        assert_eq!(Value::Text("England".into()).group_key(), "england");
+        assert_eq!(Value::Int(7).group_key(), "7");
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the executor: totality over generated
+//! queries, aggregate consistency, and ordering invariants.
+
+use proptest::prelude::*;
+
+use storage::{execute, to_chart, Column, ColumnType, Database, Table, Value};
+use vql::ast::{AggFunc, ChartType, ColExpr, ColumnRef, OrderBy, OrderDir, Query};
+
+fn database(rows: &[(i64, &str, f64)]) -> Database {
+    let mut db = Database::new("prop_db", "proptest");
+    let mut t = Table::new(
+        "items",
+        vec![
+            Column::new("item_id", ColumnType::Int),
+            Column::new("kind", ColumnType::Text),
+            Column::new("price", ColumnType::Float),
+        ],
+    );
+    for (id, kind, price) in rows {
+        t.push_row(vec![
+            Value::Int(*id),
+            Value::Text(kind.to_string()),
+            Value::Float(*price),
+        ]);
+    }
+    db.add_table(t);
+    db
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(i64, String, f64)>> {
+    prop::collection::vec(
+        (
+            1i64..100,
+            prop::sample::select(vec!["red", "green", "blue"]).prop_map(str::to_string),
+            0.0f64..100.0,
+        ),
+        1..25,
+    )
+}
+
+fn count_query(order: Option<OrderDir>) -> Query {
+    let kind = ColumnRef::qualified("items", "kind");
+    Query {
+        chart: ChartType::Bar,
+        select: vec![
+            ColExpr::Column(kind.clone()),
+            ColExpr::Agg(AggFunc::Count, kind.clone()),
+        ],
+        from: "items".into(),
+        join: None,
+        filters: vec![],
+        group_by: vec![kind.clone()],
+        order_by: order.map(|dir| OrderBy {
+            expr: ColExpr::Agg(AggFunc::Count, kind),
+            dir,
+        }),
+        bin: None,
+    }
+}
+
+proptest! {
+    /// Group-by counts always sum to the table's row count.
+    #[test]
+    fn counts_partition_rows(rows in rows_strategy()) {
+        let refs: Vec<(i64, &str, f64)> = rows.iter().map(|(a, b, c)| (*a, b.as_str(), *c)).collect();
+        let db = database(&refs);
+        let result = execute(&count_query(None), &db).unwrap();
+        let total: f64 = result
+            .rows
+            .iter()
+            .map(|r| r[1].as_f64().unwrap_or(0.0))
+            .sum();
+        prop_assert_eq!(total as usize, rows.len());
+        // At most three groups exist.
+        prop_assert!(result.rows.len() <= 3);
+    }
+
+    /// Ascending order-by yields a sorted y column; descending its mirror.
+    #[test]
+    fn order_by_sorts(rows in rows_strategy()) {
+        let refs: Vec<(i64, &str, f64)> = rows.iter().map(|(a, b, c)| (*a, b.as_str(), *c)).collect();
+        let db = database(&refs);
+        for dir in [OrderDir::Asc, OrderDir::Desc] {
+            let result = execute(&count_query(Some(dir)), &db).unwrap();
+            let ys: Vec<f64> = result.rows.iter().map(|r| r[1].as_f64().unwrap()).collect();
+            let mut sorted = ys.clone();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            if dir == OrderDir::Desc {
+                sorted.reverse();
+            }
+            prop_assert_eq!(ys, sorted);
+        }
+    }
+
+    /// Min ≤ Avg ≤ Max on any non-empty group.
+    #[test]
+    fn aggregate_ordering(rows in rows_strategy()) {
+        let refs: Vec<(i64, &str, f64)> = rows.iter().map(|(a, b, c)| (*a, b.as_str(), *c)).collect();
+        let db = database(&refs);
+        let kind = ColumnRef::qualified("items", "kind");
+        let price = ColumnRef::qualified("items", "price");
+        let q = Query {
+            chart: ChartType::Scatter,
+            select: vec![
+                ColExpr::Agg(AggFunc::Min, price.clone()),
+                ColExpr::Agg(AggFunc::Avg, price.clone()),
+                ColExpr::Agg(AggFunc::Max, price),
+            ],
+            from: "items".into(),
+            join: None,
+            filters: vec![],
+            group_by: vec![kind],
+            order_by: None,
+            bin: None,
+        };
+        let result = execute(&q, &db).unwrap();
+        for row in &result.rows {
+            let (min, avg, max) = (
+                row[0].as_f64().unwrap(),
+                row[1].as_f64().unwrap(),
+                row[2].as_f64().unwrap(),
+            );
+            prop_assert!(min <= avg + 1e-9 && avg <= max + 1e-9, "{min} {avg} {max}");
+        }
+    }
+
+    /// The chart model conserves the executed totals.
+    #[test]
+    fn chart_total_matches_result(rows in rows_strategy()) {
+        let refs: Vec<(i64, &str, f64)> = rows.iter().map(|(a, b, c)| (*a, b.as_str(), *c)).collect();
+        let db = database(&refs);
+        let q = count_query(None);
+        let result = execute(&q, &db).unwrap();
+        let chart = to_chart(&q, &result);
+        prop_assert_eq!(chart.part_count(), result.rows.len());
+        prop_assert!((chart.total() - rows.len() as f64).abs() < 1e-9);
+    }
+
+    /// Executing any query parsed from corpus-style text never panics
+    /// (errors are fine; panics are not).
+    #[test]
+    fn executor_total_on_garbage_columns(col in "[a-z]{1,8}") {
+        let db = database(&[(1, "red", 2.0)]);
+        let text = format!("visualize bar select items.{col}, count ( items.{col} ) from items group by items.{col}");
+        let q = vql::parse_query(&text).unwrap();
+        let _ = execute(&q, &db);
+    }
+}

@@ -1,0 +1,1350 @@
+//! The reverse-mode autodiff tape.
+//!
+//! A [`Graph`] is a single-use tape: build one per training step, run the
+//! forward ops (which execute eagerly and record themselves), call
+//! [`Graph::backward`] once, then harvest parameter gradients. Ops are
+//! coarse (whole matmuls, whole softmaxes) so tape overhead is negligible
+//! next to the kernels.
+
+use crate::kernels;
+use crate::{Tensor, XorShift};
+
+/// Sentinel target id meaning "do not score this position" in
+/// [`Graph::cross_entropy`].
+pub const IGNORE_TARGET: usize = usize::MAX;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+/// Matmul operand orientation for [`Graph::bmm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(dead_code)] // Tn is constructed only by gradient code paths today.
+enum MmMode {
+    /// `A·B`
+    Nn,
+    /// `A·Bᵀ`
+    Nt,
+    /// `Aᵀ·B`
+    Tn,
+}
+
+#[derive(Debug)]
+enum Op {
+    Leaf {
+        param_hook: Option<usize>,
+    },
+    Add(usize, usize),
+    /// Broadcast-add a `[cols]` bias over every row of a `[rows, cols]` input.
+    AddBias(usize, usize),
+    Mul(usize, usize),
+    Scale(usize, f32),
+    /// 2-D (single) or 3-D (batched) matmul with operand orientation.
+    Matmul {
+        a: usize,
+        b: usize,
+        mode: MmMode,
+    },
+    Relu(usize),
+    Sigmoid(usize),
+    Tanh(usize),
+    /// Softmax over the last dimension.
+    Softmax(usize),
+    /// RMS norm over the last dimension with a learned gain vector.
+    RmsNorm {
+        x: usize,
+        gain: usize,
+        /// Cached per-row RMS values.
+        rms: Vec<f32>,
+    },
+    /// Row-gather from an embedding table.
+    Embedding {
+        table: usize,
+        ids: Vec<usize>,
+    },
+    Reshape {
+        x: usize,
+        old_shape: Vec<usize>,
+    },
+    Permute3 {
+        x: usize,
+        perm: [usize; 3],
+    },
+    Dropout {
+        x: usize,
+        mask: Vec<f32>,
+    },
+    /// Mean negative log-likelihood over non-ignored targets, with optional
+    /// label smoothing. Caches row softmax probabilities for backward.
+    CrossEntropy {
+        logits: usize,
+        targets: Vec<usize>,
+        probs: Vec<f32>,
+        smoothing: f32,
+        count: usize,
+    },
+    Sum(usize),
+    /// Vertical concatenation of same-width 2-D tensors.
+    ConcatRows {
+        parts: Vec<usize>,
+        rows: Vec<usize>,
+    },
+    /// Contiguous row slice of a 2-D tensor.
+    SliceRows {
+        x: usize,
+        start: usize,
+    },
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// A single-use reverse-mode autodiff tape. See the crate docs for usage.
+pub struct Graph {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Tensor>>,
+    rng: XorShift,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// Creates an empty tape with a fixed dropout seed.
+    pub fn new() -> Self {
+        Self::with_seed(0x5eed)
+    }
+
+    /// Creates an empty tape whose dropout masks derive from `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            nodes: Vec::with_capacity(256),
+            grads: Vec::new(),
+            rng: XorShift::new(seed),
+        }
+    }
+
+    /// Number of recorded nodes (useful for capacity diagnostics).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
+        self.nodes.push(Node {
+            value,
+            op,
+            requires_grad,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn requires(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// Inserts a leaf tensor. `requires_grad` leaves receive gradients (e.g.
+    /// inputs you want sensitivities for); constants do not.
+    pub fn leaf(&mut self, value: Tensor, requires_grad: bool) -> Var {
+        self.push(value, Op::Leaf { param_hook: None }, requires_grad)
+    }
+
+    /// Inserts a trainable-parameter leaf tagged with an external hook id;
+    /// after [`Graph::backward`] its gradient is available via
+    /// [`Graph::param_grads`].
+    pub fn param(&mut self, value: Tensor, hook: usize) -> Var {
+        self.push(
+            value,
+            Op::Leaf {
+                param_hook: Some(hook),
+            },
+            true,
+        )
+    }
+
+    /// Reads a node's value.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Reads a node's gradient after `backward` (None if it never received
+    /// one or does not require grad).
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    /// Elementwise sum of two same-shaped tensors.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(va.shape(), vb.shape(), "add shape mismatch");
+        let mut out = va.clone();
+        out.add_assign(vb);
+        let req = self.requires(a) || self.requires(b);
+        self.push(out, Op::Add(a.0, b.0), req)
+    }
+
+    /// Adds a `[cols]` bias vector to every row of a `[rows, cols]` tensor.
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        let (vx, vb) = (&self.nodes[x.0].value, &self.nodes[bias.0].value);
+        assert_eq!(vx.rank(), 2, "add_bias input must be 2-D");
+        let cols = vx.cols();
+        assert_eq!(vb.numel(), cols, "bias length must match columns");
+        let mut out = vx.clone();
+        for row in out.data_mut().chunks_mut(cols) {
+            for (o, b) in row.iter_mut().zip(vb.data().iter()) {
+                *o += b;
+            }
+        }
+        let req = self.requires(x) || self.requires(bias);
+        self.push(out, Op::AddBias(x.0, bias.0), req)
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(va.shape(), vb.shape(), "mul shape mismatch");
+        let data = va
+            .data()
+            .iter()
+            .zip(vb.data().iter())
+            .map(|(x, y)| x * y)
+            .collect();
+        let out = Tensor::from_vec(va.shape().to_vec(), data);
+        let req = self.requires(a) || self.requires(b);
+        self.push(out, Op::Mul(a.0, b.0), req)
+    }
+
+    /// Multiplies by a constant.
+    pub fn scale(&mut self, a: Var, factor: f32) -> Var {
+        let mut out = self.nodes[a.0].value.clone();
+        out.scale_assign(factor);
+        let req = self.requires(a);
+        self.push(out, Op::Scale(a.0, factor), req)
+    }
+
+    /// 2-D matmul `A·B` with `A: [m,k]`, `B: [k,n]`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        self.mm(a, b, MmMode::Nn)
+    }
+
+    /// 2-D matmul `A·Bᵀ` with `A: [m,k]`, `B: [n,k]`.
+    pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
+        self.mm(a, b, MmMode::Nt)
+    }
+
+    fn mm(&mut self, a: Var, b: Var, mode: MmMode) -> Var {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(va.rank(), 2, "matmul lhs must be 2-D");
+        assert_eq!(vb.rank(), 2, "matmul rhs must be 2-D");
+        let out = match mode {
+            MmMode::Nn => {
+                let (m, k) = (va.shape()[0], va.shape()[1]);
+                let n = vb.shape()[1];
+                assert_eq!(vb.shape()[0], k, "matmul inner dims mismatch");
+                let mut c = Tensor::zeros(vec![m, n]);
+                kernels::mm_nn(va.data(), vb.data(), c.data_mut(), m, k, n, false);
+                c
+            }
+            MmMode::Nt => {
+                let (m, k) = (va.shape()[0], va.shape()[1]);
+                let n = vb.shape()[0];
+                assert_eq!(vb.shape()[1], k, "matmul_nt inner dims mismatch");
+                let mut c = Tensor::zeros(vec![m, n]);
+                kernels::mm_nt(va.data(), vb.data(), c.data_mut(), m, k, n, false);
+                c
+            }
+            MmMode::Tn => {
+                let (k, m) = (va.shape()[0], va.shape()[1]);
+                let n = vb.shape()[1];
+                assert_eq!(vb.shape()[0], k, "matmul_tn inner dims mismatch");
+                let mut c = Tensor::zeros(vec![m, n]);
+                kernels::mm_tn(va.data(), vb.data(), c.data_mut(), m, k, n, false);
+                c
+            }
+        };
+        let req = self.requires(a) || self.requires(b);
+        self.push(out, Op::Matmul { a: a.0, b: b.0, mode }, req)
+    }
+
+    /// Batched 3-D matmul over the leading dimension: for each batch slice,
+    /// `C[b] = A[b]·B[b]` (or the transposed orientation selected by
+    /// `transpose_b`). `A: [B,m,k]`, `B: [B,k,n]` (Nn) or `[B,n,k]` (Nt).
+    pub fn bmm(&mut self, a: Var, b: Var, transpose_b: bool) -> Var {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(va.rank(), 3, "bmm lhs must be 3-D");
+        assert_eq!(vb.rank(), 3, "bmm rhs must be 3-D");
+        assert_eq!(va.shape()[0], vb.shape()[0], "bmm batch mismatch");
+        let batch = va.shape()[0];
+        let (m, k) = (va.shape()[1], va.shape()[2]);
+        let mode = if transpose_b { MmMode::Nt } else { MmMode::Nn };
+        let n = match mode {
+            MmMode::Nn => {
+                assert_eq!(vb.shape()[1], k, "bmm inner dims mismatch");
+                vb.shape()[2]
+            }
+            MmMode::Nt => {
+                assert_eq!(vb.shape()[2], k, "bmm_nt inner dims mismatch");
+                vb.shape()[1]
+            }
+            MmMode::Tn => unreachable!(),
+        };
+        let mut out = Tensor::zeros(vec![batch, m, n]);
+        let (a_sz, b_sz, c_sz) = (m * k, vb.shape()[1] * vb.shape()[2], m * n);
+        for i in 0..batch {
+            let a_sl = &va.data()[i * a_sz..(i + 1) * a_sz];
+            let b_sl = &vb.data()[i * b_sz..(i + 1) * b_sz];
+            let c_sl = &mut out.data_mut()[i * c_sz..(i + 1) * c_sz];
+            match mode {
+                MmMode::Nn => kernels::mm_nn(a_sl, b_sl, c_sl, m, k, n, false),
+                MmMode::Nt => kernels::mm_nt(a_sl, b_sl, c_sl, m, k, n, false),
+                MmMode::Tn => unreachable!(),
+            }
+        }
+        let req = self.requires(a) || self.requires(b);
+        self.push(out, Op::Matmul { a: a.0, b: b.0, mode }, req)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let data = self.nodes[a.0]
+            .value
+            .data()
+            .iter()
+            .map(|x| x.max(0.0))
+            .collect();
+        let out = Tensor::from_vec(self.nodes[a.0].value.shape().to_vec(), data);
+        let req = self.requires(a);
+        self.push(out, Op::Relu(a.0), req)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let data = self.nodes[a.0]
+            .value
+            .data()
+            .iter()
+            .map(|x| 1.0 / (1.0 + (-x).exp()))
+            .collect();
+        let out = Tensor::from_vec(self.nodes[a.0].value.shape().to_vec(), data);
+        let req = self.requires(a);
+        self.push(out, Op::Sigmoid(a.0), req)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let data = self.nodes[a.0]
+            .value
+            .data()
+            .iter()
+            .map(|x| x.tanh())
+            .collect();
+        let out = Tensor::from_vec(self.nodes[a.0].value.shape().to_vec(), data);
+        let req = self.requires(a);
+        self.push(out, Op::Tanh(a.0), req)
+    }
+
+    /// Softmax over the last dimension.
+    pub fn softmax(&mut self, a: Var) -> Var {
+        let v = &self.nodes[a.0].value;
+        let cols = *v.shape().last().expect("softmax on empty shape");
+        let mut out = v.clone();
+        kernels::softmax_rows(out.data_mut(), cols);
+        let req = self.requires(a);
+        self.push(out, Op::Softmax(a.0), req)
+    }
+
+    /// T5-style RMS normalization over the last dimension with a learned
+    /// `[d]` gain.
+    pub fn rms_norm(&mut self, x: Var, gain: Var, eps: f32) -> Var {
+        let (vx, vg) = (&self.nodes[x.0].value, &self.nodes[gain.0].value);
+        let d = *vx.shape().last().expect("rms_norm on empty shape");
+        assert_eq!(vg.numel(), d, "gain length must match last dim");
+        let rows = vx.numel() / d;
+        let mut out = vx.clone();
+        let mut rms = Vec::with_capacity(rows);
+        for row in out.data_mut().chunks_mut(d) {
+            let ms = row.iter().map(|v| v * v).sum::<f32>() / d as f32;
+            let r = (ms + eps).sqrt();
+            rms.push(r);
+            let inv = 1.0 / r;
+            for (o, g) in row.iter_mut().zip(vg.data().iter()) {
+                *o = *o * inv * g;
+            }
+        }
+        let req = self.requires(x) || self.requires(gain);
+        self.push(
+            out,
+            Op::RmsNorm {
+                x: x.0,
+                gain: gain.0,
+                rms,
+            },
+            req,
+        )
+    }
+
+    /// Gathers rows `ids` from a `[vocab, d]` table, producing `[len(ids), d]`.
+    pub fn embedding(&mut self, table: Var, ids: &[usize]) -> Var {
+        let vt = &self.nodes[table.0].value;
+        assert_eq!(vt.rank(), 2, "embedding table must be 2-D");
+        let (vocab, d) = (vt.shape()[0], vt.shape()[1]);
+        let mut data = Vec::with_capacity(ids.len() * d);
+        for &id in ids {
+            assert!(id < vocab, "embedding id {id} out of range {vocab}");
+            data.extend_from_slice(&vt.data()[id * d..(id + 1) * d]);
+        }
+        let out = Tensor::from_vec(vec![ids.len(), d], data);
+        let req = self.requires(table);
+        self.push(
+            out,
+            Op::Embedding {
+                table: table.0,
+                ids: ids.to_vec(),
+            },
+            req,
+        )
+    }
+
+    /// Reinterprets a tensor under a new shape of equal volume.
+    pub fn reshape(&mut self, x: Var, shape: Vec<usize>) -> Var {
+        let v = &self.nodes[x.0].value;
+        let old_shape = v.shape().to_vec();
+        let out = v.clone().reshaped(shape);
+        let req = self.requires(x);
+        self.push(out, Op::Reshape { x: x.0, old_shape }, req)
+    }
+
+    /// Permutes the axes of a 3-D tensor.
+    pub fn permute3(&mut self, x: Var, perm: [usize; 3]) -> Var {
+        let v = &self.nodes[x.0].value;
+        assert_eq!(v.rank(), 3, "permute3 requires a 3-D tensor");
+        let out = permute3_tensor(v, perm);
+        let req = self.requires(x);
+        self.push(out, Op::Permute3 { x: x.0, perm }, req)
+    }
+
+    /// Inverted dropout: keeps each element with probability `1 - p`,
+    /// scaling survivors by `1/(1-p)`. A no-op recording when `p == 0`.
+    pub fn dropout(&mut self, x: Var, p: f32) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout rate must be in [0,1)");
+        let v = &self.nodes[x.0].value;
+        if p == 0.0 {
+            let out = v.clone();
+            let mask = vec![1.0; v.numel()];
+            let req = self.requires(x);
+            return self.push(out, Op::Dropout { x: x.0, mask }, req);
+        }
+        let keep = 1.0 / (1.0 - p);
+        let mut mask = Vec::with_capacity(v.numel());
+        for _ in 0..v.numel() {
+            mask.push(if self.rng.next_f32() < p { 0.0 } else { keep });
+        }
+        let data = v
+            .data()
+            .iter()
+            .zip(mask.iter())
+            .map(|(a, m)| a * m)
+            .collect();
+        let out = Tensor::from_vec(v.shape().to_vec(), data);
+        let req = self.requires(x);
+        self.push(out, Op::Dropout { x: x.0, mask }, req)
+    }
+
+    /// Mean token-level cross entropy of `[n, vocab]` logits against `n`
+    /// target ids, skipping positions whose target is [`IGNORE_TARGET`].
+    /// `smoothing` applies uniform label smoothing.
+    ///
+    /// Returns a scalar. Panics if every target is ignored.
+    pub fn cross_entropy(&mut self, logits: Var, targets: &[usize], smoothing: f32) -> Var {
+        let v = &self.nodes[logits.0].value;
+        assert_eq!(v.rank(), 2, "cross_entropy expects 2-D logits");
+        let (n, vocab) = (v.shape()[0], v.shape()[1]);
+        assert_eq!(n, targets.len(), "one target per logits row");
+        let mut log_probs = v.data().to_vec();
+        kernels::log_softmax_rows(&mut log_probs, vocab);
+        let mut loss = 0.0f64;
+        let mut count = 0usize;
+        for (row, &t) in log_probs.chunks(vocab).zip(targets.iter()) {
+            if t == IGNORE_TARGET {
+                continue;
+            }
+            assert!(t < vocab, "target {t} out of vocab {vocab}");
+            count += 1;
+            let nll = -row[t];
+            if smoothing > 0.0 {
+                let uniform = -row.iter().sum::<f32>() / vocab as f32;
+                loss += ((1.0 - smoothing) * nll + smoothing * uniform) as f64;
+            } else {
+                loss += nll as f64;
+            }
+        }
+        assert!(count > 0, "cross_entropy with all targets ignored");
+        let mean = (loss / count as f64) as f32;
+        // Convert log-probs to probs for backward.
+        for p in &mut log_probs {
+            *p = p.exp();
+        }
+        let req = self.requires(logits);
+        self.push(
+            Tensor::scalar(mean),
+            Op::CrossEntropy {
+                logits: logits.0,
+                targets: targets.to_vec(),
+                probs: log_probs,
+                smoothing,
+                count,
+            },
+            req,
+        )
+    }
+
+    /// Stacks 2-D tensors of equal width vertically.
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_rows needs at least one part");
+        let cols = self.nodes[parts[0].0].value.cols();
+        let mut rows = Vec::with_capacity(parts.len());
+        let mut total_rows = 0;
+        let mut data = Vec::new();
+        for p in parts {
+            let v = &self.nodes[p.0].value;
+            assert_eq!(v.cols(), cols, "concat_rows width mismatch");
+            rows.push(v.rows());
+            total_rows += v.rows();
+            data.extend_from_slice(v.data());
+        }
+        let out = Tensor::from_vec(vec![total_rows, cols], data);
+        let req = parts.iter().any(|p| self.requires(*p));
+        self.push(
+            out,
+            Op::ConcatRows {
+                parts: parts.iter().map(|p| p.0).collect(),
+                rows,
+            },
+            req,
+        )
+    }
+
+    /// Takes rows `start..start+len` of a 2-D tensor.
+    pub fn slice_rows(&mut self, x: Var, start: usize, len: usize) -> Var {
+        let v = &self.nodes[x.0].value;
+        assert_eq!(v.rank(), 2, "slice_rows requires a 2-D tensor");
+        let (rows, cols) = (v.rows(), v.cols());
+        assert!(start + len <= rows, "slice {start}+{len} exceeds {rows} rows");
+        let data = v.data()[start * cols..(start + len) * cols].to_vec();
+        let out = Tensor::from_vec(vec![len, cols], data);
+        let req = self.requires(x);
+        self.push(out, Op::SliceRows { x: x.0, start }, req)
+    }
+
+    /// Sums every element into a scalar.
+    pub fn sum(&mut self, x: Var) -> Var {
+        let total: f32 = self.nodes[x.0].value.data().iter().sum();
+        let req = self.requires(x);
+        self.push(Tensor::scalar(total), Op::Sum(x.0), req)
+    }
+
+    /// Runs the backward pass from a scalar loss node, filling gradients.
+    ///
+    /// # Panics
+    /// Panics if the loss node is not a scalar.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.nodes[loss.0].value.numel(),
+            1,
+            "backward needs a scalar loss"
+        );
+        self.grads = (0..self.nodes.len()).map(|_| None).collect();
+        self.grads[loss.0] = Some(Tensor::scalar(1.0));
+        for i in (0..=loss.0).rev() {
+            if !self.nodes[i].requires_grad {
+                continue;
+            }
+            let Some(grad) = self.grads[i].take() else {
+                continue;
+            };
+            self.propagate(i, &grad);
+            self.grads[i] = Some(grad);
+        }
+    }
+
+    fn accumulate(&mut self, node: usize, delta: Tensor) {
+        if !self.nodes[node].requires_grad {
+            return;
+        }
+        match &mut self.grads[node] {
+            Some(g) => g.add_assign(&delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    fn propagate(&mut self, i: usize, grad: &Tensor) {
+        // Ops are matched by moving the minimal cached context out before
+        // re-borrowing `self` mutably for accumulation.
+        match &self.nodes[i].op {
+            Op::Leaf { .. } => {}
+            Op::Add(a, b) => {
+                let (a, b) = (*a, *b);
+                self.accumulate(a, grad.clone());
+                self.accumulate(b, grad.clone());
+            }
+            Op::AddBias(x, bias) => {
+                let (x, bias) = (*x, *bias);
+                let cols = self.nodes[bias].value.numel();
+                let mut db = Tensor::zeros(vec![cols]);
+                for row in grad.data().chunks(cols) {
+                    for (d, g) in db.data_mut().iter_mut().zip(row.iter()) {
+                        *d += g;
+                    }
+                }
+                self.accumulate(x, grad.clone());
+                self.accumulate(bias, db);
+            }
+            Op::Mul(a, b) => {
+                let (a, b) = (*a, *b);
+                let da = elementwise_mul(grad, &self.nodes[b].value);
+                let db = elementwise_mul(grad, &self.nodes[a].value);
+                self.accumulate(a, da);
+                self.accumulate(b, db);
+            }
+            Op::Scale(a, f) => {
+                let (a, f) = (*a, *f);
+                let mut g = grad.clone();
+                g.scale_assign(f);
+                self.accumulate(a, g);
+            }
+            Op::Matmul { a, b, mode } => {
+                let (a, b, mode) = (*a, *b, *mode);
+                let (da, db) = self.matmul_backward(a, b, mode, grad);
+                self.accumulate(a, da);
+                self.accumulate(b, db);
+            }
+            Op::Relu(a) => {
+                let a = *a;
+                let data = self.nodes[a]
+                    .value
+                    .data()
+                    .iter()
+                    .zip(grad.data().iter())
+                    .map(|(x, g)| if *x > 0.0 { *g } else { 0.0 })
+                    .collect();
+                let da = Tensor::from_vec(grad.shape().to_vec(), data);
+                self.accumulate(a, da);
+            }
+            Op::Sigmoid(a) => {
+                let a = *a;
+                let data = self.nodes[i]
+                    .value
+                    .data()
+                    .iter()
+                    .zip(grad.data().iter())
+                    .map(|(y, g)| g * y * (1.0 - y))
+                    .collect();
+                let da = Tensor::from_vec(grad.shape().to_vec(), data);
+                self.accumulate(a, da);
+            }
+            Op::Tanh(a) => {
+                let a = *a;
+                let data = self.nodes[i]
+                    .value
+                    .data()
+                    .iter()
+                    .zip(grad.data().iter())
+                    .map(|(y, g)| g * (1.0 - y * y))
+                    .collect();
+                let da = Tensor::from_vec(grad.shape().to_vec(), data);
+                self.accumulate(a, da);
+            }
+            Op::Softmax(a) => {
+                let a = *a;
+                let y = &self.nodes[i].value;
+                let cols = *y.shape().last().unwrap();
+                let mut dx = Tensor::zeros(y.shape().to_vec());
+                for ((y_row, g_row), dx_row) in y
+                    .data()
+                    .chunks(cols)
+                    .zip(grad.data().chunks(cols))
+                    .zip(dx.data_mut().chunks_mut(cols))
+                {
+                    let dot: f32 = y_row.iter().zip(g_row.iter()).map(|(y, g)| y * g).sum();
+                    for ((d, &yv), &gv) in dx_row.iter_mut().zip(y_row.iter()).zip(g_row.iter()) {
+                        *d = yv * (gv - dot);
+                    }
+                }
+                self.accumulate(a, dx);
+            }
+            Op::RmsNorm { x, gain, rms } => {
+                let (x, gain) = (*x, *gain);
+                let rms = rms.clone();
+                let vx = &self.nodes[x].value;
+                let vg = &self.nodes[gain].value;
+                let d = vg.numel();
+                let mut dx = Tensor::zeros(vx.shape().to_vec());
+                let mut dg = Tensor::zeros(vec![d]);
+                for ((row_i, (x_row, g_row)), r) in vx
+                    .data()
+                    .chunks(d)
+                    .zip(grad.data().chunks(d))
+                    .enumerate()
+                    .zip(rms.iter())
+                {
+                    let dot: f32 = g_row
+                        .iter()
+                        .zip(x_row.iter())
+                        .zip(vg.data().iter())
+                        .map(|((gy, xv), gn)| gy * xv * gn)
+                        .sum();
+                    let dx_row = &mut dx.data_mut()[row_i * d..(row_i + 1) * d];
+                    for j in 0..d {
+                        dx_row[j] =
+                            vg.data()[j] * g_row[j] / r - x_row[j] * dot / (d as f32 * r * r * r);
+                    }
+                    for j in 0..d {
+                        dg.data_mut()[j] += g_row[j] * x_row[j] / r;
+                    }
+                }
+                self.accumulate(x, dx);
+                self.accumulate(gain, dg);
+            }
+            Op::Embedding { table, ids } => {
+                let table = *table;
+                let ids = ids.clone();
+                let vt = &self.nodes[table].value;
+                let d = vt.shape()[1];
+                let mut dt = Tensor::zeros(vt.shape().to_vec());
+                for (row, &id) in ids.iter().enumerate() {
+                    let src = &grad.data()[row * d..(row + 1) * d];
+                    let dst = &mut dt.data_mut()[id * d..(id + 1) * d];
+                    for (dv, sv) in dst.iter_mut().zip(src.iter()) {
+                        *dv += sv;
+                    }
+                }
+                self.accumulate(table, dt);
+            }
+            Op::Reshape { x, old_shape } => {
+                let (x, old_shape) = (*x, old_shape.clone());
+                let dx = grad.clone().reshaped(old_shape);
+                self.accumulate(x, dx);
+            }
+            Op::Permute3 { x, perm } => {
+                let (x, perm) = (*x, *perm);
+                let mut inv = [0usize; 3];
+                for (axis, &p) in perm.iter().enumerate() {
+                    inv[p] = axis;
+                }
+                let dx = permute3_tensor(grad, inv);
+                self.accumulate(x, dx);
+            }
+            Op::Dropout { x, mask } => {
+                let x = *x;
+                let data = grad
+                    .data()
+                    .iter()
+                    .zip(mask.iter())
+                    .map(|(g, m)| g * m)
+                    .collect();
+                let dx = Tensor::from_vec(grad.shape().to_vec(), data);
+                self.accumulate(x, dx);
+            }
+            Op::CrossEntropy {
+                logits,
+                targets,
+                probs,
+                smoothing,
+                count,
+            } => {
+                let logits = *logits;
+                let smoothing = *smoothing;
+                let count = *count as f32;
+                let vocab = self.nodes[logits].value.shape()[1];
+                let upstream = grad.data()[0];
+                let mut dl = Tensor::zeros(self.nodes[logits].value.shape().to_vec());
+                let uniform = smoothing / vocab as f32;
+                let targets = targets.clone();
+                let probs = probs.clone();
+                for ((row, &t), dl_row) in probs
+                    .chunks(vocab)
+                    .zip(targets.iter())
+                    .zip(dl.data_mut().chunks_mut(vocab))
+                {
+                    if t == IGNORE_TARGET {
+                        continue;
+                    }
+                    for (j, (d, &p)) in dl_row.iter_mut().zip(row.iter()).enumerate() {
+                        let target_mass =
+                            if j == t { 1.0 - smoothing + uniform } else { uniform };
+                        *d = upstream * (p - target_mass) / count;
+                    }
+                }
+                self.accumulate(logits, dl);
+            }
+            Op::Sum(x) => {
+                let x = *x;
+                let shape = self.nodes[x].value.shape().to_vec();
+                let dx = Tensor::filled(shape, grad.data()[0]);
+                self.accumulate(x, dx);
+            }
+            Op::SliceRows { x, start } => {
+                let (x, start) = (*x, *start);
+                let shape = self.nodes[x].value.shape().to_vec();
+                let cols = shape[1];
+                let mut dx = Tensor::zeros(shape);
+                let len = grad.shape()[0];
+                dx.data_mut()[start * cols..(start + len) * cols]
+                    .copy_from_slice(grad.data());
+                self.accumulate(x, dx);
+            }
+            Op::ConcatRows { parts, rows } => {
+                let parts = parts.clone();
+                let rows = rows.clone();
+                let cols = grad.shape()[1];
+                let mut offset = 0usize;
+                for (part, r) in parts.into_iter().zip(rows) {
+                    let slice = grad.data()[offset * cols..(offset + r) * cols].to_vec();
+                    self.accumulate(part, Tensor::from_vec(vec![r, cols], slice));
+                    offset += r;
+                }
+            }
+        }
+    }
+
+    fn matmul_backward(&self, a: usize, b: usize, mode: MmMode, grad: &Tensor) -> (Tensor, Tensor) {
+        let va = &self.nodes[a].value;
+        let vb = &self.nodes[b].value;
+        let mut da = Tensor::zeros(va.shape().to_vec());
+        let mut db = Tensor::zeros(vb.shape().to_vec());
+        if va.rank() == 2 {
+            mm_grad_slice(
+                va.data(),
+                vb.data(),
+                grad.data(),
+                da.data_mut(),
+                db.data_mut(),
+                va.shape(),
+                vb.shape(),
+                mode,
+            );
+        } else {
+            let batch = va.shape()[0];
+            let a_sz = va.shape()[1] * va.shape()[2];
+            let b_sz = vb.shape()[1] * vb.shape()[2];
+            let g_sz = grad.shape()[1] * grad.shape()[2];
+            for i in 0..batch {
+                mm_grad_slice(
+                    &va.data()[i * a_sz..(i + 1) * a_sz],
+                    &vb.data()[i * b_sz..(i + 1) * b_sz],
+                    &grad.data()[i * g_sz..(i + 1) * g_sz],
+                    &mut da.data_mut()[i * a_sz..(i + 1) * a_sz],
+                    &mut db.data_mut()[i * b_sz..(i + 1) * b_sz],
+                    &va.shape()[1..],
+                    &vb.shape()[1..],
+                    mode,
+                );
+            }
+        }
+        (da, db)
+    }
+
+    /// Iterates `(hook, gradient)` pairs for every parameter leaf that
+    /// received a gradient in the last `backward` call.
+    pub fn param_grads(&self) -> impl Iterator<Item = (usize, &Tensor)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, node)| match node.op {
+                Op::Leaf {
+                    param_hook: Some(hook),
+                } => self.grads.get(i).and_then(|g| g.as_ref()).map(|g| (hook, g)),
+                _ => None,
+            })
+    }
+}
+
+/// Per-slice matmul gradient: fills `da`/`db` for one (possibly batched)
+/// matmul slice. `a_shape`/`b_shape` are the 2-D slice shapes.
+#[allow(clippy::too_many_arguments)]
+fn mm_grad_slice(
+    a: &[f32],
+    b: &[f32],
+    grad: &[f32],
+    da: &mut [f32],
+    db: &mut [f32],
+    a_shape: &[usize],
+    b_shape: &[usize],
+    mode: MmMode,
+) {
+    match mode {
+        MmMode::Nn => {
+            // C = A·B, A:[m,k], B:[k,n]; dA = dC·Bᵀ, dB = Aᵀ·dC.
+            let (m, k) = (a_shape[0], a_shape[1]);
+            let n = b_shape[1];
+            kernels::mm_nt(grad, b, da, m, n, k, false);
+            kernels::mm_tn(a, grad, db, k, m, n, false);
+        }
+        MmMode::Nt => {
+            // C = A·Bᵀ, A:[m,k], B:[n,k]; dA = dC·B, dB = dCᵀ·A.
+            let (m, k) = (a_shape[0], a_shape[1]);
+            let n = b_shape[0];
+            kernels::mm_nn(grad, b, da, m, n, k, false);
+            kernels::mm_tn(grad, a, db, n, m, k, false);
+        }
+        MmMode::Tn => {
+            // C = Aᵀ·B, A:[k,m], B:[k,n]; dA = B·dCᵀ, dB = A·dC.
+            let (k, m) = (a_shape[0], a_shape[1]);
+            let n = b_shape[1];
+            kernels::mm_nt(b, grad, da, k, n, m, false);
+            kernels::mm_nn(a, grad, db, k, m, n, false);
+        }
+    }
+}
+
+fn elementwise_mul(a: &Tensor, b: &Tensor) -> Tensor {
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(x, y)| x * y)
+        .collect();
+    Tensor::from_vec(a.shape().to_vec(), data)
+}
+
+fn permute3_tensor(v: &Tensor, perm: [usize; 3]) -> Tensor {
+    let s = v.shape();
+    let out_shape = vec![s[perm[0]], s[perm[1]], s[perm[2]]];
+    let mut out = Tensor::zeros(out_shape.clone());
+    let strides = [s[1] * s[2], s[2], 1];
+    let out_strides = [out_shape[1] * out_shape[2], out_shape[2], 1];
+    for i in 0..s[0] {
+        for j in 0..s[1] {
+            for k in 0..s[2] {
+                let idx = [i, j, k];
+                let src = i * strides[0] + j * strides[1] + k * strides[2];
+                let dst = idx[perm[0]] * out_strides[0]
+                    + idx[perm[1]] * out_strides[1]
+                    + idx[perm[2]] * out_strides[2];
+                out.data_mut()[dst] = v.data()[src];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference gradient of a scalar-valued function of one leaf.
+    fn numeric_grad<F>(f: F, x0: &Tensor, eps: f32) -> Tensor
+    where
+        F: Fn(&Tensor) -> f32,
+    {
+        let mut g = Tensor::zeros(x0.shape().to_vec());
+        for i in 0..x0.numel() {
+            let mut plus = x0.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = x0.clone();
+            minus.data_mut()[i] -= eps;
+            g.data_mut()[i] = (f(&plus) - f(&minus)) / (2.0 * eps);
+        }
+        g
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        let d = a.max_abs_diff(b);
+        assert!(d < tol, "max abs diff {d} > {tol}\n{a:?}\n{b:?}");
+    }
+
+    fn sample(shape: Vec<usize>, seed: u64) -> Tensor {
+        let mut rng = XorShift::new(seed);
+        Tensor::randn(shape, 0.8, &mut rng)
+    }
+
+    #[test]
+    fn matmul_gradcheck() {
+        let a0 = sample(vec![3, 4], 1);
+        let b0 = sample(vec![4, 2], 2);
+        let run = |a: &Tensor, b: &Tensor| {
+            let mut g = Graph::new();
+            let va = g.leaf(a.clone(), true);
+            let vb = g.leaf(b.clone(), true);
+            let c = g.matmul(va, vb);
+            let sq = g.mul(c, c);
+            let l = g.sum(sq);
+            (g, va, vb, l)
+        };
+        let (mut g, va, vb, l) = run(&a0, &b0);
+        g.backward(l);
+        let da = g.grad(va).unwrap().clone();
+        let db = g.grad(vb).unwrap().clone();
+        let f_a = |a: &Tensor| run(a, &b0).0.value(run(a, &b0).3).data()[0];
+        let f_b = |b: &Tensor| run(&a0, b).0.value(run(&a0, b).3).data()[0];
+        assert_close(&da, &numeric_grad(f_a, &a0, 1e-3), 2e-2);
+        assert_close(&db, &numeric_grad(f_b, &b0, 1e-3), 2e-2);
+    }
+
+    #[test]
+    fn matmul_nt_gradcheck() {
+        let a0 = sample(vec![3, 4], 3);
+        let b0 = sample(vec![5, 4], 4);
+        let run = |a: &Tensor, b: &Tensor| -> (Graph, Var, Var, Var) {
+            let mut g = Graph::new();
+            let va = g.leaf(a.clone(), true);
+            let vb = g.leaf(b.clone(), true);
+            let c = g.matmul_nt(va, vb);
+            let sq = g.mul(c, c);
+            let l = g.sum(sq);
+            (g, va, vb, l)
+        };
+        let (mut g, va, vb, l) = run(&a0, &b0);
+        g.backward(l);
+        let da = g.grad(va).unwrap().clone();
+        let db = g.grad(vb).unwrap().clone();
+        let f_a = |a: &Tensor| {
+            let (g, _, _, l) = run(a, &b0);
+            g.value(l).data()[0]
+        };
+        let f_b = |b: &Tensor| {
+            let (g, _, _, l) = run(&a0, b);
+            g.value(l).data()[0]
+        };
+        assert_close(&da, &numeric_grad(f_a, &a0, 1e-3), 2e-2);
+        assert_close(&db, &numeric_grad(f_b, &b0, 1e-3), 2e-2);
+    }
+
+    #[test]
+    fn bmm_gradcheck() {
+        let a0 = sample(vec![2, 3, 4], 5);
+        let b0 = sample(vec![2, 4, 2], 6);
+        let run = |a: &Tensor, b: &Tensor| -> (Graph, Var, Var, Var) {
+            let mut g = Graph::new();
+            let va = g.leaf(a.clone(), true);
+            let vb = g.leaf(b.clone(), true);
+            let c = g.bmm(va, vb, false);
+            let sq = g.mul(c, c);
+            let l = g.sum(sq);
+            (g, va, vb, l)
+        };
+        let (mut g, va, vb, l) = run(&a0, &b0);
+        g.backward(l);
+        let da = g.grad(va).unwrap().clone();
+        let db = g.grad(vb).unwrap().clone();
+        let f_a = |a: &Tensor| {
+            let (g, _, _, l) = run(a, &b0);
+            g.value(l).data()[0]
+        };
+        let f_b = |b: &Tensor| {
+            let (g, _, _, l) = run(&a0, b);
+            g.value(l).data()[0]
+        };
+        assert_close(&da, &numeric_grad(f_a, &a0, 1e-3), 3e-2);
+        assert_close(&db, &numeric_grad(f_b, &b0, 1e-3), 3e-2);
+    }
+
+    #[test]
+    fn bmm_nt_shapes() {
+        let mut g = Graph::new();
+        let q = g.leaf(sample(vec![2, 5, 4], 7), false);
+        let k = g.leaf(sample(vec![2, 6, 4], 8), false);
+        let s = g.bmm(q, k, true);
+        assert_eq!(g.value(s).shape(), &[2, 5, 6]);
+    }
+
+    #[test]
+    fn softmax_gradcheck() {
+        let x0 = sample(vec![2, 5], 9);
+        let weights = sample(vec![2, 5], 10);
+        let run = |x: &Tensor| -> (Graph, Var, Var) {
+            let mut g = Graph::new();
+            let vx = g.leaf(x.clone(), true);
+            let w = g.leaf(weights.clone(), false);
+            let y = g.softmax(vx);
+            let wy = g.mul(y, w);
+            let l = g.sum(wy);
+            (g, vx, l)
+        };
+        let (mut g, vx, l) = run(&x0);
+        g.backward(l);
+        let dx = g.grad(vx).unwrap().clone();
+        let f = |x: &Tensor| {
+            let (g, _, l) = run(x);
+            g.value(l).data()[0]
+        };
+        assert_close(&dx, &numeric_grad(f, &x0, 1e-3), 1e-2);
+    }
+
+    #[test]
+    fn rms_norm_gradcheck() {
+        let x0 = sample(vec![3, 6], 11);
+        let g0 = sample(vec![6], 12);
+        let weights = sample(vec![3, 6], 13);
+        let run = |x: &Tensor, gain: &Tensor| -> (Graph, Var, Var, Var) {
+            let mut g = Graph::new();
+            let vx = g.leaf(x.clone(), true);
+            let vg = g.leaf(gain.clone(), true);
+            let w = g.leaf(weights.clone(), false);
+            let y = g.rms_norm(vx, vg, 1e-6);
+            let wy = g.mul(y, w);
+            let l = g.sum(wy);
+            (g, vx, vg, l)
+        };
+        let (mut g, vx, vg, l) = run(&x0, &g0);
+        g.backward(l);
+        let dx = g.grad(vx).unwrap().clone();
+        let dg = g.grad(vg).unwrap().clone();
+        let f_x = |x: &Tensor| {
+            let (g, _, _, l) = run(x, &g0);
+            g.value(l).data()[0]
+        };
+        let f_g = |gain: &Tensor| {
+            let (g, _, _, l) = run(&x0, gain);
+            g.value(l).data()[0]
+        };
+        assert_close(&dx, &numeric_grad(f_x, &x0, 1e-3), 1e-2);
+        assert_close(&dg, &numeric_grad(f_g, &g0, 1e-3), 1e-2);
+    }
+
+    #[test]
+    fn embedding_gradcheck() {
+        let t0 = sample(vec![7, 4], 14);
+        let ids = vec![1usize, 3, 3, 0];
+        let weights = sample(vec![4, 4], 15);
+        let run = |t: &Tensor| -> (Graph, Var, Var) {
+            let mut g = Graph::new();
+            let vt = g.leaf(t.clone(), true);
+            let w = g.leaf(weights.clone(), false);
+            let e = g.embedding(vt, &ids);
+            let we = g.mul(e, w);
+            let l = g.sum(we);
+            (g, vt, l)
+        };
+        let (mut g, vt, l) = run(&t0);
+        g.backward(l);
+        let dt = g.grad(vt).unwrap().clone();
+        let f = |t: &Tensor| {
+            let (g, _, l) = run(t);
+            g.value(l).data()[0]
+        };
+        assert_close(&dt, &numeric_grad(f, &t0, 1e-3), 1e-2);
+        // Repeated id 3 accumulates two rows of gradient.
+        let row3: f32 = dt.data()[3 * 4..4 * 4].iter().map(|x| x.abs()).sum();
+        assert!(row3 > 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradcheck_with_ignore() {
+        let x0 = sample(vec![4, 6], 16);
+        let targets = vec![2usize, IGNORE_TARGET, 0, 5];
+        let run = |x: &Tensor| -> (Graph, Var, Var) {
+            let mut g = Graph::new();
+            let vx = g.leaf(x.clone(), true);
+            let l = g.cross_entropy(vx, &targets, 0.0);
+            (g, vx, l)
+        };
+        let (mut g, vx, l) = run(&x0);
+        g.backward(l);
+        let dx = g.grad(vx).unwrap().clone();
+        let f = |x: &Tensor| {
+            let (g, _, l) = run(x);
+            g.value(l).data()[0]
+        };
+        assert_close(&dx, &numeric_grad(f, &x0, 1e-3), 1e-2);
+        // Ignored row must have zero gradient.
+        assert!(dx.data()[6..12].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn cross_entropy_label_smoothing_gradcheck() {
+        let x0 = sample(vec![3, 5], 17);
+        let targets = vec![0usize, 4, 2];
+        let run = |x: &Tensor| -> (Graph, Var, Var) {
+            let mut g = Graph::new();
+            let vx = g.leaf(x.clone(), true);
+            let l = g.cross_entropy(vx, &targets, 0.1);
+            (g, vx, l)
+        };
+        let (mut g, vx, l) = run(&x0);
+        g.backward(l);
+        let dx = g.grad(vx).unwrap().clone();
+        let f = |x: &Tensor| {
+            let (g, _, l) = run(x);
+            g.value(l).data()[0]
+        };
+        assert_close(&dx, &numeric_grad(f, &x0, 1e-3), 1e-2);
+    }
+
+    #[test]
+    fn activations_gradcheck() {
+        let x0 = sample(vec![2, 4], 18);
+        for act in ["relu", "sigmoid", "tanh"] {
+            let run = |x: &Tensor| -> (Graph, Var, Var) {
+                let mut g = Graph::new();
+                let vx = g.leaf(x.clone(), true);
+                let y = match act {
+                    "relu" => g.relu(vx),
+                    "sigmoid" => g.sigmoid(vx),
+                    _ => g.tanh(vx),
+                };
+                let sq = g.mul(y, y);
+                let l = g.sum(sq);
+                (g, vx, l)
+            };
+            let (mut g, vx, l) = run(&x0);
+            g.backward(l);
+            let dx = g.grad(vx).unwrap().clone();
+            let f = |x: &Tensor| {
+                let (g, _, l) = run(x);
+                g.value(l).data()[0]
+            };
+            assert_close(&dx, &numeric_grad(f, &x0, 1e-3), 1e-2);
+        }
+    }
+
+    #[test]
+    fn permute3_roundtrip_and_grad() {
+        let x0 = sample(vec![2, 3, 4], 19);
+        let mut g = Graph::new();
+        let vx = g.leaf(x0.clone(), true);
+        let p = g.permute3(vx, [2, 0, 1]);
+        assert_eq!(g.value(p).shape(), &[4, 2, 3]);
+        let back = g.permute3(p, [1, 2, 0]);
+        assert_eq!(g.value(back), &x0);
+        let sq = g.mul(back, back);
+        let l = g.sum(sq);
+        g.backward(l);
+        let dx = g.grad(vx).unwrap();
+        // d/dx sum(x^2) = 2x regardless of permutation.
+        let want: Vec<f32> = x0.data().iter().map(|v| 2.0 * v).collect();
+        let want = Tensor::from_vec(x0.shape().to_vec(), want);
+        assert_close(dx, &want, 1e-4);
+    }
+
+    #[test]
+    fn add_bias_broadcasts_and_grads() {
+        let x0 = sample(vec![3, 4], 20);
+        let b0 = sample(vec![4], 21);
+        let mut g = Graph::new();
+        let vx = g.leaf(x0.clone(), true);
+        let vb = g.leaf(b0.clone(), true);
+        let y = g.add_bias(vx, vb);
+        let l = g.sum(y);
+        g.backward(l);
+        // Each bias element is used once per row.
+        let db = g.grad(vb).unwrap();
+        assert!(db.data().iter().all(|&v| (v - 3.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn dropout_zero_rate_is_identity() {
+        let x0 = sample(vec![5], 22);
+        let mut g = Graph::new();
+        let vx = g.leaf(x0.clone(), false);
+        let y = g.dropout(vx, 0.0);
+        assert_eq!(g.value(y), &x0);
+    }
+
+    #[test]
+    fn dropout_scales_survivors() {
+        let x0 = Tensor::filled(vec![10_000], 1.0);
+        let mut g = Graph::with_seed(99);
+        let vx = g.leaf(x0, false);
+        let y = g.dropout(vx, 0.5);
+        let mean: f32 = g.value(y).data().iter().sum::<f32>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "dropout mean {mean}");
+    }
+
+    #[test]
+    fn param_grads_surface_hooks() {
+        let mut g = Graph::new();
+        let w = g.param(Tensor::filled(vec![2, 2], 1.0), 7);
+        let x = g.leaf(Tensor::filled(vec![1, 2], 1.0), false);
+        let y = g.matmul(x, w);
+        let l = g.sum(y);
+        g.backward(l);
+        let grads: Vec<_> = g.param_grads().collect();
+        assert_eq!(grads.len(), 1);
+        assert_eq!(grads[0].0, 7);
+        assert_eq!(grads[0].1.shape(), &[2, 2]);
+    }
+
+    #[test]
+    fn concat_rows_values_and_grads() {
+        let a0 = sample(vec![2, 3], 30);
+        let b0 = sample(vec![1, 3], 31);
+        let mut g = Graph::new();
+        let a = g.leaf(a0.clone(), true);
+        let b = g.leaf(b0.clone(), true);
+        let c = g.concat_rows(&[a, b]);
+        assert_eq!(g.value(c).shape(), &[3, 3]);
+        assert_eq!(&g.value(c).data()[0..6], a0.data());
+        assert_eq!(&g.value(c).data()[6..9], b0.data());
+        let sq = g.mul(c, c);
+        let l = g.sum(sq);
+        g.backward(l);
+        let da = g.grad(a).unwrap();
+        let want: Vec<f32> = a0.data().iter().map(|v| 2.0 * v).collect();
+        assert_close(da, &Tensor::from_vec(vec![2, 3], want), 1e-4);
+    }
+
+    #[test]
+    fn slice_rows_values_and_grads() {
+        let x0 = sample(vec![4, 3], 40);
+        let mut g = Graph::new();
+        let x = g.leaf(x0.clone(), true);
+        let s1 = g.slice_rows(x, 1, 2);
+        assert_eq!(g.value(s1).shape(), &[2, 3]);
+        assert_eq!(g.value(s1).data(), &x0.data()[3..9]);
+        // Overlapping slices accumulate gradients.
+        let s2 = g.slice_rows(x, 2, 1);
+        let sq1 = g.mul(s1, s1);
+        let sq2 = g.mul(s2, s2);
+        let l1 = g.sum(sq1);
+        let l2 = g.sum(sq2);
+        let l = g.add(l1, l2);
+        g.backward(l);
+        let dx = g.grad(x).unwrap();
+        // Row 0 untouched, row 1 from s1 only, row 2 from both, row 3 none.
+        assert!(dx.data()[0..3].iter().all(|&v| v == 0.0));
+        for j in 0..3 {
+            let want_r1 = 2.0 * x0.data()[3 + j];
+            let want_r2 = 4.0 * x0.data()[6 + j];
+            assert!((dx.data()[3 + j] - want_r1).abs() < 1e-5);
+            assert!((dx.data()[6 + j] - want_r2).abs() < 1e-5);
+        }
+        assert!(dx.data()[9..12].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn slice_rows_bounds_checked() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::zeros(vec![2, 2]), false);
+        let _ = g.slice_rows(x, 1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn concat_rows_rejects_mixed_widths() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::zeros(vec![1, 2]), false);
+        let b = g.leaf(Tensor::zeros(vec![1, 3]), false);
+        let _ = g.concat_rows(&[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_rejects_non_scalar() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::filled(vec![2], 1.0), true);
+        g.backward(x);
+    }
+}

@@ -1,0 +1,222 @@
+//! Hot numeric loops shared by the forward and backward passes.
+//!
+//! The matmul kernels come in the three orientations the backward pass
+//! needs (`C = A·B`, `C = A·Bᵀ`, `C = Aᵀ·B`), each with an `accumulate`
+//! flag so gradient contributions can be summed in place without a scratch
+//! buffer. Loop orders are chosen so the innermost loop streams over
+//! contiguous memory and autovectorizes.
+
+/// `C = A·B` (or `C += A·B` when `accumulate`), with `A: [m,k]`, `B: [k,n]`,
+/// `C: [m,n]`.
+pub fn mm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, accumulate: bool) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if !accumulate {
+        c.fill(0.0);
+    }
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `C = A·Bᵀ` (or `+=`), with `A: [m,k]`, `B: [n,k]`, `C: [m,n]`.
+///
+/// This is the attention-score orientation (`Q·Kᵀ`) and the `dA = dC·Bᵀ`
+/// orientation of the backward pass; both operands stream row-wise.
+pub fn mm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, accumulate: bool) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            let slot = &mut c[i * n + j];
+            *slot = if accumulate { *slot + acc } else { acc };
+        }
+    }
+}
+
+/// `C = Aᵀ·B` (or `+=`), with `A: [k,m]`, `B: [k,n]`, `C: [m,n]`.
+///
+/// This is the weight-gradient orientation (`dW = Xᵀ·dY`).
+pub fn mm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, accumulate: bool) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if !accumulate {
+        c.fill(0.0);
+    }
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Numerically stable softmax applied independently to each `cols`-wide row.
+pub fn softmax_rows(data: &mut [f32], cols: usize) {
+    assert!(cols > 0, "softmax over empty rows");
+    debug_assert_eq!(data.len() % cols, 0);
+    for row in data.chunks_mut(cols) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Numerically stable log-softmax per row (used by cross entropy).
+pub fn log_softmax_rows(data: &mut [f32], cols: usize) {
+    assert!(cols > 0, "log_softmax over empty rows");
+    debug_assert_eq!(data.len() % cols, 0);
+    for row in data.chunks_mut(cols) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+        for v in row.iter_mut() {
+            *v -= log_sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_mm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn transpose(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+        let mut t = vec![0.0; x.len()];
+        for r in 0..rows {
+            for c in 0..cols {
+                t[c * rows + r] = x[r * cols + c];
+            }
+        }
+        t
+    }
+
+    fn seq(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.7).sin()).collect()
+    }
+
+    #[test]
+    fn mm_nn_matches_naive() {
+        let (m, k, n) = (3, 5, 4);
+        let a = seq(m * k);
+        let b = seq(k * n);
+        let mut c = vec![0.0; m * n];
+        mm_nn(&a, &b, &mut c, m, k, n, false);
+        let want = naive_mm(&a, &b, m, k, n);
+        for (x, y) in c.iter().zip(want.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mm_nt_matches_naive_on_transposed_b() {
+        let (m, k, n) = (4, 3, 5);
+        let a = seq(m * k);
+        let b_t = seq(n * k); // B stored as [n, k]
+        let b = transpose(&b_t, n, k); // [k, n]
+        let mut c = vec![0.0; m * n];
+        mm_nt(&a, &b_t, &mut c, m, k, n, false);
+        let want = naive_mm(&a, &b, m, k, n);
+        for (x, y) in c.iter().zip(want.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mm_tn_matches_naive_on_transposed_a() {
+        let (m, k, n) = (4, 3, 5);
+        let a_t = seq(k * m); // A stored as [k, m]
+        let a = transpose(&a_t, k, m); // [m, k]
+        let b = seq(k * n);
+        let mut c = vec![0.0; m * n];
+        mm_tn(&a_t, &b, &mut c, m, k, n, false);
+        let want = naive_mm(&a, &b, m, k, n);
+        for (x, y) in c.iter().zip(want.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn accumulate_adds_to_existing() {
+        let (m, k, n) = (2, 2, 2);
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let mut c = vec![10.0; m * n];
+        mm_nn(&a, &b, &mut c, m, k, n, true);
+        assert_eq!(c, vec![11.0, 12.0, 13.0, 14.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let mut x = vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0];
+        softmax_rows(&mut x, 3);
+        for row in x.chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(row[0] < row[1] && row[1] < row[2]);
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_inputs() {
+        let mut x = vec![1000.0, 1001.0];
+        softmax_rows(&mut x, 2);
+        assert!(x.iter().all(|v| v.is_finite()));
+        assert!((x[0] + x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let x = vec![0.3, -1.2, 2.0, 0.5];
+        let mut a = x.clone();
+        softmax_rows(&mut a, 4);
+        let mut b = x;
+        log_softmax_rows(&mut b, 4);
+        for (p, lp) in a.iter().zip(b.iter()) {
+            assert!((p.ln() - lp).abs() < 1e-5);
+        }
+    }
+}

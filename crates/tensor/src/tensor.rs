@@ -1,0 +1,232 @@
+//! The dense tensor value type.
+
+use crate::XorShift;
+
+/// A dense, contiguous, row-major f32 tensor of rank 1–3.
+///
+/// Shapes are owned `Vec<usize>`; the data buffer always has exactly
+/// `shape.iter().product()` elements. The type is a plain value — cloning
+/// copies the buffer — which keeps the autodiff tape simple and predictable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Default for Tensor {
+    /// An empty rank-1 tensor (useful with `std::mem::take`).
+    fn default() -> Self {
+        Self {
+            shape: vec![0],
+            data: Vec::new(),
+        }
+    }
+}
+
+impl Tensor {
+    /// Builds a tensor from an explicit shape and data buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer length does not match the shape volume.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        let numel: usize = shape.iter().product();
+        assert_eq!(
+            numel,
+            data.len(),
+            "shape {shape:?} needs {numel} elements, got {}",
+            data.len()
+        );
+        Self { shape, data }
+    }
+
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let numel: usize = shape.iter().product();
+        Self {
+            shape,
+            data: vec![0.0; numel],
+        }
+    }
+
+    /// Tensor filled with a constant.
+    pub fn filled(shape: Vec<usize>, value: f32) -> Self {
+        let numel: usize = shape.iter().product();
+        Self {
+            shape,
+            data: vec![value; numel],
+        }
+    }
+
+    /// Scalar (rank-1, single-element) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self {
+            shape: vec![1],
+            data: vec![value],
+        }
+    }
+
+    /// Tensor of i.i.d. samples from an approximate normal distribution with
+    /// the given standard deviation (Irwin–Hall sum of 12 uniforms).
+    pub fn randn(shape: Vec<usize>, std: f32, rng: &mut XorShift) -> Self {
+        let numel: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            let mut acc = 0.0f32;
+            for _ in 0..12 {
+                acc += rng.next_f32();
+            }
+            data.push((acc - 6.0) * std);
+        }
+        Self { shape, data }
+    }
+
+    /// Uniform samples in `[-limit, limit]` (used for embedding init).
+    pub fn rand_uniform(shape: Vec<usize>, limit: f32, rng: &mut XorShift) -> Self {
+        let numel: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push((rng.next_f32() * 2.0 - 1.0) * limit);
+        }
+        Self { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Tensor rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Read-only view of the flat data buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat data buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Row count, treating the tensor as 2-D (`[rows, cols]`).
+    ///
+    /// # Panics
+    /// Panics on tensors that are not rank 2.
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.rank(), 2, "rows() requires a 2-D tensor");
+        self.shape[0]
+    }
+
+    /// Column count, treating the tensor as 2-D.
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.rank(), 2, "cols() requires a 2-D tensor");
+        self.shape[1]
+    }
+
+    /// Element accessor for 2-D tensors.
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Reinterprets the buffer under a new shape with the same volume.
+    pub fn reshaped(mut self, shape: Vec<usize>) -> Self {
+        let numel: usize = shape.iter().product();
+        assert_eq!(numel, self.data.len(), "reshape must preserve volume");
+        self.shape = shape;
+        self
+    }
+
+    /// In-place elementwise add of another tensor of identical shape.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaling by a constant.
+    pub fn scale_assign(&mut self, factor: f32) {
+        for a in &mut self.data {
+            *a *= factor;
+        }
+    }
+
+    /// Euclidean norm of the buffer (used for gradient clipping).
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute difference against another tensor of the same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape);
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_volume() {
+        let t = Tensor::from_vec(vec![2, 3], vec![0.0; 6]);
+        assert_eq!(t.numel(), 6);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 6 elements")]
+    fn from_vec_rejects_bad_volume() {
+        let _ = Tensor::from_vec(vec![2, 3], vec![0.0; 5]);
+    }
+
+    #[test]
+    fn randn_has_roughly_correct_moments() {
+        let mut rng = XorShift::new(1);
+        let t = Tensor::randn(vec![10_000], 2.0, &mut rng);
+        let mean: f32 = t.data().iter().sum::<f32>() / 10_000.0;
+        let var: f32 = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).map(|i| i as f32).collect());
+        let r = t.clone().reshaped(vec![3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = Tensor::filled(vec![4], 1.0);
+        let b = Tensor::filled(vec![4], 2.0);
+        a.add_assign(&b);
+        a.scale_assign(0.5);
+        assert_eq!(a.data(), &[1.5, 1.5, 1.5, 1.5]);
+    }
+
+    #[test]
+    fn l2_norm_matches_hand_computation() {
+        let t = Tensor::from_vec(vec![2], vec![3.0, 4.0]);
+        assert!((t.l2_norm() - 5.0).abs() < 1e-6);
+    }
+}

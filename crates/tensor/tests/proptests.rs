@@ -1,0 +1,123 @@
+//! Property-based tests of the autodiff engine: algebraic identities,
+//! shape discipline, and gradient linearity.
+
+use proptest::prelude::*;
+
+use tensor::{Graph, Tensor, XorShift};
+
+fn tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(vec![rows, cols], data))
+}
+
+proptest! {
+    /// (A·B)·C == A·(B·C) within f32 tolerance.
+    #[test]
+    fn matmul_associative(a in tensor(3, 4), b in tensor(4, 2), c in tensor(2, 5)) {
+        let mut g = Graph::new();
+        let va = g.leaf(a, false);
+        let vb = g.leaf(b, false);
+        let vc = g.leaf(c, false);
+        let ab = g.matmul(va, vb);
+        let left = g.matmul(ab, vc);
+        let bc = g.matmul(vb, vc);
+        let right = g.matmul(va, bc);
+        let diff = g.value(left).max_abs_diff(g.value(right));
+        prop_assert!(diff < 1e-3, "associativity violated by {diff}");
+    }
+
+    /// A·(B + C) == A·B + A·C.
+    #[test]
+    fn matmul_distributes(a in tensor(3, 4), b in tensor(4, 2), c in tensor(4, 2)) {
+        let mut g = Graph::new();
+        let va = g.leaf(a, false);
+        let vb = g.leaf(b, false);
+        let vc = g.leaf(c, false);
+        let sum = g.add(vb, vc);
+        let left = g.matmul(va, sum);
+        let ab = g.matmul(va, vb);
+        let ac = g.matmul(va, vc);
+        let right = g.add(ab, ac);
+        prop_assert!(g.value(left).max_abs_diff(g.value(right)) < 1e-3);
+    }
+
+    /// matmul_nt(A, B) == matmul(A, Bᵀ).
+    #[test]
+    fn matmul_nt_consistent(a in tensor(3, 4), b in tensor(5, 4)) {
+        let mut g = Graph::new();
+        let va = g.leaf(a, false);
+        let vb = g.leaf(b.clone(), false);
+        let nt = g.matmul_nt(va, vb);
+        // Manual transpose of b.
+        let mut bt = Tensor::zeros(vec![4, 5]);
+        for r in 0..5 {
+            for c in 0..4 {
+                bt.data_mut()[c * 5 + r] = b.at2(r, c);
+            }
+        }
+        let vbt = g.leaf(bt, false);
+        let nn = g.matmul(va, vbt);
+        prop_assert!(g.value(nt).max_abs_diff(g.value(nn)) < 1e-4);
+    }
+
+    /// Softmax rows are probability distributions and argmax-preserving.
+    #[test]
+    fn softmax_properties(x in tensor(4, 6)) {
+        let mut g = Graph::new();
+        let vx = g.leaf(x.clone(), false);
+        let y = g.softmax(vx);
+        for (row_in, row_out) in x.data().chunks(6).zip(g.value(y).data().chunks(6)) {
+            let sum: f32 = row_out.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row_out.iter().all(|&p| p >= 0.0));
+            let argmax_in = row_in.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+            let argmax_out = row_out.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+            prop_assert_eq!(argmax_in, argmax_out);
+        }
+    }
+
+    /// Gradients are linear: grad of sum(k·x²) is 2k·x.
+    #[test]
+    fn gradient_scaling(x in tensor(3, 3), k in 0.5f32..4.0) {
+        let mut g = Graph::new();
+        let vx = g.leaf(x.clone(), true);
+        let sq = g.mul(vx, vx);
+        let scaled = g.scale(sq, k);
+        let loss = g.sum(scaled);
+        g.backward(loss);
+        let grad = g.grad(vx).unwrap();
+        for (gv, xv) in grad.data().iter().zip(x.data().iter()) {
+            prop_assert!((gv - 2.0 * k * xv).abs() < 1e-3);
+        }
+    }
+
+    /// Reshape + permute roundtrips preserve data.
+    #[test]
+    fn permute_roundtrip(x in tensor(2, 12)) {
+        let mut g = Graph::new();
+        let vx = g.leaf(x.clone(), false);
+        let cube = g.reshape(vx, vec![2, 3, 4]);
+        let p = g.permute3(cube, [2, 0, 1]);
+        let back = g.permute3(p, [1, 2, 0]);
+        let flat = g.reshape(back, vec![2, 12]);
+        prop_assert_eq!(g.value(flat), &x);
+    }
+
+    /// Dropout at p=0 is the identity; at any p the expected scale holds
+    /// approximately on large inputs.
+    #[test]
+    fn dropout_identity(x in tensor(4, 4)) {
+        let mut g = Graph::new();
+        let vx = g.leaf(x.clone(), false);
+        let y = g.dropout(vx, 0.0);
+        prop_assert_eq!(g.value(y), &x);
+    }
+
+    /// randn respects requested dimensions.
+    #[test]
+    fn randn_shapes(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        let mut rng = XorShift::new(seed);
+        let t = Tensor::randn(vec![rows, cols], 1.0, &mut rng);
+        prop_assert_eq!(t.numel(), rows * cols);
+    }
+}

@@ -1,0 +1,182 @@
+//! Trainable byte-pair encoding.
+//!
+//! Matches the subword regime of the original T5 checkpoints: words are
+//! split into characters (with an end-of-word marker) and the most frequent
+//! adjacent pair is merged repeatedly. Used by span-corruption tests and as
+//! an alternative to the word tokenizer for open-vocabulary corpora.
+
+use std::collections::HashMap;
+
+const EOW: &str = "</w>";
+
+/// A trained BPE model: an ordered merge list.
+#[derive(Debug, Clone)]
+pub struct Bpe {
+    merges: Vec<(String, String)>,
+    /// Merge priority lookup: pair -> rank.
+    ranks: HashMap<(String, String), usize>,
+}
+
+impl Bpe {
+    /// Trains `num_merges` merges on an iterator of texts.
+    pub fn train<'a>(texts: impl IntoIterator<Item = &'a str>, num_merges: usize) -> Self {
+        // Word frequency table with pre-split symbol sequences.
+        let mut word_freq: HashMap<Vec<String>, usize> = HashMap::new();
+        for text in texts {
+            for word in text.split_ascii_whitespace() {
+                let mut symbols: Vec<String> =
+                    word.chars().map(|c| c.to_string()).collect();
+                symbols.push(EOW.to_string());
+                *word_freq.entry(symbols).or_insert(0) += 1;
+            }
+        }
+        let mut merges = Vec::with_capacity(num_merges);
+        for _ in 0..num_merges {
+            let mut pair_counts: HashMap<(String, String), usize> = HashMap::new();
+            for (symbols, freq) in &word_freq {
+                for w in symbols.windows(2) {
+                    *pair_counts
+                        .entry((w[0].clone(), w[1].clone()))
+                        .or_insert(0) += freq;
+                }
+            }
+            // Deterministic best pair: max count, ties by lexicographic
+            // order.
+            let Some((best, count)) = pair_counts
+                .into_iter()
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+            else {
+                break;
+            };
+            if count < 2 {
+                break;
+            }
+            word_freq = word_freq
+                .into_iter()
+                .map(|(symbols, freq)| (merge_symbols(&symbols, &best), freq))
+                .collect();
+            merges.push(best);
+        }
+        let ranks = merges
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i))
+            .collect();
+        Self { merges, ranks }
+    }
+
+    /// Number of learned merges.
+    pub fn num_merges(&self) -> usize {
+        self.merges.len()
+    }
+
+    /// Splits text into subword tokens (end-of-word markers kept on the
+    /// final subword of each word, enabling lossless decoding).
+    pub fn encode(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for word in text.split_ascii_whitespace() {
+            let mut symbols: Vec<String> = word.chars().map(|c| c.to_string()).collect();
+            symbols.push(EOW.to_string());
+            loop {
+                // Find the highest-priority applicable merge.
+                let best = symbols
+                    .windows(2)
+                    .filter_map(|w| {
+                        self.ranks
+                            .get(&(w[0].clone(), w[1].clone()))
+                            .map(|&r| (r, (w[0].clone(), w[1].clone())))
+                    })
+                    .min_by_key(|(r, _)| *r);
+                match best {
+                    Some((_, pair)) => symbols = merge_symbols(&symbols, &pair),
+                    None => break,
+                }
+            }
+            out.extend(symbols);
+        }
+        out
+    }
+
+    /// Reassembles subword tokens into text.
+    pub fn decode(tokens: &[String]) -> String {
+        let mut out = String::new();
+        for t in tokens {
+            if let Some(stripped) = t.strip_suffix(EOW) {
+                out.push_str(stripped);
+                out.push(' ');
+            } else if t == EOW {
+                out.push(' ');
+            } else {
+                out.push_str(t);
+            }
+        }
+        out.trim_end().to_string()
+    }
+}
+
+fn merge_symbols(symbols: &[String], pair: &(String, String)) -> Vec<String> {
+    let mut out = Vec::with_capacity(symbols.len());
+    let mut i = 0;
+    while i < symbols.len() {
+        if i + 1 < symbols.len() && symbols[i] == pair.0 && symbols[i + 1] == pair.1 {
+            out.push(format!("{}{}", pair.0, pair.1));
+            i += 2;
+        } else {
+            out.push(symbols[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequent_pairs_merge_first() {
+        let bpe = Bpe::train(["low low low lower lowest"], 10);
+        assert!(bpe.num_merges() > 0);
+        let toks = bpe.encode("low");
+        // "low" appears often enough to become few tokens.
+        assert!(toks.len() <= 2, "{toks:?}");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let corpus = "visualize bar select artist.country from artist group by artist.country";
+        let bpe = Bpe::train([corpus], 50);
+        let toks = bpe.encode(corpus);
+        assert_eq!(Bpe::decode(&toks), corpus);
+    }
+
+    #[test]
+    fn unseen_words_fall_back_to_characters() {
+        let bpe = Bpe::train(["aaa bbb"], 5);
+        let toks = bpe.encode("xyz");
+        assert_eq!(Bpe::decode(&toks), "xyz");
+        assert!(toks.len() >= 3);
+    }
+
+    #[test]
+    fn zero_merges_is_character_level() {
+        let bpe = Bpe::train(["hello"], 0);
+        let toks = bpe.encode("hi");
+        assert_eq!(toks, vec!["h", "i", "</w>"]);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = Bpe::train(["the quick brown fox the quick"], 20);
+        let b = Bpe::train(["the quick brown fox the quick"], 20);
+        assert_eq!(a.encode("the quick"), b.encode("the quick"));
+    }
+
+    #[test]
+    fn more_merges_give_fewer_tokens() {
+        let corpus = "grouping scatter grouping line grouping scatter grouping line";
+        let small = Bpe::train([corpus], 2);
+        let large = Bpe::train([corpus], 40);
+        assert!(large.encode(corpus).len() <= small.encode(corpus).len());
+    }
+}

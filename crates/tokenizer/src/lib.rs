@@ -1,0 +1,182 @@
+//! Vocabulary and tokenization for DataVisT5.
+//!
+//! The unified encoding of §III-C/D means text, DV queries, schemas, and
+//! tables all share one surface vocabulary. Two tokenizers are provided:
+//!
+//! * [`WordTokenizer`] — whitespace word-level tokenization over a closed
+//!   vocabulary fit on the training corpus. This is the tokenizer the
+//!   models train with: the synthetic corpora are closed-vocabulary, so
+//!   word tokens keep sequences short on a single-core budget.
+//! * [`Bpe`] — a trainable byte-pair-encoding tokenizer matching the
+//!   subword regime of the original T5/CodeT5+ checkpoints, used by the
+//!   span-corruption tests and available for larger vocabularies.
+//!
+//! Special tokens follow the paper: sentinel masks `<mask_0>` … for T5
+//! span corruption, and task prefixes `<nl>`, `<vql>`, `<question>`,
+//! `<answer>`, `<schema>`, `<table>`, `<description>` for the Bidirectional
+//! Dual-Corpus objectives (Figure 5).
+
+mod bpe;
+mod vocab;
+
+pub use bpe::Bpe;
+pub use vocab::{Vocab, VocabBuilder};
+
+/// Fixed special-token ids.
+pub mod special {
+    /// Padding (also the T5 decoder start token).
+    pub const PAD: u32 = 0;
+    /// End of sequence.
+    pub const EOS: u32 = 1;
+    /// Unknown token.
+    pub const UNK: u32 = 2;
+
+    pub const PAD_TOKEN: &str = "<pad>";
+    pub const EOS_TOKEN: &str = "</s>";
+    pub const UNK_TOKEN: &str = "<unk>";
+
+    /// Number of sentinel mask tokens reserved for span corruption.
+    pub const NUM_SENTINELS: usize = 64;
+
+    /// The sentinel token string for mask index `i` (`<mask_0>`, …).
+    pub fn sentinel(i: usize) -> String {
+        assert!(i < NUM_SENTINELS, "sentinel index {i} out of range");
+        format!("<mask_{i}>")
+    }
+
+    /// Task-prefix tokens used by the BDC objectives.
+    pub const TASK_TOKENS: [&str; 7] = [
+        "<nl>",
+        "<vql>",
+        "<question>",
+        "<answer>",
+        "<schema>",
+        "<table>",
+        "<description>",
+    ];
+}
+
+/// Word-level tokenizer over a [`Vocab`].
+///
+/// Encoding splits on ASCII whitespace; unknown words map to
+/// [`special::UNK`]. Decoding joins with single spaces and skips padding.
+#[derive(Debug, Clone)]
+pub struct WordTokenizer {
+    vocab: Vocab,
+}
+
+impl WordTokenizer {
+    /// Wraps an existing vocabulary.
+    pub fn new(vocab: Vocab) -> Self {
+        Self { vocab }
+    }
+
+    /// Fits a vocabulary on an iterator of texts, keeping words whose
+    /// frequency is at least `min_freq`.
+    pub fn fit<'a>(texts: impl IntoIterator<Item = &'a str>, min_freq: usize) -> Self {
+        let mut builder = VocabBuilder::new();
+        for t in texts {
+            for w in t.split_ascii_whitespace() {
+                builder.observe(w);
+            }
+        }
+        Self {
+            vocab: builder.build(min_freq),
+        }
+    }
+
+    /// The underlying vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Encodes text into token ids (no implicit EOS).
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        text.split_ascii_whitespace()
+            .map(|w| self.vocab.id(w).unwrap_or(special::UNK))
+            .collect()
+    }
+
+    /// Encodes and appends [`special::EOS`].
+    pub fn encode_with_eos(&self, text: &str) -> Vec<u32> {
+        let mut ids = self.encode(text);
+        ids.push(special::EOS);
+        ids
+    }
+
+    /// Decodes ids back to text, dropping pad/eos markers.
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let mut words = Vec::with_capacity(ids.len());
+        for &id in ids {
+            if id == special::PAD || id == special::EOS {
+                continue;
+            }
+            words.push(self.vocab.token(id).unwrap_or(special::UNK_TOKEN));
+        }
+        words.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> WordTokenizer {
+        WordTokenizer::fit(
+            [
+                "visualize bar select artist.country , count ( artist.country ) from artist",
+                "give me a pie chart about the countries of artists",
+            ],
+            1,
+        )
+    }
+
+    #[test]
+    fn roundtrip_known_text() {
+        let t = fixture();
+        let text = "visualize bar select artist.country from artist";
+        let ids = t.encode(text);
+        assert_eq!(t.decode(&ids), text);
+    }
+
+    #[test]
+    fn unknown_words_map_to_unk() {
+        let t = fixture();
+        let ids = t.encode("visualize hexbin");
+        assert_eq!(ids[1], special::UNK);
+        assert!(t.decode(&ids).contains("<unk>"));
+    }
+
+    #[test]
+    fn eos_is_appended_and_stripped() {
+        let t = fixture();
+        let ids = t.encode_with_eos("visualize bar");
+        assert_eq!(*ids.last().unwrap(), special::EOS);
+        assert_eq!(t.decode(&ids), "visualize bar");
+    }
+
+    #[test]
+    fn min_freq_prunes_rare_words() {
+        let t = WordTokenizer::fit(["a a b"], 2);
+        assert!(t.vocab().id("a").is_some());
+        assert!(t.vocab().id("b").is_none());
+    }
+
+    #[test]
+    fn special_tokens_reserved() {
+        let t = fixture();
+        assert_eq!(t.vocab().id(special::PAD_TOKEN), Some(special::PAD));
+        assert_eq!(t.vocab().id(special::EOS_TOKEN), Some(special::EOS));
+        assert_eq!(t.vocab().id(special::UNK_TOKEN), Some(special::UNK));
+        assert!(t.vocab().id(&special::sentinel(0)).is_some());
+        for task in special::TASK_TOKENS {
+            assert!(t.vocab().id(task).is_some(), "missing {task}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel index")]
+    fn sentinel_bounds_checked() {
+        let _ = special::sentinel(special::NUM_SENTINELS);
+    }
+}

@@ -1,0 +1,159 @@
+//! Vocabulary: bidirectional token ↔ id mapping with reserved specials.
+
+use std::collections::HashMap;
+
+use crate::special;
+
+/// An immutable vocabulary. Ids are dense; ids `0..=2` are the pad/eos/unk
+/// specials, followed by sentinel masks and task tokens, then corpus words
+/// in frequency order (ties broken lexicographically, so construction is
+/// deterministic).
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    tokens: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from pre-ordered tokens (specials must already
+    /// be present at their reserved positions). Prefer [`VocabBuilder`].
+    pub fn from_tokens(tokens: Vec<String>) -> Self {
+        assert_eq!(tokens[special::PAD as usize], special::PAD_TOKEN);
+        assert_eq!(tokens[special::EOS as usize], special::EOS_TOKEN);
+        assert_eq!(tokens[special::UNK as usize], special::UNK_TOKEN);
+        let index = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as u32))
+            .collect();
+        Self { tokens, index }
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the vocabulary holds only specials.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Id of a token.
+    pub fn id(&self, token: &str) -> Option<u32> {
+        self.index.get(token).copied()
+    }
+
+    /// Token for an id.
+    pub fn token(&self, id: u32) -> Option<&str> {
+        self.tokens.get(id as usize).map(|s| s.as_str())
+    }
+
+    /// All tokens in id order.
+    pub fn tokens(&self) -> &[String] {
+        &self.tokens
+    }
+}
+
+/// Accumulates word frequencies and produces a [`Vocab`].
+#[derive(Debug, Default)]
+pub struct VocabBuilder {
+    counts: HashMap<String, usize>,
+}
+
+impl VocabBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one occurrence of a word.
+    pub fn observe(&mut self, word: &str) {
+        *self.counts.entry(word.to_string()).or_insert(0) += 1;
+    }
+
+    /// Finalizes into a vocabulary, dropping words rarer than `min_freq`.
+    pub fn build(self, min_freq: usize) -> Vocab {
+        let mut tokens = vec![
+            special::PAD_TOKEN.to_string(),
+            special::EOS_TOKEN.to_string(),
+            special::UNK_TOKEN.to_string(),
+        ];
+        for i in 0..special::NUM_SENTINELS {
+            tokens.push(special::sentinel(i));
+        }
+        tokens.extend(special::TASK_TOKENS.iter().map(|s| s.to_string()));
+        let reserved: std::collections::HashSet<&str> =
+            tokens.iter().map(|s| s.as_str()).collect();
+        let mut words: Vec<(String, usize)> = self
+            .counts
+            .into_iter()
+            .filter(|(w, c)| *c >= min_freq && !reserved.contains(w.as_str()))
+            .collect();
+        words.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        tokens.extend(words.into_iter().map(|(w, _)| w));
+        Vocab::from_tokens(tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_orders_by_frequency_then_lexicographic() {
+        let mut b = VocabBuilder::new();
+        for w in ["zeta", "alpha", "alpha", "beta", "beta"] {
+            b.observe(w);
+        }
+        let v = b.build(1);
+        let base = 3 + special::NUM_SENTINELS + special::TASK_TOKENS.len();
+        assert_eq!(v.token(base as u32), Some("alpha"));
+        assert_eq!(v.token(base as u32 + 1), Some("beta"));
+        assert_eq!(v.token(base as u32 + 2), Some("zeta"));
+    }
+
+    #[test]
+    fn specials_occupy_reserved_ids() {
+        let v = VocabBuilder::new().build(1);
+        assert_eq!(v.id("<pad>"), Some(0));
+        assert_eq!(v.id("</s>"), Some(1));
+        assert_eq!(v.id("<unk>"), Some(2));
+        assert_eq!(v.id("<mask_0>"), Some(3));
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let make = || {
+            let mut b = VocabBuilder::new();
+            for w in ["x", "y", "z", "y"] {
+                b.observe(w);
+            }
+            b.build(1)
+        };
+        assert_eq!(make().tokens(), make().tokens());
+    }
+
+    #[test]
+    fn observing_a_special_does_not_duplicate_it() {
+        let mut b = VocabBuilder::new();
+        b.observe("<nl>");
+        b.observe("word");
+        let v = b.build(1);
+        let n = v
+            .tokens()
+            .iter()
+            .filter(|t| t.as_str() == "<nl>")
+            .count();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn roundtrip_id_token() {
+        let mut b = VocabBuilder::new();
+        b.observe("hello");
+        let v = b.build(1);
+        let id = v.id("hello").unwrap();
+        assert_eq!(v.token(id), Some("hello"));
+        assert_eq!(v.token(9999), None);
+    }
+}

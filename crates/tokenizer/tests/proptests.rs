@@ -1,0 +1,77 @@
+//! Property-based tests for tokenization: roundtrips, determinism, and
+//! BPE compression invariants.
+
+use proptest::prelude::*;
+
+use tokenizer::{special, Bpe, WordTokenizer};
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_.]{0,10}"
+}
+
+fn sentence() -> impl Strategy<Value = String> {
+    prop::collection::vec(word(), 1..15).prop_map(|w| w.join(" "))
+}
+
+proptest! {
+    /// Encoding text the tokenizer was fitted on roundtrips exactly.
+    #[test]
+    fn fitted_text_roundtrips(s in sentence()) {
+        let tok = WordTokenizer::fit([s.as_str()], 1);
+        let ids = tok.encode(&s);
+        prop_assert_eq!(tok.decode(&ids), s);
+    }
+
+    /// No fitted word maps to UNK; unfitted words always do.
+    #[test]
+    fn unk_behaviour(s in sentence(), novel in "[A-Z]{12}") {
+        let tok = WordTokenizer::fit([s.as_str()], 1);
+        for id in tok.encode(&s) {
+            prop_assert_ne!(id, special::UNK);
+        }
+        let ids = tok.encode(&novel);
+        prop_assert_eq!(ids, vec![special::UNK]);
+    }
+
+    /// Special ids never collide with corpus words.
+    #[test]
+    fn specials_reserved(s in sentence()) {
+        let tok = WordTokenizer::fit([s.as_str()], 1);
+        for w in s.split_whitespace() {
+            if let Some(id) = tok.vocab().id(w) {
+                prop_assert!(id >= 3, "word '{}' landed on a special id {}", w, id);
+            }
+        }
+    }
+
+    /// BPE decode(encode(x)) == x for arbitrary fitted text.
+    #[test]
+    fn bpe_roundtrips(s in sentence(), merges in 0usize..60) {
+        let bpe = Bpe::train([s.as_str()], merges);
+        let toks = bpe.encode(&s);
+        prop_assert_eq!(Bpe::decode(&toks), s);
+    }
+
+    /// BPE also roundtrips on text it was not trained on.
+    #[test]
+    fn bpe_roundtrips_unseen(train in sentence(), test in sentence()) {
+        let bpe = Bpe::train([train.as_str()], 30);
+        let toks = bpe.encode(&test);
+        prop_assert_eq!(Bpe::decode(&toks), test);
+    }
+
+    /// More merges never yields more tokens on the training text.
+    #[test]
+    fn bpe_merges_monotone(s in sentence()) {
+        let small = Bpe::train([s.as_str()], 5);
+        let large = Bpe::train([s.as_str()], 50);
+        prop_assert!(large.encode(&s).len() <= small.encode(&s).len());
+    }
+
+    /// Encoding is deterministic.
+    #[test]
+    fn encode_deterministic(s in sentence()) {
+        let tok = WordTokenizer::fit([s.as_str()], 1);
+        prop_assert_eq!(tok.encode(&s), tok.encode(&s));
+    }
+}

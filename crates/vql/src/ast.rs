@@ -1,0 +1,739 @@
+//! Typed representation of DV queries and their canonical textual form.
+//!
+//! `Display` implementations emit the *standardized encoding* of §III-D:
+//! lowercase keywords, fully-qualified `table.column` references, spaces
+//! around parentheses, single-quoted string literals, and an explicit `asc`
+//! on `order by`. Parsing is more tolerant (see [`crate::parser`]); the
+//! printer is strict so that string equality on printed queries matches
+//! AST equality on standardized queries.
+
+use std::fmt;
+
+/// The visualization type requested by the `visualize` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChartType {
+    Bar,
+    Pie,
+    Line,
+    Scatter,
+    StackedBar,
+    GroupedLine,
+    GroupedScatter,
+}
+
+impl ChartType {
+    /// Every chart type, in canonical order.
+    pub const ALL: [ChartType; 7] = [
+        ChartType::Bar,
+        ChartType::Pie,
+        ChartType::Line,
+        ChartType::Scatter,
+        ChartType::StackedBar,
+        ChartType::GroupedLine,
+        ChartType::GroupedScatter,
+    ];
+
+    /// The canonical lowercase keyword(s) for this chart type.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            ChartType::Bar => "bar",
+            ChartType::Pie => "pie",
+            ChartType::Line => "line",
+            ChartType::Scatter => "scatter",
+            ChartType::StackedBar => "stacked bar",
+            ChartType::GroupedLine => "grouping line",
+            ChartType::GroupedScatter => "grouping scatter",
+        }
+    }
+
+    /// Parses a chart keyword (case-insensitive; multi-word forms are the
+    /// two-token sequences `stacked bar`, `grouping line`, `grouping
+    /// scatter`).
+    pub fn from_keyword(kw: &str) -> Option<ChartType> {
+        match kw.to_ascii_lowercase().as_str() {
+            "bar" => Some(ChartType::Bar),
+            "pie" => Some(ChartType::Pie),
+            "line" => Some(ChartType::Line),
+            "scatter" => Some(ChartType::Scatter),
+            "stacked bar" => Some(ChartType::StackedBar),
+            "grouping line" => Some(ChartType::GroupedLine),
+            "grouping scatter" => Some(ChartType::GroupedScatter),
+            _ => None,
+        }
+    }
+
+    /// Whether this chart carries a third (color/series) channel.
+    pub fn is_grouped(&self) -> bool {
+        matches!(
+            self,
+            ChartType::StackedBar | ChartType::GroupedLine | ChartType::GroupedScatter
+        )
+    }
+}
+
+impl fmt::Display for ChartType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// SQL aggregate functions supported in DV queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Max,
+    Min,
+}
+
+impl AggFunc {
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Max => "max",
+            AggFunc::Min => "min",
+        }
+    }
+
+    pub fn from_keyword(kw: &str) -> Option<AggFunc> {
+        match kw.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "avg" => Some(AggFunc::Avg),
+            "max" => Some(AggFunc::Max),
+            "min" => Some(AggFunc::Min),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A (possibly table-qualified) column reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Qualifying table name; `None` before standardization.
+    pub table: Option<String>,
+    /// Column name, or `*` for the wildcard inside `count(*)`.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Unqualified reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        Self {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    /// Fully-qualified reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        Self {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+
+    /// Whether this is the `*` wildcard.
+    pub fn is_wildcard(&self) -> bool {
+        self.column == "*"
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => f.write_str(&self.column),
+        }
+    }
+}
+
+/// One item of the `select` list: a plain column or an aggregate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ColExpr {
+    Column(ColumnRef),
+    Agg(AggFunc, ColumnRef),
+}
+
+impl ColExpr {
+    /// The underlying column reference.
+    pub fn column_ref(&self) -> &ColumnRef {
+        match self {
+            ColExpr::Column(c) => c,
+            ColExpr::Agg(_, c) => c,
+        }
+    }
+
+    /// Mutable access to the underlying column reference.
+    pub fn column_ref_mut(&mut self) -> &mut ColumnRef {
+        match self {
+            ColExpr::Column(c) => c,
+            ColExpr::Agg(_, c) => c,
+        }
+    }
+
+    /// The aggregate function, if any.
+    pub fn agg(&self) -> Option<AggFunc> {
+        match self {
+            ColExpr::Column(_) => None,
+            ColExpr::Agg(a, _) => Some(*a),
+        }
+    }
+}
+
+impl fmt::Display for ColExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColExpr::Column(c) => write!(f, "{c}"),
+            // Standardized encoding puts spaces around parentheses (§III-D
+            // rule 2).
+            ColExpr::Agg(a, c) => write!(f, "{a} ( {c} )"),
+        }
+    }
+}
+
+/// Comparison operators usable in `where` predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Like,
+}
+
+impl CmpOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Like => "like",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A literal value on the right-hand side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Number(f64),
+    /// String literal; the standardized form uses single quotes.
+    Text(String),
+}
+
+impl Eq for Literal {}
+
+impl std::hash::Hash for Literal {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Literal::Number(n) => n.to_bits().hash(state),
+            Literal::Text(s) => s.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Literal::Text(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+/// A nested `select` usable inside `in` / `not in` predicates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Subquery {
+    pub select: ColumnRef,
+    pub from: String,
+    pub join: Option<Join>,
+    pub filters: Vec<Predicate>,
+}
+
+impl fmt::Display for Subquery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "select {} from {}", self.select, self.from)?;
+        if let Some(j) = &self.join {
+            write!(f, " {j}")?;
+        }
+        if !self.filters.is_empty() {
+            write!(f, " where ")?;
+            for (i, p) in self.filters.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " and ")?;
+                }
+                write!(f, "{p}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One conjunct of the `where` clause.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Predicate {
+    Compare {
+        left: ColumnRef,
+        op: CmpOp,
+        right: Literal,
+    },
+    In {
+        left: ColumnRef,
+        negated: bool,
+        sub: Box<Subquery>,
+    },
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Compare { left, op, right } => write!(f, "{left} {op} {right}"),
+            Predicate::In { left, negated, sub } => {
+                let not = if *negated { "not " } else { "" };
+                write!(f, "{left} {not}in ( {sub} )")
+            }
+        }
+    }
+}
+
+/// An inner join between the primary table and a second table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Join {
+    pub table: String,
+    pub left: ColumnRef,
+    pub right: ColumnRef,
+}
+
+impl fmt::Display for Join {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "join {} on {} = {}", self.table, self.left, self.right)
+    }
+}
+
+/// Sort direction; the standardized encoding always prints it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrderDir {
+    Asc,
+    Desc,
+}
+
+impl fmt::Display for OrderDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OrderDir::Asc => "asc",
+            OrderDir::Desc => "desc",
+        })
+    }
+}
+
+/// The `order by` clause.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OrderBy {
+    pub expr: ColExpr,
+    pub dir: OrderDir,
+}
+
+impl fmt::Display for OrderBy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "order by {} {}", self.expr, self.dir)
+    }
+}
+
+/// Temporal binning units for the `bin … by …` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinUnit {
+    Year,
+    Month,
+    Day,
+    Weekday,
+}
+
+impl BinUnit {
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            BinUnit::Year => "year",
+            BinUnit::Month => "month",
+            BinUnit::Day => "day",
+            BinUnit::Weekday => "weekday",
+        }
+    }
+
+    pub fn from_keyword(kw: &str) -> Option<BinUnit> {
+        match kw.to_ascii_lowercase().as_str() {
+            "year" => Some(BinUnit::Year),
+            "month" => Some(BinUnit::Month),
+            "day" => Some(BinUnit::Day),
+            "weekday" => Some(BinUnit::Weekday),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BinUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// The `bin` clause (`bin col by year`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bin {
+    pub column: ColumnRef,
+    pub unit: BinUnit,
+}
+
+impl fmt::Display for Bin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bin {} by {}", self.column, self.unit)
+    }
+}
+
+/// A complete DV query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Query {
+    pub chart: ChartType,
+    /// Axis expressions: `[x, y]` or `[x, y, color]` for grouped charts.
+    pub select: Vec<ColExpr>,
+    /// Primary table.
+    pub from: String,
+    pub join: Option<Join>,
+    /// Conjunctive filters.
+    pub filters: Vec<Predicate>,
+    pub group_by: Vec<ColumnRef>,
+    pub order_by: Option<OrderBy>,
+    pub bin: Option<Bin>,
+}
+
+impl Query {
+    /// A minimal query skeleton for builders/tests.
+    pub fn new(chart: ChartType, select: Vec<ColExpr>, from: impl Into<String>) -> Self {
+        Self {
+            chart,
+            select,
+            from: from.into(),
+            join: None,
+            filters: Vec::new(),
+            group_by: Vec::new(),
+            order_by: None,
+            bin: None,
+        }
+    }
+
+    /// All tables referenced by the query (primary + join).
+    pub fn tables(&self) -> Vec<&str> {
+        let mut t = vec![self.from.as_str()];
+        if let Some(j) = &self.join {
+            t.push(j.table.as_str());
+        }
+        t
+    }
+
+    /// Whether the query uses a join (the paper's "w/ join operation"
+    /// split).
+    pub fn has_join(&self) -> bool {
+        self.join.is_some()
+            || self.filters.iter().any(|p| match p {
+                Predicate::In { sub, .. } => sub.join.is_some(),
+                _ => false,
+            })
+    }
+
+    /// NVBench-style hardness: one point per data operation beyond the
+    /// basic select (join, each filter, grouping, ordering, binning,
+    /// sub-select, third channel).
+    pub fn hardness(&self) -> Hardness {
+        let mut score = 0usize;
+        if self.join.is_some() {
+            score += 2;
+        }
+        for f in &self.filters {
+            score += match f {
+                Predicate::Compare { .. } => 1,
+                Predicate::In { .. } => 2,
+            };
+        }
+        if !self.group_by.is_empty() {
+            score += 1;
+        }
+        if self.order_by.is_some() {
+            score += 1;
+        }
+        if self.bin.is_some() {
+            score += 1;
+        }
+        if self.select.len() >= 3 {
+            score += 1;
+        }
+        match score {
+            0..=1 => Hardness::Easy,
+            2 => Hardness::Medium,
+            3..=4 => Hardness::Hard,
+            _ => Hardness::ExtraHard,
+        }
+    }
+}
+
+/// NVBench-style query difficulty levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Hardness {
+    Easy,
+    Medium,
+    Hard,
+    ExtraHard,
+}
+
+impl Hardness {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Hardness::Easy => "easy",
+            Hardness::Medium => "medium",
+            Hardness::Hard => "hard",
+            Hardness::ExtraHard => "extra-hard",
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "visualize {} select ", self.chart)?;
+        for (i, s) in self.select.iter().enumerate() {
+            if i > 0 {
+                // Space-separated comma: every surface token is whitespace
+                // delimited (rule 2 of the standardized encoding applied
+                // uniformly).
+                write!(f, " , ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, " from {}", self.from)?;
+        if let Some(j) = &self.join {
+            write!(f, " {j}")?;
+        }
+        if !self.filters.is_empty() {
+            write!(f, " where ")?;
+            for (i, p) in self.filters.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " and ")?;
+                }
+                write!(f, "{p}")?;
+            }
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " group by ")?;
+            for (i, c) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " , ")?;
+                }
+                write!(f, "{c}")?;
+            }
+        }
+        if let Some(o) = &self.order_by {
+            write!(f, " {o}")?;
+        }
+        if let Some(b) = &self.bin {
+            write!(f, " {b}")?;
+        }
+        Ok(())
+    }
+}
+
+pub use self::Bin as BinClause;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query() -> Query {
+        Query {
+            chart: ChartType::Pie,
+            select: vec![
+                ColExpr::Column(ColumnRef::qualified("artist", "country")),
+                ColExpr::Agg(AggFunc::Count, ColumnRef::qualified("artist", "country")),
+            ],
+            from: "artist".into(),
+            join: None,
+            filters: vec![],
+            group_by: vec![ColumnRef::qualified("artist", "country")],
+            order_by: None,
+            bin: None,
+        }
+    }
+
+    #[test]
+    fn display_matches_standardized_form() {
+        let q = sample_query();
+        assert_eq!(
+            q.to_string(),
+            "visualize pie select artist.country , count ( artist.country ) \
+             from artist group by artist.country"
+        );
+    }
+
+    #[test]
+    fn display_with_all_clauses() {
+        let q = Query {
+            chart: ChartType::Bar,
+            select: vec![
+                ColExpr::Column(ColumnRef::qualified("rooms", "decor")),
+                ColExpr::Agg(AggFunc::Avg, ColumnRef::qualified("rooms", "baseprice")),
+            ],
+            from: "rooms".into(),
+            join: Some(Join {
+                table: "inn".into(),
+                left: ColumnRef::qualified("rooms", "inn_id"),
+                right: ColumnRef::qualified("inn", "id"),
+            }),
+            filters: vec![Predicate::Compare {
+                left: ColumnRef::qualified("rooms", "beds"),
+                op: CmpOp::Ge,
+                right: Literal::Number(2.0),
+            }],
+            group_by: vec![ColumnRef::qualified("rooms", "decor")],
+            order_by: Some(OrderBy {
+                expr: ColExpr::Agg(AggFunc::Avg, ColumnRef::qualified("rooms", "baseprice")),
+                dir: OrderDir::Asc,
+            }),
+            bin: None,
+        };
+        assert_eq!(
+            q.to_string(),
+            "visualize bar select rooms.decor , avg ( rooms.baseprice ) from rooms \
+             join inn on rooms.inn_id = inn.id where rooms.beds >= 2 \
+             group by rooms.decor order by avg ( rooms.baseprice ) asc"
+        );
+    }
+
+    #[test]
+    fn chart_keyword_roundtrip() {
+        for ct in ChartType::ALL {
+            assert_eq!(ChartType::from_keyword(ct.keyword()), Some(ct));
+        }
+        assert_eq!(ChartType::from_keyword("BAR"), Some(ChartType::Bar));
+        assert_eq!(ChartType::from_keyword("donut"), None);
+    }
+
+    #[test]
+    fn grouped_charts_are_flagged() {
+        assert!(ChartType::StackedBar.is_grouped());
+        assert!(!ChartType::Pie.is_grouped());
+    }
+
+    #[test]
+    fn literal_display_forms() {
+        assert_eq!(Literal::Number(3.0).to_string(), "3");
+        assert_eq!(Literal::Number(2.5).to_string(), "2.5");
+        assert_eq!(Literal::Text("Columbus Crew".into()).to_string(), "'Columbus Crew'");
+    }
+
+    #[test]
+    fn in_subquery_display() {
+        let p = Predicate::In {
+            left: ColumnRef::qualified("student", "stuid"),
+            negated: true,
+            sub: Box::new(Subquery {
+                select: ColumnRef::qualified("has_allergy", "stuid"),
+                from: "has_allergy".into(),
+                join: None,
+                filters: vec![Predicate::Compare {
+                    left: ColumnRef::qualified("has_allergy", "allergy"),
+                    op: CmpOp::Eq,
+                    right: Literal::Text("food".into()),
+                }],
+            }),
+        };
+        assert_eq!(
+            p.to_string(),
+            "student.stuid not in ( select has_allergy.stuid from has_allergy \
+             where has_allergy.allergy = 'food' )"
+        );
+    }
+
+    #[test]
+    fn has_join_detects_subquery_join() {
+        let mut q = sample_query();
+        assert!(!q.has_join());
+        q.filters.push(Predicate::In {
+            left: ColumnRef::qualified("artist", "artist_id"),
+            negated: false,
+            sub: Box::new(Subquery {
+                select: ColumnRef::qualified("exhibit", "artist_id"),
+                from: "exhibit".into(),
+                join: Some(Join {
+                    table: "venue".into(),
+                    left: ColumnRef::qualified("exhibit", "venue_id"),
+                    right: ColumnRef::qualified("venue", "id"),
+                }),
+                filters: vec![],
+            }),
+        });
+        assert!(q.has_join());
+    }
+
+    #[test]
+    fn hardness_scales_with_clauses() {
+        use crate::parse_query;
+        let easy = parse_query("visualize scatter select t.a, t.b from t").unwrap();
+        assert_eq!(easy.hardness(), Hardness::Easy);
+        let medium = parse_query(
+            "visualize bar select t.a, count(t.a) from t group by t.a order by count(t.a) asc",
+        )
+        .unwrap();
+        assert_eq!(medium.hardness(), Hardness::Medium);
+        let hard = parse_query(
+            "visualize bar select t.a, count(t.a) from t join u on t.id = u.id \
+             group by t.a order by count(t.a) desc",
+        )
+        .unwrap();
+        assert_eq!(hard.hardness(), Hardness::Hard);
+        let extra = parse_query(
+            "visualize stacked bar select t.a, count(t.a), t.c from t join u on t.id = u.id \
+             where t.x > 1 and u.y = 'v' group by t.a, t.c order by count(t.a) desc",
+        )
+        .unwrap();
+        assert_eq!(extra.hardness(), Hardness::ExtraHard);
+    }
+
+    #[test]
+    fn hardness_ordering_is_monotone() {
+        assert!(Hardness::Easy < Hardness::Medium);
+        assert!(Hardness::Hard < Hardness::ExtraHard);
+        assert_eq!(Hardness::ExtraHard.label(), "extra-hard");
+    }
+
+    #[test]
+    fn tables_lists_join_table() {
+        let mut q = sample_query();
+        q.join = Some(Join {
+            table: "exhibit".into(),
+            left: ColumnRef::qualified("artist", "artist_id"),
+            right: ColumnRef::qualified("exhibit", "artist_id"),
+        });
+        assert_eq!(q.tables(), vec!["artist", "exhibit"]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Executed-chart model.
+//!
+//! Rendering a DV query against a database produces a [`Chart`]: the chart
+//! type plus labelled data series. FeVisQA Type-3 questions ("how many parts
+//! are there in the chart?", "what is the value of the smallest part?") are
+//! answered from this model, and the case-study binaries render it as ASCII
+//! art in place of the paper's bitmap figures.
+
+use std::fmt;
+
+use crate::ast::ChartType;
+
+/// One data series: an optional group name and `(label, value)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Group (color channel) name for stacked/grouped charts.
+    pub name: Option<String>,
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    pub fn new(points: Vec<(String, f64)>) -> Self {
+        Self { name: None, points }
+    }
+
+    pub fn named(name: impl Into<String>, points: Vec<(String, f64)>) -> Self {
+        Self {
+            name: Some(name.into()),
+            points,
+        }
+    }
+}
+
+/// The chart produced by executing a DV query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chart {
+    pub chart_type: ChartType,
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<Series>,
+}
+
+impl Chart {
+    /// Total number of rendered parts (bars, slices, points) across series.
+    pub fn part_count(&self) -> usize {
+        self.series.iter().map(|s| s.points.len()).sum()
+    }
+
+    /// All values across series.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.series.iter().flat_map(|s| s.points.iter().map(|p| p.1))
+    }
+
+    /// Smallest value in the chart, if any part exists.
+    pub fn min_value(&self) -> Option<f64> {
+        self.values().fold(None, |acc, v| match acc {
+            Some(m) if m <= v => Some(m),
+            _ => Some(v),
+        })
+    }
+
+    /// Largest value in the chart, if any part exists.
+    pub fn max_value(&self) -> Option<f64> {
+        self.values().fold(None, |acc, v| match acc {
+            Some(m) if m >= v => Some(m),
+            _ => Some(v),
+        })
+    }
+
+    /// Sum of all values.
+    pub fn total(&self) -> f64 {
+        self.values().sum()
+    }
+
+    /// Whether any two parts share the same y value (FeVisQA: "is any equal
+    /// value of y-axis in the chart?").
+    pub fn has_equal_values(&self) -> bool {
+        let vals: Vec<f64> = self.values().collect();
+        for (i, a) in vals.iter().enumerate() {
+            for b in &vals[i + 1..] {
+                if (a - b).abs() < 1e-9 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Value for a label in the first matching series.
+    pub fn value_of(&self, label: &str) -> Option<f64> {
+        self.series.iter().find_map(|s| {
+            s.points
+                .iter()
+                .find(|(l, _)| l.eq_ignore_ascii_case(label))
+                .map(|p| p.1)
+        })
+    }
+
+    /// Label of the largest part.
+    pub fn argmax_label(&self) -> Option<&str> {
+        self.series
+            .iter()
+            .flat_map(|s| s.points.iter())
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|p| p.0.as_str())
+    }
+
+    /// Renders a fixed-width ASCII view (bar lengths proportional to value),
+    /// the reproduction's stand-in for the paper's chart bitmaps.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let mut out = format!("[{} chart] {} vs {}\n", self.chart_type, self.x_label, self.y_label);
+        let max = self.max_value().unwrap_or(1.0).max(1e-9);
+        let label_w = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter())
+            .map(|(l, _)| l.len())
+            .max()
+            .unwrap_or(0);
+        for s in &self.series {
+            if let Some(name) = &s.name {
+                out.push_str(&format!("-- series: {name}\n"));
+            }
+            for (label, value) in &s.points {
+                let bar_len = ((value / max) * width as f64).round().max(0.0) as usize;
+                out.push_str(&format!(
+                    "{label:<label_w$} | {} {value}\n",
+                    "#".repeat(bar_len.min(width))
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Chart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_ascii(32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn film_chart() -> Chart {
+        // The Figure 8a example: three parts with values 1, 6, 2.
+        Chart {
+            chart_type: ChartType::Bar,
+            x_label: "film.type".into(),
+            y_label: "count ( film.type )".into(),
+            series: vec![Series::new(vec![
+                ("mass human sacrifice".into(), 1.0),
+                ("mass suicide".into(), 6.0),
+                ("mass suicide murder".into(), 2.0),
+            ])],
+        }
+    }
+
+    #[test]
+    fn fevisqa_measures_match_figure8() {
+        let c = film_chart();
+        assert_eq!(c.part_count(), 3);
+        assert_eq!(c.min_value(), Some(1.0));
+        assert_eq!(c.max_value(), Some(6.0));
+        assert_eq!(c.total(), 9.0);
+        assert!(!c.has_equal_values());
+    }
+
+    #[test]
+    fn equal_values_detected() {
+        let mut c = film_chart();
+        c.series[0].points.push(("again".into(), 6.0));
+        assert!(c.has_equal_values());
+    }
+
+    #[test]
+    fn value_of_is_case_insensitive() {
+        let c = film_chart();
+        assert_eq!(c.value_of("Mass Suicide"), Some(6.0));
+        assert_eq!(c.value_of("missing"), None);
+    }
+
+    #[test]
+    fn argmax_label_finds_biggest_part() {
+        assert_eq!(film_chart().argmax_label(), Some("mass suicide"));
+    }
+
+    #[test]
+    fn ascii_render_contains_labels_and_bars() {
+        let text = film_chart().render_ascii(20);
+        assert!(text.contains("mass suicide"));
+        assert!(text.contains('#'));
+        assert!(text.starts_with("[bar chart]"));
+    }
+
+    #[test]
+    fn empty_chart_is_safe() {
+        let c = Chart {
+            chart_type: ChartType::Pie,
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![],
+        };
+        assert_eq!(c.part_count(), 0);
+        assert_eq!(c.min_value(), None);
+        assert_eq!(c.total(), 0.0);
+        assert!(!c.has_equal_values());
+    }
+
+    #[test]
+    fn grouped_series_counts_all_parts() {
+        let c = Chart {
+            chart_type: ChartType::StackedBar,
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![
+                Series::named("a", vec![("p".into(), 1.0)]),
+                Series::named("b", vec![("p".into(), 2.0), ("q".into(), 3.0)]),
+            ],
+        };
+        assert_eq!(c.part_count(), 3);
+        assert!(c.render_ascii(10).contains("series: a"));
+    }
+}

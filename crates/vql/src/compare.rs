@@ -1,0 +1,206 @@
+//! Component-wise exact-match comparison of DV queries (§V-B).
+//!
+//! The text-to-vis evaluation decomposes a DV query into three components:
+//!
+//! * **Vis** — the visualization type (`bar`, `pie`, …);
+//! * **Axis** — the `select` list (the x/y/color channel expressions);
+//! * **Data** — the data part: source tables, join, filters, grouping,
+//!   ordering, and binning.
+//!
+//! `Vis EM`, `Axis EM` and `Data EM` score each component independently;
+//! overall `EM` requires all three to match. Comparison operates on
+//! *standardized* ASTs so stylistic differences never count as errors; a
+//! prediction that fails to parse scores zero everywhere.
+
+use crate::ast::{ColExpr, Query};
+
+/// Per-component match result for one (prediction, reference) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ComponentMatch {
+    pub vis: bool,
+    pub axis: bool,
+    pub data: bool,
+}
+
+impl ComponentMatch {
+    /// Overall exact match: every component equal.
+    pub fn exact(&self) -> bool {
+        self.vis && self.axis && self.data
+    }
+}
+
+/// Compares two standardized queries component-wise.
+pub fn compare_queries(pred: &Query, gold: &Query) -> ComponentMatch {
+    ComponentMatch {
+        vis: pred.chart == gold.chart,
+        axis: axis_equal(&pred.select, &gold.select),
+        data: data_equal(pred, gold),
+    }
+}
+
+/// Axis equality: the select lists must contain the same expressions. The
+/// first (x) position is order-sensitive; the remaining channels are
+/// compared as sets, since `select x, avg(a), min(b)` and
+/// `select x, min(b), avg(a)` render identical axes.
+fn axis_equal(a: &[ColExpr], b: &[ColExpr]) -> bool {
+    if a.len() != b.len() || a.is_empty() {
+        return a.len() == b.len();
+    }
+    if a[0] != b[0] {
+        return false;
+    }
+    let mut rest: Vec<&ColExpr> = b[1..].iter().collect();
+    for item in &a[1..] {
+        match rest.iter().position(|r| *r == item) {
+            Some(i) => {
+                rest.swap_remove(i);
+            }
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Data equality: tables, join, filters (order-insensitive conjunction),
+/// grouping, ordering and binning must all agree.
+fn data_equal(a: &Query, b: &Query) -> bool {
+    if a.from != b.from || a.join != b.join || a.group_by != b.group_by {
+        return false;
+    }
+    if a.order_by != b.order_by || a.bin != b.bin {
+        return false;
+    }
+    if a.filters.len() != b.filters.len() {
+        return false;
+    }
+    let mut rest: Vec<_> = b.filters.iter().collect();
+    for f in &a.filters {
+        match rest.iter().position(|r| *r == f) {
+            Some(i) => {
+                rest.swap_remove(i);
+            }
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Aggregated EM scores over a test set (the four columns of Table IV).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EmScores {
+    pub vis_em: f64,
+    pub axis_em: f64,
+    pub data_em: f64,
+    pub em: f64,
+    pub n: usize,
+}
+
+impl EmScores {
+    /// Accumulates component matches into aggregate rates.
+    pub fn from_matches(matches: &[ComponentMatch]) -> EmScores {
+        let n = matches.len();
+        if n == 0 {
+            return EmScores::default();
+        }
+        let count = |f: fn(&ComponentMatch) -> bool| {
+            matches.iter().filter(|m| f(m)).count() as f64 / n as f64
+        };
+        EmScores {
+            vis_em: count(|m| m.vis),
+            axis_em: count(|m| m.axis),
+            data_em: count(|m| m.data),
+            em: count(|m| m.exact()),
+            n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    fn q(text: &str) -> Query {
+        parse_query(text).unwrap()
+    }
+
+    #[test]
+    fn identical_queries_match_fully() {
+        let a = q("visualize bar select t.a, count(t.a) from t group by t.a");
+        let m = compare_queries(&a, &a);
+        assert!(m.vis && m.axis && m.data && m.exact());
+    }
+
+    #[test]
+    fn wrong_chart_only_breaks_vis() {
+        let a = q("visualize bar select t.a, count(t.a) from t group by t.a");
+        let b = q("visualize pie select t.a, count(t.a) from t group by t.a");
+        let m = compare_queries(&a, &b);
+        assert!(!m.vis);
+        assert!(m.axis && m.data);
+        assert!(!m.exact());
+    }
+
+    #[test]
+    fn swapped_y_channels_still_match_axis() {
+        let a = q("visualize scatter select t.x, avg(t.a), min(t.b) from t");
+        let b = q("visualize scatter select t.x, min(t.b), avg(t.a) from t");
+        assert!(compare_queries(&a, &b).axis);
+    }
+
+    #[test]
+    fn swapped_x_channel_breaks_axis() {
+        let a = q("visualize scatter select t.x, avg(t.a) from t");
+        let b = q("visualize scatter select avg(t.a), t.x from t");
+        assert!(!compare_queries(&a, &b).axis);
+    }
+
+    #[test]
+    fn different_group_by_breaks_data() {
+        let a = q("visualize bar select t.a, count(t.a) from t group by t.a");
+        let b = q("visualize bar select t.a, count(t.a) from t group by t.b");
+        let m = compare_queries(&a, &b);
+        assert!(m.vis && m.axis && !m.data);
+    }
+
+    #[test]
+    fn filter_order_is_insensitive() {
+        let a = q("visualize bar select t.a, t.b from t where t.a > 1 and t.b = 'x'");
+        let b = q("visualize bar select t.a, t.b from t where t.b = 'x' and t.a > 1");
+        assert!(compare_queries(&a, &b).data);
+    }
+
+    #[test]
+    fn missing_order_by_breaks_data() {
+        let a = q("visualize bar select t.a, count(t.a) from t group by t.a order by count(t.a) asc");
+        let b = q("visualize bar select t.a, count(t.a) from t group by t.a");
+        assert!(!compare_queries(&a, &b).data);
+    }
+
+    #[test]
+    fn em_scores_aggregate() {
+        let m1 = ComponentMatch {
+            vis: true,
+            axis: true,
+            data: true,
+        };
+        let m2 = ComponentMatch {
+            vis: true,
+            axis: false,
+            data: true,
+        };
+        let s = EmScores::from_matches(&[m1, m2]);
+        assert_eq!(s.vis_em, 1.0);
+        assert_eq!(s.axis_em, 0.5);
+        assert_eq!(s.data_em, 1.0);
+        assert_eq!(s.em, 0.5);
+        assert_eq!(s.n, 2);
+    }
+
+    #[test]
+    fn empty_matches_score_zero() {
+        let s = EmScores::from_matches(&[]);
+        assert_eq!(s.em, 0.0);
+        assert_eq!(s.n, 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! DV knowledge encoding (§III-C): linearizing schemas and tables.
+//!
+//! * schema: `db_name | table: table.col1, table.col2 | other: …`
+//! * table: `col : c1 | c2 row 1 : v11 | v12 row 2 : …`
+//!
+//! Both forms follow the standardized encoding (lowercase, columns
+//! qualified by their table) so the text modality and the DV modality share
+//! a single surface vocabulary.
+
+use crate::schema::DbSchema;
+
+/// Linearizes a database schema into flat text.
+///
+/// The database name is prefixed and tables are separated by `|`, each
+/// formatted as `table: table.col1, table.col2, …` with qualified,
+/// lowercased column names.
+pub fn encode_schema(schema: &DbSchema) -> String {
+    let mut out = schema.name.to_ascii_lowercase();
+    for t in &schema.tables {
+        let tname = t.name.to_ascii_lowercase();
+        out.push_str(" | ");
+        out.push_str(&tname);
+        out.push_str(" : ");
+        for (i, c) in t.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" , ");
+            }
+            out.push_str(&tname);
+            out.push('.');
+            out.push_str(&c.to_ascii_lowercase());
+        }
+    }
+    out
+}
+
+/// A value-level table view for linearization: a header plus rows of
+/// display strings. The storage crate converts its typed tables into this.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinearTable {
+    /// Column headers, already in standardized form (e.g.
+    /// `artist.country`, `count ( artist.country )`).
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl LinearTable {
+    pub fn new(headers: Vec<String>, rows: Vec<Vec<String>>) -> Self {
+        Self { headers, rows }
+    }
+
+    /// Number of cells (`rows × columns`), the quantity the paper filters
+    /// on (≤ 150 cells, §IV-B).
+    pub fn cell_count(&self) -> usize {
+        self.rows.len() * self.headers.len()
+    }
+}
+
+/// Linearizes a table following TAPAS-style encoding (§III-C):
+/// `col : h1 | h2 row 1 : v11 | v12 row 2 : v21 | v22 …`.
+pub fn encode_table(table: &LinearTable) -> String {
+    let mut out = String::from("col :");
+    for (i, h) in table.headers.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" |");
+        }
+        out.push(' ');
+        out.push_str(&h.to_ascii_lowercase());
+    }
+    for (r, row) in table.rows.iter().enumerate() {
+        out.push_str(&format!(" row {} :", r + 1));
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" |");
+            }
+            out.push(' ');
+            out.push_str(&v.to_ascii_lowercase());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+
+    #[test]
+    fn schema_encoding_matches_figure3() {
+        let schema = DbSchema::new(
+            "theme_gallery",
+            vec![TableSchema::new(
+                "artist",
+                vec![
+                    "age".into(),
+                    "name".into(),
+                    "country".into(),
+                    "year_join".into(),
+                    "artist_id".into(),
+                ],
+            )],
+        );
+        assert_eq!(
+            encode_schema(&schema),
+            "theme_gallery | artist : artist.age , artist.name , artist.country , \
+             artist.year_join , artist.artist_id"
+        );
+    }
+
+    #[test]
+    fn schema_encoding_joins_tables_with_pipe() {
+        let schema = DbSchema::new(
+            "Soccer_1",
+            vec![
+                TableSchema::new("Player", vec!["ID".into()]),
+                TableSchema::new("Team", vec!["Name".into()]),
+            ],
+        );
+        assert_eq!(
+            encode_schema(&schema),
+            "soccer_1 | player : player.id | team : team.name"
+        );
+    }
+
+    #[test]
+    fn table_encoding_matches_figure3() {
+        let t = LinearTable::new(
+            vec!["artist.country".into(), "count ( artist.country )".into()],
+            vec![
+                vec!["united states".into(), "4".into()],
+                vec!["england".into(), "1".into()],
+            ],
+        );
+        assert_eq!(
+            encode_table(&t),
+            "col : artist.country | count ( artist.country ) \
+             row 1 : united states | 4 row 2 : england | 1"
+        );
+    }
+
+    #[test]
+    fn cell_count_is_rows_times_columns() {
+        let t = LinearTable::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![vec!["1".into(), "2".into(), "3".into()]; 4],
+        );
+        assert_eq!(t.cell_count(), 12);
+    }
+
+    #[test]
+    fn empty_table_encodes_header_only() {
+        let t = LinearTable::new(vec!["x".into()], vec![]);
+        assert_eq!(encode_table(&t), "col : x");
+        assert_eq!(t.cell_count(), 0);
+    }
+}

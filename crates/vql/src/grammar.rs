@@ -1,0 +1,359 @@
+//! Clause automaton for grammar-constrained decoding.
+//!
+//! The ncNet baseline decodes under a hard grammar mask: at every step only
+//! tokens that can extend the prefix into a valid DV query are allowed.
+//! [`GrammarConstraint::allowed_next`] returns that set for a whitespace
+//! token prefix, drawing identifiers from the database schema and literal
+//! values from a caller-provided pool (string literals are single
+//! whitespace tokens that keep their quotes, e.g. `'usa'`).
+//!
+//! The automaton covers the flat query grammar (no `in`-subqueries); this
+//! mirrors the published ncNet, which does not emit nested queries.
+
+use crate::schema::DbSchema;
+
+/// Grammar-constrained next-token oracle over a schema.
+pub struct GrammarConstraint {
+    tables: Vec<String>,
+    columns: Vec<String>,
+    /// Literal tokens that may appear after comparison operators
+    /// (pre-quoted strings and numbers harvested from the NL question).
+    literal_pool: Vec<String>,
+}
+
+/// Marker token a decoder may emit to finish the query.
+pub const EOS: &str = "</s>";
+
+const AGGS: [&str; 5] = ["count", "sum", "avg", "max", "min"];
+const OPS: [&str; 6] = ["=", "!=", "<", "<=", ">", ">="];
+const CHART_FIRST: [&str; 6] = ["bar", "pie", "line", "scatter", "stacked", "grouping"];
+
+impl GrammarConstraint {
+    /// Builds the oracle, precomputing the lowercase table and qualified
+    /// column identifier sets once (they are consulted at every decode
+    /// step).
+    pub fn new(schema: &DbSchema, literal_pool: Vec<String>) -> Self {
+        let tables = schema
+            .tables
+            .iter()
+            .map(|t| t.name.to_ascii_lowercase())
+            .collect();
+        let mut columns = Vec::new();
+        for t in &schema.tables {
+            let tn = t.name.to_ascii_lowercase();
+            for c in &t.columns {
+                columns.push(format!("{tn}.{}", c.to_ascii_lowercase()));
+            }
+        }
+        Self {
+            tables,
+            columns,
+            literal_pool,
+        }
+    }
+
+    fn table_names(&self) -> &[String] {
+        &self.tables
+    }
+
+    fn qualified_columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Legal next tokens (including possibly [`EOS`]) for a prefix of
+    /// whitespace tokens. An empty result means the prefix itself is
+    /// invalid.
+    pub fn allowed_next(&self, prefix: &[&str]) -> Vec<String> {
+        use State::*;
+        let mut st = ExpectVisualize;
+        for tok in prefix {
+            st = match self.step(st, tok) {
+                Some(next) => next,
+                None => return Vec::new(),
+            };
+        }
+        self.allowed_for(st)
+    }
+
+    fn step(&self, st: State, tok: &str) -> Option<State> {
+        use State::*;
+        let is_col = |t: &str| self.qualified_columns().iter().any(|c| c == t);
+        let is_table = |t: &str| self.table_names().iter().any(|n| n == t);
+        let is_literal = |t: &str| self.literal_pool.iter().any(|l| l == t);
+        Some(match (st, tok) {
+            (ExpectVisualize, "visualize") => ExpectChart,
+            (ExpectChart, "stacked") => ExpectStackedBar,
+            (ExpectChart, "grouping") => ExpectGroupingKind,
+            (ExpectChart, t) if ["bar", "pie", "line", "scatter"].contains(&t) => ExpectSelect,
+            (ExpectStackedBar, "bar") => ExpectSelect,
+            (ExpectGroupingKind, t) if ["line", "scatter"].contains(&t) => ExpectSelect,
+            (ExpectSelect, "select") => ExpectItem,
+            (ExpectItem, t) if AGGS.contains(&t) => ExpectOpenParen,
+            (ExpectItem, t) if is_col(t) => AfterItem,
+            (ExpectOpenParen, "(") => ExpectAggCol,
+            (ExpectAggCol, t) if is_col(t) => ExpectCloseParen,
+            (ExpectCloseParen, ")") => AfterItem,
+            (AfterItem, ",") => ExpectItem,
+            (AfterItem, "from") => ExpectTable,
+            (ExpectTable, t) if is_table(t) => AfterFrom,
+            (AfterFrom, "join") => ExpectJoinTable,
+            (AfterFrom, "where") => ExpectWhereCol,
+            (AfterFrom, "group") | (AfterPredicate, "group") | (AfterJoin, "group") => {
+                ExpectGroupByKw
+            }
+            (AfterFrom, "order") | (AfterPredicate, "order") | (AfterJoin, "order")
+            | (AfterGroupCol, "order") => ExpectOrderByKw,
+            (AfterFrom, "bin") | (AfterPredicate, "bin") | (AfterJoin, "bin")
+            | (AfterGroupCol, "bin") | (AfterOrderDir, "bin") => ExpectBinCol,
+            (ExpectJoinTable, t) if is_table(t) => ExpectOn,
+            (ExpectOn, "on") => ExpectJoinLeft,
+            (ExpectJoinLeft, t) if is_col(t) => ExpectJoinEq,
+            (ExpectJoinEq, "=") => ExpectJoinRight,
+            (ExpectJoinRight, t) if is_col(t) => AfterJoin,
+            (AfterJoin, "where") => ExpectWhereCol,
+            (ExpectWhereCol, t) if is_col(t) => ExpectOp,
+            (ExpectOp, t) if OPS.contains(&t) || t == "like" => ExpectValue,
+            (ExpectValue, t) if is_literal(t) || t.parse::<f64>().is_ok() => AfterPredicate,
+            (AfterPredicate, "and") => ExpectWhereCol,
+            (ExpectGroupByKw, "by") => ExpectGroupCol,
+            (ExpectGroupCol, t) if is_col(t) => AfterGroupCol,
+            (AfterGroupCol, ",") => ExpectGroupCol,
+            (ExpectOrderByKw, "by") => ExpectOrderItem,
+            (ExpectOrderItem, t) if AGGS.contains(&t) => ExpectOrderOpenParen,
+            (ExpectOrderItem, t) if is_col(t) => ExpectOrderDir,
+            (ExpectOrderOpenParen, "(") => ExpectOrderAggCol,
+            (ExpectOrderAggCol, t) if is_col(t) => ExpectOrderCloseParen,
+            (ExpectOrderCloseParen, ")") => ExpectOrderDir,
+            (ExpectOrderDir, "asc") | (ExpectOrderDir, "desc") => AfterOrderDir,
+            (ExpectBinCol, t) if is_col(t) => ExpectBinByKw,
+            (ExpectBinByKw, "by") => ExpectBinUnit,
+            (ExpectBinUnit, t) if ["year", "month", "day", "weekday"].contains(&t) => Finished,
+            _ => return None,
+        })
+    }
+
+    fn allowed_for(&self, st: State) -> Vec<String> {
+        use State::*;
+        let strs = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        match st {
+            ExpectVisualize => strs(&["visualize"]),
+            ExpectChart => strs(&CHART_FIRST),
+            ExpectStackedBar => strs(&["bar"]),
+            ExpectGroupingKind => strs(&["line", "scatter"]),
+            ExpectSelect => strs(&["select"]),
+            ExpectItem => {
+                let mut v = strs(&AGGS);
+                v.extend(self.qualified_columns().iter().cloned());
+                v
+            }
+            ExpectOpenParen | ExpectOrderOpenParen => strs(&["("]),
+            ExpectAggCol | ExpectOrderAggCol | ExpectGroupCol | ExpectWhereCol
+            | ExpectJoinLeft | ExpectJoinRight | ExpectBinCol => self.qualified_columns().to_vec(),
+            ExpectCloseParen | ExpectOrderCloseParen => strs(&[")"]),
+            AfterItem => strs(&[",", "from"]),
+            ExpectTable | ExpectJoinTable => self.table_names().to_vec(),
+            AfterFrom => {
+                let mut v = strs(&["join", "where", "group", "order", "bin"]);
+                v.push(EOS.to_string());
+                v
+            }
+            ExpectOn => strs(&["on"]),
+            ExpectJoinEq => strs(&["="]),
+            AfterJoin => {
+                let mut v = strs(&["where", "group", "order", "bin"]);
+                v.push(EOS.to_string());
+                v
+            }
+            ExpectOp => {
+                let mut v = strs(&OPS);
+                v.push("like".to_string());
+                v
+            }
+            ExpectValue => self.literal_pool.clone(),
+            AfterPredicate => {
+                let mut v = strs(&["and", "group", "order", "bin"]);
+                v.push(EOS.to_string());
+                v
+            }
+            ExpectGroupByKw | ExpectOrderByKw | ExpectBinByKw => strs(&["by"]),
+            AfterGroupCol => {
+                let mut v = strs(&[",", "order", "bin"]);
+                v.push(EOS.to_string());
+                v
+            }
+            ExpectOrderItem => {
+                let mut v = strs(&AGGS);
+                v.extend(self.qualified_columns().iter().cloned());
+                v
+            }
+            ExpectOrderDir => strs(&["asc", "desc"]),
+            AfterOrderDir => {
+                let mut v = strs(&["bin"]);
+                v.push(EOS.to_string());
+                v
+            }
+            ExpectBinUnit => strs(&["year", "month", "day", "weekday"]),
+            Finished => vec![EOS.to_string()],
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    ExpectVisualize,
+    ExpectChart,
+    ExpectStackedBar,
+    ExpectGroupingKind,
+    ExpectSelect,
+    ExpectItem,
+    ExpectOpenParen,
+    ExpectAggCol,
+    ExpectCloseParen,
+    AfterItem,
+    ExpectTable,
+    AfterFrom,
+    ExpectJoinTable,
+    ExpectOn,
+    ExpectJoinLeft,
+    ExpectJoinEq,
+    ExpectJoinRight,
+    AfterJoin,
+    ExpectWhereCol,
+    ExpectOp,
+    ExpectValue,
+    AfterPredicate,
+    ExpectGroupByKw,
+    ExpectGroupCol,
+    AfterGroupCol,
+    ExpectOrderByKw,
+    ExpectOrderItem,
+    ExpectOrderOpenParen,
+    ExpectOrderAggCol,
+    ExpectOrderCloseParen,
+    ExpectOrderDir,
+    AfterOrderDir,
+    ExpectBinCol,
+    ExpectBinByKw,
+    ExpectBinUnit,
+    Finished,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+
+    fn schema() -> DbSchema {
+        DbSchema::new(
+            "g",
+            vec![
+                TableSchema::new("artist", vec!["country".into(), "age".into()]),
+                TableSchema::new("exhibit", vec!["artist_id".into()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn empty_prefix_requires_visualize() {
+        let g = GrammarConstraint::new(&schema(), vec![]);
+        assert_eq!(g.allowed_next(&[]), vec!["visualize".to_string()]);
+    }
+
+    #[test]
+    fn chart_position_offers_all_chart_openers() {
+        let g = GrammarConstraint::new(&schema(), vec![]);
+        let allowed = g.allowed_next(&["visualize"]);
+        assert!(allowed.contains(&"pie".to_string()));
+        assert!(allowed.contains(&"stacked".to_string()));
+        assert!(!allowed.contains(&"select".to_string()));
+    }
+
+    #[test]
+    fn select_items_draw_from_schema() {
+        let g = GrammarConstraint::new(&schema(), vec![]);
+        let allowed = g.allowed_next(&["visualize", "pie", "select"]);
+        assert!(allowed.contains(&"artist.country".to_string()));
+        assert!(allowed.contains(&"count".to_string()));
+        assert!(!allowed.contains(&"artist".to_string()));
+    }
+
+    #[test]
+    fn complete_query_prefix_allows_eos() {
+        let g = GrammarConstraint::new(&schema(), vec![]);
+        let prefix = [
+            "visualize", "pie", "select", "artist.country", ",", "count", "(", "artist.country",
+            ")", "from", "artist", "group", "by", "artist.country",
+        ];
+        let allowed = g.allowed_next(&prefix);
+        assert!(allowed.contains(&EOS.to_string()));
+        assert!(allowed.contains(&"order".to_string()));
+    }
+
+    #[test]
+    fn invalid_prefix_returns_empty() {
+        let g = GrammarConstraint::new(&schema(), vec![]);
+        assert!(g.allowed_next(&["visualize", "select"]).is_empty());
+        assert!(g.allowed_next(&["visualize", "pie", "select", "artist"]).is_empty());
+    }
+
+    #[test]
+    fn values_come_from_literal_pool() {
+        let g = GrammarConstraint::new(&schema(), vec!["'usa'".into()]);
+        let prefix = [
+            "visualize", "bar", "select", "artist.country", ",", "artist.age", "from", "artist",
+            "where", "artist.age", ">",
+        ];
+        assert_eq!(g.allowed_next(&prefix), vec!["'usa'".to_string()]);
+        let after = [
+            "visualize", "bar", "select", "artist.country", ",", "artist.age", "from", "artist",
+            "where", "artist.age", ">", "'usa'",
+        ];
+        assert!(g.allowed_next(&after).contains(&"and".to_string()));
+    }
+
+    #[test]
+    fn numbers_accepted_as_values() {
+        let g = GrammarConstraint::new(&schema(), vec!["30".into()]);
+        let prefix = [
+            "visualize", "bar", "select", "artist.country", ",", "artist.age", "from", "artist",
+            "where", "artist.age", ">", "30",
+        ];
+        assert!(g.allowed_next(&prefix).contains(&EOS.to_string()));
+    }
+
+    #[test]
+    fn join_path_reaches_eos() {
+        let g = GrammarConstraint::new(&schema(), vec![]);
+        let prefix = [
+            "visualize", "bar", "select", "artist.country", ",", "count", "(", "artist.country",
+            ")", "from", "artist", "join", "exhibit", "on", "artist.age", "=",
+            "exhibit.artist_id", "group", "by", "artist.country",
+        ];
+        let allowed = g.allowed_next(&prefix);
+        assert!(allowed.contains(&EOS.to_string()));
+    }
+
+    #[test]
+    fn every_standardized_query_token_is_grammatical() {
+        // Walk a full standardized query through the automaton, asserting
+        // each token was in the allowed set of its prefix.
+        let g = GrammarConstraint::new(&schema(), vec!["'usa'".into()]);
+        let toks: Vec<&str> = "visualize bar select artist.country , count ( artist.country ) \
+                               from artist where artist.country = 'usa' group by artist.country \
+                               order by count ( artist.country ) desc"
+            .split_whitespace()
+            .collect();
+        for i in 0..toks.len() {
+            let allowed = g.allowed_next(&toks[..i]);
+            assert!(
+                allowed.iter().any(|a| a == toks[i]),
+                "token {} '{}' not allowed after {:?} (allowed: {:?})",
+                i,
+                toks[i],
+                &toks[..i],
+                allowed
+            );
+        }
+        assert!(g.allowed_next(&toks).contains(&EOS.to_string()));
+    }
+}

@@ -1,0 +1,252 @@
+//! Tokenizer for DV query text.
+//!
+//! The lexer is tolerant of annotator style: keywords in any case, single
+//! or double quoted strings, optional whitespace around punctuation, and
+//! dotted identifiers (`t1.price` lexes as one [`Token::Ident`]).
+
+use std::fmt;
+
+/// Lexical token of the DV query language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier word (case preserved; parser folds case for
+    /// keyword matching). May contain dots (`table.column`) and `*`.
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Quoted string literal (quotes stripped).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => f.write_str(s),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Comma => f.write_str(","),
+            Token::Eq => f.write_str("="),
+            Token::Ne => f.write_str("!="),
+            Token::Lt => f.write_str("<"),
+            Token::Le => f.write_str("<="),
+            Token::Gt => f.write_str(">"),
+            Token::Ge => f.write_str(">="),
+        }
+    }
+}
+
+/// Lexing failure with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Splits DV query text into tokens. Input may be arbitrary UTF-8; error
+/// offsets are byte positions.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    // Work on (byte_offset, char) pairs so multi-byte characters never
+    // split.
+    let chars: Vec<(usize, char)> = input.char_indices().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let at = |i: usize| chars.get(i).map(|&(_, c)| c);
+    while i < chars.len() {
+        let (offset, c) = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ';' => i += 1,
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if at(i + 1) == Some('=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        offset,
+                        message: "expected '=' after '!'".into(),
+                    });
+                }
+            }
+            '<' => {
+                if at(i + 1) == Some('=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else if at(i + 1) == Some('>') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if at(i + 1) == Some('=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut j = i + 1;
+                let mut text = String::new();
+                while j < chars.len() && chars[j].1 != quote {
+                    text.push(chars[j].1);
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(LexError {
+                        offset,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                tokens.push(Token::Str(text));
+                i = j + 1;
+            }
+            '*' => {
+                tokens.push(Token::Ident("*".into()));
+                i += 1;
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && at(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let mut text = String::from(c);
+                i += 1;
+                while let Some(d) = at(i) {
+                    if d.is_ascii_digit() || d == '.' {
+                        text.push(d);
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let n: f64 = text.parse().map_err(|_| LexError {
+                    offset,
+                    message: format!("invalid number '{text}'"),
+                })?;
+                tokens.push(Token::Number(n));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut text = String::from(c);
+                i += 1;
+                while let Some(d) = at(i) {
+                    if d.is_alphanumeric() || d == '_' || d == '.' {
+                        text.push(d);
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(text));
+            }
+            other => {
+                return Err(LexError {
+                    offset,
+                    message: format!("unexpected character '{other}'"),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_pie_query() {
+        let toks = lex("VISUALIZE PIE SELECT Country, COUNT(Country) FROM artist").unwrap();
+        assert_eq!(toks[0], Token::Ident("VISUALIZE".into()));
+        assert_eq!(toks[4], Token::Comma);
+        assert_eq!(toks[5], Token::Ident("COUNT".into()));
+        assert_eq!(toks[6], Token::LParen);
+        assert_eq!(toks[8], Token::RParen);
+    }
+
+    #[test]
+    fn dotted_identifiers_stay_whole() {
+        let toks = lex("t1.price >= 2.5").unwrap();
+        assert_eq!(toks[0], Token::Ident("t1.price".into()));
+        assert_eq!(toks[1], Token::Ge);
+        assert_eq!(toks[2], Token::Number(2.5));
+    }
+
+    #[test]
+    fn both_quote_styles_accepted() {
+        let a = lex("name = \"Columbus Crew\"").unwrap();
+        let b = lex("name = 'Columbus Crew'").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a[2], Token::Str("Columbus Crew".into()));
+    }
+
+    #[test]
+    fn negative_numbers_and_operators() {
+        let toks = lex("x < -3 and y != 7").unwrap();
+        assert_eq!(toks[1], Token::Lt);
+        assert_eq!(toks[2], Token::Number(-3.0));
+        assert_eq!(toks[5], Token::Ne);
+    }
+
+    #[test]
+    fn angle_ne_is_accepted() {
+        let toks = lex("x <> 1").unwrap();
+        assert_eq!(toks[1], Token::Ne);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = lex("name = 'oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.offset, 7);
+    }
+
+    #[test]
+    fn unexpected_character_errors_with_offset() {
+        let err = lex("a $ b").unwrap_err();
+        assert_eq!(err.offset, 2);
+    }
+
+    #[test]
+    fn wildcard_star_is_ident() {
+        let toks = lex("count(*)").unwrap();
+        assert_eq!(toks[2], Token::Ident("*".into()));
+    }
+}

@@ -1,0 +1,49 @@
+//! The data-visualization query language (DV query / "VQL") used by
+//! DataVisT5.
+//!
+//! A DV query, introduced by DeepEye and nvBench, couples a chart directive
+//! (`visualize bar`) with SQL-like data operations (`select … from … group
+//! by … order by …`). This crate provides everything the reproduction needs
+//! to treat DV queries as a first-class modality:
+//!
+//! * [`ast`] — the typed query representation and its canonical
+//!   (standardized) textual form.
+//! * [`lexer`] / [`parser`] — tolerant parsing of annotator-styled queries
+//!   (mixed case, `COUNT(*)`, aliases, double quotes).
+//! * [`standardize`] — the five standardized-encoding rules of §III-D of the
+//!   paper (qualify columns, expand `count(*)`, explicit `asc`, strip
+//!   aliases, lowercase).
+//! * [`encode`] — DV knowledge encoding (§III-C): linearizing database
+//!   schemas and tables into flat text.
+//! * [`compare`] — the Vis/Axis/Data/overall exact-match decomposition used
+//!   by the text-to-vis evaluation (§V-B).
+//! * [`grammar`] — a clause automaton that yields the set of legal next
+//!   tokens for grammar-constrained decoding (the ncNet baseline).
+//! * [`vega`] / [`dvl`] / [`svg`] — Vega-Lite, Vega-Zero, and ggplot2
+//!   specification emission, plus standalone SVG rendering.
+//! * [`chart`] — an executed-chart model (labels/values/groups) used by
+//!   FeVisQA ground truth and the case-study figures.
+
+pub mod ast;
+pub mod chart;
+pub mod compare;
+pub mod dvl;
+pub mod encode;
+pub mod grammar;
+pub mod lexer;
+pub mod parser;
+pub mod schema;
+pub mod standardize;
+pub mod svg;
+pub mod validate;
+pub mod vega;
+
+pub use ast::{
+    AggFunc, BinUnit, ChartType, CmpOp, ColExpr, ColumnRef, Join, Literal, OrderBy, OrderDir,
+    Predicate, Query, Subquery,
+};
+pub use chart::{Chart, Series};
+pub use compare::{compare_queries, ComponentMatch};
+pub use parser::{parse_query, ParseError};
+pub use schema::{DbSchema, TableSchema};
+pub use standardize::standardize;

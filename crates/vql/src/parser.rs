@@ -1,0 +1,559 @@
+//! Recursive-descent parser for DV queries.
+//!
+//! The parser accepts the tolerant surface form found in annotated corpora:
+//! keywords in any case, `COUNT(*)`, double-quoted strings, `AS` aliases and
+//! bare aliases (`from player as t1` / `from player t1`). Aliases are
+//! resolved to their actual table names during parsing (the information is
+//! not needed afterwards), which realises rule (4) of the standardized
+//! encoding; the remaining rules live in [`crate::standardize`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{
+    AggFunc, Bin, BinUnit, ChartType, CmpOp, ColExpr, ColumnRef, Join, Literal, OrderBy, OrderDir,
+    Predicate, Query, Subquery,
+};
+use crate::lexer::{lex, LexError, Token};
+
+/// Parse failure: lexical or syntactic, with location info.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    Lex(LexError),
+    /// Unexpected token (or end of input) at the given token index.
+    Syntax { at: usize, message: String },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Syntax { at, message } => {
+                write!(f, "syntax error at token {at}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Parses DV query text into a [`Query`].
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        aliases: HashMap::new(),
+    };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing tokens after query"));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// alias (lowercase) -> actual table name.
+    aliases: HashMap<String, String>,
+}
+
+impl Parser {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError::Syntax {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_word(&self) -> Option<String> {
+        match self.peek() {
+            Some(Token::Ident(s)) => Some(s.to_ascii_lowercase()),
+            _ => None,
+        }
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes the given keyword (case-insensitive) or fails.
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek_word() {
+            Some(w) if w == kw => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.err(format!("expected keyword '{kw}'"))),
+        }
+    }
+
+    /// Consumes the keyword if present; returns whether it was.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_word().as_deref() == Some(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected identifier"))
+            }
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.expect_kw("visualize")?;
+        let chart = self.chart_type()?;
+        self.expect_kw("select")?;
+        let select = self.select_list()?;
+        self.expect_kw("from")?;
+        let from = self.table_with_alias()?;
+        let join = if self.peek_word().as_deref() == Some("join") {
+            Some(self.join_clause()?)
+        } else {
+            None
+        };
+        let filters = if self.eat_kw("where") {
+            self.predicates()?
+        } else {
+            Vec::new()
+        };
+        let mut group_by = Vec::new();
+        let mut order_by = None;
+        let mut bin = None;
+        loop {
+            match self.peek_word().as_deref() {
+                Some("group") => {
+                    self.pos += 1;
+                    self.expect_kw("by")?;
+                    group_by.push(self.column_ref()?);
+                    while matches!(self.peek(), Some(Token::Comma)) {
+                        self.pos += 1;
+                        group_by.push(self.column_ref()?);
+                    }
+                }
+                Some("order") => {
+                    self.pos += 1;
+                    self.expect_kw("by")?;
+                    let expr = self.col_expr()?;
+                    let dir = if self.eat_kw("desc") {
+                        OrderDir::Desc
+                    } else {
+                        // Explicit or implicit asc (§III-D rule 3).
+                        self.eat_kw("asc");
+                        OrderDir::Asc
+                    };
+                    order_by = Some(OrderBy { expr, dir });
+                }
+                Some("bin") => {
+                    self.pos += 1;
+                    let column = self.column_ref()?;
+                    self.expect_kw("by")?;
+                    let word = self.ident()?;
+                    let unit = BinUnit::from_keyword(&word)
+                        .ok_or_else(|| self.err(format!("unknown bin unit '{word}'")))?;
+                    bin = Some(Bin { column, unit });
+                }
+                _ => break,
+            }
+        }
+        let mut q = Query {
+            chart,
+            select,
+            from,
+            join,
+            filters,
+            group_by,
+            order_by,
+            bin,
+        };
+        self.resolve_aliases(&mut q);
+        Ok(q)
+    }
+
+    fn chart_type(&mut self) -> Result<ChartType, ParseError> {
+        let first = self.ident()?.to_ascii_lowercase();
+        let combined = match first.as_str() {
+            "stacked" | "grouping" => {
+                let second = self.ident()?.to_ascii_lowercase();
+                format!("{first} {second}")
+            }
+            _ => first,
+        };
+        ChartType::from_keyword(&combined)
+            .ok_or_else(|| self.err(format!("unknown chart type '{combined}'")))
+    }
+
+    fn select_list(&mut self) -> Result<Vec<ColExpr>, ParseError> {
+        let mut items = vec![self.col_expr()?];
+        while matches!(self.peek(), Some(Token::Comma)) {
+            self.pos += 1;
+            items.push(self.col_expr()?);
+        }
+        Ok(items)
+    }
+
+    fn col_expr(&mut self) -> Result<ColExpr, ParseError> {
+        let word = self.ident()?;
+        if let Some(agg) = AggFunc::from_keyword(&word) {
+            if matches!(self.peek(), Some(Token::LParen)) {
+                self.pos += 1;
+                let col = self.column_ref()?;
+                match self.bump() {
+                    Some(Token::RParen) => return Ok(ColExpr::Agg(agg, col)),
+                    _ => return Err(self.err("expected ')' after aggregate")),
+                }
+            }
+        }
+        Ok(ColExpr::Column(split_ref(&word)))
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, ParseError> {
+        let word = self.ident()?;
+        Ok(split_ref(&word))
+    }
+
+    fn table_with_alias(&mut self) -> Result<String, ParseError> {
+        let table = self.ident()?;
+        if self.eat_kw("as") {
+            let alias = self.ident()?;
+            self.aliases.insert(alias.to_ascii_lowercase(), table.clone());
+        } else if let Some(w) = self.peek_word() {
+            // Bare alias: an identifier that is not a clause keyword.
+            if !is_clause_keyword(&w) {
+                self.pos += 1;
+                self.aliases.insert(w, table.clone());
+            }
+        }
+        Ok(table)
+    }
+
+    fn join_clause(&mut self) -> Result<Join, ParseError> {
+        self.expect_kw("join")?;
+        let table = self.table_with_alias()?;
+        self.expect_kw("on")?;
+        let left = self.column_ref()?;
+        match self.bump() {
+            Some(Token::Eq) => {}
+            _ => return Err(self.err("expected '=' in join condition")),
+        }
+        let right = self.column_ref()?;
+        Ok(Join { table, left, right })
+    }
+
+    fn predicates(&mut self) -> Result<Vec<Predicate>, ParseError> {
+        let mut preds = vec![self.predicate()?];
+        while self.eat_kw("and") {
+            preds.push(self.predicate()?);
+        }
+        Ok(preds)
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, ParseError> {
+        let left = self.column_ref()?;
+        // in / not in (subquery)
+        if self.eat_kw("not") {
+            self.expect_kw("in")?;
+            return self.in_predicate(left, true);
+        }
+        if self.eat_kw("in") {
+            return self.in_predicate(left, false);
+        }
+        if self.eat_kw("like") {
+            return match self.bump() {
+                Some(Token::Str(s)) => Ok(Predicate::Compare {
+                    left,
+                    op: CmpOp::Like,
+                    right: Literal::Text(s),
+                }),
+                _ => Err(self.err("expected string after 'like'")),
+            };
+        }
+        let op = match self.bump() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ne) => CmpOp::Ne,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            _ => return Err(self.err("expected comparison operator")),
+        };
+        let right = match self.bump() {
+            Some(Token::Number(n)) => Literal::Number(n),
+            Some(Token::Str(s)) => Literal::Text(s),
+            // Unquoted literal values appear in sloppy annotations.
+            Some(Token::Ident(s)) => Literal::Text(s),
+            _ => return Err(self.err("expected literal after operator")),
+        };
+        Ok(Predicate::Compare { left, op, right })
+    }
+
+    fn in_predicate(&mut self, left: ColumnRef, negated: bool) -> Result<Predicate, ParseError> {
+        match self.bump() {
+            Some(Token::LParen) => {}
+            _ => return Err(self.err("expected '(' after in")),
+        }
+        self.expect_kw("select")?;
+        let select = self.column_ref()?;
+        self.expect_kw("from")?;
+        let from = self.table_with_alias()?;
+        let join = if self.peek_word().as_deref() == Some("join") {
+            Some(self.join_clause()?)
+        } else {
+            None
+        };
+        let filters = if self.eat_kw("where") {
+            self.predicates()?
+        } else {
+            Vec::new()
+        };
+        match self.bump() {
+            Some(Token::RParen) => {}
+            _ => return Err(self.err("expected ')' closing subquery")),
+        }
+        Ok(Predicate::In {
+            left,
+            negated,
+            sub: Box::new(Subquery {
+                select,
+                from,
+                join,
+                filters,
+            }),
+        })
+    }
+
+    /// Rewrites every `alias.column` to `table.column` (§III-D rule 4).
+    fn resolve_aliases(&self, q: &mut Query) {
+        if self.aliases.is_empty() {
+            return;
+        }
+        let fix = |c: &mut ColumnRef| {
+            if let Some(t) = &c.table {
+                if let Some(actual) = self.aliases.get(&t.to_ascii_lowercase()) {
+                    c.table = Some(actual.clone());
+                }
+            }
+        };
+        for s in &mut q.select {
+            fix(s.column_ref_mut());
+        }
+        if let Some(j) = &mut q.join {
+            fix(&mut j.left);
+            fix(&mut j.right);
+        }
+        fix_predicates(&mut q.filters, &fix);
+        for gcol in &mut q.group_by {
+            fix(gcol);
+        }
+        if let Some(o) = &mut q.order_by {
+            fix(o.expr.column_ref_mut());
+        }
+        if let Some(b) = &mut q.bin {
+            fix(&mut b.column);
+        }
+    }
+}
+
+fn fix_predicates(preds: &mut [Predicate], fix: &impl Fn(&mut ColumnRef)) {
+    for p in preds {
+        match p {
+            Predicate::Compare { left, .. } => fix(left),
+            Predicate::In { left, sub, .. } => {
+                fix(left);
+                fix(&mut sub.select);
+                if let Some(j) = &mut sub.join {
+                    fix(&mut j.left);
+                    fix(&mut j.right);
+                }
+                fix_predicates(&mut sub.filters, fix);
+            }
+        }
+    }
+}
+
+fn split_ref(word: &str) -> ColumnRef {
+    match word.split_once('.') {
+        Some((t, c)) => ColumnRef::qualified(t, c),
+        None => ColumnRef::bare(word),
+    }
+}
+
+fn is_clause_keyword(w: &str) -> bool {
+    matches!(
+        w,
+        "join" | "on" | "where" | "and" | "group" | "order" | "by" | "bin" | "asc" | "desc"
+            | "in" | "not" | "like" | "as" | "select" | "from" | "visualize"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_pie() {
+        let q = parse_query("VISUALIZE PIE SELECT Country, COUNT(Country) FROM artist GROUP BY Country")
+            .unwrap();
+        assert_eq!(q.chart, ChartType::Pie);
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.from, "artist");
+        assert_eq!(q.group_by.len(), 1);
+        assert!(!q.has_join());
+    }
+
+    #[test]
+    fn parses_count_star() {
+        let q = parse_query("visualize bar select type, count(*) from film group by type").unwrap();
+        match &q.select[1] {
+            ColExpr::Agg(AggFunc::Count, c) => assert!(c.is_wildcard()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_join_with_aliases() {
+        let q = parse_query(
+            "VISUALIZE BAR SELECT T1.name, COUNT(*) FROM player AS T1 JOIN team AS T2 \
+             ON T1.team_id = T2.id WHERE T2.name = \"Columbus Crew\" GROUP BY T1.name",
+        )
+        .unwrap();
+        let j = q.join.as_ref().unwrap();
+        assert_eq!(j.table, "team");
+        // Aliases resolved to actual table names.
+        assert_eq!(j.left, ColumnRef::qualified("player", "team_id"));
+        assert_eq!(j.right, ColumnRef::qualified("team", "id"));
+        assert_eq!(
+            q.select[0].column_ref(),
+            &ColumnRef::qualified("player", "name")
+        );
+        match &q.filters[0] {
+            Predicate::Compare { left, right, .. } => {
+                assert_eq!(left, &ColumnRef::qualified("team", "name"));
+                assert_eq!(right, &Literal::Text("Columbus Crew".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_bare_alias() {
+        let q = parse_query(
+            "visualize scatter select t1.a, t2.b from x t1 join y t2 on t1.id = t2.id",
+        )
+        .unwrap();
+        assert_eq!(q.select[0].column_ref(), &ColumnRef::qualified("x", "a"));
+        assert_eq!(q.select[1].column_ref(), &ColumnRef::qualified("y", "b"));
+    }
+
+    #[test]
+    fn parses_order_by_without_direction_as_asc() {
+        let q = parse_query(
+            "visualize bar select name, count(name) from student group by name order by count(name)",
+        )
+        .unwrap();
+        assert_eq!(q.order_by.unwrap().dir, OrderDir::Asc);
+    }
+
+    #[test]
+    fn parses_order_by_desc() {
+        let q = parse_query(
+            "visualize bar select a, b from t order by b desc",
+        )
+        .unwrap();
+        assert_eq!(q.order_by.unwrap().dir, OrderDir::Desc);
+    }
+
+    #[test]
+    fn parses_bin_clause() {
+        let q = parse_query(
+            "visualize line select date, count(date) from orders bin date by month",
+        )
+        .unwrap();
+        let b = q.bin.unwrap();
+        assert_eq!(b.unit, BinUnit::Month);
+        assert_eq!(b.column, ColumnRef::bare("date"));
+    }
+
+    #[test]
+    fn parses_two_word_chart_types() {
+        for (text, want) in [
+            ("stacked bar", ChartType::StackedBar),
+            ("grouping line", ChartType::GroupedLine),
+            ("grouping scatter", ChartType::GroupedScatter),
+        ] {
+            let q = parse_query(&format!("visualize {text} select a, b, c from t")).unwrap();
+            assert_eq!(q.chart, want);
+        }
+    }
+
+    #[test]
+    fn parses_not_in_subquery() {
+        let q = parse_query(
+            "visualize bar select lname, count(lname) from student where stuid not in \
+             (select stuid from has_allergy join allergy_type on has_allergy.allergy = \
+             allergy_type.allergy where allergy_type.allergytype = 'food') group by lname \
+             order by count(lname) asc",
+        )
+        .unwrap();
+        assert!(q.has_join());
+        match &q.filters[0] {
+            Predicate::In { negated, sub, .. } => {
+                assert!(*negated);
+                assert_eq!(sub.from, "has_allergy");
+                assert!(sub.join.is_some());
+                assert_eq!(sub.filters.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrips_display_and_parse() {
+        let text = "visualize scatter select avg ( rooms.baseprice ) , min ( rooms.baseprice ) \
+                    from rooms group by rooms.decor";
+        let q = parse_query(text).unwrap();
+        assert_eq!(q.to_string(), text);
+        let q2 = parse_query(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("select a from t").is_err());
+        assert!(parse_query("visualize donut select a, b from t").is_err());
+        assert!(parse_query("visualize bar select from t").is_err());
+        assert!(parse_query("visualize bar select a, b from t trailing junk garbage here").is_err());
+    }
+
+    #[test]
+    fn error_reports_token_position() {
+        let err = parse_query("visualize bar choose a from t").unwrap_err();
+        match err {
+            ParseError::Syntax { at, .. } => assert!(at >= 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! A lightweight database-schema view shared across the workspace.
+//!
+//! The storage engine has its own typed catalog; this crate only needs
+//! names (database, tables, columns) for standardization, encoding, and
+//! grammar-constrained decoding, so the view is deliberately string-based.
+
+/// Names of one table and its columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<String>,
+}
+
+impl TableSchema {
+    pub fn new(name: impl Into<String>, columns: Vec<String>) -> Self {
+        Self {
+            name: name.into(),
+            columns,
+        }
+    }
+}
+
+/// Names of a database, its tables, and their columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DbSchema {
+    pub name: String,
+    pub tables: Vec<TableSchema>,
+}
+
+impl DbSchema {
+    pub fn new(name: impl Into<String>, tables: Vec<TableSchema>) -> Self {
+        Self {
+            name: name.into(),
+            tables,
+        }
+    }
+
+    /// Looks up a table by (case-insensitive) name.
+    pub fn table(&self, name: &str) -> Option<&TableSchema> {
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Columns of a table, or an empty slice when absent.
+    pub fn columns_of(&self, table: &str) -> &[String] {
+        self.table(table).map(|t| t.columns.as_slice()).unwrap_or(&[])
+    }
+
+    /// Finds the table(s) containing a column name.
+    pub fn tables_with_column(&self, column: &str) -> Vec<&str> {
+        self.tables
+            .iter()
+            .filter(|t| t.columns.iter().any(|c| c.eq_ignore_ascii_case(column)))
+            .map(|t| t.name.as_str())
+            .collect()
+    }
+
+    /// A sub-schema restricted to the given tables (used by schema
+    /// filtration, §III-B). Tables are kept in the original order.
+    pub fn restricted_to(&self, tables: &[&str]) -> DbSchema {
+        DbSchema {
+            name: self.name.clone(),
+            tables: self
+                .tables
+                .iter()
+                .filter(|t| tables.iter().any(|n| n.eq_ignore_ascii_case(&t.name)))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> DbSchema {
+        DbSchema::new(
+            "theme_gallery",
+            vec![
+                TableSchema::new(
+                    "artist",
+                    vec![
+                        "artist_id".into(),
+                        "name".into(),
+                        "country".into(),
+                        "year_join".into(),
+                        "age".into(),
+                    ],
+                ),
+                TableSchema::new(
+                    "exhibit",
+                    vec!["exhibit_id".into(), "artist_id".into(), "theme".into()],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = schema();
+        assert!(s.table("ARTIST").is_some());
+        assert_eq!(s.columns_of("artist").len(), 5);
+        assert!(s.columns_of("missing").is_empty());
+    }
+
+    #[test]
+    fn tables_with_column_finds_shared_columns() {
+        let s = schema();
+        let hits = s.tables_with_column("artist_id");
+        assert_eq!(hits, vec!["artist", "exhibit"]);
+    }
+
+    #[test]
+    fn restriction_preserves_order_and_content() {
+        let s = schema();
+        let sub = s.restricted_to(&["exhibit"]);
+        assert_eq!(sub.tables.len(), 1);
+        assert_eq!(sub.tables[0].name, "exhibit");
+        assert_eq!(sub.name, "theme_gallery");
+    }
+}

@@ -1,0 +1,339 @@
+//! Standardized encoding of DV queries (§III-D of the paper).
+//!
+//! Annotated corpora contain stylistic variation that does not change query
+//! semantics but does inflate the learning problem. The paper's five rules
+//! are applied here:
+//!
+//! 1. qualify every selected/filtered column as `table.column`, and expand
+//!    `count(*)` into `count(table.key_column)` for uniformity;
+//! 2. spaces around parentheses, single quotes for strings — realised by
+//!    the canonical `Display` impls in [`crate::ast`];
+//! 3. insert an explicit `asc` when `order by` omits a direction — realised
+//!    in the parser, which defaults to [`crate::ast::OrderDir::Asc`];
+//! 4. drop `AS` clauses and substitute aliases (`T1`, `T2`) with actual
+//!    table names — realised in the parser, which resolves aliases eagerly;
+//! 5. lowercase everything.
+//!
+//! [`standardize`] is idempotent: applying it twice yields the same query.
+
+use crate::ast::{ColExpr, ColumnRef, Predicate, Query, Subquery};
+use crate::schema::DbSchema;
+
+/// Applies the standardized encoding to a parsed query.
+///
+/// `schema` supplies the table→column map used to qualify bare columns and
+/// to pick the representative column that replaces `count(*)` (the first
+/// column of the primary table, which for our corpora is its key).
+pub fn standardize(query: &Query, schema: &DbSchema) -> Query {
+    let mut q = query.clone();
+    lowercase_query(&mut q);
+    let primary = q.from.clone();
+    let join_table = q.join.as_ref().map(|j| j.table.clone());
+    for expr in &mut q.select {
+        qualify_expr(expr, &primary, join_table.as_deref(), schema);
+    }
+    if let Some(j) = &mut q.join {
+        qualify_col(&mut j.left, &primary, join_table.as_deref(), schema);
+        qualify_col(&mut j.right, &primary, join_table.as_deref(), schema);
+    }
+    qualify_predicates(&mut q.filters, &primary, join_table.as_deref(), schema);
+    for c in &mut q.group_by {
+        qualify_col(c, &primary, join_table.as_deref(), schema);
+    }
+    if let Some(o) = &mut q.order_by {
+        qualify_expr(&mut o.expr, &primary, join_table.as_deref(), schema);
+    }
+    if let Some(b) = &mut q.bin {
+        qualify_col(&mut b.column, &primary, join_table.as_deref(), schema);
+    }
+    q
+}
+
+/// Parses and standardizes in one step; `Err` carries the parse failure.
+pub fn parse_standardized(text: &str, schema: &DbSchema) -> Result<Query, crate::ParseError> {
+    let q = crate::parse_query(text)?;
+    Ok(standardize(&q, schema))
+}
+
+fn lowercase_query(q: &mut Query) {
+    let lower = |c: &mut ColumnRef| {
+        if let Some(t) = &mut c.table {
+            *t = t.to_ascii_lowercase();
+        }
+        c.column = c.column.to_ascii_lowercase();
+    };
+    q.from = q.from.to_ascii_lowercase();
+    for s in &mut q.select {
+        lower(s.column_ref_mut());
+    }
+    if let Some(j) = &mut q.join {
+        j.table = j.table.to_ascii_lowercase();
+        lower(&mut j.left);
+        lower(&mut j.right);
+    }
+    lowercase_predicates(&mut q.filters);
+    for c in &mut q.group_by {
+        lower(c);
+    }
+    if let Some(o) = &mut q.order_by {
+        lower(o.expr.column_ref_mut());
+    }
+    if let Some(b) = &mut q.bin {
+        lower(&mut b.column);
+    }
+}
+
+fn lowercase_predicates(preds: &mut [Predicate]) {
+    let lower = |c: &mut ColumnRef| {
+        if let Some(t) = &mut c.table {
+            *t = t.to_ascii_lowercase();
+        }
+        c.column = c.column.to_ascii_lowercase();
+    };
+    for p in preds {
+        match p {
+            Predicate::Compare { left, right, .. } => {
+                lower(left);
+                if let crate::ast::Literal::Text(s) = right {
+                    *s = s.to_ascii_lowercase();
+                }
+            }
+            Predicate::In { left, sub, .. } => {
+                lower(left);
+                sub.from = sub.from.to_ascii_lowercase();
+                lower(&mut sub.select);
+                if let Some(j) = &mut sub.join {
+                    j.table = j.table.to_ascii_lowercase();
+                    lower(&mut j.left);
+                    lower(&mut j.right);
+                }
+                lowercase_predicates(&mut sub.filters);
+            }
+        }
+    }
+}
+
+fn qualify_expr(
+    expr: &mut ColExpr,
+    primary: &str,
+    join_table: Option<&str>,
+    schema: &DbSchema,
+) {
+    // Rule 1: count(*) -> count(primary.first_column).
+    if let ColExpr::Agg(crate::ast::AggFunc::Count, col) = expr {
+        if col.is_wildcard() {
+            let representative = schema
+                .columns_of(primary)
+                .first()
+                .cloned()
+                .unwrap_or_else(|| "*".to_string());
+            if representative != "*" {
+                *col = ColumnRef::qualified(primary, representative);
+            }
+            return;
+        }
+    }
+    qualify_col(expr.column_ref_mut(), primary, join_table, schema);
+}
+
+fn qualify_col(col: &mut ColumnRef, primary: &str, join_table: Option<&str>, schema: &DbSchema) {
+    if col.table.is_some() || col.is_wildcard() {
+        return;
+    }
+    // Prefer the primary table, then the join table, then any table in the
+    // schema that contains this column.
+    let owner = if contains_column(schema, primary, &col.column) {
+        Some(primary.to_string())
+    } else if let Some(jt) = join_table {
+        if contains_column(schema, jt, &col.column) {
+            Some(jt.to_string())
+        } else {
+            first_owner(schema, &col.column)
+        }
+    } else {
+        first_owner(schema, &col.column)
+    };
+    col.table = Some(owner.unwrap_or_else(|| primary.to_string()));
+}
+
+fn qualify_predicates(
+    preds: &mut [Predicate],
+    primary: &str,
+    join_table: Option<&str>,
+    schema: &DbSchema,
+) {
+    for p in preds {
+        match p {
+            Predicate::Compare { left, .. } => qualify_col(left, primary, join_table, schema),
+            Predicate::In { left, sub, .. } => {
+                qualify_col(left, primary, join_table, schema);
+                qualify_subquery(sub, schema);
+            }
+        }
+    }
+}
+
+fn qualify_subquery(sub: &mut Subquery, schema: &DbSchema) {
+    let primary = sub.from.clone();
+    let join_table = sub.join.as_ref().map(|j| j.table.clone());
+    qualify_col(&mut sub.select, &primary, join_table.as_deref(), schema);
+    if let Some(j) = &mut sub.join {
+        qualify_col(&mut j.left, &primary, join_table.as_deref(), schema);
+        qualify_col(&mut j.right, &primary, join_table.as_deref(), schema);
+    }
+    qualify_predicates(&mut sub.filters, &primary, join_table.as_deref(), schema);
+}
+
+fn contains_column(schema: &DbSchema, table: &str, column: &str) -> bool {
+    schema
+        .columns_of(table)
+        .iter()
+        .any(|c| c.eq_ignore_ascii_case(column))
+}
+
+fn first_owner(schema: &DbSchema, column: &str) -> Option<String> {
+    schema
+        .tables_with_column(column)
+        .first()
+        .map(|s| s.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+    use crate::schema::TableSchema;
+
+    fn gallery_schema() -> DbSchema {
+        DbSchema::new(
+            "theme_gallery",
+            vec![TableSchema::new(
+                "artist",
+                vec![
+                    "artist_id".into(),
+                    "name".into(),
+                    "country".into(),
+                    "year_join".into(),
+                    "age".into(),
+                ],
+            )],
+        )
+    }
+
+    fn soccer_schema() -> DbSchema {
+        DbSchema::new(
+            "soccer_1",
+            vec![
+                TableSchema::new(
+                    "player",
+                    vec!["player_id".into(), "name".into(), "team_id".into(), "years_played".into()],
+                ),
+                TableSchema::new("team", vec!["id".into(), "name".into()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn qualifies_bare_columns_with_primary_table() {
+        let q = parse_query("VISUALIZE PIE SELECT Country, COUNT(Country) FROM artist GROUP BY Country")
+            .unwrap();
+        let s = standardize(&q, &gallery_schema());
+        assert_eq!(
+            s.to_string(),
+            "visualize pie select artist.country , count ( artist.country ) \
+             from artist group by artist.country"
+        );
+    }
+
+    #[test]
+    fn expands_count_star_to_first_column() {
+        let q = parse_query(
+            "visualize bar select name, count(*) from player group by name",
+        )
+        .unwrap();
+        let s = standardize(&q, &soccer_schema());
+        assert_eq!(
+            s.select[1].column_ref(),
+            &ColumnRef::qualified("player", "player_id")
+        );
+    }
+
+    #[test]
+    fn figure4_join_example_matches_paper() {
+        // Paper Figure 4: aliases resolved, count(*) specified, single
+        // quotes, explicit asc, lowercase.
+        let raw = "VISUALIZE BAR SELECT T1.years_played, COUNT(T1.years_played) FROM player AS T1 \
+                   JOIN team AS T2 ON T1.team_id = T2.id WHERE T2.name = \"Columbus Crew\" \
+                   GROUP BY T1.years_played ORDER BY COUNT(T1.years_played)";
+        let q = parse_query(raw).unwrap();
+        let s = standardize(&q, &soccer_schema());
+        assert_eq!(
+            s.to_string(),
+            "visualize bar select player.years_played , count ( player.years_played ) from player \
+             join team on player.team_id = team.id where team.name = 'columbus crew' \
+             group by player.years_played order by count ( player.years_played ) asc"
+        );
+    }
+
+    #[test]
+    fn standardize_is_idempotent() {
+        let q = parse_query(
+            "visualize bar select name, count(*) from player join team on player.team_id = team.id \
+             group by name order by count(*) desc",
+        )
+        .unwrap();
+        let s1 = standardize(&q, &soccer_schema());
+        let s2 = standardize(&s1, &soccer_schema());
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn join_column_prefers_join_table_when_absent_from_primary() {
+        // `id` only exists in team.
+        let q = parse_query(
+            "visualize bar select name, count(name) from player join team on team_id = id group by name",
+        )
+        .unwrap();
+        let s = standardize(&q, &soccer_schema());
+        let j = s.join.unwrap();
+        assert_eq!(j.left, ColumnRef::qualified("player", "team_id"));
+        assert_eq!(j.right, ColumnRef::qualified("team", "id"));
+    }
+
+    #[test]
+    fn lowercases_string_literals() {
+        let q = parse_query("visualize bar select name, age from artist where country = 'USA'")
+            .unwrap();
+        let s = standardize(&q, &gallery_schema());
+        match &s.filters[0] {
+            crate::Predicate::Compare { right, .. } => {
+                assert_eq!(right, &crate::Literal::Text("usa".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subquery_columns_are_qualified() {
+        let schema = DbSchema::new(
+            "allergy_1",
+            vec![
+                TableSchema::new("student", vec!["stuid".into(), "lname".into()]),
+                TableSchema::new("has_allergy", vec!["stuid".into(), "allergy".into()]),
+            ],
+        );
+        let q = parse_query(
+            "visualize bar select lname, count(lname) from student where stuid not in \
+             (select stuid from has_allergy) group by lname",
+        )
+        .unwrap();
+        let s = standardize(&q, &schema);
+        match &s.filters[0] {
+            crate::Predicate::In { left, sub, .. } => {
+                assert_eq!(left, &ColumnRef::qualified("student", "stuid"));
+                assert_eq!(sub.select, ColumnRef::qualified("has_allergy", "stuid"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! SVG chart rendering.
+//!
+//! The case-study binaries use ASCII charts inline; this module renders
+//! the same [`Chart`] model as standalone SVG documents — the closest
+//! equivalent of the paper's chart figures that a terminal-only
+//! reproduction can produce. Bar, pie, line, and scatter geometries are
+//! supported; grouped charts draw one series per color.
+
+use std::fmt::Write as _;
+
+use crate::ast::ChartType;
+use crate::chart::Chart;
+
+const WIDTH: f64 = 480.0;
+const HEIGHT: f64 = 300.0;
+const MARGIN: f64 = 42.0;
+const PALETTE: [&str; 6] = [
+    "#4C78A8", "#F58518", "#54A24B", "#E45756", "#72B7B2", "#B279A2",
+];
+
+/// Renders a chart as a self-contained SVG document.
+pub fn to_svg(chart: &Chart) -> String {
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">"#
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+    );
+    let title = format!("{} vs {}", chart.x_label, chart.y_label);
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="18" font-family="sans-serif" font-size="12" text-anchor="middle">{}</text>"#,
+        WIDTH / 2.0,
+        escape(&title)
+    );
+    match chart.chart_type {
+        ChartType::Pie => pie(&mut svg, chart),
+        ChartType::Line | ChartType::GroupedLine => line(&mut svg, chart),
+        ChartType::Scatter | ChartType::GroupedScatter => scatter(&mut svg, chart),
+        ChartType::Bar | ChartType::StackedBar => bars(&mut svg, chart),
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// x pixel of the i-th of n category slots.
+fn slot_x(i: usize, n: usize) -> f64 {
+    MARGIN + (i as f64 + 0.5) * (WIDTH - 2.0 * MARGIN) / n.max(1) as f64
+}
+
+/// y pixel for a value within [0, max].
+fn val_y(v: f64, max: f64) -> f64 {
+    let usable = HEIGHT - 2.0 * MARGIN;
+    HEIGHT - MARGIN - (v / max.max(1e-9)) * usable
+}
+
+fn axis(svg: &mut String) {
+    let _ = write!(
+        svg,
+        r#"<line x1="{m}" y1="{b}" x2="{r}" y2="{b}" stroke="black"/><line x1="{m}" y1="{t}" x2="{m}" y2="{b}" stroke="black"/>"#,
+        m = MARGIN,
+        b = HEIGHT - MARGIN,
+        r = WIDTH - MARGIN,
+        t = MARGIN
+    );
+}
+
+fn bars(svg: &mut String, chart: &Chart) {
+    axis(svg);
+    let max = chart.max_value().unwrap_or(1.0);
+    // Collect distinct labels in order for stacked positioning.
+    let mut labels: Vec<&str> = Vec::new();
+    for s in &chart.series {
+        for (l, _) in &s.points {
+            if !labels.contains(&l.as_str()) {
+                labels.push(l);
+            }
+        }
+    }
+    let n = labels.len().max(1);
+    let band = (WIDTH - 2.0 * MARGIN) / n as f64;
+    let bar_w = band * 0.6 / chart.series.len().max(1) as f64;
+    for (si, series) in chart.series.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        for (label, value) in &series.points {
+            let Some(li) = labels.iter().position(|l| l == label) else {
+                continue;
+            };
+            let x = slot_x(li, n) - band * 0.3 + si as f64 * bar_w;
+            let y = val_y(*value, max);
+            let h = (HEIGHT - MARGIN) - y;
+            let _ = write!(
+                svg,
+                r#"<rect x="{x:.1}" y="{y:.1}" width="{bar_w:.1}" height="{h:.1}" fill="{color}"><title>{}: {value}</title></rect>"#,
+                escape(label)
+            );
+        }
+    }
+    for (li, label) in labels.iter().enumerate() {
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{}" font-family="sans-serif" font-size="9" text-anchor="middle">{}</text>"#,
+            slot_x(li, n),
+            HEIGHT - MARGIN + 14.0,
+            escape(label)
+        );
+    }
+}
+
+fn pie(svg: &mut String, chart: &Chart) {
+    let total = chart.total().max(1e-9);
+    let (cx, cy, r) = (WIDTH / 2.0, HEIGHT / 2.0 + 8.0, 95.0);
+    let mut angle = -std::f64::consts::FRAC_PI_2;
+    let mut idx = 0;
+    for series in &chart.series {
+        for (label, value) in &series.points {
+            let sweep = value / total * std::f64::consts::TAU;
+            let (x1, y1) = (cx + r * angle.cos(), cy + r * angle.sin());
+            let end = angle + sweep;
+            let (x2, y2) = (cx + r * end.cos(), cy + r * end.sin());
+            let large = if sweep > std::f64::consts::PI { 1 } else { 0 };
+            let color = PALETTE[idx % PALETTE.len()];
+            let _ = write!(
+                svg,
+                r#"<path d="M {cx:.1} {cy:.1} L {x1:.1} {y1:.1} A {r} {r} 0 {large} 1 {x2:.1} {y2:.1} Z" fill="{color}"><title>{}: {value}</title></path>"#,
+                escape(label)
+            );
+            angle = end;
+            idx += 1;
+        }
+    }
+}
+
+fn line(svg: &mut String, chart: &Chart) {
+    axis(svg);
+    let max = chart.max_value().unwrap_or(1.0);
+    for (si, series) in chart.series.iter().enumerate() {
+        let n = series.points.len();
+        let color = PALETTE[si % PALETTE.len()];
+        let pts: Vec<String> = series
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, (_, v))| format!("{:.1},{:.1}", slot_x(i, n), val_y(*v, max)))
+            .collect();
+        let _ = write!(
+            svg,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+            pts.join(" ")
+        );
+    }
+}
+
+fn scatter(svg: &mut String, chart: &Chart) {
+    axis(svg);
+    let max = chart.max_value().unwrap_or(1.0);
+    for (si, series) in chart.series.iter().enumerate() {
+        let n = series.points.len();
+        let color = PALETTE[si % PALETTE.len()];
+        for (i, (label, v)) in series.points.iter().enumerate() {
+            let _ = write!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="4" fill="{color}"><title>{}: {v}</title></circle>"#,
+                slot_x(i, n),
+                val_y(*v, max),
+                escape(label)
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chart::Series;
+
+    fn chart(ct: ChartType) -> Chart {
+        Chart {
+            chart_type: ct,
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series::new(vec![
+                ("a".into(), 1.0),
+                ("b".into(), 3.0),
+                ("c".into(), 2.0),
+            ])],
+        }
+    }
+
+    #[test]
+    fn bar_svg_has_three_rects() {
+        let svg = to_svg(&chart(ChartType::Bar));
+        assert_eq!(svg.matches("<rect").count(), 4); // background + 3 bars
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn pie_svg_has_three_slices() {
+        let svg = to_svg(&chart(ChartType::Pie));
+        assert_eq!(svg.matches("<path").count(), 3);
+    }
+
+    #[test]
+    fn line_svg_has_polyline() {
+        let svg = to_svg(&chart(ChartType::Line));
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn scatter_svg_has_circles() {
+        let svg = to_svg(&chart(ChartType::Scatter));
+        assert_eq!(svg.matches("<circle").count(), 3);
+    }
+
+    #[test]
+    fn grouped_series_use_distinct_colors() {
+        let c = Chart {
+            chart_type: ChartType::StackedBar,
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![
+                Series::named("g1", vec![("a".into(), 1.0)]),
+                Series::named("g2", vec![("a".into(), 2.0)]),
+            ],
+        };
+        let svg = to_svg(&c);
+        assert!(svg.contains(PALETTE[0]) && svg.contains(PALETTE[1]));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let c = Chart {
+            chart_type: ChartType::Bar,
+            x_label: "a<b".into(),
+            y_label: "c&d".into(),
+            series: vec![Series::new(vec![("x<y".into(), 1.0)])],
+        };
+        let svg = to_svg(&c);
+        assert!(svg.contains("a&lt;b"));
+        assert!(svg.contains("c&amp;d"));
+        assert!(!svg.contains("x<y"));
+    }
+
+    #[test]
+    fn empty_chart_is_valid_svg() {
+        let c = Chart {
+            chart_type: ChartType::Bar,
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![],
+        };
+        let svg = to_svg(&c);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+    }
+}

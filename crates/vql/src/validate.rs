@@ -1,0 +1,260 @@
+//! Semantic validation of DV queries against a schema.
+//!
+//! Parsing guarantees syntax; this module checks the semantics an engine
+//! would reject at plan time: unknown tables/columns, aggregate arity of
+//! the chart's channels, and grouped-chart color requirements. NL2Vis
+//! systems commonly report a *validity rate* alongside EM — the fraction
+//! of generated queries that would execute at all — and
+//! [`validity_rate`] computes exactly that.
+
+use crate::ast::{ColExpr, ColumnRef, Predicate, Query};
+use crate::schema::DbSchema;
+
+/// A semantic problem found in a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Issue {
+    UnknownTable(String),
+    UnknownColumn(String),
+    /// Grouped chart types need a third (color) channel.
+    MissingColorChannel,
+    /// Non-grouped charts must have exactly two channels.
+    WrongChannelCount { expected: usize, got: usize },
+    /// `group by` present but no aggregate in the select list.
+    GroupWithoutAggregate,
+    /// An aggregate in the select list but no grouping key at all.
+    AggregateWithoutGroup,
+}
+
+impl std::fmt::Display for Issue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Issue::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            Issue::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            Issue::MissingColorChannel => f.write_str("grouped chart lacks a color channel"),
+            Issue::WrongChannelCount { expected, got } => {
+                write!(f, "expected {expected} channels, got {got}")
+            }
+            Issue::GroupWithoutAggregate => f.write_str("group by without an aggregate"),
+            Issue::AggregateWithoutGroup => f.write_str("aggregate without grouping"),
+        }
+    }
+}
+
+/// Validates a query against a schema, returning every issue found.
+///
+/// An empty result means the query is semantically executable (our engine
+/// would accept it).
+pub fn validate(query: &Query, schema: &DbSchema) -> Vec<Issue> {
+    let mut issues = Vec::new();
+
+    // Tables.
+    let mut known_tables: Vec<&str> = Vec::new();
+    for t in query.tables() {
+        if schema.table(t).is_none() {
+            issues.push(Issue::UnknownTable(t.to_string()));
+        } else {
+            known_tables.push(t);
+        }
+    }
+
+    // Columns: every qualified reference must exist in its table.
+    let mut check_col = |c: &ColumnRef, issues: &mut Vec<Issue>| {
+        if c.is_wildcard() {
+            return;
+        }
+        match &c.table {
+            Some(t) => {
+                let ok = schema
+                    .columns_of(t)
+                    .iter()
+                    .any(|col| col.eq_ignore_ascii_case(&c.column));
+                if !ok {
+                    issues.push(Issue::UnknownColumn(c.to_string()));
+                }
+            }
+            None => {
+                if schema.tables_with_column(&c.column).is_empty() {
+                    issues.push(Issue::UnknownColumn(c.to_string()));
+                }
+            }
+        }
+    };
+    for s in &query.select {
+        check_col(s.column_ref(), &mut issues);
+    }
+    if let Some(j) = &query.join {
+        check_col(&j.left, &mut issues);
+        check_col(&j.right, &mut issues);
+    }
+    for p in &query.filters {
+        if let Predicate::Compare { left, .. } = p {
+            check_col(left, &mut issues);
+        }
+    }
+    for g in &query.group_by {
+        check_col(g, &mut issues);
+    }
+    if let Some(o) = &query.order_by {
+        check_col(o.expr.column_ref(), &mut issues);
+    }
+    if let Some(b) = &query.bin {
+        check_col(&b.column, &mut issues);
+    }
+
+    // Channel arity.
+    let grouped = query.chart.is_grouped();
+    if grouped && query.select.len() < 3 {
+        issues.push(Issue::MissingColorChannel);
+    }
+    if !grouped && query.select.len() != 2 {
+        issues.push(Issue::WrongChannelCount {
+            expected: 2,
+            got: query.select.len(),
+        });
+    }
+
+    // Aggregation discipline.
+    let has_agg = query.select.iter().any(|s| s.agg().is_some());
+    let has_plain = query
+        .select
+        .iter()
+        .any(|s| matches!(s, ColExpr::Column(_)));
+    if !query.group_by.is_empty() && !has_agg {
+        issues.push(Issue::GroupWithoutAggregate);
+    }
+    if has_agg && has_plain && query.group_by.is_empty() && query.bin.is_none() {
+        issues.push(Issue::AggregateWithoutGroup);
+    }
+
+    issues
+}
+
+/// Fraction of prediction strings that parse *and* validate against their
+/// schema — the validity-rate metric.
+pub fn validity_rate<'a>(
+    predictions: impl IntoIterator<Item = (&'a str, &'a DbSchema)>,
+) -> f64 {
+    let mut total = 0usize;
+    let mut valid = 0usize;
+    for (text, schema) in predictions {
+        total += 1;
+        if let Ok(q) = crate::parse_query(text) {
+            if validate(&q, schema).is_empty() {
+                valid += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        valid as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+    use crate::schema::TableSchema;
+
+    fn schema() -> DbSchema {
+        DbSchema::new(
+            "g",
+            vec![
+                TableSchema::new("artist", vec!["artist_id".into(), "country".into(), "age".into()]),
+                TableSchema::new("exhibit", vec!["exhibit_id".into(), "artist_id".into()]),
+            ],
+        )
+    }
+
+    fn q(text: &str) -> Query {
+        parse_query(text).unwrap()
+    }
+
+    #[test]
+    fn valid_query_has_no_issues() {
+        let issues = validate(
+            &q("visualize pie select artist.country , count ( artist.country ) from artist \
+                group by artist.country"),
+            &schema(),
+        );
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn unknown_table_reported() {
+        let issues = validate(
+            &q("visualize bar select rooms.a , rooms.b from rooms"),
+            &schema(),
+        );
+        assert!(issues.contains(&Issue::UnknownTable("rooms".into())));
+    }
+
+    #[test]
+    fn unknown_column_reported() {
+        let issues = validate(
+            &q("visualize bar select artist.nope , artist.age from artist"),
+            &schema(),
+        );
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, Issue::UnknownColumn(c) if c == "artist.nope")));
+    }
+
+    #[test]
+    fn grouped_chart_needs_color() {
+        let issues = validate(
+            &q("visualize stacked bar select artist.country , count ( artist.country ) \
+                from artist group by artist.country"),
+            &schema(),
+        );
+        assert!(issues.contains(&Issue::MissingColorChannel));
+    }
+
+    #[test]
+    fn aggregate_without_group_flagged() {
+        let issues = validate(
+            &q("visualize bar select artist.country , count ( artist.country ) from artist"),
+            &schema(),
+        );
+        assert!(issues.contains(&Issue::AggregateWithoutGroup));
+    }
+
+    #[test]
+    fn binned_aggregate_needs_no_group() {
+        // `bin … by` provides the implicit grouping.
+        let issues = validate(
+            &q("visualize line select artist.age , count ( artist.age ) from artist \
+                bin artist.age by year"),
+            &schema(),
+        );
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn group_without_aggregate_flagged() {
+        let issues = validate(
+            &q("visualize bar select artist.country , artist.age from artist \
+                group by artist.country"),
+            &schema(),
+        );
+        assert!(issues.contains(&Issue::GroupWithoutAggregate));
+    }
+
+    #[test]
+    fn validity_rate_counts_parse_and_semantic_failures() {
+        let s = schema();
+        let preds = vec![
+            ("visualize pie select artist.country , count ( artist.country ) from artist group by artist.country", &s),
+            ("not a query at all", &s),
+            ("visualize bar select rooms.a , rooms.b from rooms", &s),
+        ];
+        let rate = validity_rate(preds);
+        assert!((rate - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_prediction_set_rate_zero() {
+        assert_eq!(validity_rate(Vec::<(&str, &DbSchema)>::new()), 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Vega-Lite specification emission.
+//!
+//! A DV query together with its executed result table converts losslessly
+//! into a Vega-Lite v5 specification (the translation the paper describes
+//! as "seamless"). Only the channels a DV query can express are emitted:
+//! mark type, x/y encodings with aggregate-derived field names, a color
+//! channel for grouped charts, and sort order.
+
+use serde_json::{json, Value};
+
+use crate::ast::{ChartType, ColExpr, OrderDir, Query};
+use crate::chart::Chart;
+
+/// The Vega-Lite mark string for a chart type.
+pub fn mark_for(chart: ChartType) -> &'static str {
+    match chart {
+        ChartType::Bar | ChartType::StackedBar => "bar",
+        ChartType::Pie => "arc",
+        ChartType::Line | ChartType::GroupedLine => "line",
+        ChartType::Scatter | ChartType::GroupedScatter => "point",
+    }
+}
+
+fn field_name(expr: &ColExpr) -> String {
+    match expr {
+        ColExpr::Column(c) => c.to_string(),
+        ColExpr::Agg(a, c) => format!("{a}_{c}"),
+    }
+}
+
+fn field_type(expr: &ColExpr) -> &'static str {
+    match expr {
+        ColExpr::Column(_) => "nominal",
+        ColExpr::Agg(_, _) => "quantitative",
+    }
+}
+
+/// Emits a Vega-Lite v5 spec for a query and its executed chart.
+///
+/// The chart's data points become inline `values`; the query's select list
+/// drives the encoding channels.
+pub fn to_vega_lite(query: &Query, chart: &Chart) -> Value {
+    let x = &query.select[0];
+    let y = query.select.get(1);
+    let color = query.select.get(2);
+
+    let mut values = Vec::new();
+    for series in &chart.series {
+        for (label, value) in &series.points {
+            let mut row = serde_json::Map::new();
+            row.insert(field_name(x), json!(label));
+            if let Some(y) = y {
+                row.insert(field_name(y), json!(value));
+            }
+            if let (Some(c), Some(name)) = (color, &series.name) {
+                row.insert(field_name(c), json!(name));
+            }
+            values.push(Value::Object(row));
+        }
+    }
+
+    let mut encoding = serde_json::Map::new();
+    if query.chart == ChartType::Pie {
+        if let Some(y) = y {
+            encoding.insert(
+                "theta".into(),
+                json!({"field": field_name(y), "type": "quantitative"}),
+            );
+        }
+        encoding.insert(
+            "color".into(),
+            json!({"field": field_name(x), "type": "nominal"}),
+        );
+    } else {
+        let mut x_enc = serde_json::Map::new();
+        x_enc.insert("field".into(), json!(field_name(x)));
+        x_enc.insert("type".into(), json!(field_type(x)));
+        if let Some(order) = &query.order_by {
+            if order.expr == *x {
+                x_enc.insert(
+                    "sort".into(),
+                    json!(match order.dir {
+                        OrderDir::Asc => "ascending",
+                        OrderDir::Desc => "descending",
+                    }),
+                );
+            } else if y.is_some_and(|yexpr| order.expr == *yexpr) {
+                let sign = match order.dir {
+                    OrderDir::Asc => "",
+                    OrderDir::Desc => "-",
+                };
+                x_enc.insert("sort".into(), json!(format!("{sign}y")));
+            }
+        }
+        encoding.insert("x".into(), Value::Object(x_enc));
+        if let Some(y) = y {
+            encoding.insert(
+                "y".into(),
+                json!({"field": field_name(y), "type": field_type(y)}),
+            );
+        }
+        if let Some(c) = color {
+            encoding.insert(
+                "color".into(),
+                json!({"field": field_name(c), "type": "nominal"}),
+            );
+        } else if query.chart == ChartType::StackedBar {
+            // Grouped charts always color by the third channel; reaching
+            // here means the query was malformed, so omit color.
+        }
+    }
+
+    json!({
+        "$schema": "https://vega.github.io/schema/vega-lite/v5.json",
+        "description": format!("Rendered from DV query: {query}"),
+        "mark": mark_for(query.chart),
+        "data": {"values": values},
+        "encoding": Value::Object(encoding),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chart::Series;
+    use crate::parse_query;
+
+    fn pie_fixture() -> (Query, Chart) {
+        let q = parse_query(
+            "visualize pie select artist.country, count ( artist.country ) from artist \
+             group by artist.country",
+        )
+        .unwrap();
+        let chart = Chart {
+            chart_type: ChartType::Pie,
+            x_label: "artist.country".into(),
+            y_label: "count ( artist.country )".into(),
+            series: vec![Series::new(vec![
+                ("united states".into(), 4.0),
+                ("england".into(), 1.0),
+            ])],
+        };
+        (q, chart)
+    }
+
+    #[test]
+    fn pie_uses_arc_mark_and_theta() {
+        let (q, chart) = pie_fixture();
+        let spec = to_vega_lite(&q, &chart);
+        assert_eq!(spec["mark"], "arc");
+        assert_eq!(spec["encoding"]["theta"]["type"], "quantitative");
+        assert_eq!(spec["data"]["values"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn bar_emits_x_y_channels() {
+        let q = parse_query(
+            "visualize bar select t.a, count ( t.a ) from t group by t.a",
+        )
+        .unwrap();
+        let chart = Chart {
+            chart_type: ChartType::Bar,
+            x_label: "t.a".into(),
+            y_label: "count ( t.a )".into(),
+            series: vec![Series::new(vec![("x".into(), 2.0)])],
+        };
+        let spec = to_vega_lite(&q, &chart);
+        assert_eq!(spec["mark"], "bar");
+        assert_eq!(spec["encoding"]["x"]["field"], "t.a");
+        assert_eq!(spec["encoding"]["y"]["type"], "quantitative");
+    }
+
+    #[test]
+    fn order_by_y_becomes_sort_directive() {
+        let q = parse_query(
+            "visualize bar select t.a, count ( t.a ) from t group by t.a \
+             order by count ( t.a ) desc",
+        )
+        .unwrap();
+        let chart = Chart {
+            chart_type: ChartType::Bar,
+            x_label: "t.a".into(),
+            y_label: "count".into(),
+            series: vec![Series::new(vec![("x".into(), 2.0)])],
+        };
+        let spec = to_vega_lite(&q, &chart);
+        assert_eq!(spec["encoding"]["x"]["sort"], "-y");
+    }
+
+    #[test]
+    fn grouped_chart_emits_color_channel() {
+        let q = parse_query(
+            "visualize stacked bar select t.a, sum ( t.b ), t.c from t group by t.a, t.c",
+        )
+        .unwrap();
+        let chart = Chart {
+            chart_type: ChartType::StackedBar,
+            x_label: "t.a".into(),
+            y_label: "sum".into(),
+            series: vec![
+                Series::named("g1", vec![("x".into(), 1.0)]),
+                Series::named("g2", vec![("x".into(), 2.0)]),
+            ],
+        };
+        let spec = to_vega_lite(&q, &chart);
+        assert_eq!(spec["encoding"]["color"]["field"], "t.c");
+        let values = spec["data"]["values"].as_array().unwrap();
+        assert_eq!(values.len(), 2);
+        assert_eq!(values[0]["t.c"], "g1");
+    }
+
+    #[test]
+    fn spec_declares_v5_schema() {
+        let (q, chart) = pie_fixture();
+        let spec = to_vega_lite(&q, &chart);
+        assert!(spec["$schema"].as_str().unwrap().contains("vega-lite/v5"));
+    }
+}

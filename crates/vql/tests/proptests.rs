@@ -1,0 +1,184 @@
+//! Property-based tests for the DV query language: display/parse
+//! roundtrips, standardization idempotence, and grammar acceptance of
+//! every standardized query.
+
+use proptest::prelude::*;
+
+use vql::ast::{
+    AggFunc, Bin, BinUnit, ChartType, CmpOp, ColExpr, ColumnRef, Join, Literal, OrderBy,
+    OrderDir, Predicate, Query,
+};
+use vql::grammar::{GrammarConstraint, EOS};
+use vql::schema::{DbSchema, TableSchema};
+
+fn schema() -> DbSchema {
+    DbSchema::new(
+        "proptest_db",
+        vec![
+            TableSchema::new(
+                "alpha",
+                vec!["alpha_id".into(), "kind".into(), "size".into(), "label".into()],
+            ),
+            TableSchema::new("beta", vec!["beta_id".into(), "alpha_id".into(), "score".into()]),
+        ],
+    )
+}
+
+fn chart_strategy() -> impl Strategy<Value = ChartType> {
+    prop::sample::select(ChartType::ALL.to_vec())
+}
+
+fn agg_strategy() -> impl Strategy<Value = AggFunc> {
+    prop::sample::select(vec![
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Max,
+        AggFunc::Min,
+    ])
+}
+
+fn col_strategy() -> impl Strategy<Value = ColumnRef> {
+    prop::sample::select(vec![
+        ColumnRef::qualified("alpha", "kind"),
+        ColumnRef::qualified("alpha", "size"),
+        ColumnRef::qualified("alpha", "label"),
+        ColumnRef::qualified("beta", "score"),
+    ])
+}
+
+fn expr_strategy() -> impl Strategy<Value = ColExpr> {
+    prop_oneof![
+        col_strategy().prop_map(ColExpr::Column),
+        (agg_strategy(), col_strategy()).prop_map(|(a, c)| ColExpr::Agg(a, c)),
+    ]
+}
+
+fn predicate_strategy() -> impl Strategy<Value = Predicate> {
+    let op = prop::sample::select(vec![
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ]);
+    let lit = prop_oneof![
+        (-1000i64..1000).prop_map(|n| Literal::Number(n as f64)),
+        "[a-z][a-z_]{0,8}".prop_map(Literal::Text),
+    ];
+    (col_strategy(), op, lit).prop_map(|(left, op, right)| Predicate::Compare { left, op, right })
+}
+
+prop_compose! {
+    fn query_strategy()(
+        chart in chart_strategy(),
+        x in expr_strategy(),
+        y in expr_strategy(),
+        with_join in any::<bool>(),
+        filters in prop::collection::vec(predicate_strategy(), 0..3),
+        group in prop::option::of(col_strategy()),
+        order_dir in prop::option::of(prop::sample::select(vec![OrderDir::Asc, OrderDir::Desc])),
+        with_bin in any::<bool>(),
+    ) -> Query {
+        let join = with_join.then(|| Join {
+            table: "beta".into(),
+            left: ColumnRef::qualified("alpha", "alpha_id"),
+            right: ColumnRef::qualified("beta", "alpha_id"),
+        });
+        let order_by = order_dir.map(|dir| OrderBy { expr: y.clone(), dir });
+        let bin = with_bin.then(|| Bin {
+            column: ColumnRef::qualified("alpha", "size"),
+            unit: BinUnit::Year,
+        });
+        Query {
+            chart,
+            select: vec![x, y],
+            from: "alpha".into(),
+            join,
+            filters,
+            group_by: group.into_iter().collect(),
+            order_by,
+            bin,
+        }
+    }
+}
+
+proptest! {
+    /// The canonical printer and the parser are inverses.
+    #[test]
+    fn display_parse_roundtrip(q in query_strategy()) {
+        let text = q.to_string();
+        let parsed = vql::parse_query(&text).expect("canonical text parses");
+        prop_assert_eq!(parsed, q);
+    }
+
+    /// Standardization is idempotent.
+    #[test]
+    fn standardize_idempotent(q in query_strategy()) {
+        let s = schema();
+        let once = vql::standardize(&q, &s);
+        let twice = vql::standardize(&once, &s);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// A query always exactly matches itself and never mismatches its own
+    /// chart component.
+    #[test]
+    fn self_comparison_is_exact(q in query_strategy()) {
+        let m = vql::compare_queries(&q, &q);
+        prop_assert!(m.exact());
+    }
+
+    /// Changing only the chart type breaks Vis EM but not Axis/Data.
+    #[test]
+    fn chart_flip_isolates_vis(q in query_strategy()) {
+        let mut other = q.clone();
+        other.chart = if q.chart == ChartType::Bar { ChartType::Pie } else { ChartType::Bar };
+        let m = vql::compare_queries(&other, &q);
+        prop_assert_eq!(m.vis, other.chart == q.chart);
+        prop_assert!(m.axis && m.data);
+    }
+
+    /// Every standardized query without sub-selects is accepted token by
+    /// token by the grammar automaton (string literals must be single
+    /// tokens, which holds for generated identifiers).
+    #[test]
+    fn grammar_accepts_standardized_queries(q in query_strategy()) {
+        let s = schema();
+        let std_q = vql::standardize(&q, &s);
+        let text = std_q.to_string();
+        // Collect literal pool from the query itself.
+        let mut pool = Vec::new();
+        for f in &std_q.filters {
+            if let Predicate::Compare { right, .. } = f {
+                pool.push(right.to_string());
+            }
+        }
+        let grammar = GrammarConstraint::new(&s, pool);
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        // Skip multi-word string literals (cannot appear from our strategy).
+        for i in 0..tokens.len() {
+            let allowed = grammar.allowed_next(&tokens[..i]);
+            prop_assert!(
+                allowed.iter().any(|a| a == tokens[i]),
+                "token {} '{}' rejected in '{}' (allowed {:?})",
+                i, tokens[i], text, allowed
+            );
+        }
+        let fin = grammar.allowed_next(&tokens);
+        prop_assert!(fin.contains(&EOS.to_string()), "no EOS after '{}'", text);
+    }
+
+    /// The lexer never panics on arbitrary input.
+    #[test]
+    fn lexer_total(input in ".{0,200}") {
+        let _ = vql::lexer::lex(&input);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_total(input in ".{0,200}") {
+        let _ = vql::parse_query(&input);
+    }
+}

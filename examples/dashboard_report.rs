@@ -1,0 +1,54 @@
+//! Dashboard report: vis-to-text and table-to-text over a whole database.
+//!
+//! For every DV query of one database, executes it, renders the chart, and
+//! produces a textual narrative — the paper's motivating "explain complex
+//! DVs to non-experts" scenario — plus a table-to-text fact sheet.
+//!
+//! Run with: `cargo run --release --example dashboard_report [db_name]`
+
+use datavist5_repro::corpus::{Corpus, CorpusConfig};
+use datavist5_repro::storage;
+use datavist5_repro::vql;
+
+fn main() {
+    let corpus = Corpus::generate(&CorpusConfig::default());
+    let db_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| corpus.databases[0].name.clone());
+    let db = corpus
+        .database(&db_name)
+        .unwrap_or_else(|| panic!("unknown database '{db_name}'"));
+    println!("=== Dashboard report for {} (domain: {}) ===\n", db.name, db.domain);
+
+    let queries: Vec<_> = corpus
+        .nvbench
+        .iter()
+        .filter(|e| e.db_name == db.name)
+        .take(5)
+        .collect();
+    for (i, e) in queries.iter().enumerate() {
+        let query = vql::parse_query(&e.query).expect("gold query parses");
+        let result = storage::execute(&query, db).expect("gold query executes");
+        let chart = storage::to_chart(&query, &result);
+        println!("--- panel {} ---", i + 1);
+        println!("dv query : {}", e.query);
+        println!("narrative: {}", e.description);
+        println!("{}", chart.render_ascii(30));
+    }
+
+    println!("--- fact sheet (table-to-text) ---");
+    for fact in corpus
+        .wikitabletext
+        .iter()
+        .filter(|e| e.db_name == db.name)
+        .take(5)
+    {
+        println!("  {}", fact.description);
+    }
+
+    println!("\navailable databases:");
+    for d in &corpus.databases {
+        print!("{} ", d.name);
+    }
+    println!();
+}

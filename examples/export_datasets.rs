@@ -1,0 +1,41 @@
+//! Exports the synthetic corpora as JSONL release artifacts.
+//!
+//! Run with: `cargo run --release --example export_datasets [out_dir]`
+//! (default `bench/out/datasets`). Produces `nvbench.jsonl`,
+//! `fevisqa.jsonl`, and `tabletext.jsonl` with split annotations, plus a
+//! CSV dump of every database table.
+
+use std::path::PathBuf;
+
+use datavist5_repro::corpus::{export::export_jsonl, Corpus, CorpusConfig};
+use datavist5_repro::storage::table_to_csv;
+
+fn main() -> std::io::Result<()> {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("bench/out/datasets"));
+    let corpus = Corpus::generate(&CorpusConfig::default());
+
+    export_jsonl(&corpus, &dir)?;
+    println!(
+        "wrote {} nvbench / {} fevisqa / {} tabletext records to {}",
+        corpus.nvbench.len(),
+        corpus.fevisqa.len(),
+        corpus.chart2text.len() + corpus.wikitabletext.len(),
+        dir.display()
+    );
+
+    let db_dir = dir.join("databases");
+    std::fs::create_dir_all(&db_dir)?;
+    let mut files = 0;
+    for db in &corpus.databases {
+        for table in &db.tables {
+            let path = db_dir.join(format!("{}__{}.csv", db.name, table.name));
+            std::fs::write(path, table_to_csv(table))?;
+            files += 1;
+        }
+    }
+    println!("wrote {files} database tables as csv to {}", db_dir.display());
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! FeVisQA session: free-form question answering over a data
+//! visualization, grounded by the storage engine.
+//!
+//! Picks one database, renders a chart from a DV query, and answers the
+//! paper's question taxonomy — Type 1 (meaning), Type 2 (suitability),
+//! Type 3 (data/structure) — using the executed chart model, then shows a
+//! trained model answering the same questions.
+//!
+//! Run with: `cargo run --release --example fevisqa_session`
+
+use datavist5_repro::corpus::{Corpus, CorpusConfig, QuestionType, Split};
+use datavist5_repro::datavist5::config::{Scale, Size};
+use datavist5_repro::datavist5::data::{strip_prefix, Task};
+use datavist5_repro::datavist5::zoo::{ModelKind, Regime, Zoo};
+use datavist5_repro::storage;
+use datavist5_repro::vql;
+
+fn main() {
+    // Ground truth straight from the engine.
+    let corpus = Corpus::generate(&CorpusConfig::default());
+    let example = corpus
+        .fevisqa
+        .iter()
+        .find(|e| e.question_type == QuestionType::Type3)
+        .expect("type-3 question exists");
+    let db = corpus.database(&example.db_name).unwrap();
+    let query = vql::parse_query(&example.query).expect("query parses");
+    let result = storage::execute(&query, db).expect("query executes");
+    let chart = storage::to_chart(&query, &result);
+
+    println!("database : {}", db.name);
+    println!("dv query : {}", example.query);
+    println!("\n{}", chart.render_ascii(32));
+    println!("engine-grounded answers:");
+    println!("  how many parts are there in the chart ?      -> {}", chart.part_count());
+    if let (Some(min), Some(max)) = (chart.min_value(), chart.max_value()) {
+        println!("  what is the value of the smallest part ?     -> {min}");
+        println!("  what is the value of the largest part ?      -> {max}");
+    }
+    println!("  is any equal value of y-axis in the chart ?  -> {}", if chart.has_equal_values() { "yes" } else { "no" });
+    println!("  total of the y channel                       -> {}", chart.total());
+
+    // The same questions through a trained model (smoke scale).
+    eprintln!("\ntraining DataVisT5 (smoke scale) for model answers…");
+    let zoo = Zoo::new(Scale::Smoke);
+    let kind = ModelKind::DataVisT5(Size::Base, Regime::Mft);
+    let trained = zoo.train_model_cached(kind, None);
+    let predictor = zoo.predictor(kind, trained);
+    println!("model answers on held-out FeVisQA examples:");
+    for e in zoo.datasets.of(Task::FeVisQa, Split::Test).iter().take(4) {
+        let question = e
+            .input
+            .split("<question> ")
+            .nth(1)
+            .and_then(|r| r.split(" <vql>").next())
+            .unwrap_or("");
+        let gold = strip_prefix(Task::FeVisQa, &e.output);
+        let answer = predictor.predict(e);
+        println!("  Q: {question}");
+        println!("     gold: {gold} | model: {answer}");
+    }
+}

@@ -1,0 +1,94 @@
+//! A small text-to-vis application: trains a DataVisT5 (smoke scale, a few
+//! seconds) and then translates natural-language questions into DV
+//! queries, charts, and Vega-Lite specs.
+//!
+//! Run with a question of your own:
+//!
+//! ```text
+//! cargo run --release --example text_to_vis_app -- \
+//!     "show the number of records for each country in the artist table"
+//! ```
+//!
+//! Without arguments a held-out test question is used.
+
+use datavist5_repro::corpus::Split;
+use datavist5_repro::datavist5::config::{Scale, Size};
+use datavist5_repro::datavist5::data::{text_to_vis_input, Task, TaskExample};
+use datavist5_repro::datavist5::zoo::{ModelKind, Regime, Zoo};
+use datavist5_repro::storage;
+use datavist5_repro::vql;
+
+fn main() {
+    let question = std::env::args().nth(1);
+
+    eprintln!("building corpus and training DataVisT5 (smoke scale)…");
+    let zoo = Zoo::new(Scale::Smoke);
+    let kind = ModelKind::DataVisT5(Size::Base, Regime::Mft);
+    let trained = zoo.train_model_cached(kind, None);
+    let predictor = zoo.predictor(kind, trained);
+
+    // Resolve the question: user-provided (against the first database that
+    // filtration matches) or a held-out test example.
+    let example: TaskExample = match question {
+        Some(q) => {
+            let db = zoo
+                .corpus
+                .databases
+                .iter()
+                .find(|db| {
+                    let filtered =
+                        datavist5_repro::datavist5::filter_schema(&q, &db.schema());
+                    filtered.tables.len() < db.schema().tables.len()
+                        || db
+                            .schema()
+                            .tables
+                            .iter()
+                            .any(|t| q.contains(&t.name))
+                })
+                .unwrap_or(&zoo.corpus.databases[0]);
+            eprintln!("matched database: {}", db.name);
+            TaskExample {
+                task: Task::TextToVis,
+                db_name: db.name.clone(),
+                split: Split::Test,
+                input: text_to_vis_input(&q, &db.schema()),
+                output: String::new(),
+                gold_query: None,
+                has_join: false,
+            }
+        }
+        None => zoo
+            .datasets
+            .of(Task::TextToVis, Split::Test)
+            .first()
+            .map(|e| (*e).clone())
+            .expect("test example exists"),
+    };
+
+    println!("input     : {}", example.input);
+    let prediction = predictor.predict(&example);
+    println!("prediction: {prediction}");
+    if let Some(gold) = &example.gold_query {
+        println!("gold      : {gold}");
+    }
+
+    match vql::parse_query(&prediction) {
+        Ok(query) => {
+            let db = zoo.corpus.database(&example.db_name).unwrap();
+            match storage::execute(&query, db) {
+                Ok(result) => {
+                    let chart = storage::to_chart(&query, &result);
+                    println!("\n{}", chart.render_ascii(32));
+                    let spec = vql::vega::to_vega_lite(&query, &chart);
+                    println!("vega-lite: {}", serde_json::to_string(&spec).unwrap());
+                }
+                Err(e) => println!("query does not execute: {e}"),
+            }
+        }
+        Err(e) => println!("prediction does not parse: {e}"),
+    }
+    println!(
+        "\n(smoke-scale model: expect imperfect queries; run the table04 binary at full \
+         scale for the benchmark numbers)"
+    );
+}

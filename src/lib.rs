@@ -1,0 +1,10 @@
+//! Umbrella crate for the DataVisT5 reproduction: re-exports the workspace
+//! crates so examples and integration tests have a single import surface.
+pub use corpus;
+pub use datavist5;
+pub use metrics;
+pub use nn;
+pub use storage;
+pub use tensor;
+pub use tokenizer;
+pub use vql;

@@ -1,0 +1,70 @@
+//! End-to-end integration: corpus → encoding → pre-training → fine-tuning
+//! → decoding → metrics, at smoke scale.
+
+use datavist5_repro::datavist5::config::{Scale, Size};
+use datavist5_repro::datavist5::data::Task;
+use datavist5_repro::datavist5::eval::{eval_text_gen, eval_text_to_vis};
+use datavist5_repro::datavist5::zoo::{ModelKind, Regime, Zoo};
+use datavist5_repro::corpus::Split;
+
+/// Tests share the on-disk checkpoint cache; serialize access so parallel
+/// test threads do not race directory deletion against training.
+static CKPT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    CKPT_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn fresh_zoo() -> Zoo {
+    // Tests must not reuse possibly-stale checkpoints from other runs.
+    let _ = std::fs::remove_dir_all("target/datavist5-ckpt/smoke");
+    Zoo::new(Scale::Smoke)
+}
+
+#[test]
+fn datavist5_mft_trains_and_scores_text_to_vis() {
+    let _guard = lock();
+    let zoo = fresh_zoo();
+    let trained = zoo.train_model(ModelKind::DataVisT5(Size::Base, Regime::Mft), None);
+    let predictor = zoo.predictor(ModelKind::DataVisT5(Size::Base, Regime::Mft), trained);
+    let examples = zoo.datasets.of(Task::TextToVis, Split::Test);
+    assert!(!examples.is_empty());
+    let scores = eval_text_to_vis(&*predictor, &examples, &zoo.corpus, 6);
+    // At smoke scale we only assert the harness produces sane numbers.
+    assert!(scores.non_join.n + scores.join.n > 0);
+    assert!((0.0..=1.0).contains(&scores.non_join.em));
+    assert!((0.0..=1.0).contains(&scores.mean_metric()));
+
+    // The same MFT model also answers a generative task.
+    let vis_examples = zoo.datasets.of(Task::VisToText, Split::Test);
+    let gen = eval_text_gen(&*predictor, &vis_examples, 4);
+    assert!(gen.n > 0);
+    assert!((0.0..=1.0).contains(&gen.bleu1));
+    assert!((0.0..=1.0).contains(&gen.meteor));
+}
+
+#[test]
+fn gpt4_simulator_predicts_without_training() {
+    let _guard = lock();
+    let zoo = fresh_zoo();
+    let sim = zoo.gpt4_predictor();
+    let examples = zoo.datasets.of(Task::TextToVis, Split::Test);
+    let scores = eval_text_to_vis(&sim, &examples, &zoo.corpus, 6);
+    assert!(scores.non_join.n + scores.join.n > 0);
+    // Retrieval + adaptation should at least predict chart types well
+    // occasionally; mostly we assert it emits parseable queries for some
+    // examples.
+    let pred = datavist5_repro::datavist5::zoo::Predictor::predict(&sim, examples[0]);
+    assert!(!pred.is_empty());
+}
+
+#[test]
+fn seq2vis_lstm_baseline_runs() {
+    let _guard = lock();
+    let zoo = fresh_zoo();
+    let trained = zoo.train_model(ModelKind::Seq2Vis, Some(Task::TextToVis));
+    let predictor = zoo.predictor(ModelKind::Seq2Vis, trained);
+    let examples = zoo.datasets.of(Task::TextToVis, Split::Test);
+    let scores = eval_text_to_vis(&*predictor, &examples, &zoo.corpus, 3);
+    assert!(scores.non_join.n + scores.join.n > 0);
+}

@@ -1,0 +1,125 @@
+//! Cross-crate integration tests of the encoding pipeline: corpus →
+//! filtration → unified encoding → standardization → execution →
+//! chart/metrics consistency.
+
+use datavist5_repro::corpus::{Corpus, CorpusConfig, Split};
+use datavist5_repro::datavist5::data::{Task, TaskDatasets};
+use datavist5_repro::datavist5::filter_schema;
+use datavist5_repro::datavist5::pretrain::{dv_knowledge_docs, PretrainData};
+use datavist5_repro::metrics;
+use datavist5_repro::storage;
+use datavist5_repro::tokenizer::WordTokenizer;
+use datavist5_repro::vql;
+
+fn corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        seed: 99,
+        dbs_per_domain: 1,
+        queries_per_db: 8,
+        facts_per_db: 4,
+    })
+}
+
+#[test]
+fn every_gold_query_roundtrips_through_the_whole_stack() {
+    let corpus = corpus();
+    for e in &corpus.nvbench {
+        let db = corpus.database(&e.db_name).unwrap();
+        let schema = db.schema();
+        // Parse -> standardize -> print -> parse: fixpoint.
+        let q = vql::parse_query(&e.query).unwrap();
+        let std_q = vql::standardize(&q, &schema);
+        assert_eq!(std_q, q, "corpus queries are already standardized");
+        // Execute -> chart -> vega: total.
+        let result = storage::execute(&q, db).unwrap();
+        let chart = storage::to_chart(&q, &result);
+        assert!(chart.part_count() > 0);
+        let spec = vql::vega::to_vega_lite(&q, &chart);
+        assert!(spec["mark"].is_string());
+        // FeVisQA consistency: total of chart equals sum over values.
+        let manual: f64 = chart.values().sum();
+        assert!((manual - chart.total()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn filtration_never_loses_gold_query_tables() {
+    let corpus = corpus();
+    for e in &corpus.nvbench {
+        let db = corpus.database(&e.db_name).unwrap();
+        let schema = db.schema();
+        let filtered = filter_schema(&e.question, &schema);
+        let q = vql::parse_query(&e.query).unwrap();
+        for t in q.tables() {
+            assert!(
+                filtered.table(t).is_some(),
+                "filtration dropped table '{t}' needed by gold query for: {}",
+                e.question
+            );
+        }
+    }
+}
+
+#[test]
+fn tokenizer_roundtrips_every_task_surface() {
+    let corpus = corpus();
+    let datasets = TaskDatasets::build(&corpus);
+    let tok = WordTokenizer::fit(datasets.all_texts(), 1);
+    for e in datasets.examples.iter().take(200) {
+        let ids = tok.encode(&e.output);
+        assert_eq!(tok.decode(&ids), e.output, "lossy output tokenization");
+        let ids = tok.encode(&e.input);
+        assert_eq!(tok.decode(&ids), e.input, "lossy input tokenization");
+    }
+}
+
+#[test]
+fn pretrain_corpus_covers_all_four_mappings_and_knowledge() {
+    let corpus = corpus();
+    let datasets = TaskDatasets::build(&corpus);
+    let mut data = PretrainData::build(&datasets);
+    let with_tasks = data.bdc.len();
+    assert!(with_tasks > 0);
+    data.add_dv_knowledge(&corpus.databases);
+    // Knowledge docs contain every database's schema.
+    let docs = dv_knowledge_docs(&corpus.databases);
+    assert_eq!(
+        docs.len(),
+        corpus.databases.len() + corpus.databases.iter().map(|d| d.tables.len()).sum::<usize>()
+    );
+    for db in &corpus.databases {
+        let name = db.name.to_ascii_lowercase();
+        assert!(
+            data.mlm.iter().any(|m| m.contains(&name)),
+            "no knowledge doc mentions {name}"
+        );
+    }
+}
+
+#[test]
+fn split_partitions_are_disjoint_and_exhaustive() {
+    let corpus = corpus();
+    let datasets = TaskDatasets::build(&corpus);
+    for task in Task::ALL {
+        let train = datasets.of(task, Split::Train).len();
+        let valid = datasets.of(task, Split::Valid).len();
+        let test = datasets.of(task, Split::Test).len();
+        let total = datasets.examples.iter().filter(|e| e.task == task).count();
+        assert_eq!(train + valid + test, total, "{}", task.label());
+        assert!(train > test, "{}: train should dominate", task.label());
+    }
+}
+
+#[test]
+fn em_and_text_metrics_agree_on_gold() {
+    let corpus = corpus();
+    // Gold vs gold: EM exact and BLEU 1.0 for every example.
+    for e in corpus.nvbench.iter().take(30) {
+        let db = corpus.database(&e.db_name).unwrap();
+        let schema = db.schema();
+        let q = vql::standardize::parse_standardized(&e.query, &schema).unwrap();
+        assert!(vql::compare_queries(&q, &q).exact());
+        let b = metrics::sentence_bleu(&e.description, &e.description, 4);
+        assert!((b - 1.0).abs() < 1e-9);
+    }
+}
