@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, and the full test suite.
+#
+#   ./ci.sh
+#
+# Each stage must pass for the script to exit zero. Clippy runs with
+# warnings denied across every target (libs, bins, tests, benches) so new
+# warnings fail the build instead of accumulating.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test -q =="
+cargo test --workspace -q
+
+echo "ci: all stages passed"

@@ -1,0 +1,235 @@
+//! Pass 2: gradient-flow lints.
+//!
+//! `backward` walks the tape from the loss toward index 0, following
+//! operand edges and skipping nodes that do not require gradients. That
+//! makes "will this parameter ever train?" a pure reachability question —
+//! answerable before spending a single backward pass.
+//!
+//! Codes:
+//! * `G001` (error) — a trainable parameter is not an ancestor of the
+//!   loss: it will never receive a gradient.
+//! * `G002` (warning) — a dead subgraph: ops whose results are never
+//!   consumed by anything and that do not feed the loss (wasted forward
+//!   compute).
+//! * `G003` (warning) — `requires_grad` bookkeeping on non-parameter nodes
+//!   backward can never reach (wasted tape memory).
+//! * `G004` — a dropout op recorded on an eval-mode tape: an error when
+//!   the mask actually dropped units, a warning when it is the identity.
+
+use tensor::{Graph, OpKind, OpView, Var};
+
+use crate::{backtrace, Diagnostic, Severity, TapeMode};
+
+const BACKTRACE_DEPTH: usize = 4;
+
+/// Runs the gradient-flow lints. `loss` is the node `backward` starts
+/// from; `mode` states whether the caller built this tape for training or
+/// evaluation.
+pub fn check(g: &Graph, loss: Var, mode: TapeMode) -> Vec<Diagnostic> {
+    let views: Vec<OpView<'_>> = g.op_views().collect();
+    let n = views.len();
+    let mut diagnostics = Vec::new();
+    if n == 0 {
+        return diagnostics;
+    }
+
+    // Reverse reachability from the loss along operand edges — exactly the
+    // set of nodes backward can visit.
+    let mut feeds_loss = vec![false; n];
+    let mut stack = vec![loss.index()];
+    while let Some(i) = stack.pop() {
+        if feeds_loss[i] {
+            continue;
+        }
+        feeds_loss[i] = true;
+        stack.extend(views[i].inputs.iter().copied());
+    }
+
+    // Consumption: a node some later op reads.
+    let mut consumed = vec![false; n];
+    for view in &views {
+        for &i in &view.inputs {
+            consumed[i] = true;
+        }
+    }
+
+    // G001: parameters disconnected from the loss.
+    for view in &views {
+        if let OpKind::Leaf {
+            param_hook: Some(hook),
+        } = view.kind
+        {
+            if !feeds_loss[view.index] {
+                diagnostics.push(Diagnostic {
+                    code: "G001",
+                    severity: Severity::Error,
+                    op: Some(view.index),
+                    message: format!(
+                        "#{} param (hook {hook}) never receives gradients: \
+                         no path to the loss at #{}",
+                        view.index,
+                        loss.index()
+                    ),
+                    backtrace: backtrace(g, view.index, BACKTRACE_DEPTH),
+                });
+            }
+        }
+    }
+
+    // G002: dead subgraphs, reported at their sinks (nodes nothing reads).
+    for view in &views {
+        let is_sink = !consumed[view.index] && view.index != loss.index();
+        let is_leaf = matches!(view.kind, OpKind::Leaf { .. });
+        if is_sink && !is_leaf && !feeds_loss[view.index] {
+            // Size of the subtree that exists only to feed this sink.
+            let mut dead = vec![false; n];
+            let mut stack = vec![view.index];
+            let mut count = 0usize;
+            while let Some(i) = stack.pop() {
+                if dead[i] || feeds_loss[i] {
+                    continue;
+                }
+                dead[i] = true;
+                count += 1;
+                stack.extend(views[i].inputs.iter().copied());
+            }
+            diagnostics.push(Diagnostic {
+                code: "G002",
+                severity: Severity::Warning,
+                op: Some(view.index),
+                message: format!(
+                    "#{} {}: dead subgraph — {count} op(s) computed but never \
+                     used by the loss",
+                    view.index,
+                    view.kind.name()
+                ),
+                backtrace: backtrace(g, view.index, BACKTRACE_DEPTH),
+            });
+        }
+    }
+
+    // G003: requires_grad bookkeeping backward can never reach, aggregated
+    // into one diagnostic to keep large tapes readable.
+    let leaks: Vec<usize> = views
+        .iter()
+        .filter(|v| {
+            v.requires_grad && !feeds_loss[v.index] && !matches!(v.kind, OpKind::Leaf { .. })
+        })
+        .map(|v| v.index)
+        .collect();
+    if let Some(&first) = leaks.first() {
+        diagnostics.push(Diagnostic {
+            code: "G003",
+            severity: Severity::Warning,
+            op: Some(first),
+            message: format!(
+                "requires_grad leak: {} op(s) carry gradient bookkeeping but \
+                 backward can never reach them (first: #{first} {})",
+                leaks.len(),
+                views[first].kind.name()
+            ),
+            backtrace: backtrace(g, first, BACKTRACE_DEPTH),
+        });
+    }
+
+    // G004: dropout on an eval-mode tape.
+    if mode == TapeMode::Eval {
+        for view in &views {
+            if let OpKind::Dropout { identity } = view.kind {
+                diagnostics.push(Diagnostic {
+                    code: "G004",
+                    severity: if identity {
+                        Severity::Warning
+                    } else {
+                        Severity::Error
+                    },
+                    op: Some(view.index),
+                    message: format!(
+                        "#{} dropout recorded on an eval-mode tape{}",
+                        view.index,
+                        if identity {
+                            " (identity mask — harmless but wasteful)"
+                        } else {
+                            " with an active mask: evaluation is stochastic"
+                        }
+                    ),
+                    backtrace: backtrace(g, view.index, BACKTRACE_DEPTH),
+                });
+            }
+        }
+    }
+
+    diagnostics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::Tensor;
+
+    fn t(shape: Vec<usize>, fill: f32) -> Tensor {
+        let n = shape.iter().product();
+        Tensor::from_vec(shape, vec![fill; n])
+    }
+
+    #[test]
+    fn connected_graph_is_clean() {
+        let mut g = Graph::new();
+        let x = g.leaf(t(vec![2, 3], 1.0), false);
+        let w = g.param(t(vec![3, 2], 0.5), 0);
+        let y = g.matmul(x, w);
+        let loss = g.sum(y);
+        assert!(check(&g, loss, TapeMode::Train).is_empty());
+    }
+
+    #[test]
+    fn disconnected_param_is_flagged() {
+        let mut g = Graph::new();
+        let x = g.leaf(t(vec![2, 3], 1.0), false);
+        let w = g.param(t(vec![3, 2], 0.5), 7);
+        let orphan = g.param(t(vec![4], 0.1), 8);
+        let y = g.matmul(x, w);
+        let loss = g.sum(y);
+        let diags = check(&g, loss, TapeMode::Train);
+        let hit = diags.iter().find(|d| d.code == "G001").expect("G001 fires");
+        assert_eq!(hit.op, Some(orphan.index()));
+        assert!(hit.message.contains("hook 8"), "{}", hit.message);
+        // The connected param must NOT be flagged.
+        assert!(diags.iter().all(|d| d.op != Some(w.index())));
+    }
+
+    #[test]
+    fn dead_subgraph_and_leak_are_flagged() {
+        let mut g = Graph::new();
+        let x = g.leaf(t(vec![2, 3], 1.0), false);
+        let w = g.param(t(vec![3, 2], 0.5), 0);
+        let y = g.matmul(x, w);
+        // Dead branch: computed from the param, consumed by nothing.
+        let dead_mid = g.relu(y);
+        let dead_sink = g.scale(dead_mid, 2.0);
+        let loss = g.sum(y);
+        let diags = check(&g, loss, TapeMode::Train);
+        let dead = diags.iter().find(|d| d.code == "G002").expect("G002 fires");
+        assert_eq!(dead.op, Some(dead_sink.index()));
+        assert!(dead.message.contains("2 op(s)"), "{}", dead.message);
+        let leak = diags.iter().find(|d| d.code == "G003").expect("G003 fires");
+        assert!(leak.message.contains("2 op(s)"), "{}", leak.message);
+    }
+
+    #[test]
+    fn dropout_on_eval_tape_is_flagged_by_mask_state() {
+        let mut g = Graph::new();
+        let x = g.leaf(t(vec![4, 4], 1.0), true);
+        let active = g.dropout(x, 0.5);
+        let idle = g.dropout(x, 0.0);
+        let joined = g.add(active, idle);
+        let loss = g.sum(joined);
+        assert!(check(&g, loss, TapeMode::Train)
+            .iter()
+            .all(|d| d.code != "G004"));
+        let diags = check(&g, loss, TapeMode::Eval);
+        let by_op = |op: Var| diags.iter().find(|d| d.op == Some(op.index())).unwrap();
+        assert_eq!(by_op(active).severity, Severity::Error);
+        assert_eq!(by_op(idle).severity, Severity::Warning);
+    }
+}

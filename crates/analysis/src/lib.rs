@@ -1,0 +1,225 @@
+//! The Graph Doctor: static analysis for the autodiff tape.
+//!
+//! A recorded [`tensor::Graph`] is a complete, inspectable program — every
+//! op, operand edge, and output shape is on the tape. This crate re-checks
+//! that program without re-executing any kernels:
+//!
+//! * [`shape`] — re-derives the output shape of every op from its operand
+//!   shapes and reports disagreements with the recorded values (`S001`) or
+//!   operand geometry an op could never accept (`S002`).
+//! * [`flow`] — gradient-flow lints: parameters that can never receive a
+//!   gradient (`G001`), dead subgraphs computed but never consumed
+//!   (`G002`), `requires_grad` bookkeeping that backward can never reach
+//!   (`G003`), and dropout ops recorded on an eval-mode tape (`G004`).
+//! * [`sanitize`] — the opt-in runtime numeric sanitizer: scans forward
+//!   values (`N001`) and gradients (`N002`) for NaN/Inf under a
+//!   [`SanitizerMode`] schedule, reporting the first offending op with a
+//!   tape backtrace instead of a bare assertion.
+//!
+//! The static passes run once on the step-0 graph of every training loop
+//! (`nn::train`, pretraining, fine-tuning) and on demand via the
+//! `graph_doctor` binary in `bench`.
+
+use std::fmt;
+
+use tensor::{Graph, Var};
+
+pub mod flow;
+pub mod sanitize;
+pub mod shape;
+
+pub use sanitize::SanitizerMode;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but survivable (wasted compute, stale bookkeeping).
+    Warning,
+    /// The tape is inconsistent or the run is numerically broken.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One finding, tagged with a stable code (`S…` shape, `G…` gradient flow,
+/// `N…` numeric).
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub code: &'static str,
+    pub severity: Severity,
+    /// Tape index of the offending node, when one is identifiable.
+    pub op: Option<usize>,
+    pub message: String,
+    /// Producing-op chain ending at the offending node, innermost first.
+    pub backtrace: Vec<String>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] {}", self.severity, self.code, self.message)?;
+        for frame in &self.backtrace {
+            write!(f, "\n    {frame}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Whether the tape was recorded under training or evaluation semantics.
+/// The tape itself does not know; the caller that built it does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapeMode {
+    Train,
+    Eval,
+}
+
+/// The outcome of a doctor run over one tape.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// Whether any diagnostic with `code` is present.
+    pub fn has(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return f.write_str("graph doctor: tape is clean");
+        }
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(
+            f,
+            "graph doctor: {} error(s), {} warning(s)",
+            self.error_count(),
+            self.warning_count()
+        )
+    }
+}
+
+/// Runs every static pass (shape inference plus gradient flow) over a
+/// recorded tape. `loss` is the scalar node `backward` starts from.
+pub fn diagnose(g: &Graph, loss: Var, mode: TapeMode) -> Report {
+    let mut diagnostics = shape::check(g);
+    diagnostics.extend(flow::check(g, loss, mode));
+    Report { diagnostics }
+}
+
+/// [`diagnose`] plus a full numeric scan of values and gradients — the
+/// everything-at-once entry point used by the `graph_doctor` binary.
+pub fn diagnose_full(g: &Graph, loss: Var, mode: TapeMode) -> Report {
+    let mut report = diagnose(g, loss, mode);
+    report.diagnostics.extend(sanitize::scan(g));
+    report
+}
+
+/// Formats the producing-op chain that ends at `index`: the node itself,
+/// then up to `depth` hops along first operands. Gives a diagnostic enough
+/// provenance to locate the op inside a model without dumping the tape.
+pub(crate) fn backtrace(g: &Graph, index: usize, depth: usize) -> Vec<String> {
+    let mut frames = Vec::new();
+    let mut cur = index;
+    for hop in 0..=depth {
+        let view = g.op_view(cur);
+        let role = if hop == 0 { "at" } else { "from" };
+        frames.push(format!(
+            "{role} #{cur} {} {:?}",
+            view.kind.name(),
+            view.shape
+        ));
+        match view.inputs.first() {
+            Some(&next) => cur = next,
+            None => break,
+        }
+    }
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::Tensor;
+
+    fn small_graph() -> (Graph, Var) {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![2, 3], vec![1.0; 6]), false);
+        let w = g.param(Tensor::from_vec(vec![3, 2], vec![0.5; 6]), 0);
+        let y = g.matmul(x, w);
+        let loss = g.sum(y);
+        (g, loss)
+    }
+
+    #[test]
+    fn clean_graph_has_clean_report() {
+        let (g, loss) = small_graph();
+        let report = diagnose_full(&g, loss, TapeMode::Train);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.to_string(), "graph doctor: tape is clean");
+    }
+
+    #[test]
+    fn backtrace_walks_producing_ops() {
+        let (g, loss) = small_graph();
+        let frames = backtrace(&g, loss.index(), 4);
+        assert_eq!(frames.len(), 3); // sum <- matmul <- leaf
+        assert!(frames[0].starts_with("at #3 sum"));
+        assert!(frames[1].starts_with("from #2 matmul"));
+        assert!(frames[2].starts_with("from #0 leaf"));
+    }
+
+    #[test]
+    fn report_counts_and_display() {
+        let report = Report {
+            diagnostics: vec![
+                Diagnostic {
+                    code: "S001",
+                    severity: Severity::Error,
+                    op: Some(1),
+                    message: "boom".into(),
+                    backtrace: vec!["at #1 matmul [2, 2]".into()],
+                },
+                Diagnostic {
+                    code: "G002",
+                    severity: Severity::Warning,
+                    op: None,
+                    message: "meh".into(),
+                    backtrace: vec![],
+                },
+            ],
+        };
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.warning_count(), 1);
+        assert!(report.has("S001") && !report.has("N001"));
+        let text = report.to_string();
+        assert!(text.contains("error[S001] boom"));
+        assert!(text.contains("    at #1 matmul [2, 2]"));
+        assert!(text.ends_with("1 error(s), 1 warning(s)"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Pass 3: the opt-in runtime numeric sanitizer.
+//!
+//! Instead of unconditional `is_finite` assertions inside the hot kernels
+//! (which every release-mode step would pay for), numeric checking is a
+//! separate pass over a recorded tape, run on the schedule the caller
+//! picks via [`SanitizerMode`]. When a NaN or Inf is found, the diagnostic
+//! names the first offending op and attaches its producing-op backtrace —
+//! the tape equivalent of a stack trace.
+//!
+//! Codes: `N001` non-finite forward value, `N002` non-finite gradient.
+
+use tensor::kernels::first_nonfinite;
+use tensor::Graph;
+
+use crate::{backtrace, Diagnostic, Severity};
+
+const BACKTRACE_DEPTH: usize = 6;
+
+/// When the numeric sanitizer scans a training step's tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SanitizerMode {
+    /// Never scan (the release-mode default cost: zero).
+    Off,
+    /// Scan only step 0 — catches init-time blowups for one step's cost.
+    FirstStep,
+    /// Scan every `n`-th step (`EveryN(1)` scans all steps).
+    EveryN(usize),
+}
+
+impl SanitizerMode {
+    /// Whether a scan should run at `step` (0-based).
+    pub fn active_at(self, step: usize) -> bool {
+        match self {
+            SanitizerMode::Off => false,
+            SanitizerMode::FirstStep => step == 0,
+            SanitizerMode::EveryN(n) => n != 0 && step.is_multiple_of(n),
+        }
+    }
+
+    /// Parses `off`, `first`, or `every:<n>` (case-insensitive).
+    pub fn parse(s: &str) -> Option<SanitizerMode> {
+        let s = s.trim().to_ascii_lowercase();
+        match s.as_str() {
+            "off" => Some(SanitizerMode::Off),
+            "first" => Some(SanitizerMode::FirstStep),
+            _ => s
+                .strip_prefix("every:")
+                .and_then(|n| n.parse().ok())
+                .map(SanitizerMode::EveryN),
+        }
+    }
+
+    /// Reads `DATAVIST5_SANITIZE`, defaulting to [`SanitizerMode::FirstStep`]
+    /// (one scanned step per run is cheap and catches init-time blowups).
+    pub fn from_env() -> SanitizerMode {
+        std::env::var("DATAVIST5_SANITIZE")
+            .ok()
+            .and_then(|v| SanitizerMode::parse(&v))
+            .unwrap_or(SanitizerMode::FirstStep)
+    }
+}
+
+fn classify(v: f32) -> &'static str {
+    if v.is_nan() {
+        "NaN"
+    } else if v == f32::INFINITY {
+        "+Inf"
+    } else {
+        "-Inf"
+    }
+}
+
+/// Scans every node's forward value and (if present) gradient for
+/// non-finite elements. Diagnostics come out in tape order, so the first
+/// one is the most upstream offender — the root cause, not the fallout.
+pub fn scan(g: &Graph) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    for view in g.op_views() {
+        let value = g.node_value(view.index);
+        if let Some(e) = first_nonfinite(value.data()) {
+            diagnostics.push(Diagnostic {
+                code: "N001",
+                severity: Severity::Error,
+                op: Some(view.index),
+                message: format!(
+                    "#{} {}: {} in forward value at element {e} of {:?}",
+                    view.index,
+                    view.kind.name(),
+                    classify(value.data()[e]),
+                    view.shape
+                ),
+                backtrace: backtrace(g, view.index, BACKTRACE_DEPTH),
+            });
+        }
+        if let Some(grad) = g.node_grad(view.index) {
+            if let Some(e) = first_nonfinite(grad.data()) {
+                diagnostics.push(Diagnostic {
+                    code: "N002",
+                    severity: Severity::Error,
+                    op: Some(view.index),
+                    message: format!(
+                        "#{} {}: {} in gradient at element {e} of {:?}",
+                        view.index,
+                        view.kind.name(),
+                        classify(grad.data()[e]),
+                        view.shape
+                    ),
+                    backtrace: backtrace(g, view.index, BACKTRACE_DEPTH),
+                });
+            }
+        }
+    }
+    diagnostics
+}
+
+/// The first (most upstream) numeric offender, if any — what a training
+/// loop reports before aborting the run.
+pub fn first_offender(g: &Graph) -> Option<Diagnostic> {
+    scan(g).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::Tensor;
+
+    #[test]
+    fn mode_schedules() {
+        assert!(!SanitizerMode::Off.active_at(0));
+        assert!(SanitizerMode::FirstStep.active_at(0));
+        assert!(!SanitizerMode::FirstStep.active_at(1));
+        assert!(SanitizerMode::EveryN(3).active_at(0));
+        assert!(!SanitizerMode::EveryN(3).active_at(2));
+        assert!(SanitizerMode::EveryN(3).active_at(6));
+        assert!(!SanitizerMode::EveryN(0).active_at(0));
+    }
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(SanitizerMode::parse("off"), Some(SanitizerMode::Off));
+        assert_eq!(
+            SanitizerMode::parse("FIRST"),
+            Some(SanitizerMode::FirstStep)
+        );
+        assert_eq!(
+            SanitizerMode::parse("every:5"),
+            Some(SanitizerMode::EveryN(5))
+        );
+        assert_eq!(SanitizerMode::parse("every:x"), None);
+        assert_eq!(SanitizerMode::parse("sometimes"), None);
+    }
+
+    #[test]
+    fn clean_graph_passes_the_scan() {
+        let mut g = Graph::new();
+        let x = g.leaf(
+            Tensor::from_vec(vec![2, 2], vec![1.0, -2.0, 3.0, -4.0]),
+            true,
+        );
+        let y = g.tanh(x);
+        let loss = g.sum(y);
+        g.backward(loss);
+        assert!(scan(&g).is_empty());
+    }
+
+    #[test]
+    fn injected_nan_is_caught_with_backtrace() {
+        let mut g = Graph::new();
+        let x = g.leaf(
+            Tensor::from_vec(vec![2, 2], vec![1.0, f32::NAN, 3.0, 4.0]),
+            false,
+        );
+        let y = g.scale(x, 2.0);
+        let _loss = g.sum(y);
+        let diags = scan(&g);
+        let first = &diags[0];
+        assert_eq!(first.code, "N001");
+        assert_eq!(first.op, Some(x.index()));
+        assert!(first.message.contains("NaN"), "{}", first.message);
+        assert!(first.message.contains("element 1"), "{}", first.message);
+        // Fallout at the relu is also reported, but only after the cause.
+        assert!(diags.iter().any(|d| d.op == Some(y.index())));
+    }
+
+    #[test]
+    fn infinite_gradient_is_caught() {
+        let mut g = Graph::new();
+        let huge = g.leaf(Tensor::from_vec(vec![1], vec![f32::INFINITY]), false);
+        let p = g.param(Tensor::from_vec(vec![1], vec![2.0]), 0);
+        let y = g.mul(p, huge);
+        let loss = g.sum(y);
+        g.backward(loss);
+        assert!(scan(&g)
+            .iter()
+            .any(|d| d.code == "N002" && d.op == Some(p.index())));
+    }
+}

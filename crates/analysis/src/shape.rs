@@ -1,0 +1,342 @@
+//! Pass 1: shape inference and validation.
+//!
+//! Every tape node records the shape of the value it produced. This pass
+//! independently re-derives that shape from the operand shapes and the
+//! op's metadata — the same rules the kernels implement, but written once,
+//! declaratively, and without touching any data. Disagreement means either
+//! the tape was corrupted or an op recorded something its kernel did not
+//! compute.
+//!
+//! Codes: `S002` when the operands violate the op's geometry constraints
+//! (e.g. a matmul inner-dimension mismatch), `S001` when the operands are
+//! acceptable but the recorded output shape differs from the derived one.
+
+use tensor::{Graph, MmOrient, OpKind};
+
+use crate::{backtrace, Diagnostic, Severity};
+
+/// Depth of the provenance chain attached to shape diagnostics.
+const BACKTRACE_DEPTH: usize = 4;
+
+fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Re-derives the output shape of `kind` from its operand shapes.
+///
+/// `recorded` is the recorded output shape. It is consulted only by ops
+/// whose target geometry is a free parameter not stored on the tape (the
+/// reshape target, the slice length); for those the pass validates the
+/// recorded shape's internal consistency instead of deriving it outright.
+pub fn infer(kind: &OpKind, inputs: &[&[usize]], recorded: &[usize]) -> Result<Vec<usize>, String> {
+    match kind {
+        OpKind::Leaf { .. } => Ok(recorded.to_vec()),
+        OpKind::Add | OpKind::Mul => {
+            let (a, b) = (inputs[0], inputs[1]);
+            if a != b {
+                return Err(format!("elementwise operands differ: {a:?} vs {b:?}"));
+            }
+            Ok(a.to_vec())
+        }
+        OpKind::AddBias => {
+            let (x, bias) = (inputs[0], inputs[1]);
+            if x.len() != 2 {
+                return Err(format!("add_bias input must be 2-D, got {x:?}"));
+            }
+            if numel(bias) != x[1] {
+                return Err(format!(
+                    "bias has {} elements but input {x:?} has {} columns",
+                    numel(bias),
+                    x[1]
+                ));
+            }
+            Ok(x.to_vec())
+        }
+        OpKind::Scale
+        | OpKind::Relu
+        | OpKind::Sigmoid
+        | OpKind::Tanh
+        | OpKind::Softmax
+        | OpKind::Dropout { .. } => Ok(inputs[0].to_vec()),
+        OpKind::Matmul { orient } => {
+            let (a, b) = (inputs[0], inputs[1]);
+            if a.len() != b.len() || !(a.len() == 2 || a.len() == 3) {
+                return Err(format!(
+                    "matmul operands must both be 2-D or both 3-D, got {a:?} and {b:?}"
+                ));
+            }
+            let (batch, a2, b2) = if a.len() == 3 {
+                if a[0] != b[0] {
+                    return Err(format!(
+                        "batched matmul batch dims differ: {} vs {}",
+                        a[0], b[0]
+                    ));
+                }
+                (Some(a[0]), &a[1..], &b[1..])
+            } else {
+                (None, a, b)
+            };
+            // Orientation decides which dims must agree (the contraction
+            // dim k) and which survive (m, n).
+            let (m, ka, kb, n) = match orient {
+                MmOrient::Nn => (a2[0], a2[1], b2[0], b2[1]),
+                MmOrient::Nt => (a2[0], a2[1], b2[1], b2[0]),
+                MmOrient::Tn => (a2[1], a2[0], b2[0], b2[1]),
+            };
+            if ka != kb {
+                return Err(format!(
+                    "matmul inner dims mismatch: m={m} k={ka} vs k={kb} n={n} \
+                     (operands {a:?}, {b:?})"
+                ));
+            }
+            Ok(match batch {
+                Some(bt) => vec![bt, m, n],
+                None => vec![m, n],
+            })
+        }
+        OpKind::RmsNorm => {
+            let (x, gain) = (inputs[0], inputs[1]);
+            let last = *x.last().ok_or("rms_norm input has no dimensions")?;
+            if numel(gain) != last {
+                return Err(format!(
+                    "rms_norm gain has {} elements but the normalized dim is {last}",
+                    numel(gain)
+                ));
+            }
+            Ok(x.to_vec())
+        }
+        OpKind::Embedding { num_ids } => {
+            let table = inputs[0];
+            if table.len() != 2 {
+                return Err(format!("embedding table must be 2-D, got {table:?}"));
+            }
+            Ok(vec![*num_ids, table[1]])
+        }
+        OpKind::Reshape { old_shape } => {
+            let x = inputs[0];
+            if x != old_shape.as_slice() {
+                return Err(format!(
+                    "reshape recorded source shape {old_shape:?} but the input is {x:?}"
+                ));
+            }
+            if numel(recorded) != numel(x) {
+                return Err(format!(
+                    "reshape changes element count: {x:?} ({}) -> {recorded:?} ({})",
+                    numel(x),
+                    numel(recorded)
+                ));
+            }
+            Ok(recorded.to_vec())
+        }
+        OpKind::Permute3 { perm } => {
+            let x = inputs[0];
+            if x.len() != 3 {
+                return Err(format!("permute3 input must be 3-D, got {x:?}"));
+            }
+            let mut seen = [false; 3];
+            for &p in perm {
+                if p > 2 || seen[p] {
+                    return Err(format!("invalid permutation {perm:?}"));
+                }
+                seen[p] = true;
+            }
+            Ok(vec![x[perm[0]], x[perm[1]], x[perm[2]]])
+        }
+        OpKind::CrossEntropy { num_targets } => {
+            let logits = inputs[0];
+            if logits.len() != 2 {
+                return Err(format!("cross_entropy logits must be 2-D, got {logits:?}"));
+            }
+            if logits[0] != *num_targets {
+                return Err(format!(
+                    "cross_entropy has {num_targets} targets for {} logit rows",
+                    logits[0]
+                ));
+            }
+            Ok(vec![1])
+        }
+        OpKind::Sum => Ok(vec![1]),
+        OpKind::ConcatRows { part_rows } => {
+            if inputs.is_empty() {
+                return Err("concat_rows has no parts".into());
+            }
+            let cols = *inputs[0]
+                .get(1)
+                .ok_or_else(|| format!("concat_rows part must be 2-D, got {:?}", inputs[0]))?;
+            let mut total = 0usize;
+            for (i, part) in inputs.iter().enumerate() {
+                if part.len() != 2 || part[1] != cols {
+                    return Err(format!(
+                        "concat_rows part {i} is {part:?}, expected [_, {cols}]"
+                    ));
+                }
+                if part_rows.get(i) != Some(&part[0]) {
+                    return Err(format!(
+                        "concat_rows recorded {:?} rows for part {i} of shape {part:?}",
+                        part_rows.get(i)
+                    ));
+                }
+                total += part[0];
+            }
+            Ok(vec![total, cols])
+        }
+        OpKind::SliceRows { start } => {
+            let x = inputs[0];
+            if x.len() != 2 || recorded.len() != 2 {
+                return Err(format!(
+                    "slice_rows needs 2-D input and output, got {x:?} -> {recorded:?}"
+                ));
+            }
+            if recorded[1] != x[1] {
+                return Err(format!("slice_rows changes width: {x:?} -> {recorded:?}"));
+            }
+            if start + recorded[0] > x[0] {
+                return Err(format!(
+                    "slice_rows reads rows {start}..{} of a {}-row input",
+                    start + recorded[0],
+                    x[0]
+                ));
+            }
+            Ok(recorded.to_vec())
+        }
+    }
+}
+
+/// Runs shape inference over every node of a recorded tape.
+pub fn check(g: &Graph) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    for view in g.op_views() {
+        let input_shapes: Vec<&[usize]> = view
+            .inputs
+            .iter()
+            .map(|&i| g.node_value(i).shape())
+            .collect();
+        match infer(&view.kind, &input_shapes, view.shape) {
+            Err(why) => diagnostics.push(Diagnostic {
+                code: "S002",
+                severity: Severity::Error,
+                op: Some(view.index),
+                message: format!("#{} {}: {why}", view.index, view.kind.name()),
+                backtrace: backtrace(g, view.index, BACKTRACE_DEPTH),
+            }),
+            Ok(derived) if derived != view.shape => diagnostics.push(Diagnostic {
+                code: "S001",
+                severity: Severity::Error,
+                op: Some(view.index),
+                message: format!(
+                    "#{} {}: recorded output shape {:?} but operands derive {:?}",
+                    view.index,
+                    view.kind.name(),
+                    view.shape,
+                    derived
+                ),
+                backtrace: backtrace(g, view.index, BACKTRACE_DEPTH),
+            }),
+            Ok(_) => {}
+        }
+    }
+    diagnostics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::Tensor;
+
+    #[test]
+    fn matmul_inner_mismatch_is_rejected() {
+        let kind = OpKind::Matmul {
+            orient: MmOrient::Nn,
+        };
+        let err = infer(&kind, &[&[2, 3], &[4, 5]], &[2, 5]).unwrap_err();
+        assert!(err.contains("inner dims mismatch"), "{err}");
+        assert!(err.contains("k=3") && err.contains("k=4"), "{err}");
+    }
+
+    #[test]
+    fn matmul_orientations_derive_correctly() {
+        let mk = |o| OpKind::Matmul { orient: o };
+        assert_eq!(
+            infer(&mk(MmOrient::Nn), &[&[2, 3], &[3, 5]], &[]).unwrap(),
+            vec![2, 5]
+        );
+        assert_eq!(
+            infer(&mk(MmOrient::Nt), &[&[2, 3], &[5, 3]], &[]).unwrap(),
+            vec![2, 5]
+        );
+        assert_eq!(
+            infer(&mk(MmOrient::Tn), &[&[3, 2], &[3, 5]], &[]).unwrap(),
+            vec![2, 5]
+        );
+        assert_eq!(
+            infer(&mk(MmOrient::Nt), &[&[4, 2, 3], &[4, 5, 3]], &[]).unwrap(),
+            vec![4, 2, 5]
+        );
+    }
+
+    #[test]
+    fn elementwise_shape_mismatch_is_rejected() {
+        let err = infer(&OpKind::Add, &[&[2, 3], &[3, 2]], &[2, 3]).unwrap_err();
+        assert!(err.contains("elementwise"), "{err}");
+    }
+
+    #[test]
+    fn reshape_must_preserve_element_count() {
+        let kind = OpKind::Reshape {
+            old_shape: vec![2, 6],
+        };
+        assert_eq!(infer(&kind, &[&[2, 6]], &[3, 4]).unwrap(), vec![3, 4]);
+        let err = infer(&kind, &[&[2, 6]], &[3, 5]).unwrap_err();
+        assert!(err.contains("element count"), "{err}");
+    }
+
+    #[test]
+    fn embedding_derives_rows_from_id_count() {
+        let kind = OpKind::Embedding { num_ids: 7 };
+        assert_eq!(infer(&kind, &[&[100, 16]], &[]).unwrap(), vec![7, 16]);
+        assert!(infer(&kind, &[&[100]], &[]).is_err());
+    }
+
+    #[test]
+    fn concat_rows_checks_widths_and_recorded_rows() {
+        let kind = OpKind::ConcatRows {
+            part_rows: vec![2, 3],
+        };
+        assert_eq!(infer(&kind, &[&[2, 4], &[3, 4]], &[]).unwrap(), vec![5, 4]);
+        assert!(infer(&kind, &[&[2, 4], &[3, 5]], &[]).is_err());
+        let stale = OpKind::ConcatRows {
+            part_rows: vec![2, 9],
+        };
+        assert!(infer(&stale, &[&[2, 4], &[3, 4]], &[]).is_err());
+    }
+
+    #[test]
+    fn slice_rows_bounds_are_enforced() {
+        let kind = OpKind::SliceRows { start: 3 };
+        assert_eq!(infer(&kind, &[&[10, 4]], &[5, 4]).unwrap(), vec![5, 4]);
+        assert!(infer(&kind, &[&[10, 4]], &[8, 4]).is_err());
+        assert!(infer(&kind, &[&[10, 4]], &[5, 3]).is_err());
+    }
+
+    #[test]
+    fn check_fires_on_a_corrupted_tape() {
+        // Build a valid tape, then corrupt one recorded shape: the pass must
+        // localize the damage to that op with provenance.
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![2, 3], vec![1.0; 6]), false);
+        let w = g.param(Tensor::from_vec(vec![3, 4], vec![0.1; 12]), 0);
+        let y = g.matmul(x, w);
+        let _loss = g.sum(y);
+        assert!(check(&g).is_empty());
+
+        g.override_shape_for_test(y.index(), vec![4, 2]);
+        let diags = check(&g);
+        let hit = diags
+            .iter()
+            .find(|d| d.op == Some(y.index()))
+            .expect("corrupted matmul flagged");
+        assert_eq!(hit.code, "S001");
+        assert!(hit.message.contains("[4, 2]") && hit.message.contains("[2, 4]"));
+        assert!(hit.backtrace[0].starts_with(&format!("at #{} matmul", y.index())));
+    }
+}

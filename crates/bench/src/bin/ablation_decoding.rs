@@ -47,7 +47,10 @@ fn main() {
 
     let widths = [22usize, 9, 9, 9, 9];
     let mut r = Report::new("Ablation — decoding strategy on one DataVisT5 (base) MFT checkpoint");
-    r.row(&widths, &["Strategy", "nj Vis", "nj Axis", "nj Data", "nj EM"]);
+    r.row(
+        &widths,
+        &["Strategy", "nj Vis", "nj Axis", "nj Data", "nj EM"],
+    );
     r.rule(&widths);
 
     // Greedy.
@@ -57,7 +60,13 @@ fn main() {
     let s = eval_text_to_vis(&*greedy, &examples, &zoo.corpus, cap).non_join;
     r.row(
         &widths,
-        &["greedy", &m4(s.vis_em), &m4(s.axis_em), &m4(s.data_em), &m4(s.em)],
+        &[
+            "greedy",
+            &m4(s.vis_em),
+            &m4(s.axis_em),
+            &m4(s.data_em),
+            &m4(s.em),
+        ],
     );
 
     // Beam 4.
@@ -71,7 +80,13 @@ fn main() {
     let s = eval_text_to_vis(&beam, &examples, &zoo.corpus, cap).non_join;
     r.row(
         &widths,
-        &["beam-4", &m4(s.vis_em), &m4(s.axis_em), &m4(s.data_em), &m4(s.em)],
+        &[
+            "beam-4",
+            &m4(s.vis_em),
+            &m4(s.axis_em),
+            &m4(s.data_em),
+            &m4(s.em),
+        ],
     );
 
     // Grammar-constrained (the ncNet trick on our weights).

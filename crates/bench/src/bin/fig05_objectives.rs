@@ -31,8 +31,18 @@ fn main() {
             .iter()
             .find(|e| e.task == task && e.split == corpus::Split::Train)
         {
-            r.line(format!("  [{}] forward:  {} -> {}", task.label(), clip(&e.input), clip(&e.output)));
-            r.line(format!("  [{}] backward: {} -> {}", task.label(), clip(&e.output), clip(&e.input)));
+            r.line(format!(
+                "  [{}] forward:  {} -> {}",
+                task.label(),
+                clip(&e.input),
+                clip(&e.output)
+            ));
+            r.line(format!(
+                "  [{}] backward: {} -> {}",
+                task.label(),
+                clip(&e.output),
+                clip(&e.input)
+            ));
         }
     }
     r.line("");

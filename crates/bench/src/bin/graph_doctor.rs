@@ -1,0 +1,76 @@
+//! Graph Doctor CLI: static diagnosis of the model presets' autodiff tapes.
+//!
+//! For each size tier (`base`, `large`) at the `DATAVIST5_SCALE` scale,
+//! this builds the T5 model, records one training tape and one eval tape
+//! on a synthetic example, and runs every analyzer pass — shape inference,
+//! gradient-flow lints, and a full numeric scan of values and gradients.
+//! A healthy checkout prints a clean report for every preset; any error
+//! diagnostic makes the process exit nonzero.
+//!
+//! ```text
+//! cargo run --release --bin graph_doctor
+//! ```
+
+use analysis::{diagnose_full, TapeMode};
+use datavist5::config::{Scale, Size};
+use nn::param::ParamSet;
+use nn::t5::{T5Model, DECODER_START};
+use tensor::{Graph, XorShift};
+
+fn main() {
+    let scale = Scale::from_env();
+    let vocab = 64usize;
+    let src: Vec<u32> = (5u32..21).collect();
+    let tgt: Vec<u32> = (7u32..19).chain([1]).collect();
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for (size, preset) in [(Size::Base, "base"), (Size::Large, "large")] {
+        let cfg = scale.t5_config(size, vocab);
+        let mut ps = ParamSet::new();
+        let mut rng = XorShift::new(0xd0c + preset.len() as u64);
+        let model = T5Model::new(&mut ps, preset, cfg, &mut rng);
+
+        // Training tape: teacher-forced loss plus a backward pass, so the
+        // numeric scan covers gradients too.
+        let mut g = Graph::with_seed(1);
+        let loss = model.loss(&mut g, &ps, &src, &tgt, 0.1);
+        g.backward(loss);
+        let train_report = diagnose_full(&g, loss, TapeMode::Train);
+        println!(
+            "== preset {preset} ({}) train tape: {} ops, {} params ==",
+            size.label(),
+            g.len(),
+            ps.len()
+        );
+        println!("{train_report}");
+        errors += train_report.error_count();
+        warnings += train_report.warning_count();
+
+        // Eval tape: same computation with dropout disabled — checked under
+        // eval-mode semantics (any recorded dropout op would be flagged).
+        let mut ge = Graph::with_seed(2);
+        let src_ids: Vec<usize> = src.iter().map(|&t| t as usize).collect();
+        let mut dec_input: Vec<usize> = vec![DECODER_START as usize];
+        dec_input.extend(tgt[..tgt.len() - 1].iter().map(|&t| t as usize));
+        let targets: Vec<usize> = tgt.iter().map(|&t| t as usize).collect();
+        let enc_out = model.encode(&mut ge, &ps, &src_ids, false);
+        let dec_out = model.decode_all(&mut ge, &ps, enc_out, &dec_input, false);
+        let logits = model.logits(&mut ge, &ps, dec_out);
+        let eval_loss = ge.cross_entropy(logits, &targets, 0.0);
+        let eval_report = diagnose_full(&ge, eval_loss, TapeMode::Eval);
+        println!(
+            "== preset {preset} ({}) eval tape: {} ops ==",
+            size.label(),
+            ge.len()
+        );
+        println!("{eval_report}");
+        errors += eval_report.error_count();
+        warnings += eval_report.warning_count();
+    }
+
+    println!("graph_doctor total: {errors} error(s), {warnings} warning(s)");
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -16,20 +16,34 @@ fn main() {
     let scale = experiment_scale();
     let zoo = Zoo::new(scale);
     let max_len = scale.max_len();
-    let train =
-        single_task_examples(&zoo.datasets, Task::TextToVis, &zoo.tok, max_len, Split::Train);
+    let train = single_task_examples(
+        &zoo.datasets,
+        Task::TextToVis,
+        &zoo.tok,
+        max_len,
+        Split::Train,
+    );
     println!("train examples: {}", train.len());
     println!(
         "sample src len {}, tgt len {}",
         train[0].0.len(),
         train[0].1.len()
     );
-    println!("sample tgt ids: {:?}", &train[0].1[..train[0].1.len().min(12)]);
+    println!(
+        "sample tgt ids: {:?}",
+        &train[0].1[..train[0].1.len().min(12)]
+    );
 
     let env = |k: &str, d: usize| -> usize {
-        std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+        std::env::var(k)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(d)
     };
-    let lr_env: f32 = std::env::var("LR").ok().and_then(|v| v.parse().ok()).unwrap_or(5e-3);
+    let lr_env: f32 = std::env::var("LR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5e-3);
     let steps_env = env("STEPS", 400);
     let rounds = env("ROUNDS", 4);
     let (model, mut ps) = {
@@ -42,14 +56,16 @@ fn main() {
         cfg.heads = env("HEADS", cfg.heads);
         cfg.enc_layers = env("LAYERS", cfg.enc_layers);
         cfg.dec_layers = cfg.enc_layers;
-        println!("cfg: d={} ff={} heads={} layers={} lr={} steps/round={}",
-            cfg.d_model, cfg.d_ff, cfg.heads, cfg.enc_layers, lr_env, steps_env);
+        println!(
+            "cfg: d={} ff={} heads={} layers={} lr={} steps/round={}",
+            cfg.d_model, cfg.d_ff, cfg.heads, cfg.enc_layers, lr_env, steps_env
+        );
         let model = nn::t5::T5Model::new(&mut ps, "dbg", cfg, &mut rng);
         (model, ps)
     };
     let before = eval_mean(&model, &ps, &train[..16.min(train.len())]);
     println!("loss before: {before:.3}");
-    for (steps, lr) in std::iter::repeat((steps_env, lr_env)).take(rounds) {
+    for (steps, lr) in std::iter::repeat_n((steps_env, lr_env), rounds) {
         let cfg = TrainConfig {
             steps,
             accum: 8,
@@ -57,6 +73,8 @@ fn main() {
             smoothing: 0.0,
             seed: 7,
             eval_every: 0,
+            doctor: true,
+            sanitizer: analysis::SanitizerMode::FirstStep,
         };
         train_seq2seq(&model, &mut ps, &train, &[], &cfg);
         let loss = eval_mean(&model, &ps, &train[..16.min(train.len())]);

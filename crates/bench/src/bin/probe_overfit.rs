@@ -40,6 +40,8 @@ fn main() {
             smoothing: 0.0,
             seed: round as u64,
             eval_every: 0,
+            doctor: round == 0,
+            sanitizer: analysis::SanitizerMode::FirstStep,
         };
         train_seq2seq(&model, &mut ps, &data, &[], &tc);
         let loss = nn::train::eval_mean(&model, &ps, &data);
@@ -52,9 +54,7 @@ fn main() {
         let (src_j, _) = &data[(i + 5) % data.len()];
         let own = model.eval_loss(&ps, src_i, tgt_i);
         let crossed = model.eval_loss(&ps, src_j, tgt_i);
-        println!(
-            "example {i}: loss(tgt|own src) = {own:.3}  loss(tgt|wrong src) = {crossed:.3}"
-        );
+        println!("example {i}: loss(tgt|own src) = {own:.3}  loss(tgt|wrong src) = {crossed:.3}");
     }
     let mut exact = 0;
     for (i, e) in subset.iter().take(8).enumerate() {

@@ -32,7 +32,10 @@ fn main() {
 
     let widths = [8usize, 24, 26];
     let mut r = Report::new("Table II — Chart2Text / WikiTableText statistics");
-    r.row(&widths, &["Split", "Chart2Text (paper)", "WikiTableText (paper)"]);
+    r.row(
+        &widths,
+        &["Split", "Chart2Text (paper)", "WikiTableText (paper)"],
+    );
     r.rule(&widths);
     let c2t = split_counts(&corpus, &corpus.chart2text);
     let wtt = split_counts(&corpus, &corpus.wikitabletext);
@@ -49,14 +52,37 @@ fn main() {
         );
     }
     r.line("");
-    r.row(&widths, &["Cells", "Chart2Text (paper)", "WikiTableText (paper)"]);
+    r.row(
+        &widths,
+        &["Cells", "Chart2Text (paper)", "WikiTableText (paper)"],
+    );
     r.rule(&widths);
     let (c_min, c_max, c_le, c_gt) = cell_stats(&corpus.chart2text);
     let (w_min, w_max, w_le, w_gt) = cell_stats(&corpus.wikitabletext);
-    r.row(&widths, &["Min.", &format!("{c_min} (4)"), &format!("{w_min} (27)")]);
-    r.row(&widths, &["Max.", &format!("{c_max} (8000)"), &format!("{w_max} (108)")]);
-    r.row(&widths, &["<=150", &format!("{c_le} (34272)"), &format!("{w_le} (13318)")]);
-    r.row(&widths, &[">150", &format!("{c_gt} (539)"), &format!("{w_gt} (0)")]);
+    r.row(
+        &widths,
+        &["Min.", &format!("{c_min} (4)"), &format!("{w_min} (27)")],
+    );
+    r.row(
+        &widths,
+        &[
+            "Max.",
+            &format!("{c_max} (8000)"),
+            &format!("{w_max} (108)"),
+        ],
+    );
+    r.row(
+        &widths,
+        &[
+            "<=150",
+            &format!("{c_le} (34272)"),
+            &format!("{w_le} (13318)"),
+        ],
+    );
+    r.row(
+        &widths,
+        &[">150", &format!("{c_gt} (539)"), &format!("{w_gt} (0)")],
+    );
     r.line("");
     r.line(
         "The >150-cell rows are filtered before pre-training exactly as §IV-B prescribes; \

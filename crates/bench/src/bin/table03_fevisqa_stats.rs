@@ -15,7 +15,15 @@ fn main() {
     let mut r = Report::new("Table III — FeVisQA statistics (measured, paper in parens)");
     r.row(
         &widths,
-        &["Split", "databases", "QA pairs", "DV query", "Type 1", "Type 2", "Type 3"],
+        &[
+            "Split",
+            "databases",
+            "QA pairs",
+            "DV query",
+            "Type 1",
+            "Type 2",
+            "Type 3",
+        ],
     );
     r.rule(&widths);
 

@@ -12,16 +12,78 @@ use datavist5::zoo::{ModelKind, Regime, Zoo};
 /// Paper values: (model, [nj_vis, nj_axis, nj_data, nj_em, j_vis, j_axis, j_data, j_em]).
 const PAPER: &[(&str, [f64; 8])] = &[
     ("Seq2Vis", [0.8027, 0.0, 0.0024, 0.0, 0.8342, 0.0, 0.0, 0.0]),
-    ("Transformer", [0.8598, 0.0071, 0.0646, 0.0024, 0.9798, 0.0021, 0.0404, 0.0]),
-    ("ncNet", [0.9311, 0.2442, 0.5152, 0.1465, f64::NAN, f64::NAN, f64::NAN, f64::NAN]),
-    ("RGVisNet", [0.9701, 0.5963, 0.5423, 0.4675, f64::NAN, f64::NAN, f64::NAN, f64::NAN]),
-    ("CodeT5+ (220M) +SFT", [0.9795, 0.7889, 0.6239, 0.6010, 0.9843, 0.4065, 0.3425, 0.2968]),
-    ("CodeT5+ (770M) +SFT", [0.9827, 0.7850, 0.6696, 0.6668, 0.9865, 0.4024, 0.3713, 0.3399]),
-    ("GPT-4 (few-shot)", [0.9700, 0.5507, 0.6425, 0.4726, 0.9790, 0.2755, 0.3708, 0.2313]),
-    ("LLama2-7b +LoRA", [0.9323, 0.7432, 0.6203, 0.6420, 0.9446, 0.4281, 0.3174, 0.3327]),
-    ("Mistral-7b +LoRA", [0.9821, 0.7753, 0.6649, 0.6761, 0.9246, 0.4310, 0.3386, 0.3374]),
-    ("DataVisT5 (220M) +MFT", [0.9827, 0.8078, 0.6680, 0.6688, 0.9873, 0.4123, 0.3586, 0.3324]),
-    ("DataVisT5 (770M) +MFT", [0.9850, 0.7983, 0.6770, 0.6833, 0.9884, 0.4112, 0.3863, 0.3451]),
+    (
+        "Transformer",
+        [0.8598, 0.0071, 0.0646, 0.0024, 0.9798, 0.0021, 0.0404, 0.0],
+    ),
+    (
+        "ncNet",
+        [
+            0.9311,
+            0.2442,
+            0.5152,
+            0.1465,
+            f64::NAN,
+            f64::NAN,
+            f64::NAN,
+            f64::NAN,
+        ],
+    ),
+    (
+        "RGVisNet",
+        [
+            0.9701,
+            0.5963,
+            0.5423,
+            0.4675,
+            f64::NAN,
+            f64::NAN,
+            f64::NAN,
+            f64::NAN,
+        ],
+    ),
+    (
+        "CodeT5+ (220M) +SFT",
+        [
+            0.9795, 0.7889, 0.6239, 0.6010, 0.9843, 0.4065, 0.3425, 0.2968,
+        ],
+    ),
+    (
+        "CodeT5+ (770M) +SFT",
+        [
+            0.9827, 0.7850, 0.6696, 0.6668, 0.9865, 0.4024, 0.3713, 0.3399,
+        ],
+    ),
+    (
+        "GPT-4 (few-shot)",
+        [
+            0.9700, 0.5507, 0.6425, 0.4726, 0.9790, 0.2755, 0.3708, 0.2313,
+        ],
+    ),
+    (
+        "LLama2-7b +LoRA",
+        [
+            0.9323, 0.7432, 0.6203, 0.6420, 0.9446, 0.4281, 0.3174, 0.3327,
+        ],
+    ),
+    (
+        "Mistral-7b +LoRA",
+        [
+            0.9821, 0.7753, 0.6649, 0.6761, 0.9246, 0.4310, 0.3386, 0.3374,
+        ],
+    ),
+    (
+        "DataVisT5 (220M) +MFT",
+        [
+            0.9827, 0.8078, 0.6680, 0.6688, 0.9873, 0.4123, 0.3586, 0.3324,
+        ],
+    ),
+    (
+        "DataVisT5 (770M) +MFT",
+        [
+            0.9850, 0.7983, 0.6770, 0.6833, 0.9884, 0.4112, 0.3863, 0.3451,
+        ],
+    ),
 ];
 
 fn main() {
@@ -60,6 +122,7 @@ fn main() {
     );
     r.rule(&widths);
 
+    let mut lint_rows: Vec<(String, vql::LintCounts)> = Vec::new();
     for kind in systems {
         let label = kind.label();
         eprintln!("[table04] training/evaluating {label}…");
@@ -77,6 +140,7 @@ fn main() {
         };
         let nj = scores.non_join;
         let j = scores.join;
+        lint_rows.push((label.clone(), scores.lints));
         r.row(
             &widths,
             &[
@@ -108,6 +172,15 @@ fn main() {
                 ],
             );
         }
+    }
+    r.line("");
+    r.line(
+        "Generated-query lints (V001 unknown column, V002 aggregate on non-numeric, \
+         V003 channel arity, V004 unknown table, V005 group w/o aggregate, V006 aggregate \
+         w/o group):",
+    );
+    for (label, lints) in &lint_rows {
+        r.line(format!("  {label:<24} {lints}"));
     }
     r.line("");
     r.line(

@@ -9,16 +9,46 @@ use datavist5::zoo::{ModelKind, Regime, Zoo};
 
 /// Paper values: BLEU-1/2/4, ROUGE-1/2/L, METEOR.
 const PAPER: &[(&str, [f64; 7])] = &[
-    ("Seq2Vis", [0.2766, 0.1520, 0.0296, 0.3571, 0.1343, 0.2893, 0.2528]),
-    ("Transformer", [0.2825, 0.1635, 0.0345, 0.3634, 0.1476, 0.2958, 0.2755]),
-    ("BART", [0.4301, 0.2892, 0.1009, 0.4721, 0.2209, 0.3647, 0.4586]),
-    ("CodeT5+ (220M) +SFT", [0.4431, 0.3060, 0.1236, 0.4873, 0.2403, 0.3770, 0.4872]),
-    ("CodeT5+ (770M) +SFT", [0.4518, 0.3154, 0.1278, 0.4898, 0.2431, 0.3928, 0.4965]),
-    ("GPT-4 (few-shot)", [0.3843, 0.2210, 0.0387, 0.4180, 0.1527, 0.2925, 0.4350]),
-    ("LLama2-7b +LoRA", [0.3029, 0.1520, 0.0314, 0.3581, 0.1055, 0.2733, 0.3028]),
-    ("Mistral-7b +LoRA", [0.3512, 0.2431, 0.0897, 0.4402, 0.2158, 0.3549, 0.3925]),
-    ("DataVisT5 (220M) +MFT", [0.4584, 0.3160, 0.1245, 0.5000, 0.2437, 0.3978, 0.4986]),
-    ("DataVisT5 (770M) +MFT", [0.4566, 0.3155, 0.1332, 0.4974, 0.2460, 0.3986, 0.4851]),
+    (
+        "Seq2Vis",
+        [0.2766, 0.1520, 0.0296, 0.3571, 0.1343, 0.2893, 0.2528],
+    ),
+    (
+        "Transformer",
+        [0.2825, 0.1635, 0.0345, 0.3634, 0.1476, 0.2958, 0.2755],
+    ),
+    (
+        "BART",
+        [0.4301, 0.2892, 0.1009, 0.4721, 0.2209, 0.3647, 0.4586],
+    ),
+    (
+        "CodeT5+ (220M) +SFT",
+        [0.4431, 0.3060, 0.1236, 0.4873, 0.2403, 0.3770, 0.4872],
+    ),
+    (
+        "CodeT5+ (770M) +SFT",
+        [0.4518, 0.3154, 0.1278, 0.4898, 0.2431, 0.3928, 0.4965],
+    ),
+    (
+        "GPT-4 (few-shot)",
+        [0.3843, 0.2210, 0.0387, 0.4180, 0.1527, 0.2925, 0.4350],
+    ),
+    (
+        "LLama2-7b +LoRA",
+        [0.3029, 0.1520, 0.0314, 0.3581, 0.1055, 0.2733, 0.3028],
+    ),
+    (
+        "Mistral-7b +LoRA",
+        [0.3512, 0.2431, 0.0897, 0.4402, 0.2158, 0.3549, 0.3925],
+    ),
+    (
+        "DataVisT5 (220M) +MFT",
+        [0.4584, 0.3160, 0.1245, 0.5000, 0.2437, 0.3978, 0.4986],
+    ),
+    (
+        "DataVisT5 (770M) +MFT",
+        [0.4566, 0.3155, 0.1332, 0.4974, 0.2460, 0.3986, 0.4851],
+    ),
 ];
 
 fn main() {
@@ -45,7 +75,9 @@ fn main() {
     r.line(format!("test examples: {} | cap: {cap}", examples.len()));
     r.row(
         &widths,
-        &["Model", "BLEU-1", "BLEU-2", "BLEU-4", "ROUGE-1", "ROUGE-2", "ROUGE-L", "METEOR"],
+        &[
+            "Model", "BLEU-1", "BLEU-2", "BLEU-4", "ROUGE-1", "ROUGE-2", "ROUGE-L", "METEOR",
+        ],
     );
     r.rule(&widths);
 

@@ -11,16 +11,56 @@ use datavist5::zoo::{ModelKind, Regime, Zoo};
 
 /// Paper values: (fevisqa [b1, r1, rl, meteor], table-to-text [b4, r1, rl, meteor]).
 const PAPER: &[(&str, [f64; 4], [f64; 4])] = &[
-    ("Seq2Vis", [0.3642, 0.3755, 0.3683, 0.1955], [0.1575, 0.4539, 0.3995, 0.3324]),
-    ("Transformer", [0.2868, 0.2984, 0.2903, 0.1556], [0.0875, 0.3838, 0.3152, 0.2642]),
-    ("BART", [0.7379, 0.7391, 0.7290, 0.4376], [0.3824, 0.6314, 0.5549, 0.5845]),
-    ("CodeT5+ (220M) +SFT", [0.6813, 0.6801, 0.6694, 0.4086], [0.3814, 0.6183, 0.5450, 0.5844]),
-    ("CodeT5+ (770M) +SFT", [0.7039, 0.7032, 0.6930, 0.4211], [0.3848, 0.6284, 0.5511, 0.5946]),
-    ("GPT-4 (few-shot)", [0.1148, 0.1731, 0.1599, 0.2312], [0.1565, 0.4277, 0.3281, 0.4146]),
-    ("LLama2-7b +LoRA", [0.4214, 0.4336, 0.4223, 0.2582], [0.2010, 0.4988, 0.4523, 0.3923]),
-    ("Mistral-7b +LoRA", [0.7404, 0.7671, 0.7574, 0.4251], [0.2003, 0.5002, 0.4538, 0.3948]),
-    ("DataVisT5 (220M) +MFT", [0.7164, 0.7158, 0.7051, 0.4273], [0.3822, 0.6259, 0.5478, 0.5926]),
-    ("DataVisT5 (770M) +MFT", [0.7893, 0.7895, 0.7788, 0.4671], [0.4199, 0.6520, 0.5775, 0.6227]),
+    (
+        "Seq2Vis",
+        [0.3642, 0.3755, 0.3683, 0.1955],
+        [0.1575, 0.4539, 0.3995, 0.3324],
+    ),
+    (
+        "Transformer",
+        [0.2868, 0.2984, 0.2903, 0.1556],
+        [0.0875, 0.3838, 0.3152, 0.2642],
+    ),
+    (
+        "BART",
+        [0.7379, 0.7391, 0.7290, 0.4376],
+        [0.3824, 0.6314, 0.5549, 0.5845],
+    ),
+    (
+        "CodeT5+ (220M) +SFT",
+        [0.6813, 0.6801, 0.6694, 0.4086],
+        [0.3814, 0.6183, 0.5450, 0.5844],
+    ),
+    (
+        "CodeT5+ (770M) +SFT",
+        [0.7039, 0.7032, 0.6930, 0.4211],
+        [0.3848, 0.6284, 0.5511, 0.5946],
+    ),
+    (
+        "GPT-4 (few-shot)",
+        [0.1148, 0.1731, 0.1599, 0.2312],
+        [0.1565, 0.4277, 0.3281, 0.4146],
+    ),
+    (
+        "LLama2-7b +LoRA",
+        [0.4214, 0.4336, 0.4223, 0.2582],
+        [0.2010, 0.4988, 0.4523, 0.3923],
+    ),
+    (
+        "Mistral-7b +LoRA",
+        [0.7404, 0.7671, 0.7574, 0.4251],
+        [0.2003, 0.5002, 0.4538, 0.3948],
+    ),
+    (
+        "DataVisT5 (220M) +MFT",
+        [0.7164, 0.7158, 0.7051, 0.4273],
+        [0.3822, 0.6259, 0.5478, 0.5926],
+    ),
+    (
+        "DataVisT5 (770M) +MFT",
+        [0.7893, 0.7895, 0.7788, 0.4671],
+        [0.4199, 0.6520, 0.5775, 0.6227],
+    ),
 ];
 
 fn main() {
@@ -44,9 +84,8 @@ fn main() {
     ];
 
     let widths = [24usize, 9, 9, 9, 9, 9, 9, 9, 9];
-    let mut r = Report::new(
-        "Table VIII — FeVisQA and table-to-text (measured; paper below each row)",
-    );
+    let mut r =
+        Report::new("Table VIII — FeVisQA and table-to-text (measured; paper below each row)");
     r.line(format!(
         "FeVisQA test: {} | table-to-text test: {} | cap: {cap}",
         qa_examples.len(),
@@ -55,8 +94,7 @@ fn main() {
     r.row(
         &widths,
         &[
-            "Model", "qa B-1", "qa R-1", "qa R-L", "qa MET", "tt B-4", "tt R-1", "tt R-L",
-            "tt MET",
+            "Model", "qa B-1", "qa R-1", "qa R-L", "qa MET", "tt B-4", "tt R-1", "tt R-L", "tt MET",
         ],
     );
     r.rule(&widths);

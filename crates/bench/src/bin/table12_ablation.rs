@@ -78,10 +78,18 @@ fn main() {
     ];
 
     let widths = [24usize, 12, 12, 10, 14, 8];
-    let mut r = Report::new("Table XII — ablations: per-task average metric ×100 (paper in parens)");
+    let mut r =
+        Report::new("Table XII — ablations: per-task average metric ×100 (paper in parens)");
     r.row(
         &widths,
-        &["Variant", "text-to-vis", "vis-to-text", "fevisqa", "table-to-text", "mean"],
+        &[
+            "Variant",
+            "text-to-vis",
+            "vis-to-text",
+            "fevisqa",
+            "table-to-text",
+            "mean",
+        ],
     );
     r.rule(&widths);
 
@@ -91,25 +99,21 @@ fn main() {
             let trained = zoo.train_model_cached(v.kind, task);
             zoo.predictor(v.kind, trained)
         };
-        let (p_t2v, p_v2t, p_qa, p_tt): (
-            Box<dyn Predictor>,
-            Box<dyn Predictor>,
-            Box<dyn Predictor>,
-            Box<dyn Predictor>,
-        ) = if v.per_task_sft {
-            (
+        type PerTask<'a> = [Box<dyn Predictor + 'a>; 4];
+        let [p_t2v, p_v2t, p_qa, p_tt]: PerTask<'_> = if v.per_task_sft {
+            [
                 predictor_for(Some(Task::TextToVis)),
                 predictor_for(Some(Task::VisToText)),
                 predictor_for(Some(Task::FeVisQa)),
                 predictor_for(Some(Task::TableToText)),
-            )
+            ]
         } else {
-            (
+            [
                 predictor_for(None),
                 predictor_for(None),
                 predictor_for(None),
                 predictor_for(None),
-            )
+            ]
         };
         let s_t2v = eval_text_to_vis(&*p_t2v, &t2v, &zoo.corpus, cap).mean_metric();
         let s_v2t = eval_text_gen(&*p_v2t, &v2t, cap).mean_metric();

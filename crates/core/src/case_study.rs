@@ -154,7 +154,9 @@ mod tests {
             &corpus,
             &[("Broken".into(), "visualize bar select nothing".into())],
         );
-        assert!(case.render().contains("No image due to errors in the DV query"));
+        assert!(case
+            .render()
+            .contains("No image due to errors in the DV query"));
     }
 
     #[test]
@@ -172,7 +174,12 @@ mod tests {
         let e = &datasets.of(Task::VisToText, Split::Test)[0];
         let gold = strip_prefix(Task::VisToText, &e.output);
         assert!(is_correct(Task::VisToText, &gold, e, &corpus));
-        assert!(!is_correct(Task::VisToText, "completely unrelated words", e, &corpus));
+        assert!(!is_correct(
+            Task::VisToText,
+            "completely unrelated words",
+            e,
+            &corpus
+        ));
     }
 
     #[test]

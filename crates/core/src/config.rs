@@ -5,6 +5,7 @@
 //! that trades fidelity for wall-clock so the experiment binaries can run
 //! at `Full` scale while tests and Criterion benches use `Smoke`.
 
+use analysis::SanitizerMode;
 use corpus::CorpusConfig;
 use nn::t5::{Positional, T5Config};
 
@@ -154,6 +155,13 @@ impl Scale {
             Scale::Full => 60,
         }
     }
+
+    /// Numeric-sanitizer schedule for training loops, read from
+    /// `DATAVIST5_SANITIZE` (`off`, `first`, `every:<n>`). Defaults to
+    /// scanning the first step only — one tape scan per run.
+    pub fn sanitizer_mode(&self) -> SanitizerMode {
+        SanitizerMode::from_env()
+    }
 }
 
 #[cfg(test)]
@@ -168,9 +176,7 @@ mod tests {
         assert!(f.finetune_steps() > s.finetune_steps());
         assert!(f.eval_cap() > s.eval_cap());
         assert!(f.max_len() > s.max_len());
-        assert!(
-            f.corpus_config().queries_per_db > s.corpus_config().queries_per_db
-        );
+        assert!(f.corpus_config().queries_per_db > s.corpus_config().queries_per_db);
     }
 
     #[test]

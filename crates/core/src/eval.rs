@@ -7,20 +7,30 @@
 //!   blocks).
 //! * Vis-to-text / FeVisQA / table-to-text: BLEU-1/2/4, ROUGE-1/2/L F1,
 //!   and METEOR over `(prediction, reference)` pairs.
+//!
+//! Text-to-vis additionally runs every model-generated query through the
+//! VQL lint pass ([`vql::lint`], codes V001–V006) against the example's
+//! database — including the type-aware V002 check, whose column-type
+//! oracle is projected from the storage engine's typed catalog — and
+//! reports the per-code tallies alongside the EM scores.
 
 use corpus::Corpus;
 use metrics::{bleu, meteor, rouge_l, rouge_n};
+use storage::Database;
 use vql::compare::{compare_queries, ComponentMatch, EmScores};
 use vql::standardize::parse_standardized;
+use vql::{ColumnTypes, LintCounts};
 
 use crate::data::TaskExample;
 use crate::zoo::Predictor;
 
-/// Table IV row: EM family on the non-join and join subsets.
+/// Table IV row: EM family on the non-join and join subsets, plus the lint
+/// tally over every generated query.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TextToVisScores {
     pub non_join: EmScores,
     pub join: EmScores,
+    pub lints: LintCounts,
 }
 
 impl TextToVisScores {
@@ -40,7 +50,12 @@ impl TextToVisScores {
 }
 
 /// Scores one text-to-vis prediction against its gold query.
-pub fn score_text_to_vis(prediction: &str, gold: &str, corpus: &Corpus, db_name: &str) -> ComponentMatch {
+pub fn score_text_to_vis(
+    prediction: &str,
+    gold: &str,
+    corpus: &Corpus,
+    db_name: &str,
+) -> ComponentMatch {
     let Some(db) = corpus.database(db_name) else {
         return ComponentMatch::default();
     };
@@ -54,7 +69,33 @@ pub fn score_text_to_vis(prediction: &str, gold: &str, corpus: &Corpus, db_name:
     }
 }
 
-/// Evaluates a predictor on text-to-vis examples, splitting join/non-join.
+/// Projects a storage database's typed catalog into the string-keyed
+/// column-type oracle the VQL linter consumes (V002: aggregate on a
+/// non-numeric column).
+pub fn column_types(db: &Database) -> ColumnTypes {
+    let mut types = ColumnTypes::new();
+    for table in &db.tables {
+        for col in &table.columns {
+            types.insert(&table.name, &col.name, col.ty.is_numeric());
+        }
+    }
+    types
+}
+
+/// Lints one prediction string against its database, folding the result
+/// into `counts`.
+fn lint_prediction(prediction: &str, corpus: &Corpus, db_name: &str, counts: &mut LintCounts) {
+    let Some(db) = corpus.database(db_name) else {
+        return;
+    };
+    match vql::parse_query(prediction) {
+        Ok(q) => counts.record(&vql::lint(&q, &db.schema(), Some(&column_types(db)))),
+        Err(_) => counts.record_unparsed(),
+    }
+}
+
+/// Evaluates a predictor on text-to-vis examples, splitting join/non-join
+/// and linting every generated query.
 pub fn eval_text_to_vis(
     predictor: &dyn Predictor,
     examples: &[&TaskExample],
@@ -65,6 +106,7 @@ pub fn eval_text_to_vis(
     let mut join = Vec::new();
     let mut n_nj = 0usize;
     let mut n_j = 0usize;
+    let mut lints = LintCounts::default();
     for e in examples {
         let bucket_full = if e.has_join { n_j >= cap } else { n_nj >= cap };
         if bucket_full {
@@ -73,6 +115,7 @@ pub fn eval_text_to_vis(
         let gold = e.gold_query.as_deref().unwrap_or_default();
         let pred = predictor.predict(e);
         let m = score_text_to_vis(&pred, gold, corpus, &e.db_name);
+        lint_prediction(&pred, corpus, &e.db_name, &mut lints);
         if e.has_join {
             join.push(m);
             n_j += 1;
@@ -84,6 +127,7 @@ pub fn eval_text_to_vis(
     TextToVisScores {
         non_join: EmScores::from_matches(&non_join),
         join: EmScores::from_matches(&join),
+        lints,
     }
 }
 
@@ -117,7 +161,12 @@ impl TextGenScores {
 
     /// Mean of the seven metrics (Table XII per-task summary).
     pub fn mean_metric(&self) -> f64 {
-        (self.bleu1 + self.bleu2 + self.bleu4 + self.rouge1 + self.rouge2 + self.rouge_l
+        (self.bleu1
+            + self.bleu2
+            + self.bleu4
+            + self.rouge1
+            + self.rouge2
+            + self.rouge_l
             + self.meteor)
             / 7.0
     }
@@ -221,7 +270,12 @@ mod tests {
         let e = datasets
             .of(Task::TextToVis, Split::Test)
             .into_iter()
-            .find(|e| e.gold_query.as_deref().unwrap_or("").starts_with("visualize bar"))
+            .find(|e| {
+                e.gold_query
+                    .as_deref()
+                    .unwrap_or("")
+                    .starts_with("visualize bar")
+            })
             .expect("a bar-chart example exists");
         let gold = e.gold_query.clone().unwrap();
         // Flip the chart type only.
@@ -232,10 +286,94 @@ mod tests {
     }
 
     #[test]
+    fn oracle_predictions_lint_clean() {
+        let (corpus, datasets) = fixtures();
+        let examples = datasets.of(Task::TextToVis, Split::Test);
+        let scores = eval_text_to_vis(&Oracle, &examples, &corpus, 50);
+        let lints = scores.lints;
+        assert!(lints.checked > 0);
+        assert_eq!(lints.unparsed, 0);
+        // Gold queries are generated against the schema, so the linter must
+        // accept every one of them (including the V002 type check).
+        assert_eq!(lints.clean, lints.checked, "{lints}");
+        assert_eq!(lints.clean_rate(), 1.0);
+    }
+
+    #[test]
+    fn noise_predictions_count_as_unparsed() {
+        let (corpus, datasets) = fixtures();
+        let examples = datasets.of(Task::TextToVis, Split::Test);
+        let scores = eval_text_to_vis(&Noise, &examples, &corpus, 50);
+        assert_eq!(scores.lints.unparsed, scores.lints.checked);
+        assert_eq!(scores.lints.clean_rate(), 0.0);
+    }
+
+    #[test]
+    fn column_types_reflect_storage_catalog() {
+        let (corpus, datasets) = fixtures();
+        let e = &datasets.of(Task::TextToVis, Split::Test)[0];
+        let db = corpus.database(&e.db_name).unwrap();
+        let types = column_types(db);
+        let total: usize = db.tables.iter().map(|t| t.columns.len()).sum();
+        assert_eq!(types.len(), total);
+        for table in &db.tables {
+            for col in &table.columns {
+                assert_eq!(
+                    types.is_numeric(&table.name, &col.name),
+                    Some(col.ty.is_numeric())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn type_violations_surface_in_lint_tally() {
+        // Rewrite each gold query's aggregate into `sum(<text column>)` so
+        // the V002 lint must fire.
+        struct SumText<'a>(&'a Corpus);
+        impl Predictor for SumText<'_> {
+            fn predict(&self, e: &TaskExample) -> String {
+                let gold = e.gold_query.as_deref().unwrap_or_default();
+                let Some(db) = self.0.database(&e.db_name) else {
+                    return gold.to_string();
+                };
+                let types = column_types(db);
+                // Find a non-numeric column to abuse.
+                for table in &db.tables {
+                    for col in &table.columns {
+                        if types.is_numeric(&table.name, &col.name) == Some(false) {
+                            if let Ok(mut q) = vql::parse_query(gold) {
+                                for s in &mut q.select {
+                                    if let vql::ColExpr::Agg(agg, c) = s {
+                                        *agg = vql::AggFunc::Sum;
+                                        c.table = Some(table.name.clone());
+                                        c.column = col.name.clone();
+                                    }
+                                }
+                                return q.to_string();
+                            }
+                        }
+                    }
+                }
+                gold.to_string()
+            }
+        }
+        let (corpus, datasets) = fixtures();
+        let examples = datasets.of(Task::TextToVis, Split::Test);
+        let scores = eval_text_to_vis(&SumText(&corpus), &examples, &corpus, 50);
+        assert!(scores.lints.v002 > 0, "{}", scores.lints);
+    }
+
+    #[test]
     fn unparseable_prediction_scores_zero() {
         let (corpus, datasets) = fixtures();
         let e = &datasets.of(Task::TextToVis, Split::Test)[0];
-        let m = score_text_to_vis("not a query", e.gold_query.as_deref().unwrap(), &corpus, &e.db_name);
+        let m = score_text_to_vis(
+            "not a query",
+            e.gold_query.as_deref().unwrap(),
+            &corpus,
+            &e.db_name,
+        );
         assert!(!m.vis && !m.axis && !m.data);
     }
 }

@@ -37,7 +37,7 @@ fn ngrams(text: &str, max_n: usize) -> Vec<String> {
 /// n-grams.
 fn table_referenced(grams: &[String], table: &vql::schema::TableSchema) -> bool {
     let tname = table.name.to_lowercase();
-    if grams.iter().any(|g| *g == tname) {
+    if grams.contains(&tname) {
         return true;
     }
     for col in &table.columns {
@@ -115,10 +115,7 @@ mod tests {
 
     #[test]
     fn multiple_mentions_keep_both_tables() {
-        let sub = filter_schema(
-            "count exhibit themes for each artist country",
-            &schema(),
-        );
+        let sub = filter_schema("count exhibit themes for each artist country", &schema());
         assert_eq!(sub.tables.len(), 2);
     }
 

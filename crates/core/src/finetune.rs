@@ -17,12 +17,7 @@ use tokenizer::{special, WordTokenizer};
 use crate::data::{Task, TaskDatasets};
 
 /// Tokenizes an (input, output) pair with truncation and EOS.
-pub fn tokenize_pair(
-    tok: &WordTokenizer,
-    input: &str,
-    output: &str,
-    max_len: usize,
-) -> Example {
+pub fn tokenize_pair(tok: &WordTokenizer, input: &str, output: &str, max_len: usize) -> Example {
     (
         truncate(tok.encode_with_eos(input), max_len),
         truncate(tok.encode_with_eos(output), max_len),

@@ -12,6 +12,7 @@
 //! The hybrid loss is their sum (Eq. 3), realized here as mini-batches
 //! mixing examples of both kinds.
 
+use analysis::{SanitizerMode, TapeMode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -76,10 +77,7 @@ pub fn dv_knowledge_docs(databases: &[storage::Database]) -> Vec<String> {
     let mut docs = Vec::new();
     for db in databases {
         let schema = db.schema();
-        docs.push(format!(
-            "<schema> {}",
-            vql::encode::encode_schema(&schema)
-        ));
+        docs.push(format!("<schema> {}", vql::encode::encode_schema(&schema)));
         for table in &db.tables {
             let tname = table.name.to_ascii_lowercase();
             let headers: Vec<String> = table
@@ -125,10 +123,7 @@ pub fn span_corrupt(
     assert!(mean_span >= 1);
     let sentinel_base = 3u32; // ids 3.. are sentinels (see tokenizer::special)
     if ids.len() < 2 {
-        return (
-            [ids, &[special::EOS]].concat(),
-            vec![special::EOS],
-        );
+        return ([ids, &[special::EOS]].concat(), vec![special::EOS]);
     }
     let mut input = Vec::with_capacity(ids.len());
     let mut target = Vec::new();
@@ -173,6 +168,10 @@ pub struct PretrainConfig {
     pub peak_lr: f32,
     pub max_len: usize,
     pub seed: u64,
+    /// Run the Graph Doctor's static passes on the step-0 tape.
+    pub doctor: bool,
+    /// Numeric sanitizer schedule (see `analysis::SanitizerMode`).
+    pub sanitizer: SanitizerMode,
 }
 
 impl PretrainConfig {
@@ -185,6 +184,8 @@ impl PretrainConfig {
             peak_lr: 6e-3,
             max_len,
             seed: 0x9e37,
+            doctor: true,
+            sanitizer: SanitizerMode::FirstStep,
         }
     }
 }
@@ -208,12 +209,23 @@ pub fn pretrain(
     let mut tail = (0.0f32, 0usize);
     for step in 0..cfg.steps {
         let mut batch_loss = 0.0;
-        for _ in 0..cfg.accum {
+        for micro in 0..cfg.accum {
             let (src, tgt) = sample_example(data, objective, tok, cfg.max_len, &mut rng);
             let mut g = Graph::with_seed(cfg.seed ^ step as u64);
             let loss = model.loss(&mut g, ps, &src, &tgt, 0.0);
+            if cfg.doctor && step == 0 && micro == 0 {
+                let report = analysis::diagnose(&g, loss, TapeMode::Train);
+                if !report.is_clean() {
+                    eprintln!("graph doctor (step-0 pre-training tape):\n{report}");
+                }
+            }
             batch_loss += g.value(loss).data()[0];
             g.backward(loss);
+            if cfg.sanitizer.active_at(step) {
+                if let Some(offender) = analysis::sanitize::first_offender(&g) {
+                    panic!("numeric sanitizer tripped at pre-training step {step}:\n{offender}");
+                }
+            }
             ps.absorb_grads(&g);
         }
         opt.step(ps, schedule.at(step), 1.0 / cfg.accum as f32);
@@ -298,8 +310,16 @@ mod tests {
         assert_eq!(*input.last().unwrap(), special::EOS);
         assert_eq!(*target.last().unwrap(), special::EOS);
         // Sentinels appear in both input and target, in order.
-        let in_sents: Vec<u32> = input.iter().copied().filter(|&t| (3..67).contains(&t)).collect();
-        let tgt_sents: Vec<u32> = target.iter().copied().filter(|&t| (3..67).contains(&t)).collect();
+        let in_sents: Vec<u32> = input
+            .iter()
+            .copied()
+            .filter(|&t| (3..67).contains(&t))
+            .collect();
+        let tgt_sents: Vec<u32> = target
+            .iter()
+            .copied()
+            .filter(|&t| (3..67).contains(&t))
+            .collect();
         assert_eq!(in_sents, tgt_sents);
         assert!(!in_sents.is_empty());
         // Reconstruction: splicing target spans back at sentinel positions
@@ -326,10 +346,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let ids: Vec<u32> = (100..1100).collect();
         let (input, _) = span_corrupt(&ids, 0.15, 3, &mut rng);
-        let kept = input
-            .iter()
-            .filter(|&&t| t >= 100)
-            .count();
+        let kept = input.iter().filter(|&&t| t >= 100).count();
         let masked = ids.len() - kept;
         let ratio = masked as f64 / ids.len() as f64;
         assert!((0.05..0.3).contains(&ratio), "mask ratio {ratio}");
@@ -367,6 +384,8 @@ mod tests {
             peak_lr: 2e-3,
             max_len: 64,
             seed: 1,
+            doctor: true,
+            sanitizer: SanitizerMode::FirstStep,
         };
         let early = pretrain(&model, &mut ps, &tok, &data, Objective::Hybrid, &c1);
         let c2 = PretrainConfig {
@@ -375,6 +394,8 @@ mod tests {
             peak_lr: 2e-3,
             max_len: 64,
             seed: 1,
+            doctor: true,
+            sanitizer: SanitizerMode::FirstStep,
         };
         let late = pretrain(&model, &mut ps, &tok, &data, Objective::Hybrid, &c2);
         assert!(late < early, "pretraining diverged: {early} -> {late}");
@@ -402,8 +423,17 @@ mod tests {
             peak_lr: 1e-3,
             max_len: 64,
             seed: 2,
+            doctor: true,
+            sanitizer: SanitizerMode::FirstStep,
         };
-        let loss = pretrain(&model, &mut ps, &tok, &data.mlm_only(), Objective::MlmOnly, &c);
+        let loss = pretrain(
+            &model,
+            &mut ps,
+            &tok,
+            &data.mlm_only(),
+            Objective::MlmOnly,
+            &c,
+        );
         assert!(loss.is_finite() && loss > 0.0);
     }
 }

@@ -97,8 +97,14 @@ impl ModelKind {
 
 /// A trained sequence model plus its weights.
 pub enum Trained {
-    T5 { model: T5Model, ps: ParamSet },
-    Lstm { model: LstmSeq2Seq, ps: ParamSet },
+    T5 {
+        model: Box<T5Model>,
+        ps: ParamSet,
+    },
+    Lstm {
+        model: Box<LstmSeq2Seq>,
+        ps: ParamSet,
+    },
 }
 
 /// Anything that maps a task example to a prediction string (with the
@@ -152,7 +158,13 @@ impl Zoo {
     }
 
     /// Runs `train` once per checkpoint key, caching weights on disk.
-    fn cached<F>(&self, key: &str, size: Size, positional: Positional, train: F) -> (T5Model, ParamSet)
+    fn cached<F>(
+        &self,
+        key: &str,
+        size: Size,
+        positional: Positional,
+        train: F,
+    ) -> (T5Model, ParamSet)
     where
         F: FnOnce(&T5Model, &mut ParamSet),
     {
@@ -183,11 +195,12 @@ impl Zoo {
                 }
             }
             data.add_dv_knowledge(&self.corpus.databases);
-            let cfg = PretrainConfig::at(
+            let mut cfg = PretrainConfig::at(
                 self.scale.pretrain_steps(),
                 self.scale.accum(),
                 self.scale.max_len(),
             );
+            cfg.sanitizer = self.scale.sanitizer_mode();
             pretrain(model, ps, &self.tok, &data, Objective::MlmOnly, &cfg);
         })
     }
@@ -209,11 +222,12 @@ impl Zoo {
                     }
                 }
             }
-            let cfg = PretrainConfig::at(
+            let mut cfg = PretrainConfig::at(
                 self.scale.pretrain_steps(),
                 self.scale.accum(),
                 self.scale.max_len(),
             );
+            cfg.sanitizer = self.scale.sanitizer_mode();
             pretrain(model, ps, &self.tok, &data, Objective::MlmOnly, &cfg);
         })
     }
@@ -233,16 +247,21 @@ impl Zoo {
             transplant(self, size, ps);
             let mut data = PretrainData::build(&self.datasets);
             data.add_dv_knowledge(&self.corpus.databases);
-            let objective = if with_bdc { Objective::Hybrid } else { Objective::MlmOnly };
+            let objective = if with_bdc {
+                Objective::Hybrid
+            } else {
+                Objective::MlmOnly
+            };
             let data = if with_bdc { data } else { data.mlm_only() };
             // Twice the generic budget: the BDC objective is the paper's
             // central transfer mechanism and trains the task mappings
             // directly.
-            let cfg = PretrainConfig::at(
+            let mut cfg = PretrainConfig::at(
                 self.scale.pretrain_steps() * 2,
                 self.scale.accum(),
                 self.scale.max_len(),
             );
+            cfg.sanitizer = self.scale.sanitizer_mode();
             pretrain(model, ps, &self.tok, &data, objective, &cfg);
         })
     }
@@ -257,6 +276,8 @@ impl Zoo {
             smoothing: 0.0,
             seed: 0xf17e,
             eval_every: 0,
+            doctor: true,
+            sanitizer: self.scale.sanitizer_mode(),
         }
     }
 
@@ -285,38 +306,55 @@ impl Zoo {
                 let mut lstm_cfg = tcfg.clone();
                 lstm_cfg.steps = (tcfg.steps / 3).max(1);
                 train_seq2seq(&model, &mut ps, &data_for(t), &[], &lstm_cfg);
-                Trained::Lstm { model, ps }
+                Trained::Lstm {
+                    model: Box::new(model),
+                    ps,
+                }
             }
             ModelKind::Transformer | ModelKind::NcNet => {
                 let t = task.expect("Transformer is single-task");
-                let (model, mut ps) =
-                    self.build_t5("vanilla", Size::Base, Positional::Sinusoidal);
+                let (model, mut ps) = self.build_t5("vanilla", Size::Base, Positional::Sinusoidal);
                 train_seq2seq(&model, &mut ps, &data_for(t), &[], &tcfg);
-                Trained::T5 { model, ps }
+                Trained::T5 {
+                    model: Box::new(model),
+                    ps,
+                }
             }
             ModelKind::RgVisNet => {
                 let (model, mut ps) = self.code_pretrained(Size::Base);
                 let examples = self.rgvisnet_examples(Split::Train);
                 train_seq2seq(&model, &mut ps, &examples, &[], &tcfg);
-                Trained::T5 { model, ps }
+                Trained::T5 {
+                    model: Box::new(model),
+                    ps,
+                }
             }
             ModelKind::Bart => {
                 let t = task.expect("BART is single-task");
                 let (model, mut ps) = self.text_pretrained(Size::Base);
                 train_seq2seq(&model, &mut ps, &data_for(t), &[], &tcfg);
-                Trained::T5 { model, ps }
+                Trained::T5 {
+                    model: Box::new(model),
+                    ps,
+                }
             }
             ModelKind::CodeT5Sft(size) => {
                 let t = task.expect("CodeT5+ SFT is single-task");
                 let (model, mut ps) = self.code_pretrained(size);
                 train_seq2seq(&model, &mut ps, &data_for(t), &[], &tcfg);
-                Trained::T5 { model, ps }
+                Trained::T5 {
+                    model: Box::new(model),
+                    ps,
+                }
             }
             ModelKind::T5Sft(size) => {
                 let t = task.expect("T5 SFT is single-task");
                 let (model, mut ps) = self.text_pretrained(size);
                 train_seq2seq(&model, &mut ps, &data_for(t), &[], &tcfg);
-                Trained::T5 { model, ps }
+                Trained::T5 {
+                    model: Box::new(model),
+                    ps,
+                }
             }
             ModelKind::Llama2Lora | ModelKind::Mistral7bLora => {
                 let t = task.expect("LoRA baselines are single-task");
@@ -332,7 +370,10 @@ impl Zoo {
                 // Adapters tolerate (and need) a higher rate.
                 cfg.schedule = nn::optim::LrSchedule::warmup_rate(5e-3, 0.1, cfg.steps);
                 train_seq2seq(&model, &mut ps, &data_for(t), &[], &cfg);
-                Trained::T5 { model, ps }
+                Trained::T5 {
+                    model: Box::new(model),
+                    ps,
+                }
             }
             ModelKind::Gpt4FewShot => {
                 panic!("GPT-4 is retrieval-based; use Zoo::gpt4_predictor")
@@ -369,7 +410,10 @@ impl Zoo {
                         train_seq2seq(&model, &mut ps, &mixed, &[], &mft_cfg);
                     }
                 }
-                Trained::T5 { model, ps }
+                Trained::T5 {
+                    model: Box::new(model),
+                    ps,
+                }
             }
         }
     }
@@ -427,31 +471,49 @@ impl Zoo {
                     hidden: self.scale.t5_config(Size::Base, 1).d_model,
                 };
                 let model = LstmSeq2Seq::new(&mut ps, "seq2vis", cfg, &mut rng);
-                Some(Trained::Lstm { model, ps })
+                Some(Trained::Lstm {
+                    model: Box::new(model),
+                    ps,
+                })
             }
             ModelKind::Transformer | ModelKind::NcNet => {
                 let (model, ps) = self.build_t5("vanilla", Size::Base, Positional::Sinusoidal);
-                Some(Trained::T5 { model, ps })
+                Some(Trained::T5 {
+                    model: Box::new(model),
+                    ps,
+                })
             }
             ModelKind::RgVisNet => {
                 let (model, ps) =
                     self.build_t5("code_pt_220M", Size::Base, Positional::RelativeBias);
-                Some(Trained::T5 { model, ps })
+                Some(Trained::T5 {
+                    model: Box::new(model),
+                    ps,
+                })
             }
             ModelKind::Bart => {
                 let (model, ps) =
                     self.build_t5("text_pt_220M", Size::Base, Positional::RelativeBias);
-                Some(Trained::T5 { model, ps })
+                Some(Trained::T5 {
+                    model: Box::new(model),
+                    ps,
+                })
             }
             ModelKind::CodeT5Sft(size) => {
                 let key = format!("code_pt_{}", size.label());
                 let (model, ps) = self.build_t5(&key, size, Positional::RelativeBias);
-                Some(Trained::T5 { model, ps })
+                Some(Trained::T5 {
+                    model: Box::new(model),
+                    ps,
+                })
             }
             ModelKind::T5Sft(size) => {
                 let key = format!("text_pt_{}", size.label());
                 let (model, ps) = self.build_t5(&key, size, Positional::RelativeBias);
-                Some(Trained::T5 { model, ps })
+                Some(Trained::T5 {
+                    model: Box::new(model),
+                    ps,
+                })
             }
             ModelKind::Llama2Lora | ModelKind::Mistral7bLora => {
                 let (mut model, mut ps) =
@@ -463,7 +525,10 @@ impl Zoo {
                 };
                 let mut rng = XorShift::new(seed);
                 model.lora_adapt(&mut ps, rank, 2.0 * rank as f32, &mut rng);
-                Some(Trained::T5 { model, ps })
+                Some(Trained::T5 {
+                    model: Box::new(model),
+                    ps,
+                })
             }
             ModelKind::Gpt4FewShot => None,
             ModelKind::DataVisT5(size, regime) => {
@@ -474,7 +539,10 @@ impl Zoo {
                     if with_bdc { "hybrid" } else { "mlm" }
                 );
                 let (model, ps) = self.build_t5(&key, size, Positional::RelativeBias);
-                Some(Trained::T5 { model, ps })
+                Some(Trained::T5 {
+                    model: Box::new(model),
+                    ps,
+                })
             }
         }
     }
@@ -515,10 +583,7 @@ impl Zoo {
     /// A neural predictor over a trained model.
     pub fn predictor<'z>(&'z self, kind: ModelKind, trained: Trained) -> Box<dyn Predictor + 'z> {
         match kind {
-            ModelKind::NcNet => Box::new(ConstrainedPredictor {
-                zoo: self,
-                trained,
-            }),
+            ModelKind::NcNet => Box::new(ConstrainedPredictor { zoo: self, trained }),
             ModelKind::RgVisNet => {
                 let train = self
                     .datasets
@@ -534,10 +599,7 @@ impl Zoo {
                     train,
                 })
             }
-            _ => Box::new(NeuralPredictor {
-                zoo: self,
-                trained,
-            }),
+            _ => Box::new(NeuralPredictor { zoo: self, trained }),
         }
     }
 
@@ -658,9 +720,7 @@ struct RgVisNetPredictor<'z> {
 impl Predictor for RgVisNetPredictor<'_> {
     fn predict(&self, example: &TaskExample) -> String {
         let train_refs: Vec<&TaskExample> = self.train.iter().collect();
-        let input = self
-            .zoo
-            .rgvisnet_input(&self.index, &train_refs, example);
+        let input = self.zoo.rgvisnet_input(&self.index, &train_refs, example);
         let raw = self.zoo.generate(&self.trained, &input);
         strip_prefix(example.task, &raw)
     }
@@ -735,16 +795,16 @@ pub fn adapt_query(proto: &str, target: &vql::schema::DbSchema) -> String {
             .map(|t| t.name.clone())
             .unwrap_or_default()
     };
-    let table_of = |name: &str| -> usize {
-        proto_tables
-            .iter()
-            .position(|t| t == name)
-            .unwrap_or(0)
-    };
+    let table_of =
+        |name: &str| -> usize { proto_tables.iter().position(|t| t == name).unwrap_or(0) };
     let remap_col = |c: &mut vql::ColumnRef| {
         let src_table_idx = c.table.as_deref().map(table_of).unwrap_or(0);
         let tgt = &target_tables[src_table_idx.min(target_tables.len() - 1)];
-        let col = if tgt.columns.iter().any(|tc| tc.eq_ignore_ascii_case(&c.column)) {
+        let col = if tgt
+            .columns
+            .iter()
+            .any(|tc| tc.eq_ignore_ascii_case(&c.column))
+        {
             c.column.clone()
         } else {
             // Positional fallback within the target table.
@@ -787,7 +847,11 @@ pub fn adapt_query(proto: &str, target: &vql::schema::DbSchema) -> String {
 /// prefix differs).
 fn transplant(zoo: &Zoo, size: Size, ps: &mut ParamSet) {
     let (_, code_ps) = zoo.code_pretrained(size);
-    assert_eq!(code_ps.len(), ps.len(), "architecture mismatch in transplant");
+    assert_eq!(
+        code_ps.len(),
+        ps.len(),
+        "architecture mismatch in transplant"
+    );
     for i in 0..code_ps.len() {
         let src = code_ps.value(nn::param::ParamId(i)).clone();
         *ps.value_mut(nn::param::ParamId(i)) = src;

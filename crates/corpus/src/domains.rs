@@ -66,10 +66,22 @@ const NAMES: &[&str] = &[
     "zara", "axel",
 ];
 const COUNTRIES: &[&str] = &[
-    "united_states", "england", "france", "japan", "brazil", "india", "canada", "germany",
+    "united_states",
+    "england",
+    "france",
+    "japan",
+    "brazil",
+    "india",
+    "canada",
+    "germany",
 ];
 const CITIES: &[&str] = &[
-    "springfield", "riverton", "lakeview", "hillcrest", "maplewood", "stonebridge",
+    "springfield",
+    "riverton",
+    "lakeview",
+    "hillcrest",
+    "maplewood",
+    "stonebridge",
 ];
 const COLORS: &[&str] = &["red", "blue", "green", "amber", "violet"];
 
@@ -110,7 +122,11 @@ fn domain_specs() -> Vec<DomainSpec> {
                     vec![
                         col("exhibit_id", I, Gen::Serial),
                         col("artist_id", I, Gen::Fk(0)),
-                        col("theme", T, Gen::Category(&["summer", "winter", "spring", "autumn"])),
+                        col(
+                            "theme",
+                            T,
+                            Gen::Category(&["summer", "winter", "spring", "autumn"]),
+                        ),
                         col("open_date", D, Gen::Date(2018, 2021)),
                         col("ticket_price", F, Gen::Float(5.0, 40.0)),
                     ],
@@ -126,14 +142,18 @@ fn domain_specs() -> Vec<DomainSpec> {
                     (4, 6),
                     vec![
                         col("team_id", I, Gen::Serial),
-                        col("name", T, Gen::Category(&[
-                            "columbus_crew",
-                            "river_united",
-                            "lake_rovers",
-                            "hill_rangers",
-                            "stone_city",
-                            "maple_fc",
-                        ])),
+                        col(
+                            "name",
+                            T,
+                            Gen::Category(&[
+                                "columbus_crew",
+                                "river_united",
+                                "lake_rovers",
+                                "hill_rangers",
+                                "stone_city",
+                                "maple_fc",
+                            ]),
+                        ),
                         col("city", T, Gen::Category(CITIES)),
                         col("founded", I, Gen::Year(1950, 2000)),
                     ],
@@ -160,9 +180,18 @@ fn domain_specs() -> Vec<DomainSpec> {
                     (4, 6),
                     vec![
                         col("dept_id", I, Gen::Serial),
-                        col("name", T, Gen::Category(&[
-                            "physics", "history", "biology", "mathematics", "literature", "chemistry",
-                        ])),
+                        col(
+                            "name",
+                            T,
+                            Gen::Category(&[
+                                "physics",
+                                "history",
+                                "biology",
+                                "mathematics",
+                                "literature",
+                                "chemistry",
+                            ]),
+                        ),
                         col("budget", F, Gen::Float(100.0, 900.0)),
                     ],
                 ),
@@ -188,12 +217,21 @@ fn domain_specs() -> Vec<DomainSpec> {
                     (6, 9),
                     vec![
                         col("roomid", I, Gen::Serial),
-                        col("roomname", T, Gen::Category(&[
-                            "recluse", "interim", "frontier", "harbor", "meadow", "cedar", "willow",
-                        ])),
+                        col(
+                            "roomname",
+                            T,
+                            Gen::Category(&[
+                                "recluse", "interim", "frontier", "harbor", "meadow", "cedar",
+                                "willow",
+                            ]),
+                        ),
                         col("bedtype", T, Gen::Category(&["king", "queen", "double"])),
                         col("baseprice", F, Gen::Float(60.0, 250.0)),
-                        col("decor", T, Gen::Category(&["modern", "rustic", "traditional"])),
+                        col(
+                            "decor",
+                            T,
+                            Gen::Category(&["modern", "rustic", "traditional"]),
+                        ),
                     ],
                 ),
                 table(
@@ -245,10 +283,18 @@ fn domain_specs() -> Vec<DomainSpec> {
                     (6, 9),
                     vec![
                         col("product_id", I, Gen::Serial),
-                        col("name", T, Gen::Category(&[
-                            "lamp", "chair", "desk", "sofa", "shelf", "stool", "bench",
-                        ])),
-                        col("category", T, Gen::Category(&["lighting", "seating", "storage"])),
+                        col(
+                            "name",
+                            T,
+                            Gen::Category(&[
+                                "lamp", "chair", "desk", "sofa", "shelf", "stool", "bench",
+                            ]),
+                        ),
+                        col(
+                            "category",
+                            T,
+                            Gen::Category(&["lighting", "seating", "storage"]),
+                        ),
                         col("price", F, Gen::Float(10.0, 400.0)),
                     ],
                 ),
@@ -274,16 +320,28 @@ fn domain_specs() -> Vec<DomainSpec> {
                     (5, 8),
                     vec![
                         col("film_id", I, Gen::Serial),
-                        col("title", T, Gen::Category(&[
-                            "journey", "horizon", "eclipse", "mirage", "cascade", "ember",
-                        ])),
-                        col("studio", T, Gen::Category(&["sallim", "northstar", "bluepine"])),
+                        col(
+                            "title",
+                            T,
+                            Gen::Category(&[
+                                "journey", "horizon", "eclipse", "mirage", "cascade", "ember",
+                            ]),
+                        ),
+                        col(
+                            "studio",
+                            T,
+                            Gen::Category(&["sallim", "northstar", "bluepine"]),
+                        ),
                         col("gross_in_dollar", I, Gen::Int(100, 9000)),
-                        col("type", T, Gen::Category(&[
-                            "mass_suicide",
-                            "mass_human_sacrifice",
-                            "mass_suicide_murder",
-                        ])),
+                        col(
+                            "type",
+                            T,
+                            Gen::Category(&[
+                                "mass_suicide",
+                                "mass_human_sacrifice",
+                                "mass_suicide_murder",
+                            ]),
+                        ),
                     ],
                 ),
                 table(
@@ -309,9 +367,11 @@ fn domain_specs() -> Vec<DomainSpec> {
                     vec![
                         col("author_id", I, Gen::Serial),
                         col("name", T, Gen::Name(NAMES)),
-                        col("institution", T, Gen::Category(&[
-                            "polyu", "hkust", "mit", "oxford", "eth",
-                        ])),
+                        col(
+                            "institution",
+                            T,
+                            Gen::Category(&["polyu", "hkust", "mit", "oxford", "eth"]),
+                        ),
                         col("h_index", I, Gen::Int(3, 60)),
                     ],
                 ),
@@ -321,7 +381,11 @@ fn domain_specs() -> Vec<DomainSpec> {
                     vec![
                         col("paper_id", I, Gen::Serial),
                         col("author_id", I, Gen::Fk(0)),
-                        col("area", T, Gen::Category(&["database", "vision", "nlp", "systems"])),
+                        col(
+                            "area",
+                            T,
+                            Gen::Category(&["database", "vision", "nlp", "systems"]),
+                        ),
                         col("citations", I, Gen::Int(0, 500)),
                         col("year", I, Gen::Year(2010, 2023)),
                     ],
@@ -390,9 +454,11 @@ fn domain_specs() -> Vec<DomainSpec> {
                     vec![
                         col("doctor_id", I, Gen::Serial),
                         col("name", T, Gen::Name(NAMES)),
-                        col("specialty", T, Gen::Category(&[
-                            "cardiology", "oncology", "pediatrics", "neurology",
-                        ])),
+                        col(
+                            "specialty",
+                            T,
+                            Gen::Category(&["cardiology", "oncology", "pediatrics", "neurology"]),
+                        ),
                         col("experience", I, Gen::Int(1, 35)),
                     ],
                 ),
@@ -428,7 +494,11 @@ fn domain_specs() -> Vec<DomainSpec> {
                     vec![
                         col("account_id", I, Gen::Serial),
                         col("branch_id", I, Gen::Fk(0)),
-                        col("kind", T, Gen::Category(&["savings", "checking", "business"])),
+                        col(
+                            "kind",
+                            T,
+                            Gen::Category(&["savings", "checking", "business"]),
+                        ),
                         col("balance", F, Gen::Float(100.0, 9000.0)),
                     ],
                 ),
@@ -444,7 +514,11 @@ fn domain_specs() -> Vec<DomainSpec> {
                     vec![
                         col("singer_id", I, Gen::Serial),
                         col("name", T, Gen::Name(NAMES)),
-                        col("genre", T, Gen::Category(&["jazz", "opera", "folk", "rock"])),
+                        col(
+                            "genre",
+                            T,
+                            Gen::Category(&["jazz", "opera", "folk", "rock"]),
+                        ),
                         col("albums", I, Gen::Int(1, 20)),
                     ],
                 ),
@@ -470,7 +544,11 @@ fn domain_specs() -> Vec<DomainSpec> {
                     vec![
                         col("chef_id", I, Gen::Serial),
                         col("name", T, Gen::Name(NAMES)),
-                        col("cuisine", T, Gen::Category(&["italian", "sichuan", "mexican", "thai"])),
+                        col(
+                            "cuisine",
+                            T,
+                            Gen::Category(&["italian", "sichuan", "mexican", "thai"]),
+                        ),
                         col("stars", I, Gen::Int(1, 3)),
                     ],
                 ),

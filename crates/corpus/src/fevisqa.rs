@@ -83,14 +83,19 @@ pub fn generate(
         {
             let suitable = rng.gen_bool(0.5);
             let (query_text, answer) = if suitable {
-                (e.query.clone(), "yes , the dv query fits the database".to_string())
+                (
+                    e.query.clone(),
+                    "yes , the dv query fits the database".to_string(),
+                )
             } else {
                 let foreign = databases
                     .iter()
                     .find(|d| d.name != e.db_name)
                     .map(|d| d.tables[0].name.clone())
                     .unwrap_or_else(|| "unknown_table".to_string());
-                let corrupted = e.query.replace(&format!("from {}", query.from), &format!("from {foreign}"));
+                let corrupted = e
+                    .query
+                    .replace(&format!("from {}", query.from), &format!("from {foreign}"));
                 (
                     corrupted,
                     "no , the dv query references tables missing from the database".to_string(),
@@ -136,7 +141,12 @@ pub fn generate(
             ));
             type3.push((
                 "is any equal value of y-axis in the chart ?".to_string(),
-                if chart.has_equal_values() { "yes" } else { "no" }.to_string(),
+                if chart.has_equal_values() {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
             ));
         }
         if let Some(label) = chart.argmax_label() {
@@ -188,14 +198,18 @@ mod tests {
     #[test]
     fn covers_all_three_types() {
         let (_, qa) = setup();
-        for ty in [QuestionType::Type1, QuestionType::Type2, QuestionType::Type3] {
-            assert!(
-                qa.iter().any(|e| e.question_type == ty),
-                "missing {ty:?}"
-            );
+        for ty in [
+            QuestionType::Type1,
+            QuestionType::Type2,
+            QuestionType::Type3,
+        ] {
+            assert!(qa.iter().any(|e| e.question_type == ty), "missing {ty:?}");
         }
         // Type 3 dominates, as in Table III.
-        let t3 = qa.iter().filter(|e| e.question_type == QuestionType::Type3).count();
+        let t3 = qa
+            .iter()
+            .filter(|e| e.question_type == QuestionType::Type3)
+            .count();
         assert!(t3 * 2 > qa.len());
     }
 
@@ -216,9 +230,10 @@ mod tests {
     #[test]
     fn type2_negatives_reference_foreign_tables() {
         let (dbs, qa) = setup();
-        for e in qa.iter().filter(|e| {
-            e.question_type == QuestionType::Type2 && e.answer.starts_with("no")
-        }) {
+        for e in qa
+            .iter()
+            .filter(|e| e.question_type == QuestionType::Type2 && e.answer.starts_with("no"))
+        {
             let db = dbs.iter().find(|d| d.name == e.db_name).unwrap();
             let q = vql::parse_query(&e.query).unwrap();
             // The corrupted query must indeed fail on the native database.
@@ -233,9 +248,10 @@ mod tests {
     #[test]
     fn type2_positives_execute() {
         let (dbs, qa) = setup();
-        for e in qa.iter().filter(|e| {
-            e.question_type == QuestionType::Type2 && e.answer.starts_with("yes")
-        }) {
+        for e in qa
+            .iter()
+            .filter(|e| e.question_type == QuestionType::Type2 && e.answer.starts_with("yes"))
+        {
             let db = dbs.iter().find(|d| d.name == e.db_name).unwrap();
             let q = vql::parse_query(&e.query).unwrap();
             assert!(storage::execute(&q, db).is_ok());

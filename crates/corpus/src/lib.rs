@@ -89,8 +89,7 @@ impl Corpus {
         let split = split::split_databases(&databases, cfg.seed ^ 0x5117);
         let nvbench = nvbench::generate(&databases, cfg.queries_per_db, cfg.seed ^ 0x17);
         let chart2text = tabletext::chart2text_from_nvbench(&databases, &nvbench, cfg.seed ^ 0x29);
-        let wikitabletext =
-            tabletext::wikitabletext(&databases, cfg.facts_per_db, cfg.seed ^ 0x31);
+        let wikitabletext = tabletext::wikitabletext(&databases, cfg.facts_per_db, cfg.seed ^ 0x31);
         let fevisqa = fevisqa::generate(&databases, &nvbench, cfg.seed ^ 0x43);
         Corpus {
             databases,

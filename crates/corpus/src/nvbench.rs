@@ -159,7 +159,10 @@ fn sample_single_query(db: &Database, rng: &mut StdRng) -> Option<Query> {
         3..=5 => {
             let x = pick(rng, &pools.categorical)?.clone();
             let y = pick(rng, &pools.numeric)?.clone();
-            let agg = *pick(rng, &[AggFunc::Sum, AggFunc::Avg, AggFunc::Max, AggFunc::Min])?;
+            let agg = *pick(
+                rng,
+                &[AggFunc::Sum, AggFunc::Avg, AggFunc::Max, AggFunc::Min],
+            )?;
             let xr = qualified(&tname, &x);
             Query {
                 chart: ChartType::Bar,
@@ -238,10 +241,7 @@ fn sample_single_query(db: &Database, rng: &mut StdRng) -> Option<Query> {
                 filters: vec![],
                 group_by: vec![],
                 order_by: None,
-                bin: Some(Bin {
-                    column: dr,
-                    unit,
-                }),
+                bin: Some(Bin { column: dr, unit }),
             }
         }
         // Grouped chart over two categoricals.
@@ -258,7 +258,11 @@ fn sample_single_query(db: &Database, rng: &mut StdRng) -> Option<Query> {
             let color = qualified(&tname, &pools.categorical[j]);
             let chart = *pick(
                 rng,
-                &[ChartType::StackedBar, ChartType::GroupedLine, ChartType::GroupedScatter],
+                &[
+                    ChartType::StackedBar,
+                    ChartType::GroupedLine,
+                    ChartType::GroupedScatter,
+                ],
             )?;
             Query {
                 chart,
@@ -299,7 +303,10 @@ fn sample_join_query(db: &Database, rng: &mut StdRng) -> Option<Query> {
         ColExpr::Agg(AggFunc::Count, qualified(&info.fact_table, &info.fk))
     } else {
         let y = pick(rng, &fact_pools.numeric)?.clone();
-        let agg = *pick(rng, &[AggFunc::Sum, AggFunc::Avg, AggFunc::Max, AggFunc::Min])?;
+        let agg = *pick(
+            rng,
+            &[AggFunc::Sum, AggFunc::Avg, AggFunc::Max, AggFunc::Min],
+        )?;
         ColExpr::Agg(agg, qualified(&info.fact_table, &y))
     };
     let mut query = Query {
@@ -314,9 +321,9 @@ fn sample_join_query(db: &Database, rng: &mut StdRng) -> Option<Query> {
     };
     // Filter on a dim categorical or fact numeric, sometimes.
     if rng.gen_bool(0.35) {
-        if let Some(filter) = sample_filter(dim, &dim_pools, rng).or_else(|| {
-            sample_filter(fact, &fact_pools, rng)
-        }) {
+        if let Some(filter) =
+            sample_filter(dim, &dim_pools, rng).or_else(|| sample_filter(fact, &fact_pools, rng))
+        {
             query.filters.push(filter);
         }
     }
@@ -364,7 +371,11 @@ fn sample_filter(table: &Table, pools: &ColumnPools, rng: &mut StdRng) -> Option
         let idx = table.column_index(&col)?;
         let row = pick(rng, &table.rows)?;
         let value = row[idx].to_string();
-        let op = if rng.gen_bool(0.8) { CmpOp::Eq } else { CmpOp::Ne };
+        let op = if rng.gen_bool(0.8) {
+            CmpOp::Eq
+        } else {
+            CmpOp::Ne
+        };
         Some(Predicate::Compare {
             left: qualified(&table.name, &col),
             op,
@@ -379,7 +390,11 @@ fn sample_filter(table: &Table, pools: &ColumnPools, rng: &mut StdRng) -> Option
         }
         vals.sort_by(|a, b| a.total_cmp(b));
         let threshold = vals[vals.len() / 2].round();
-        let op = if rng.gen_bool(0.5) { CmpOp::Gt } else { CmpOp::Lt };
+        let op = if rng.gen_bool(0.5) {
+            CmpOp::Gt
+        } else {
+            CmpOp::Lt
+        };
         Some(Predicate::Compare {
             left: qualified(&table.name, &col),
             op,
@@ -476,7 +491,11 @@ pub fn verbalize_question(query: &Query, rng: &mut StdRng) -> String {
         }
         // binned temporal count
         (None, Some(AggFunc::Count)) => {
-            let unit = query.bin.as_ref().map(|b| b.unit.keyword()).unwrap_or("year");
+            let unit = query
+                .bin
+                .as_ref()
+                .map(|b| b.unit.keyword())
+                .unwrap_or("year");
             match rng.gen_range(0..3u8) {
                 0 => format!(
                     "show the number of {table} records per {unit} of {x_phrase} in a {chart}"
@@ -530,9 +549,7 @@ pub fn verbalize_question(query: &Query, rng: &mut StdRng) -> String {
         _ => {
             if query.select.len() >= 3 {
                 let color = column_phrase(&query.select[2].column_ref().column);
-                format!(
-                    "show the count of {x_phrase} broken down by {color} in a {chart}"
-                )
+                format!("show the count of {x_phrase} broken down by {color} in a {chart}")
             } else {
                 let y_phrase = y
                     .map(|y| column_phrase(&y.column_ref().column))
@@ -589,12 +606,8 @@ pub fn verbalize_description(query: &Query, rng: &mut StdRng) -> String {
     let table = &query.from;
     let mut body = match query.select.get(1).and_then(|y| y.agg()) {
         Some(AggFunc::Count) => match rng.gen_range(0..2u8) {
-            0 => format!(
-                "a {chart} that counts the {table} records in each {x_phrase}"
-            ),
-            _ => format!(
-                "this {chart} presents the number of {table} rows for every {x_phrase}"
-            ),
+            0 => format!("a {chart} that counts the {table} records in each {x_phrase}"),
+            _ => format!("this {chart} presents the number of {table} rows for every {x_phrase}"),
         },
         Some(agg) => {
             let y_phrase = column_phrase(&query.select[1].column_ref().column);
@@ -652,7 +665,11 @@ mod tests {
     fn generates_requested_volume() {
         let databases = dbs();
         let examples = generate(&databases, 10, 1);
-        assert!(examples.len() >= databases.len() * 7, "only {}", examples.len());
+        assert!(
+            examples.len() >= databases.len() * 7,
+            "only {}",
+            examples.len()
+        );
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl DbSplit {
     /// The split of a database (unknown names land in train, the safe
     /// default for ad-hoc databases).
     pub fn of(&self, db_name: &str) -> Split {
-        self.assignment.get(db_name).copied().unwrap_or(Split::Train)
+        self.assignment
+            .get(db_name)
+            .copied()
+            .unwrap_or(Split::Train)
     }
 
     /// Database names in a split.
@@ -114,7 +117,10 @@ mod tests {
         assert_eq!(train + valid + test, databases.len());
         assert!(train > test && test > 0 && valid > 0);
         let test_frac = test as f64 / databases.len() as f64;
-        assert!((0.1..=0.3).contains(&test_frac), "test fraction {test_frac}");
+        assert!(
+            (0.1..=0.3).contains(&test_frac),
+            "test fraction {test_frac}"
+        );
     }
 
     #[test]

@@ -124,10 +124,8 @@ pub fn wikitabletext(databases: &[Database], per_db: usize, seed: u64) -> Vec<Ta
                 .iter()
                 .map(|c| format!("{tname}.{}", c.name.to_ascii_lowercase()))
                 .collect();
-            let linear = LinearTable::new(
-                headers,
-                vec![row.iter().map(|v| v.to_string()).collect()],
-            );
+            let linear =
+                LinearTable::new(headers, vec![row.iter().map(|v| v.to_string()).collect()]);
             if linear.cell_count() > MAX_CELLS {
                 continue;
             }
@@ -213,8 +211,9 @@ mod tests {
             let row = &e.table.rows[0];
             // The description quotes at least one cell of the row.
             assert!(
-                row.iter().any(|cell| e.description.contains(&cell.to_lowercase())
-                    || e.description.contains(cell.as_str())),
+                row.iter()
+                    .any(|cell| e.description.contains(&cell.to_lowercase())
+                        || e.description.contains(cell.as_str())),
                 "description '{}' quotes no cell of {row:?}",
                 e.description
             );

@@ -39,9 +39,7 @@ fn split_sizes_follow_70_10_20() {
 #[test]
 fn fevisqa_type_mix_is_type3_heavy() {
     let c = corpus();
-    let count = |t: QuestionType| {
-        c.fevisqa.iter().filter(|e| e.question_type == t).count()
-    };
+    let count = |t: QuestionType| c.fevisqa.iter().filter(|e| e.question_type == t).count();
     let (t1, t2, t3) = (
         count(QuestionType::Type1),
         count(QuestionType::Type2),
@@ -100,5 +98,8 @@ fn descriptions_vary_across_examples() {
         .collect();
     firsts.sort();
     firsts.dedup();
-    assert!(firsts.len() >= 4, "question openings too uniform: {firsts:?}");
+    assert!(
+        firsts.len() >= 4,
+        "question openings too uniform: {firsts:?}"
+    );
 }

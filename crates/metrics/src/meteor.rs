@@ -96,7 +96,10 @@ mod tests {
     fn stem_matches_count() {
         let exact = score("the student plays", "the student plays");
         let stemmed = score("the students played", "the student plays");
-        assert!(stemmed > 0.5, "stem stage should align inflections: {stemmed}");
+        assert!(
+            stemmed > 0.5,
+            "stem stage should align inflections: {stemmed}"
+        );
         assert!(exact >= stemmed);
     }
 

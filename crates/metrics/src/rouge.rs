@@ -8,10 +8,7 @@ pub fn rouge_n(pairs: &[(String, String)], n: usize) -> f64 {
     if pairs.is_empty() {
         return 0.0;
     }
-    let total: f64 = pairs
-        .iter()
-        .map(|(c, r)| pair_rouge_n(c, r, n))
-        .sum();
+    let total: f64 = pairs.iter().map(|(c, r)| pair_rouge_n(c, r, n)).sum();
     total / pairs.len() as f64
 }
 

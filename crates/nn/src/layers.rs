@@ -62,7 +62,10 @@ impl Linear {
             format!("{name}.lora_a"),
             Tensor::randn(vec![self.d_in, rank], 1.0 / rank as f32, rng),
         );
-        let b = ps.add(format!("{name}.lora_b"), Tensor::zeros(vec![rank, self.d_out]));
+        let b = ps.add(
+            format!("{name}.lora_b"),
+            Tensor::zeros(vec![rank, self.d_out]),
+        );
         self.lora = Some((a, b, alpha / rank as f32));
     }
 
@@ -257,7 +260,13 @@ pub struct MultiHeadAttention {
 }
 
 impl MultiHeadAttention {
-    pub fn new(ps: &mut ParamSet, name: &str, d_model: usize, heads: usize, rng: &mut XorShift) -> Self {
+    pub fn new(
+        ps: &mut ParamSet,
+        name: &str,
+        d_model: usize,
+        heads: usize,
+        rng: &mut XorShift,
+    ) -> Self {
         assert_eq!(d_model % heads, 0, "d_model must divide into heads");
         Self {
             wq: Linear::new(ps, &format!("{name}.q"), d_model, d_model, false, rng),

@@ -46,10 +46,24 @@ const GATES: [&str; 4] = ["i", "f", "g", "o"];
 impl LstmCell {
     fn new(ps: &mut ParamSet, name: &str, d_in: usize, hidden: usize, rng: &mut XorShift) -> Self {
         let wx = std::array::from_fn(|k| {
-            Linear::new(ps, &format!("{name}.wx_{}", GATES[k]), d_in, hidden, false, rng)
+            Linear::new(
+                ps,
+                &format!("{name}.wx_{}", GATES[k]),
+                d_in,
+                hidden,
+                false,
+                rng,
+            )
         });
         let wh = std::array::from_fn(|k| {
-            Linear::new(ps, &format!("{name}.wh_{}", GATES[k]), hidden, hidden, false, rng)
+            Linear::new(
+                ps,
+                &format!("{name}.wh_{}", GATES[k]),
+                hidden,
+                hidden,
+                false,
+                rng,
+            )
         });
         let bias = std::array::from_fn(|k| {
             // Forget-gate bias starts at 1 (standard recipe).
@@ -68,14 +82,7 @@ impl LstmCell {
     }
 
     /// One recurrence step: `(h', c') = cell(x, h, c)` with `[1, *]` rows.
-    fn step(
-        &self,
-        g: &mut Graph,
-        ps: &ParamSet,
-        x: Var,
-        h: Var,
-        c: Var,
-    ) -> (Var, Var) {
+    fn step(&self, g: &mut Graph, ps: &ParamSet, x: Var, h: Var, c: Var) -> (Var, Var) {
         let gate = |g: &mut Graph, k: usize| -> Var {
             let a = self.wx[k].forward(g, ps, x);
             let b = self.wh[k].forward(g, ps, h);
@@ -125,7 +132,14 @@ impl LstmSeq2Seq {
             emb: Embedding::new(ps, &format!("{prefix}.emb"), cfg.vocab, cfg.d_emb, rng),
             enc: LstmCell::new(ps, &format!("{prefix}.enc"), cfg.d_emb, cfg.hidden, rng),
             dec: LstmCell::new(ps, &format!("{prefix}.dec"), cfg.d_emb, cfg.hidden, rng),
-            combine_h: Linear::new(ps, &format!("{prefix}.comb_h"), cfg.hidden, cfg.hidden, false, rng),
+            combine_h: Linear::new(
+                ps,
+                &format!("{prefix}.comb_h"),
+                cfg.hidden,
+                cfg.hidden,
+                false,
+                rng,
+            ),
             combine_ctx: Linear::new(
                 ps,
                 &format!("{prefix}.comb_ctx"),
@@ -134,7 +148,14 @@ impl LstmSeq2Seq {
                 false,
                 rng,
             ),
-            proj: Linear::new(ps, &format!("{prefix}.proj"), cfg.hidden, cfg.vocab, true, rng),
+            proj: Linear::new(
+                ps,
+                &format!("{prefix}.proj"),
+                cfg.hidden,
+                cfg.vocab,
+                true,
+                rng,
+            ),
             cfg,
         }
     }
@@ -265,9 +286,9 @@ impl LstmDecodeState<'_> {
         let enc = g.leaf(self.enc_states.clone(), false);
         let h = g.leaf(self.h.clone(), false);
         let c = g.leaf(self.c.clone(), false);
-        let (logits, h2, c2) =
-            self.model
-                .dec_step(&mut g, self.ps, token as usize, enc, h, c);
+        let (logits, h2, c2) = self
+            .model
+            .dec_step(&mut g, self.ps, token as usize, enc, h, c);
         self.h = g.value(h2).clone();
         self.c = g.value(c2).clone();
         g.value(logits).data().to_vec()

@@ -16,9 +16,7 @@
 
 use tensor::{Graph, Tensor, Var, XorShift};
 
-use crate::layers::{
-    causal_mask, Embedding, FeedForward, MultiHeadAttention, RelPosBias, RmsNorm,
-};
+use crate::layers::{causal_mask, Embedding, FeedForward, MultiHeadAttention, RelPosBias, RmsNorm};
 use crate::param::{ParamId, ParamSet};
 
 /// Positional information scheme.
@@ -115,8 +113,20 @@ impl T5Model {
         let emb = Embedding::new(ps, &format!("{prefix}.emb"), cfg.vocab, cfg.d_model, rng);
         let (enc_bias, dec_bias) = match cfg.positional {
             Positional::RelativeBias => (
-                Some(RelPosBias::new(ps, &format!("{prefix}.enc_bias"), cfg.heads, true, rng)),
-                Some(RelPosBias::new(ps, &format!("{prefix}.dec_bias"), cfg.heads, false, rng)),
+                Some(RelPosBias::new(
+                    ps,
+                    &format!("{prefix}.enc_bias"),
+                    cfg.heads,
+                    true,
+                    rng,
+                )),
+                Some(RelPosBias::new(
+                    ps,
+                    &format!("{prefix}.dec_bias"),
+                    cfg.heads,
+                    false,
+                    rng,
+                )),
             ),
             Positional::Sinusoidal => (None, None),
         };
@@ -125,7 +135,13 @@ impl T5Model {
                 let n = format!("{prefix}.enc{i}");
                 EncBlock {
                     norm1: RmsNorm::new(ps, &format!("{n}.norm1"), cfg.d_model),
-                    attn: MultiHeadAttention::new(ps, &format!("{n}.attn"), cfg.d_model, cfg.heads, rng),
+                    attn: MultiHeadAttention::new(
+                        ps,
+                        &format!("{n}.attn"),
+                        cfg.d_model,
+                        cfg.heads,
+                        rng,
+                    ),
                     norm2: RmsNorm::new(ps, &format!("{n}.norm2"), cfg.d_model),
                     ff: FeedForward::new(ps, &format!("{n}.ff"), cfg.d_model, cfg.d_ff, rng),
                 }
@@ -246,10 +262,7 @@ impl T5Model {
         let ts = src.len();
         let mut x = self.embed(g, ps, src, 0);
         x = self.maybe_dropout(g, x, train);
-        let bias = self
-            .enc_bias
-            .as_ref()
-            .map(|b| b.bias(g, ps, ts, ts, 0));
+        let bias = self.enc_bias.as_ref().map(|b| b.bias(g, ps, ts, ts, 0));
         for block in &self.enc {
             let normed = block.norm1.forward(g, ps, x);
             let attn = block.attn.forward(g, ps, normed, normed, bias);
@@ -526,11 +539,7 @@ mod tests {
         let table_grad = &ps;
         let id = m.embedding_table();
         // The embedding grad should be non-zero (tied head guarantees it).
-        let norm: f32 = {
-            let mut g2 = Graph::new();
-            let _ = g2; // keep clippy quiet about unused
-            table_grad.value(id).l2_norm()
-        };
+        let norm: f32 = table_grad.value(id).l2_norm();
         assert!(norm > 0.0);
         // More importantly, at least one grad is non-zero.
         assert!(ps.grad_norm() > 0.0);

@@ -3,7 +3,14 @@
 //! One example per graph, gradients accumulated over a micro-batch, then a
 //! single AdamW step under the configured schedule — the single-core
 //! translation of the paper's batched regimen.
+//!
+//! Every run can optionally be supervised by the Graph Doctor: the static
+//! shape/gradient-flow passes inspect the step-0 tape (`doctor`), and the
+//! numeric sanitizer re-scans tapes for NaN/Inf on a configurable schedule
+//! (`sanitizer`), aborting with the first offending op's backtrace instead
+//! of silently training on poisoned values.
 
+use analysis::{SanitizerMode, TapeMode};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -19,8 +26,14 @@ pub type Example = (Vec<u32>, Vec<u32>);
 /// qualify.
 pub trait LossModel {
     /// Builds the training loss on the given graph.
-    fn train_loss(&self, g: &mut Graph, ps: &ParamSet, src: &[u32], tgt: &[u32], smoothing: f32)
-        -> Var;
+    fn train_loss(
+        &self,
+        g: &mut Graph,
+        ps: &ParamSet,
+        src: &[u32],
+        tgt: &[u32],
+        smoothing: f32,
+    ) -> Var;
 
     /// Dropout-free evaluation loss.
     fn metric_loss(&self, ps: &ParamSet, src: &[u32], tgt: &[u32]) -> f32;
@@ -72,6 +85,12 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Evaluate on the validation set every this many steps (0 = never).
     pub eval_every: usize,
+    /// Run the Graph Doctor's static passes on the step-0 tape, reporting
+    /// shape or gradient-flow defects to stderr.
+    pub doctor: bool,
+    /// Numeric sanitizer schedule; a tripped scan aborts the run with the
+    /// first offending op's tape backtrace.
+    pub sanitizer: SanitizerMode,
 }
 
 impl TrainConfig {
@@ -84,6 +103,8 @@ impl TrainConfig {
             smoothing: 0.0,
             seed: 0xdada,
             eval_every: 0,
+            doctor: true,
+            sanitizer: SanitizerMode::FirstStep,
         }
     }
 }
@@ -122,7 +143,7 @@ pub fn train_seq2seq<M: LossModel>(
 
     for step in 0..cfg.steps {
         let mut batch_loss = 0.0f32;
-        for _ in 0..cfg.accum {
+        for micro in 0..cfg.accum {
             if cursor >= order.len() {
                 cursor = 0;
                 order.shuffle(&mut rng);
@@ -131,8 +152,19 @@ pub fn train_seq2seq<M: LossModel>(
             cursor += 1;
             let mut g = Graph::with_seed(cfg.seed ^ (step as u64) << 8);
             let loss = model.train_loss(&mut g, ps, src, tgt, cfg.smoothing);
+            if cfg.doctor && step == 0 && micro == 0 {
+                let report = analysis::diagnose(&g, loss, TapeMode::Train);
+                if !report.is_clean() {
+                    eprintln!("graph doctor (step-0 training tape):\n{report}");
+                }
+            }
             batch_loss += g.value(loss).data()[0];
             g.backward(loss);
+            if cfg.sanitizer.active_at(step) {
+                if let Some(offender) = analysis::sanitize::first_offender(&g) {
+                    panic!("numeric sanitizer tripped at step {step}:\n{offender}");
+                }
+            }
             ps.absorb_grads(&g);
         }
         opt.step(ps, cfg.schedule.at(step), 1.0 / cfg.accum as f32);
@@ -146,7 +178,11 @@ pub fn train_seq2seq<M: LossModel>(
         }
     }
     report.steps = cfg.steps;
-    report.final_train_loss = if tail_n > 0 { tail_sum / tail_n as f32 } else { 0.0 };
+    report.final_train_loss = if tail_n > 0 {
+        tail_sum / tail_n as f32
+    } else {
+        0.0
+    };
     report
 }
 
@@ -155,10 +191,7 @@ pub fn eval_mean<M: LossModel>(model: &M, ps: &ParamSet, data: &[Example]) -> f3
     if data.is_empty() {
         return 0.0;
     }
-    let total: f32 = data
-        .iter()
-        .map(|(s, t)| model.metric_loss(ps, s, t))
-        .sum();
+    let total: f32 = data.iter().map(|(s, t)| model.metric_loss(ps, s, t)).sum();
     total / data.len() as f32
 }
 
@@ -202,12 +235,38 @@ mod tests {
             smoothing: 0.0,
             seed: 1,
             eval_every: 30,
+            doctor: true,
+            sanitizer: SanitizerMode::FirstStep,
         };
         let report = train_seq2seq(&model, &mut ps, &data, &data, &tc);
         let after = eval_mean(&model, &ps, &data);
         assert!(after < before * 0.7, "{before} -> {after}");
         assert_eq!(report.valid_losses.len(), 5);
         assert!(report.final_train_loss.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "numeric sanitizer tripped at step 0")]
+    fn sanitizer_aborts_on_poisoned_parameters() {
+        let mut ps = ParamSet::new();
+        let mut rng = XorShift::new(2);
+        let cfg = T5Config {
+            vocab: 20,
+            d_model: 16,
+            d_ff: 32,
+            heads: 2,
+            enc_layers: 1,
+            dec_layers: 1,
+            dropout: 0.0,
+            positional: Positional::RelativeBias,
+        };
+        let model = T5Model::new(&mut ps, "m", cfg, &mut rng);
+        // Poison one parameter: every forward value downstream goes NaN.
+        let id = ps.by_name(&ps.names()[0]).unwrap();
+        ps.value_mut(id).data_mut()[0] = f32::NAN;
+        let mut tc = TrainConfig::fine_tune(2);
+        tc.accum = 1;
+        let _ = train_seq2seq(&model, &mut ps, &copy_dataset(), &[], &tc);
     }
 
     #[test]

@@ -14,7 +14,11 @@ use crate::value::{Date, Value};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CsvError {
     /// A row had a different arity than the header.
-    Ragged { line: usize, expected: usize, got: usize },
+    Ragged {
+        line: usize,
+        expected: usize,
+        got: usize,
+    },
     /// Unterminated quoted field.
     UnterminatedQuote { line: usize },
     /// The input had no header row.
@@ -24,7 +28,11 @@ pub enum CsvError {
 impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CsvError::Ragged { line, expected, got } => {
+            CsvError::Ragged {
+                line,
+                expected,
+                got,
+            } => {
                 write!(f, "line {line}: expected {expected} fields, got {got}")
             }
             CsvError::UnterminatedQuote { line } => {
@@ -131,7 +139,10 @@ fn parse_value(s: &str, ty: ColumnType) -> Value {
 /// Parses CSV text (header + rows) into a typed table, inferring column
 /// types from the data.
 pub fn table_from_csv(name: &str, csv: &str) -> Result<Table, CsvError> {
-    let mut lines = csv.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = csv
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
     let (_, header) = lines.next().ok_or(CsvError::Empty)?;
     let headers = split_record(header, 1)?;
     let mut raw_rows: Vec<Vec<String>> = Vec::new();
@@ -234,7 +245,11 @@ mod tests {
     fn ragged_rows_error_with_line() {
         let csv = "a,b\n1,2\n3\n";
         match table_from_csv("t", csv) {
-            Err(CsvError::Ragged { line, expected, got }) => {
+            Err(CsvError::Ragged {
+                line,
+                expected,
+                got,
+            }) => {
                 assert_eq!((line, expected, got), (3, 2, 1));
             }
             other => panic!("unexpected {other:?}"),

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use vql::ast::{AggFunc, BinUnit, ColExpr, ColumnRef, CmpOp, Literal, Predicate, Query, Subquery};
+use vql::ast::{AggFunc, BinUnit, CmpOp, ColExpr, ColumnRef, Literal, Predicate, Query, Subquery};
 use vql::encode::LinearTable;
 use vql::{Chart, Series};
 
@@ -118,10 +118,7 @@ pub fn execute(query: &Query, db: &Database) -> Result<ResultTable, ExecError> {
         // (left-rel key, right-rel key).
         let (lkey, rkey) = match (rel.resolve(&join.left), right.resolve(&join.right)) {
             (Ok(l), Ok(r)) => (l, r),
-            _ => (
-                rel.resolve(&join.right)?,
-                right.resolve(&join.left)?,
-            ),
+            _ => (rel.resolve(&join.right)?, right.resolve(&join.left)?),
         };
         let mut names = rel.names.clone();
         names.extend(right.names.iter().cloned());
@@ -379,9 +376,7 @@ fn apply_order(result: &mut ResultTable, query: &Query) {
     let Some(col) = query.select.iter().position(|s| s == &order.expr) else {
         return;
     };
-    result
-        .rows
-        .sort_by(|a, b| a[col].total_cmp(&b[col]));
+    result.rows.sort_by(|a, b| a[col].total_cmp(&b[col]));
     if order.dir == vql::OrderDir::Desc {
         result.rows.reverse();
     }
@@ -412,7 +407,9 @@ pub fn to_chart(query: &Query, result: &ResultTable) -> Chart {
             })
             .collect()
     } else {
-        vec![Series::new(result.rows.iter().map(|r| point_of(r)).collect())]
+        vec![Series::new(
+            result.rows.iter().map(|r| point_of(r)).collect(),
+        )]
     };
     Chart {
         chart_type: query.chart,
@@ -669,10 +666,7 @@ mod tests {
     fn unknown_column_is_an_error() {
         let db = gallery_db();
         let q = parse_query("visualize bar select artist.nope, artist.age from artist").unwrap();
-        assert!(matches!(
-            execute(&q, &db),
-            Err(ExecError::UnknownColumn(_))
-        ));
+        assert!(matches!(execute(&q, &db), Err(ExecError::UnknownColumn(_))));
     }
 
     #[test]

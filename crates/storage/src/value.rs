@@ -197,10 +197,7 @@ mod tests {
     #[test]
     fn numeric_cross_type_comparison() {
         assert!(Value::Int(2).loose_eq(&Value::Float(2.0)));
-        assert_eq!(
-            Value::Int(1).total_cmp(&Value::Float(1.5)),
-            Ordering::Less
-        );
+        assert_eq!(Value::Int(1).total_cmp(&Value::Float(1.5)), Ordering::Less);
     }
 
     #[test]

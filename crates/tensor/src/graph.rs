@@ -17,6 +17,13 @@ pub const IGNORE_TARGET: usize = usize::MAX;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Var(pub(crate) usize);
 
+impl Var {
+    /// The node's position on the tape (0-based record order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// Matmul operand orientation for [`Graph::bmm`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(dead_code)] // Tn is constructed only by gradient code paths today.
@@ -273,7 +280,15 @@ impl Graph {
             }
         };
         let req = self.requires(a) || self.requires(b);
-        self.push(out, Op::Matmul { a: a.0, b: b.0, mode }, req)
+        self.push(
+            out,
+            Op::Matmul {
+                a: a.0,
+                b: b.0,
+                mode,
+            },
+            req,
+        )
     }
 
     /// Batched 3-D matmul over the leading dimension: for each batch slice,
@@ -311,7 +326,15 @@ impl Graph {
             }
         }
         let req = self.requires(a) || self.requires(b);
-        self.push(out, Op::Matmul { a: a.0, b: b.0, mode }, req)
+        self.push(
+            out,
+            Op::Matmul {
+                a: a.0,
+                b: b.0,
+                mode,
+            },
+            req,
+        )
     }
 
     /// Rectified linear unit.
@@ -539,7 +562,10 @@ impl Graph {
         let v = &self.nodes[x.0].value;
         assert_eq!(v.rank(), 2, "slice_rows requires a 2-D tensor");
         let (rows, cols) = (v.rows(), v.cols());
-        assert!(start + len <= rows, "slice {start}+{len} exceeds {rows} rows");
+        assert!(
+            start + len <= rows,
+            "slice {start}+{len} exceeds {rows} rows"
+        );
         let data = v.data()[start * cols..(start + len) * cols].to_vec();
         let out = Tensor::from_vec(vec![len, cols], data);
         let req = self.requires(x);
@@ -780,8 +806,11 @@ impl Graph {
                         continue;
                     }
                     for (j, (d, &p)) in dl_row.iter_mut().zip(row.iter()).enumerate() {
-                        let target_mass =
-                            if j == t { 1.0 - smoothing + uniform } else { uniform };
+                        let target_mass = if j == t {
+                            1.0 - smoothing + uniform
+                        } else {
+                            uniform
+                        };
                         *d = upstream * (p - target_mass) / count;
                     }
                 }
@@ -799,8 +828,7 @@ impl Graph {
                 let cols = shape[1];
                 let mut dx = Tensor::zeros(shape);
                 let len = grad.shape()[0];
-                dx.data_mut()[start * cols..(start + len) * cols]
-                    .copy_from_slice(grad.data());
+                dx.data_mut()[start * cols..(start + len) * cols].copy_from_slice(grad.data());
                 self.accumulate(x, dx);
             }
             Op::ConcatRows { parts, rows } => {
@@ -863,9 +891,219 @@ impl Graph {
             .filter_map(move |(i, node)| match node.op {
                 Op::Leaf {
                     param_hook: Some(hook),
-                } => self.grads.get(i).and_then(|g| g.as_ref()).map(|g| (hook, g)),
+                } => self
+                    .grads
+                    .get(i)
+                    .and_then(|g| g.as_ref())
+                    .map(|g| (hook, g)),
                 _ => None,
             })
+    }
+}
+
+/// Public mirror of the tape's matmul operand orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmOrient {
+    /// `A·B`
+    Nn,
+    /// `A·Bᵀ`
+    Nt,
+    /// `Aᵀ·B`
+    Tn,
+}
+
+/// A payload-free description of one tape operation: which kind of op it
+/// is plus the metadata a static analyzer needs to re-derive its output
+/// shape without re-executing kernels (see the `analysis` crate).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    Leaf {
+        /// External hook id for trainable-parameter leaves.
+        param_hook: Option<usize>,
+    },
+    Add,
+    AddBias,
+    Mul,
+    Scale,
+    Matmul {
+        orient: MmOrient,
+    },
+    Relu,
+    Sigmoid,
+    Tanh,
+    Softmax,
+    RmsNorm,
+    Embedding {
+        /// Number of gathered rows.
+        num_ids: usize,
+    },
+    Reshape {
+        /// Input shape at record time.
+        old_shape: Vec<usize>,
+    },
+    Permute3 {
+        perm: [usize; 3],
+    },
+    Dropout {
+        /// Whether the recorded mask is the identity (p = 0: no unit was
+        /// dropped, no rescaling) — an eval-style pass-through.
+        identity: bool,
+    },
+    CrossEntropy {
+        /// Number of target positions (including ignored ones).
+        num_targets: usize,
+    },
+    Sum,
+    ConcatRows {
+        /// Row count of each concatenated part, in order.
+        part_rows: Vec<usize>,
+    },
+    SliceRows {
+        start: usize,
+    },
+}
+
+impl OpKind {
+    /// Stable lowercase op name used in diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Leaf {
+                param_hook: Some(_),
+            } => "param",
+            OpKind::Leaf { param_hook: None } => "leaf",
+            OpKind::Add => "add",
+            OpKind::AddBias => "add_bias",
+            OpKind::Mul => "mul",
+            OpKind::Scale => "scale",
+            OpKind::Matmul { .. } => "matmul",
+            OpKind::Relu => "relu",
+            OpKind::Sigmoid => "sigmoid",
+            OpKind::Tanh => "tanh",
+            OpKind::Softmax => "softmax",
+            OpKind::RmsNorm => "rms_norm",
+            OpKind::Embedding { .. } => "embedding",
+            OpKind::Reshape { .. } => "reshape",
+            OpKind::Permute3 { .. } => "permute3",
+            OpKind::Dropout { .. } => "dropout",
+            OpKind::CrossEntropy { .. } => "cross_entropy",
+            OpKind::Sum => "sum",
+            OpKind::ConcatRows { .. } => "concat_rows",
+            OpKind::SliceRows { .. } => "slice_rows",
+        }
+    }
+}
+
+/// A read-only view of one recorded tape node.
+#[derive(Debug, Clone)]
+pub struct OpView<'g> {
+    /// Tape position.
+    pub index: usize,
+    pub kind: OpKind,
+    /// Tape indices of the operand nodes, in operand order.
+    pub inputs: Vec<usize>,
+    /// Shape of the recorded output value.
+    pub shape: &'g [usize],
+    pub requires_grad: bool,
+}
+
+/// Introspection surface consumed by the static analyzer. These accessors
+/// expose the tape's structure without leaking the internal `Op` payloads
+/// (cached activations, dropout masks, softmax probabilities).
+impl Graph {
+    /// A structural view of the node at `index` (panics when out of range).
+    pub fn op_view(&self, index: usize) -> OpView<'_> {
+        let node = &self.nodes[index];
+        let (kind, inputs) = match &node.op {
+            Op::Leaf { param_hook } => (
+                OpKind::Leaf {
+                    param_hook: *param_hook,
+                },
+                vec![],
+            ),
+            Op::Add(a, b) => (OpKind::Add, vec![*a, *b]),
+            Op::AddBias(x, b) => (OpKind::AddBias, vec![*x, *b]),
+            Op::Mul(a, b) => (OpKind::Mul, vec![*a, *b]),
+            Op::Scale(x, _) => (OpKind::Scale, vec![*x]),
+            Op::Matmul { a, b, mode } => (
+                OpKind::Matmul {
+                    orient: match mode {
+                        MmMode::Nn => MmOrient::Nn,
+                        MmMode::Nt => MmOrient::Nt,
+                        MmMode::Tn => MmOrient::Tn,
+                    },
+                },
+                vec![*a, *b],
+            ),
+            Op::Relu(x) => (OpKind::Relu, vec![*x]),
+            Op::Sigmoid(x) => (OpKind::Sigmoid, vec![*x]),
+            Op::Tanh(x) => (OpKind::Tanh, vec![*x]),
+            Op::Softmax(x) => (OpKind::Softmax, vec![*x]),
+            Op::RmsNorm { x, gain, .. } => (OpKind::RmsNorm, vec![*x, *gain]),
+            Op::Embedding { table, ids } => {
+                (OpKind::Embedding { num_ids: ids.len() }, vec![*table])
+            }
+            Op::Reshape { x, old_shape } => (
+                OpKind::Reshape {
+                    old_shape: old_shape.clone(),
+                },
+                vec![*x],
+            ),
+            Op::Permute3 { x, perm } => (OpKind::Permute3 { perm: *perm }, vec![*x]),
+            Op::Dropout { x, mask } => (
+                OpKind::Dropout {
+                    identity: mask.iter().all(|&m| m == 1.0),
+                },
+                vec![*x],
+            ),
+            Op::CrossEntropy {
+                logits, targets, ..
+            } => (
+                OpKind::CrossEntropy {
+                    num_targets: targets.len(),
+                },
+                vec![*logits],
+            ),
+            Op::Sum(x) => (OpKind::Sum, vec![*x]),
+            Op::ConcatRows { parts, rows } => (
+                OpKind::ConcatRows {
+                    part_rows: rows.clone(),
+                },
+                parts.clone(),
+            ),
+            Op::SliceRows { x, start } => (OpKind::SliceRows { start: *start }, vec![*x]),
+        };
+        OpView {
+            index,
+            kind,
+            inputs,
+            shape: node.value.shape(),
+            requires_grad: node.requires_grad,
+        }
+    }
+
+    /// Iterates structural views of every node in tape order.
+    pub fn op_views(&self) -> impl Iterator<Item = OpView<'_>> + '_ {
+        (0..self.nodes.len()).map(move |i| self.op_view(i))
+    }
+
+    /// Reads a node's value by tape index (the sanitizer's access path).
+    pub fn node_value(&self, index: usize) -> &Tensor {
+        &self.nodes[index].value
+    }
+
+    /// Reads a node's gradient by tape index, if `backward` produced one.
+    pub fn node_grad(&self, index: usize) -> Option<&Tensor> {
+        self.grads.get(index).and_then(|g| g.as_ref())
+    }
+
+    /// Test support: rewrites a node's recorded shape (element count must be
+    /// preserved) so analysis tooling can exercise mismatch reporting on an
+    /// otherwise valid tape. Not for model code.
+    #[doc(hidden)]
+    pub fn override_shape_for_test(&mut self, index: usize, shape: Vec<usize>) {
+        let node = &mut self.nodes[index];
+        let value = std::mem::replace(&mut node.value, Tensor::scalar(0.0));
+        node.value = value.reshaped(shape);
     }
 }
 

@@ -6,12 +6,37 @@
 //! buffer. Loop orders are chosen so the innermost loop streams over
 //! contiguous memory and autovectorizes.
 
+/// Returns the index of the first non-finite (NaN/Inf) element, if any.
+///
+/// This is the numeric-sanitizer hook: the kernels themselves never scan
+/// (a release-mode step pays nothing), and callers that opt in — the
+/// `analysis` crate's sanitizer pass — scan recorded tape values on their
+/// own schedule and report the offending op instead of asserting here.
+pub fn first_nonfinite(x: &[f32]) -> Option<usize> {
+    x.iter().position(|v| !v.is_finite())
+}
+
 /// `C = A·B` (or `C += A·B` when `accumulate`), with `A: [m,k]`, `B: [k,n]`,
 /// `C: [m,n]`.
 pub fn mm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, accumulate: bool) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
+    assert_eq!(
+        a.len(),
+        m * k,
+        "mm_nn: A has {} elements, want m*k = {m}*{k}",
+        a.len()
+    );
+    assert_eq!(
+        b.len(),
+        k * n,
+        "mm_nn: B has {} elements, want k*n = {k}*{n}",
+        b.len()
+    );
+    assert_eq!(
+        c.len(),
+        m * n,
+        "mm_nn: C has {} elements, want m*n = {m}*{n}",
+        c.len()
+    );
     if !accumulate {
         c.fill(0.0);
     }
@@ -35,9 +60,24 @@ pub fn mm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, 
 /// This is the attention-score orientation (`Q·Kᵀ`) and the `dA = dC·Bᵀ`
 /// orientation of the backward pass; both operands stream row-wise.
 pub fn mm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, accumulate: bool) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), n * k);
-    debug_assert_eq!(c.len(), m * n);
+    assert_eq!(
+        a.len(),
+        m * k,
+        "mm_nt: A has {} elements, want m*k = {m}*{k}",
+        a.len()
+    );
+    assert_eq!(
+        b.len(),
+        n * k,
+        "mm_nt: B has {} elements, want n*k = {n}*{k}",
+        b.len()
+    );
+    assert_eq!(
+        c.len(),
+        m * n,
+        "mm_nt: C has {} elements, want m*n = {m}*{n}",
+        c.len()
+    );
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         for j in 0..n {
@@ -56,9 +96,24 @@ pub fn mm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, 
 ///
 /// This is the weight-gradient orientation (`dW = Xᵀ·dY`).
 pub fn mm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, accumulate: bool) {
-    debug_assert_eq!(a.len(), k * m);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
+    assert_eq!(
+        a.len(),
+        k * m,
+        "mm_tn: A has {} elements, want k*m = {k}*{m}",
+        a.len()
+    );
+    assert_eq!(
+        b.len(),
+        k * n,
+        "mm_tn: B has {} elements, want k*n = {k}*{n}",
+        b.len()
+    );
+    assert_eq!(
+        c.len(),
+        m * n,
+        "mm_tn: C has {} elements, want m*n = {m}*{n}",
+        c.len()
+    );
     if !accumulate {
         c.fill(0.0);
     }
@@ -206,6 +261,23 @@ mod tests {
         softmax_rows(&mut x, 2);
         assert!(x.iter().all(|v| v.is_finite()));
         assert!((x[0] + x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn first_nonfinite_finds_nan_and_inf() {
+        assert_eq!(first_nonfinite(&[1.0, 2.0, 3.0]), None);
+        assert_eq!(first_nonfinite(&[1.0, f32::NAN, f32::INFINITY]), Some(1));
+        assert_eq!(first_nonfinite(&[f32::NEG_INFINITY]), Some(0));
+        assert_eq!(first_nonfinite(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "mm_nn: A has 3 elements, want m*k = 2*2")]
+    fn mm_nn_rejects_wrong_operand_size() {
+        let a = vec![0.0; 3];
+        let b = vec![0.0; 4];
+        let mut c = vec![0.0; 4];
+        mm_nn(&a, &b, &mut c, 2, 2, 2, false);
     }
 
     #[test]

@@ -41,7 +41,7 @@ mod graph;
 pub mod kernels;
 mod tensor;
 
-pub use graph::{Graph, Var};
+pub use graph::{Graph, MmOrient, OpKind, OpView, Var, IGNORE_TARGET};
 pub use tensor::Tensor;
 
 /// Deterministic xorshift64* generator used for dropout masks and tests.
@@ -58,7 +58,11 @@ impl XorShift {
     /// avoid the degenerate all-zero orbit).
     pub fn new(seed: u64) -> Self {
         Self {
-            state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed },
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
         }
     }
 

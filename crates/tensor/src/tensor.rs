@@ -202,7 +202,12 @@ mod tests {
         let mut rng = XorShift::new(1);
         let t = Tensor::randn(vec![10_000], 2.0, &mut rng);
         let mean: f32 = t.data().iter().sum::<f32>() / 10_000.0;
-        let var: f32 = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 10_000.0;
+        let var: f32 = t
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / 10_000.0;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
     }

@@ -24,8 +24,7 @@ impl Bpe {
         let mut word_freq: HashMap<Vec<String>, usize> = HashMap::new();
         for text in texts {
             for word in text.split_ascii_whitespace() {
-                let mut symbols: Vec<String> =
-                    word.chars().map(|c| c.to_string()).collect();
+                let mut symbols: Vec<String> = word.chars().map(|c| c.to_string()).collect();
                 symbols.push(EOW.to_string());
                 *word_freq.entry(symbols).or_insert(0) += 1;
             }
@@ -35,9 +34,7 @@ impl Bpe {
             let mut pair_counts: HashMap<(String, String), usize> = HashMap::new();
             for (symbols, freq) in &word_freq {
                 for w in symbols.windows(2) {
-                    *pair_counts
-                        .entry((w[0].clone(), w[1].clone()))
-                        .or_insert(0) += freq;
+                    *pair_counts.entry((w[0].clone(), w[1].clone())).or_insert(0) += freq;
                 }
             }
             // Deterministic best pair: max count, ties by lexicographic

@@ -82,8 +82,7 @@ impl VocabBuilder {
             tokens.push(special::sentinel(i));
         }
         tokens.extend(special::TASK_TOKENS.iter().map(|s| s.to_string()));
-        let reserved: std::collections::HashSet<&str> =
-            tokens.iter().map(|s| s.as_str()).collect();
+        let reserved: std::collections::HashSet<&str> = tokens.iter().map(|s| s.as_str()).collect();
         let mut words: Vec<(String, usize)> = self
             .counts
             .into_iter()
@@ -139,11 +138,7 @@ mod tests {
         b.observe("<nl>");
         b.observe("word");
         let v = b.build(1);
-        let n = v
-            .tokens()
-            .iter()
-            .filter(|t| t.as_str() == "<nl>")
-            .count();
+        let n = v.tokens().iter().filter(|t| t.as_str() == "<nl>").count();
         assert_eq!(n, 1);
     }
 

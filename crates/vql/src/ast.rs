@@ -648,7 +648,10 @@ mod tests {
     fn literal_display_forms() {
         assert_eq!(Literal::Number(3.0).to_string(), "3");
         assert_eq!(Literal::Number(2.5).to_string(), "2.5");
-        assert_eq!(Literal::Text("Columbus Crew".into()).to_string(), "'Columbus Crew'");
+        assert_eq!(
+            Literal::Text("Columbus Crew".into()).to_string(),
+            "'Columbus Crew'"
+        );
     }
 
     #[test]

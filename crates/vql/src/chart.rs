@@ -48,7 +48,9 @@ impl Chart {
 
     /// All values across series.
     pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
-        self.series.iter().flat_map(|s| s.points.iter().map(|p| p.1))
+        self.series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1))
     }
 
     /// Smallest value in the chart, if any part exists.
@@ -108,7 +110,10 @@ impl Chart {
     /// Renders a fixed-width ASCII view (bar lengths proportional to value),
     /// the reproduction's stand-in for the paper's chart bitmaps.
     pub fn render_ascii(&self, width: usize) -> String {
-        let mut out = format!("[{} chart] {} vs {}\n", self.chart_type, self.x_label, self.y_label);
+        let mut out = format!(
+            "[{} chart] {} vs {}\n",
+            self.chart_type, self.x_label, self.y_label
+        );
         let max = self.max_value().unwrap_or(1.0).max(1e-9);
         let label_w = self
             .series

@@ -172,7 +172,8 @@ mod tests {
 
     #[test]
     fn missing_order_by_breaks_data() {
-        let a = q("visualize bar select t.a, count(t.a) from t group by t.a order by count(t.a) asc");
+        let a =
+            q("visualize bar select t.a, count(t.a) from t group by t.a order by count(t.a) asc");
         let b = q("visualize bar select t.a, count(t.a) from t group by t.a");
         assert!(!compare_queries(&a, &b).data);
     }

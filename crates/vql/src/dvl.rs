@@ -232,10 +232,9 @@ mod tests {
 
     #[test]
     fn vega_zero_roundtrips_grouped_charts() {
-        let q = parse_query(
-            "visualize stacked bar select t.a, count ( t.a ), t.c from t group by t.a",
-        )
-        .unwrap();
+        let q =
+            parse_query("visualize stacked bar select t.a, count ( t.a ), t.c from t group by t.a")
+                .unwrap();
         let vz = to_vega_zero(&q);
         assert!(vz.contains("color t.c"));
         let back = from_vega_zero(&vz).expect("roundtrip parses");
@@ -245,10 +244,8 @@ mod tests {
 
     #[test]
     fn vega_zero_roundtrips_bin() {
-        let q = parse_query(
-            "visualize line select t.d, count ( t.d ) from t bin t.d by month",
-        )
-        .unwrap();
+        let q = parse_query("visualize line select t.d, count ( t.d ) from t bin t.d by month")
+            .unwrap();
         let back = from_vega_zero(&to_vega_zero(&q)).unwrap();
         assert_eq!(back.bin, q.bin);
     }
@@ -270,19 +267,15 @@ mod tests {
 
     #[test]
     fn ggplot_pie_uses_polar() {
-        let q = parse_query(
-            "visualize pie select t.a, count ( t.a ) from t group by t.a",
-        )
-        .unwrap();
+        let q = parse_query("visualize pie select t.a, count ( t.a ) from t group by t.a").unwrap();
         assert!(to_ggplot2(&q).contains("coord_polar"));
     }
 
     #[test]
     fn pure_aggregate_axes_roundtrip() {
-        let q = parse_query(
-            "visualize scatter select avg ( t.p ), min ( t.p ) from t group by t.g",
-        )
-        .unwrap();
+        let q =
+            parse_query("visualize scatter select avg ( t.p ), min ( t.p ) from t group by t.g")
+                .unwrap();
         // x is an aggregate; Vega-Zero's x channel keeps only the column,
         // so the roundtrip is lossy here — assert the documented behaviour.
         let vz = to_vega_zero(&q);

@@ -101,10 +101,15 @@ impl GrammarConstraint {
             (AfterFrom, "group") | (AfterPredicate, "group") | (AfterJoin, "group") => {
                 ExpectGroupByKw
             }
-            (AfterFrom, "order") | (AfterPredicate, "order") | (AfterJoin, "order")
+            (AfterFrom, "order")
+            | (AfterPredicate, "order")
+            | (AfterJoin, "order")
             | (AfterGroupCol, "order") => ExpectOrderByKw,
-            (AfterFrom, "bin") | (AfterPredicate, "bin") | (AfterJoin, "bin")
-            | (AfterGroupCol, "bin") | (AfterOrderDir, "bin") => ExpectBinCol,
+            (AfterFrom, "bin")
+            | (AfterPredicate, "bin")
+            | (AfterJoin, "bin")
+            | (AfterGroupCol, "bin")
+            | (AfterOrderDir, "bin") => ExpectBinCol,
             (ExpectJoinTable, t) if is_table(t) => ExpectOn,
             (ExpectOn, "on") => ExpectJoinLeft,
             (ExpectJoinLeft, t) if is_col(t) => ExpectJoinEq,
@@ -147,8 +152,8 @@ impl GrammarConstraint {
                 v
             }
             ExpectOpenParen | ExpectOrderOpenParen => strs(&["("]),
-            ExpectAggCol | ExpectOrderAggCol | ExpectGroupCol | ExpectWhereCol
-            | ExpectJoinLeft | ExpectJoinRight | ExpectBinCol => self.qualified_columns().to_vec(),
+            ExpectAggCol | ExpectOrderAggCol | ExpectGroupCol | ExpectWhereCol | ExpectJoinLeft
+            | ExpectJoinRight | ExpectBinCol => self.qualified_columns().to_vec(),
             ExpectCloseParen | ExpectOrderCloseParen => strs(&[")"]),
             AfterItem => strs(&[",", "from"]),
             ExpectTable | ExpectJoinTable => self.table_names().to_vec(),
@@ -281,8 +286,20 @@ mod tests {
     fn complete_query_prefix_allows_eos() {
         let g = GrammarConstraint::new(&schema(), vec![]);
         let prefix = [
-            "visualize", "pie", "select", "artist.country", ",", "count", "(", "artist.country",
-            ")", "from", "artist", "group", "by", "artist.country",
+            "visualize",
+            "pie",
+            "select",
+            "artist.country",
+            ",",
+            "count",
+            "(",
+            "artist.country",
+            ")",
+            "from",
+            "artist",
+            "group",
+            "by",
+            "artist.country",
         ];
         let allowed = g.allowed_next(&prefix);
         assert!(allowed.contains(&EOS.to_string()));
@@ -293,20 +310,41 @@ mod tests {
     fn invalid_prefix_returns_empty() {
         let g = GrammarConstraint::new(&schema(), vec![]);
         assert!(g.allowed_next(&["visualize", "select"]).is_empty());
-        assert!(g.allowed_next(&["visualize", "pie", "select", "artist"]).is_empty());
+        assert!(g
+            .allowed_next(&["visualize", "pie", "select", "artist"])
+            .is_empty());
     }
 
     #[test]
     fn values_come_from_literal_pool() {
         let g = GrammarConstraint::new(&schema(), vec!["'usa'".into()]);
         let prefix = [
-            "visualize", "bar", "select", "artist.country", ",", "artist.age", "from", "artist",
-            "where", "artist.age", ">",
+            "visualize",
+            "bar",
+            "select",
+            "artist.country",
+            ",",
+            "artist.age",
+            "from",
+            "artist",
+            "where",
+            "artist.age",
+            ">",
         ];
         assert_eq!(g.allowed_next(&prefix), vec!["'usa'".to_string()]);
         let after = [
-            "visualize", "bar", "select", "artist.country", ",", "artist.age", "from", "artist",
-            "where", "artist.age", ">", "'usa'",
+            "visualize",
+            "bar",
+            "select",
+            "artist.country",
+            ",",
+            "artist.age",
+            "from",
+            "artist",
+            "where",
+            "artist.age",
+            ">",
+            "'usa'",
         ];
         assert!(g.allowed_next(&after).contains(&"and".to_string()));
     }
@@ -315,8 +353,18 @@ mod tests {
     fn numbers_accepted_as_values() {
         let g = GrammarConstraint::new(&schema(), vec!["30".into()]);
         let prefix = [
-            "visualize", "bar", "select", "artist.country", ",", "artist.age", "from", "artist",
-            "where", "artist.age", ">", "30",
+            "visualize",
+            "bar",
+            "select",
+            "artist.country",
+            ",",
+            "artist.age",
+            "from",
+            "artist",
+            "where",
+            "artist.age",
+            ">",
+            "30",
         ];
         assert!(g.allowed_next(&prefix).contains(&EOS.to_string()));
     }
@@ -325,9 +373,26 @@ mod tests {
     fn join_path_reaches_eos() {
         let g = GrammarConstraint::new(&schema(), vec![]);
         let prefix = [
-            "visualize", "bar", "select", "artist.country", ",", "count", "(", "artist.country",
-            ")", "from", "artist", "join", "exhibit", "on", "artist.age", "=",
-            "exhibit.artist_id", "group", "by", "artist.country",
+            "visualize",
+            "bar",
+            "select",
+            "artist.country",
+            ",",
+            "count",
+            "(",
+            "artist.country",
+            ")",
+            "from",
+            "artist",
+            "join",
+            "exhibit",
+            "on",
+            "artist.age",
+            "=",
+            "exhibit.artist_id",
+            "group",
+            "by",
+            "artist.country",
         ];
         let allowed = g.allowed_next(&prefix);
         assert!(allowed.contains(&EOS.to_string()));

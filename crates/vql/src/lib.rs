@@ -45,5 +45,6 @@ pub use ast::{
 pub use chart::{Chart, Series};
 pub use compare::{compare_queries, ComponentMatch};
 pub use parser::{parse_query, ParseError};
-pub use schema::{DbSchema, TableSchema};
+pub use schema::{ColumnTypes, DbSchema, TableSchema};
 pub use standardize::standardize;
+pub use validate::{lint, validate, Issue, LintCounts};

@@ -21,7 +21,10 @@ use crate::lexer::{lex, LexError, Token};
 pub enum ParseError {
     Lex(LexError),
     /// Unexpected token (or end of input) at the given token index.
-    Syntax { at: usize, message: String },
+    Syntax {
+        at: usize,
+        message: String,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -239,7 +242,8 @@ impl Parser {
         let table = self.ident()?;
         if self.eat_kw("as") {
             let alias = self.ident()?;
-            self.aliases.insert(alias.to_ascii_lowercase(), table.clone());
+            self.aliases
+                .insert(alias.to_ascii_lowercase(), table.clone());
         } else if let Some(w) = self.peek_word() {
             // Bare alias: an identifier that is not a clause keyword.
             if !is_clause_keyword(&w) {
@@ -404,8 +408,23 @@ fn split_ref(word: &str) -> ColumnRef {
 fn is_clause_keyword(w: &str) -> bool {
     matches!(
         w,
-        "join" | "on" | "where" | "and" | "group" | "order" | "by" | "bin" | "asc" | "desc"
-            | "in" | "not" | "like" | "as" | "select" | "from" | "visualize"
+        "join"
+            | "on"
+            | "where"
+            | "and"
+            | "group"
+            | "order"
+            | "by"
+            | "bin"
+            | "asc"
+            | "desc"
+            | "in"
+            | "not"
+            | "like"
+            | "as"
+            | "select"
+            | "from"
+            | "visualize"
     )
 }
 
@@ -415,8 +434,10 @@ mod tests {
 
     #[test]
     fn parses_simple_pie() {
-        let q = parse_query("VISUALIZE PIE SELECT Country, COUNT(Country) FROM artist GROUP BY Country")
-            .unwrap();
+        let q = parse_query(
+            "VISUALIZE PIE SELECT Country, COUNT(Country) FROM artist GROUP BY Country",
+        )
+        .unwrap();
         assert_eq!(q.chart, ChartType::Pie);
         assert_eq!(q.select.len(), 2);
         assert_eq!(q.from, "artist");
@@ -460,10 +481,9 @@ mod tests {
 
     #[test]
     fn parses_bare_alias() {
-        let q = parse_query(
-            "visualize scatter select t1.a, t2.b from x t1 join y t2 on t1.id = t2.id",
-        )
-        .unwrap();
+        let q =
+            parse_query("visualize scatter select t1.a, t2.b from x t1 join y t2 on t1.id = t2.id")
+                .unwrap();
         assert_eq!(q.select[0].column_ref(), &ColumnRef::qualified("x", "a"));
         assert_eq!(q.select[1].column_ref(), &ColumnRef::qualified("y", "b"));
     }
@@ -479,19 +499,15 @@ mod tests {
 
     #[test]
     fn parses_order_by_desc() {
-        let q = parse_query(
-            "visualize bar select a, b from t order by b desc",
-        )
-        .unwrap();
+        let q = parse_query("visualize bar select a, b from t order by b desc").unwrap();
         assert_eq!(q.order_by.unwrap().dir, OrderDir::Desc);
     }
 
     #[test]
     fn parses_bin_clause() {
-        let q = parse_query(
-            "visualize line select date, count(date) from orders bin date by month",
-        )
-        .unwrap();
+        let q =
+            parse_query("visualize line select date, count(date) from orders bin date by month")
+                .unwrap();
         let b = q.bin.unwrap();
         assert_eq!(b.unit, BinUnit::Month);
         assert_eq!(b.column, ColumnRef::bare("date"));
@@ -545,7 +561,9 @@ mod tests {
         assert!(parse_query("select a from t").is_err());
         assert!(parse_query("visualize donut select a, b from t").is_err());
         assert!(parse_query("visualize bar select from t").is_err());
-        assert!(parse_query("visualize bar select a, b from t trailing junk garbage here").is_err());
+        assert!(
+            parse_query("visualize bar select a, b from t trailing junk garbage here").is_err()
+        );
     }
 
     #[test]

@@ -44,7 +44,9 @@ impl DbSchema {
 
     /// Columns of a table, or an empty slice when absent.
     pub fn columns_of(&self, table: &str) -> &[String] {
-        self.table(table).map(|t| t.columns.as_slice()).unwrap_or(&[])
+        self.table(table)
+            .map(|t| t.columns.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Finds the table(s) containing a column name.
@@ -68,6 +70,72 @@ impl DbSchema {
                 .cloned()
                 .collect(),
         }
+    }
+}
+
+/// Column-type oracle for semantic lints.
+///
+/// [`DbSchema`] is deliberately name-only, but the V002 lint (aggregate on
+/// a non-numeric column) needs to know which columns can feed `sum`/`avg`.
+/// This crate must not depend on the storage engine, so callers that have a
+/// typed catalog project it into this map (keys are lowercase
+/// `"table.column"`) and pass it to [`crate::validate::lint`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ColumnTypes {
+    numeric: std::collections::BTreeMap<String, bool>,
+}
+
+impl ColumnTypes {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records whether `table.column` holds numeric values.
+    pub fn insert(&mut self, table: &str, column: &str, numeric: bool) {
+        self.numeric.insert(
+            format!(
+                "{}.{}",
+                table.to_ascii_lowercase(),
+                column.to_ascii_lowercase()
+            ),
+            numeric,
+        );
+    }
+
+    /// Whether a qualified column is numeric; `None` when unknown.
+    pub fn is_numeric(&self, table: &str, column: &str) -> Option<bool> {
+        self.numeric
+            .get(&format!(
+                "{}.{}",
+                table.to_ascii_lowercase(),
+                column.to_ascii_lowercase()
+            ))
+            .copied()
+    }
+
+    /// Resolves an *unqualified* column conservatively: `Some(true)` if any
+    /// known table holds it as numeric, `Some(false)` if it appears only as
+    /// non-numeric, `None` if no table records it at all.
+    pub fn is_numeric_anywhere(&self, column: &str) -> Option<bool> {
+        let suffix = format!(".{}", column.to_ascii_lowercase());
+        let mut seen = false;
+        for (key, &numeric) in &self.numeric {
+            if key.ends_with(&suffix) {
+                if numeric {
+                    return Some(true);
+                }
+                seen = true;
+            }
+        }
+        seen.then_some(false)
+    }
+
+    pub fn len(&self) -> usize {
+        self.numeric.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.numeric.is_empty()
     }
 }
 
@@ -119,5 +187,30 @@ mod tests {
         assert_eq!(sub.tables.len(), 1);
         assert_eq!(sub.tables[0].name, "exhibit");
         assert_eq!(sub.name, "theme_gallery");
+    }
+
+    #[test]
+    fn column_types_lookup_is_case_insensitive() {
+        let mut ct = ColumnTypes::new();
+        ct.insert("Artist", "Age", true);
+        ct.insert("artist", "country", false);
+        assert_eq!(ct.is_numeric("ARTIST", "age"), Some(true));
+        assert_eq!(ct.is_numeric("artist", "Country"), Some(false));
+        assert_eq!(ct.is_numeric("artist", "missing"), None);
+        assert_eq!(ct.len(), 2);
+    }
+
+    #[test]
+    fn unqualified_resolution_is_conservative() {
+        let mut ct = ColumnTypes::new();
+        ct.insert("artist", "age", true);
+        ct.insert("exhibit", "theme", false);
+        ct.insert("gallery", "theme", false);
+        // Numeric in at least one table → treated as numeric.
+        assert_eq!(ct.is_numeric_anywhere("age"), Some(true));
+        // Non-numeric everywhere it appears.
+        assert_eq!(ct.is_numeric_anywhere("theme"), Some(false));
+        // Unknown column.
+        assert_eq!(ct.is_numeric_anywhere("nope"), None);
     }
 }

@@ -113,12 +113,7 @@ fn lowercase_predicates(preds: &mut [Predicate]) {
     }
 }
 
-fn qualify_expr(
-    expr: &mut ColExpr,
-    primary: &str,
-    join_table: Option<&str>,
-    schema: &DbSchema,
-) {
+fn qualify_expr(expr: &mut ColExpr, primary: &str, join_table: Option<&str>, schema: &DbSchema) {
     // Rule 1: count(*) -> count(primary.first_column).
     if let ColExpr::Agg(crate::ast::AggFunc::Count, col) = expr {
         if col.is_wildcard() {
@@ -226,7 +221,12 @@ mod tests {
             vec![
                 TableSchema::new(
                     "player",
-                    vec!["player_id".into(), "name".into(), "team_id".into(), "years_played".into()],
+                    vec![
+                        "player_id".into(),
+                        "name".into(),
+                        "team_id".into(),
+                        "years_played".into(),
+                    ],
                 ),
                 TableSchema::new("team", vec!["id".into(), "name".into()]),
             ],
@@ -235,8 +235,10 @@ mod tests {
 
     #[test]
     fn qualifies_bare_columns_with_primary_table() {
-        let q = parse_query("VISUALIZE PIE SELECT Country, COUNT(Country) FROM artist GROUP BY Country")
-            .unwrap();
+        let q = parse_query(
+            "VISUALIZE PIE SELECT Country, COUNT(Country) FROM artist GROUP BY Country",
+        )
+        .unwrap();
         let s = standardize(&q, &gallery_schema());
         assert_eq!(
             s.to_string(),
@@ -247,10 +249,8 @@ mod tests {
 
     #[test]
     fn expands_count_star_to_first_column() {
-        let q = parse_query(
-            "visualize bar select name, count(*) from player group by name",
-        )
-        .unwrap();
+        let q =
+            parse_query("visualize bar select name, count(*) from player group by name").unwrap();
         let s = standardize(&q, &soccer_schema());
         assert_eq!(
             s.select[1].column_ref(),

@@ -1,4 +1,4 @@
-//! Semantic validation of DV queries against a schema.
+//! Semantic validation and linting of DV queries against a schema.
 //!
 //! Parsing guarantees syntax; this module checks the semantics an engine
 //! would reject at plan time: unknown tables/columns, aggregate arity of
@@ -6,9 +6,25 @@
 //! systems commonly report a *validity rate* alongside EM — the fraction
 //! of generated queries that would execute at all — and
 //! [`validity_rate`] computes exactly that.
+//!
+//! Every [`Issue`] carries a stable lint code (see [`Issue::code`]) so
+//! evaluation harnesses can aggregate model failure modes across runs:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | V001 | unknown column |
+//! | V002 | `sum`/`avg` aggregate over a non-numeric column |
+//! | V003 | chart/axis arity mismatch (channel count, missing color) |
+//! | V004 | unknown table |
+//! | V005 | `group by` without an aggregate |
+//! | V006 | aggregate without any grouping key |
+//!
+//! [`validate`] performs the schema-name checks (everything but V002);
+//! [`lint`] additionally consults an optional [`ColumnTypes`] oracle for
+//! the type-aware V002 pass.
 
-use crate::ast::{ColExpr, ColumnRef, Predicate, Query};
-use crate::schema::DbSchema;
+use crate::ast::{AggFunc, ColExpr, ColumnRef, Predicate, Query};
+use crate::schema::{ColumnTypes, DbSchema};
 
 /// A semantic problem found in a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,15 +34,38 @@ pub enum Issue {
     /// Grouped chart types need a third (color) channel.
     MissingColorChannel,
     /// Non-grouped charts must have exactly two channels.
-    WrongChannelCount { expected: usize, got: usize },
+    WrongChannelCount {
+        expected: usize,
+        got: usize,
+    },
     /// `group by` present but no aggregate in the select list.
     GroupWithoutAggregate,
     /// An aggregate in the select list but no grouping key at all.
     AggregateWithoutGroup,
+    /// `sum`/`avg` over a column the type oracle says is non-numeric.
+    AggregateOnNonNumeric {
+        agg: AggFunc,
+        column: String,
+    },
+}
+
+impl Issue {
+    /// The stable lint code reported by evaluation harnesses.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Issue::UnknownColumn(_) => "V001",
+            Issue::AggregateOnNonNumeric { .. } => "V002",
+            Issue::MissingColorChannel | Issue::WrongChannelCount { .. } => "V003",
+            Issue::UnknownTable(_) => "V004",
+            Issue::GroupWithoutAggregate => "V005",
+            Issue::AggregateWithoutGroup => "V006",
+        }
+    }
 }
 
 impl std::fmt::Display for Issue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] ", self.code())?;
         match self {
             Issue::UnknownTable(t) => write!(f, "unknown table '{t}'"),
             Issue::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
@@ -36,6 +75,9 @@ impl std::fmt::Display for Issue {
             }
             Issue::GroupWithoutAggregate => f.write_str("group by without an aggregate"),
             Issue::AggregateWithoutGroup => f.write_str("aggregate without grouping"),
+            Issue::AggregateOnNonNumeric { agg, column } => {
+                write!(f, "{} over non-numeric column '{column}'", agg.keyword())
+            }
         }
     }
 }
@@ -58,7 +100,7 @@ pub fn validate(query: &Query, schema: &DbSchema) -> Vec<Issue> {
     }
 
     // Columns: every qualified reference must exist in its table.
-    let mut check_col = |c: &ColumnRef, issues: &mut Vec<Issue>| {
+    let check_col = |c: &ColumnRef, issues: &mut Vec<Issue>| {
         if c.is_wildcard() {
             return;
         }
@@ -115,10 +157,7 @@ pub fn validate(query: &Query, schema: &DbSchema) -> Vec<Issue> {
 
     // Aggregation discipline.
     let has_agg = query.select.iter().any(|s| s.agg().is_some());
-    let has_plain = query
-        .select
-        .iter()
-        .any(|s| matches!(s, ColExpr::Column(_)));
+    let has_plain = query.select.iter().any(|s| matches!(s, ColExpr::Column(_)));
     if !query.group_by.is_empty() && !has_agg {
         issues.push(Issue::GroupWithoutAggregate);
     }
@@ -129,11 +168,137 @@ pub fn validate(query: &Query, schema: &DbSchema) -> Vec<Issue> {
     issues
 }
 
+/// Full lint pass: [`validate`] plus the type-aware V002 check.
+///
+/// `sum` and `avg` need numeric inputs; `count`/`min`/`max` are defined for
+/// any column type, so only the former pair is checked. When no type oracle
+/// is supplied (or a column is absent from it) the V002 check is skipped for
+/// that reference — the lint never guesses types.
+pub fn lint(query: &Query, schema: &DbSchema, types: Option<&ColumnTypes>) -> Vec<Issue> {
+    let mut issues = validate(query, schema);
+    let Some(types) = types else {
+        return issues;
+    };
+
+    let mut check_agg = |expr: &ColExpr| {
+        let Some(agg) = expr.agg() else { return };
+        if !matches!(agg, AggFunc::Sum | AggFunc::Avg) {
+            return;
+        }
+        let c = expr.column_ref();
+        if c.is_wildcard() {
+            return;
+        }
+        let numeric = match &c.table {
+            Some(t) => types.is_numeric(t, &c.column),
+            None => types.is_numeric_anywhere(&c.column),
+        };
+        if numeric == Some(false) {
+            issues.push(Issue::AggregateOnNonNumeric {
+                agg,
+                column: c.to_string(),
+            });
+        }
+    };
+    for s in &query.select {
+        check_agg(s);
+    }
+    if let Some(o) = &query.order_by {
+        check_agg(&o.expr);
+    }
+
+    issues
+}
+
+/// Fixed-size, copyable tally of lint outcomes over a set of predictions.
+///
+/// Evaluation harnesses fold one of these over every model-generated query
+/// so a run can report *why* predictions miss, not just that they do.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LintCounts {
+    /// Predictions examined.
+    pub checked: usize,
+    /// Predictions that failed to parse (never reach the lint pass).
+    pub unparsed: usize,
+    /// Parsed predictions with zero lint issues.
+    pub clean: usize,
+    pub v001: usize,
+    pub v002: usize,
+    pub v003: usize,
+    pub v004: usize,
+    pub v005: usize,
+    pub v006: usize,
+}
+
+impl LintCounts {
+    /// Records a prediction that did not parse.
+    pub fn record_unparsed(&mut self) {
+        self.checked += 1;
+        self.unparsed += 1;
+    }
+
+    /// Records the lint result for one parsed prediction.
+    pub fn record(&mut self, issues: &[Issue]) {
+        self.checked += 1;
+        if issues.is_empty() {
+            self.clean += 1;
+        }
+        for i in issues {
+            match i.code() {
+                "V001" => self.v001 += 1,
+                "V002" => self.v002 += 1,
+                "V003" => self.v003 += 1,
+                "V004" => self.v004 += 1,
+                "V005" => self.v005 += 1,
+                _ => self.v006 += 1,
+            }
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn absorb(&mut self, other: &LintCounts) {
+        self.checked += other.checked;
+        self.unparsed += other.unparsed;
+        self.clean += other.clean;
+        self.v001 += other.v001;
+        self.v002 += other.v002;
+        self.v003 += other.v003;
+        self.v004 += other.v004;
+        self.v005 += other.v005;
+        self.v006 += other.v006;
+    }
+
+    /// Fraction of checked predictions that parsed and linted clean.
+    pub fn clean_rate(&self) -> f64 {
+        if self.checked == 0 {
+            0.0
+        } else {
+            self.clean as f64 / self.checked as f64
+        }
+    }
+}
+
+impl std::fmt::Display for LintCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} checked, {} clean, {} unparsed | V001:{} V002:{} V003:{} V004:{} V005:{} V006:{}",
+            self.checked,
+            self.clean,
+            self.unparsed,
+            self.v001,
+            self.v002,
+            self.v003,
+            self.v004,
+            self.v005,
+            self.v006
+        )
+    }
+}
+
 /// Fraction of prediction strings that parse *and* validate against their
 /// schema — the validity-rate metric.
-pub fn validity_rate<'a>(
-    predictions: impl IntoIterator<Item = (&'a str, &'a DbSchema)>,
-) -> f64 {
+pub fn validity_rate<'a>(predictions: impl IntoIterator<Item = (&'a str, &'a DbSchema)>) -> f64 {
     let mut total = 0usize;
     let mut valid = 0usize;
     for (text, schema) in predictions {
@@ -161,7 +326,10 @@ mod tests {
         DbSchema::new(
             "g",
             vec![
-                TableSchema::new("artist", vec!["artist_id".into(), "country".into(), "age".into()]),
+                TableSchema::new(
+                    "artist",
+                    vec!["artist_id".into(), "country".into(), "age".into()],
+                ),
                 TableSchema::new("exhibit", vec!["exhibit_id".into(), "artist_id".into()]),
             ],
         )
@@ -174,8 +342,10 @@ mod tests {
     #[test]
     fn valid_query_has_no_issues() {
         let issues = validate(
-            &q("visualize pie select artist.country , count ( artist.country ) from artist \
-                group by artist.country"),
+            &q(
+                "visualize pie select artist.country , count ( artist.country ) from artist \
+                group by artist.country",
+            ),
             &schema(),
         );
         assert!(issues.is_empty(), "{issues:?}");
@@ -204,8 +374,10 @@ mod tests {
     #[test]
     fn grouped_chart_needs_color() {
         let issues = validate(
-            &q("visualize stacked bar select artist.country , count ( artist.country ) \
-                from artist group by artist.country"),
+            &q(
+                "visualize stacked bar select artist.country , count ( artist.country ) \
+                from artist group by artist.country",
+            ),
             &schema(),
         );
         assert!(issues.contains(&Issue::MissingColorChannel));
@@ -224,8 +396,10 @@ mod tests {
     fn binned_aggregate_needs_no_group() {
         // `bin … by` provides the implicit grouping.
         let issues = validate(
-            &q("visualize line select artist.age , count ( artist.age ) from artist \
-                bin artist.age by year"),
+            &q(
+                "visualize line select artist.age , count ( artist.age ) from artist \
+                bin artist.age by year",
+            ),
             &schema(),
         );
         assert!(issues.is_empty(), "{issues:?}");
@@ -234,8 +408,10 @@ mod tests {
     #[test]
     fn group_without_aggregate_flagged() {
         let issues = validate(
-            &q("visualize bar select artist.country , artist.age from artist \
-                group by artist.country"),
+            &q(
+                "visualize bar select artist.country , artist.age from artist \
+                group by artist.country",
+            ),
             &schema(),
         );
         assert!(issues.contains(&Issue::GroupWithoutAggregate));
@@ -256,5 +432,126 @@ mod tests {
     #[test]
     fn empty_prediction_set_rate_zero() {
         assert_eq!(validity_rate(Vec::<(&str, &DbSchema)>::new()), 0.0);
+    }
+
+    fn types() -> ColumnTypes {
+        let mut ct = ColumnTypes::new();
+        ct.insert("artist", "artist_id", true);
+        ct.insert("artist", "country", false);
+        ct.insert("artist", "age", true);
+        ct.insert("exhibit", "exhibit_id", true);
+        ct.insert("exhibit", "artist_id", true);
+        ct
+    }
+
+    #[test]
+    fn lint_codes_are_stable() {
+        assert_eq!(Issue::UnknownColumn("x".into()).code(), "V001");
+        assert_eq!(
+            Issue::AggregateOnNonNumeric {
+                agg: AggFunc::Avg,
+                column: "x".into()
+            }
+            .code(),
+            "V002"
+        );
+        assert_eq!(Issue::MissingColorChannel.code(), "V003");
+        assert_eq!(
+            Issue::WrongChannelCount {
+                expected: 2,
+                got: 3
+            }
+            .code(),
+            "V003"
+        );
+        assert_eq!(Issue::UnknownTable("x".into()).code(), "V004");
+        assert_eq!(Issue::GroupWithoutAggregate.code(), "V005");
+        assert_eq!(Issue::AggregateWithoutGroup.code(), "V006");
+    }
+
+    #[test]
+    fn sum_over_text_column_is_linted() {
+        let issues = lint(
+            &q(
+                "visualize bar select artist.country , sum ( artist.country ) from artist \
+                group by artist.country",
+            ),
+            &schema(),
+            Some(&types()),
+        );
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            Issue::AggregateOnNonNumeric { agg: AggFunc::Sum, column } if column == "artist.country"
+        )));
+    }
+
+    #[test]
+    fn count_over_text_column_is_fine() {
+        let issues = lint(
+            &q(
+                "visualize pie select artist.country , count ( artist.country ) from artist \
+                group by artist.country",
+            ),
+            &schema(),
+            Some(&types()),
+        );
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn avg_over_numeric_column_is_fine() {
+        let issues = lint(
+            &q(
+                "visualize bar select artist.country , avg ( artist.age ) from artist \
+                group by artist.country",
+            ),
+            &schema(),
+            Some(&types()),
+        );
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn lint_without_oracle_matches_validate() {
+        let query = q(
+            "visualize bar select artist.country , sum ( artist.country ) from artist \
+                       group by artist.country",
+        );
+        assert_eq!(lint(&query, &schema(), None), validate(&query, &schema()));
+    }
+
+    #[test]
+    fn lint_counts_tally_by_code() {
+        let s = schema();
+        let t = types();
+        let mut counts = LintCounts::default();
+        counts.record_unparsed();
+        counts.record(&lint(
+            &q(
+                "visualize bar select artist.country , sum ( artist.country ) from artist \
+                group by artist.country",
+            ),
+            &s,
+            Some(&t),
+        ));
+        counts.record(&lint(
+            &q(
+                "visualize pie select artist.country , count ( artist.country ) from artist \
+                group by artist.country",
+            ),
+            &s,
+            Some(&t),
+        ));
+        assert_eq!(counts.checked, 3);
+        assert_eq!(counts.unparsed, 1);
+        assert_eq!(counts.clean, 1);
+        assert_eq!(counts.v002, 1);
+        assert!((counts.clean_rate() - 1.0 / 3.0).abs() < 1e-9);
+
+        let mut total = LintCounts::default();
+        total.absorb(&counts);
+        total.absorb(&counts);
+        assert_eq!(total.checked, 6);
+        assert_eq!(total.v002, 2);
     }
 }

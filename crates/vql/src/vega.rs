@@ -154,10 +154,7 @@ mod tests {
 
     #[test]
     fn bar_emits_x_y_channels() {
-        let q = parse_query(
-            "visualize bar select t.a, count ( t.a ) from t group by t.a",
-        )
-        .unwrap();
+        let q = parse_query("visualize bar select t.a, count ( t.a ) from t group by t.a").unwrap();
         let chart = Chart {
             chart_type: ChartType::Bar,
             x_label: "t.a".into(),

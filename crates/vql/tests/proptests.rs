@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use vql::ast::{
-    AggFunc, Bin, BinUnit, ChartType, CmpOp, ColExpr, ColumnRef, Join, Literal, OrderBy,
-    OrderDir, Predicate, Query,
+    AggFunc, Bin, BinUnit, ChartType, CmpOp, ColExpr, ColumnRef, Join, Literal, OrderBy, OrderDir,
+    Predicate, Query,
 };
 use vql::grammar::{GrammarConstraint, EOS};
 use vql::schema::{DbSchema, TableSchema};
@@ -17,9 +17,17 @@ fn schema() -> DbSchema {
         vec![
             TableSchema::new(
                 "alpha",
-                vec!["alpha_id".into(), "kind".into(), "size".into(), "label".into()],
+                vec![
+                    "alpha_id".into(),
+                    "kind".into(),
+                    "size".into(),
+                    "label".into(),
+                ],
             ),
-            TableSchema::new("beta", vec!["beta_id".into(), "alpha_id".into(), "score".into()]),
+            TableSchema::new(
+                "beta",
+                vec!["beta_id".into(), "alpha_id".into(), "score".into()],
+            ),
         ],
     )
 }

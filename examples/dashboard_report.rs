@@ -18,7 +18,10 @@ fn main() {
     let db = corpus
         .database(&db_name)
         .unwrap_or_else(|| panic!("unknown database '{db_name}'"));
-    println!("=== Dashboard report for {} (domain: {}) ===\n", db.name, db.domain);
+    println!(
+        "=== Dashboard report for {} (domain: {}) ===\n",
+        db.name, db.domain
+    );
 
     let queries: Vec<_> = corpus
         .nvbench

@@ -36,6 +36,9 @@ fn main() -> std::io::Result<()> {
             files += 1;
         }
     }
-    println!("wrote {files} database tables as csv to {}", db_dir.display());
+    println!(
+        "wrote {files} database tables as csv to {}",
+        db_dir.display()
+    );
     Ok(())
 }

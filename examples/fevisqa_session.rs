@@ -32,13 +32,26 @@ fn main() {
     println!("dv query : {}", example.query);
     println!("\n{}", chart.render_ascii(32));
     println!("engine-grounded answers:");
-    println!("  how many parts are there in the chart ?      -> {}", chart.part_count());
+    println!(
+        "  how many parts are there in the chart ?      -> {}",
+        chart.part_count()
+    );
     if let (Some(min), Some(max)) = (chart.min_value(), chart.max_value()) {
         println!("  what is the value of the smallest part ?     -> {min}");
         println!("  what is the value of the largest part ?      -> {max}");
     }
-    println!("  is any equal value of y-axis in the chart ?  -> {}", if chart.has_equal_values() { "yes" } else { "no" });
-    println!("  total of the y channel                       -> {}", chart.total());
+    println!(
+        "  is any equal value of y-axis in the chart ?  -> {}",
+        if chart.has_equal_values() {
+            "yes"
+        } else {
+            "no"
+        }
+    );
+    println!(
+        "  total of the y channel                       -> {}",
+        chart.total()
+    );
 
     // The same questions through a trained model (smoke scale).
     eprintln!("\ntraining DataVisT5 (smoke scale) for model answers…");

@@ -36,14 +36,9 @@ fn main() {
                 .databases
                 .iter()
                 .find(|db| {
-                    let filtered =
-                        datavist5_repro::datavist5::filter_schema(&q, &db.schema());
+                    let filtered = datavist5_repro::datavist5::filter_schema(&q, &db.schema());
                     filtered.tables.len() < db.schema().tables.len()
-                        || db
-                            .schema()
-                            .tables
-                            .iter()
-                            .any(|t| q.contains(&t.name))
+                        || db.schema().tables.iter().any(|t| q.contains(&t.name))
                 })
                 .unwrap_or(&zoo.corpus.databases[0]);
             eprintln!("matched database: {}", db.name);

@@ -1,0 +1,93 @@
+//! Offline stand-in for `criterion` (the subset this workspace uses):
+//! `Criterion::bench_function`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of upstream's
+//! statistical analysis, each benchmark runs `sample_size` timed
+//! iterations after one warmup and prints the mean time per iteration.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iterations: self.sample_size as u64,
+            elapsed_ns: 0,
+        };
+        f(&mut b);
+        if b.iterations > 0 {
+            println!(
+                "bench {id:<40} {:>12.0} ns/iter",
+                b.elapsed_ns as f64 / b.iterations as f64
+            );
+        }
+        self
+    }
+}
+
+pub struct Bencher {
+    iterations: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine()); // warmup, untimed
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// Re-export for parity with upstream's `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        #[allow(dead_code)]
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        #[allow(dead_code)]
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,58 @@
+//! `any::<T>()` strategies for types with a canonical distribution.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Types with a default strategy covering their whole domain.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The default strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, runner: &mut TestRunner) -> bool {
+        runner.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! any_int {
+    ($($t:ty => $name:ident),*) => {$(
+        pub struct $name;
+
+        impl Strategy for $name {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = $name;
+
+            fn arbitrary() -> $name {
+                $name
+            }
+        }
+    )*};
+}
+any_int!(u8 => AnyU8, u16 => AnyU16, u32 => AnyU32, u64 => AnyU64, usize => AnyUsize,
+         i8 => AnyI8, i16 => AnyI16, i32 => AnyI32, i64 => AnyI64, isize => AnyIsize);

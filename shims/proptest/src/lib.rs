@@ -1,0 +1,143 @@
+//! Offline stand-in for `proptest` (the subset this workspace uses).
+//!
+//! Same programming model as upstream — strategies compose into random
+//! value generators, `proptest!` drives each property over many cases,
+//! `prop_assert*` report failures — with two deliberate simplifications:
+//! failing cases are **not shrunk** (the failing input is reported
+//! as-is), and generation is deterministic per test name so failures
+//! reproduce without a persistence file. The case count defaults to 64
+//! and is overridable via `PROPTEST_CASES`.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+mod regex;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+
+    /// Namespace mirror of upstream's `prop::` module tree.
+    pub mod prop {
+        pub use crate::{collection, option, sample};
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies; each runs for the configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::cases();
+                let mut runner = $crate::test_runner::TestRunner::new(stringify!($name));
+                for case in 0..cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut runner);
+                    )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        ::std::panic!(
+                            "proptest '{}' failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Defines a named strategy function from component strategies, as
+/// upstream's `prop_compose!` does. Only the zero-outer-argument form is
+/// supported (the only form this workspace uses).
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident ( ) (
+            $( $arg:ident in $strat:expr ),+ $(,)?
+        ) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name() -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Map::new(
+                ( $( $strat, )+ ),
+                move |( $( $arg, )+ )| $body,
+            )
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value
+/// type. (Upstream's weighted `weight => strategy` form is unsupported.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($( $strat:expr ),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Asserts inside a proptest body, failing the current case (not the
+/// whole process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::new(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(lhs == rhs, "{:?} != {:?}", lhs, rhs);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(lhs == rhs, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(lhs != rhs, "{:?} == {:?}", lhs, rhs);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(lhs != rhs, $($fmt)+);
+    }};
+}

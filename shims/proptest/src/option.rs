@@ -1,0 +1,26 @@
+//! Option strategies (`prop::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Yields `None` a quarter of the time and `Some` of the inner
+/// strategy's value otherwise (upstream's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, runner: &mut TestRunner) -> Option<S::Value> {
+        if runner.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(runner))
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! String generation from the tiny regex subset used as proptest
+//! strategies in this workspace: literal characters, `[...]` classes
+//! with ranges, `.` (printable ASCII), and `{n}` / `{n,m}` repetition.
+
+use crate::test_runner::TestRunner;
+
+struct Atom {
+    /// Inclusive character ranges this atom may produce.
+    ranges: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, runner: &mut TestRunner) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let n = atom.min + runner.below(atom.max - atom.min + 1);
+        let weights: Vec<u32> = atom
+            .ranges
+            .iter()
+            .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+            .collect();
+        let total: u32 = weights.iter().sum();
+        for _ in 0..n {
+            let mut pick = runner.below(total as usize) as u32;
+            for (&(lo, _), &w) in atom.ranges.iter().zip(&weights) {
+                if pick < w {
+                    out.push(char::from_u32(lo as u32 + pick).expect("ascii range"));
+                    break;
+                }
+                pick -= w;
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let ranges = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in regex '{pattern}'");
+                i += 1; // ']'
+                ranges
+            }
+            '.' => {
+                i += 1;
+                vec![(' ', '~')]
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "dangling escape in regex '{pattern}'");
+                i += 2;
+                vec![(chars[i - 1], chars[i - 1])]
+            }
+            c => {
+                i += 1;
+                vec![(c, c)]
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated quantifier in regex '{pattern}'"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad quantifier in regex '{pattern}'");
+        atoms.push(Atom { ranges, min, max });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRunner;
+
+    fn gen(pattern: &str) -> String {
+        let mut runner = TestRunner::new(pattern);
+        generate(pattern, &mut runner)
+    }
+
+    #[test]
+    fn class_with_quantifier_respects_bounds() {
+        for _ in 0..50 {
+            let s = gen("[a-z]{1,7}");
+            assert!((1..=7).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn concatenated_atoms_compose() {
+        let mut runner = TestRunner::new("concat");
+        for _ in 0..50 {
+            let s = generate("[a-z][a-z0-9_.]{0,10}", &mut runner);
+            assert!(!s.is_empty() && s.len() <= 11);
+            assert!(s.starts_with(|c: char| c.is_ascii_lowercase()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.'));
+        }
+    }
+
+    #[test]
+    fn dot_emits_printable_ascii() {
+        let mut runner = TestRunner::new("dot");
+        for _ in 0..50 {
+            let s = generate(".{0,200}", &mut runner);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn exact_count_is_exact() {
+        assert_eq!(gen("[A-Z]{12}").len(), 12);
+    }
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for `serde_derive`: a `Serialize` derive for plain
+//! structs with named fields (optionally carrying lifetime/type
+//! parameters without bounds). The generated impl targets the sibling
+//! `serde` shim's single-method trait, appending a compact JSON object
+//! with fields in declaration order.
+//!
+//! The input is parsed directly from the token stream — no `syn`/`quote`
+//! (unavailable offline). Enums, tuple structs, and field attributes
+//! such as `#[serde(rename)]` are intentionally unsupported and panic at
+//! compile time so misuse is loud.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut iter = input.into_iter().peekable();
+    let mut name = String::new();
+    let mut generics = String::new();
+    let mut fields: Vec<String> = Vec::new();
+
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Skip outer attributes (`#[...]`, doc comments).
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("derive(Serialize): expected struct name, got {other:?}"),
+                };
+                // Collect generic parameter tokens verbatim until the
+                // field block. Bounds/where clauses are out of scope.
+                for tt2 in iter.by_ref() {
+                    match tt2 {
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                            fields = parse_field_names(g.stream());
+                            break;
+                        }
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                            panic!("derive(Serialize): tuple structs are unsupported");
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ';' => {
+                            panic!("derive(Serialize): unit structs are unsupported");
+                        }
+                        // Joint punctuation (the `'` of a lifetime, `::`)
+                        // must stay glued to the next token to re-lex.
+                        TokenTree::Punct(p) => {
+                            generics.push(p.as_char());
+                            if p.spacing() == proc_macro::Spacing::Alone {
+                                generics.push(' ');
+                            }
+                        }
+                        other => {
+                            generics.push_str(&other.to_string());
+                            generics.push(' ');
+                        }
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                panic!("derive(Serialize): enums are unsupported");
+            }
+            _ => {}
+        }
+    }
+    assert!(!name.is_empty(), "derive(Serialize): no struct found");
+
+    let mut body = String::from("out.push('{');\n");
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        // Field names are Rust identifiers: safe to emit unescaped.
+        body.push_str(&format!(
+            "out.push_str(\"\\\"{field}\\\":\");\n\
+             ::serde::Serialize::serialize_json(&self.{field}, out);\n"
+        ));
+    }
+    body.push_str("out.push('}');");
+
+    let generated = format!(
+        "impl {generics} ::serde::Serialize for {name} {generics} {{\n\
+             fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    generated
+        .parse()
+        .expect("derive(Serialize): generated impl failed to parse")
+}
+
+/// Extracts field names from the contents of a struct's brace block.
+fn parse_field_names(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip field attributes and doc comments.
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '#' {
+                iter.next();
+                iter.next(); // the bracketed attribute group
+            } else {
+                break;
+            }
+        }
+        let Some(tt) = iter.next() else { break };
+        let mut ident = match tt {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive(Serialize): expected field name, got {other:?}"),
+        };
+        if ident == "pub" {
+            // Visibility qualifier: `pub` or `pub(...)`.
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+            ident = match iter.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("derive(Serialize): expected field name, got {other:?}"),
+            };
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive(Serialize): expected ':' after {ident}, got {other:?}"),
+        }
+        names.push(ident);
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    names
+}

@@ -1,0 +1,492 @@
+//! Offline stand-in for `serde_json` (the subset this workspace uses):
+//! a `Value` model with insertion-ordered object maps, compact
+//! serialization matching upstream's output for the types we emit, a
+//! recursive-descent parser behind `from_str`, the `json!` macro, and
+//! `to_writer` over the `serde` shim's `Serialize` trait.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+mod parse;
+
+pub use parse::from_str;
+
+/// A JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+/// A JSON number: integers and floats kept apart so integers print
+/// without a decimal point and floats keep one.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    Int(i64),
+    Float(f64),
+}
+
+impl Number {
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Int(n) => n as f64,
+            Number::Float(f) => f,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (*self, *other) {
+            (Number::Int(a), Number::Int(b)) => a == b,
+            (a, b) => a.as_f64() == b.as_f64(),
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map (upstream's `preserve_order`
+/// behaviour, which keeps diagnostics readable).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K: PartialEq, V> Map<K, V> {
+    pub fn new() -> Self {
+        Map { entries: Vec::new() }
+    }
+
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            return Some(std::mem::replace(&mut slot.1, value));
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    pub fn get<Q: ?Sized>(&self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: PartialEq,
+    {
+        self.entries
+            .iter()
+            .find(|(k, _)| k.borrow() == key)
+            .map(|(_, v)| v)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl Value {
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::Int(n)) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(m) => m.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl serde::Serialize for Value {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => b.serialize_json(out),
+            Value::Number(Number::Int(n)) => n.serialize_json(out),
+            Value::Number(Number::Float(f)) => f.serialize_json(out),
+            Value::String(s) => serde::escape_str(out, s),
+            Value::Array(a) => {
+                out.push('[');
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.serialize_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    serde::escape_str(out, k);
+                    out.push(':');
+                    v.serialize_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&to_string_value(self))
+    }
+}
+
+fn to_string_value(v: &Value) -> String {
+    let mut out = String::new();
+    serde::Serialize::serialize_json(v, &mut out);
+    out
+}
+
+/// Serializes a value to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes a value to an indented JSON string (two-space indent,
+/// matching upstream's pretty printer).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut compact = String::new();
+    value.serialize_json(&mut compact);
+    // Pretty-print by re-parsing the compact form: correct for every
+    // value the Serialize shim can emit, and keeps the trait single-method.
+    let v = from_str(&compact)?;
+    let mut out = String::new();
+    pretty(&v, 0, &mut out);
+    Ok(out)
+}
+
+fn pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let inner = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&inner);
+                pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&inner);
+                serde::escape_str(out, k);
+                out.push_str(": ");
+                pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => serde::Serialize::serialize_json(other, out),
+    }
+}
+
+/// Serializes a value as compact JSON to a writer.
+pub fn to_writer<W: std::io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    writer.write_all(out.as_bytes())
+}
+
+/// A parse error with byte position context.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+// --- Value conversions backing the `json!` macro -------------------------
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Value {
+        Value::String(s.clone())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+macro_rules! from_int_impls {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(n: $t) -> Value {
+                Value::Number(Number::Int(n as i64))
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(n: &$t) -> Value {
+                Value::Number(Number::Int(*n as i64))
+            }
+        }
+    )*};
+}
+from_int_impls!(u8, u16, u32, i8, i16, i32, i64, usize);
+
+macro_rules! from_float_impls {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(f: $t) -> Value {
+                Value::Number(Number::Float(f as f64))
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(f: &$t) -> Value {
+                Value::Number(Number::Float(*f as f64))
+            }
+        }
+    )*};
+}
+from_float_impls!(f32, f64);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(xs: Vec<T>) -> Value {
+        Value::Array(xs.into_iter().map(Into::into).collect())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Value {
+        Value::Object(m)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Value {
+        o.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+// --- json! macro ---------------------------------------------------------
+
+/// Builds a [`Value`] from JSON-like syntax. Object values may be any
+/// Rust expression convertible into `Value`, or nested `{...}`/`[...]`
+/// literals.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_object_munch!(map $($body)*);
+        $crate::Value::Object(map)
+    }};
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Internal: munches `"key": value, ...` pairs into `$map`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_munch {
+    ($map:ident) => {};
+    ($map:ident ,) => {};
+    ($map:ident $key:literal : $($rest:tt)*) => {
+        $crate::json_value_munch!($map $key () $($rest)*);
+    };
+}
+
+/// Internal: accumulates value tokens until a top-level comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_value_munch {
+    ($map:ident $key:tt ($($val:tt)+)) => {
+        $map.insert($key.to_string(), $crate::json!($($val)+));
+    };
+    ($map:ident $key:tt ($($val:tt)+) , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!($($val)+));
+        $crate::json_object_munch!($map $($rest)*);
+    };
+    ($map:ident $key:tt ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_value_munch!($map $key ($($val)* $next) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_objects() {
+        let field = "count";
+        let v = json!({
+            "mark": "bar",
+            "data": {"values": vec![json!(1u8), json!("x")]},
+            "field": format!("{field}_y"),
+            "n": 2.0f64,
+        });
+        assert_eq!(v["mark"], "bar");
+        assert_eq!(v["data"]["values"].as_array().unwrap().len(), 2);
+        assert_eq!(v["field"], "count_y");
+        assert_eq!(to_string(&v).unwrap().contains("\"n\":2.0"), true);
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let v = json!({"a": [1, 2.5, "s"], "b": null, "c": true});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn object_maps_preserve_insertion_order() {
+        let mut m = Map::new();
+        m.insert("z".to_string(), json!(1));
+        m.insert("a".to_string(), json!(2));
+        assert_eq!(to_string(&Value::Object(m)).unwrap(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn missing_keys_index_to_null() {
+        let v = json!({"a": 1});
+        assert!(v["nope"].is_null());
+        assert!(v["a"]["deeper"].is_null());
+    }
+}

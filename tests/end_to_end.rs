@@ -1,11 +1,11 @@
 //! End-to-end integration: corpus → encoding → pre-training → fine-tuning
 //! → decoding → metrics, at smoke scale.
 
+use datavist5_repro::corpus::Split;
 use datavist5_repro::datavist5::config::{Scale, Size};
 use datavist5_repro::datavist5::data::Task;
 use datavist5_repro::datavist5::eval::{eval_text_gen, eval_text_to_vis};
 use datavist5_repro::datavist5::zoo::{ModelKind, Regime, Zoo};
-use datavist5_repro::corpus::Split;
 
 /// Tests share the on-disk checkpoint cache; serialize access so parallel
 /// test threads do not race directory deletion against training.

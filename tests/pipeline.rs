@@ -85,7 +85,12 @@ fn pretrain_corpus_covers_all_four_mappings_and_knowledge() {
     let docs = dv_knowledge_docs(&corpus.databases);
     assert_eq!(
         docs.len(),
-        corpus.databases.len() + corpus.databases.iter().map(|d| d.tables.len()).sum::<usize>()
+        corpus.databases.len()
+            + corpus
+                .databases
+                .iter()
+                .map(|d| d.tables.len())
+                .sum::<usize>()
     );
     for db in &corpus.databases {
         let name = db.name.to_ascii_lowercase();

@@ -2,10 +2,10 @@
 //! the GPT-4 simulator's schema adaptation, checkpoint caching, grammar-
 //! constrained prediction validity, and the LoRA adaptation path.
 
+use datavist5_repro::corpus::Split;
 use datavist5_repro::datavist5::config::{Scale, Size};
 use datavist5_repro::datavist5::data::Task;
 use datavist5_repro::datavist5::zoo::{adapt_query, ModelKind, Zoo};
-use datavist5_repro::corpus::Split;
 use datavist5_repro::vql;
 use datavist5_repro::vql::schema::{DbSchema, TableSchema};
 
@@ -17,7 +17,6 @@ fn lock() -> std::sync::MutexGuard<'static, ()> {
     CKPT_LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-
 #[test]
 fn adapt_query_remaps_tables_and_columns() {
     let _guard = lock();
@@ -25,7 +24,12 @@ fn adapt_query_remaps_tables_and_columns() {
         "inn_1",
         vec![TableSchema::new(
             "rooms",
-            vec!["roomid".into(), "roomname".into(), "baseprice".into(), "decor".into()],
+            vec![
+                "roomid".into(),
+                "roomname".into(),
+                "baseprice".into(),
+                "decor".into(),
+            ],
         )],
     );
     let proto = "visualize pie select artist.country, count ( artist.country ) from artist \
