@@ -18,4 +18,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q =="
 cargo test --workspace -q
 
+echo "== batched-decode differential suite =="
+cargo test -p nn --test batched_differential -q
+cargo test -p nn --test batched_proptests -q
+cargo test -p bench --test golden_decode -q
+
+echo "== decode_bench smoke (2 requests) =="
+cargo run --release -p bench --bin decode_bench -- \
+  --requests 2 --batch 2 --max-out 8 --out target/BENCH_decode_smoke.json
+
 echo "ci: all stages passed"

@@ -199,6 +199,13 @@ pub fn infer(kind: &OpKind, inputs: &[&[usize]], recorded: &[usize]) -> Result<V
             }
             Ok(recorded.to_vec())
         }
+        OpKind::GatherRows { num_ids } => {
+            let x = inputs[0];
+            if x.len() != 2 {
+                return Err(format!("gather_rows needs a 2-D input, got {x:?}"));
+            }
+            Ok(vec![*num_ids, x[1]])
+        }
     }
 }
 
@@ -308,6 +315,13 @@ mod tests {
             part_rows: vec![2, 9],
         };
         assert!(infer(&stale, &[&[2, 4], &[3, 4]], &[]).is_err());
+    }
+
+    #[test]
+    fn gather_rows_derives_rows_from_id_count() {
+        let kind = OpKind::GatherRows { num_ids: 5 };
+        assert_eq!(infer(&kind, &[&[9, 4]], &[]).unwrap(), vec![5, 4]);
+        assert!(infer(&kind, &[&[9]], &[]).is_err());
     }
 
     #[test]

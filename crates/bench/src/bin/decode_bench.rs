@@ -1,0 +1,112 @@
+//! Decode throughput: the sequential KV-cached decoder vs the batched
+//! inference engine, on randomly initialized weights (throughput does not
+//! depend on what the weights say, only on their shapes).
+//!
+//! EOS is placed outside the vocabulary so every request decodes the full
+//! `--max-out` tokens — both paths do identical work and the tokens/sec
+//! ratio is a pure engine comparison. The batched outputs are asserted
+//! token-identical to the sequential ones before any number is reported.
+//!
+//! Writes `BENCH_decode.json` at the repo root:
+//! `{preset, requests, batch, max_out, seq_tokens_per_sec,
+//!   batched_tokens_per_sec, speedup, identical}`.
+//!
+//! Usage: `decode_bench [--preset base|large] [--requests N] [--batch N]
+//! [--max-out N] [--out PATH]`
+
+use std::time::Instant;
+
+use nn::decode::{batched_greedy_decode, greedy_decode};
+use nn::param::ParamSet;
+use nn::t5::{DecodeState, T5Config, T5Model};
+use tensor::XorShift;
+
+const VOCAB: usize = 512;
+
+fn main() {
+    let mut preset = "base".to_string();
+    let mut requests = 8usize;
+    let mut batch = 8usize;
+    let mut max_out = 32usize;
+    let mut out_path = "BENCH_decode.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--preset" => preset = val("--preset"),
+            "--requests" => requests = val("--requests").parse().expect("--requests"),
+            "--batch" => batch = val("--batch").parse().expect("--batch"),
+            "--max-out" => max_out = val("--max-out").parse().expect("--max-out"),
+            "--out" => out_path = val("--out"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let cfg = match preset.as_str() {
+        "base" => T5Config::base(VOCAB),
+        "large" => T5Config::large(VOCAB),
+        other => panic!("unknown preset {other} (use base|large)"),
+    };
+    let mut ps = ParamSet::new();
+    let mut rng = XorShift::new(0xdec0de);
+    let model = T5Model::new(&mut ps, "bench", cfg, &mut rng);
+
+    // Ragged sources, lengths 8..=24; EOS outside the vocabulary so every
+    // request decodes exactly max_out tokens.
+    let eos = VOCAB as u32;
+    let srcs: Vec<Vec<u32>> = (0..requests)
+        .map(|_| {
+            let len = 8 + (rng.next_u64() % 17) as usize;
+            (0..len)
+                .map(|_| (rng.next_u64() % VOCAB as u64) as u32)
+                .collect()
+        })
+        .collect();
+
+    eprintln!("[decode_bench] preset={preset} requests={requests} batch={batch} max_out={max_out}");
+
+    let t0 = Instant::now();
+    let seq: Vec<Vec<u32>> = srcs
+        .iter()
+        .map(|src| {
+            let mut state = DecodeState::new(&model, &ps, src);
+            greedy_decode(&mut state, eos, max_out)
+        })
+        .collect();
+    let seq_secs = t0.elapsed().as_secs_f64();
+    let seq_tokens: usize = seq.iter().map(Vec::len).sum();
+
+    let t1 = Instant::now();
+    let batched = batched_greedy_decode(&model, &ps, &srcs, eos, max_out, batch);
+    let batched_secs = t1.elapsed().as_secs_f64();
+    let batched_tokens: usize = batched.iter().map(Vec::len).sum();
+
+    let identical = seq == batched;
+    assert!(identical, "batched outputs diverged from sequential");
+    assert_eq!(seq_tokens, requests * max_out, "unexpected early EOS");
+
+    let seq_tps = seq_tokens as f64 / seq_secs;
+    let batched_tps = batched_tokens as f64 / batched_secs;
+    let speedup = batched_tps / seq_tps;
+
+    let json = serde_json::json!({
+        "preset": preset,
+        "requests": requests,
+        "batch": batch,
+        "max_out": max_out,
+        "seq_tokens_per_sec": seq_tps,
+        "batched_tokens_per_sec": batched_tps,
+        "speedup": speedup,
+        "identical": identical,
+    });
+    let rendered = serde_json::to_string_pretty(&json).expect("serialize");
+    println!("{rendered}");
+    std::fs::write(&out_path, rendered + "\n").expect("write BENCH_decode.json");
+    eprintln!(
+        "[decode_bench] sequential {seq_tps:.0} tok/s | batched {batched_tps:.0} tok/s | \
+         speedup {speedup:.2}x -> {out_path}"
+    );
+}

@@ -102,26 +102,37 @@ pub fn eval_text_to_vis(
     corpus: &Corpus,
     cap: usize,
 ) -> TextToVisScores {
-    let mut non_join = Vec::new();
-    let mut join = Vec::new();
+    // Which examples get scored depends only on the join flag and the
+    // per-bucket caps — never on a prediction — so the scored set is fixed
+    // up front and predicted in one batch (the neural predictors pack it
+    // through the batched inference engine).
+    let mut selected: Vec<&TaskExample> = Vec::new();
     let mut n_nj = 0usize;
     let mut n_j = 0usize;
-    let mut lints = LintCounts::default();
     for e in examples {
         let bucket_full = if e.has_join { n_j >= cap } else { n_nj >= cap };
         if bucket_full {
             continue;
         }
-        let gold = e.gold_query.as_deref().unwrap_or_default();
-        let pred = predictor.predict(e);
-        let m = score_text_to_vis(&pred, gold, corpus, &e.db_name);
-        lint_prediction(&pred, corpus, &e.db_name, &mut lints);
         if e.has_join {
-            join.push(m);
             n_j += 1;
         } else {
-            non_join.push(m);
             n_nj += 1;
+        }
+        selected.push(e);
+    }
+    let preds = predictor.predict_batch(&selected);
+    let mut non_join = Vec::new();
+    let mut join = Vec::new();
+    let mut lints = LintCounts::default();
+    for (e, pred) in selected.iter().zip(&preds) {
+        let gold = e.gold_query.as_deref().unwrap_or_default();
+        let m = score_text_to_vis(pred, gold, corpus, &e.db_name);
+        lint_prediction(pred, corpus, &e.db_name, &mut lints);
+        if e.has_join {
+            join.push(m);
+        } else {
+            non_join.push(m);
         }
     }
     TextToVisScores {
@@ -178,14 +189,12 @@ pub fn eval_text_gen(
     examples: &[&TaskExample],
     cap: usize,
 ) -> TextGenScores {
-    let pairs: Vec<(String, String)> = examples
+    let selected: Vec<&TaskExample> = examples.iter().take(cap).copied().collect();
+    let preds = predictor.predict_batch(&selected);
+    let pairs: Vec<(String, String)> = selected
         .iter()
-        .take(cap)
-        .map(|e| {
-            let pred = predictor.predict(e);
-            let reference = crate::data::strip_prefix(e.task, &e.output);
-            (pred, reference)
-        })
+        .zip(preds)
+        .map(|(e, pred)| (pred, crate::data::strip_prefix(e.task, &e.output)))
         .collect();
     TextGenScores::compute(&pairs)
 }

@@ -20,7 +20,9 @@
 use std::path::PathBuf;
 
 use corpus::{Corpus, Split};
-use nn::decode::{constrained_decode, greedy_decode};
+use nn::decode::{
+    batched_constrained_decode, batched_greedy_decode, constrained_decode, greedy_decode,
+};
 use nn::lstm::{LstmConfig, LstmSeq2Seq};
 use nn::param::ParamSet;
 use nn::t5::{DecodeState, Positional, T5Model};
@@ -111,7 +113,20 @@ pub enum Trained {
 /// output prefix stripped).
 pub trait Predictor {
     fn predict(&self, example: &TaskExample) -> String;
+
+    /// Predicts a whole slice of examples. The default maps
+    /// [`Predictor::predict`]; the neural predictors override it to pack
+    /// concurrent decodes into the batched inference engine
+    /// ([`nn::batch::BatchedDecodeState`]), which is proven token-identical
+    /// to the sequential path — overriding never changes outputs, only
+    /// throughput.
+    fn predict_batch(&self, examples: &[&TaskExample]) -> Vec<String> {
+        examples.iter().map(|e| self.predict(e)).collect()
+    }
 }
+
+/// Slot capacity the eval-path predictors hand to the batched engine.
+const DECODE_SLOTS: usize = 8;
 
 /// Shared assets: corpus, encoded datasets, tokenizer, checkpoint cache.
 pub struct Zoo {
@@ -608,14 +623,21 @@ impl Zoo {
         Gpt4Simulator::new(self)
     }
 
-    /// Greedy generation for raw text input (shared by predictors).
-    fn generate(&self, trained: &Trained, input: &str) -> String {
+    /// Encodes raw text into source ids, truncated to the scale's max
+    /// length with a terminal EOS (shared by every decode path).
+    fn encode_input(&self, input: &str) -> Vec<u32> {
         let max_len = self.scale.max_len();
         let mut ids = self.tok.encode_with_eos(input);
         if ids.len() > max_len {
             ids.truncate(max_len - 1);
             ids.push(special::EOS);
         }
+        ids
+    }
+
+    /// Greedy generation for raw text input (shared by predictors).
+    fn generate(&self, trained: &Trained, input: &str) -> String {
+        let ids = self.encode_input(input);
         let out = match trained {
             Trained::T5 { model, ps } => {
                 let mut state = DecodeState::new(model, ps, &ids);
@@ -627,6 +649,28 @@ impl Zoo {
             }
         };
         self.tok.decode(&out)
+    }
+
+    /// Greedy generation for many inputs at once. T5 models decode through
+    /// the batched inference engine (one packed GEMM per layer per step,
+    /// token-identical to [`Zoo::generate`]); the LSTM baseline has no
+    /// batched state and falls back to per-input decoding.
+    fn generate_batch(&self, trained: &Trained, inputs: &[String]) -> Vec<String> {
+        match trained {
+            Trained::T5 { model, ps } => {
+                let srcs: Vec<Vec<u32>> = inputs.iter().map(|i| self.encode_input(i)).collect();
+                let outs = batched_greedy_decode(
+                    model,
+                    ps,
+                    &srcs,
+                    special::EOS,
+                    self.scale.max_out(),
+                    DECODE_SLOTS,
+                );
+                outs.iter().map(|o| self.tok.decode(o)).collect()
+            }
+            Trained::Lstm { .. } => inputs.iter().map(|i| self.generate(trained, i)).collect(),
+        }
     }
 }
 
@@ -641,6 +685,16 @@ impl Predictor for NeuralPredictor<'_> {
         let raw = self.zoo.generate(&self.trained, &example.input);
         strip_prefix(example.task, &raw)
     }
+
+    fn predict_batch(&self, examples: &[&TaskExample]) -> Vec<String> {
+        let inputs: Vec<String> = examples.iter().map(|e| e.input.clone()).collect();
+        let raws = self.zoo.generate_batch(&self.trained, &inputs);
+        examples
+            .iter()
+            .zip(raws)
+            .map(|(e, raw)| strip_prefix(e.task, &raw))
+            .collect()
+    }
 }
 
 /// ncNet: grammar-constrained decoding against the example's schema.
@@ -649,15 +703,12 @@ struct ConstrainedPredictor<'z> {
     trained: Trained,
 }
 
-impl Predictor for ConstrainedPredictor<'_> {
-    fn predict(&self, example: &TaskExample) -> String {
-        let Trained::T5 { model, ps } = &self.trained else {
-            return String::new();
-        };
+impl ConstrainedPredictor<'_> {
+    /// Builds the grammar constraint and encoded source for one example,
+    /// or `None` when the database is unknown (which predicts empty).
+    fn prepare(&self, example: &TaskExample) -> Option<(GrammarConstraint, Vec<u32>)> {
         let zoo = self.zoo;
-        let Some(db) = zoo.corpus.database(&example.db_name) else {
-            return String::new();
-        };
+        let db = zoo.corpus.database(&example.db_name)?;
         let schema = db.schema();
         // Literal pool: question tokens that exist in the vocabulary as
         // quoted strings or numbers.
@@ -672,40 +723,87 @@ impl Predictor for ConstrainedPredictor<'_> {
             }
         }
         let grammar = GrammarConstraint::new(&schema, pool);
+        Some((grammar, zoo.encode_input(&example.input)))
+    }
 
-        let max_len = zoo.scale.max_len();
-        let mut ids = zoo.tok.encode_with_eos(&example.input);
-        if ids.len() > max_len {
-            ids.truncate(max_len - 1);
-            ids.push(special::EOS);
+    /// The allowed-token mask for one decode prefix. Shared verbatim by
+    /// the sequential and batched paths so constrained decoding stays
+    /// output-identical between them.
+    fn allowed(&self, grammar: &GrammarConstraint, prefix: &[u32]) -> Vec<u32> {
+        let zoo = self.zoo;
+        // First token is the output-corpus marker.
+        if prefix.is_empty() {
+            return zoo.tok.vocab().id("<vql>").into_iter().collect();
         }
+        let words: Vec<&str> = prefix[1..]
+            .iter()
+            .filter_map(|&id| zoo.tok.vocab().token(id))
+            .collect();
+        let mut allowed_ids = Vec::new();
+        for w in grammar.allowed_next(&words) {
+            if w == GRAMMAR_EOS {
+                allowed_ids.push(special::EOS);
+            } else if let Some(id) = zoo.tok.vocab().id(&w) {
+                allowed_ids.push(id);
+            }
+        }
+        allowed_ids
+    }
+}
+
+impl Predictor for ConstrainedPredictor<'_> {
+    fn predict(&self, example: &TaskExample) -> String {
+        let Trained::T5 { model, ps } = &self.trained else {
+            return String::new();
+        };
+        let Some((grammar, ids)) = self.prepare(example) else {
+            return String::new();
+        };
         let mut state = DecodeState::new(model, ps, &ids);
-        let vql_prefix = zoo.tok.vocab().id("<vql>");
         let out = constrained_decode(
             &mut state,
             special::EOS,
-            zoo.scale.max_out(),
-            |prefix: &[u32]| {
-                // First token is the output-corpus marker.
-                if prefix.is_empty() {
-                    return vql_prefix.into_iter().collect();
-                }
-                let words: Vec<&str> = prefix[1..]
-                    .iter()
-                    .filter_map(|&id| zoo.tok.vocab().token(id))
-                    .collect();
-                let mut allowed_ids = Vec::new();
-                for w in grammar.allowed_next(&words) {
-                    if w == GRAMMAR_EOS {
-                        allowed_ids.push(special::EOS);
-                    } else if let Some(id) = zoo.tok.vocab().id(&w) {
-                        allowed_ids.push(id);
-                    }
-                }
-                allowed_ids
-            },
+            self.zoo.scale.max_out(),
+            |prefix: &[u32]| self.allowed(&grammar, prefix),
         );
-        strip_prefix(example.task, &zoo.tok.decode(&out))
+        strip_prefix(example.task, &self.zoo.tok.decode(&out))
+    }
+
+    fn predict_batch(&self, examples: &[&TaskExample]) -> Vec<String> {
+        let Trained::T5 { model, ps } = &self.trained else {
+            return vec![String::new(); examples.len()];
+        };
+        // Examples with unknown databases predict empty (as sequentially);
+        // the rest share one batched constrained decode.
+        let prepared: Vec<Option<(GrammarConstraint, Vec<u32>)>> =
+            examples.iter().map(|e| self.prepare(e)).collect();
+        let srcs: Vec<Vec<u32>> = prepared
+            .iter()
+            .flatten()
+            .map(|(_, ids)| ids.clone())
+            .collect();
+        let grammars: Vec<&GrammarConstraint> = prepared.iter().flatten().map(|(g, _)| g).collect();
+        let outs = batched_constrained_decode(
+            model,
+            ps,
+            &srcs,
+            special::EOS,
+            self.zoo.scale.max_out(),
+            DECODE_SLOTS,
+            |req, prefix| self.allowed(grammars[req], prefix),
+        );
+        let mut outs = outs.into_iter();
+        examples
+            .iter()
+            .zip(&prepared)
+            .map(|(e, p)| {
+                if p.is_some() {
+                    strip_prefix(e.task, &self.zoo.tok.decode(&outs.next().unwrap()))
+                } else {
+                    String::new()
+                }
+            })
+            .collect()
     }
 }
 
@@ -723,6 +821,20 @@ impl Predictor for RgVisNetPredictor<'_> {
         let input = self.zoo.rgvisnet_input(&self.index, &train_refs, example);
         let raw = self.zoo.generate(&self.trained, &input);
         strip_prefix(example.task, &raw)
+    }
+
+    fn predict_batch(&self, examples: &[&TaskExample]) -> Vec<String> {
+        let train_refs: Vec<&TaskExample> = self.train.iter().collect();
+        let inputs: Vec<String> = examples
+            .iter()
+            .map(|e| self.zoo.rgvisnet_input(&self.index, &train_refs, e))
+            .collect();
+        let raws = self.zoo.generate_batch(&self.trained, &inputs);
+        examples
+            .iter()
+            .zip(raws)
+            .map(|(e, raw)| strip_prefix(e.task, &raw))
+            .collect()
     }
 }
 

@@ -1,0 +1,519 @@
+//! Cross-request batched incremental decoding.
+//!
+//! [`BatchedDecodeState`] holds up to `capacity` independent decode
+//! requests (each with its own KV caches and its own ragged length) and
+//! advances any subset of them one token per [`step_packed`] call. The
+//! per-layer projections, feed-forward, and the vocabulary logits of all
+//! active requests are packed into single `[N, d] × [d, d']` matmuls, so
+//! the model weights stream through the cache once per step instead of
+//! once per request — and, unlike the sequential [`DecodeState`], no
+//! autodiff tape is recorded and no weight tensor is cloned.
+//!
+//! # Exact equivalence with the sequential path
+//!
+//! Every request's logits are bit-identical to what [`DecodeState::step`]
+//! would produce, a property the differential suite in
+//! `crates/nn/tests/batched_differential.rs` locks in. This works because
+//! the packed matmuls process rows independently (`tensor::kernels` docs),
+//! every row-wise op (`rms_norm`, softmax, ReLU, residual adds) is applied
+//! with the same accumulation order as the tape ops, and the per-slot
+//! attention loops below mirror the kernel loops the tape path runs —
+//! including the exact-zero skip in `mm_nn` and the
+//! multiply-by-reciprocal in `softmax_rows`.
+//!
+//! # Continuous batching
+//!
+//! A finished request is [`retire`]d, which NaN-poisons its caches (so any
+//! accidental read by a later step would propagate to logits and fail the
+//! differential tests) and frees its slot for immediate reuse by
+//! [`admit`] — the scheduling loop in [`crate::decode::batched_greedy_decode`]
+//! refills slots from its pending queue without draining the batch.
+//!
+//! [`step_packed`]: BatchedDecodeState::step_packed
+//! [`retire`]: BatchedDecodeState::retire
+//! [`admit`]: BatchedDecodeState::admit
+//! [`DecodeState`]: crate::t5::DecodeState
+//! [`DecodeState::step`]: crate::t5::DecodeState::step
+
+use tensor::kernels;
+use tensor::Tensor;
+
+use crate::layers::{Linear, RelPosBias, RmsNorm};
+use crate::param::ParamSet;
+use crate::t5::{DecodeState, Positional, T5Model};
+
+/// One resident request: per-layer KV caches plus the decode position.
+struct Slot {
+    /// Per-decoder-layer cached cross-attention keys/values `[ts, d]`.
+    cross_k: Vec<Tensor>,
+    cross_v: Vec<Tensor>,
+    /// Per-decoder-layer growing self-attention keys/values `[t, d]`.
+    self_k: Vec<Tensor>,
+    self_v: Vec<Tensor>,
+    /// Number of decoder tokens fed so far.
+    t: usize,
+    /// Retired slots keep their (poisoned) caches resident until reuse.
+    live: bool,
+}
+
+/// Batched KV-cached decoding over up to `capacity` concurrent requests.
+pub struct BatchedDecodeState<'m> {
+    model: &'m T5Model,
+    ps: &'m ParamSet,
+    slots: Vec<Option<Slot>>,
+    scratch: Scratch,
+}
+
+/// Step-to-step reusable activation buffers (all `[n, ·]`, row-major).
+#[derive(Default)]
+struct Scratch {
+    x: Vec<f32>,
+    normed: Vec<f32>,
+    q: Vec<f32>,
+    k_new: Vec<f32>,
+    v_new: Vec<f32>,
+    ctx: Vec<f32>,
+    proj: Vec<f32>,
+    ff_h: Vec<f32>,
+    scores: Vec<f32>,
+    logits: Vec<f32>,
+}
+
+impl<'m> BatchedDecodeState<'m> {
+    /// Creates an engine with `capacity` empty slots.
+    pub fn new(model: &'m T5Model, ps: &'m ParamSet, capacity: usize) -> Self {
+        assert!(capacity > 0, "batch capacity must be positive");
+        Self {
+            model,
+            ps,
+            slots: (0..capacity).map(|_| None).collect(),
+            scratch: Scratch::default(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of slots currently free (empty or retired).
+    pub fn free_slots(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| !matches!(s, Some(Slot { live: true, .. })))
+            .count()
+    }
+
+    /// Runs the encoder for `src` and installs the request in a free slot,
+    /// returning its slot index — or `None` when every slot is live.
+    ///
+    /// The encoder and the cross-attention K/V precomputation run through
+    /// [`DecodeState::new`], so the cached tensors are the sequential
+    /// path's own, bit for bit.
+    pub fn admit(&mut self, src: &[u32]) -> Option<usize> {
+        let idx = self
+            .slots
+            .iter()
+            .position(|s| !matches!(s, Some(Slot { live: true, .. })))?;
+        let mut seq = DecodeState::new(self.model, self.ps, src);
+        self.slots[idx] = Some(Slot {
+            cross_k: std::mem::take(&mut seq.cross_k),
+            cross_v: std::mem::take(&mut seq.cross_v),
+            self_k: std::mem::take(&mut seq.self_k),
+            self_v: std::mem::take(&mut seq.self_v),
+            t: 0,
+            live: true,
+        });
+        Some(idx)
+    }
+
+    /// Number of decoder tokens the request in `slot` has consumed.
+    pub fn slot_len(&self, slot: usize) -> usize {
+        self.slots[slot].as_ref().map_or(0, |s| s.t)
+    }
+
+    /// Whether `slot` holds a live request.
+    pub fn is_live(&self, slot: usize) -> bool {
+        matches!(self.slots.get(slot), Some(Some(Slot { live: true, .. })))
+    }
+
+    /// Finishes a request: poisons every cache row with NaN and marks the
+    /// slot free. The poisoned tensors stay resident until `admit` reuses
+    /// the slot, so a stale read from any later `step_packed` surfaces as
+    /// NaN logits instead of silently borrowing another request's state.
+    pub fn retire(&mut self, slot: usize) {
+        let s = self.slots[slot]
+            .as_mut()
+            .unwrap_or_else(|| panic!("retire of empty slot {slot}"));
+        assert!(s.live, "retire of already-retired slot {slot}");
+        for cache in s
+            .cross_k
+            .iter_mut()
+            .chain(s.cross_v.iter_mut())
+            .chain(s.self_k.iter_mut())
+            .chain(s.self_v.iter_mut())
+        {
+            cache.data_mut().fill(f32::NAN);
+        }
+        s.live = false;
+    }
+
+    fn slot(&self, idx: usize) -> &Slot {
+        self.slots[idx].as_ref().expect("empty slot")
+    }
+
+    /// Advances every `(slot, previous_token)` pair by one step and returns
+    /// their next-token logit rows, in input order.
+    ///
+    /// Requests may sit at different positions (ragged batching); each
+    /// attends over exactly its own caches. Listing a slot twice, listing a
+    /// retired/empty slot, or passing no requests panics.
+    pub fn step_packed(&mut self, active: &[(usize, u32)]) -> Vec<Vec<f32>> {
+        assert!(!active.is_empty(), "step_packed needs at least one request");
+        let mut seen = vec![false; self.slots.len()];
+        for &(slot, _) in active {
+            assert!(self.is_live(slot), "step of empty or retired slot {slot}");
+            assert!(!seen[slot], "slot {slot} listed twice in one step");
+            seen[slot] = true;
+        }
+
+        let m = self.model;
+        let ps = self.ps;
+        let d = m.cfg.d_model;
+        let heads = m.cfg.heads;
+        let dh = d / heads;
+        let n = active.len();
+        let mut scratch = std::mem::take(&mut self.scratch);
+
+        // Embed each request's previous token at its own position.
+        let table = ps.value(m.emb.table);
+        scratch.x.clear();
+        scratch.x.resize(n * d, 0.0);
+        for (row, &(slot, tok)) in active.iter().enumerate() {
+            let id = tok as usize;
+            assert!(
+                id < m.cfg.vocab,
+                "token id {id} out of range {}",
+                m.cfg.vocab
+            );
+            let x_row = &mut scratch.x[row * d..(row + 1) * d];
+            x_row.copy_from_slice(&table.data()[id * d..(id + 1) * d]);
+            if m.cfg.positional == Positional::Sinusoidal {
+                let pos = m.sinusoidal(1, self.slot(slot).t);
+                for (o, &p) in x_row.iter_mut().zip(pos.data().iter()) {
+                    *o += p;
+                }
+            }
+        }
+
+        for (l, block) in m.dec.iter().enumerate() {
+            // Self-attention: packed projections, per-slot cached attention.
+            rms_norm_packed(ps, &block.norm1, &scratch.x, d, &mut scratch.normed);
+            linear_packed(ps, &block.self_attn.wq, &scratch.normed, n, &mut scratch.q);
+            linear_packed(
+                ps,
+                &block.self_attn.wk,
+                &scratch.normed,
+                n,
+                &mut scratch.k_new,
+            );
+            linear_packed(
+                ps,
+                &block.self_attn.wv,
+                &scratch.normed,
+                n,
+                &mut scratch.v_new,
+            );
+            scratch.ctx.clear();
+            scratch.ctx.resize(n * d, 0.0);
+            for (row, &(slot_idx, _)) in active.iter().enumerate() {
+                let slot = self.slots[slot_idx].as_mut().expect("live slot");
+                append_cache_row(
+                    &mut slot.self_k[l],
+                    &scratch.k_new[row * d..(row + 1) * d],
+                    d,
+                );
+                append_cache_row(
+                    &mut slot.self_v[l],
+                    &scratch.v_new[row * d..(row + 1) * d],
+                    d,
+                );
+                let pos = slot.t;
+                attend_row(
+                    &scratch.q[row * d..(row + 1) * d],
+                    &slot.self_k[l],
+                    &slot.self_v[l],
+                    m.dec_bias.as_ref().map(|b| (b, ps, pos)),
+                    dh,
+                    &mut scratch.scores,
+                    &mut scratch.ctx[row * d..(row + 1) * d],
+                );
+            }
+            linear_packed(ps, &block.self_attn.wo, &scratch.ctx, n, &mut scratch.proj);
+            add_assign(&mut scratch.x, &scratch.proj);
+
+            // Cross-attention over the precomputed encoder keys/values.
+            rms_norm_packed(ps, &block.norm2, &scratch.x, d, &mut scratch.normed);
+            linear_packed(ps, &block.cross_attn.wq, &scratch.normed, n, &mut scratch.q);
+            scratch.ctx.clear();
+            scratch.ctx.resize(n * d, 0.0);
+            for (row, &(slot_idx, _)) in active.iter().enumerate() {
+                let slot = self.slot(slot_idx);
+                attend_row(
+                    &scratch.q[row * d..(row + 1) * d],
+                    &slot.cross_k[l],
+                    &slot.cross_v[l],
+                    None,
+                    dh,
+                    &mut scratch.scores,
+                    &mut scratch.ctx[row * d..(row + 1) * d],
+                );
+            }
+            linear_packed(ps, &block.cross_attn.wo, &scratch.ctx, n, &mut scratch.proj);
+            add_assign(&mut scratch.x, &scratch.proj);
+
+            // Feed-forward.
+            rms_norm_packed(ps, &block.norm3, &scratch.x, d, &mut scratch.normed);
+            linear_packed(ps, &block.ff.wi, &scratch.normed, n, &mut scratch.ff_h);
+            for v in scratch.ff_h.iter_mut() {
+                *v = v.max(0.0);
+            }
+            linear_packed(ps, &block.ff.wo, &scratch.ff_h, n, &mut scratch.proj);
+            add_assign(&mut scratch.x, &scratch.proj);
+        }
+
+        rms_norm_packed(ps, &m.dec_final, &scratch.x, d, &mut scratch.normed);
+        // Tied-embedding logits: one [n, d] × [vocab, d]ᵀ matmul for the
+        // whole batch, scaled like `T5Model::logits`.
+        let vocab = m.cfg.vocab;
+        scratch.logits.clear();
+        scratch.logits.resize(n * vocab, 0.0);
+        kernels::mm_nt(
+            &scratch.normed,
+            table.data(),
+            &mut scratch.logits,
+            n,
+            d,
+            vocab,
+            false,
+        );
+        let factor = 1.0 / (d as f32).sqrt();
+        for v in scratch.logits.iter_mut() {
+            *v *= factor;
+        }
+
+        let out = scratch
+            .logits
+            .chunks(vocab)
+            .map(|row| row.to_vec())
+            .collect();
+        for &(slot_idx, _) in active {
+            self.slots[slot_idx].as_mut().expect("live slot").t += 1;
+        }
+        self.scratch = scratch;
+        out
+    }
+}
+
+/// Appends one `[d]` row to a growing `[t, d]` cache tensor.
+fn append_cache_row(store: &mut Tensor, row: &[f32], d: usize) {
+    let t = store.shape()[0];
+    let mut data = std::mem::take(store).into_data();
+    data.extend_from_slice(row);
+    *store = Tensor::from_vec(vec![t + 1, d], data);
+}
+
+/// `y = x·W (+ LoRA delta) (+ bias)` on packed `[n, d_in]` rows, matching
+/// `Linear::forward` term order exactly.
+fn linear_packed(ps: &ParamSet, lin: &Linear, x: &[f32], n: usize, out: &mut Vec<f32>) {
+    let w = ps.value(lin.w);
+    out.clear();
+    out.resize(n * lin.d_out, 0.0);
+    kernels::mm_nn(x, w.data(), out, n, lin.d_in, lin.d_out, false);
+    if let Some((a, b, scale)) = lin.lora {
+        let va = ps.value(a);
+        let vb = ps.value(b);
+        let rank = va.shape()[1];
+        let mut xa = vec![0.0; n * rank];
+        kernels::mm_nn(x, va.data(), &mut xa, n, lin.d_in, rank, false);
+        let mut xab = vec![0.0; n * lin.d_out];
+        kernels::mm_nn(&xa, vb.data(), &mut xab, n, rank, lin.d_out, false);
+        for (o, &dv) in out.iter_mut().zip(xab.iter()) {
+            *o += dv * scale;
+        }
+    }
+    if let Some(bid) = lin.b {
+        let bias = ps.value(bid);
+        for row in out.chunks_mut(lin.d_out) {
+            for (o, &bv) in row.iter_mut().zip(bias.data().iter()) {
+                *o += bv;
+            }
+        }
+    }
+}
+
+/// Row-wise RMS norm on packed `[n, d]` rows, matching `Graph::rms_norm`.
+fn rms_norm_packed(ps: &ParamSet, norm: &RmsNorm, x: &[f32], d: usize, out: &mut Vec<f32>) {
+    let gain = ps.value(norm.gain);
+    out.clear();
+    out.extend_from_slice(x);
+    for row in out.chunks_mut(d) {
+        let ms = row.iter().map(|v| v * v).sum::<f32>() / d as f32;
+        let r = (ms + norm.eps).sqrt();
+        let inv = 1.0 / r;
+        for (o, g) in row.iter_mut().zip(gain.data().iter()) {
+            *o = *o * inv * g;
+        }
+    }
+}
+
+fn add_assign(x: &mut [f32], y: &[f32]) {
+    for (a, &b) in x.iter_mut().zip(y.iter()) {
+        *a += b;
+    }
+}
+
+/// Single-query multi-head attention of `q` (`[d]`) over `[tk, d]` caches,
+/// writing the head-concatenated context into `ctx` (`[d]`).
+///
+/// Mirrors the tape path of `DecodeState::step` per head: ascending-`k`
+/// score dots (the `mm_nt` register accumulation), scale by `dh^-0.5`,
+/// optional relative-position bias, `softmax_rows`, then an ascending-`t`
+/// probability-weighted sum with the `mm_nn` exact-zero skip.
+fn attend_row(
+    q: &[f32],
+    k_cache: &Tensor,
+    v_cache: &Tensor,
+    bias: Option<(&RelPosBias, &ParamSet, usize)>,
+    dh: usize,
+    scores: &mut Vec<f32>,
+    ctx: &mut [f32],
+) {
+    let tk = k_cache.shape()[0];
+    let d = k_cache.shape()[1];
+    let heads = d / dh;
+    let k = k_cache.data();
+    let v = v_cache.data();
+    let factor = 1.0 / (dh as f32).sqrt();
+    for h in 0..heads {
+        let q_h = &q[h * dh..(h + 1) * dh];
+        scores.clear();
+        scores.resize(tk, 0.0);
+        for (t, s) in scores.iter_mut().enumerate() {
+            let k_row = &k[t * d + h * dh..t * d + (h + 1) * dh];
+            let mut acc = 0.0f32;
+            for (&qv, &kv) in q_h.iter().zip(k_row.iter()) {
+                acc += qv * kv;
+            }
+            *s = acc;
+        }
+        for s in scores.iter_mut() {
+            *s *= factor;
+        }
+        if let Some((b, ps, pos)) = bias {
+            let table = ps.value(b.table).data();
+            for (t, s) in scores.iter_mut().enumerate() {
+                let bucket = b.bucket(t as i64 - pos as i64);
+                *s += table[bucket * heads + h];
+            }
+        }
+        kernels::softmax_rows(scores, tk);
+        let ctx_h = &mut ctx[h * dh..(h + 1) * dh];
+        for (t, &p) in scores.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let v_row = &v[t * d + h * dh..t * d + (h + 1) * dh];
+            for (c, &vv) in ctx_h.iter_mut().zip(v_row.iter()) {
+                *c += p * vv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::t5::{T5Config, DECODER_START};
+    use tensor::XorShift;
+
+    fn build(positional: Positional) -> (T5Model, ParamSet) {
+        let mut ps = ParamSet::new();
+        let mut rng = XorShift::new(7);
+        let cfg = T5Config {
+            vocab: 20,
+            d_model: 16,
+            d_ff: 32,
+            heads: 2,
+            enc_layers: 2,
+            dec_layers: 2,
+            dropout: 0.0,
+            positional,
+        };
+        let m = T5Model::new(&mut ps, "m", cfg, &mut rng);
+        (m, ps)
+    }
+
+    #[test]
+    fn single_request_step_is_bitwise_equal_to_sequential() {
+        for positional in [Positional::RelativeBias, Positional::Sinusoidal] {
+            let (m, ps) = build(positional);
+            let src = [3u32, 4, 5, 1];
+            let mut seq = DecodeState::new(&m, &ps, &src);
+            let mut batched = BatchedDecodeState::new(&m, &ps, 2);
+            let slot = batched.admit(&src).unwrap();
+            let mut prev = DECODER_START;
+            for step in 0..6 {
+                let want = seq.step(prev);
+                let got = &batched.step_packed(&[(slot, prev)])[0];
+                for (i, (a, b)) in got.iter().zip(want.iter()).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{positional:?} step {step} logit {i}: {a} vs {b}"
+                    );
+                }
+                prev = (step % 7 + 2) as u32;
+            }
+        }
+    }
+
+    #[test]
+    fn slot_reuse_after_retire_matches_fresh_state() {
+        let (m, ps) = build(Positional::RelativeBias);
+        let mut batched = BatchedDecodeState::new(&m, &ps, 1);
+        let slot = batched.admit(&[3, 4, 1]).unwrap();
+        batched.step_packed(&[(slot, DECODER_START)]);
+        batched.retire(slot);
+        assert!(!batched.is_live(slot));
+        // The reused slot must behave exactly like a fresh sequential state.
+        let slot2 = batched.admit(&[5, 6, 7, 1]).unwrap();
+        assert_eq!(slot2, slot);
+        let mut seq = DecodeState::new(&m, &ps, &[5, 6, 7, 1]);
+        let want = seq.step(DECODER_START);
+        let got = &batched.step_packed(&[(slot2, DECODER_START)])[0];
+        for (a, b) in got.iter().zip(want.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "retired slot")]
+    fn stepping_a_retired_slot_panics() {
+        let (m, ps) = build(Positional::RelativeBias);
+        let mut batched = BatchedDecodeState::new(&m, &ps, 1);
+        let slot = batched.admit(&[3, 1]).unwrap();
+        batched.retire(slot);
+        batched.step_packed(&[(slot, DECODER_START)]);
+    }
+
+    #[test]
+    fn admit_reports_full_capacity() {
+        let (m, ps) = build(Positional::RelativeBias);
+        let mut batched = BatchedDecodeState::new(&m, &ps, 2);
+        assert!(batched.admit(&[3, 1]).is_some());
+        assert!(batched.admit(&[4, 1]).is_some());
+        assert_eq!(batched.free_slots(), 0);
+        assert!(batched.admit(&[5, 1]).is_none());
+    }
+}

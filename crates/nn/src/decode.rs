@@ -4,8 +4,19 @@
 //! `step(token) -> logits` method; the [`StepDecoder`] trait unifies them
 //! so the same decoding routines drive the T5 family and the LSTM
 //! baseline. The decoder start token is the T5 convention (`<pad>`).
+//!
+//! For T5 models there is also a batched path:
+//! [`batched_greedy_decode`] and [`batched_constrained_decode`] drive a
+//! [`BatchedDecodeState`] with continuous batching — free slots refill
+//! from the pending request queue the moment a request retires — and are
+//! token-for-token identical to looping [`greedy_decode`] /
+//! [`constrained_decode`] over the requests one at a time (the
+//! determinism contracts of [`argmax`] and the masked pick are part of
+//! that guarantee and are locked by unit tests).
 
-use crate::t5::DECODER_START;
+use crate::batch::BatchedDecodeState;
+use crate::param::ParamSet;
+use crate::t5::{T5Model, DECODER_START};
 
 /// An incremental decoder: feed the previously produced token, get logits
 /// for the next one.
@@ -61,15 +72,7 @@ pub fn constrained_decode(
         if mask.is_empty() {
             break;
         }
-        let next = mask
-            .iter()
-            .copied()
-            .max_by(|&a, &b| {
-                logits[a as usize]
-                    .partial_cmp(&logits[b as usize])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .expect("non-empty mask");
+        let next = masked_argmax(&logits, &mask);
         if next == eos {
             break;
         }
@@ -154,7 +157,12 @@ pub fn beam_decode<D: StepDecoder + Clone>(
         .unwrap_or_default()
 }
 
-fn argmax(xs: &[f32]) -> u32 {
+/// Index of the largest logit, breaking ties toward the **lowest** index.
+///
+/// The tie rule is a determinism contract: the batched and sequential
+/// greedy decoders both route through this function, so equal logits can
+/// never make the two paths diverge.
+pub fn argmax(xs: &[f32]) -> u32 {
     let mut best = 0usize;
     for (i, &x) in xs.iter().enumerate() {
         if x > xs[best] {
@@ -164,10 +172,146 @@ fn argmax(xs: &[f32]) -> u32 {
     best as u32
 }
 
-fn log_softmax(xs: &[f32]) -> Vec<f32> {
+/// The best-scoring token of a non-empty `mask`, breaking ties toward the
+/// **last** mask entry (the historical `Iterator::max_by` behaviour of
+/// [`constrained_decode`], now shared with the batched path so both pick
+/// identically).
+pub fn masked_argmax(logits: &[f32], mask: &[u32]) -> u32 {
+    mask.iter()
+        .copied()
+        .max_by(|&a, &b| {
+            logits[a as usize]
+                .partial_cmp(&logits[b as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("non-empty mask")
+}
+
+/// Numerically stable log-softmax of a logits row.
+///
+/// An all-`-inf` row (every token masked out) yields all `-inf`
+/// log-probabilities rather than the NaN vector the naive
+/// `exp(-inf - -inf)` evaluation would produce.
+pub fn log_softmax(xs: &[f32]) -> Vec<f32> {
     let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        return vec![f32::NEG_INFINITY; xs.len()];
+    }
     let log_sum = xs.iter().map(|x| (x - max).exp()).sum::<f32>().ln() + max;
     xs.iter().map(|x| x - log_sum).collect()
+}
+
+/// Greedy-decodes every request in `srcs` through a
+/// [`BatchedDecodeState`] with `capacity` slots, returning per-request
+/// outputs in input order.
+///
+/// Token-for-token identical to running [`greedy_decode`] over a
+/// sequential `DecodeState` per request: same per-request step count,
+/// same [`argmax`] tie-breaking, bit-identical logits (see
+/// [`crate::batch`]). Slots retire on EOS or `max_len` and refill from
+/// the pending queue immediately (continuous batching), so a long request
+/// never blocks admission of short ones.
+pub fn batched_greedy_decode(
+    model: &T5Model,
+    ps: &ParamSet,
+    srcs: &[Vec<u32>],
+    eos: u32,
+    max_len: usize,
+    capacity: usize,
+) -> Vec<Vec<u32>> {
+    batched_decode_loop(model, ps, srcs, max_len, capacity, |_, logits, _| {
+        let next = argmax(logits);
+        (next != eos).then_some(next)
+    })
+}
+
+/// Batched grammar-constrained greedy decoding.
+///
+/// `allowed(request, prefix)` maps each request's emitted prefix to its
+/// allowed token ids, exactly like the closure of [`constrained_decode`];
+/// an empty set finishes that request. Per request the output is
+/// token-for-token identical to the sequential routine, including the
+/// last-entry tie-breaking of [`masked_argmax`].
+pub fn batched_constrained_decode(
+    model: &T5Model,
+    ps: &ParamSet,
+    srcs: &[Vec<u32>],
+    eos: u32,
+    max_len: usize,
+    capacity: usize,
+    mut allowed: impl FnMut(usize, &[u32]) -> Vec<u32>,
+) -> Vec<Vec<u32>> {
+    batched_decode_loop(model, ps, srcs, max_len, capacity, |req, logits, prefix| {
+        let mask = allowed(req, prefix);
+        if mask.is_empty() {
+            return None;
+        }
+        let next = masked_argmax(logits, &mask);
+        (next != eos).then_some(next)
+    })
+}
+
+/// The continuous-batching scheduler shared by the batched decoders.
+///
+/// `pick(request, logits, prefix)` returns the next token, or `None` to
+/// finish the request without emitting (EOS or an empty constraint set).
+/// Requests admit in input order whenever a slot is free; each lives for
+/// exactly as many packed steps as its sequential counterpart would take.
+fn batched_decode_loop(
+    model: &T5Model,
+    ps: &ParamSet,
+    srcs: &[Vec<u32>],
+    max_len: usize,
+    capacity: usize,
+    mut pick: impl FnMut(usize, &[f32], &[u32]) -> Option<u32>,
+) -> Vec<Vec<u32>> {
+    let mut outs: Vec<Vec<u32>> = vec![Vec::new(); srcs.len()];
+    if srcs.is_empty() || max_len == 0 {
+        return outs;
+    }
+    let mut state = BatchedDecodeState::new(model, ps, capacity);
+    let mut slot_req: Vec<Option<usize>> = vec![None; capacity];
+    let mut slot_prev: Vec<u32> = vec![DECODER_START; capacity];
+    let mut next_req = 0usize;
+    let mut live = 0usize;
+    loop {
+        // Refill free slots from the pending queue.
+        while next_req < srcs.len() {
+            let Some(slot) = state.admit(&srcs[next_req]) else {
+                break;
+            };
+            slot_req[slot] = Some(next_req);
+            slot_prev[slot] = DECODER_START;
+            next_req += 1;
+            live += 1;
+        }
+        if live == 0 {
+            break;
+        }
+        let active: Vec<(usize, u32)> = slot_req
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, req)| req.map(|_| (slot, slot_prev[slot])))
+            .collect();
+        let logits = state.step_packed(&active);
+        for (&(slot, _), row) in active.iter().zip(logits.iter()) {
+            let req = slot_req[slot].expect("active slot carries a request");
+            let finished = match pick(req, row, &outs[req]) {
+                None => true,
+                Some(next) => {
+                    outs[req].push(next);
+                    slot_prev[slot] = next;
+                    outs[req].len() >= max_len
+                }
+            };
+            if finished {
+                state.retire(slot);
+                slot_req[slot] = None;
+                live -= 1;
+            }
+        }
+    }
+    outs
 }
 
 #[cfg(test)]
@@ -246,6 +390,43 @@ mod tests {
             }
         });
         assert_eq!(out, vec![4, 4]);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_toward_lowest_index() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[5.0, 5.0, 5.0]), 0);
+        // NaN never wins (`x > best` is false), and never dethrones a max.
+        assert_eq!(argmax(&[1.0, f32::NAN, 2.0]), 2);
+    }
+
+    #[test]
+    fn masked_argmax_breaks_ties_toward_last_entry() {
+        let logits = [0.0, 7.0, 7.0, 1.0];
+        assert_eq!(masked_argmax(&logits, &[1, 2]), 2);
+        assert_eq!(masked_argmax(&logits, &[2, 1]), 1);
+        assert_eq!(masked_argmax(&logits, &[3]), 3);
+    }
+
+    #[test]
+    fn log_softmax_handles_all_neg_inf_row() {
+        let out = log_softmax(&[f32::NEG_INFINITY; 4]);
+        assert_eq!(out.len(), 4);
+        assert!(
+            out.iter().all(|v| *v == f32::NEG_INFINITY),
+            "all-masked row must stay -inf, got {out:?}"
+        );
+    }
+
+    #[test]
+    fn log_softmax_normalizes_finite_rows() {
+        let out = log_softmax(&[1.0, 2.0, 3.0]);
+        let total: f32 = out.iter().map(|v| v.exp()).sum();
+        assert!((total - 1.0).abs() < 1e-5, "probs sum to {total}");
+        // A partially masked row stays finite on the unmasked entries.
+        let masked = log_softmax(&[f32::NEG_INFINITY, 0.0, f32::NEG_INFINITY]);
+        assert_eq!(masked[0], f32::NEG_INFINITY);
+        assert!((masked[1] - 0.0).abs() < 1e-6);
     }
 
     #[test]

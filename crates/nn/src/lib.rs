@@ -12,12 +12,16 @@
 //!   attention with T5 relative-position buckets;
 //! * [`t5`] — the T5-style encoder–decoder (pre-norm, shared relative bias,
 //!   tied embeddings) with a KV-cached incremental decoder;
+//! * [`batch`] — the cross-request batched inference engine: concurrent
+//!   decodes packed into shared `[N, d]` matmuls, bit-identical to the
+//!   sequential path, with continuous slot-based batching;
 //! * [`lstm`] — the attention LSTM seq2seq used by the Seq2Vis baseline;
 //! * [`lora`] — low-rank adapters over frozen linear weights;
 //! * [`decode`] / [`sample`] — greedy, beam, grammar-constrained, and
 //!   temperature/top-k sampling decoders;
 //! * [`train`] — a seq2seq training loop with gradient accumulation.
 
+pub mod batch;
 pub mod decode;
 pub mod layers;
 pub mod lora;
@@ -28,7 +32,8 @@ pub mod sample;
 pub mod t5;
 pub mod train;
 
-pub use decode::{beam_decode, greedy_decode};
+pub use batch::BatchedDecodeState;
+pub use decode::{batched_greedy_decode, beam_decode, greedy_decode};
 pub use optim::{AdamW, LrSchedule};
 pub use param::{ParamId, ParamSet};
 pub use t5::{T5Config, T5Model};

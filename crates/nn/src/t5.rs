@@ -81,13 +81,13 @@ struct EncBlock {
 }
 
 #[derive(Debug, Clone)]
-struct DecBlock {
-    norm1: RmsNorm,
-    self_attn: MultiHeadAttention,
-    norm2: RmsNorm,
-    cross_attn: MultiHeadAttention,
-    norm3: RmsNorm,
-    ff: FeedForward,
+pub(crate) struct DecBlock {
+    pub(crate) norm1: RmsNorm,
+    pub(crate) self_attn: MultiHeadAttention,
+    pub(crate) norm2: RmsNorm,
+    pub(crate) cross_attn: MultiHeadAttention,
+    pub(crate) norm3: RmsNorm,
+    pub(crate) ff: FeedForward,
 }
 
 /// The encoder–decoder model. Parameters live in the [`ParamSet`] passed at
@@ -95,13 +95,13 @@ struct DecBlock {
 #[derive(Debug, Clone)]
 pub struct T5Model {
     pub cfg: T5Config,
-    emb: Embedding,
+    pub(crate) emb: Embedding,
     enc_bias: Option<RelPosBias>,
-    dec_bias: Option<RelPosBias>,
+    pub(crate) dec_bias: Option<RelPosBias>,
     enc: Vec<EncBlock>,
-    dec: Vec<DecBlock>,
+    pub(crate) dec: Vec<DecBlock>,
     enc_final: RmsNorm,
-    dec_final: RmsNorm,
+    pub(crate) dec_final: RmsNorm,
 }
 
 /// Decoder start token (T5 uses the pad id).
@@ -224,7 +224,7 @@ impl T5Model {
         }
     }
 
-    fn sinusoidal(&self, len: usize, offset: usize) -> Tensor {
+    pub(crate) fn sinusoidal(&self, len: usize, offset: usize) -> Tensor {
         let d = self.cfg.d_model;
         let mut t = Tensor::zeros(vec![len, d]);
         for pos in 0..len {
@@ -368,11 +368,11 @@ pub struct DecodeState<'m> {
     model: &'m T5Model,
     ps: &'m ParamSet,
     /// Per-decoder-layer cached cross-attention keys/values `[ts, d]`.
-    cross_k: Vec<Tensor>,
-    cross_v: Vec<Tensor>,
+    pub(crate) cross_k: Vec<Tensor>,
+    pub(crate) cross_v: Vec<Tensor>,
     /// Per-decoder-layer growing self-attention keys/values `[t, d]`.
-    self_k: Vec<Tensor>,
-    self_v: Vec<Tensor>,
+    pub(crate) self_k: Vec<Tensor>,
+    pub(crate) self_v: Vec<Tensor>,
     /// Number of tokens fed so far.
     t: usize,
 }
@@ -572,6 +572,60 @@ mod tests {
                         "{positional:?} pos {i}: incremental {a} vs full {b}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_decode_matches_full_forward_with_lora() {
+        // Adapt the model, then give the adapters non-zero weights (B is
+        // zero-initialized, so an untouched adapter would be a no-op and
+        // the test would not exercise the LoRA branch of the decode path).
+        let (mut m, mut ps) = build(Positional::RelativeBias);
+        let mut rng = XorShift::new(99);
+        m.lora_adapt(&mut ps, 2, 8.0, &mut rng);
+        for name in ps.names() {
+            if name.ends_with(".lora_b") {
+                let id = ps.by_name(&name).unwrap();
+                let shape = ps.value(id).shape().to_vec();
+                *ps.value_mut(id) = Tensor::randn(shape, 0.5, &mut rng);
+            }
+        }
+
+        let src = [3u32, 4, 5, 6, 1];
+        let tgt_prefix = [DECODER_START, 7, 8, 9];
+        let mut g = Graph::new();
+        let src_usize: Vec<usize> = src.iter().map(|&t| t as usize).collect();
+        let dec_input: Vec<usize> = tgt_prefix.iter().map(|&t| t as usize).collect();
+        let enc_out = m.encode(&mut g, &ps, &src_usize, false);
+        let dec_out = m.decode_all(&mut g, &ps, enc_out, &dec_input, false);
+        let logits = m.logits(&mut g, &ps, dec_out);
+        let full = g.value(logits).clone();
+
+        // The adapters must actually change the logits...
+        let (plain, plain_ps) = build(Positional::RelativeBias);
+        let mut g2 = Graph::new();
+        let enc2 = plain.encode(&mut g2, &plain_ps, &src_usize, false);
+        let dec2 = plain.decode_all(&mut g2, &plain_ps, enc2, &dec_input, false);
+        let logits2 = plain.logits(&mut g2, &plain_ps, dec2);
+        let delta = full
+            .data()
+            .iter()
+            .zip(g2.value(logits2).data().iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(delta > 1e-4, "LoRA perturbation had no effect");
+
+        // ...and the incremental decode must match the full forward.
+        let mut state = DecodeState::new(&m, &ps, &src);
+        for (i, &tok) in tgt_prefix.iter().enumerate() {
+            let step_logits = state.step(tok);
+            let want = &full.data()[i * m.cfg.vocab..(i + 1) * m.cfg.vocab];
+            for (a, b) in step_logits.iter().zip(want.iter()) {
+                assert!(
+                    (a - b).abs() < 1e-3,
+                    "lora pos {i}: incremental {a} vs full {b}"
+                );
             }
         }
     }

@@ -101,6 +101,12 @@ enum Op {
         x: usize,
         start: usize,
     },
+    /// Arbitrary (possibly repeated) row gather from a 2-D activation —
+    /// the packing primitive behind batched decoding.
+    GatherRows {
+        x: usize,
+        ids: Vec<usize>,
+    },
 }
 
 struct Node {
@@ -572,6 +578,31 @@ impl Graph {
         self.push(out, Op::SliceRows { x: x.0, start }, req)
     }
 
+    /// Gathers arbitrary rows of a 2-D tensor into a packed
+    /// `[len(ids), cols]` tensor. Unlike `embedding`, the source is any
+    /// activation rather than a parameter table, and ids may repeat:
+    /// backward scatter-adds, so duplicated rows accumulate gradient.
+    pub fn gather_rows(&mut self, x: Var, ids: &[usize]) -> Var {
+        let v = &self.nodes[x.0].value;
+        assert_eq!(v.rank(), 2, "gather_rows requires a 2-D tensor");
+        let (rows, cols) = (v.rows(), v.cols());
+        for &id in ids {
+            assert!(id < rows, "gather id {id} out of range {rows}");
+        }
+        let mut data = vec![0.0; ids.len() * cols];
+        kernels::gather_rows(v.data(), cols, ids, &mut data);
+        let out = Tensor::from_vec(vec![ids.len(), cols], data);
+        let req = self.requires(x);
+        self.push(
+            out,
+            Op::GatherRows {
+                x: x.0,
+                ids: ids.to_vec(),
+            },
+            req,
+        )
+    }
+
     /// Sums every element into a scalar.
     pub fn sum(&mut self, x: Var) -> Var {
         let total: f32 = self.nodes[x.0].value.data().iter().sum();
@@ -842,6 +873,20 @@ impl Graph {
                     offset += r;
                 }
             }
+            Op::GatherRows { x, ids } => {
+                let (x, ids) = (*x, ids.clone());
+                let shape = self.nodes[x].value.shape().to_vec();
+                let cols = shape[1];
+                let mut dx = Tensor::zeros(shape);
+                for (row, &id) in ids.iter().enumerate() {
+                    let src = &grad.data()[row * cols..(row + 1) * cols];
+                    let dst = &mut dx.data_mut()[id * cols..(id + 1) * cols];
+                    for (dv, sv) in dst.iter_mut().zip(src.iter()) {
+                        *dv += sv;
+                    }
+                }
+                self.accumulate(x, dx);
+            }
         }
     }
 
@@ -961,6 +1006,10 @@ pub enum OpKind {
     SliceRows {
         start: usize,
     },
+    GatherRows {
+        /// Number of gathered rows.
+        num_ids: usize,
+    },
 }
 
 impl OpKind {
@@ -989,6 +1038,7 @@ impl OpKind {
             OpKind::Sum => "sum",
             OpKind::ConcatRows { .. } => "concat_rows",
             OpKind::SliceRows { .. } => "slice_rows",
+            OpKind::GatherRows { .. } => "gather_rows",
         }
     }
 }
@@ -1071,6 +1121,7 @@ impl Graph {
                 parts.clone(),
             ),
             Op::SliceRows { x, start } => (OpKind::SliceRows { start: *start }, vec![*x]),
+            Op::GatherRows { x, ids } => (OpKind::GatherRows { num_ids: ids.len() }, vec![*x]),
         };
         OpView {
             index,
@@ -1559,6 +1610,37 @@ mod tests {
             assert!((dx.data()[6 + j] - want_r2).abs() < 1e-5);
         }
         assert!(dx.data()[9..12].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn gather_rows_values_and_grads() {
+        let x0 = sample(vec![4, 3], 41);
+        let mut g = Graph::new();
+        let x = g.leaf(x0.clone(), true);
+        // Row 2 gathered twice: its gradient must accumulate both copies.
+        let p = g.gather_rows(x, &[2, 0, 2]);
+        assert_eq!(g.value(p).shape(), &[3, 3]);
+        assert_eq!(&g.value(p).data()[0..3], &x0.data()[6..9]);
+        assert_eq!(&g.value(p).data()[3..6], &x0.data()[0..3]);
+        assert_eq!(&g.value(p).data()[6..9], &x0.data()[6..9]);
+        let sq = g.mul(p, p);
+        let l = g.sum(sq);
+        g.backward(l);
+        let dx = g.grad(x).unwrap();
+        for j in 0..3 {
+            assert!((dx.data()[j] - 2.0 * x0.data()[j]).abs() < 1e-5);
+            assert!((dx.data()[6 + j] - 4.0 * x0.data()[6 + j]).abs() < 1e-5);
+        }
+        assert!(dx.data()[3..6].iter().all(|&v| v == 0.0));
+        assert!(dx.data()[9..12].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gather_rows_bounds_checked() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::zeros(vec![2, 2]), false);
+        let _ = g.gather_rows(x, &[0, 2]);
     }
 
     #[test]

@@ -5,6 +5,14 @@
 //! flag so gradient contributions can be summed in place without a scratch
 //! buffer. Loop orders are chosen so the innermost loop streams over
 //! contiguous memory and autovectorizes.
+//!
+//! Each kernel is cache-blocked: one operand tile is kept hot across the
+//! outer loop so large matrices (vocabulary projections, packed batch
+//! activations) stop thrashing L2. Blocking only re-orders *independent*
+//! output elements — for any single `C[i,j]` the contributions still
+//! arrive in ascending-`k` order, so results are bit-identical to the
+//! unblocked loops (a property the batched-decode differential suite
+//! relies on, locked by `blocked_kernels_match_unblocked_bitwise`).
 
 /// Returns the index of the first non-finite (NaN/Inf) element, if any.
 ///
@@ -15,6 +23,17 @@
 pub fn first_nonfinite(x: &[f32]) -> Option<usize> {
     x.iter().position(|v| !v.is_finite())
 }
+
+/// Cache-block tile sizes, tuned in release mode with
+/// `decode_bench --preset base` (see `bench/out/BENCH_decode.json`): the
+/// `k`-tile keeps a `MM_KC × n` panel of `B` hot in `mm_nn`, the `n`-tile
+/// keeps a `MM_NC × k` panel of `B` hot in `mm_nt` (the vocabulary-logits
+/// orientation), and the `m`-tile keeps an output panel hot in `mm_tn`.
+pub const MM_KC: usize = 64;
+/// `n`-dimension tile for [`mm_nt`] (see [`MM_KC`]).
+pub const MM_NC: usize = 128;
+/// `m`-dimension tile for [`mm_tn`] (see [`MM_KC`]).
+pub const MM_IC: usize = 64;
 
 /// `C = A·B` (or `C += A·B` when `accumulate`), with `A: [m,k]`, `B: [k,n]`,
 /// `C: [m,n]`.
@@ -40,18 +59,28 @@ pub fn mm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, 
     if !accumulate {
         c.fill(0.0);
     }
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (p, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                *cv += av * bv;
+    // k-blocked: the `[p0..p1, n]` panel of B is reused by every row of A
+    // before moving on. Per C[i,j] the p-contributions stay in ascending
+    // order (blocks ascend, p ascends within a block), so the sum is
+    // bit-identical to the unblocked loop.
+    let mut p0 = 0;
+    while p0 < k {
+        let p1 = (p0 + MM_KC).min(k);
+        for i in 0..m {
+            let a_row = &a[i * k + p0..i * k + p1];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (off, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let p = p0 + off;
+                let b_row = &b[p * n..(p + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                    *cv += av * bv;
+                }
             }
         }
+        p0 = p1;
     }
 }
 
@@ -78,17 +107,25 @@ pub fn mm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, 
         "mm_nt: C has {} elements, want m*n = {m}*{n}",
         c.len()
     );
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
-                acc += av * bv;
+    // n-blocked: the `[j0..j1, k]` panel of B is reused by every row of A.
+    // Each C[i,j] is still one full-`k` register dot product, so results
+    // are bit-identical to the unblocked loop.
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + MM_NC).min(n);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in j0..j1 {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                    acc += av * bv;
+                }
+                let slot = &mut c[i * n + j];
+                *slot = if accumulate { *slot + acc } else { acc };
             }
-            let slot = &mut c[i * n + j];
-            *slot = if accumulate { *slot + acc } else { acc };
         }
+        j0 = j1;
     }
 }
 
@@ -117,18 +154,50 @@ pub fn mm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, 
     if !accumulate {
         c.fill(0.0);
     }
-    for p in 0..k {
-        let a_row = &a[p * m..(p + 1) * m];
-        let b_row = &b[p * n..(p + 1) * n];
-        for (i, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                *cv += av * bv;
+    // m-blocked: the `[i0..i1, n]` panel of C stays hot across the full
+    // k-sweep. Per C[i,j] the p-contributions remain in ascending order,
+    // so the sum is bit-identical to the unblocked loop.
+    let mut i0 = 0;
+    while i0 < m {
+        let i1 = (i0 + MM_IC).min(m);
+        for p in 0..k {
+            let a_row = &a[p * m + i0..p * m + i1];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (off, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let i = i0 + off;
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                    *cv += av * bv;
+                }
             }
         }
+        i0 = i1;
+    }
+}
+
+/// Copies rows `ids` of a row-major `[rows, d]` source into `dst`
+/// (`[len(ids), d]`), the packing step of batched decoding: per-request
+/// activations gather into one GEMM operand.
+pub fn gather_rows(src: &[f32], d: usize, ids: &[usize], dst: &mut [f32]) {
+    assert_eq!(dst.len(), ids.len() * d, "gather_rows: dst size mismatch");
+    for (slot, &id) in ids.iter().enumerate() {
+        let row = &src[id * d..(id + 1) * d];
+        dst[slot * d..(slot + 1) * d].copy_from_slice(row);
+    }
+}
+
+/// Copies the rows of a packed `[len(ids), d]` source into rows `ids` of
+/// `dst` (`[rows, d]`), the unpacking step of batched decoding. Rows of
+/// `dst` not named by `ids` are left untouched; duplicate ids write last-
+/// one-wins.
+pub fn scatter_rows(src: &[f32], d: usize, ids: &[usize], dst: &mut [f32]) {
+    assert_eq!(src.len(), ids.len() * d, "scatter_rows: src size mismatch");
+    for (slot, &id) in ids.iter().enumerate() {
+        let row = &src[slot * d..(slot + 1) * d];
+        dst[id * d..(id + 1) * d].copy_from_slice(row);
     }
 }
 
@@ -278,6 +347,120 @@ mod tests {
         let b = vec![0.0; 4];
         let mut c = vec![0.0; 4];
         mm_nn(&a, &b, &mut c, 2, 2, 2, false);
+    }
+
+    /// The pre-blocking loop bodies, kept verbatim as the bitwise
+    /// reference: the blocked kernels must not change a single ULP, or the
+    /// batched-vs-sequential decode equivalence breaks.
+    mod unblocked {
+        pub fn mm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, acc: bool) {
+            if !acc {
+                c.fill(0.0);
+            }
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (p, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+
+        pub fn mm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, acc: bool) {
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut dot = 0.0f32;
+                    for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                        dot += av * bv;
+                    }
+                    let slot = &mut c[i * n + j];
+                    *slot = if acc { *slot + dot } else { dot };
+                }
+            }
+        }
+
+        pub fn mm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, acc: bool) {
+            if !acc {
+                c.fill(0.0);
+            }
+            for p in 0..k {
+                let a_row = &a[p * m..(p + 1) * m];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (i, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let c_row = &mut c[i * n..(i + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_kernels_match_unblocked_bitwise() {
+        // Sizes straddle every tile boundary (MM_KC = 64, MM_NC = 128,
+        // MM_IC = 64); data includes exact zeros to exercise the skip path.
+        let cases = [(1, 1, 1), (3, 63, 5), (7, 64, 129), (65, 130, 257)];
+        for &(m, k, n) in &cases {
+            let mut a = seq(m * k);
+            let mut b = seq(k * n);
+            for v in a.iter_mut().step_by(7) {
+                *v = 0.0;
+            }
+            for v in b.iter_mut().step_by(11) {
+                *v = 0.0;
+            }
+            for acc in [false, true] {
+                let init: Vec<f32> = seq(m * n);
+                // mm_nn: A [m,k], B [k,n].
+                let (mut c1, mut c2) = (init.clone(), init.clone());
+                mm_nn(&a, &b, &mut c1, m, k, n, acc);
+                unblocked::mm_nn(&a, &b, &mut c2, m, k, n, acc);
+                assert!(c1.iter().zip(&c2).all(|(x, y)| x.to_bits() == y.to_bits()));
+                // mm_nt: A [m,k], B [n,k] (reuse b as [n,k] when sizes fit).
+                let bt = seq(n * k);
+                let (mut c1, mut c2) = (init.clone(), init.clone());
+                mm_nt(&a, &bt, &mut c1, m, k, n, acc);
+                unblocked::mm_nt(&a, &bt, &mut c2, m, k, n, acc);
+                assert!(c1.iter().zip(&c2).all(|(x, y)| x.to_bits() == y.to_bits()));
+                // mm_tn: A [k,m], B [k,n].
+                let at = seq(k * m);
+                let (mut c1, mut c2) = (init.clone(), init);
+                mm_tn(&at, &b, &mut c1, m, k, n, acc);
+                unblocked::mm_tn(&at, &b, &mut c2, m, k, n, acc);
+                assert!(c1.iter().zip(&c2).all(|(x, y)| x.to_bits() == y.to_bits()));
+            }
+        }
+    }
+
+    #[test]
+    fn gather_scatter_rows_roundtrip() {
+        let src = seq(5 * 3);
+        let ids = [4usize, 0, 2];
+        let mut packed = vec![0.0; ids.len() * 3];
+        gather_rows(&src, 3, &ids, &mut packed);
+        assert_eq!(&packed[0..3], &src[12..15]);
+        assert_eq!(&packed[3..6], &src[0..3]);
+        assert_eq!(&packed[6..9], &src[6..9]);
+        let mut dst = vec![f32::NAN; 5 * 3];
+        scatter_rows(&packed, 3, &ids, &mut dst);
+        for &id in &ids {
+            assert_eq!(&dst[id * 3..(id + 1) * 3], &src[id * 3..(id + 1) * 3]);
+        }
+        // Untouched rows keep their prior contents (here: NaN sentinels).
+        assert!(dst[3..6].iter().all(|v| v.is_nan()));
+        assert!(dst[9..12].iter().all(|v| v.is_nan()));
     }
 
     #[test]
