@@ -23,6 +23,14 @@ cargo test -p nn --test batched_differential -q
 cargo test -p nn --test batched_proptests -q
 cargo test -p bench --test golden_decode -q
 
+echo "== resume-differential suite =="
+cargo test -p nn --test resume_differential -q
+cargo test -p nn --test ckpt_proptests -q
+
+echo "== fault-matrix cell: truncate-at-CRC, base preset =="
+cargo test -p nn --test resume_differential \
+  truncate_at_crc_leaves_last_good_loadable_base_preset -q
+
 echo "== decode_bench smoke (2 requests) =="
 cargo run --release -p bench --bin decode_bench -- \
   --requests 2 --batch 2 --max-out 8 --out target/BENCH_decode_smoke.json

@@ -75,6 +75,7 @@ fn main() {
             eval_every: 0,
             doctor: true,
             sanitizer: analysis::SanitizerMode::FirstStep,
+            ckpt: None,
         };
         train_seq2seq(&model, &mut ps, &train, &[], &cfg);
         let loss = eval_mean(&model, &ps, &train[..16.min(train.len())]);

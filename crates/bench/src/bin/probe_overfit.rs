@@ -42,6 +42,7 @@ fn main() {
             eval_every: 0,
             doctor: round == 0,
             sanitizer: analysis::SanitizerMode::FirstStep,
+            ckpt: None,
         };
         train_seq2seq(&model, &mut ps, &data, &[], &tc);
         let loss = nn::train::eval_mean(&model, &ps, &data);

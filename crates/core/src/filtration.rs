@@ -132,6 +132,71 @@ mod tests {
     }
 
     #[test]
+    fn empty_schema_passes_through() {
+        let empty = DbSchema::new("void", vec![]);
+        let sub = filter_schema("show the artist countries", &empty);
+        assert!(sub.tables.is_empty());
+        assert_eq!(sub.name, "void");
+    }
+
+    #[test]
+    fn empty_question_keeps_full_schema() {
+        let sub = filter_schema("", &schema());
+        assert_eq!(sub.tables.len(), 2);
+    }
+
+    #[test]
+    fn no_overlap_question_keeps_full_schema() {
+        let sub = filter_schema("42 bananas versus 7 spaceships", &schema());
+        assert_eq!(sub.tables.len(), 2);
+    }
+
+    #[test]
+    fn shared_column_name_keeps_every_owner() {
+        // A column name owned by both tables is a tie: filtration keeps
+        // both rather than picking an arbitrary winner.
+        let s = DbSchema::new(
+            "db",
+            vec![
+                TableSchema::new("artist", vec!["name".into(), "country".into()]),
+                TableSchema::new("exhibit", vec!["name".into(), "theme".into()]),
+            ],
+        );
+        let sub = filter_schema("sort everything by name", &s);
+        assert_eq!(sub.tables.len(), 2);
+    }
+
+    #[test]
+    fn kept_tables_preserve_schema_order() {
+        // Mention order in the question ("exhibit" before "artist") must
+        // not reorder the sub-schema.
+        let sub = filter_schema("exhibit themes for each artist", &schema());
+        assert_eq!(sub.tables.len(), 2);
+        assert_eq!(sub.tables[0].name, "artist");
+        assert_eq!(sub.tables[1].name, "exhibit");
+    }
+
+    #[test]
+    fn unicode_identifiers_match_exactly() {
+        let s = DbSchema::new(
+            "db",
+            vec![
+                TableSchema::new("café", vec!["prix".into()]),
+                TableSchema::new("musée", vec!["ville".into()]),
+            ],
+        );
+        let sub = filter_schema("montre le prix moyen du café", &s);
+        assert_eq!(sub.tables.len(), 1);
+        assert_eq!(sub.tables[0].name, "café");
+    }
+
+    #[test]
+    fn unicode_question_with_no_match_keeps_full_schema() {
+        let sub = filter_schema("визуализируй что-нибудь 図表", &schema());
+        assert_eq!(sub.tables.len(), 2);
+    }
+
+    #[test]
     fn partial_words_do_not_match() {
         // "art" is a prefix of "artist" but not an n-gram match.
         let sub = filter_schema("the art of themes", &schema());

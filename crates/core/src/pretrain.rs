@@ -17,9 +17,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use corpus::Split;
+use nn::ckpt::{self, TrainState};
 use nn::optim::{AdamW, LrSchedule};
 use nn::param::ParamSet;
 use nn::t5::T5Model;
+use nn::train::CkptConfig;
 use tensor::Graph;
 use tokenizer::{special, WordTokenizer};
 
@@ -172,6 +174,8 @@ pub struct PretrainConfig {
     pub doctor: bool,
     /// Numeric sanitizer schedule (see `analysis::SanitizerMode`).
     pub sanitizer: SanitizerMode,
+    /// Periodic crash-safe checkpointing and exact resume (None = off).
+    pub ckpt: Option<CkptConfig>,
 }
 
 impl PretrainConfig {
@@ -186,13 +190,17 @@ impl PretrainConfig {
             seed: 0x9e37,
             doctor: true,
             sanitizer: SanitizerMode::FirstStep,
+            ckpt: None,
         }
     }
 }
 
 /// Runs pre-training over the data with the chosen objective mix.
 ///
-/// Returns the mean loss over the final tenth of steps.
+/// Returns the mean loss over the final tenth of steps. With `cfg.ckpt`
+/// set, the loop checkpoints periodically (weights, Adam moments, the
+/// sampling RNG stream, tail-loss accumulators) and resumes from an
+/// existing checkpoint bit-identically to an uninterrupted run.
 pub fn pretrain(
     model: &T5Model,
     ps: &mut ParamSet,
@@ -207,7 +215,51 @@ pub fn pretrain(
     let schedule = LrSchedule::warmup_rate(cfg.peak_lr, 0.1, cfg.steps);
     let tail_start = cfg.steps.saturating_sub(cfg.steps / 10 + 1);
     let mut tail = (0.0f32, 0usize);
-    for step in 0..cfg.steps {
+    let mut start_step = 0usize;
+    let mut io = cfg.ckpt.as_ref().map(|c| c.make_io());
+    let mut ckpt_writes = 0usize;
+
+    if let Some(c) = &cfg.ckpt {
+        if c.resume {
+            match ckpt::load_with_fallback(io.as_deref().unwrap(), &c.path) {
+                Ok((snap, from_prev)) => {
+                    let restored = snap.train.clone().ok_or_else(|| {
+                        ckpt::CkptError::Corrupt("checkpoint has no training state".into())
+                    });
+                    match restored.and_then(|ts| ps.restore(&snap).map(|()| ts)) {
+                        Ok(ts) => {
+                            if let Some(o) = &snap.optim {
+                                opt.set_steps_taken(o.steps as usize);
+                            }
+                            rng = StdRng::from_state(ts.rng_state);
+                            tail = (ts.tail_sum, ts.tail_n as usize);
+                            start_step = (ts.next_step as usize).min(cfg.steps);
+                            eprintln!(
+                                "[pretrain] resumed from '{}' at step {start_step}{}",
+                                c.path.display(),
+                                if from_prev {
+                                    " (last good snapshot)"
+                                } else {
+                                    ""
+                                }
+                            );
+                        }
+                        Err(e) => eprintln!(
+                            "[pretrain] checkpoint '{}' unusable ({e}); training from scratch",
+                            c.path.display()
+                        ),
+                    }
+                }
+                Err(e) if e.is_missing() => {}
+                Err(e) => eprintln!(
+                    "[pretrain] checkpoint '{}' unusable ({e}); training from scratch",
+                    c.path.display()
+                ),
+            }
+        }
+    }
+
+    for step in start_step..cfg.steps {
         let mut batch_loss = 0.0;
         for micro in 0..cfg.accum {
             let (src, tgt) = sample_example(data, objective, tok, cfg.max_len, &mut rng);
@@ -232,6 +284,34 @@ pub fn pretrain(
         if step >= tail_start {
             tail.0 += batch_loss / cfg.accum as f32;
             tail.1 += 1;
+        }
+        if let Some(c) = &cfg.ckpt {
+            if (step + 1) % c.every == 0 {
+                ckpt_writes += 1;
+                let state = TrainState {
+                    rng_state: rng.state(),
+                    next_step: (step + 1) as u64,
+                    tail_sum: tail.0,
+                    tail_n: tail.1 as u64,
+                    // Pre-training samples i.i.d.; there is no epoch order
+                    // or cursor to carry.
+                    ..TrainState::default()
+                };
+                let snap = ps.snapshot(Some(&opt)).with_train(state);
+                if let Err(e) = ckpt::save(io.as_deref_mut().unwrap(), &c.path, &snap) {
+                    eprintln!(
+                        "[pretrain] checkpoint write {ckpt_writes} to '{}' failed: {e}",
+                        c.path.display()
+                    );
+                }
+                if c.kill_after == Some(ckpt_writes) {
+                    return if tail.1 > 0 {
+                        tail.0 / tail.1 as f32
+                    } else {
+                        0.0
+                    };
+                }
+            }
         }
     }
     if tail.1 > 0 {
@@ -386,6 +466,7 @@ mod tests {
             seed: 1,
             doctor: true,
             sanitizer: SanitizerMode::FirstStep,
+            ckpt: None,
         };
         let early = pretrain(&model, &mut ps, &tok, &data, Objective::Hybrid, &c1);
         let c2 = PretrainConfig {
@@ -396,6 +477,7 @@ mod tests {
             seed: 1,
             doctor: true,
             sanitizer: SanitizerMode::FirstStep,
+            ckpt: None,
         };
         let late = pretrain(&model, &mut ps, &tok, &data, Objective::Hybrid, &c2);
         assert!(late < early, "pretraining diverged: {early} -> {late}");
@@ -425,6 +507,7 @@ mod tests {
             seed: 2,
             doctor: true,
             sanitizer: SanitizerMode::FirstStep,
+            ckpt: None,
         };
         let loss = pretrain(
             &model,

@@ -20,13 +20,14 @@
 use std::path::PathBuf;
 
 use corpus::{Corpus, Split};
+use nn::ckpt::{self, StdIo};
 use nn::decode::{
     batched_constrained_decode, batched_greedy_decode, constrained_decode, greedy_decode,
 };
 use nn::lstm::{LstmConfig, LstmSeq2Seq};
 use nn::param::ParamSet;
 use nn::t5::{DecodeState, Positional, T5Model};
-use nn::train::{train_seq2seq, Example, TrainConfig};
+use nn::train::{train_seq2seq, CkptConfig, Example, TrainConfig};
 use tensor::XorShift;
 use tokenizer::{special, WordTokenizer};
 use vql::grammar::{GrammarConstraint, EOS as GRAMMAR_EOS};
@@ -128,6 +129,12 @@ pub trait Predictor {
 /// Slot capacity the eval-path predictors hand to the batched engine.
 const DECODE_SLOTS: usize = 8;
 
+/// Run log for checkpoint-cache decisions (load vs recover vs retrain),
+/// so a training fleet's behavior under faults is auditable from stderr.
+fn run_log(msg: impl std::fmt::Display) {
+    eprintln!("[zoo] {msg}");
+}
+
 /// Shared assets: corpus, encoded datasets, tokenizer, checkpoint cache.
 pub struct Zoo {
     pub scale: Scale,
@@ -149,7 +156,14 @@ impl Zoo {
                 Scale::Smoke => "smoke",
                 Scale::Full => "full",
             });
-        let _ = std::fs::create_dir_all(&ckpt_dir);
+        if let Err(e) = std::fs::create_dir_all(&ckpt_dir) {
+            // Not fatal — every subsequent save reports its own typed
+            // error — but the degraded mode must be visible in the log.
+            run_log(format!(
+                "failed to create checkpoint dir '{}': {e}; checkpoints will not be cached",
+                ckpt_dir.display()
+            ));
+        }
         Zoo {
             scale,
             corpus,
@@ -172,7 +186,58 @@ impl Zoo {
         (model, ps)
     }
 
+    /// Loads a cached checkpoint into `ps`, distinguishing *missing*
+    /// (fresh start, no noise) from *corrupt* (typed error in the run
+    /// log, then an attempt on the rotated last-good snapshot). Returns
+    /// whether usable weights were loaded.
+    fn load_cached_weights(&self, key: &str, path: &std::path::Path, ps: &mut ParamSet) -> bool {
+        match ps.load(path) {
+            Ok(()) => {
+                run_log(format!("'{key}': loaded cached checkpoint"));
+                true
+            }
+            Err(e) if e.is_missing() => {
+                run_log(format!("'{key}': no cached checkpoint; training"));
+                false
+            }
+            Err(e) => {
+                run_log(format!("'{key}': cached checkpoint unusable: {e}"));
+                let prev = ckpt::prev_path(path);
+                match ckpt::load(&StdIo, &prev).and_then(|snap| ps.restore(&snap)) {
+                    Ok(()) => {
+                        run_log(format!(
+                            "'{key}': recovered from last good snapshot '{}'",
+                            prev.display()
+                        ));
+                        true
+                    }
+                    Err(pe) => {
+                        run_log(format!(
+                            "'{key}': no usable snapshot ({pe}); retraining from scratch"
+                        ));
+                        false
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mid-run resume checkpoint configuration for a cache key: periodic
+    /// crash-safe snapshots beside the final artifact, resumed
+    /// automatically when a previous run died partway.
+    fn resume_config(&self, key: &str, steps: usize) -> CkptConfig {
+        CkptConfig::periodic(
+            self.ckpt_dir.join(format!("{key}.resume.bin")),
+            (steps / 4).max(1),
+        )
+    }
+
     /// Runs `train` once per checkpoint key, caching weights on disk.
+    ///
+    /// The closure receives a [`CkptConfig`] pointing at the key's resume
+    /// file; training loops wire it into their config so an interrupted
+    /// run continues from its last periodic snapshot instead of starting
+    /// over.
     fn cached<F>(
         &self,
         key: &str,
@@ -181,15 +246,27 @@ impl Zoo {
         train: F,
     ) -> (T5Model, ParamSet)
     where
-        F: FnOnce(&T5Model, &mut ParamSet),
+        F: FnOnce(&T5Model, &mut ParamSet, CkptConfig),
     {
         let (model, mut ps) = self.build_t5(key, size, positional);
         let path = self.ckpt_dir.join(format!("{key}.bin"));
-        if path.exists() && ps.load(&path).is_ok() {
+        if self.load_cached_weights(key, &path, &mut ps) {
             return (model, ps);
         }
-        train(&model, &mut ps);
-        let _ = ps.save(&path);
+        train(
+            &model,
+            &mut ps,
+            self.resume_config(key, self.scale.pretrain_steps()),
+        );
+        match ps.save(&path) {
+            Ok(()) => {
+                // The completed artifact supersedes the mid-run snapshots.
+                let resume = self.ckpt_dir.join(format!("{key}.resume.bin"));
+                let _ = std::fs::remove_file(ckpt::prev_path(&resume));
+                let _ = std::fs::remove_file(resume);
+            }
+            Err(e) => run_log(format!("'{key}': failed to save checkpoint: {e}")),
+        }
         (model, ps)
     }
 
@@ -197,7 +274,7 @@ impl Zoo {
     /// span-corruption MLM over DV queries and schema encodings.
     pub fn code_pretrained(&self, size: Size) -> (T5Model, ParamSet) {
         let key = format!("code_pt_{}", size.label());
-        self.cached(&key, size, Positional::RelativeBias, |model, ps| {
+        self.cached(&key, size, Positional::RelativeBias, |model, ps, resume| {
             let mut data = PretrainData::default();
             for e in &self.datasets.examples {
                 if e.split != Split::Train {
@@ -216,6 +293,7 @@ impl Zoo {
                 self.scale.max_len(),
             );
             cfg.sanitizer = self.scale.sanitizer_mode();
+            cfg.ckpt = Some(resume);
             pretrain(model, ps, &self.tok, &data, Objective::MlmOnly, &cfg);
         })
     }
@@ -224,7 +302,7 @@ impl Zoo {
     /// span-corruption MLM over NL questions, descriptions, and answers.
     pub fn text_pretrained(&self, size: Size) -> (T5Model, ParamSet) {
         let key = format!("text_pt_{}", size.label());
-        self.cached(&key, size, Positional::RelativeBias, |model, ps| {
+        self.cached(&key, size, Positional::RelativeBias, |model, ps, resume| {
             let mut data = PretrainData::default();
             for e in &self.datasets.examples {
                 if e.split != Split::Train {
@@ -243,6 +321,7 @@ impl Zoo {
                 self.scale.max_len(),
             );
             cfg.sanitizer = self.scale.sanitizer_mode();
+            cfg.ckpt = Some(resume);
             pretrain(model, ps, &self.tok, &data, Objective::MlmOnly, &cfg);
         })
     }
@@ -256,7 +335,7 @@ impl Zoo {
             if with_bdc { "hybrid" } else { "mlm" }
         );
         // Start from the code checkpoint (the paper starts from CodeT5+).
-        self.cached(&key, size, Positional::RelativeBias, |model, ps| {
+        self.cached(&key, size, Positional::RelativeBias, |model, ps, resume| {
             // Warm-start: the code checkpoint was registered under another
             // prefix, so transplant via a freshly built code model.
             transplant(self, size, ps);
@@ -277,6 +356,7 @@ impl Zoo {
                 self.scale.max_len(),
             );
             cfg.sanitizer = self.scale.sanitizer_mode();
+            cfg.ckpt = Some(resume);
             pretrain(model, ps, &self.tok, &data, objective, &cfg);
         })
     }
@@ -293,14 +373,38 @@ impl Zoo {
             eval_every: 0,
             doctor: true,
             sanitizer: self.scale.sanitizer_mode(),
+            ckpt: None,
         }
+    }
+
+    /// Cache key for a fine-tuned (kind, task) pair. ncNet differs from
+    /// the Transformer only at decode time; the two share one checkpoint.
+    fn ckpt_key(kind: ModelKind, task: Option<Task>) -> String {
+        let cache_kind = if kind == ModelKind::NcNet {
+            ModelKind::Transformer
+        } else {
+            kind
+        };
+        format!(
+            "ft_{}_{}",
+            cache_kind
+                .label()
+                .replace([' ', '(', ')', '+', '/'], "_")
+                .to_lowercase(),
+            task.map(|t| t.label()).unwrap_or("multi")
+        )
     }
 
     /// Builds and trains a comparison system for a task (single-task
     /// models) or for the multi-task mixture (`task = None`). GPT-4 is not
     /// a trainable model — use [`Zoo::gpt4_predictor`].
     pub fn train_model(&self, kind: ModelKind, task: Option<Task>) -> Trained {
-        let tcfg = self.ft_config();
+        let mut tcfg = self.ft_config();
+        // Fine-tunes checkpoint periodically under their cache key, so a
+        // killed run resumes mid-epoch instead of restarting (GPT-4 has no
+        // training loop and never reaches a config that uses this).
+        tcfg.ckpt =
+            Some(self.resume_config(&Self::ckpt_key(kind, task), self.scale.finetune_steps()));
         let max_len = self.scale.max_len();
         let data_for = |t: Task| -> Vec<Example> {
             single_task_examples(&self.datasets, t, &self.tok, max_len, Split::Train)
@@ -437,31 +541,15 @@ impl Zoo {
     /// that experiment binaries sharing a model (e.g. Tables IV, VI, VIII
     /// all evaluating the same MFT DataVisT5) train it once.
     pub fn train_model_cached(&self, kind: ModelKind, task: Option<Task>) -> Trained {
-        // ncNet differs from the Transformer only at decode time; the two
-        // share one fine-tuned checkpoint.
-        let cache_kind = if kind == ModelKind::NcNet {
-            ModelKind::Transformer
-        } else {
-            kind
-        };
-        let key = format!(
-            "ft_{}_{}",
-            cache_kind
-                .label()
-                .replace([' ', '(', ')', '+', '/'], "_")
-                .to_lowercase(),
-            task.map(|t| t.label()).unwrap_or("multi")
-        );
+        let key = Self::ckpt_key(kind, task);
         let path = self.ckpt_dir.join(format!("{key}.bin"));
-        if path.exists() {
-            if let Some(mut trained) = self.build_untrained(kind) {
-                let loaded = match &mut trained {
-                    Trained::T5 { ps, .. } => ps.load(&path).is_ok(),
-                    Trained::Lstm { ps, .. } => ps.load(&path).is_ok(),
-                };
-                if loaded {
-                    return trained;
-                }
+        if let Some(mut trained) = self.build_untrained(kind) {
+            let loaded = match &mut trained {
+                Trained::T5 { ps, .. } => self.load_cached_weights(&key, &path, ps),
+                Trained::Lstm { ps, .. } => self.load_cached_weights(&key, &path, ps),
+            };
+            if loaded {
+                return trained;
             }
         }
         let trained = self.train_model(kind, task);
@@ -469,7 +557,14 @@ impl Zoo {
             Trained::T5 { ps, .. } => ps,
             Trained::Lstm { ps, .. } => ps,
         };
-        let _ = ps.save(&path);
+        match ps.save(&path) {
+            Ok(()) => {
+                let resume = self.ckpt_dir.join(format!("{key}.resume.bin"));
+                let _ = std::fs::remove_file(ckpt::prev_path(&resume));
+                let _ = std::fs::remove_file(resume);
+            }
+            Err(e) => run_log(format!("'{key}': failed to save checkpoint: {e}")),
+        }
         trained
     }
 

@@ -5,7 +5,11 @@
 //! autodiff tape:
 //!
 //! * [`param`] — named parameter storage with Adam state, freezing (for
-//!   LoRA), and a simple binary checkpoint format;
+//!   LoRA), and checkpoint snapshot/restore;
+//! * [`ckpt`] — the crash-safe checkpoint-v2 format: CRC32-checksummed,
+//!   atomically written (tmp + fsync + rename, last-good rotation), with
+//!   optimizer/RNG/data-cursor state for bit-identical resume and a
+//!   fault-injection I/O layer;
 //! * [`optim`] — AdamW with global-norm gradient clipping and the linear
 //!   warmup/decay schedule the paper trains with;
 //! * [`layers`] — Linear, Embedding, RMSNorm, feed-forward, multi-head
@@ -22,6 +26,7 @@
 //! * [`train`] — a seq2seq training loop with gradient accumulation.
 
 pub mod batch;
+pub mod ckpt;
 pub mod decode;
 pub mod layers;
 pub mod lora;
@@ -33,6 +38,7 @@ pub mod t5;
 pub mod train;
 
 pub use batch::BatchedDecodeState;
+pub use ckpt::{CheckpointIo, CkptError, FaultIo, FaultMode, FaultPlan, StdIo};
 pub use decode::{batched_greedy_decode, beam_decode, greedy_decode};
 pub use optim::{AdamW, LrSchedule};
 pub use param::{ParamId, ParamSet};

@@ -81,6 +81,12 @@ impl AdamW {
         self.step
     }
 
+    /// Restores the step counter from a checkpoint so bias correction
+    /// continues exactly where the interrupted run left off.
+    pub fn set_steps_taken(&mut self, steps: usize) {
+        self.step = steps;
+    }
+
     /// Applies one update using accumulated gradients, then zeroes them.
     /// `scale` divides gradients first (use `1/accumulated_batches`).
     pub fn step(&mut self, params: &mut ParamSet, lr: f32, scale: f32) {

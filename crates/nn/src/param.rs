@@ -8,10 +8,12 @@
 //! mutability-free while one parameter store serves thousands of graphs.
 
 use std::collections::HashMap;
-use std::io::{Read, Write};
 use std::path::Path;
 
 use tensor::{Graph, Tensor, Var};
+
+use crate::ckpt::{self, Checkpoint, CkptError, OptimState, ParamEntry, StdIo};
+use crate::optim::AdamW;
 
 /// Handle to a parameter inside a [`ParamSet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -168,72 +170,96 @@ impl ParamSet {
         &mut self.params
     }
 
-    /// Serializes values (not optimizer state) to a binary checkpoint.
-    pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-        f.write_all(&(self.params.len() as u32).to_le_bytes())?;
-        for p in &self.params {
-            let name = p.name.as_bytes();
-            f.write_all(&(name.len() as u32).to_le_bytes())?;
-            f.write_all(name)?;
-            f.write_all(&(p.value.shape().len() as u32).to_le_bytes())?;
-            for &d in p.value.shape() {
-                f.write_all(&(d as u32).to_le_bytes())?;
+    /// First Adam moment of a parameter (for checkpoint verification).
+    pub fn adam_m(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].m
+    }
+
+    /// Second Adam moment of a parameter (for checkpoint verification).
+    pub fn adam_v(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].v
+    }
+
+    /// Snapshots every parameter (and, when an optimizer is given, its
+    /// Adam moments and step count) into a checkpoint-v2 value.
+    pub fn snapshot(&self, optim: Option<&AdamW>) -> Checkpoint {
+        let params = self
+            .params
+            .iter()
+            .map(|p| ParamEntry {
+                name: p.name.clone(),
+                shape: p.value.shape().to_vec(),
+                data: p.value.data().to_vec(),
+                frozen: p.frozen,
+            })
+            .collect();
+        let optim = optim.map(|o| OptimState {
+            steps: o.steps_taken() as u64,
+            m: self.params.iter().map(|p| p.m.data().to_vec()).collect(),
+            v: self.params.iter().map(|p| p.v.data().to_vec()).collect(),
+        });
+        Checkpoint {
+            params,
+            optim,
+            train: None,
+        }
+    }
+
+    /// Restores parameter values (and Adam moments + frozen flags when the
+    /// checkpoint carries an optimizer section) from a decoded checkpoint.
+    ///
+    /// Parameters are matched by name; unknown names and shape mismatches
+    /// are typed errors so silent architecture drift cannot happen. Model
+    /// parameters absent from the checkpoint keep their current values.
+    pub fn restore(&mut self, ckpt: &Checkpoint) -> Result<(), CkptError> {
+        // Validate everything before mutating anything, so a mismatched
+        // checkpoint cannot leave the model half-restored.
+        let mut ids = Vec::with_capacity(ckpt.params.len());
+        for e in &ckpt.params {
+            let id = self
+                .by_name(&e.name)
+                .ok_or_else(|| CkptError::UnknownParam(e.name.clone()))?;
+            if self.params[id.0].value.shape() != e.shape.as_slice() {
+                return Err(CkptError::ShapeMismatch {
+                    name: e.name.clone(),
+                    model: self.params[id.0].value.shape().to_vec(),
+                    ckpt: e.shape.clone(),
+                });
             }
-            for &x in p.value.data() {
-                f.write_all(&x.to_le_bytes())?;
+            ids.push(id);
+        }
+        if let Some(o) = &ckpt.optim {
+            if o.m.len() != ckpt.params.len() || o.v.len() != ckpt.params.len() {
+                return Err(CkptError::Corrupt(
+                    "optimizer section misaligned with params".into(),
+                ));
+            }
+        }
+        for (i, (e, id)) in ckpt.params.iter().zip(&ids).enumerate() {
+            let p = &mut self.params[id.0];
+            p.value = Tensor::from_vec(e.shape.clone(), e.data.clone());
+            if let Some(o) = &ckpt.optim {
+                p.m = Tensor::from_vec(e.shape.clone(), o.m[i].clone());
+                p.v = Tensor::from_vec(e.shape.clone(), o.v[i].clone());
+                p.frozen = e.frozen;
             }
         }
         Ok(())
     }
 
-    /// Loads values from a checkpoint into matching names.
+    /// Serializes values (not optimizer state) to a checkpoint-v2 file:
+    /// length-prefixed, CRC32-checksummed, atomically written.
+    pub fn save(&self, path: &Path) -> Result<(), CkptError> {
+        ckpt::save(&mut StdIo, path, &self.snapshot(None))
+    }
+
+    /// Loads values from a checkpoint-v2 file into matching names.
     ///
-    /// Parameters are matched by name; shape mismatches or unknown names
-    /// are errors so silent architecture drift cannot happen.
-    pub fn load(&mut self, path: &Path) -> std::io::Result<()> {
-        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
-        let mut u32buf = [0u8; 4];
-        f.read_exact(&mut u32buf)?;
-        let count = u32::from_le_bytes(u32buf) as usize;
-        for _ in 0..count {
-            f.read_exact(&mut u32buf)?;
-            let name_len = u32::from_le_bytes(u32buf) as usize;
-            let mut name_bytes = vec![0u8; name_len];
-            f.read_exact(&mut name_bytes)?;
-            let name = String::from_utf8(name_bytes)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-            f.read_exact(&mut u32buf)?;
-            let rank = u32::from_le_bytes(u32buf) as usize;
-            let mut shape = Vec::with_capacity(rank);
-            for _ in 0..rank {
-                f.read_exact(&mut u32buf)?;
-                shape.push(u32::from_le_bytes(u32buf) as usize);
-            }
-            let numel: usize = shape.iter().product();
-            let mut data = vec![0f32; numel];
-            for x in &mut data {
-                f.read_exact(&mut u32buf)?;
-                *x = f32::from_le_bytes(u32buf);
-            }
-            let id = self.by_name(&name).ok_or_else(|| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("checkpoint parameter '{name}' not in model"),
-                )
-            })?;
-            if self.params[id.0].value.shape() != shape.as_slice() {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!(
-                        "shape mismatch for '{name}': model {:?} vs checkpoint {shape:?}",
-                        self.params[id.0].value.shape()
-                    ),
-                ));
-            }
-            self.params[id.0].value = Tensor::from_vec(shape, data);
-        }
-        Ok(())
+    /// Returns typed errors for missing files, short reads, bad magic,
+    /// version skew, CRC mismatches, unknown names, and shape mismatches
+    /// — never panics on truncated or garbage input.
+    pub fn load(&mut self, path: &Path) -> Result<(), CkptError> {
+        self.restore(&ckpt::load(&StdIo, path)?)
     }
 }
 

@@ -10,12 +10,15 @@
 //! (`sanitizer`), aborting with the first offending op's backtrace instead
 //! of silently training on poisoned values.
 
+use std::path::PathBuf;
+
 use analysis::{SanitizerMode, TapeMode};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use tensor::{Graph, Var};
 
+use crate::ckpt::{self, CheckpointIo, FaultIo, FaultPlan, StdIo, TrainState};
 use crate::optim::{AdamW, LrSchedule};
 use crate::param::ParamSet;
 
@@ -73,6 +76,48 @@ impl LossModel for crate::lstm::LstmSeq2Seq {
     }
 }
 
+/// Crash-safe checkpointing for a training run.
+#[derive(Debug, Clone)]
+pub struct CkptConfig {
+    /// Checkpoint file (the rotated last-good snapshot lives beside it at
+    /// [`ckpt::prev_path`]).
+    pub path: PathBuf,
+    /// Write a checkpoint every this many optimizer steps.
+    pub every: usize,
+    /// Attempt to resume from `path` before training (a missing file is a
+    /// fresh start; a corrupt one falls back to the last good snapshot).
+    pub resume: bool,
+    /// Injected fault schedule for the checkpoint writer (fault drills
+    /// and the resume-differential suite; `None` = real I/O).
+    pub fault: Option<FaultPlan>,
+    /// Simulate a SIGKILL immediately after the N-th checkpoint write
+    /// (1-based): the loop returns with `interrupted = true`, exactly as
+    /// if the process died with the checkpoint durable.
+    pub kill_after: Option<usize>,
+}
+
+impl CkptConfig {
+    /// Periodic checkpointing with resume on, picking up any
+    /// `DATAVIST5_FAULT` schedule from the environment.
+    pub fn periodic(path: impl Into<PathBuf>, every: usize) -> Self {
+        CkptConfig {
+            path: path.into(),
+            every: every.max(1),
+            resume: true,
+            fault: FaultPlan::from_env(),
+            kill_after: None,
+        }
+    }
+
+    /// The I/O implementation this configuration selects.
+    pub fn make_io(&self) -> Box<dyn CheckpointIo> {
+        match self.fault {
+            Some(plan) => Box::new(FaultIo::new(plan)),
+            None => Box::new(StdIo),
+        }
+    }
+}
+
 /// Training-run configuration.
 #[derive(Debug, Clone)]
 pub struct TrainConfig {
@@ -91,6 +136,8 @@ pub struct TrainConfig {
     /// Numeric sanitizer schedule; a tripped scan aborts the run with the
     /// first offending op's tape backtrace.
     pub sanitizer: SanitizerMode,
+    /// Periodic crash-safe checkpointing and exact resume (None = off).
+    pub ckpt: Option<CkptConfig>,
 }
 
 impl TrainConfig {
@@ -105,6 +152,7 @@ impl TrainConfig {
             eval_every: 0,
             doctor: true,
             sanitizer: SanitizerMode::FirstStep,
+            ckpt: None,
         }
     }
 }
@@ -117,12 +165,25 @@ pub struct TrainReport {
     /// Validation losses at each evaluation point.
     pub valid_losses: Vec<f32>,
     pub steps: usize,
+    /// Mean training loss of every optimizer step (includes steps
+    /// restored from a checkpoint, so the trajectory of a resumed run is
+    /// complete and comparable to an uninterrupted one).
+    pub step_losses: Vec<f32>,
+    /// The run stopped at a simulated kill point (`CkptConfig::kill_after`)
+    /// rather than completing its step budget.
+    pub interrupted: bool,
+    /// Step the run resumed from, when it restored a checkpoint.
+    pub resumed_at: Option<usize>,
 }
 
 /// Trains a model in place.
 ///
 /// Iterates the dataset in shuffled epochs until `cfg.steps` optimizer
-/// steps have been taken.
+/// steps have been taken. With `cfg.ckpt` set, the loop writes a
+/// crash-safe checkpoint (weights, Adam moments, RNG stream, shuffle
+/// order, data cursor, loss trajectory) every `every` steps and resumes
+/// from it bit-identically: the resumed run's final weights, optimizer
+/// state, and per-step losses match an uninterrupted run exactly.
 pub fn train_seq2seq<M: LossModel>(
     model: &M,
     ps: &mut ParamSet,
@@ -140,8 +201,51 @@ pub fn train_seq2seq<M: LossModel>(
     let tail_start = cfg.steps - cfg.steps / 10 - 1;
     let mut tail_sum = 0.0f32;
     let mut tail_n = 0usize;
+    let mut start_step = 0usize;
+    let mut io = cfg.ckpt.as_ref().map(|c| c.make_io());
+    let mut ckpt_writes = 0usize;
 
-    for step in 0..cfg.steps {
+    if let Some(c) = &cfg.ckpt {
+        if c.resume {
+            match ckpt::load_with_fallback(io.as_deref().unwrap(), &c.path) {
+                Ok((snap, from_prev)) => {
+                    match restore_train_state(&snap, ps, &mut opt, data.len()) {
+                        Ok(ts) => {
+                            rng = StdRng::from_state(ts.rng_state);
+                            order = ts.order.iter().map(|&i| i as usize).collect();
+                            cursor = ts.cursor as usize;
+                            tail_sum = ts.tail_sum;
+                            tail_n = ts.tail_n as usize;
+                            report.step_losses = ts.step_losses.clone();
+                            report.valid_losses = ts.valid_losses.clone();
+                            start_step = (ts.next_step as usize).min(cfg.steps);
+                            report.resumed_at = Some(start_step);
+                            eprintln!(
+                                "[train] resumed from '{}' at step {start_step}{}",
+                                c.path.display(),
+                                if from_prev {
+                                    " (last good snapshot)"
+                                } else {
+                                    ""
+                                }
+                            );
+                        }
+                        Err(e) => eprintln!(
+                            "[train] checkpoint '{}' unusable ({e}); training from scratch",
+                            c.path.display()
+                        ),
+                    }
+                }
+                Err(e) if e.is_missing() => {}
+                Err(e) => eprintln!(
+                    "[train] checkpoint '{}' unusable ({e}); training from scratch",
+                    c.path.display()
+                ),
+            }
+        }
+    }
+
+    for step in start_step..cfg.steps {
         let mut batch_loss = 0.0f32;
         for micro in 0..cfg.accum {
             if cursor >= order.len() {
@@ -169,12 +273,47 @@ pub fn train_seq2seq<M: LossModel>(
         }
         opt.step(ps, cfg.schedule.at(step), 1.0 / cfg.accum as f32);
         let mean = batch_loss / cfg.accum as f32;
+        report.step_losses.push(mean);
         if step >= tail_start {
             tail_sum += mean;
             tail_n += 1;
         }
         if cfg.eval_every > 0 && (step + 1) % cfg.eval_every == 0 && !valid.is_empty() {
             report.valid_losses.push(eval_mean(model, ps, valid));
+        }
+        if let Some(c) = &cfg.ckpt {
+            if (step + 1) % c.every == 0 {
+                ckpt_writes += 1;
+                let state = TrainState {
+                    rng_state: rng.state(),
+                    next_step: (step + 1) as u64,
+                    cursor: cursor as u64,
+                    order: order.iter().map(|&i| i as u32).collect(),
+                    tail_sum,
+                    tail_n: tail_n as u64,
+                    step_losses: report.step_losses.clone(),
+                    valid_losses: report.valid_losses.clone(),
+                };
+                let snap = ps.snapshot(Some(&opt)).with_train(state);
+                if let Err(e) = ckpt::save(io.as_deref_mut().unwrap(), &c.path, &snap) {
+                    // A failed write is reported and skipped; the last
+                    // good checkpoint on disk stays untouched.
+                    eprintln!(
+                        "[train] checkpoint write {ckpt_writes} to '{}' failed: {e}",
+                        c.path.display()
+                    );
+                }
+                if c.kill_after == Some(ckpt_writes) {
+                    report.interrupted = true;
+                    report.steps = step + 1;
+                    report.final_train_loss = if tail_n > 0 {
+                        tail_sum / tail_n as f32
+                    } else {
+                        0.0
+                    };
+                    return report;
+                }
+            }
         }
     }
     report.steps = cfg.steps;
@@ -184,6 +323,32 @@ pub fn train_seq2seq<M: LossModel>(
         0.0
     };
     report
+}
+
+/// Restores weights and optimizer state from a checkpoint and validates
+/// its training section against the current run (present, and shuffle
+/// order sized for this dataset).
+fn restore_train_state(
+    snap: &ckpt::Checkpoint,
+    ps: &mut ParamSet,
+    opt: &mut AdamW,
+    data_len: usize,
+) -> Result<TrainState, ckpt::CkptError> {
+    let ts = snap
+        .train
+        .as_ref()
+        .ok_or_else(|| ckpt::CkptError::Corrupt("checkpoint has no training state".into()))?;
+    if ts.order.len() != data_len {
+        return Err(ckpt::CkptError::Corrupt(format!(
+            "shuffle order covers {} examples but the dataset has {data_len}",
+            ts.order.len()
+        )));
+    }
+    ps.restore(snap)?;
+    if let Some(o) = &snap.optim {
+        opt.set_steps_taken(o.steps as usize);
+    }
+    Ok(ts.clone())
 }
 
 /// Mean evaluation loss over a dataset.
@@ -237,6 +402,7 @@ mod tests {
             eval_every: 30,
             doctor: true,
             sanitizer: SanitizerMode::FirstStep,
+            ckpt: None,
         };
         let report = train_seq2seq(&model, &mut ps, &data, &data, &tc);
         let after = eval_mean(&model, &ps, &data);

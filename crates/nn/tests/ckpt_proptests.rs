@@ -1,0 +1,164 @@
+//! Property tests of the checkpoint-v2 format.
+//!
+//! Two contracts: (1) save→load is the identity for arbitrary parameter
+//! sets (shapes, frozen flags, optimizer and train sections included);
+//! (2) flipping any single byte of a checkpoint file is detected — the
+//! load returns a typed error, never panics, and never silently installs
+//! wrong weights (the model's parameters are untouched after a failed
+//! load).
+
+use proptest::prelude::*;
+
+use nn::ckpt::{self, Checkpoint, OptimState, ParamEntry, TrainState};
+use nn::param::ParamSet;
+use tensor::{Tensor, XorShift};
+
+/// Deterministically builds an arbitrary checkpoint from a seed: 1–6
+/// parameters of rank 1–3, random frozen flags, optional optimizer and
+/// train sections.
+fn arbitrary_checkpoint(seed: u64) -> Checkpoint {
+    let mut rng = XorShift::new(seed | 1);
+    let n_params = 1 + (rng.next_u64() % 6) as usize;
+    let mut params = Vec::new();
+    for i in 0..n_params {
+        let rank = 1 + (rng.next_u64() % 3) as usize;
+        let shape: Vec<usize> = (0..rank)
+            .map(|_| 1 + (rng.next_u64() % 4) as usize)
+            .collect();
+        let numel: usize = shape.iter().product();
+        let data: Vec<f32> = (0..numel).map(|_| rng.next_f32() * 4.0 - 2.0).collect();
+        params.push(ParamEntry {
+            name: format!("layer{i}.w"),
+            shape,
+            data,
+            frozen: rng.next_u64().is_multiple_of(3),
+        });
+    }
+    let optim = (rng.next_u64().is_multiple_of(2)).then(|| OptimState {
+        steps: rng.next_u64() % 1000,
+        m: params
+            .iter()
+            .map(|p| (0..p.data.len()).map(|_| rng.next_f32()).collect())
+            .collect(),
+        v: params
+            .iter()
+            .map(|p| (0..p.data.len()).map(|_| rng.next_f32()).collect())
+            .collect(),
+    });
+    let train = (rng.next_u64().is_multiple_of(2)).then(|| TrainState {
+        rng_state: rng.next_u64(),
+        next_step: rng.next_u64() % 100,
+        cursor: rng.next_u64() % 16,
+        order: (0..(rng.next_u64() % 8))
+            .map(|_| (rng.next_u64() % 32) as u32)
+            .collect(),
+        tail_sum: rng.next_f32(),
+        tail_n: rng.next_u64() % 8,
+        step_losses: (0..(rng.next_u64() % 6))
+            .map(|_| rng.next_f32() * 3.0)
+            .collect(),
+        valid_losses: (0..(rng.next_u64() % 3))
+            .map(|_| rng.next_f32() * 3.0)
+            .collect(),
+    });
+    Checkpoint {
+        params,
+        optim,
+        train,
+    }
+}
+
+proptest! {
+    /// encode→decode is the identity for arbitrary checkpoints.
+    #[test]
+    fn encode_decode_is_identity(seed in 0u64..5000) {
+        let c = arbitrary_checkpoint(seed);
+        let decoded = ckpt::decode(&ckpt::encode(&c)).unwrap();
+        prop_assert_eq!(decoded, c);
+    }
+
+    /// save→load through a real ParamSet and the filesystem restores the
+    /// exact bit patterns of every weight.
+    #[test]
+    fn save_load_restores_exact_bits(seed in 0u64..500) {
+        let c = arbitrary_checkpoint(seed);
+        let mut ps = ParamSet::new();
+        for e in &c.params {
+            ps.add(e.name.clone(), Tensor::from_vec(e.shape.clone(), e.data.clone()));
+        }
+        let dir = std::env::temp_dir().join("datavist5_ckpt_prop");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("rt_{seed}.bin"));
+        ps.save(&path).unwrap();
+
+        let mut restored = ParamSet::new();
+        for e in &c.params {
+            restored.add(e.name.clone(), Tensor::zeros(e.shape.clone()));
+        }
+        restored.load(&path).unwrap();
+        for e in &c.params {
+            let id = restored.by_name(&e.name).unwrap();
+            let got: Vec<u32> = restored.value(id).data().iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u32> = e.data.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(got, want);
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(ckpt::prev_path(&path));
+    }
+
+    /// Flipping any single byte anywhere in the file is rejected with a
+    /// typed error — never a panic, never a silent success. (A flip can
+    /// land in the magic, version, length prefix, payload, or stored CRC;
+    /// each region has its own detector.)
+    #[test]
+    fn any_single_byte_flip_is_detected(seed in 0u64..5000, flip_seed in 1u64..256) {
+        let c = arbitrary_checkpoint(seed);
+        let mut bytes = ckpt::encode(&c);
+        let idx = (flip_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seed) as usize % bytes.len();
+        let mask = (flip_seed % 255 + 1) as u8; // never zero: always a real change
+        bytes[idx] ^= mask;
+        let result = ckpt::decode(&bytes);
+        prop_assert!(
+            result.is_err(),
+            "flip of byte {} (mask {:#04x}) decoded successfully", idx, mask
+        );
+    }
+
+    /// A failed load leaves the model's weights untouched: corruption can
+    /// never half-install a checkpoint.
+    #[test]
+    fn failed_load_never_installs_weights(seed in 0u64..300) {
+        let c = arbitrary_checkpoint(seed);
+        let mut ps = ParamSet::new();
+        for e in &c.params {
+            ps.add(e.name.clone(), Tensor::from_vec(e.shape.clone(), e.data.clone()));
+        }
+        let dir = std::env::temp_dir().join("datavist5_ckpt_prop_fail");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("corrupt_{seed}.bin"));
+        ps.save(&path).unwrap();
+
+        // Corrupt one payload byte on disk.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = ckpt::HEADER_LEN.min(bytes.len() - 1)
+            + (seed as usize % (bytes.len() - ckpt::HEADER_LEN.min(bytes.len() - 1)));
+        let idx = idx.min(bytes.len() - 1);
+        bytes[idx] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut victim = ParamSet::new();
+        for e in &c.params {
+            victim.add(e.name.clone(), Tensor::filled(e.shape.clone(), 9.0));
+        }
+        prop_assert!(victim.load(&path).is_err());
+        for e in &c.params {
+            let id = victim.by_name(&e.name).unwrap();
+            prop_assert!(
+                victim.value(id).data().iter().all(|&v| v == 9.0),
+                "corrupt load mutated '{}'", &e.name
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(ckpt::prev_path(&path));
+    }
+}

@@ -1,0 +1,279 @@
+//! Resume-differential suite: crash-safe checkpointing must be *exact*.
+//!
+//! For both size presets the suite kills training at every checkpoint
+//! boundary (via `CkptConfig::kill_after`, which returns from the loop
+//! right after the N-th durable write — indistinguishable from SIGKILL
+//! with the checkpoint on disk), resumes into a freshly built model, and
+//! asserts the final weights, Adam moments, and per-step loss trajectory
+//! are bit-identical to an uninterrupted run.
+//!
+//! The fault-injection half drives the same loop through `FaultIo`: a
+//! write failure, a truncation that chops exactly the trailing CRC (the
+//! CI fault-matrix cell), and a payload bit flip. Every mode must be
+//! reported as a typed error and leave the last good snapshot loadable.
+
+use std::path::{Path, PathBuf};
+
+use analysis::SanitizerMode;
+use nn::ckpt::{self, CkptError, FaultMode, FaultPlan, StdIo};
+use nn::optim::LrSchedule;
+use nn::param::ParamSet;
+use nn::t5::{T5Config, T5Model};
+use nn::train::{train_seq2seq, CkptConfig, Example, TrainConfig, TrainReport};
+use tensor::XorShift;
+
+const VOCAB: usize = 24;
+const STEPS: usize = 6;
+const EVERY: usize = 2;
+
+fn dataset() -> Vec<Example> {
+    (0..5)
+        .map(|i| {
+            let a = 3 + i;
+            let b = 9 + i;
+            (vec![a, b, 1], vec![b, a, 1])
+        })
+        .collect()
+}
+
+/// Builds the model identically every time: same init RNG, same names.
+fn build(cfg: T5Config) -> (T5Model, ParamSet) {
+    let mut ps = ParamSet::new();
+    let mut rng = XorShift::new(7);
+    let m = T5Model::new(&mut ps, "m", cfg, &mut rng);
+    (m, ps)
+}
+
+fn train_cfg(dir: &Path, kill_after: Option<usize>, fault: Option<FaultPlan>) -> TrainConfig {
+    TrainConfig {
+        steps: STEPS,
+        accum: 2,
+        schedule: LrSchedule::warmup_rate(3e-3, 0.2, STEPS),
+        smoothing: 0.1,
+        seed: 42,
+        eval_every: 2,
+        doctor: false,
+        sanitizer: SanitizerMode::Off,
+        ckpt: Some(CkptConfig {
+            path: dir.join("ck.bin"),
+            every: EVERY,
+            resume: true,
+            fault,
+            kill_after,
+        }),
+    }
+}
+
+/// A fresh scratch directory, cleared of any prior run's checkpoints.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("datavist5_resume_diff_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Bit pattern of every weight and both Adam moments, in name order.
+fn fingerprint(ps: &ParamSet) -> Vec<u32> {
+    let mut bits = Vec::new();
+    for name in ps.names() {
+        let id = ps.by_name(&name).unwrap();
+        bits.extend(ps.value(id).data().iter().map(|v| v.to_bits()));
+        bits.extend(ps.adam_m(id).data().iter().map(|v| v.to_bits()));
+        bits.extend(ps.adam_v(id).data().iter().map(|v| v.to_bits()));
+    }
+    bits
+}
+
+fn loss_bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Kill at every checkpoint boundary, resume, and compare bits against
+/// the uninterrupted run.
+fn assert_resume_differential(cfg: T5Config, tag: &str) {
+    let data = dataset();
+    let valid = dataset();
+
+    let dir = scratch(&format!("{tag}_baseline"));
+    let (model, mut ps) = build(cfg);
+    let baseline: TrainReport =
+        train_seq2seq(&model, &mut ps, &data, &valid, &train_cfg(&dir, None, None));
+    assert!(!baseline.interrupted);
+    assert_eq!(baseline.steps, STEPS);
+    assert_eq!(baseline.step_losses.len(), STEPS);
+    let baseline_fp = fingerprint(&ps);
+
+    for k in 1..=STEPS / EVERY {
+        let dir = scratch(&format!("{tag}_kill{k}"));
+
+        let (model, mut ps) = build(cfg);
+        let killed = train_seq2seq(
+            &model,
+            &mut ps,
+            &data,
+            &valid,
+            &train_cfg(&dir, Some(k), None),
+        );
+        assert!(
+            killed.interrupted,
+            "kill {k}: run did not stop at the boundary"
+        );
+        assert_eq!(killed.steps, k * EVERY);
+
+        // Resume in a fresh process image: new model, new ParamSet.
+        let (model, mut ps) = build(cfg);
+        let resumed = train_seq2seq(&model, &mut ps, &data, &valid, &train_cfg(&dir, None, None));
+        assert!(!resumed.interrupted);
+        assert_eq!(
+            resumed.resumed_at,
+            Some(k * EVERY),
+            "kill {k}: resumed from the wrong step"
+        );
+        assert_eq!(resumed.steps, STEPS);
+
+        assert_eq!(
+            fingerprint(&ps),
+            baseline_fp,
+            "kill {k} ({tag}): weights or Adam moments diverged after resume"
+        );
+        assert_eq!(
+            loss_bits(&resumed.step_losses),
+            loss_bits(&baseline.step_losses),
+            "kill {k} ({tag}): per-step loss trajectory diverged"
+        );
+        assert_eq!(
+            loss_bits(&resumed.valid_losses),
+            loss_bits(&baseline.valid_losses),
+            "kill {k} ({tag}): validation trajectory diverged"
+        );
+        assert_eq!(
+            resumed.final_train_loss.to_bits(),
+            baseline.final_train_loss.to_bits(),
+            "kill {k} ({tag}): final loss diverged"
+        );
+    }
+}
+
+#[test]
+fn base_preset_resume_is_bit_identical_at_every_boundary() {
+    assert_resume_differential(T5Config::base(VOCAB), "base");
+}
+
+#[test]
+fn large_preset_resume_is_bit_identical_at_every_boundary() {
+    assert_resume_differential(T5Config::large(VOCAB), "large");
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection matrix: every mode is a typed error, never fatal, and
+// the last good checkpoint stays loadable.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn write_failure_is_logged_and_training_completes() {
+    let dir = scratch("fault_write_fail");
+    let fault = FaultPlan {
+        mode: FaultMode::WriteFail,
+        at_write: 2,
+    };
+    let (model, mut ps) = build(T5Config::base(VOCAB));
+    let data = dataset();
+    let report = train_seq2seq(
+        &model,
+        &mut ps,
+        &data,
+        &[],
+        &train_cfg(&dir, None, Some(fault)),
+    );
+    // The failed write is skipped, not fatal: the run completes its budget
+    // and the final (third) write lands.
+    assert!(!report.interrupted);
+    assert_eq!(report.steps, STEPS);
+    let snap = ckpt::load(&StdIo, &dir.join("ck.bin")).expect("final checkpoint loads");
+    assert_eq!(snap.train.expect("train state").next_step, STEPS as u64);
+}
+
+/// The CI fault-matrix cell: truncate exactly the trailing CRC of the
+/// second write on the base preset. The primary must fail with a typed
+/// truncation error, the rotated snapshot must load, and training must
+/// resume from it.
+#[test]
+fn truncate_at_crc_leaves_last_good_loadable_base_preset() {
+    let dir = scratch("fault_truncate_crc");
+    let path = dir.join("ck.bin");
+    let fault = FaultPlan {
+        mode: FaultMode::Truncate(4),
+        at_write: 2,
+    };
+    let (model, mut ps) = build(T5Config::base(VOCAB));
+    let data = dataset();
+    // Die right after the corrupted write: primary is torn, .prev is the
+    // write-1 snapshot.
+    let report = train_seq2seq(
+        &model,
+        &mut ps,
+        &data,
+        &[],
+        &train_cfg(&dir, Some(2), Some(fault)),
+    );
+    assert!(report.interrupted);
+
+    let err = ckpt::load(&StdIo, &path).expect_err("torn primary must not load");
+    assert!(
+        matches!(err, CkptError::ShortRead { .. }),
+        "expected a typed truncation error, got: {err}"
+    );
+    let (snap, from_prev) = ckpt::load_with_fallback(&StdIo, &path).expect("last good loads");
+    assert!(from_prev);
+    assert_eq!(snap.train.expect("train state").next_step, EVERY as u64);
+
+    // A resumed run recovers from the last good snapshot and completes.
+    let (model, mut ps) = build(T5Config::base(VOCAB));
+    let resumed = train_seq2seq(&model, &mut ps, &data, &[], &train_cfg(&dir, None, None));
+    assert_eq!(resumed.resumed_at, Some(EVERY));
+    assert_eq!(resumed.steps, STEPS);
+    assert!(resumed.final_train_loss.is_finite());
+}
+
+#[test]
+fn bit_flip_is_detected_and_last_good_loadable() {
+    let dir = scratch("fault_bit_flip");
+    let path = dir.join("ck.bin");
+    let fault = FaultPlan {
+        mode: FaultMode::BitFlip(ckpt::HEADER_LEN + 33),
+        at_write: 2,
+    };
+    let (model, mut ps) = build(T5Config::base(VOCAB));
+    let data = dataset();
+    let report = train_seq2seq(
+        &model,
+        &mut ps,
+        &data,
+        &[],
+        &train_cfg(&dir, Some(2), Some(fault)),
+    );
+    assert!(report.interrupted);
+
+    let err = ckpt::load(&StdIo, &path).expect_err("flipped primary must not load");
+    assert!(
+        matches!(err, CkptError::CrcMismatch { .. }),
+        "expected a CRC mismatch, got: {err}"
+    );
+    let (snap, from_prev) = ckpt::load_with_fallback(&StdIo, &path).expect("last good loads");
+    assert!(from_prev);
+    assert_eq!(snap.train.expect("train state").next_step, EVERY as u64);
+}
+
+/// The env grammar drives the same machinery: `truncate@N:4` is the
+/// schedule ci.sh uses for the fault-matrix cell.
+#[test]
+fn env_grammar_selects_the_ci_fault_cell() {
+    let plan = FaultPlan::parse("truncate@2:4").unwrap();
+    assert_eq!(
+        plan,
+        FaultPlan {
+            mode: FaultMode::Truncate(4),
+            at_write: 2
+        }
+    );
+}

@@ -42,6 +42,23 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Exposes the raw generator state (shim extension, not upstream
+        /// API): checkpointing serializes this word so a resumed training
+        /// run continues the exact random stream.
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuilds a generator from a state word captured by
+        /// [`StdRng::state`]. Unlike `seed_from_u64` this does NOT
+        /// pre-advance: the next draw is exactly the one the captured
+        /// generator would have produced.
+        pub fn from_state(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
     impl crate::RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
