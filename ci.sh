@@ -27,6 +27,13 @@ echo "== resume-differential suite =="
 cargo test -p nn --test resume_differential -q
 cargo test -p nn --test ckpt_proptests -q
 
+echo "== determinism audit: source lints + tape reduction orders =="
+cargo run --release -p bench --bin det_audit -- --out target/BENCH_det_audit.json
+
+echo "== double-run bit-equality suite =="
+cargo test -p nn --test double_run -q
+cargo test -p analysis --test order_proptests -q
+
 echo "== fault-matrix cell: truncate-at-CRC, base preset =="
 cargo test -p nn --test resume_differential \
   truncate_at_crc_leaves_last_good_loadable_base_preset -q

@@ -1,0 +1,1184 @@
+//! Source-level determinism lints (`D0xx`).
+//!
+//! The differential suites (PR 2's batched-vs-sequential decode, PR 3's
+//! resume-vs-uninterrupted train) prove bit-equality *dynamically*, but
+//! they only cover the paths they execute. This scanner statically sweeps
+//! every `crates/*/src/*.rs` file for the constructs that break
+//! bit-reproducibility in Rust:
+//!
+//! | code | finding |
+//! |------|---------|
+//! | D000 | `det-ok` allowlist annotation without a reason |
+//! | D001 | hash-ordered iteration reaching an order-sensitive sink (accumulation, sort comparator, serialization, argmax/tie-break) |
+//! | D002 | ambient randomness outside the seeded RNG plumbing (`thread_rng`, `from_entropy`, `RandomState`) |
+//! | D003 | wall-clock reads (`Instant::now`, `SystemTime`, `UNIX_EPOCH`) outside `crates/bench` |
+//! | D004 | `env::var` reads outside `DATAVIST5_*` keys handled by config code |
+//! | D005 | float `sum()`/`fold()`/`product()` fed by hash-ordered iteration |
+//!
+//! `std`'s `HashMap`/`HashSet` seed SipHash per *instance* (a thread-local
+//! counter perturbs every `RandomState`), so two identical computations in
+//! the same process already disagree on iteration order. Integer counts
+//! summed over a hash map are order-independent; float accumulation,
+//! first-match tie-breaks, and serialized key order are not — those are
+//! the sinks this pass taints toward.
+//!
+//! The scanner is token-level, not a full parser: comments, strings, and
+//! `#[cfg(test)]` modules are stripped (test modules never produce shipped
+//! artifacts, and the differential suites are the dynamic check there),
+//! then identifiers declared as hash collections — plus the results of
+//! functions returning them, tracked workspace-wide — are taint sources.
+//! A taint that reaches a sink inside the same statement (or the body of a
+//! `for` iterating the collection) is a finding. Audited sites are
+//! allowlisted with a trailing or preceding `// det-ok: <reason>` comment;
+//! the reason is mandatory (D000 otherwise) and every suppression is
+//! surfaced in the `det_audit` report rather than silently dropped.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One source-level finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFinding {
+    pub code: &'static str,
+    /// Path as given to the scanner (workspace-relative in `audit_sources`).
+    pub file: String,
+    /// 1-based line of the offending construct.
+    pub line: usize,
+    pub message: String,
+    /// `Some(reason)` when a `det-ok: <reason>` annotation covers the line.
+    pub suppressed: Option<String>,
+}
+
+impl fmt::Display for SourceFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.suppressed {
+            Some(reason) => write!(
+                f,
+                "allowed[{}] {}:{}: {} (det-ok: {reason})",
+                self.code, self.file, self.line, self.message
+            ),
+            None => write!(
+                f,
+                "error[{}] {}:{}: {}",
+                self.code, self.file, self.line, self.message
+            ),
+        }
+    }
+}
+
+/// Tally of determinism findings across a whole audit, in the same spirit
+/// as `vql::LintCounts` — one line a harness can print next to its scores.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetCounts {
+    pub files: usize,
+    pub suppressed: usize,
+    pub d000: usize,
+    pub d001: usize,
+    pub d002: usize,
+    pub d003: usize,
+    pub d004: usize,
+    pub d005: usize,
+    /// Tape-level findings folded in by `det_audit`.
+    pub d010: usize,
+    pub d011: usize,
+}
+
+impl DetCounts {
+    /// Records one source finding (suppressed findings count separately).
+    pub fn record(&mut self, finding: &SourceFinding) {
+        if finding.suppressed.is_some() {
+            self.suppressed += 1;
+            return;
+        }
+        match finding.code {
+            "D000" => self.d000 += 1,
+            "D001" => self.d001 += 1,
+            "D002" => self.d002 += 1,
+            "D003" => self.d003 += 1,
+            "D004" => self.d004 += 1,
+            "D005" => self.d005 += 1,
+            other => panic!("unknown determinism code {other}"),
+        }
+    }
+
+    /// Records one tape-level diagnostic code (`D010`/`D011`).
+    pub fn record_tape(&mut self, code: &str) {
+        match code {
+            "D010" => self.d010 += 1,
+            "D011" => self.d011 += 1,
+            other => panic!("unknown tape determinism code {other}"),
+        }
+    }
+
+    /// Findings that fail the audit (suppressed ones do not).
+    pub fn unsuppressed(&self) -> usize {
+        self.d000
+            + self.d001
+            + self.d002
+            + self.d003
+            + self.d004
+            + self.d005
+            + self.d010
+            + self.d011
+    }
+}
+
+impl fmt::Display for DetCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} files | D001:{} D002:{} D003:{} D004:{} D005:{} D010:{} D011:{} | \
+             {} allowed (det-ok), {} unreasoned (D000)",
+            self.files,
+            self.d001,
+            self.d002,
+            self.d003,
+            self.d004,
+            self.d005,
+            self.d010,
+            self.d011,
+            self.suppressed,
+            self.d000,
+        )
+    }
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+struct Tok {
+    text: String,
+    line: usize,
+    col: usize,
+}
+
+/// What stripping a file yields: lexable text plus the side tables the
+/// lint rules need (string literal contents for D004, `det-ok`
+/// annotations per line).
+struct Stripped {
+    tokens: Vec<Tok>,
+    /// Original contents of string literals keyed by the opening quote's
+    /// (line, col) — the token stream carries only a `""` placeholder.
+    literals: BTreeMap<(usize, usize), String>,
+    /// `det-ok` annotations: line → reason (empty string = missing).
+    det_ok: BTreeMap<usize, String>,
+}
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Chained float reductions → D005.
+const FLOAT_ACC_SINKS: &[&str] = &["sum", "fold", "product"];
+
+/// Order-sensitive method sinks → D001.
+const METHOD_SINKS: &[&str] = &[
+    "max_by",
+    "min_by",
+    "max_by_key",
+    "min_by_key",
+    "position",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "collect",
+    "extend",
+    "push",
+    "push_str",
+    "to_string",
+    "serialize",
+    "write_all",
+];
+
+/// Macro sinks (serialization / formatting) → D001.
+const MACRO_SINKS: &[&str] = &[
+    "write", "writeln", "print", "println", "eprintln", "format", "json",
+];
+
+/// Compound assignments inside an iteration body → D001 (accumulation).
+const ASSIGN_SINKS: &[&str] = &["+=", "-=", "*=", "/="];
+
+/// Wrapper/path tokens skipped when walking left from `HashMap` to the
+/// declaration it types (e.g. `docs: Vec<HashMap<usize, f64>>`).
+const TYPE_WRAPPERS: &[&str] = &[
+    "<",
+    "Vec",
+    "Option",
+    "Box",
+    "Rc",
+    "Arc",
+    "std",
+    "collections",
+    "::",
+    "&",
+    "'",
+    "mut",
+];
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_alphabetic() || c == '_')
+}
+
+/// Strips comments, strings, and char literals from `text`, lexes the
+/// remainder, and collects the side tables. Stripping is layout-
+/// preserving — every removed character becomes a space (newlines stay) —
+/// so token (line, col) positions in the stripped text equal positions in
+/// the original, which is what keys the string-literal table.
+fn strip_and_lex(text: &str) -> Stripped {
+    let chars: Vec<char> = text.chars().collect();
+    let mut clean: Vec<char> = Vec::with_capacity(chars.len());
+    let mut literals = BTreeMap::new();
+    let mut det_ok = BTreeMap::new();
+    let (mut line, mut col) = (1usize, 1usize);
+    let mut i = 0;
+    let record_det_ok = |comment: &str, line: usize, det_ok: &mut BTreeMap<usize, String>| {
+        if let Some(pos) = comment.find("det-ok") {
+            let rest = comment[pos + "det-ok".len()..]
+                .trim_start_matches(':')
+                .trim();
+            det_ok.insert(line, rest.to_string());
+        }
+    };
+    // Consumes chars[i], emitting `replacement` (or '\n' for newlines) so
+    // the stripped text keeps the original layout.
+    macro_rules! eat {
+        ($replacement:expr) => {{
+            if chars[i] == '\n' {
+                clean.push('\n');
+                line += 1;
+                col = 1;
+            } else {
+                clean.push($replacement);
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        let prev_ident = clean
+            .iter()
+            .rev()
+            .find(|ch| !ch.is_whitespace())
+            .is_some_and(|p| p.is_alphanumeric() || *p == '_')
+            && clean
+                .last()
+                .is_some_and(|p| p.is_alphanumeric() || *p == '_');
+        if c == '/' && next == Some('/') {
+            let start_line = line;
+            let mut comment = String::new();
+            while i < chars.len() && chars[i] != '\n' {
+                comment.push(chars[i]);
+                eat!(' ');
+            }
+            record_det_ok(&comment, start_line, &mut det_ok);
+            continue;
+        }
+        if c == '/' && next == Some('*') {
+            let start_line = line;
+            let mut comment = String::new();
+            let mut depth = 0usize;
+            while i < chars.len() {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    eat!(' ');
+                    eat!(' ');
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    eat!(' ');
+                    eat!(' ');
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    comment.push(chars[i]);
+                    eat!(' ');
+                }
+            }
+            record_det_ok(&comment, start_line, &mut det_ok);
+            continue;
+        }
+        // Raw strings: r"…", r#"…"#, b-variants. Only when `r`/`b` is not
+        // the tail of an identifier.
+        if (c == 'r' || c == 'b') && !prev_ident {
+            let mut j = i + 1;
+            let mut hashes = 0;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                let key = (line, col);
+                eat!('\u{1}'); // the r/b prefix becomes the string marker
+                while i <= j {
+                    eat!(' '); // hashes and the opening quote
+                }
+                let mut content = String::new();
+                while i < chars.len() {
+                    if chars[i] == '"' {
+                        let mut h = 0;
+                        while chars.get(i + 1 + h) == Some(&'#') {
+                            h += 1;
+                        }
+                        if h >= hashes {
+                            for _ in 0..=hashes {
+                                eat!(' ');
+                            }
+                            break;
+                        }
+                    }
+                    content.push(chars[i]);
+                    eat!(' ');
+                }
+                literals.insert(key, content);
+                continue;
+            }
+        }
+        if c == '"' {
+            let key = (line, col);
+            eat!('\u{1}'); // opening quote becomes the string marker
+            let mut content = String::new();
+            while i < chars.len() {
+                if chars[i] == '\\' {
+                    content.push(chars[i]);
+                    eat!(' ');
+                    if i < chars.len() {
+                        content.push(chars[i]);
+                        eat!(' ');
+                    }
+                    continue;
+                }
+                if chars[i] == '"' {
+                    eat!(' ');
+                    break;
+                }
+                content.push(chars[i]);
+                eat!(' ');
+            }
+            literals.insert(key, content);
+            continue;
+        }
+        // Char literal vs lifetime: 'x' / '\n' are literals, 'a in a
+        // generic position is a lifetime (no closing quote nearby).
+        if c == '\'' {
+            if next == Some('\\') {
+                // Escaped char literal: consume through the closing quote.
+                eat!(' ');
+                while i < chars.len() && chars[i] != '\'' {
+                    eat!(' ');
+                }
+                if i < chars.len() {
+                    eat!(' ');
+                }
+                continue;
+            }
+            if chars.get(i + 2) == Some(&'\'') {
+                eat!(' ');
+                eat!(' ');
+                eat!(' ');
+                continue;
+            }
+            // Lifetime: keep the tick so the type-walk can skip it.
+        }
+        eat!(c);
+    }
+
+    Stripped {
+        tokens: lex(&clean.iter().collect::<String>()),
+        literals,
+        det_ok,
+    }
+}
+
+/// Lexes stripped text into identifier / operator / punctuation tokens.
+fn lex(clean: &str) -> Vec<Tok> {
+    let chars: Vec<char> = clean.chars().collect();
+    let mut toks = Vec::new();
+    let (mut line, mut col) = (1usize, 1usize);
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            col = 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            col += 1;
+            i += 1;
+            continue;
+        }
+        let (start_line, start_col) = (line, col);
+        if c == '\u{1}' {
+            // String literal placeholder: one marker char at the position
+            // of the literal's first character.
+            toks.push(Tok {
+                text: "\"\"".to_string(),
+                line: start_line,
+                col: start_col,
+            });
+            i += 1;
+            col += 1;
+            continue;
+        }
+        if c.is_alphanumeric() || c == '_' {
+            let mut text = String::new();
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                text.push(chars[i]);
+                i += 1;
+                col += 1;
+            }
+            toks.push(Tok {
+                text,
+                line: start_line,
+                col: start_col,
+            });
+            continue;
+        }
+        // Multi-char operators the lint rules care about; everything else
+        // lexes as a single char.
+        let three: String = chars[i..chars.len().min(i + 3)].iter().collect();
+        let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+        let text = if three == "..=" {
+            three
+        } else if [
+            "::", "->", "=>", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "^=", "&=",
+            "|=", "&&", "||", "..", "<<", ">>",
+        ]
+        .contains(&two.as_str())
+        {
+            two
+        } else {
+            c.to_string()
+        };
+        let len = text.chars().count();
+        toks.push(Tok {
+            text,
+            line: start_line,
+            col: start_col,
+        });
+        i += len;
+        col += len;
+    }
+    toks
+}
+
+/// Removes `#[cfg(test)] mod … { … }` bodies from the token stream.
+fn drop_test_modules(toks: Vec<Tok>) -> Vec<Tok> {
+    let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+    let mut dead = vec![false; toks.len()];
+    let mut i = 0;
+    while i + 6 < toks.len() {
+        let is_cfg_test = texts[i] == "#"
+            && texts[i + 1] == "["
+            && texts[i + 2] == "cfg"
+            && texts[i + 3] == "("
+            && texts[i + 4] == "test"
+            && texts[i + 5] == ")"
+            && texts[i + 6] == "]";
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Find the opening brace of the annotated item (mod or fn).
+        let mut j = i + 7;
+        let mut depth = 0i32;
+        while j < toks.len() {
+            match texts[j] {
+                "{" => {
+                    depth += 1;
+                }
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                ";" if depth == 0 => break, // `#[cfg(test)] mod x;` — nothing inline
+                _ => {}
+            }
+            j += 1;
+        }
+        for flag in dead.iter_mut().take((j + 1).min(toks.len())).skip(i) {
+            *flag = true;
+        }
+        i = j + 1;
+    }
+    toks.into_iter()
+        .zip(dead)
+        .filter_map(|(t, d)| (!d).then_some(t))
+        .collect()
+}
+
+/// Workspace-wide taint sources: names declared as hash collections and
+/// functions that return one (call results inherit the taint).
+#[derive(Debug, Clone, Default)]
+pub struct GlobalTaint {
+    pub names: BTreeSet<String>,
+    pub fns: BTreeSet<String>,
+}
+
+impl GlobalTaint {
+    pub fn absorb(&mut self, other: GlobalTaint) {
+        self.names.extend(other.names);
+        self.fns.extend(other.fns);
+    }
+}
+
+/// Pass 1: collects taint sources from one file.
+pub fn collect_taint(text: &str) -> GlobalTaint {
+    let stripped = strip_and_lex(text);
+    let toks = drop_test_modules(stripped.tokens);
+    let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+    let mut taint = GlobalTaint::default();
+    for i in 0..toks.len() {
+        if texts[i] != "HashMap" && texts[i] != "HashSet" {
+            continue;
+        }
+        // Walk left over path segments and type wrappers to whatever
+        // introduced this type.
+        let mut j = i;
+        while j > 0 && TYPE_WRAPPERS.contains(&texts[j - 1]) {
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        match texts[j - 1] {
+            // `name: HashMap<…>` — struct field, fn arg, or typed let.
+            ":" if j >= 2 && is_ident(texts[j - 2]) => {
+                taint.names.insert(texts[j - 2].to_string());
+            }
+            // `let [mut] name = HashMap::new()` (wrappers already skipped).
+            "=" => {
+                let mut k = j - 1;
+                while k > 0 && !is_ident(texts[k - 1]) && texts[k - 1] != "let" {
+                    k -= 1;
+                }
+                if k >= 2 && is_ident(texts[k - 1]) {
+                    let name = texts[k - 1];
+                    let kw = texts[k - 2];
+                    if kw == "let" || (kw == "mut" && k >= 3 && texts[k - 3] == "let") {
+                        taint.names.insert(name.to_string());
+                    }
+                }
+            }
+            // `fn name(…) -> HashMap<…>` — call results are tainted.
+            "->" => {
+                let mut k = j - 1;
+                while k > 0 && texts[k - 1] != "fn" {
+                    k -= 1;
+                    if j - k > 64 {
+                        break;
+                    }
+                }
+                if k >= 1 && texts[k - 1] == "fn" && k < texts.len() && is_ident(texts[k]) {
+                    taint.fns.insert(texts[k].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    taint
+}
+
+/// Per-file scan options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanOptions {
+    /// `crates/bench` measures wall-clock by design; timing reads there
+    /// are the benchmark's output, not hidden nondeterminism.
+    pub timing_exempt: bool,
+    /// `core/src/config.rs` owns the documented `DATAVIST5_*` env surface.
+    pub env_owner: bool,
+}
+
+/// Pass 2: scans one file against the workspace-wide taint sets.
+pub fn scan_source(
+    file: &str,
+    text: &str,
+    taint: &GlobalTaint,
+    opts: ScanOptions,
+) -> Vec<SourceFinding> {
+    let stripped = strip_and_lex(text);
+    let toks = drop_test_modules(stripped.tokens);
+    let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+    let mut tainted: BTreeSet<&str> = taint.names.iter().map(|s| s.as_str()).collect();
+
+    // Local taint through hash-returning calls: `let x = ngram_counts(…)`.
+    let mut local: Vec<String> = Vec::new();
+    for i in 0..toks.len() {
+        if taint.fns.contains(texts[i]) && texts.get(i + 1) == Some(&"(") {
+            let mut j = i;
+            while j > 0 && (texts[j - 1] == "::" || is_ident(texts[j - 1])) {
+                j -= 1;
+            }
+            if j >= 2 && texts[j - 1] == "=" && is_ident(texts[j - 2]) {
+                local.push(texts[j - 2].to_string());
+            }
+        }
+    }
+    for name in &local {
+        tainted.insert(name);
+    }
+
+    let mut findings = Vec::new();
+
+    // D000: allowlist annotations must carry a reason.
+    for (&line, reason) in &stripped.det_ok {
+        if reason.is_empty() {
+            findings.push(SourceFinding {
+                code: "D000",
+                file: file.to_string(),
+                line,
+                message: "det-ok annotation without a reason; write `det-ok: <why this \
+                          site is order-safe>`"
+                    .to_string(),
+                suppressed: None,
+            });
+        }
+    }
+
+    let det_ok = &stripped.det_ok;
+    let mut push = |code: &'static str, line: usize, message: String| {
+        let suppressed = det_ok
+            .get(&line)
+            .or_else(|| det_ok.get(&(line - 1)))
+            .filter(|reason| !reason.is_empty())
+            .cloned();
+        findings.push(SourceFinding {
+            code,
+            file: file.to_string(),
+            line,
+            message,
+            suppressed,
+        });
+    };
+
+    // D001/D005: hash-ordered iteration reaching an order-sensitive sink.
+    let mut events: Vec<(usize, &str, bool)> = Vec::new(); // (tok idx, name, is_for_loop)
+    for i in 0..toks.len() {
+        if tainted.contains(texts[i])
+            && texts.get(i + 1) == Some(&".")
+            && texts.get(i + 2).is_some_and(|m| ITER_METHODS.contains(m))
+            && texts.get(i + 3) == Some(&"(")
+        {
+            events.push((i, texts[i], false));
+        }
+        if texts[i] == "for" {
+            // `for pat in <chain> {` — an event when the chain ends in a
+            // tainted name with no method call (those hit the rule above).
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            while j < toks.len() && j - i < 24 {
+                match texts[j] {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "in" if depth == 0 => break,
+                    "{" => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j >= toks.len() || texts[j] != "in" {
+                continue;
+            }
+            let mut name: Option<&str> = None;
+            let mut has_call = false;
+            let mut k = j + 1;
+            while k < toks.len() && texts[k] != "{" && k - j < 16 {
+                if texts[k] == "(" {
+                    has_call = true;
+                }
+                if is_ident(texts[k]) {
+                    name = Some(texts[k]);
+                }
+                k += 1;
+            }
+            if let Some(name) = name {
+                if !has_call && tainted.contains(name) {
+                    events.push((i, name, true));
+                }
+            }
+        }
+    }
+    for (start, name, is_for) in events {
+        // Scan to the end of the statement (or the end of the `for` body).
+        let mut depth = 0i32;
+        let mut sink: Option<(&str, &str)> = None; // (kind, token)
+        for j in start..toks.len().min(start + 600) {
+            match texts[j] {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    // A `for` event ends with its body's closing brace; a
+                    // statement event only ends if we fell out of the
+                    // enclosing block (closure braces nest and return to 0).
+                    if depth < 0 || (is_for && depth == 0) {
+                        break;
+                    }
+                }
+                ";" if depth == 0 && !is_for => break,
+                t => {
+                    if FLOAT_ACC_SINKS.contains(&t) && j > 0 && texts[j - 1] == "." {
+                        sink = Some(("float-acc", t));
+                        break;
+                    }
+                    if METHOD_SINKS.contains(&t) && j > 0 && texts[j - 1] == "." {
+                        sink = Some(("order", t));
+                        break;
+                    }
+                    if MACRO_SINKS.contains(&t) && texts.get(j + 1) == Some(&"!") {
+                        sink = Some(("order", t));
+                        break;
+                    }
+                    if ASSIGN_SINKS.contains(&t) && is_for {
+                        sink = Some(("order", t));
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some((kind, sink_tok)) = sink {
+            let line = toks[start].line;
+            if kind == "float-acc" {
+                push(
+                    "D005",
+                    line,
+                    format!(
+                        "float `{sink_tok}` over hash-ordered `{name}`: accumulation \
+                         order follows the per-instance SipHash seed; use a BTreeMap \
+                         or sort keys first"
+                    ),
+                );
+            } else {
+                push(
+                    "D001",
+                    line,
+                    format!(
+                        "iteration over hash-ordered `{name}` reaches order-sensitive \
+                         sink `{sink_tok}`; use a BTreeMap or sort keys first"
+                    ),
+                );
+            }
+        }
+    }
+
+    // D002: ambient randomness.
+    for i in 0..toks.len() {
+        let t = texts[i];
+        if t == "thread_rng" || t == "from_entropy" || t == "RandomState" {
+            push(
+                "D002",
+                toks[i].line,
+                format!("ambient randomness `{t}` outside the seeded StdRng plumbing"),
+            );
+        }
+        if t == "random" && i >= 2 && texts[i - 1] == "::" && texts[i - 2] == "rand" {
+            push(
+                "D002",
+                toks[i].line,
+                "ambient randomness `rand::random` outside the seeded StdRng plumbing".to_string(),
+            );
+        }
+    }
+
+    // D003: wall-clock reads outside bench code.
+    if !opts.timing_exempt {
+        for i in 0..toks.len() {
+            let t = texts[i];
+            let hit = match t {
+                "SystemTime" | "UNIX_EPOCH" => true,
+                "Instant" => texts.get(i + 1) == Some(&"::") && texts.get(i + 2) == Some(&"now"),
+                _ => false,
+            };
+            if hit {
+                push(
+                    "D003",
+                    toks[i].line,
+                    format!("wall-clock read `{t}` can influence non-bench output"),
+                );
+            }
+        }
+    }
+
+    // D004: env reads outside the DATAVIST5_* config surface.
+    if !opts.env_owner {
+        for i in 0..toks.len() {
+            if texts[i] == "env"
+                && texts.get(i + 1) == Some(&"::")
+                && (texts.get(i + 2) == Some(&"var") || texts.get(i + 2) == Some(&"var_os"))
+                && texts.get(i + 3) == Some(&"(")
+            {
+                let arg = &toks[i + 4];
+                let allowed = arg.text == "\"\""
+                    && stripped
+                        .literals
+                        .get(&(arg.line, arg.col))
+                        .is_some_and(|lit| lit.starts_with("DATAVIST5_"));
+                if !allowed {
+                    let what = stripped
+                        .literals
+                        .get(&(arg.line, arg.col))
+                        .map(|l| format!("`{l}`"))
+                        .unwrap_or_else(|| "a dynamic key".to_string());
+                    push(
+                        "D004",
+                        toks[i].line,
+                        format!(
+                            "env::var read of {what} outside the DATAVIST5_* config \
+                             surface can change behaviour between runs"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.code).cmp(&(b.line, b.code)));
+    findings
+}
+
+/// The outcome of a workspace source sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SourceAudit {
+    /// Unsuppressed findings — any entry here fails the audit.
+    pub findings: Vec<SourceFinding>,
+    /// `det-ok`-allowlisted findings, kept visible in reports.
+    pub allowed: Vec<SourceFinding>,
+    pub counts: DetCounts,
+}
+
+/// Collects every `.rs` file under `dir`, sorted for deterministic output.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Sweeps every `crates/*/src/**/*.rs` (plus the workspace root `src/`)
+/// under `root`: pass 1 collects workspace-wide taint, pass 2 lints each
+/// file against it.
+pub fn audit_sources(root: &Path) -> std::io::Result<SourceAudit> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let src = dir.join("src");
+            if src.is_dir() {
+                rust_files(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        rust_files(&root_src, &mut files)?;
+    }
+
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|path| {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            std::fs::read_to_string(path).map(|text| (rel, text))
+        })
+        .collect::<std::io::Result<_>>()?;
+
+    // Hash-returning *functions* propagate taint workspace-wide (their
+    // call results are hash collections wherever they land). Variable and
+    // field *names* stay file-local: common names (`a`, `seen`, `indices`)
+    // collide across crates, and a hash field iterated outside its
+    // defining file has no same-file declaration to anchor on anyway.
+    let mut fns = BTreeSet::new();
+    for (_, text) in &sources {
+        fns.extend(collect_taint(text).fns);
+    }
+
+    let mut audit = SourceAudit::default();
+    for (rel, text) in &sources {
+        let opts = ScanOptions {
+            timing_exempt: rel.starts_with("crates/bench/"),
+            env_owner: rel == "crates/core/src/config.rs",
+        };
+        let taint = GlobalTaint {
+            names: collect_taint(text).names,
+            fns: fns.clone(),
+        };
+        for finding in scan_source(rel, text, &taint, opts) {
+            audit.counts.record(&finding);
+            if finding.suppressed.is_some() {
+                audit.allowed.push(finding);
+            } else {
+                audit.findings.push(finding);
+            }
+        }
+        audit.counts.files += 1;
+    }
+    Ok(audit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> Vec<SourceFinding> {
+        let taint = collect_taint(text);
+        scan_source("test.rs", text, &taint, ScanOptions::default())
+    }
+
+    fn unsuppressed(text: &str) -> Vec<SourceFinding> {
+        scan(text)
+            .into_iter()
+            .filter(|f| f.suppressed.is_none())
+            .collect()
+    }
+
+    #[test]
+    fn d001_hash_iteration_into_sort() {
+        let src = r#"
+            fn f(m: std::collections::HashMap<String, f32>) -> Vec<String> {
+                let mut ks: Vec<String> = m.keys().cloned().collect();
+                ks
+            }
+        "#;
+        let f = unsuppressed(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].code, "D001");
+        assert!(f[0].message.contains("`m`"));
+    }
+
+    #[test]
+    fn d001_for_loop_accumulation() {
+        let src = "
+            fn f(tf: std::collections::HashMap<usize, f64>) -> f64 {
+                let mut norm = 0.0;
+                for (_, w) in &tf {
+                    norm += w * w;
+                }
+                norm
+            }
+        ";
+        let f = unsuppressed(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].code, "D001");
+    }
+
+    #[test]
+    fn d005_float_sum_over_hash_values() {
+        let src = "
+            fn norm(tf: &std::collections::HashMap<usize, f64>) -> f64 {
+                tf.values().map(|w| w * w).sum::<f64>().sqrt()
+            }
+        ";
+        let f = unsuppressed(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].code, "D005");
+    }
+
+    #[test]
+    fn taint_flows_through_hash_returning_fns() {
+        let src = "
+            fn counts(x: &[u32]) -> HashMap<u32, usize> { todo!() }
+            fn g(x: &[u32]) -> usize {
+                let c = counts(x);
+                let mut total = 0.0f32;
+                for (_, n) in &c {
+                    total += *n as f32;
+                }
+                total as usize
+            }
+        ";
+        let f = unsuppressed(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].code, "D001");
+    }
+
+    #[test]
+    fn lookup_only_maps_are_clean() {
+        let src = "
+            fn f(m: &std::collections::HashMap<String, usize>) -> usize {
+                let mut c = m.get(\"k\").copied().unwrap_or(0);
+                c += m.len();
+                c
+            }
+        ";
+        assert!(unsuppressed(src).is_empty());
+    }
+
+    #[test]
+    fn btree_maps_are_clean() {
+        let src = "
+            fn f(m: &std::collections::BTreeMap<String, f32>) -> f32 {
+                m.values().sum()
+            }
+        ";
+        assert!(unsuppressed(src).is_empty());
+    }
+
+    #[test]
+    fn det_ok_with_reason_suppresses_and_is_reported() {
+        let src = "
+            fn f(m: std::collections::HashMap<String, u32>) -> Vec<String> {
+                // det-ok: keys are re-sorted two lines down, order never escapes
+                let ks: Vec<String> = m.keys().cloned().collect();
+                ks
+            }
+        ";
+        let all = scan(src);
+        assert_eq!(all.len(), 1);
+        assert!(all[0].suppressed.as_deref().unwrap().contains("re-sorted"));
+        assert!(unsuppressed(src).is_empty());
+    }
+
+    #[test]
+    fn det_ok_without_reason_is_d000() {
+        let src = "
+            fn f() {
+                let x = 1; // det-ok
+            }
+        ";
+        let f = unsuppressed(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].code, "D000");
+    }
+
+    #[test]
+    fn d002_ambient_randomness() {
+        let src = "
+            fn f() -> u64 {
+                let mut rng = thread_rng();
+                0
+            }
+        ";
+        let f = unsuppressed(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "D002");
+    }
+
+    #[test]
+    fn seeded_rng_is_clean() {
+        let src = "
+            fn f() {
+                let mut rng = StdRng::seed_from_u64(7);
+                let x = XorShift::new(42);
+            }
+        ";
+        assert!(unsuppressed(src).is_empty());
+    }
+
+    #[test]
+    fn d003_wall_clock_unless_exempt() {
+        let src = "
+            fn f() {
+                let t = std::time::Instant::now();
+            }
+        ";
+        let f = unsuppressed(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "D003");
+        let taint = collect_taint(src);
+        let exempt = scan_source(
+            "crates/bench/src/x.rs",
+            src,
+            &taint,
+            ScanOptions {
+                timing_exempt: true,
+                env_owner: false,
+            },
+        );
+        assert!(exempt.is_empty());
+    }
+
+    #[test]
+    fn d004_env_reads() {
+        let good = "fn f() { let v = std::env::var(\"DATAVIST5_SCALE\"); }";
+        assert!(unsuppressed(good).is_empty());
+        let bad = "fn f() { let v = std::env::var(\"HOME\"); }";
+        let f = unsuppressed(bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "D004");
+        assert!(f[0].message.contains("HOME"));
+        let dynamic = "fn f(k: &str) { let v = std::env::var(k); }";
+        let f = unsuppressed(dynamic);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "D004");
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let src = "
+            fn prod() {}
+            #[cfg(test)]
+            mod tests {
+                fn f(m: std::collections::HashMap<u32, f32>) -> f32 {
+                    m.values().sum()
+                }
+            }
+        ";
+        assert!(unsuppressed(src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trigger() {
+        let src = "
+            // HashMap iteration with thread_rng and Instant::now in prose.
+            fn f() -> &'static str {
+                \"m.values().sum::<f32>() thread_rng SystemTime\"
+            }
+        ";
+        assert!(unsuppressed(src).is_empty());
+    }
+
+    #[test]
+    fn counts_tally_and_display() {
+        let mut c = DetCounts::default();
+        c.record(&SourceFinding {
+            code: "D001",
+            file: "x.rs".into(),
+            line: 1,
+            message: String::new(),
+            suppressed: None,
+        });
+        c.record(&SourceFinding {
+            code: "D005",
+            file: "x.rs".into(),
+            line: 2,
+            message: String::new(),
+            suppressed: Some("audited".into()),
+        });
+        c.record_tape("D010");
+        assert_eq!(c.unsuppressed(), 2);
+        assert_eq!(c.suppressed, 1);
+        let text = c.to_string();
+        assert!(text.contains("D001:1"), "{text}");
+        assert!(text.contains("D010:1"), "{text}");
+    }
+}

@@ -15,19 +15,29 @@
 //!   values (`N001`) and gradients (`N002`) for NaN/Inf under a
 //!   [`SanitizerMode`] schedule, reporting the first offending op with a
 //!   tape backtrace instead of a bare assertion.
+//! * [`det`] — the source-level determinism lints (`D000`–`D005`): a
+//!   token-level scanner that taint-tracks hash-ordered iteration into
+//!   order-sensitive sinks across the whole workspace, with a
+//!   `// det-ok: <reason>` allowlist.
+//! * [`order`] — the tape-level reduction-order analysis (`D010`/`D011`):
+//!   canonical-order recomputation witnesses for every recomputable
+//!   reduction plus a double-backward bit-equality witness.
 //!
 //! The static passes run once on the step-0 graph of every training loop
 //! (`nn::train`, pretraining, fine-tuning) and on demand via the
-//! `graph_doctor` binary in `bench`.
+//! `graph_doctor` and `det_audit` binaries in `bench`.
 
 use std::fmt;
 
 use tensor::{Graph, Var};
 
+pub mod det;
 pub mod flow;
+pub mod order;
 pub mod sanitize;
 pub mod shape;
 
+pub use det::{DetCounts, SourceFinding};
 pub use sanitize::SanitizerMode;
 
 /// How bad a diagnostic is.

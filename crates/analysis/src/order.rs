@@ -1,0 +1,476 @@
+//! Tape-level reduction-order analysis (`D010`/`D011`).
+//!
+//! PR 2's batched decoder and PR 3's crash resume both promise *bit*
+//! equality, which only holds if every reduction on the tape accumulates
+//! in one canonical, input-order-independent order. This pass makes that
+//! promise checkable:
+//!
+//! * [`spec`] classifies every [`OpKind`] by where it accumulates —
+//!   elementwise ops reduce nothing, matmul/softmax/rms-norm/cross-entropy
+//!   reduce in a documented canonical order, and embedding/gather backward
+//!   scatter-adds in recorded id-sequence order. The match is exhaustive,
+//!   so adding a tape op without declaring its accumulation order is a
+//!   compile error here.
+//! * [`check_forward`] is a *witness*: for every op whose canonical order
+//!   can be recomputed from operand values alone (sum, softmax, matmul in
+//!   all three orientations, 2-D and batched 3-D), it re-runs the
+//!   reduction in the declared order — mirroring the unblocked reference
+//!   loops the blocked kernels are proven bitwise-equal to — and
+//!   bit-compares against the recorded output. Any deviation is a `D010`
+//!   error: the op's forward result depended on visit order.
+//! * [`check_backward`] runs `backward` twice on the same tape (gradients
+//!   are fully reset on entry) and bit-compares every node gradient
+//!   between runs. A mismatch is a `D011` error attributed to the first
+//!   diverging node. Because each run rebuilds its accumulation state from
+//!   scratch, any visit-order dependence (e.g. a hash-ordered scatter-add)
+//!   shows up as differing bits.
+//!
+//! `RmsNorm` and `CrossEntropy` forwards carry cached payloads (`eps`,
+//! targets, smoothing) that `OpView` deliberately does not expose, so they
+//! get a declared order in [`spec`] but no static recomputation; the
+//! double-execution witness and the `nn` double-run harness cover them
+//! dynamically.
+
+use tensor::{Graph, MmOrient, OpKind, Var};
+
+use crate::{backtrace, Diagnostic, Severity};
+
+/// Where (and in what order) an op accumulates floating-point
+/// contributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Accumulation {
+    /// No reduction: output elements each depend on O(1) input elements.
+    None,
+    /// A reduction with the documented canonical order.
+    Reduce(&'static str),
+    /// A scatter-add with the documented canonical order.
+    ScatterAdd(&'static str),
+}
+
+/// Declared accumulation orders for one op's forward and backward.
+#[derive(Debug, Clone, Copy)]
+pub struct OpOrderSpec {
+    pub forward: Accumulation,
+    pub backward: Accumulation,
+}
+
+/// The canonical accumulation order of every tape op. Exhaustive on
+/// purpose: a new `OpKind` variant fails to compile until its order is
+/// declared here.
+pub fn spec(kind: &OpKind) -> OpOrderSpec {
+    use Accumulation::{None, Reduce, ScatterAdd};
+    match kind {
+        OpKind::Leaf { .. }
+        | OpKind::Add
+        | OpKind::Mul
+        | OpKind::Scale
+        | OpKind::Relu
+        | OpKind::Sigmoid
+        | OpKind::Tanh
+        | OpKind::Reshape { .. }
+        | OpKind::Permute3 { .. }
+        | OpKind::Dropout { .. }
+        | OpKind::ConcatRows { .. }
+        | OpKind::SliceRows { .. } => OpOrderSpec {
+            forward: None,
+            backward: None,
+        },
+        // Forward broadcasts a row; backward reduces grad rows top-down.
+        OpKind::AddBias => OpOrderSpec {
+            forward: None,
+            backward: Reduce("bias grad: ascending row index per column"),
+        },
+        OpKind::Matmul { orient } => OpOrderSpec {
+            forward: Reduce(match orient {
+                MmOrient::Nn => "ascending k, zero-skip saxpy into each C row",
+                MmOrient::Nt => "ascending k register dot per C element",
+                MmOrient::Tn => "ascending k, zero-skip saxpy into each C row",
+            }),
+            backward: Reduce("dA/dB via mm kernels, same ascending-k orders"),
+        },
+        OpKind::Softmax => OpOrderSpec {
+            forward: Reduce("row max fold, then ascending-index exp sum, then reciprocal scale"),
+            backward: Reduce("ascending-index dot(grad, probs) per row"),
+        },
+        OpKind::RmsNorm => OpOrderSpec {
+            forward: Reduce("ascending-index sum of squares per row"),
+            backward: Reduce("ascending-index dot terms per row"),
+        },
+        // Forward gathers rows (copies); backward scatter-adds one row per
+        // recorded id, in id-sequence order.
+        OpKind::Embedding { .. } => OpOrderSpec {
+            forward: None,
+            backward: ScatterAdd("recorded id-sequence order into the table grad"),
+        },
+        OpKind::GatherRows { .. } => OpOrderSpec {
+            forward: None,
+            backward: ScatterAdd("recorded id-sequence order into the source grad"),
+        },
+        OpKind::CrossEntropy { .. } => OpOrderSpec {
+            forward: Reduce("log-softmax per row, then ascending target-position NLL mean"),
+            backward: None, // per-position probs minus one-hot, no reduction
+        },
+        OpKind::Sum => OpOrderSpec {
+            forward: Reduce("ascending flat index"),
+            backward: None, // broadcast
+        },
+    }
+}
+
+/// Mirror of `kernels::softmax_rows`'s canonical order (the blocked and
+/// batched paths are proven bitwise-equal to this in `tensor`'s tests).
+fn softmax_rows_canonical(data: &mut [f32], cols: usize) {
+    for row in data.chunks_mut(cols) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Mirror of the unblocked `mm_nn` reference loop, including the
+/// bit-relevant `av == 0.0` skip (skipping `c + 0.0 * b` changes `-0.0`
+/// handling, so the witness must replicate it exactly).
+fn mm_nn_canonical(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Mirror of the unblocked `mm_nt` reference loop: full-k register dot.
+fn mm_nt_canonical(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut dot = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                dot += av * bv;
+            }
+            c[i * n + j] = dot;
+        }
+    }
+}
+
+/// Mirror of the unblocked `mm_tn` reference loop (zero-skip saxpy).
+fn mm_tn_canonical(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+fn d010(g: &Graph, index: usize, order: &str, flat: usize, got: f32, want: f32) -> Diagnostic {
+    let view = g.op_view(index);
+    Diagnostic {
+        code: "D010",
+        severity: Severity::Error,
+        op: Some(index),
+        message: format!(
+            "op #{index} {}: forward result deviates from the canonical \
+             '{order}' accumulation at flat index {flat} \
+             (recorded {got:?} = {:#010x}, canonical {want:?} = {:#010x})",
+            view.kind.name(),
+            got.to_bits(),
+            want.to_bits(),
+        ),
+        backtrace: backtrace(g, index, 3),
+    }
+}
+
+/// First flat index where two f32 slices differ in bits, with both values.
+fn first_bit_diff(got: &[f32], want: &[f32]) -> Option<(usize, f32, f32)> {
+    got.iter()
+        .zip(want.iter())
+        .position(|(a, b)| a.to_bits() != b.to_bits())
+        .map(|i| (i, got[i], want[i]))
+}
+
+/// Recomputes every recomputable reduction on the tape in its canonical
+/// order and bit-compares with the recorded forward values (`D010`).
+pub fn check_forward(g: &Graph) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for view in g.op_views() {
+        let order = match spec(&view.kind).forward {
+            Accumulation::Reduce(order) => order,
+            _ => continue,
+        };
+        let recomputed: Option<Vec<f32>> = match &view.kind {
+            OpKind::Sum => {
+                let x = g.node_value(view.inputs[0]);
+                Some(vec![x.data().iter().sum::<f32>()])
+            }
+            OpKind::Softmax => {
+                let x = g.node_value(view.inputs[0]);
+                let cols = *x.shape().last().expect("softmax on empty shape");
+                let mut data = x.data().to_vec();
+                softmax_rows_canonical(&mut data, cols);
+                Some(data)
+            }
+            OpKind::Matmul { orient } => {
+                let (a, b) = (g.node_value(view.inputs[0]), g.node_value(view.inputs[1]));
+                Some(matmul_canonical(a, b, *orient, view.shape))
+            }
+            // RmsNorm / CrossEntropy: canonical order declared in `spec`,
+            // but their cached payloads (eps, targets, smoothing) are not
+            // on the OpView surface — the double-execution witnesses cover
+            // them dynamically.
+            _ => None,
+        };
+        if let Some(want) = recomputed {
+            let got = g.node_value(view.index).data();
+            if let Some((flat, gv, wv)) = first_bit_diff(got, &want) {
+                out.push(d010(g, view.index, order, flat, gv, wv));
+            }
+        }
+    }
+    out
+}
+
+/// Canonical-order matmul recomputation for both 2-D and batched 3-D
+/// tapes, mirroring exactly how `Graph::mm`/`Graph::bmm` drive the
+/// kernels (per-batch-slice, ascending batch index).
+fn matmul_canonical(
+    a: &tensor::Tensor,
+    b: &tensor::Tensor,
+    orient: MmOrient,
+    out_shape: &[usize],
+) -> Vec<f32> {
+    let mut c = vec![0.0f32; out_shape.iter().product()];
+    let run = |a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize| match orient {
+        MmOrient::Nn => mm_nn_canonical(a, b, c, m, k, n),
+        MmOrient::Nt => mm_nt_canonical(a, b, c, m, k, n),
+        MmOrient::Tn => mm_tn_canonical(a, b, c, m, k, n),
+    };
+    if a.shape().len() == 2 {
+        let (m, n) = (out_shape[0], out_shape[1]);
+        let k = match orient {
+            MmOrient::Nn | MmOrient::Nt => a.shape()[1],
+            MmOrient::Tn => a.shape()[0],
+        };
+        run(a.data(), b.data(), &mut c, m, k, n);
+    } else {
+        let (batch, m, n) = (out_shape[0], out_shape[1], out_shape[2]);
+        let k = a.shape()[2];
+        let (a_sz, b_sz, c_sz) = (
+            a.shape()[1] * a.shape()[2],
+            b.shape()[1] * b.shape()[2],
+            m * n,
+        );
+        for i in 0..batch {
+            run(
+                &a.data()[i * a_sz..(i + 1) * a_sz],
+                &b.data()[i * b_sz..(i + 1) * b_sz],
+                &mut c[i * c_sz..(i + 1) * c_sz],
+                m,
+                k,
+                n,
+            );
+        }
+    }
+    c
+}
+
+/// Runs the backward pass twice via `run` and bit-compares every node
+/// gradient between the two executions (`D011`). The default runner is
+/// [`Graph::backward`]; tests substitute a tampering runner to prove the
+/// witness has teeth.
+pub fn check_backward_with(
+    g: &mut Graph,
+    loss: Var,
+    mut run: impl FnMut(&mut Graph, Var),
+) -> Vec<Diagnostic> {
+    run(g, loss);
+    let first: Vec<Option<Vec<u32>>> = (0..g.len())
+        .map(|i| {
+            g.node_grad(i)
+                .map(|t| t.data().iter().map(|v| v.to_bits()).collect())
+        })
+        .collect();
+    run(g, loss);
+    let mut out = Vec::new();
+    for (i, snap) in first.iter().enumerate() {
+        let now: Option<Vec<u32>> = g
+            .node_grad(i)
+            .map(|t| t.data().iter().map(|v| v.to_bits()).collect());
+        if *snap != now {
+            let view = g.op_view(i);
+            let detail = match (snap, &now) {
+                (Some(a), Some(b)) => match a.iter().zip(b.iter()).position(|(x, y)| x != y) {
+                    Some(flat) => format!(
+                        "first divergence at flat index {flat} \
+                         ({:#010x} vs {:#010x})",
+                        a[flat], b[flat]
+                    ),
+                    None => "gradient lengths differ".to_string(),
+                },
+                _ => "gradient presence differs between runs".to_string(),
+            };
+            out.push(Diagnostic {
+                code: "D011",
+                severity: Severity::Error,
+                op: Some(i),
+                message: format!(
+                    "op #{i} {}: backward accumulation is not reproducible — \
+                     two identical backward passes produced different \
+                     gradient bits; {detail}",
+                    view.kind.name(),
+                ),
+                backtrace: backtrace(g, i, 3),
+            });
+            // The first diverging node names the culprit; downstream nodes
+            // inherit the difference and would only repeat it.
+            break;
+        }
+    }
+    out
+}
+
+/// [`check_backward_with`] using the real [`Graph::backward`] (gradients
+/// are reset at the start of every call, so running it twice is exact).
+pub fn check_backward(g: &mut Graph, loss: Var) -> Vec<Diagnostic> {
+    check_backward_with(g, loss, |g, l| g.backward(l))
+}
+
+/// The whole tape-level audit: forward canonical-order witnesses plus the
+/// double-backward bit-equality witness.
+pub fn check(g: &mut Graph, loss: Var) -> Vec<Diagnostic> {
+    let mut out = check_forward(g);
+    out.extend(check_backward(g, loss));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::Tensor;
+
+    /// A tape exercising every recomputable reduction: 2-D matmul (Nn and
+    /// Nt), batched 3-D matmul, softmax, and sum — plus scatter-add
+    /// backward via embedding.
+    fn reduction_tape() -> (Graph, Var) {
+        let mut g = Graph::new();
+        let table = g.param(
+            Tensor::from_vec(
+                vec![4, 3],
+                (0..12).map(|i| (i as f32 * 0.3).sin()).collect(),
+            ),
+            0,
+        );
+        let x = g.embedding(table, &[1, 3, 0, 1]); // duplicate id: scatter-add overlap
+        let w = g.param(
+            Tensor::from_vec(vec![3, 3], (0..9).map(|i| (i as f32 * 0.7).cos()).collect()),
+            1,
+        );
+        let h = g.matmul(x, w); // Nn with natural zeros possible
+        let h2 = g.matmul_nt(h, w); // Nt register dots
+        let p = g.softmax(h2);
+        let loss = g.sum(p);
+        (g, loss)
+    }
+
+    #[test]
+    fn spec_is_exhaustive_and_declares_reductions() {
+        assert!(matches!(
+            spec(&OpKind::Sum).forward,
+            Accumulation::Reduce(_)
+        ));
+        assert!(matches!(
+            spec(&OpKind::Embedding { num_ids: 4 }).backward,
+            Accumulation::ScatterAdd(_)
+        ));
+        assert!(matches!(
+            spec(&OpKind::GatherRows { num_ids: 2 }).backward,
+            Accumulation::ScatterAdd(_)
+        ));
+        assert_eq!(spec(&OpKind::Add).forward, Accumulation::None);
+    }
+
+    #[test]
+    fn clean_tape_passes_forward_and_backward() {
+        let (mut g, loss) = reduction_tape();
+        assert!(check_forward(&g).is_empty());
+        assert!(check_backward(&mut g, loss).is_empty());
+    }
+
+    #[test]
+    fn batched_bmm_forward_is_canonical() {
+        let mut g = Graph::new();
+        let a = g.leaf(
+            Tensor::from_vec(vec![2, 2, 3], (0..12).map(|i| (i as f32).sin()).collect()),
+            false,
+        );
+        let b = g.leaf(
+            Tensor::from_vec(vec![2, 3, 2], (0..12).map(|i| (i as f32).cos()).collect()),
+            false,
+        );
+        let c = g.bmm(a, b, false);
+        let d = g.bmm(c, c, true); // Nt orientation, [2,2,2]
+        let _ = d;
+        assert!(check_forward(&g).is_empty());
+    }
+
+    #[test]
+    fn tampered_forward_is_flagged_d010() {
+        let (mut g, loss) = reduction_tape();
+        // Nudge the recorded sum by one ULP: simulates a kernel that
+        // accumulated in a different order.
+        g.tamper_value_for_test(loss.index(), |data| {
+            data[0] = f32::from_bits(data[0].to_bits() ^ 1);
+        });
+        let findings = check_forward(&g);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].code, "D010");
+        assert!(
+            findings[0].message.contains("sum"),
+            "{}",
+            findings[0].message
+        );
+    }
+
+    #[test]
+    fn nonreproducible_backward_is_flagged_d011() {
+        let (mut g, loss) = reduction_tape();
+        // Runner that perturbs the embedding table's gradient on the
+        // second execution only — a stand-in for a visit-order-dependent
+        // scatter-add.
+        let mut runs = 0;
+        let findings = check_backward_with(&mut g, loss, |g, l| {
+            g.backward(l);
+            runs += 1;
+            if runs == 2 {
+                g.tamper_grad_for_test(0, |data| {
+                    data[0] = f32::from_bits(data[0].to_bits() ^ 1);
+                });
+            }
+        });
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].code, "D011");
+        assert_eq!(findings[0].op, Some(0));
+    }
+}

@@ -35,11 +35,13 @@ fn main() {
     );
 
     let env = |k: &str, d: usize| -> usize {
+        // det-ok: interactive debug probe; knobs only shape what it prints
         std::env::var(k)
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(d)
     };
+    // det-ok: interactive debug probe; knobs only shape what it prints
     let lr_env: f32 = std::env::var("LR")
         .ok()
         .and_then(|v| v.parse().ok())

@@ -183,6 +183,18 @@ fn main() {
         r.line(format!("  {label:<24} {lints}"));
     }
     r.line("");
+    r.line("Determinism audit (D001 hash-order sink, D002 ambient RNG, D003 wall-clock, D004 env, D005 hash-order float fold):");
+    match analysis::det::audit_sources(&bench::workspace_root()) {
+        Ok(audit) if audit.counts.files > 0 => {
+            r.line(format!("  {}", audit.counts));
+        }
+        _ => {
+            // Packaged/relocated runs may not carry the sources; the
+            // CI gate (`det_audit`) is where the audit is enforced.
+            r.line("  sources unavailable — run `cargo run --release -p bench --bin det_audit`");
+        }
+    }
+    r.line("");
     r.line(
         "Expected shape: Seq2Vis/Transformer get chart types but no EM; retrieval-style \
          systems land mid-range; pre-trained + fine-tuned models lead; joins are much harder \

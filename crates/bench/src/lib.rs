@@ -20,6 +20,18 @@ pub fn experiment_scale() -> Scale {
     }
 }
 
+/// The workspace root: the working directory when it contains `crates/`
+/// (the `cargo run` convention), else resolved from this crate's
+/// compile-time location. Used by the determinism audit to find the
+/// sources it sweeps.
+pub fn workspace_root() -> PathBuf {
+    let cwd = PathBuf::from(".");
+    if cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
 /// Output directory for reports.
 pub fn out_dir() -> PathBuf {
     let dir = PathBuf::from("bench").join("out");

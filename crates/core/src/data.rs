@@ -14,7 +14,7 @@ use vql::schema::DbSchema;
 use crate::filtration::filter_schema;
 
 /// The four downstream tasks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Task {
     TextToVis,
     VisToText,

@@ -4,15 +4,22 @@
 //! query prototype before revising it, and the GPT-4 few-shot simulator
 //! retrieves similar training examples as in-context demonstrations.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A TF-IDF index over a fixed document set.
+///
+/// Weight vectors are `BTreeMap`s, not `HashMap`s: their values feed
+/// float accumulations (norms, dot products) whose result bits depend on
+/// summation order, and retrieval picks prototypes/demonstrations from
+/// the resulting scores — a hash-ordered sum would make predictions
+/// differ between runs (D001/D005). Ascending-term-id iteration pins one
+/// canonical order.
 #[derive(Debug, Clone)]
 pub struct TfIdfIndex {
     /// Per-document term frequency vectors (term id -> weight), L2
-    /// normalized.
-    doc_vectors: Vec<HashMap<usize, f64>>,
-    /// Vocabulary with document frequencies.
+    /// normalized, iterated in ascending term id.
+    doc_vectors: Vec<BTreeMap<usize, f64>>,
+    /// Vocabulary with document frequencies (lookup-only: never iterated).
     terms: HashMap<String, usize>,
     idf: Vec<f64>,
 }
@@ -61,7 +68,10 @@ impl TfIdfIndex {
         self.doc_vectors.is_empty()
     }
 
-    /// Indices of the `k` most similar documents (best first).
+    /// Indices of the `k` most similar documents (best first). Tie-break
+    /// is total and documented: score descending, then document index
+    /// ascending — equal-scoring documents always come back in corpus
+    /// order, never in sort-internals order.
     pub fn top_k(&self, query: &str, k: usize) -> Vec<usize> {
         let q = vectorize(&tokenize(query), &self.terms, &self.idf);
         let mut scored: Vec<(usize, f64)> = self
@@ -70,7 +80,7 @@ impl TfIdfIndex {
             .enumerate()
             .map(|(i, d)| (i, cosine(&q, d)))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         scored.into_iter().take(k).map(|(i, _)| i).collect()
     }
 
@@ -92,8 +102,8 @@ fn vectorize(
     tokens: &[String],
     terms: &HashMap<String, usize>,
     idf: &[f64],
-) -> HashMap<usize, f64> {
-    let mut tf: HashMap<usize, f64> = HashMap::new();
+) -> BTreeMap<usize, f64> {
+    let mut tf: BTreeMap<usize, f64> = BTreeMap::new();
     for t in tokens {
         if let Some(&id) = terms.get(t) {
             *tf.entry(id).or_insert(0.0) += 1.0;
@@ -111,7 +121,9 @@ fn vectorize(
     tf
 }
 
-fn cosine(a: &HashMap<usize, f64>, b: &HashMap<usize, f64>) -> f64 {
+/// Sparse dot product, accumulated in ascending term id of the smaller
+/// vector (ties on length pick `a`) — one canonical order per input pair.
+fn cosine(a: &BTreeMap<usize, f64>, b: &BTreeMap<usize, f64>) -> f64 {
     let (small, big) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     small
         .iter()
@@ -172,5 +184,56 @@ mod tests {
     fn qualified_columns_are_single_terms() {
         let idx = TfIdfIndex::build(&["select artist.country from artist".to_string()]);
         assert!(idx.terms.contains_key("artist.country"));
+    }
+
+    /// Regression (determinism audit): scores must be bit-identical across
+    /// independently built indexes. Every `HashMap` instance seeds SipHash
+    /// differently, so before the `BTreeMap` conversion two builds of the
+    /// same corpus could sum cosine terms in different orders and disagree
+    /// in the last bits — enough to flip a tie.
+    #[test]
+    fn scores_are_bit_identical_across_index_instances() {
+        // Enough terms per document that float-sum order has room to vary.
+        let corpus: Vec<String> = (0..8)
+            .map(|i| {
+                (0..40)
+                    .map(|j| format!("w{}", (i * 7 + j * 3) % 23))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect();
+        let query = "w1 w2 w3 w5 w8 w13 w21";
+        let a = TfIdfIndex::build(&corpus);
+        let b = TfIdfIndex::build(&corpus);
+        for (va, vb) in a.doc_vectors.iter().zip(&b.doc_vectors) {
+            for ((ka, wa), (kb, wb)) in va.iter().zip(vb) {
+                assert_eq!(ka, kb);
+                assert_eq!(wa.to_bits(), wb.to_bits());
+            }
+        }
+        let qa = vectorize(&tokenize(query), &a.terms, &a.idf);
+        let qb = vectorize(&tokenize(query), &b.terms, &b.idf);
+        for (da, db) in a.doc_vectors.iter().zip(&b.doc_vectors) {
+            assert_eq!(cosine(&qa, da).to_bits(), cosine(&qb, db).to_bits());
+        }
+        assert_eq!(a.top_k(query, 8), b.top_k(query, 8));
+    }
+
+    /// Regression (determinism audit): equal-scoring documents come back
+    /// in corpus order — the documented score-desc-then-index-asc
+    /// tie-break, not sort-internals order.
+    #[test]
+    fn top_k_ties_break_by_corpus_index() {
+        let corpus: Vec<String> = vec![
+            "alpha beta".into(),
+            "gamma delta".into(), // no overlap: score 0, tied with doc 3
+            "alpha beta".into(),  // identical to doc 0: exact score tie
+            "epsilon zeta".into(),
+        ];
+        let idx = TfIdfIndex::build(&corpus);
+        // Docs 0 and 2 tie at the top; docs 1 and 3 tie at zero.
+        assert_eq!(idx.top_k("alpha beta", 4), vec![0, 2, 1, 3]);
+        // An all-zero query ties every document: pure corpus order.
+        assert_eq!(idx.top_k("unseen words only", 4), vec![0, 1, 2, 3]);
     }
 }

@@ -939,12 +939,15 @@ impl Predictor for RgVisNetPredictor<'_> {
 /// and Table VIII report for in-context LLM prompting.
 pub struct Gpt4Simulator<'z> {
     zoo: &'z Zoo,
-    indices: std::collections::HashMap<Task, (TfIdfIndex, Vec<TaskExample>)>,
+    // BTreeMap keyed by task: lookup-only today, but prediction-adjacent
+    // state stays in ordered containers so no future iteration can pick up
+    // hash order (determinism audit).
+    indices: std::collections::BTreeMap<Task, (TfIdfIndex, Vec<TaskExample>)>,
 }
 
 impl<'z> Gpt4Simulator<'z> {
     fn new(zoo: &'z Zoo) -> Self {
-        let mut indices = std::collections::HashMap::new();
+        let mut indices = std::collections::BTreeMap::new();
         for task in Task::ALL {
             let train: Vec<TaskExample> = zoo
                 .datasets

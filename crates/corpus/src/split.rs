@@ -7,7 +7,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use storage::Database;
 
@@ -34,7 +34,9 @@ impl Split {
 /// Database-name → split assignment.
 #[derive(Debug, Clone, Default)]
 pub struct DbSplit {
-    assignment: HashMap<String, Split>,
+    // Ordered map: `databases_in` iterates it into reported lists, so the
+    // container must not impose hash order (determinism audit).
+    assignment: BTreeMap<String, Split>,
 }
 
 impl DbSplit {
@@ -83,7 +85,7 @@ pub fn split_databases(databases: &[Database], seed: u64) -> DbSplit {
         .max(1)
         .min(n.saturating_sub(2).max(1));
     let n_valid = ((n as f64 * 0.1).round() as usize).max(1);
-    let mut assignment = HashMap::new();
+    let mut assignment = BTreeMap::new();
     for (i, name) in names.into_iter().enumerate() {
         let split = if i < n_test {
             Split::Test

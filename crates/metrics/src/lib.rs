@@ -49,12 +49,16 @@ pub fn tokenize(text: &str) -> Vec<String> {
     tokens
 }
 
-/// Counts n-gram occurrences in a token sequence.
+/// Counts n-gram occurrences in a token sequence. Returns an ordered map:
+/// BLEU/ROUGE iterate these counts into clipped-match sums, and while the
+/// integer sums are order-independent, keeping score-adjacent containers
+/// ordered means no future float fold can pick up hash order (determinism
+/// audit).
 pub(crate) fn ngram_counts(
     tokens: &[String],
     n: usize,
-) -> std::collections::HashMap<&[String], usize> {
-    let mut map = std::collections::HashMap::new();
+) -> std::collections::BTreeMap<&[String], usize> {
+    let mut map = std::collections::BTreeMap::new();
     if tokens.len() < n || n == 0 {
         return map;
     }

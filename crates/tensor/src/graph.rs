@@ -1156,6 +1156,28 @@ impl Graph {
         let value = std::mem::replace(&mut node.value, Tensor::scalar(0.0));
         node.value = value.reshaped(shape);
     }
+
+    /// Test support: determinism-audit fault injection. Applies `f` to the
+    /// recorded value of the node at `index` in place, simulating an op
+    /// whose forward result drifted from the canonical accumulation order
+    /// (the tape-level analogue of `nn::ckpt`'s `FaultIo`). Not for model
+    /// code.
+    #[doc(hidden)]
+    pub fn tamper_value_for_test(&mut self, index: usize, f: impl FnOnce(&mut [f32])) {
+        f(self.nodes[index].value.data_mut());
+    }
+
+    /// Test support: determinism-audit fault injection on gradients.
+    /// Applies `f` to the gradient of the node at `index` (panics when
+    /// `backward` has not produced one), simulating a backward pass whose
+    /// accumulation order varied between runs. Not for model code.
+    #[doc(hidden)]
+    pub fn tamper_grad_for_test(&mut self, index: usize, f: impl FnOnce(&mut [f32])) {
+        let grad = self.grads[index]
+            .as_mut()
+            .expect("tamper_grad_for_test: node has no gradient");
+        f(grad.data_mut());
+    }
 }
 
 /// Per-slice matmul gradient: fills `da`/`db` for one (possibly batched)

@@ -5,7 +5,7 @@
 //! adjacent pair is merged repeatedly. Used by span-corruption tests and as
 //! an alternative to the word tokenizer for open-vocabulary corpora.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 const EOW: &str = "</w>";
 
@@ -21,7 +21,11 @@ impl Bpe {
     /// Trains `num_merges` merges on an iterator of texts.
     pub fn train<'a>(texts: impl IntoIterator<Item = &'a str>, num_merges: usize) -> Self {
         // Word frequency table with pre-split symbol sequences.
-        let mut word_freq: HashMap<Vec<String>, usize> = HashMap::new();
+        // Ordered maps below: `pair_counts` feeds a max_by tie-break and
+        // `word_freq` is rebuilt by iteration each round. Both tie-breaks
+        // are already total, but ordered containers keep every iteration
+        // canonical (determinism audit).
+        let mut word_freq: BTreeMap<Vec<String>, usize> = BTreeMap::new();
         for text in texts {
             for word in text.split_ascii_whitespace() {
                 let mut symbols: Vec<String> = word.chars().map(|c| c.to_string()).collect();
@@ -31,7 +35,7 @@ impl Bpe {
         }
         let mut merges = Vec::with_capacity(num_merges);
         for _ in 0..num_merges {
-            let mut pair_counts: HashMap<(String, String), usize> = HashMap::new();
+            let mut pair_counts: BTreeMap<(String, String), usize> = BTreeMap::new();
             for (symbols, freq) in &word_freq {
                 for w in symbols.windows(2) {
                     *pair_counts.entry((w[0].clone(), w[1].clone())).or_insert(0) += freq;

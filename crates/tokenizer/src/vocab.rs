@@ -1,6 +1,6 @@
 //! Vocabulary: bidirectional token ↔ id mapping with reserved specials.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::special;
 
@@ -58,7 +58,11 @@ impl Vocab {
 /// Accumulates word frequencies and produces a [`Vocab`].
 #[derive(Debug, Default)]
 pub struct VocabBuilder {
-    counts: HashMap<String, usize>,
+    // Ordered map: `build` drains these counts into the sorted vocab list.
+    // The sort's tie-break is already total (count desc, then word), but an
+    // ordered container keeps the pipeline hash-order-free end to end
+    // (determinism audit).
+    counts: BTreeMap<String, usize>,
 }
 
 impl VocabBuilder {
