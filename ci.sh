@@ -42,4 +42,16 @@ echo "== decode_bench smoke (2 requests) =="
 cargo run --release -p bench --bin decode_bench -- \
   --requests 2 --batch 2 --max-out 8 --out target/BENCH_decode_smoke.json
 
+echo "== observability suite: spans, sinks, double-run with obs on =="
+cargo test -p obs -q
+cargo test -p nn --test obs_double_run -q
+
+echo "== obs overhead smoke: obs-off throughput within 2% of baseline =="
+cargo run --release -p bench --bin obs_report -- \
+  --overhead --tol 0.02 --repeats 8 --out target/BENCH_obs_overhead.json
+
+echo "== obs report: kernel attribution covers >=95% of the train step =="
+DATAVIST5_OBS=1 cargo run --release -p bench --bin obs_report -- \
+  --out target/BENCH_obs.json
+
 echo "ci: all stages passed"

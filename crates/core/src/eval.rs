@@ -102,6 +102,7 @@ pub fn eval_text_to_vis(
     corpus: &Corpus,
     cap: usize,
 ) -> TextToVisScores {
+    let _span = obs::span!("eval/text_to_vis");
     // Which examples get scored depends only on the join flag and the
     // per-bucket caps — never on a prediction — so the scored set is fixed
     // up front and predicted in one batch (the neural predictors pack it
@@ -121,6 +122,7 @@ pub fn eval_text_to_vis(
         }
         selected.push(e);
     }
+    obs::counter_add("eval.examples", selected.len() as u64);
     let preds = predictor.predict_batch(&selected);
     let mut non_join = Vec::new();
     let mut join = Vec::new();
@@ -189,7 +191,9 @@ pub fn eval_text_gen(
     examples: &[&TaskExample],
     cap: usize,
 ) -> TextGenScores {
+    let _span = obs::span!("eval/text_gen");
     let selected: Vec<&TaskExample> = examples.iter().take(cap).copied().collect();
+    obs::counter_add("eval.examples", selected.len() as u64);
     let preds = predictor.predict_batch(&selected);
     let pairs: Vec<(String, String)> = selected
         .iter()

@@ -55,6 +55,7 @@ fn table_referenced(grams: &[String], table: &vql::schema::TableSchema) -> bool 
 /// Returns the full schema when no table matches, so downstream encoding
 /// never sees an empty schema.
 pub fn filter_schema(question: &str, schema: &DbSchema) -> DbSchema {
+    obs::counter_add("filtration.calls", 1);
     let grams = ngrams(question, 3);
     let kept: Vec<&str> = schema
         .tables
@@ -63,8 +64,14 @@ pub fn filter_schema(question: &str, schema: &DbSchema) -> DbSchema {
         .map(|t| t.name.as_str())
         .collect();
     if kept.is_empty() {
+        obs::counter_add("filtration.fallback_full", 1);
         schema.clone()
     } else {
+        obs::counter_add("filtration.tables_kept", kept.len() as u64);
+        obs::counter_add(
+            "filtration.tables_dropped",
+            (schema.tables.len() - kept.len()) as u64,
+        );
         schema.restricted_to(&kept)
     }
 }

@@ -106,6 +106,7 @@ pub fn finetune(
     examples: &[Example],
     cfg: &TrainConfig,
 ) -> TrainReport {
+    let _span = obs::span!("finetune");
     train_seq2seq(model, ps, examples, &[], cfg)
 }
 

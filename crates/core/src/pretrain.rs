@@ -210,6 +210,7 @@ pub fn pretrain(
     cfg: &PretrainConfig,
 ) -> f32 {
     assert!(!data.mlm.is_empty(), "empty pre-training corpus");
+    let _run_span = obs::span!("pretrain");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut opt = AdamW::default();
     let schedule = LrSchedule::warmup_rate(cfg.peak_lr, 0.1, cfg.steps);
@@ -234,41 +235,56 @@ pub fn pretrain(
                             rng = StdRng::from_state(ts.rng_state);
                             tail = (ts.tail_sum, ts.tail_n as usize);
                             start_step = (ts.next_step as usize).min(cfg.steps);
-                            eprintln!(
-                                "[pretrain] resumed from '{}' at step {start_step}{}",
-                                c.path.display(),
-                                if from_prev {
-                                    " (last good snapshot)"
-                                } else {
-                                    ""
-                                }
+                            obs::info(
+                                "pretrain",
+                                format!(
+                                    "resumed from '{}' at step {start_step}{}",
+                                    c.path.display(),
+                                    if from_prev {
+                                        " (last good snapshot)"
+                                    } else {
+                                        ""
+                                    }
+                                ),
                             );
                         }
-                        Err(e) => eprintln!(
-                            "[pretrain] checkpoint '{}' unusable ({e}); training from scratch",
-                            c.path.display()
+                        Err(e) => obs::warn(
+                            "pretrain",
+                            format!(
+                                "checkpoint '{}' unusable ({e}); training from scratch",
+                                c.path.display()
+                            ),
                         ),
                     }
                 }
                 Err(e) if e.is_missing() => {}
-                Err(e) => eprintln!(
-                    "[pretrain] checkpoint '{}' unusable ({e}); training from scratch",
-                    c.path.display()
+                Err(e) => obs::warn(
+                    "pretrain",
+                    format!(
+                        "checkpoint '{}' unusable ({e}); training from scratch",
+                        c.path.display()
+                    ),
                 ),
             }
         }
     }
 
+    let mut write_failures = 0usize;
     for step in start_step..cfg.steps {
+        let _step_span = obs::span!("step");
         let mut batch_loss = 0.0;
         for micro in 0..cfg.accum {
             let (src, tgt) = sample_example(data, objective, tok, cfg.max_len, &mut rng);
+            obs::counter_add("pretrain.tokens", (src.len() + tgt.len()) as u64);
             let mut g = Graph::with_seed(cfg.seed ^ step as u64);
             let loss = model.loss(&mut g, ps, &src, &tgt, 0.0);
             if cfg.doctor && step == 0 && micro == 0 {
                 let report = analysis::diagnose(&g, loss, TapeMode::Train);
                 if !report.is_clean() {
-                    eprintln!("graph doctor (step-0 pre-training tape):\n{report}");
+                    obs::warn(
+                        "pretrain",
+                        format!("graph doctor (step-0 pre-training tape):\n{report}"),
+                    );
                 }
             }
             batch_loss += g.value(loss).data()[0];
@@ -281,8 +297,10 @@ pub fn pretrain(
             ps.absorb_grads(&g);
         }
         opt.step(ps, schedule.at(step), 1.0 / cfg.accum as f32);
+        let mean = batch_loss / cfg.accum as f32;
+        obs::gauge_set("pretrain.loss", mean as f64);
         if step >= tail_start {
-            tail.0 += batch_loss / cfg.accum as f32;
+            tail.0 += mean;
             tail.1 += 1;
         }
         if let Some(c) = &cfg.ckpt {
@@ -299,12 +317,20 @@ pub fn pretrain(
                 };
                 let snap = ps.snapshot(Some(&opt)).with_train(state);
                 if let Err(e) = ckpt::save(io.as_deref_mut().unwrap(), &c.path, &snap) {
-                    eprintln!(
-                        "[pretrain] checkpoint write {ckpt_writes} to '{}' failed: {e}",
-                        c.path.display()
+                    // `ckpt::save` bumps the process-wide
+                    // `ckpt.write_failures` counter; the local tally feeds
+                    // the end-of-run summary below.
+                    write_failures += 1;
+                    obs::error(
+                        "pretrain",
+                        format!(
+                            "checkpoint write {ckpt_writes} to '{}' failed: {e}",
+                            c.path.display()
+                        ),
                     );
                 }
                 if c.kill_after == Some(ckpt_writes) {
+                    warn_on_write_failures(write_failures);
                     return if tail.1 > 0 {
                         tail.0 / tail.1 as f32
                     } else {
@@ -314,10 +340,24 @@ pub fn pretrain(
             }
         }
     }
+    warn_on_write_failures(write_failures);
     if tail.1 > 0 {
         tail.0 / tail.1 as f32
     } else {
         0.0
+    }
+}
+
+/// End-of-run summary mirroring `nn::train`: a run that skipped failed
+/// checkpoint writes gets one unmissable warning with the total.
+fn warn_on_write_failures(write_failures: usize) {
+    if write_failures > 0 {
+        obs::warn(
+            "pretrain",
+            format!(
+                "run finished with {write_failures} failed checkpoint write(s); the on-disk snapshot may be stale"
+            ),
+        );
     }
 }
 

@@ -130,9 +130,10 @@ pub trait Predictor {
 const DECODE_SLOTS: usize = 8;
 
 /// Run log for checkpoint-cache decisions (load vs recover vs retrain),
-/// so a training fleet's behavior under faults is auditable from stderr.
+/// so a training fleet's behavior under faults is auditable from stderr
+/// and, with the obs layer on, machine-countable from the event stream.
 fn run_log(msg: impl std::fmt::Display) {
-    eprintln!("[zoo] {msg}");
+    obs::info("zoo", msg.to_string());
 }
 
 /// Shared assets: corpus, encoded datasets, tokenizer, checkpoint cache.
@@ -159,10 +160,13 @@ impl Zoo {
         if let Err(e) = std::fs::create_dir_all(&ckpt_dir) {
             // Not fatal — every subsequent save reports its own typed
             // error — but the degraded mode must be visible in the log.
-            run_log(format!(
-                "failed to create checkpoint dir '{}': {e}; checkpoints will not be cached",
-                ckpt_dir.display()
-            ));
+            obs::error(
+                "zoo",
+                format!(
+                    "failed to create checkpoint dir '{}': {e}; checkpoints will not be cached",
+                    ckpt_dir.display()
+                ),
+            );
         }
         Zoo {
             scale,
@@ -201,20 +205,24 @@ impl Zoo {
                 false
             }
             Err(e) => {
-                run_log(format!("'{key}': cached checkpoint unusable: {e}"));
+                obs::warn("zoo", format!("'{key}': cached checkpoint unusable: {e}"));
                 let prev = ckpt::prev_path(path);
                 match ckpt::load(&StdIo, &prev).and_then(|snap| ps.restore(&snap)) {
                     Ok(()) => {
-                        run_log(format!(
-                            "'{key}': recovered from last good snapshot '{}'",
-                            prev.display()
-                        ));
+                        obs::warn(
+                            "zoo",
+                            format!(
+                                "'{key}': recovered from last good snapshot '{}'",
+                                prev.display()
+                            ),
+                        );
                         true
                     }
                     Err(pe) => {
-                        run_log(format!(
-                            "'{key}': no usable snapshot ({pe}); retraining from scratch"
-                        ));
+                        obs::warn(
+                            "zoo",
+                            format!("'{key}': no usable snapshot ({pe}); retraining from scratch"),
+                        );
                         false
                     }
                 }
@@ -265,7 +273,7 @@ impl Zoo {
                 let _ = std::fs::remove_file(ckpt::prev_path(&resume));
                 let _ = std::fs::remove_file(resume);
             }
-            Err(e) => run_log(format!("'{key}': failed to save checkpoint: {e}")),
+            Err(e) => obs::error("zoo", format!("'{key}': failed to save checkpoint: {e}")),
         }
         (model, ps)
     }
@@ -563,7 +571,7 @@ impl Zoo {
                 let _ = std::fs::remove_file(ckpt::prev_path(&resume));
                 let _ = std::fs::remove_file(resume);
             }
-            Err(e) => run_log(format!("'{key}': failed to save checkpoint: {e}")),
+            Err(e) => obs::error("zoo", format!("'{key}': failed to save checkpoint: {e}")),
         }
         trained
     }

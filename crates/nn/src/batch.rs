@@ -162,6 +162,26 @@ impl<'m> BatchedDecodeState<'m> {
         self.slots[idx].as_ref().expect("empty slot")
     }
 
+    /// Resident KV-cache footprint in bytes: every cache tensor of every
+    /// live slot at four bytes per scalar (retired slots keep poisoned
+    /// tensors resident but no live request owns them).
+    pub fn cache_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|s| s.live)
+            .map(|s| {
+                s.cross_k
+                    .iter()
+                    .chain(s.cross_v.iter())
+                    .chain(s.self_k.iter())
+                    .chain(s.self_v.iter())
+                    .map(|t| t.numel() * 4)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
     /// Advances every `(slot, previous_token)` pair by one step and returns
     /// their next-token logit rows, in input order.
     ///
@@ -185,6 +205,13 @@ impl<'m> BatchedDecodeState<'m> {
         let n = active.len();
         let mut scratch = std::mem::take(&mut self.scratch);
 
+        // Section profiling: the packed decoder bypasses the autodiff
+        // tape (pure scratch-buffer kernels), so the tape profiler never
+        // sees it — explicit mark-delta section timers stand in.
+        let prof = obs::enabled();
+        let mut mark = if prof { obs::clock::now_ns() } else { 0 };
+        let (mut t_self, mut t_cross, mut t_ff) = (0u64, 0u64, 0u64);
+
         // Embed each request's previous token at its own position.
         let table = ps.value(m.emb.table);
         scratch.x.clear();
@@ -205,6 +232,8 @@ impl<'m> BatchedDecodeState<'m> {
                 }
             }
         }
+
+        let t_embed = lap(prof, &mut mark);
 
         for (l, block) in m.dec.iter().enumerate() {
             // Self-attention: packed projections, per-slot cached attention.
@@ -251,6 +280,7 @@ impl<'m> BatchedDecodeState<'m> {
             }
             linear_packed(ps, &block.self_attn.wo, &scratch.ctx, n, &mut scratch.proj);
             add_assign(&mut scratch.x, &scratch.proj);
+            t_self += lap(prof, &mut mark);
 
             // Cross-attention over the precomputed encoder keys/values.
             rms_norm_packed(ps, &block.norm2, &scratch.x, d, &mut scratch.normed);
@@ -271,6 +301,7 @@ impl<'m> BatchedDecodeState<'m> {
             }
             linear_packed(ps, &block.cross_attn.wo, &scratch.ctx, n, &mut scratch.proj);
             add_assign(&mut scratch.x, &scratch.proj);
+            t_cross += lap(prof, &mut mark);
 
             // Feed-forward.
             rms_norm_packed(ps, &block.norm3, &scratch.x, d, &mut scratch.normed);
@@ -280,6 +311,7 @@ impl<'m> BatchedDecodeState<'m> {
             }
             linear_packed(ps, &block.ff.wo, &scratch.ff_h, n, &mut scratch.proj);
             add_assign(&mut scratch.x, &scratch.proj);
+            t_ff += lap(prof, &mut mark);
         }
 
         rms_norm_packed(ps, &m.dec_final, &scratch.x, d, &mut scratch.normed);
@@ -302,7 +334,7 @@ impl<'m> BatchedDecodeState<'m> {
             *v *= factor;
         }
 
-        let out = scratch
+        let out: Vec<Vec<f32>> = scratch
             .logits
             .chunks(vocab)
             .map(|row| row.to_vec())
@@ -311,8 +343,64 @@ impl<'m> BatchedDecodeState<'m> {
             self.slots[slot_idx].as_mut().expect("live slot").t += 1;
         }
         self.scratch = scratch;
+
+        if prof {
+            use obs::profile::record_kernel;
+            use obs::Phase::Forward;
+            let t_logits = lap(prof, &mut mark);
+            let rows = n as u64;
+            let d64 = d as u64;
+            let layers = m.dec.len() as u64;
+            let ff = m.cfg.d_ff as u64;
+            let v64 = vocab as u64;
+            // Bytes: weight matrices streamed once per section plus the
+            // packed activations; FLOPs: the dominant matmuls (four d×d
+            // projections per self-attn, three per cross-attn, two d×ff
+            // for the FFN, one d×vocab for logits).
+            record_kernel("batch.embed", Forward, t_embed, 8 * rows * d64, 0);
+            record_kernel(
+                "batch.self_attn",
+                Forward,
+                t_self,
+                (16 * d64 * d64 + 16 * rows * d64) * layers,
+                8 * rows * d64 * d64 * layers,
+            );
+            record_kernel(
+                "batch.cross_attn",
+                Forward,
+                t_cross,
+                (12 * d64 * d64 + 16 * rows * d64) * layers,
+                6 * rows * d64 * d64 * layers,
+            );
+            record_kernel(
+                "batch.ff",
+                Forward,
+                t_ff,
+                (8 * d64 * ff + 8 * rows * d64) * layers,
+                4 * rows * d64 * ff * layers,
+            );
+            record_kernel(
+                "batch.logits",
+                Forward,
+                t_logits,
+                4 * d64 * v64 + 4 * rows * (d64 + v64),
+                2 * rows * d64 * v64,
+            );
+        }
         out
     }
+}
+
+/// Mark-delta section timer: the elapsed time since `mark`, advancing the
+/// mark; zero (clock untouched) when profiling is off.
+fn lap(prof: bool, mark: &mut u64) -> u64 {
+    if !prof {
+        return 0;
+    }
+    let now = obs::clock::now_ns();
+    let delta = now.saturating_sub(*mark);
+    *mark = now;
+    delta
 }
 
 /// Appends one `[d]` row to a growing `[t, d]` cache tensor.

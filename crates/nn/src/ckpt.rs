@@ -643,8 +643,21 @@ impl CheckpointIo for FaultIo {
 // ---------------------------------------------------------------------------
 
 /// Encodes and atomically writes a checkpoint.
+///
+/// The single choke point for checkpoint-write observability: successful
+/// writes feed the `ckpt.write_ns` latency histogram, failed ones bump
+/// the process-wide `ckpt.write_failures` counter (callers keep their own
+/// per-run tallies for end-of-run summaries).
 pub fn save(io: &mut dyn CheckpointIo, path: &Path, ckpt: &Checkpoint) -> Result<(), CkptError> {
-    io.write_atomic(path, &encode(ckpt))
+    let sw = obs::Stopwatch::start();
+    let result = io.write_atomic(path, &encode(ckpt));
+    match &result {
+        Ok(()) => {
+            sw.observe("ckpt.write_ns");
+        }
+        Err(_) => obs::counter_add("ckpt.write_failures", 1),
+    }
+    result
 }
 
 /// Reads and decodes the checkpoint at `path`.

@@ -269,6 +269,8 @@ fn batched_decode_loop(
     if srcs.is_empty() || max_len == 0 {
         return outs;
     }
+    let _span = obs::span!("decode/batched");
+    let obs_on = obs::enabled();
     let mut state = BatchedDecodeState::new(model, ps, capacity);
     let mut slot_req: Vec<Option<usize>> = vec![None; capacity];
     let mut slot_prev: Vec<u32> = vec![DECODER_START; capacity];
@@ -276,6 +278,7 @@ fn batched_decode_loop(
     let mut live = 0usize;
     loop {
         // Refill free slots from the pending queue.
+        let mut admitted = 0u64;
         while next_req < srcs.len() {
             let Some(slot) = state.admit(&srcs[next_req]) else {
                 break;
@@ -284,9 +287,18 @@ fn batched_decode_loop(
             slot_prev[slot] = DECODER_START;
             next_req += 1;
             live += 1;
+            admitted += 1;
         }
         if live == 0 {
             break;
+        }
+        if obs_on {
+            if admitted > 0 {
+                obs::counter_add("decode.admitted", admitted);
+            }
+            obs::counter_add("decode.steps", 1);
+            obs::gauge_set("decode.slot_occupancy", live as f64 / capacity as f64);
+            obs::gauge_set("decode.kv_cache_bytes", state.cache_bytes() as f64);
         }
         let active: Vec<(usize, u32)> = slot_req
             .iter()
@@ -294,6 +306,8 @@ fn batched_decode_loop(
             .filter_map(|(slot, req)| req.map(|_| (slot, slot_prev[slot])))
             .collect();
         let logits = state.step_packed(&active);
+        let mut emitted = 0u64;
+        let mut retired = 0u64;
         for (&(slot, _), row) in active.iter().zip(logits.iter()) {
             let req = slot_req[slot].expect("active slot carries a request");
             let finished = match pick(req, row, &outs[req]) {
@@ -301,6 +315,7 @@ fn batched_decode_loop(
                 Some(next) => {
                     outs[req].push(next);
                     slot_prev[slot] = next;
+                    emitted += 1;
                     outs[req].len() >= max_len
                 }
             };
@@ -308,6 +323,15 @@ fn batched_decode_loop(
                 state.retire(slot);
                 slot_req[slot] = None;
                 live -= 1;
+                retired += 1;
+            }
+        }
+        if obs_on {
+            if emitted > 0 {
+                obs::counter_add("decode.tokens", emitted);
+            }
+            if retired > 0 {
+                obs::counter_add("decode.retired", retired);
             }
         }
     }

@@ -90,6 +90,7 @@ impl AdamW {
     /// Applies one update using accumulated gradients, then zeroes them.
     /// `scale` divides gradients first (use `1/accumulated_batches`).
     pub fn step(&mut self, params: &mut ParamSet, lr: f32, scale: f32) {
+        let sw = obs::Stopwatch::start();
         self.step += 1;
         let t = self.step as f32;
         let bias1 = 1.0 - self.beta1.powf(t);
@@ -124,6 +125,12 @@ impl AdamW {
                 value[i] -= lr * (m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * value[i]);
                 grad[i] = 0.0;
             }
+        }
+        if let Some(ns) = sw.stop() {
+            // Per live scalar: read value/grad/m/v, write all four back
+            // (~32 bytes), ~12 arithmetic ops for moments + update.
+            let n = params.live_scalars() as u64;
+            obs::profile::record_kernel("adamw_step", obs::Phase::Optimizer, ns, 32 * n, 12 * n);
         }
     }
 }

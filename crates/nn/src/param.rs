@@ -84,6 +84,16 @@ impl ParamSet {
         self.params.iter().map(|p| p.value.numel()).sum()
     }
 
+    /// Scalar count over live (non-frozen) parameters only — the
+    /// population the optimizer actually touches.
+    pub fn live_scalars(&self) -> usize {
+        self.params
+            .iter()
+            .filter(|p| !p.frozen)
+            .map(|p| p.value.numel())
+            .sum()
+    }
+
     /// Marks a parameter as frozen (bound as constant, never updated).
     pub fn freeze(&mut self, id: ParamId) {
         self.params[id.0].frozen = true;
@@ -141,8 +151,21 @@ impl ParamSet {
     /// Accumulates the gradients a finished graph computed into the
     /// parameter store (called once per graph after `backward`).
     pub fn absorb_grads(&mut self, graph: &Graph) {
+        let sw = obs::Stopwatch::start();
+        let mut moved = 0u64;
         for (hook, grad) in graph.param_grads() {
             self.params[hook].grad.add_assign(grad);
+            moved += grad.numel() as u64;
+        }
+        if let Some(ns) = sw.stop() {
+            // Read the graph gradient + accumulator, write the sum back.
+            obs::profile::record_kernel(
+                "absorb_grads",
+                obs::Phase::Optimizer,
+                ns,
+                12 * moved,
+                moved,
+            );
         }
     }
 

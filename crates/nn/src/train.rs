@@ -174,6 +174,10 @@ pub struct TrainReport {
     pub interrupted: bool,
     /// Step the run resumed from, when it restored a checkpoint.
     pub resumed_at: Option<usize>,
+    /// Checkpoint writes that failed and were skipped mid-run (the
+    /// last good snapshot on disk stays untouched). Also tracked
+    /// process-wide by the obs counter `ckpt.write_failures`.
+    pub ckpt_write_failures: usize,
 }
 
 /// Trains a model in place.
@@ -192,6 +196,7 @@ pub fn train_seq2seq<M: LossModel>(
     cfg: &TrainConfig,
 ) -> TrainReport {
     assert!(!data.is_empty(), "empty training set");
+    let _run_span = obs::span!("train");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..data.len()).collect();
     order.shuffle(&mut rng);
@@ -220,32 +225,42 @@ pub fn train_seq2seq<M: LossModel>(
                             report.valid_losses = ts.valid_losses.clone();
                             start_step = (ts.next_step as usize).min(cfg.steps);
                             report.resumed_at = Some(start_step);
-                            eprintln!(
-                                "[train] resumed from '{}' at step {start_step}{}",
-                                c.path.display(),
-                                if from_prev {
-                                    " (last good snapshot)"
-                                } else {
-                                    ""
-                                }
+                            obs::info(
+                                "train",
+                                format!(
+                                    "resumed from '{}' at step {start_step}{}",
+                                    c.path.display(),
+                                    if from_prev {
+                                        " (last good snapshot)"
+                                    } else {
+                                        ""
+                                    }
+                                ),
                             );
                         }
-                        Err(e) => eprintln!(
-                            "[train] checkpoint '{}' unusable ({e}); training from scratch",
-                            c.path.display()
+                        Err(e) => obs::warn(
+                            "train",
+                            format!(
+                                "checkpoint '{}' unusable ({e}); training from scratch",
+                                c.path.display()
+                            ),
                         ),
                     }
                 }
                 Err(e) if e.is_missing() => {}
-                Err(e) => eprintln!(
-                    "[train] checkpoint '{}' unusable ({e}); training from scratch",
-                    c.path.display()
+                Err(e) => obs::warn(
+                    "train",
+                    format!(
+                        "checkpoint '{}' unusable ({e}); training from scratch",
+                        c.path.display()
+                    ),
                 ),
             }
         }
     }
 
     for step in start_step..cfg.steps {
+        let _step_span = obs::span!("step");
         let mut batch_loss = 0.0f32;
         for micro in 0..cfg.accum {
             if cursor >= order.len() {
@@ -254,12 +269,16 @@ pub fn train_seq2seq<M: LossModel>(
             }
             let (src, tgt) = &data[order[cursor]];
             cursor += 1;
+            obs::counter_add("train.tokens", (src.len() + tgt.len()) as u64);
             let mut g = Graph::with_seed(cfg.seed ^ (step as u64) << 8);
             let loss = model.train_loss(&mut g, ps, src, tgt, cfg.smoothing);
             if cfg.doctor && step == 0 && micro == 0 {
                 let report = analysis::diagnose(&g, loss, TapeMode::Train);
                 if !report.is_clean() {
-                    eprintln!("graph doctor (step-0 training tape):\n{report}");
+                    obs::warn(
+                        "train",
+                        format!("graph doctor (step-0 training tape):\n{report}"),
+                    );
                 }
             }
             batch_loss += g.value(loss).data()[0];
@@ -273,6 +292,7 @@ pub fn train_seq2seq<M: LossModel>(
         }
         opt.step(ps, cfg.schedule.at(step), 1.0 / cfg.accum as f32);
         let mean = batch_loss / cfg.accum as f32;
+        obs::gauge_set("train.loss", mean as f64);
         report.step_losses.push(mean);
         if step >= tail_start {
             tail_sum += mean;
@@ -297,10 +317,15 @@ pub fn train_seq2seq<M: LossModel>(
                 let snap = ps.snapshot(Some(&opt)).with_train(state);
                 if let Err(e) = ckpt::save(io.as_deref_mut().unwrap(), &c.path, &snap) {
                     // A failed write is reported and skipped; the last
-                    // good checkpoint on disk stays untouched.
-                    eprintln!(
-                        "[train] checkpoint write {ckpt_writes} to '{}' failed: {e}",
-                        c.path.display()
+                    // good checkpoint on disk stays untouched. `ckpt::save`
+                    // bumps the process-wide `ckpt.write_failures` counter.
+                    report.ckpt_write_failures += 1;
+                    obs::error(
+                        "train",
+                        format!(
+                            "checkpoint write {ckpt_writes} to '{}' failed: {e}",
+                            c.path.display()
+                        ),
                     );
                 }
                 if c.kill_after == Some(ckpt_writes) {
@@ -311,6 +336,7 @@ pub fn train_seq2seq<M: LossModel>(
                     } else {
                         0.0
                     };
+                    warn_on_write_failures(&report);
                     return report;
                 }
             }
@@ -322,7 +348,23 @@ pub fn train_seq2seq<M: LossModel>(
     } else {
         0.0
     };
+    warn_on_write_failures(&report);
     report
+}
+
+/// End-of-run summary for checkpoint writes that failed mid-training —
+/// without this, a run that limped along on a stale snapshot would look
+/// healthy (the per-failure error scrolls away; the total does not).
+fn warn_on_write_failures(report: &TrainReport) {
+    if report.ckpt_write_failures > 0 {
+        obs::warn(
+            "train",
+            format!(
+                "run finished with {} failed checkpoint write(s); the on-disk snapshot may be stale",
+                report.ckpt_write_failures
+            ),
+        );
+    }
 }
 
 /// Restores weights and optimizer state from a checkpoint and validates

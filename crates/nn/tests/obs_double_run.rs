@@ -1,0 +1,127 @@
+//! Observability must not perturb training: two identical runs with the
+//! obs layer *enabled* (spans, counters, gauges, kernel profiling, and
+//! checkpointing all live) must still be bitwise-equal in weights, Adam
+//! moments, and per-step losses — timestamps are reported but never feed
+//! computation. The recorded event streams must also agree event-for-event
+//! once clock fields are stripped ([`obs::Event::strip_timing`]).
+
+use analysis::SanitizerMode;
+use nn::ckpt;
+use nn::optim::LrSchedule;
+use nn::param::ParamSet;
+use nn::t5::{Positional, T5Config, T5Model};
+use nn::train::{train_seq2seq, CkptConfig, Example, TrainConfig};
+use obs::event::Event;
+use tensor::XorShift;
+
+const VOCAB: usize = 20;
+const STEPS: usize = 8;
+
+fn config() -> T5Config {
+    T5Config {
+        vocab: VOCAB,
+        d_model: 16,
+        d_ff: 32,
+        heads: 2,
+        enc_layers: 1,
+        dec_layers: 1,
+        dropout: 0.0,
+        positional: Positional::RelativeBias,
+    }
+}
+
+fn dataset() -> Vec<Example> {
+    (0..6)
+        .map(|i| {
+            let a = 3 + i;
+            let b = 11 + i;
+            (vec![a, b, a, 1], vec![b, a, 1])
+        })
+        .collect()
+}
+
+fn fingerprint(ps: &ParamSet) -> Vec<u32> {
+    let mut bits = Vec::new();
+    for name in ps.names() {
+        let id = ps.by_name(&name).unwrap();
+        bits.extend(ps.value(id).data().iter().map(|v| v.to_bits()));
+        bits.extend(ps.adam_m(id).data().iter().map(|v| v.to_bits()));
+        bits.extend(ps.adam_v(id).data().iter().map(|v| v.to_bits()));
+    }
+    bits
+}
+
+/// One full instrumented run from a clean collector: fresh model, train
+/// with periodic checkpointing, return the weight fingerprint, the loss
+/// bits, and the recorded event stream with clock fields stripped.
+fn instrumented_run(ckpt_path: &std::path::Path) -> (Vec<u32>, Vec<u32>, Vec<Event>) {
+    obs::reset();
+    let _ = std::fs::remove_file(ckpt_path);
+    let _ = std::fs::remove_file(ckpt::prev_path(ckpt_path));
+
+    let mut ps = ParamSet::new();
+    let mut rng = XorShift::new(7);
+    let model = T5Model::new(&mut ps, "m", config(), &mut rng);
+    let cfg = TrainConfig {
+        steps: STEPS,
+        accum: 2,
+        schedule: LrSchedule::warmup_rate(3e-3, 0.2, STEPS),
+        smoothing: 0.0,
+        seed: 42,
+        eval_every: 0,
+        doctor: false,
+        sanitizer: SanitizerMode::Off,
+        ckpt: Some(CkptConfig {
+            path: ckpt_path.to_path_buf(),
+            every: 3,
+            resume: false,
+            fault: None,
+            kill_after: None,
+        }),
+    };
+    let report = train_seq2seq(&model, &mut ps, &dataset(), &[], &cfg);
+    obs::span::assert_balanced();
+    let events: Vec<Event> = obs::snapshot()
+        .events
+        .iter()
+        .map(Event::strip_timing)
+        .collect();
+    let losses: Vec<u32> = report.step_losses.iter().map(|v| v.to_bits()).collect();
+    (fingerprint(&ps), losses, events)
+}
+
+#[test]
+fn enabled_obs_layer_preserves_double_run_bit_equality() {
+    let dir = std::env::temp_dir().join("obs_double_run_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt_path = dir.join("run.ckpt");
+
+    obs::set_enabled(true);
+    let (fp_a, losses_a, events_a) = instrumented_run(&ckpt_path);
+    let (fp_b, losses_b, events_b) = instrumented_run(&ckpt_path);
+    obs::set_enabled(false);
+    obs::reset();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(
+        fp_a, fp_b,
+        "weights or Adam moments differ between identical instrumented runs"
+    );
+    assert_eq!(
+        losses_a, losses_b,
+        "per-step losses differ between identical instrumented runs"
+    );
+    assert!(!events_a.is_empty(), "enabled run recorded no events");
+    assert_eq!(
+        events_a.len(),
+        events_b.len(),
+        "instrumented runs recorded different event counts"
+    );
+    for (a, b) in events_a.iter().zip(&events_b) {
+        assert_eq!(
+            a, b,
+            "event streams diverge after stripping timestamps (seq {})",
+            a.seq
+        );
+    }
+}

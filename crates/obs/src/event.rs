@@ -1,0 +1,147 @@
+//! The structured event stream: one flat, ordered log of everything the
+//! layer observed, suitable for the JSONL and Chrome-trace sinks.
+//!
+//! Events are deterministic modulo timing: two bit-identical runs produce
+//! the same sequence of payloads with the same names, deltas, totals, and
+//! gauge bit-patterns, differing only in `ts_ns`, `dur_ns`, and
+//! `Observe::ns`. [`Event::strip_timing`] zeroes exactly those fields so
+//! the double-run test can compare streams for equality.
+
+/// Severity of a [`Payload::Message`] event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Info,
+    Warn,
+    Error,
+}
+
+impl Level {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "info" => Some(Level::Info),
+            "warn" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+/// What happened. Every variant the collector can record; the JSONL sink
+/// round-trips all of them (property-tested).
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// A span was opened at the given `/`-joined path.
+    SpanOpen { path: String },
+    /// A span closed; `dur_ns` is its wall-clock duration.
+    SpanClose { path: String, dur_ns: u64 },
+    /// A counter was bumped; `total` is the running total after the bump.
+    Counter {
+        name: String,
+        delta: u64,
+        total: u64,
+    },
+    /// A gauge was set to an instantaneous value.
+    Gauge { name: String, value: f64 },
+    /// A duration sample was recorded into the named histogram.
+    Observe { name: String, ns: u64 },
+    /// A structured log line (also printed to stderr at emission time).
+    Message {
+        level: Level,
+        scope: String,
+        text: String,
+    },
+}
+
+// Manual impl so gauges compare by bit pattern: `NaN == NaN` holds and the
+// double-run / round-trip tests are exact rather than float-approximate.
+impl PartialEq for Payload {
+    fn eq(&self, other: &Payload) -> bool {
+        use Payload::*;
+        match (self, other) {
+            (SpanOpen { path: a }, SpanOpen { path: b }) => a == b,
+            (
+                SpanClose {
+                    path: a,
+                    dur_ns: ad,
+                },
+                SpanClose {
+                    path: b,
+                    dur_ns: bd,
+                },
+            ) => a == b && ad == bd,
+            (
+                Counter {
+                    name: a,
+                    delta: ad,
+                    total: at,
+                },
+                Counter {
+                    name: b,
+                    delta: bd,
+                    total: bt,
+                },
+            ) => a == b && ad == bd && at == bt,
+            (Gauge { name: a, value: av }, Gauge { name: b, value: bv }) => {
+                a == b && av.to_bits() == bv.to_bits()
+            }
+            (Observe { name: a, ns: an }, Observe { name: b, ns: bn }) => a == b && an == bn,
+            (
+                Message {
+                    level: al,
+                    scope: asc,
+                    text: atx,
+                },
+                Message {
+                    level: bl,
+                    scope: bsc,
+                    text: btx,
+                },
+            ) => al == bl && asc == bsc && atx == btx,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Payload {}
+
+/// One entry in the event stream. `seq` is a process-wide monotonically
+/// increasing ordinal (reset by [`crate::reset`]); `ts_ns` comes from
+/// [`crate::clock::now_ns`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    pub seq: u64,
+    pub ts_ns: u64,
+    pub payload: Payload,
+}
+
+impl Event {
+    /// A copy with every wall-clock-derived field zeroed (`ts_ns`, span
+    /// `dur_ns`, observed `ns`). Two identical runs must produce equal
+    /// streams after this transform.
+    pub fn strip_timing(&self) -> Event {
+        let payload = match &self.payload {
+            Payload::SpanClose { path, .. } => Payload::SpanClose {
+                path: path.clone(),
+                dur_ns: 0,
+            },
+            Payload::Observe { name, .. } => Payload::Observe {
+                name: name.clone(),
+                ns: 0,
+            },
+            other => other.clone(),
+        };
+        Event {
+            seq: self.seq,
+            ts_ns: 0,
+            payload,
+        }
+    }
+}

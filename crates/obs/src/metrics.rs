@@ -1,0 +1,58 @@
+//! Fixed-bucket duration histograms.
+//!
+//! Bucket boundaries are compile-time constants (powers of four from
+//! 4096 ns up to 2^40 ns ≈ 18 minutes, plus one overflow bucket), so the
+//! rendered distribution is byte-stable across runs and machines: only
+//! the counts vary, never the layout.
+
+/// Number of buckets, including the final overflow bucket.
+pub const HIST_BUCKETS: usize = 16;
+
+/// Inclusive upper bound of bucket `i` in nanoseconds: `4096 * 4^i` for
+/// the first fifteen buckets, `u64::MAX` for the overflow bucket.
+pub fn bucket_le(i: usize) -> u64 {
+    if i + 1 >= HIST_BUCKETS {
+        u64::MAX
+    } else {
+        1u64 << (12 + 2 * i)
+    }
+}
+
+/// A histogram of nanosecond durations over the fixed bucket layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Histogram {
+    pub counts: [u64; HIST_BUCKETS],
+    pub count: u64,
+    pub sum_ns: u64,
+}
+
+impl Histogram {
+    /// Records one sample into the first bucket whose upper bound admits
+    /// it (`ns <= bucket_le(i)`).
+    pub fn observe(&mut self, ns: u64) {
+        let mut i = 0;
+        while ns > bucket_le(i) {
+            i += 1;
+        }
+        self.counts[i] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+    }
+
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_powers_of_four() {
+        assert_eq!(bucket_le(0), 4096);
+        assert_eq!(bucket_le(1), 16384);
+        assert_eq!(bucket_le(14), 1u64 << 40);
+        assert_eq!(bucket_le(15), u64::MAX);
+    }
+}

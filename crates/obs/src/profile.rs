@@ -1,0 +1,65 @@
+//! Per-kernel attribution: which ops, under which span, in which phase,
+//! spent the time and moved the bytes.
+//!
+//! The tensor graph calls [`record_kernel`] once per tape node it
+//! executes (mark-delta timing around `Graph::push` and per-node backward
+//! propagation); the batched decoder and the optimizer record explicit
+//! section kernels the tape cannot see. Samples are keyed by
+//! `(innermost span path, op name, phase)` so a report can answer "what
+//! did the train step spend its time on" per `OpKind`.
+
+/// Which part of the compute a kernel sample belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    Forward,
+    Backward,
+    Optimizer,
+}
+
+impl Phase {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Phase::Forward => "fwd",
+            Phase::Backward => "bwd",
+            Phase::Optimizer => "opt",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Phase> {
+        match s {
+            "fwd" => Some(Phase::Forward),
+            "bwd" => Some(Phase::Backward),
+            "opt" => Some(Phase::Optimizer),
+            _ => None,
+        }
+    }
+}
+
+/// Accumulated samples for one `(span, op, phase)` key.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStat {
+    pub calls: u64,
+    pub ns: u64,
+    pub bytes: u64,
+    pub flops: u64,
+}
+
+/// One flattened kernel row in a [`crate::Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelEntry {
+    pub span: String,
+    pub op: String,
+    pub phase: Phase,
+    pub stat: KernelStat,
+}
+
+/// Records one kernel execution: `ns` of wall time, an estimate of bytes
+/// moved and floating-point ops, attributed to the current thread's
+/// innermost open span (empty path if none). No-op when disabled.
+pub fn record_kernel(op: &'static str, phase: Phase, ns: u64, bytes: u64, flops: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let span = crate::span::current_path().unwrap_or_default();
+    crate::record_kernel_sample(span, op, phase, ns, bytes, flops);
+}

@@ -1,0 +1,187 @@
+//! Event sinks: JSONL (lossless, round-trippable) and Chrome
+//! `trace_event` (loadable in `chrome://tracing` / Perfetto).
+//!
+//! JSONL is the archival format: `read_jsonl(write_jsonl(events))` is the
+//! identity for every event type (property-tested). Gauge values are
+//! encoded as their IEEE-754 bit pattern (`value_bits`) so the round trip
+//! is exact for every `f64` including NaN and infinities; a human-readable
+//! `value` string rides along and is ignored on decode.
+
+use crate::event::{Event, Level, Payload};
+use crate::json::{escape, parse, Value};
+
+/// Encodes one event as a single-line JSON object.
+pub fn encode_event(event: &Event) -> String {
+    let head = format!("{{\"seq\":{},\"ts_ns\":{},", event.seq, event.ts_ns);
+    let body = match &event.payload {
+        Payload::SpanOpen { path } => {
+            format!("\"type\":\"span_open\",\"path\":{}", escape(path))
+        }
+        Payload::SpanClose { path, dur_ns } => {
+            format!(
+                "\"type\":\"span_close\",\"path\":{},\"dur_ns\":{dur_ns}",
+                escape(path)
+            )
+        }
+        Payload::Counter { name, delta, total } => format!(
+            "\"type\":\"counter\",\"name\":{},\"delta\":{delta},\"total\":{total}",
+            escape(name)
+        ),
+        Payload::Gauge { name, value } => format!(
+            "\"type\":\"gauge\",\"name\":{},\"value_bits\":{},\"value\":{}",
+            escape(name),
+            value.to_bits(),
+            escape(&format!("{value:?}"))
+        ),
+        Payload::Observe { name, ns } => {
+            format!("\"type\":\"observe\",\"name\":{},\"ns\":{ns}", escape(name))
+        }
+        Payload::Message { level, scope, text } => format!(
+            "\"type\":\"message\",\"level\":\"{}\",\"scope\":{},\"text\":{}",
+            level.as_str(),
+            escape(scope),
+            escape(text)
+        ),
+    };
+    format!("{head}{body}}}")
+}
+
+/// Serializes events as JSON Lines (one object per line, trailing
+/// newline).
+pub fn write_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&encode_event(event));
+        out.push('\n');
+    }
+    out
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field '{key}' is not a u64"))
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, String> {
+    Ok(field(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field '{key}' is not a string"))?
+        .to_string())
+}
+
+/// Decodes one JSONL line back into an [`Event`].
+pub fn decode_event(line: &str) -> Result<Event, String> {
+    let v = parse(line)?;
+    let seq = u64_field(&v, "seq")?;
+    let ts_ns = u64_field(&v, "ts_ns")?;
+    let kind = str_field(&v, "type")?;
+    let payload = match kind.as_str() {
+        "span_open" => Payload::SpanOpen {
+            path: str_field(&v, "path")?,
+        },
+        "span_close" => Payload::SpanClose {
+            path: str_field(&v, "path")?,
+            dur_ns: u64_field(&v, "dur_ns")?,
+        },
+        "counter" => Payload::Counter {
+            name: str_field(&v, "name")?,
+            delta: u64_field(&v, "delta")?,
+            total: u64_field(&v, "total")?,
+        },
+        "gauge" => Payload::Gauge {
+            name: str_field(&v, "name")?,
+            value: f64::from_bits(u64_field(&v, "value_bits")?),
+        },
+        "observe" => Payload::Observe {
+            name: str_field(&v, "name")?,
+            ns: u64_field(&v, "ns")?,
+        },
+        "message" => Payload::Message {
+            level: Level::parse(&str_field(&v, "level")?)
+                .ok_or_else(|| "unknown message level".to_string())?,
+            scope: str_field(&v, "scope")?,
+            text: str_field(&v, "text")?,
+        },
+        other => return Err(format!("unknown event type '{other}'")),
+    };
+    Ok(Event {
+        seq,
+        ts_ns,
+        payload,
+    })
+}
+
+/// Parses a JSON Lines document produced by [`write_jsonl`].
+pub fn read_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    text.lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(decode_event)
+        .collect()
+}
+
+/// Renders the event stream in Chrome `trace_event` JSON array format.
+///
+/// Closed spans become complete (`"ph":"X"`) events with microsecond
+/// begin/duration, counters become `"ph":"C"` samples, and messages
+/// become global instant events. Span-open events are omitted (the close
+/// event carries the full interval).
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut rows = Vec::new();
+    for event in events {
+        let ts_us = event.ts_ns as f64 / 1000.0;
+        match &event.payload {
+            Payload::SpanOpen { .. } => {}
+            Payload::SpanClose { path, dur_ns } => {
+                let begin_us = event.ts_ns.saturating_sub(*dur_ns) as f64 / 1000.0;
+                let dur_us = *dur_ns as f64 / 1000.0;
+                rows.push(format!(
+                    "{{\"name\":{},\"cat\":\"span\",\"ph\":\"X\",\"ts\":{begin_us:.3},\
+                     \"dur\":{dur_us:.3},\"pid\":1,\"tid\":1}}",
+                    escape(path)
+                ));
+            }
+            Payload::Counter { name, total, .. } => {
+                rows.push(format!(
+                    "{{\"name\":{},\"cat\":\"counter\",\"ph\":\"C\",\"ts\":{ts_us:.3},\
+                     \"pid\":1,\"tid\":1,\"args\":{{\"value\":{total}}}}}",
+                    escape(name)
+                ));
+            }
+            Payload::Gauge { name, value } => {
+                let num = if value.is_finite() {
+                    format!("{value:?}")
+                } else {
+                    "null".to_string()
+                };
+                rows.push(format!(
+                    "{{\"name\":{},\"cat\":\"gauge\",\"ph\":\"C\",\"ts\":{ts_us:.3},\
+                     \"pid\":1,\"tid\":1,\"args\":{{\"value\":{num}}}}}",
+                    escape(name)
+                ));
+            }
+            Payload::Observe { name, ns } => {
+                rows.push(format!(
+                    "{{\"name\":{},\"cat\":\"observe\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts_us:.3},\"pid\":1,\"tid\":1,\"args\":{{\"ns\":{ns}}}}}",
+                    escape(name)
+                ));
+            }
+            Payload::Message { level, scope, text } => {
+                rows.push(format!(
+                    "{{\"name\":{},\"cat\":\"message\",\"ph\":\"i\",\"s\":\"g\",\
+                     \"ts\":{ts_us:.3},\"pid\":1,\"tid\":1,\
+                     \"args\":{{\"level\":\"{}\",\"text\":{}}}}}",
+                    escape(scope),
+                    level.as_str(),
+                    escape(text)
+                ));
+            }
+        }
+    }
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}

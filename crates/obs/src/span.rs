@@ -1,0 +1,118 @@
+//! Hierarchical spans with RAII guards.
+//!
+//! `enter("step")` inside an open `"train"` span produces the path
+//! `"train/step"`. Paths are per-thread (the stack is thread-local) while
+//! the recorded events and aggregates are process-global. When the layer
+//! is disabled, [`enter`] returns an inert guard without reading the
+//! clock or touching the stack.
+//!
+//! Spans must close in LIFO order: dropping a guard while an inner span
+//! is still open panics with both paths, and [`assert_balanced`] panics
+//! listing every span still open — both are exercised by the test suite.
+
+use std::cell::RefCell;
+
+use crate::event::Payload;
+
+struct OpenSpan {
+    path: String,
+    start_ns: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<OpenSpan>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard returned by [`enter`]; closing (dropping) it records the
+/// span's duration and aggregates it under the span's full path.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard {
+    path: Option<String>,
+}
+
+/// Opens a span named `name`, nested under the innermost open span of the
+/// current thread. No-op (inert guard) when the layer is disabled.
+pub fn enter(name: &str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { path: None };
+    }
+    let start = crate::clock::now_ns();
+    let path = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{}/{name}", parent.path),
+            None => name.to_string(),
+        };
+        stack.push(OpenSpan {
+            path: path.clone(),
+            start_ns: start,
+        });
+        path
+    });
+    crate::record_event(Payload::SpanOpen { path: path.clone() });
+    SpanGuard { path: Some(path) }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(path) = self.path.take() else {
+            return;
+        };
+        let end = crate::clock::now_ns();
+        let top = STACK.with(|stack| stack.borrow_mut().pop());
+        match top {
+            Some(open) if open.path == path => {
+                let dur_ns = end.saturating_sub(open.start_ns);
+                crate::close_span(path, dur_ns);
+            }
+            Some(open) => {
+                // Put it back so the balance check still sees it, then
+                // report the violation (unless already unwinding).
+                let inner = open.path.clone();
+                STACK.with(|stack| stack.borrow_mut().push(open));
+                if !std::thread::panicking() {
+                    panic!("span '{path}' closed while inner span '{inner}' is still open");
+                }
+            }
+            None => {
+                if !std::thread::panicking() {
+                    panic!("span '{path}' closed but the span stack is empty");
+                }
+            }
+        }
+    }
+}
+
+/// The path of the innermost open span on this thread, if any. Kernel
+/// samples are attributed to this path.
+pub(crate) fn current_path() -> Option<String> {
+    STACK.with(|stack| stack.borrow().last().map(|open| open.path.clone()))
+}
+
+/// Clears this thread's span stack (used by [`crate::reset`]).
+pub(crate) fn clear_stack() {
+    STACK.with(|stack| stack.borrow_mut().clear());
+}
+
+/// Panics if any span is still open on the current thread, listing the
+/// open paths. Call at the end of a run to prove the trace is well
+/// nested.
+pub fn assert_balanced() {
+    STACK.with(|stack| {
+        let stack = stack.borrow();
+        if !stack.is_empty() {
+            let paths: Vec<&str> = stack.iter().map(|open| open.path.as_str()).collect();
+            panic!("unbalanced spans still open: {}", paths.join(", "));
+        }
+    });
+}
+
+/// Opens a span and returns its guard: `let _guard = obs::span!("step");`.
+/// Bind the guard to a named `_`-prefixed variable — a bare `_` pattern
+/// drops (closes) it immediately.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::enter($name)
+    };
+}

@@ -1,0 +1,343 @@
+//! Behavioural tests for the observability layer: span nesting and
+//! balance violations, histogram bucket boundaries, counter totals, the
+//! JSONL and Chrome-trace sinks, and kernel attribution.
+//!
+//! The collector and the enabled flag are process-global, so every test
+//! serializes on one lock and resets the layer on entry.
+
+use std::sync::{Mutex, MutexGuard};
+
+use obs::event::{Event, Level, Payload};
+use obs::metrics::{bucket_le, Histogram, HIST_BUCKETS};
+use obs::sink::{chrome_trace, decode_event, read_jsonl, write_jsonl};
+use obs::Phase;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes tests and starts each from a clean, enabled layer.
+fn begin() -> MutexGuard<'static, ()> {
+    // Should-panic tests poison the lock; the guarded state is reset below.
+    let g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::reset();
+    obs::set_enabled(true);
+    g
+}
+
+fn end() {
+    obs::set_enabled(false);
+    obs::reset();
+}
+
+#[test]
+fn disabled_layer_records_nothing() {
+    let _g = begin();
+    obs::set_enabled(false);
+    {
+        let _s = obs::span!("ghost");
+        obs::counter_add("c", 5);
+        obs::gauge_set("g", 1.0);
+        obs::observe_ns("h", 100);
+        obs::info("scope", "printed but not recorded");
+        obs::profile::record_kernel("matmul", Phase::Forward, 10, 10, 10);
+        assert_eq!(obs::Stopwatch::start().stop(), None);
+    }
+    let snap = obs::snapshot();
+    assert!(snap.events.is_empty());
+    assert!(snap.counters.is_empty());
+    assert!(snap.gauges.is_empty());
+    assert!(snap.histograms.is_empty());
+    assert!(snap.spans.is_empty());
+    assert!(snap.kernels.is_empty());
+    end();
+}
+
+#[test]
+fn span_paths_nest_and_events_balance() {
+    let _g = begin();
+    {
+        let _a = obs::span!("a");
+        {
+            let _b = obs::span!("b");
+            let _c = obs::span!("c");
+        }
+        let _b2 = obs::span!("b");
+    }
+    obs::span::assert_balanced();
+    let snap = obs::snapshot();
+    assert_eq!(snap.spans["a"].count, 1);
+    assert_eq!(snap.spans["a/b"].count, 2);
+    assert_eq!(snap.spans["a/b/c"].count, 1);
+    let opens: Vec<&str> = snap
+        .events
+        .iter()
+        .filter_map(|e| match &e.payload {
+            Payload::SpanOpen { path } => Some(path.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(opens, ["a", "a/b", "a/b/c", "a/b"]);
+    // Every open has a close, and parents close after their children.
+    let closes: Vec<&str> = snap
+        .events
+        .iter()
+        .filter_map(|e| match &e.payload {
+            Payload::SpanClose { path, .. } => Some(path.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(closes, ["a/b/c", "a/b", "a/b", "a"]);
+    end();
+}
+
+#[test]
+#[should_panic(expected = "span 'a' closed while inner span 'a/b' is still open")]
+fn closing_outer_span_before_inner_panics_with_both_paths() {
+    let _g = begin();
+    let outer = obs::span!("a");
+    let _inner = obs::span!("b");
+    drop(outer);
+}
+
+#[test]
+#[should_panic(expected = "unbalanced spans still open: leak")]
+fn assert_balanced_lists_open_spans() {
+    let _g = begin();
+    let guard = obs::span!("leak");
+    std::mem::forget(guard);
+    obs::span::assert_balanced();
+}
+
+#[test]
+fn histogram_bucket_boundaries_are_inclusive() {
+    let mut h = Histogram::default();
+    h.observe(0);
+    h.observe(bucket_le(0)); // exactly on the first edge: still bucket 0
+    h.observe(bucket_le(0) + 1); // one past: bucket 1
+    h.observe(bucket_le(14));
+    h.observe(bucket_le(14) + 1); // past the last finite edge: overflow
+    h.observe(u64::MAX);
+    assert_eq!(h.counts[0], 2);
+    assert_eq!(h.counts[1], 1);
+    assert_eq!(h.counts[14], 1);
+    assert_eq!(h.counts[HIST_BUCKETS - 1], 2);
+    assert_eq!(h.count, 6);
+    // Edges are powers of four from 4096ns: each bucket spans 4x the last.
+    for i in 1..HIST_BUCKETS - 1 {
+        assert_eq!(bucket_le(i), bucket_le(i - 1) * 4);
+    }
+    assert_eq!(bucket_le(HIST_BUCKETS - 1), u64::MAX);
+}
+
+#[test]
+fn counters_carry_running_totals() {
+    let _g = begin();
+    obs::counter_add("tok", 2);
+    obs::counter_add("tok", 3);
+    obs::counter_add("other", 7);
+    let snap = obs::snapshot();
+    assert_eq!(snap.counters["tok"], 5);
+    assert_eq!(snap.counters["other"], 7);
+    let tok_totals: Vec<u64> = snap
+        .events
+        .iter()
+        .filter_map(|e| match &e.payload {
+            Payload::Counter { name, total, .. } if name == "tok" => Some(*total),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(tok_totals, [2, 5]);
+    end();
+}
+
+#[test]
+fn stopwatch_feeds_named_histogram() {
+    let _g = begin();
+    let sw = obs::Stopwatch::start();
+    let ns = sw.observe("lat").expect("enabled stopwatch records");
+    let snap = obs::snapshot();
+    assert_eq!(snap.histograms["lat"].count, 1);
+    assert_eq!(snap.histograms["lat"].sum_ns, ns);
+    end();
+}
+
+#[test]
+fn messages_record_only_when_enabled() {
+    let _g = begin();
+    obs::set_enabled(false);
+    obs::warn("scope", "off");
+    obs::set_enabled(true);
+    obs::error("scope", "on");
+    let snap = obs::snapshot();
+    let msgs: Vec<(Level, &str, &str)> = snap
+        .events
+        .iter()
+        .filter_map(|e| match &e.payload {
+            Payload::Message { level, scope, text } => {
+                Some((*level, scope.as_str(), text.as_str()))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(msgs, [(Level::Error, "scope", "on")]);
+    end();
+}
+
+#[test]
+fn kernel_samples_attribute_to_innermost_span() {
+    let _g = begin();
+    {
+        let _s = obs::span!("train");
+        let _t = obs::span!("step");
+        obs::profile::record_kernel("matmul", Phase::Forward, 100, 64, 1000);
+        obs::profile::record_kernel("matmul", Phase::Forward, 50, 32, 500);
+        obs::profile::record_kernel("matmul", Phase::Backward, 10, 8, 100);
+    }
+    let snap = obs::snapshot();
+    let step = &snap.spans["train/step"];
+    assert_eq!(step.ops, 3);
+    assert_eq!(step.flops, 1600);
+    let fwd = snap
+        .kernels
+        .iter()
+        .find(|k| k.span == "train/step" && k.op == "matmul" && k.phase == Phase::Forward)
+        .expect("forward matmul row");
+    assert_eq!(fwd.stat.calls, 2);
+    assert_eq!(fwd.stat.ns, 150);
+    assert_eq!(fwd.stat.bytes, 96);
+    assert_eq!(fwd.stat.flops, 1500);
+    let bwd = snap
+        .kernels
+        .iter()
+        .find(|k| k.span == "train/step" && k.phase == Phase::Backward)
+        .expect("backward matmul row");
+    assert_eq!(bwd.stat.calls, 1);
+    end();
+}
+
+fn sample_events() -> Vec<Event> {
+    vec![
+        Event {
+            seq: 0,
+            ts_ns: 10,
+            payload: Payload::SpanOpen {
+                path: "a/b c".into(),
+            },
+        },
+        Event {
+            seq: 1,
+            ts_ns: 20,
+            payload: Payload::SpanClose {
+                path: "a/b c".into(),
+                dur_ns: u64::MAX,
+            },
+        },
+        Event {
+            seq: 2,
+            ts_ns: 30,
+            payload: Payload::Counter {
+                name: "tok\"s\\".into(),
+                delta: 0,
+                total: u64::MAX,
+            },
+        },
+        Event {
+            seq: 3,
+            ts_ns: 40,
+            payload: Payload::Gauge {
+                name: "loss".into(),
+                value: f64::NAN,
+            },
+        },
+        Event {
+            seq: 4,
+            ts_ns: 50,
+            payload: Payload::Observe {
+                name: "lat\nency".into(),
+                ns: 4096,
+            },
+        },
+        Event {
+            seq: 5,
+            ts_ns: 60,
+            payload: Payload::Message {
+                level: Level::Warn,
+                scope: "träin".into(),
+                text: "tab\there, quote \" and \\ slash \u{1}".into(),
+            },
+        },
+    ]
+}
+
+#[test]
+fn jsonl_round_trips_known_events_of_every_type() {
+    let events = sample_events();
+    let text = write_jsonl(&events);
+    assert_eq!(text.lines().count(), events.len());
+    let back = read_jsonl(&text).expect("decode");
+    assert_eq!(back, events); // Gauge NaN compares by bit pattern
+}
+
+#[test]
+fn decode_rejects_malformed_lines() {
+    assert!(decode_event("not json").is_err());
+    assert!(decode_event("{\"seq\":0}").is_err());
+    assert!(decode_event("{\"seq\":0,\"ts_ns\":1,\"type\":\"nope\"}").is_err());
+    assert!(
+        read_jsonl("{\"seq\":0,\"ts_ns\":1,\"type\":\"span_open\",\"path\":\"a\"}\ngarbage\n")
+            .is_err()
+    );
+}
+
+#[test]
+fn chrome_trace_is_parseable_json_with_duration_rows() {
+    let trace = chrome_trace(&sample_events());
+    let value = obs::json::parse(&trace).expect("valid JSON");
+    let rows = value.as_arr().expect("array");
+    // Span-open events are omitted: the close row carries the interval.
+    assert_eq!(rows.len(), sample_events().len() - 1);
+    let phases: Vec<&str> = rows
+        .iter()
+        .map(|r| r.get("ph").and_then(|p| p.as_str()).expect("ph"))
+        .collect();
+    assert!(phases.contains(&"X"), "complete-event row present");
+    assert!(phases.contains(&"C"), "counter row present");
+    assert!(phases.contains(&"i"), "instant row present");
+    // The X row's ts+dur must reconstruct the close timestamp (in us).
+    let x = rows
+        .iter()
+        .find(|r| r.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .unwrap();
+    assert_eq!(x.get("name").and_then(|n| n.as_str()), Some("a/b c"));
+    end();
+}
+
+#[test]
+fn strip_timing_zeroes_only_clock_fields() {
+    let stripped: Vec<Event> = sample_events().iter().map(Event::strip_timing).collect();
+    for e in &stripped {
+        assert_eq!(e.ts_ns, 0);
+        match &e.payload {
+            Payload::SpanClose { dur_ns, .. } => assert_eq!(*dur_ns, 0),
+            Payload::Observe { ns, .. } => assert_eq!(*ns, 0),
+            _ => {}
+        }
+    }
+    // Sequence numbers and payload identities survive.
+    let seqs: Vec<u64> = stripped.iter().map(|e| e.seq).collect();
+    assert_eq!(seqs, [0, 1, 2, 3, 4, 5]);
+}
+
+#[test]
+fn gauge_round_trip_preserves_exact_bits() {
+    let _g = begin();
+    let v = 0.1f64 + 0.2f64; // not representable tidily: exact bits matter
+    obs::gauge_set("g", v);
+    let snap = obs::snapshot();
+    let text = write_jsonl(&snap.events);
+    let back = read_jsonl(&text).expect("decode");
+    let Payload::Gauge { value, .. } = &back.last().unwrap().payload else {
+        panic!("expected gauge event");
+    };
+    assert_eq!(value.to_bits(), v.to_bits());
+    end();
+}

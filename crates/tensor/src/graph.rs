@@ -120,6 +120,12 @@ pub struct Graph {
     nodes: Vec<Node>,
     grads: Vec<Option<Tensor>>,
     rng: XorShift,
+    /// Whether kernel profiling is on for this tape (latched from
+    /// `obs::enabled()` at construction so one tape never mixes modes).
+    prof: bool,
+    /// Last profiling clock mark; the next recorded node is charged the
+    /// delta since this mark.
+    prof_mark: u64,
 }
 
 impl Default for Graph {
@@ -136,10 +142,13 @@ impl Graph {
 
     /// Creates an empty tape whose dropout masks derive from `seed`.
     pub fn with_seed(seed: u64) -> Self {
+        let prof = obs::enabled();
         Self {
             nodes: Vec::with_capacity(256),
             grads: Vec::new(),
             rng: XorShift::new(seed),
+            prof,
+            prof_mark: if prof { obs::clock::now_ns() } else { 0 },
         }
     }
 
@@ -159,7 +168,11 @@ impl Graph {
             op,
             requires_grad,
         });
-        Var(self.nodes.len() - 1)
+        let index = self.nodes.len() - 1;
+        if self.prof {
+            self.profile_node(index, obs::Phase::Forward);
+        }
+        Var(index)
     }
 
     fn requires(&self, v: Var) -> bool {
@@ -622,6 +635,9 @@ impl Graph {
         );
         self.grads = (0..self.nodes.len()).map(|_| None).collect();
         self.grads[loss.0] = Some(Tensor::scalar(1.0));
+        if self.prof {
+            self.prof_mark = obs::clock::now_ns();
+        }
         for i in (0..=loss.0).rev() {
             if !self.nodes[i].requires_grad {
                 continue;
@@ -631,6 +647,9 @@ impl Graph {
             };
             self.propagate(i, &grad);
             self.grads[i] = Some(grad);
+            if self.prof {
+                self.profile_node(i, obs::Phase::Backward);
+            }
         }
     }
 
@@ -1177,6 +1196,55 @@ impl Graph {
             .as_mut()
             .expect("tamper_grad_for_test: node has no gradient");
         f(grad.data_mut());
+    }
+
+    /// Kernel profiling (only reached when `obs` was enabled at tape
+    /// construction): charges the node at `index` the wall time since the
+    /// last mark, plus bytes-moved / FLOP estimates derived from the
+    /// node's [`OpView`].
+    ///
+    /// The mark-delta scheme attributes *all* tape-execution time to some
+    /// node: eager kernels run inside `push`, so the delta between two
+    /// pushes is the later node's forward cost (analogously per node in
+    /// `backward`). Backward work is estimated at twice the forward
+    /// arithmetic (one product per operand gradient) over activations
+    /// plus gradients.
+    fn profile_node(&mut self, index: usize, phase: obs::Phase) {
+        let now = obs::clock::now_ns();
+        let ns = now.saturating_sub(self.prof_mark);
+        self.prof_mark = now;
+        let view = self.op_view(index);
+        let out = self.nodes[index].value.numel() as u64;
+        let mut moved = out;
+        for &input in &view.inputs {
+            moved += self.nodes[input].value.numel() as u64;
+        }
+        let flops = match &view.kind {
+            OpKind::Matmul { orient } => {
+                let a_shape = self.nodes[view.inputs[0]].value.shape();
+                let k_inner = match orient {
+                    MmOrient::Nn | MmOrient::Nt => a_shape.last().copied().unwrap_or(1),
+                    MmOrient::Tn => a_shape.first().copied().unwrap_or(1),
+                } as u64;
+                2 * out * k_inner
+            }
+            OpKind::Softmax | OpKind::RmsNorm | OpKind::Tanh | OpKind::Sigmoid => 5 * out,
+            OpKind::CrossEntropy { .. } => 6 * moved,
+            OpKind::Add
+            | OpKind::AddBias
+            | OpKind::Mul
+            | OpKind::Scale
+            | OpKind::Relu
+            | OpKind::Sum => out,
+            OpKind::Dropout { .. } => 2 * out,
+            // Pure data movement (and leaves): no arithmetic.
+            _ => 0,
+        };
+        let (bytes, flops) = match phase {
+            obs::Phase::Forward => (4 * moved, flops),
+            _ => (8 * moved, 2 * flops),
+        };
+        obs::profile::record_kernel(view.kind.name(), phase, ns, bytes, flops);
     }
 }
 
