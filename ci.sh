@@ -9,6 +9,12 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== cargo build --release (timed) =="
+build_start=$(date +%s)
+cargo build --release --workspace
+build_end=$(date +%s)
+echo "release build took $((build_end - build_start))s"
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
@@ -30,15 +36,21 @@ cargo test -p nn --test ckpt_proptests -q
 echo "== determinism audit: source lints + tape reduction orders =="
 cargo run --release -p bench --bin det_audit -- --out target/BENCH_det_audit.json
 
-echo "== double-run bit-equality suite =="
+echo "== parallel-safety audit: concurrency lints + schedule certification =="
+cargo run --release -p bench --bin par_audit -- --out target/BENCH_par_audit.json
+
+echo "== double-run bit-equality suite (incl. 1/2/4-thread sweep) =="
 cargo test -p nn --test double_run -q
 cargo test -p analysis --test order_proptests -q
+
+echo "== lint-code registry cross-check =="
+cargo test -p bench --test lint_registry -q
 
 echo "== fault-matrix cell: truncate-at-CRC, base preset =="
 cargo test -p nn --test resume_differential \
   truncate_at_crc_leaves_last_good_loadable_base_preset -q
 
-echo "== decode_bench smoke (2 requests) =="
+echo "== decode_bench smoke (2 requests, thread sweep) =="
 cargo run --release -p bench --bin decode_bench -- \
   --requests 2 --batch 2 --max-out 8 --out target/BENCH_decode_smoke.json
 

@@ -14,6 +14,7 @@
 //! | D003 | wall-clock reads (`Instant::now`, `SystemTime`, `UNIX_EPOCH`) outside `crates/bench` |
 //! | D004 | `env::var` reads outside `DATAVIST5_*` keys handled by config code |
 //! | D005 | float `sum()`/`fold()`/`product()` fed by hash-ordered iteration |
+//! | D009 | stale `det-ok` annotation that no longer matches any finding |
 //!
 //! `std`'s `HashMap`/`HashSet` seed SipHash per *instance* (a thread-local
 //! counter perturbs every `RandomState`), so two identical computations in
@@ -23,21 +24,27 @@
 //! the sinks this pass taints toward.
 //!
 //! The scanner is token-level, not a full parser: comments, strings, and
-//! `#[cfg(test)]` modules are stripped (test modules never produce shipped
-//! artifacts, and the differential suites are the dynamic check there),
-//! then identifiers declared as hash collections — plus the results of
-//! functions returning them, tracked workspace-wide — are taint sources.
-//! A taint that reaches a sink inside the same statement (or the body of a
-//! `for` iterating the collection) is a finding. Audited sites are
-//! allowlisted with a trailing or preceding `// det-ok: <reason>` comment;
-//! the reason is mandatory (D000 otherwise) and every suppression is
-//! surfaced in the `det_audit` report rather than silently dropped.
+//! `#[cfg(test)]` modules are stripped via [`crate::lexer`] (test modules
+//! never produce shipped artifacts, and the differential suites are the
+//! dynamic check there), then identifiers declared as hash collections —
+//! plus the results of functions returning them, tracked workspace-wide —
+//! are taint sources. A taint that reaches a sink inside the same
+//! statement (or the body of a `for` iterating the collection) is a
+//! finding. Audited sites are allowlisted with a trailing or preceding
+//! `// det-ok: <reason>` comment; the reason is mandatory (D000
+//! otherwise), every suppression is surfaced in the `det_audit` report
+//! rather than silently dropped, and a reasoned annotation that stops
+//! matching any finding is itself a finding (D009) so the allowlist
+//! cannot rot.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-/// One source-level finding.
+use crate::lexer::{drop_test_modules, drop_test_modules_spanned, is_ident, strip_and_lex};
+use crate::suppress::Suppressions;
+
+/// One source-level finding (shared by the `det` and `par` auditors).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SourceFinding {
     pub code: &'static str,
@@ -46,8 +53,19 @@ pub struct SourceFinding {
     /// 1-based line of the offending construct.
     pub line: usize,
     pub message: String,
-    /// `Some(reason)` when a `det-ok: <reason>` annotation covers the line.
+    /// `Some(reason)` when a family annotation covers the line.
     pub suppressed: Option<String>,
+}
+
+impl SourceFinding {
+    /// Which suppression family governs this finding's code.
+    pub fn family(&self) -> &'static str {
+        if self.code.starts_with('P') {
+            "par-ok"
+        } else {
+            "det-ok"
+        }
+    }
 }
 
 impl fmt::Display for SourceFinding {
@@ -55,8 +73,12 @@ impl fmt::Display for SourceFinding {
         match &self.suppressed {
             Some(reason) => write!(
                 f,
-                "allowed[{}] {}:{}: {} (det-ok: {reason})",
-                self.code, self.file, self.line, self.message
+                "allowed[{}] {}:{}: {} ({}: {reason})",
+                self.code,
+                self.file,
+                self.line,
+                self.message,
+                self.family()
             ),
             None => write!(
                 f,
@@ -79,6 +101,8 @@ pub struct DetCounts {
     pub d003: usize,
     pub d004: usize,
     pub d005: usize,
+    /// Stale `det-ok` annotations (allowlist rot).
+    pub d009: usize,
     /// Tape-level findings folded in by `det_audit`.
     pub d010: usize,
     pub d011: usize,
@@ -98,6 +122,7 @@ impl DetCounts {
             "D003" => self.d003 += 1,
             "D004" => self.d004 += 1,
             "D005" => self.d005 += 1,
+            "D009" => self.d009 += 1,
             other => panic!("unknown determinism code {other}"),
         }
     }
@@ -119,6 +144,7 @@ impl DetCounts {
             + self.d003
             + self.d004
             + self.d005
+            + self.d009
             + self.d010
             + self.d011
     }
@@ -128,7 +154,7 @@ impl fmt::Display for DetCounts {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} files | D001:{} D002:{} D003:{} D004:{} D005:{} D010:{} D011:{} | \
+            "{} files | D001:{} D002:{} D003:{} D004:{} D005:{} D009:{} D010:{} D011:{} | \
              {} allowed (det-ok), {} unreasoned (D000)",
             self.files,
             self.d001,
@@ -136,32 +162,13 @@ impl fmt::Display for DetCounts {
             self.d003,
             self.d004,
             self.d005,
+            self.d009,
             self.d010,
             self.d011,
             self.suppressed,
             self.d000,
         )
     }
-}
-
-/// One lexed token with its 1-based source position.
-#[derive(Debug, Clone)]
-struct Tok {
-    text: String,
-    line: usize,
-    col: usize,
-}
-
-/// What stripping a file yields: lexable text plus the side tables the
-/// lint rules need (string literal contents for D004, `det-ok`
-/// annotations per line).
-struct Stripped {
-    tokens: Vec<Tok>,
-    /// Original contents of string literals keyed by the opening quote's
-    /// (line, col) — the token stream carries only a `""` placeholder.
-    literals: BTreeMap<(usize, usize), String>,
-    /// `det-ok` annotations: line → reason (empty string = missing).
-    det_ok: BTreeMap<usize, String>,
 }
 
 const ITER_METHODS: &[&str] = &[
@@ -224,304 +231,6 @@ const TYPE_WRAPPERS: &[&str] = &[
     "'",
     "mut",
 ];
-
-fn is_ident(s: &str) -> bool {
-    let mut chars = s.chars();
-    matches!(chars.next(), Some(c) if c.is_alphabetic() || c == '_')
-}
-
-/// Strips comments, strings, and char literals from `text`, lexes the
-/// remainder, and collects the side tables. Stripping is layout-
-/// preserving — every removed character becomes a space (newlines stay) —
-/// so token (line, col) positions in the stripped text equal positions in
-/// the original, which is what keys the string-literal table.
-fn strip_and_lex(text: &str) -> Stripped {
-    let chars: Vec<char> = text.chars().collect();
-    let mut clean: Vec<char> = Vec::with_capacity(chars.len());
-    let mut literals = BTreeMap::new();
-    let mut det_ok = BTreeMap::new();
-    let (mut line, mut col) = (1usize, 1usize);
-    let mut i = 0;
-    let record_det_ok = |comment: &str, line: usize, det_ok: &mut BTreeMap<usize, String>| {
-        if let Some(pos) = comment.find("det-ok") {
-            let rest = comment[pos + "det-ok".len()..]
-                .trim_start_matches(':')
-                .trim();
-            det_ok.insert(line, rest.to_string());
-        }
-    };
-    // Consumes chars[i], emitting `replacement` (or '\n' for newlines) so
-    // the stripped text keeps the original layout.
-    macro_rules! eat {
-        ($replacement:expr) => {{
-            if chars[i] == '\n' {
-                clean.push('\n');
-                line += 1;
-                col = 1;
-            } else {
-                clean.push($replacement);
-                col += 1;
-            }
-            i += 1;
-        }};
-    }
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-        let prev_ident = clean
-            .iter()
-            .rev()
-            .find(|ch| !ch.is_whitespace())
-            .is_some_and(|p| p.is_alphanumeric() || *p == '_')
-            && clean
-                .last()
-                .is_some_and(|p| p.is_alphanumeric() || *p == '_');
-        if c == '/' && next == Some('/') {
-            let start_line = line;
-            let mut comment = String::new();
-            while i < chars.len() && chars[i] != '\n' {
-                comment.push(chars[i]);
-                eat!(' ');
-            }
-            record_det_ok(&comment, start_line, &mut det_ok);
-            continue;
-        }
-        if c == '/' && next == Some('*') {
-            let start_line = line;
-            let mut comment = String::new();
-            let mut depth = 0usize;
-            while i < chars.len() {
-                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                    depth += 1;
-                    eat!(' ');
-                    eat!(' ');
-                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                    depth -= 1;
-                    eat!(' ');
-                    eat!(' ');
-                    if depth == 0 {
-                        break;
-                    }
-                } else {
-                    comment.push(chars[i]);
-                    eat!(' ');
-                }
-            }
-            record_det_ok(&comment, start_line, &mut det_ok);
-            continue;
-        }
-        // Raw strings: r"…", r#"…"#, b-variants. Only when `r`/`b` is not
-        // the tail of an identifier.
-        if (c == 'r' || c == 'b') && !prev_ident {
-            let mut j = i + 1;
-            let mut hashes = 0;
-            while chars.get(j) == Some(&'#') {
-                hashes += 1;
-                j += 1;
-            }
-            if chars.get(j) == Some(&'"') {
-                let key = (line, col);
-                eat!('\u{1}'); // the r/b prefix becomes the string marker
-                while i <= j {
-                    eat!(' '); // hashes and the opening quote
-                }
-                let mut content = String::new();
-                while i < chars.len() {
-                    if chars[i] == '"' {
-                        let mut h = 0;
-                        while chars.get(i + 1 + h) == Some(&'#') {
-                            h += 1;
-                        }
-                        if h >= hashes {
-                            for _ in 0..=hashes {
-                                eat!(' ');
-                            }
-                            break;
-                        }
-                    }
-                    content.push(chars[i]);
-                    eat!(' ');
-                }
-                literals.insert(key, content);
-                continue;
-            }
-        }
-        if c == '"' {
-            let key = (line, col);
-            eat!('\u{1}'); // opening quote becomes the string marker
-            let mut content = String::new();
-            while i < chars.len() {
-                if chars[i] == '\\' {
-                    content.push(chars[i]);
-                    eat!(' ');
-                    if i < chars.len() {
-                        content.push(chars[i]);
-                        eat!(' ');
-                    }
-                    continue;
-                }
-                if chars[i] == '"' {
-                    eat!(' ');
-                    break;
-                }
-                content.push(chars[i]);
-                eat!(' ');
-            }
-            literals.insert(key, content);
-            continue;
-        }
-        // Char literal vs lifetime: 'x' / '\n' are literals, 'a in a
-        // generic position is a lifetime (no closing quote nearby).
-        if c == '\'' {
-            if next == Some('\\') {
-                // Escaped char literal: consume through the closing quote.
-                eat!(' ');
-                while i < chars.len() && chars[i] != '\'' {
-                    eat!(' ');
-                }
-                if i < chars.len() {
-                    eat!(' ');
-                }
-                continue;
-            }
-            if chars.get(i + 2) == Some(&'\'') {
-                eat!(' ');
-                eat!(' ');
-                eat!(' ');
-                continue;
-            }
-            // Lifetime: keep the tick so the type-walk can skip it.
-        }
-        eat!(c);
-    }
-
-    Stripped {
-        tokens: lex(&clean.iter().collect::<String>()),
-        literals,
-        det_ok,
-    }
-}
-
-/// Lexes stripped text into identifier / operator / punctuation tokens.
-fn lex(clean: &str) -> Vec<Tok> {
-    let chars: Vec<char> = clean.chars().collect();
-    let mut toks = Vec::new();
-    let (mut line, mut col) = (1usize, 1usize);
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            line += 1;
-            col = 1;
-            i += 1;
-            continue;
-        }
-        if c.is_whitespace() {
-            col += 1;
-            i += 1;
-            continue;
-        }
-        let (start_line, start_col) = (line, col);
-        if c == '\u{1}' {
-            // String literal placeholder: one marker char at the position
-            // of the literal's first character.
-            toks.push(Tok {
-                text: "\"\"".to_string(),
-                line: start_line,
-                col: start_col,
-            });
-            i += 1;
-            col += 1;
-            continue;
-        }
-        if c.is_alphanumeric() || c == '_' {
-            let mut text = String::new();
-            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
-                text.push(chars[i]);
-                i += 1;
-                col += 1;
-            }
-            toks.push(Tok {
-                text,
-                line: start_line,
-                col: start_col,
-            });
-            continue;
-        }
-        // Multi-char operators the lint rules care about; everything else
-        // lexes as a single char.
-        let three: String = chars[i..chars.len().min(i + 3)].iter().collect();
-        let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
-        let text = if three == "..=" {
-            three
-        } else if [
-            "::", "->", "=>", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "^=", "&=",
-            "|=", "&&", "||", "..", "<<", ">>",
-        ]
-        .contains(&two.as_str())
-        {
-            two
-        } else {
-            c.to_string()
-        };
-        let len = text.chars().count();
-        toks.push(Tok {
-            text,
-            line: start_line,
-            col: start_col,
-        });
-        i += len;
-        col += len;
-    }
-    toks
-}
-
-/// Removes `#[cfg(test)] mod … { … }` bodies from the token stream.
-fn drop_test_modules(toks: Vec<Tok>) -> Vec<Tok> {
-    let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
-    let mut dead = vec![false; toks.len()];
-    let mut i = 0;
-    while i + 6 < toks.len() {
-        let is_cfg_test = texts[i] == "#"
-            && texts[i + 1] == "["
-            && texts[i + 2] == "cfg"
-            && texts[i + 3] == "("
-            && texts[i + 4] == "test"
-            && texts[i + 5] == ")"
-            && texts[i + 6] == "]";
-        if !is_cfg_test {
-            i += 1;
-            continue;
-        }
-        // Find the opening brace of the annotated item (mod or fn).
-        let mut j = i + 7;
-        let mut depth = 0i32;
-        while j < toks.len() {
-            match texts[j] {
-                "{" => {
-                    depth += 1;
-                }
-                "}" => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                ";" if depth == 0 => break, // `#[cfg(test)] mod x;` — nothing inline
-                _ => {}
-            }
-            j += 1;
-        }
-        for flag in dead.iter_mut().take((j + 1).min(toks.len())).skip(i) {
-            *flag = true;
-        }
-        i = j + 1;
-    }
-    toks.into_iter()
-        .zip(dead)
-        .filter_map(|(t, d)| (!d).then_some(t))
-        .collect()
-}
 
 /// Workspace-wide taint sources: names declared as hash collections and
 /// functions that return one (call results inherit the taint).
@@ -613,7 +322,10 @@ pub fn scan_source(
     opts: ScanOptions,
 ) -> Vec<SourceFinding> {
     let stripped = strip_and_lex(text);
-    let toks = drop_test_modules(stripped.tokens);
+    let mut supp = Suppressions::from_stripped(&stripped, "det-ok");
+    let literals = stripped.literals;
+    let (toks, test_spans) = drop_test_modules_spanned(stripped.tokens);
+    supp.discard_lines_in(&test_spans);
     let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
     let mut tainted: BTreeSet<&str> = taint.names.iter().map(|s| s.as_str()).collect();
 
@@ -637,27 +349,20 @@ pub fn scan_source(
     let mut findings = Vec::new();
 
     // D000: allowlist annotations must carry a reason.
-    for (&line, reason) in &stripped.det_ok {
-        if reason.is_empty() {
-            findings.push(SourceFinding {
-                code: "D000",
-                file: file.to_string(),
-                line,
-                message: "det-ok annotation without a reason; write `det-ok: <why this \
-                          site is order-safe>`"
-                    .to_string(),
-                suppressed: None,
-            });
-        }
+    for line in supp.missing_reason_lines() {
+        findings.push(SourceFinding {
+            code: "D000",
+            file: file.to_string(),
+            line,
+            message: "det-ok annotation without a reason; write `det-ok: <why this \
+                      site is order-safe>`"
+                .to_string(),
+            suppressed: None,
+        });
     }
 
-    let det_ok = &stripped.det_ok;
     let mut push = |code: &'static str, line: usize, message: String| {
-        let suppressed = det_ok
-            .get(&line)
-            .or_else(|| det_ok.get(&(line - 1)))
-            .filter(|reason| !reason.is_empty())
-            .cloned();
+        let suppressed = supp.consume(line);
         findings.push(SourceFinding {
             code,
             file: file.to_string(),
@@ -824,13 +529,11 @@ pub fn scan_source(
             {
                 let arg = &toks[i + 4];
                 let allowed = arg.text == "\"\""
-                    && stripped
-                        .literals
+                    && literals
                         .get(&(arg.line, arg.col))
                         .is_some_and(|lit| lit.starts_with("DATAVIST5_"));
                 if !allowed {
-                    let what = stripped
-                        .literals
+                    let what = literals
                         .get(&(arg.line, arg.col))
                         .map(|l| format!("`{l}`"))
                         .unwrap_or_else(|| "a dynamic key".to_string());
@@ -847,6 +550,19 @@ pub fn scan_source(
         }
     }
 
+    // D009: reasoned annotations nothing consumed — the stale allowlist.
+    for line in supp.stale_lines() {
+        findings.push(SourceFinding {
+            code: "D009",
+            file: file.to_string(),
+            line,
+            message: "stale det-ok suppression: no determinism finding on this or the \
+                      following line; remove the annotation or re-audit the site"
+                .to_string(),
+            suppressed: None,
+        });
+    }
+
     findings.sort_by(|a, b| (a.line, a.code).cmp(&(b.line, b.code)));
     findings
 }
@@ -861,56 +577,11 @@ pub struct SourceAudit {
     pub counts: DetCounts,
 }
 
-/// Collects every `.rs` file under `dir`, sorted for deterministic output.
-fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .collect();
-    entries.sort();
-    for path in entries {
-        if path.is_dir() {
-            rust_files(&path, out)?;
-        } else if path.extension().is_some_and(|x| x == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
 /// Sweeps every `crates/*/src/**/*.rs` (plus the workspace root `src/`)
 /// under `root`: pass 1 collects workspace-wide taint, pass 2 lints each
 /// file against it.
 pub fn audit_sources(root: &Path) -> std::io::Result<SourceAudit> {
-    let mut files = Vec::new();
-    let crates_dir = root.join("crates");
-    if crates_dir.is_dir() {
-        let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .collect();
-        crate_dirs.sort();
-        for dir in crate_dirs {
-            let src = dir.join("src");
-            if src.is_dir() {
-                rust_files(&src, &mut files)?;
-            }
-        }
-    }
-    let root_src = root.join("src");
-    if root_src.is_dir() {
-        rust_files(&root_src, &mut files)?;
-    }
-
-    let sources: Vec<(String, String)> = files
-        .iter()
-        .map(|path| {
-            let rel = path
-                .strip_prefix(root)
-                .unwrap_or(path)
-                .to_string_lossy()
-                .replace('\\', "/");
-            std::fs::read_to_string(path).map(|text| (rel, text))
-        })
-        .collect::<std::io::Result<_>>()?;
+    let sources = crate::lexer::workspace_sources(root)?;
 
     // Hash-returning *functions* propagate taint workspace-wide (their
     // call results are hash collections wherever they land). Variable and
@@ -1071,6 +742,44 @@ mod tests {
     }
 
     #[test]
+    fn stale_det_ok_is_d009() {
+        let src = "
+            fn f() {
+                let x = 1; // det-ok: this line used to read the clock
+            }
+        ";
+        let f = unsuppressed(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].code, "D009");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn consumed_det_ok_is_not_stale() {
+        let src = "
+            fn f() {
+                let t = std::time::Instant::now(); // det-ok: audited timing site
+            }
+        ";
+        assert!(unsuppressed(src).is_empty());
+    }
+
+    #[test]
+    fn det_ok_inside_test_module_is_ignored() {
+        let src = "
+            fn prod() {}
+            #[cfg(test)]
+            mod tests {
+                fn t() {
+                    let x = 1; // det-ok: annotations in test code are inert
+                }
+            }
+        ";
+        assert!(unsuppressed(src).is_empty());
+    }
+
+    #[test]
     fn d002_ambient_randomness() {
         let src = "
             fn f() -> u64 {
@@ -1180,5 +889,6 @@ mod tests {
         let text = c.to_string();
         assert!(text.contains("D001:1"), "{text}");
         assert!(text.contains("D010:1"), "{text}");
+        assert!(text.contains("D009:0"), "{text}");
     }
 }

@@ -1,0 +1,478 @@
+//! Layout-preserving strip+lex infrastructure shared by the source-level
+//! analyzers (`det` for the D-family, `par` for the P-family).
+//!
+//! Stripping replaces comments, string literals, and char literals with
+//! spaces (newlines survive), so every token's `(line, col)` in the
+//! stripped text equals its position in the original file. The side
+//! tables the lint rules need — original string-literal contents and
+//! suppression annotations per family — are collected during the same
+//! pass. `#[cfg(test)]` modules are dropped from the token stream before
+//! any rule runs: test code never ships, and the differential suites are
+//! the dynamic check there.
+//!
+//! Suppression annotations (`// det-ok: <reason>`, `// par-ok: <reason>`)
+//! are only recognized in *non-doc* comments: `///` and `//!` (and their
+//! block forms) are documentation, where the markers appear as prose, not
+//! as audit decisions.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// The suppression families the strip pass collects. Each analyzer
+/// consumes its own family via [`crate::suppress::Suppressions`].
+pub const SUPPRESS_FAMILIES: &[&str] = &["det-ok", "par-ok"];
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub text: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// What stripping a file yields: lexable text plus the side tables the
+/// lint rules need.
+pub struct Stripped {
+    pub tokens: Vec<Tok>,
+    /// Original contents of string literals keyed by the opening quote's
+    /// (line, col) — the token stream carries only a `""` placeholder.
+    pub literals: BTreeMap<(usize, usize), String>,
+    /// Per-family suppression annotations: family → line → reason (empty
+    /// string = annotation without a reason).
+    pub suppress: BTreeMap<&'static str, BTreeMap<usize, String>>,
+}
+
+pub fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_alphabetic() || c == '_')
+}
+
+/// Records any suppression-family annotations found in one comment.
+/// Doc comments (`///`, `//!`, `/**`, `/*!`) are prose and never count.
+fn record_suppressions(
+    comment: &str,
+    is_doc: bool,
+    line: usize,
+    suppress: &mut BTreeMap<&'static str, BTreeMap<usize, String>>,
+) {
+    if is_doc {
+        return;
+    }
+    for &family in SUPPRESS_FAMILIES {
+        if let Some(pos) = comment.find(family) {
+            let rest = comment[pos + family.len()..].trim_start_matches(':').trim();
+            suppress
+                .entry(family)
+                .or_default()
+                .insert(line, rest.to_string());
+        }
+    }
+}
+
+/// Strips comments, strings, and char literals from `text`, lexes the
+/// remainder, and collects the side tables. Stripping is layout-
+/// preserving — every removed character becomes a space (newlines stay) —
+/// so token (line, col) positions in the stripped text equal positions in
+/// the original, which is what keys the string-literal table.
+pub fn strip_and_lex(text: &str) -> Stripped {
+    let chars: Vec<char> = text.chars().collect();
+    let mut clean: Vec<char> = Vec::with_capacity(chars.len());
+    let mut literals = BTreeMap::new();
+    let mut suppress = BTreeMap::new();
+    let (mut line, mut col) = (1usize, 1usize);
+    let mut i = 0;
+    // Consumes chars[i], emitting `replacement` (or '\n' for newlines) so
+    // the stripped text keeps the original layout.
+    macro_rules! eat {
+        ($replacement:expr) => {{
+            if chars[i] == '\n' {
+                clean.push('\n');
+                line += 1;
+                col = 1;
+            } else {
+                clean.push($replacement);
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        let prev_ident = clean
+            .iter()
+            .rev()
+            .find(|ch| !ch.is_whitespace())
+            .is_some_and(|p| p.is_alphanumeric() || *p == '_')
+            && clean
+                .last()
+                .is_some_and(|p| p.is_alphanumeric() || *p == '_');
+        if c == '/' && next == Some('/') {
+            let start_line = line;
+            let mut comment = String::new();
+            while i < chars.len() && chars[i] != '\n' {
+                comment.push(chars[i]);
+                eat!(' ');
+            }
+            let is_doc = comment.starts_with("///") || comment.starts_with("//!");
+            record_suppressions(&comment, is_doc, start_line, &mut suppress);
+            continue;
+        }
+        if c == '/' && next == Some('*') {
+            let start_line = line;
+            let mut comment = String::new();
+            let mut depth = 0usize;
+            while i < chars.len() {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    eat!(' ');
+                    eat!(' ');
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    eat!(' ');
+                    eat!(' ');
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    comment.push(chars[i]);
+                    eat!(' ');
+                }
+            }
+            // After eating the opening `/*`, a doc block's content starts
+            // with the second `*` (`/** …`) or a `!` (`/*! …`).
+            let is_doc = comment.starts_with('*') || comment.starts_with('!');
+            record_suppressions(&comment, is_doc, start_line, &mut suppress);
+            continue;
+        }
+        // Raw strings: r"…", r#"…"#, b-variants. Only when `r`/`b` is not
+        // the tail of an identifier.
+        if (c == 'r' || c == 'b') && !prev_ident {
+            let mut j = i + 1;
+            let mut hashes = 0;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                let key = (line, col);
+                eat!('\u{1}'); // the r/b prefix becomes the string marker
+                while i <= j {
+                    eat!(' '); // hashes and the opening quote
+                }
+                let mut content = String::new();
+                while i < chars.len() {
+                    if chars[i] == '"' {
+                        let mut h = 0;
+                        while chars.get(i + 1 + h) == Some(&'#') {
+                            h += 1;
+                        }
+                        if h >= hashes {
+                            for _ in 0..=hashes {
+                                eat!(' ');
+                            }
+                            break;
+                        }
+                    }
+                    content.push(chars[i]);
+                    eat!(' ');
+                }
+                literals.insert(key, content);
+                continue;
+            }
+        }
+        if c == '"' {
+            let key = (line, col);
+            eat!('\u{1}'); // opening quote becomes the string marker
+            let mut content = String::new();
+            while i < chars.len() {
+                if chars[i] == '\\' {
+                    content.push(chars[i]);
+                    eat!(' ');
+                    if i < chars.len() {
+                        content.push(chars[i]);
+                        eat!(' ');
+                    }
+                    continue;
+                }
+                if chars[i] == '"' {
+                    eat!(' ');
+                    break;
+                }
+                content.push(chars[i]);
+                eat!(' ');
+            }
+            literals.insert(key, content);
+            continue;
+        }
+        // Char literal vs lifetime: 'x' / '\n' are literals, 'a in a
+        // generic position is a lifetime (no closing quote nearby).
+        if c == '\'' {
+            if next == Some('\\') {
+                // Escaped char literal: consume through the closing quote.
+                eat!(' ');
+                while i < chars.len() && chars[i] != '\'' {
+                    eat!(' ');
+                }
+                if i < chars.len() {
+                    eat!(' ');
+                }
+                continue;
+            }
+            if chars.get(i + 2) == Some(&'\'') {
+                eat!(' ');
+                eat!(' ');
+                eat!(' ');
+                continue;
+            }
+            // Lifetime: keep the tick so the type-walk can skip it.
+        }
+        eat!(c);
+    }
+
+    Stripped {
+        tokens: lex(&clean.iter().collect::<String>()),
+        literals,
+        suppress,
+    }
+}
+
+/// Lexes stripped text into identifier / operator / punctuation tokens.
+fn lex(clean: &str) -> Vec<Tok> {
+    let chars: Vec<char> = clean.chars().collect();
+    let mut toks = Vec::new();
+    let (mut line, mut col) = (1usize, 1usize);
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            col = 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            col += 1;
+            i += 1;
+            continue;
+        }
+        let (start_line, start_col) = (line, col);
+        if c == '\u{1}' {
+            // String literal placeholder: one marker char at the position
+            // of the literal's first character.
+            toks.push(Tok {
+                text: "\"\"".to_string(),
+                line: start_line,
+                col: start_col,
+            });
+            i += 1;
+            col += 1;
+            continue;
+        }
+        if c.is_alphanumeric() || c == '_' {
+            let mut text = String::new();
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                text.push(chars[i]);
+                i += 1;
+                col += 1;
+            }
+            toks.push(Tok {
+                text,
+                line: start_line,
+                col: start_col,
+            });
+            continue;
+        }
+        // Multi-char operators the lint rules care about; everything else
+        // lexes as a single char.
+        let three: String = chars[i..chars.len().min(i + 3)].iter().collect();
+        let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+        let text = if three == "..=" {
+            three
+        } else if [
+            "::", "->", "=>", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "^=", "&=",
+            "|=", "&&", "||", "..", "<<", ">>",
+        ]
+        .contains(&two.as_str())
+        {
+            two
+        } else {
+            c.to_string()
+        };
+        let len = text.chars().count();
+        toks.push(Tok {
+            text,
+            line: start_line,
+            col: start_col,
+        });
+        i += len;
+        col += len;
+    }
+    toks
+}
+
+/// Removes `#[cfg(test)] mod … { … }` bodies from the token stream.
+pub fn drop_test_modules(toks: Vec<Tok>) -> Vec<Tok> {
+    drop_test_modules_spanned(toks).0
+}
+
+/// [`drop_test_modules`] plus the (inclusive) line spans that were
+/// dropped, so callers can discard suppression annotations that live
+/// inside test modules (see [`crate::suppress::Suppressions`]).
+pub fn drop_test_modules_spanned(toks: Vec<Tok>) -> (Vec<Tok>, Vec<(usize, usize)>) {
+    let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+    let mut dead = vec![false; toks.len()];
+    let mut i = 0;
+    while i + 6 < toks.len() {
+        let is_cfg_test = texts[i] == "#"
+            && texts[i + 1] == "["
+            && texts[i + 2] == "cfg"
+            && texts[i + 3] == "("
+            && texts[i + 4] == "test"
+            && texts[i + 5] == ")"
+            && texts[i + 6] == "]";
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Find the opening brace of the annotated item (mod or fn).
+        let mut j = i + 7;
+        let mut depth = 0i32;
+        while j < toks.len() {
+            match texts[j] {
+                "{" => {
+                    depth += 1;
+                }
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                ";" if depth == 0 => break, // `#[cfg(test)] mod x;` — nothing inline
+                _ => {}
+            }
+            j += 1;
+        }
+        for flag in dead.iter_mut().take((j + 1).min(toks.len())).skip(i) {
+            *flag = true;
+        }
+        i = j + 1;
+    }
+    let mut spans = Vec::new();
+    let mut k = 0;
+    while k < toks.len() {
+        if dead[k] {
+            let start = toks[k].line;
+            while k + 1 < toks.len() && dead[k + 1] {
+                k += 1;
+            }
+            spans.push((start, toks[k].line));
+        }
+        k += 1;
+    }
+    let live = toks
+        .into_iter()
+        .zip(dead)
+        .filter_map(|(t, d)| (!d).then_some(t))
+        .collect();
+    (live, spans)
+}
+
+/// Collects every `.rs` file under `dir`, sorted for deterministic output.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Reads every `crates/*/src/**/*.rs` (plus the workspace root `src/`)
+/// under `root` as `(workspace-relative path, contents)` pairs in sorted
+/// order — the file set both source auditors sweep.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let src = dir.join("src");
+            if src.is_dir() {
+                rust_files(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        rust_files(&root_src, &mut files)?;
+    }
+    files
+        .iter()
+        .map(|path| {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            std::fs::read_to_string(path).map(|text| (rel, text))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_are_layout_preserved() {
+        let src = "let x = 1; /* gap */ let y = 2;\nlet z = 3;";
+        let s = strip_and_lex(src);
+        let y = s.tokens.iter().find(|t| t.text == "y").unwrap();
+        assert_eq!((y.line, y.col), (1, 26));
+        let z = s.tokens.iter().find(|t| t.text == "z").unwrap();
+        assert_eq!((z.line, z.col), (2, 5));
+    }
+
+    #[test]
+    fn both_families_collected_from_one_file() {
+        let src = "
+            let a = 1; // det-ok: audited A
+            let b = 2; // par-ok: audited B
+        ";
+        let s = strip_and_lex(src);
+        assert_eq!(s.suppress["det-ok"][&2], "audited A");
+        assert_eq!(s.suppress["par-ok"][&3], "audited B");
+    }
+
+    #[test]
+    fn doc_comments_never_register_suppressions() {
+        let src = "
+            /// Suppress with `// det-ok: <reason>` annotations.
+            //! The `par-ok` marker works the same way.
+            /** block doc mentioning det-ok */
+            /*! inner block doc mentioning par-ok */
+            fn f() {}
+        ";
+        let s = strip_and_lex(src);
+        assert!(s.suppress.get("det-ok").is_none_or(|m| m.is_empty()));
+        assert!(s.suppress.get("par-ok").is_none_or(|m| m.is_empty()));
+    }
+
+    #[test]
+    fn block_comment_suppressions_still_count() {
+        let src = "let a = 1; /* par-ok: workers own disjoint rows */";
+        let s = strip_and_lex(src);
+        assert_eq!(s.suppress["par-ok"][&1], "workers own disjoint rows");
+    }
+}

@@ -22,10 +22,18 @@
 //! * [`order`] — the tape-level reduction-order analysis (`D010`/`D011`):
 //!   canonical-order recomputation witnesses for every recomputable
 //!   reduction plus a double-backward bit-equality witness.
+//! * [`par`] — the parallel-safety auditor (`P000`–`P010`): concurrency
+//!   lints over the same strip+lex infrastructure (shared statics, spawn
+//!   captures, Relaxed orderings, lock-order cycles, hot-path blocking)
+//!   plus the static schedule certifier that symbolically proves each
+//!   declared [`tensor::sched::ReductionSchedule`] bit-equivalent to the
+//!   canonical sequential reduction order.
+//! * [`registry`] — the canonical table of every emittable lint code,
+//!   cross-checked against the counters and documentation.
 //!
 //! The static passes run once on the step-0 graph of every training loop
 //! (`nn::train`, pretraining, fine-tuning) and on demand via the
-//! `graph_doctor` and `det_audit` binaries in `bench`.
+//! `graph_doctor`, `det_audit`, and `par_audit` binaries in `bench`.
 
 use std::fmt;
 
@@ -33,11 +41,16 @@ use tensor::{Graph, Var};
 
 pub mod det;
 pub mod flow;
+pub mod lexer;
 pub mod order;
+pub mod par;
+pub mod registry;
 pub mod sanitize;
 pub mod shape;
+pub mod suppress;
 
 pub use det::{DetCounts, SourceFinding};
+pub use par::{ParCounts, ScheduleRejection};
 pub use sanitize::SanitizerMode;
 
 /// How bad a diagnostic is.

@@ -117,6 +117,18 @@ pub fn spec(kind: &OpKind) -> OpOrderSpec {
     }
 }
 
+/// The canonical forward accumulation order of a matmul orientation, as
+/// declared in [`spec`] — the string the parallel-schedule certifier
+/// (`crate::par`) cites in its certificates. Panics only if [`spec`] ever
+/// stops declaring matmul forwards as reductions, which the exhaustive
+/// match prevents.
+pub fn matmul_canonical_order(orient: MmOrient) -> &'static str {
+    match spec(&OpKind::Matmul { orient }).forward {
+        Accumulation::Reduce(order) => order,
+        other => panic!("matmul forward must be a declared reduction, got {other:?}"),
+    }
+}
+
 /// Mirror of `kernels::softmax_rows`'s canonical order (the blocked and
 /// batched paths are proven bitwise-equal to this in `tensor`'s tests).
 fn softmax_rows_canonical(data: &mut [f32], cols: usize) {

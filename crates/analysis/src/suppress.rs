@@ -1,0 +1,127 @@
+//! Per-family suppression bookkeeping shared by the determinism (`det-ok`)
+//! and parallel-safety (`par-ok`) auditors.
+//!
+//! Both families have the same contract: an annotation on the finding's
+//! line (or the line above) silences the finding, a reason after the
+//! colon is mandatory (reasonless annotations are themselves findings:
+//! D000 / P000), and an annotation that no longer matches any finding is
+//! *stale* and flagged (D009 / P009) so allowlists cannot rot silently.
+
+use crate::lexer::Stripped;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The suppression annotations of one family within one file, with usage
+/// tracking for stale-allowlist detection.
+pub struct Suppressions {
+    family: &'static str,
+    by_line: BTreeMap<usize, String>,
+    used: BTreeSet<usize>,
+}
+
+impl Suppressions {
+    /// Extracts one family's annotations from a stripped file.
+    pub fn from_stripped(stripped: &Stripped, family: &'static str) -> Suppressions {
+        Suppressions {
+            family,
+            by_line: stripped.suppress.get(family).cloned().unwrap_or_default(),
+            used: BTreeSet::new(),
+        }
+    }
+
+    pub fn family(&self) -> &'static str {
+        self.family
+    }
+
+    /// Looks up a *reasoned* annotation covering `line` (same line or the
+    /// line above) and marks it used. Returns the annotation's reason.
+    /// Reasonless annotations never suppress — they are findings
+    /// themselves (see [`Suppressions::missing_reason_lines`]).
+    pub fn consume(&mut self, line: usize) -> Option<String> {
+        let at = [line, line.wrapping_sub(1)]
+            .into_iter()
+            .find(|l| self.by_line.get(l).is_some_and(|r| !r.is_empty()))?;
+        self.used.insert(at);
+        Some(self.by_line[&at].clone())
+    }
+
+    /// Drops annotations inside the given line spans (inclusive). Used to
+    /// ignore annotations in `#[cfg(test)]` modules, which the scanners
+    /// never lint — an annotation there can neither suppress nor go stale.
+    pub fn discard_lines_in(&mut self, spans: &[(usize, usize)]) {
+        self.by_line
+            .retain(|line, _| !spans.iter().any(|&(a, b)| (a..=b).contains(line)));
+    }
+
+    /// Annotation lines whose reason is empty (`// det-ok` with no text
+    /// after it). One finding per line: D000 / P000 depending on family.
+    pub fn missing_reason_lines(&self) -> Vec<usize> {
+        self.by_line
+            .iter()
+            .filter(|(_, reason)| reason.is_empty())
+            .map(|(line, _)| *line)
+            .collect()
+    }
+
+    /// Reasoned annotation lines that no finding consumed: the stale
+    /// allowlist (D009 / P009 depending on family).
+    pub fn stale_lines(&self) -> Vec<usize> {
+        self.by_line
+            .iter()
+            .filter(|(line, reason)| !reason.is_empty() && !self.used.contains(line))
+            .map(|(line, _)| *line)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::strip_and_lex;
+
+    fn det(src: &str) -> Suppressions {
+        Suppressions::from_stripped(&strip_and_lex(src), "det-ok")
+    }
+
+    #[test]
+    fn consume_matches_same_line_and_line_above() {
+        let mut s = det("x(); // det-ok: same line\n// det-ok: line above\ny();\n");
+        assert_eq!(s.consume(1).as_deref(), Some("same line"));
+        assert_eq!(s.consume(3).as_deref(), Some("line above"));
+        assert!(s.stale_lines().is_empty());
+    }
+
+    #[test]
+    fn discarded_lines_cannot_suppress_or_go_stale() {
+        let mut s = det("a(); // det-ok: inside tests\nb();\n");
+        s.discard_lines_in(&[(1, 1)]);
+        assert_eq!(s.consume(1), None);
+        assert!(s.stale_lines().is_empty());
+    }
+
+    #[test]
+    fn reasonless_annotation_never_suppresses() {
+        let mut s = det("x(); // det-ok\n");
+        assert_eq!(s.consume(1), None);
+        assert_eq!(s.missing_reason_lines(), vec![1]);
+        // Reasonless annotations are not *stale* — they are already P000/D000.
+        assert!(s.stale_lines().is_empty());
+    }
+
+    #[test]
+    fn unconsumed_reasoned_annotation_is_stale() {
+        let s = det("let a = 1; // det-ok: nothing here triggers anything\n");
+        assert_eq!(s.stale_lines(), vec![1]);
+    }
+
+    #[test]
+    fn families_are_independent() {
+        let src = "x(); // det-ok: for det\n\ny(); // par-ok: for par\n";
+        let stripped = strip_and_lex(src);
+        let mut d = Suppressions::from_stripped(&stripped, "det-ok");
+        let mut p = Suppressions::from_stripped(&stripped, "par-ok");
+        assert_eq!(d.consume(1).as_deref(), Some("for det"));
+        assert_eq!(d.consume(3), None);
+        assert_eq!(p.consume(3).as_deref(), Some("for par"));
+        assert_eq!(p.consume(1), None);
+    }
+}

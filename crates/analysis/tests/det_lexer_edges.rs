@@ -1,0 +1,173 @@
+//! Lexer edge cases for the source auditors: constructs Rust's grammar
+//! allows that a naive strip+lex would mis-tokenize, each paired with
+//! content that *would* be a D- or P-finding if it leaked out of the
+//! literal or comment it lives in. Every scan here must be clean — a
+//! false positive on any of these means the shared lexer regressed.
+
+use analysis::det::{scan_source, GlobalTaint, ScanOptions};
+use analysis::par::{scan_par_source, ParContext, ParScanOptions};
+use analysis::SourceFinding;
+
+fn det_findings(src: &str) -> Vec<SourceFinding> {
+    scan_source(
+        "edge.rs",
+        src,
+        &GlobalTaint::default(),
+        ScanOptions::default(),
+    )
+    .into_iter()
+    .filter(|f| f.suppressed.is_none())
+    .collect()
+}
+
+fn par_findings(src: &str) -> Vec<SourceFinding> {
+    scan_par_source(
+        "edge.rs",
+        src,
+        &ParContext::default(),
+        ParScanOptions::default(),
+    )
+    .into_iter()
+    .filter(|f| f.suppressed.is_none())
+    .collect()
+}
+
+fn assert_clean(src: &str) {
+    let d = det_findings(src);
+    assert!(d.is_empty(), "false-positive det findings: {d:?}");
+    let p = par_findings(src);
+    assert!(p.is_empty(), "false-positive par findings: {p:?}");
+}
+
+#[test]
+fn raw_strings_hide_sink_and_static_tokens() {
+    assert_clean(
+        r##"
+        fn f() -> &'static str {
+            let doc = r"Instant::now() and static mut COUNTER";
+            let hashed = r#"for (k, v) in map.iter() { write!(out, "{k}") }"#;
+            doc
+        }
+        "##,
+    );
+    // Deeper hash fences: a "# inside an r##"…"## literal stays literal.
+    let deep = "fn f() { let s = r##\"quotes \"inside\"# one literal\"##; }\n";
+    assert_clean(deep);
+}
+
+#[test]
+fn raw_string_hash_depths_terminate_correctly() {
+    // r#"…"# must not close on a bare quote, and must close on "#.
+    let src = "fn f() { let a = r#\"one \" two\"#; let b = r\"plain\"; }\n";
+    assert_clean(src);
+    // Content after the closing delimiter is code again: a real finding
+    // there must still fire.
+    let live = "fn f() { let a = r#\"text\"#; let t = std::time::Instant::now(); }\n";
+    let d = det_findings(live);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].code, "D003");
+}
+
+#[test]
+fn nested_block_comments_strip_fully() {
+    assert_clean(
+        "
+        /* outer /* inner Instant::now() */ still a comment:
+           static mut X: u32 = 0; */
+        fn f() {}
+        ",
+    );
+    // Unbalanced-looking but legal: depth returns to zero exactly once.
+    let live = "/* /* */ */ fn f() { let e = std::env::var(\"HOME\"); }\n";
+    let d = det_findings(live);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].code, "D004");
+}
+
+#[test]
+fn byte_strings_and_byte_chars_are_literals() {
+    assert_clean(
+        r#"
+        fn f() -> usize {
+            let raw = b"static mut not code";
+            let braw = br"Instant::now()";
+            let ch = b'x';
+            raw.len() + braw.len() + ch as usize
+        }
+        "#,
+    );
+}
+
+#[test]
+fn char_literals_and_lifetimes_disambiguate() {
+    // '"' must not open a string; 'a as a lifetime must not open a char.
+    assert_clean(
+        "
+        fn f<'a>(x: &'a str) -> (char, char, &'a str) {
+            let quote = '\"';
+            let escaped = '\\'';
+            (quote, escaped, x)
+        }
+        ",
+    );
+}
+
+#[test]
+fn cfg_test_submodules_are_dropped_at_any_depth() {
+    // Findings inside #[cfg(test)] modules — including nested ones — are
+    // out of scope: test code may use clocks and env freely.
+    assert_clean(
+        "
+        fn prod() {}
+
+        #[cfg(test)]
+        mod tests {
+            fn helper() {
+                let t = std::time::Instant::now();
+            }
+            mod nested {
+                fn deeper() {
+                    let e = std::env::var(\"HOME\");
+                    static mut SCRATCH: u32 = 0;
+                }
+            }
+        }
+        ",
+    );
+    // …but code after the test module is live again.
+    let live = "
+        #[cfg(test)]
+        mod tests { fn t() { let i = std::time::Instant::now(); } }
+        fn prod() { let i = std::time::Instant::now(); }
+    ";
+    let d = det_findings(live);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].code, "D003");
+    assert_eq!(d[0].line, 4);
+}
+
+#[test]
+fn doc_comments_mentioning_annotations_do_not_register() {
+    // A doc comment explaining the `// det-ok:` / `// par-ok:` convention
+    // must neither suppress anything nor count as a stale annotation.
+    assert_clean(
+        "
+        /// Annotate audited sites with `// det-ok: <reason>` or
+        /// `// par-ok: <reason>`; reasonless annotations are findings.
+        /** Block docs may mention // det-ok: too. */
+        fn documented() {}
+        ",
+    );
+}
+
+#[test]
+fn string_literals_with_comment_markers_do_not_open_comments() {
+    let live = "fn f() { let s = \"not a comment: /* nor // here\"; let t = std::time::Instant::now(); }\n";
+    let d = det_findings(live);
+    assert_eq!(
+        d.len(),
+        1,
+        "the code after the literal must still be scanned: {d:?}"
+    );
+    assert_eq!(d[0].code, "D003");
+}

@@ -105,7 +105,7 @@ fn bench_preset(preset: &str, cfg: T5Config, steps: usize) -> serde_json::Value 
 
 fn main() {
     let mut steps = 4usize;
-    let mut out_path = "BENCH_ckpt.json".to_string();
+    let mut out_path = bench::default_bench_out("ckpt");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = |name: &str| {
@@ -114,7 +114,7 @@ fn main() {
         };
         match a.as_str() {
             "--steps" => steps = val("--steps").parse().expect("--steps"),
-            "--out" => out_path = val("--out"),
+            "--out" => out_path = val("--out").into(),
             other => panic!("unknown argument {other}"),
         }
     }
@@ -127,5 +127,5 @@ fn main() {
     let rendered = serde_json::to_string_pretty(&json).expect("serialize");
     println!("{rendered}");
     std::fs::write(&out_path, rendered + "\n").expect("write BENCH_ckpt.json");
-    eprintln!("[ckpt_bench] -> {out_path}");
+    eprintln!("[ckpt_bench] -> {}", out_path.display());
 }

@@ -7,9 +7,17 @@
 //! ratio is a pure engine comparison. The batched outputs are asserted
 //! token-identical to the sequential ones before any number is reported.
 //!
+//! The batched run is then swept across `DATAVIST5_THREADS` ∈ {1, 2, 4}:
+//! the fork-join kernels run under certified M-split schedules, so every
+//! thread count must produce *bitwise-identical* tokens — the sweep
+//! asserts that and records per-count throughput. On a single-core host
+//! the speedup is honestly ~1.0×; `hardware_threads` in the report says
+//! how many cores the numbers were measured on.
+//!
 //! Writes `BENCH_decode.json` at the repo root:
-//! `{preset, requests, batch, max_out, seq_tokens_per_sec,
-//!   batched_tokens_per_sec, speedup, identical}`.
+//! `{preset, requests, batch, max_out, hardware_threads,
+//!   seq_tokens_per_sec, batched_tokens_per_sec, speedup, identical,
+//!   thread_sweep: [{threads, tokens_per_sec, identical_to_single}]}`.
 //!
 //! Usage: `decode_bench [--preset base|large] [--requests N] [--batch N]
 //! [--max-out N] [--out PATH]`
@@ -28,7 +36,7 @@ fn main() {
     let mut requests = 8usize;
     let mut batch = 8usize;
     let mut max_out = 32usize;
-    let mut out_path = "BENCH_decode.json".to_string();
+    let mut out_path = bench::default_bench_out("decode");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = |name: &str| {
@@ -40,7 +48,7 @@ fn main() {
             "--requests" => requests = val("--requests").parse().expect("--requests"),
             "--batch" => batch = val("--batch").parse().expect("--batch"),
             "--max-out" => max_out = val("--max-out").parse().expect("--max-out"),
-            "--out" => out_path = val("--out"),
+            "--out" => out_path = val("--out").into(),
             other => panic!("unknown argument {other}"),
         }
     }
@@ -66,8 +74,15 @@ fn main() {
         })
         .collect();
 
-    eprintln!("[decode_bench] preset={preset} requests={requests} batch={batch} max_out={max_out}");
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "[decode_bench] preset={preset} requests={requests} batch={batch} max_out={max_out} \
+         hardware_threads={hardware_threads}"
+    );
 
+    tensor::par::set_threads(1);
     let t0 = Instant::now();
     let seq: Vec<Vec<u32>> = srcs
         .iter()
@@ -79,34 +94,76 @@ fn main() {
     let seq_secs = t0.elapsed().as_secs_f64();
     let seq_tokens: usize = seq.iter().map(Vec::len).sum();
 
-    let t1 = Instant::now();
-    let batched = batched_greedy_decode(&model, &ps, &srcs, eos, max_out, batch);
-    let batched_secs = t1.elapsed().as_secs_f64();
-    let batched_tokens: usize = batched.iter().map(Vec::len).sum();
+    // Batched engine across the thread sweep. The single-thread run is the
+    // reference; every other count must match it token for token.
+    let mut sweep: Vec<serde_json::Value> = Vec::new();
+    let mut single: Option<Vec<Vec<u32>>> = None;
+    let batched_tps_at = |threads: usize, single: &mut Option<Vec<Vec<u32>>>| {
+        tensor::par::set_threads(threads);
+        let t = Instant::now();
+        let out = batched_greedy_decode(&model, &ps, &srcs, eos, max_out, batch);
+        let secs = t.elapsed().as_secs_f64();
+        let tokens: usize = out.iter().map(Vec::len).sum();
+        let identical = match single {
+            None => {
+                *single = Some(out);
+                true
+            }
+            Some(reference) => *reference == out,
+        };
+        assert!(
+            identical,
+            "batched decode at {threads} thread(s) diverged from the 1-thread run — \
+             schedule certification is supposed to make this impossible"
+        );
+        tokens as f64 / secs
+    };
+    let mut tps_by_threads = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let tps = batched_tps_at(threads, &mut single);
+        tps_by_threads.push((threads, tps));
+        sweep.push(serde_json::json!({
+            "threads": threads,
+            "tokens_per_sec": tps,
+            "identical_to_single": true,
+        }));
+        eprintln!("[decode_bench] batched @ {threads} thread(s): {tps:.0} tok/s (bit-identical)");
+    }
+    tensor::par::set_threads(1);
 
+    let batched = single.expect("sweep ran");
     let identical = seq == batched;
     assert!(identical, "batched outputs diverged from sequential");
     assert_eq!(seq_tokens, requests * max_out, "unexpected early EOS");
 
     let seq_tps = seq_tokens as f64 / seq_secs;
-    let batched_tps = batched_tokens as f64 / batched_secs;
+    let batched_tps = tps_by_threads[0].1;
     let speedup = batched_tps / seq_tps;
+    let tps_at_4 = tps_by_threads
+        .iter()
+        .find(|(t, _)| *t == 4)
+        .map(|(_, tps)| *tps)
+        .unwrap_or(batched_tps);
 
     let json = serde_json::json!({
         "preset": preset,
         "requests": requests,
         "batch": batch,
         "max_out": max_out,
+        "hardware_threads": hardware_threads,
         "seq_tokens_per_sec": seq_tps,
         "batched_tokens_per_sec": batched_tps,
+        "batched_tokens_per_sec_4_threads": tps_at_4,
         "speedup": speedup,
         "identical": identical,
+        "thread_sweep": sweep,
     });
     let rendered = serde_json::to_string_pretty(&json).expect("serialize");
     println!("{rendered}");
     std::fs::write(&out_path, rendered + "\n").expect("write BENCH_decode.json");
     eprintln!(
         "[decode_bench] sequential {seq_tps:.0} tok/s | batched {batched_tps:.0} tok/s | \
-         speedup {speedup:.2}x -> {out_path}"
+         speedup {speedup:.2}x -> {}",
+        out_path.display()
     );
 }

@@ -29,17 +29,7 @@ use nn::t5::T5Model;
 use tensor::{Graph, XorShift};
 
 fn main() {
-    let mut out_path = "BENCH_det_audit.json".to_string();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--out" => out_path = args.next().expect("--out needs a path"),
-            other => {
-                eprintln!("unknown arg {other}; usage: det_audit [--out PATH]");
-                std::process::exit(2);
-            }
-        }
-    }
+    let out_path = bench::parse_out_arg("det_audit");
 
     let root = workspace_root();
     let audit = audit_sources(&root).expect("walk workspace sources");
@@ -144,7 +134,7 @@ fn main() {
     });
     let rendered = serde_json::to_string_pretty(&report).expect("render report");
     std::fs::write(&out_path, rendered + "\n").expect("write BENCH_det_audit.json");
-    println!("wrote {out_path}");
+    println!("wrote {}", out_path.display());
 
     if counts.unsuppressed() > 0 {
         eprintln!(

@@ -74,7 +74,11 @@ fn main() {
         run_overhead(
             tol,
             repeats,
-            out_path.unwrap_or("BENCH_obs_overhead.json".to_string()),
+            out_path.unwrap_or_else(|| {
+                bench::default_bench_out("obs_overhead")
+                    .to_string_lossy()
+                    .into_owned()
+            }),
         );
     } else {
         run_report(
@@ -82,7 +86,11 @@ fn main() {
             steps,
             pretrain_steps,
             min_coverage,
-            out_path.unwrap_or("BENCH_obs.json".to_string()),
+            out_path.unwrap_or_else(|| {
+                bench::default_bench_out("obs")
+                    .to_string_lossy()
+                    .into_owned()
+            }),
         );
     }
 }

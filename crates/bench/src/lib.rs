@@ -32,6 +32,38 @@ pub fn workspace_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
+/// The default `--out` path for a bench binary's JSON report: the
+/// workspace root, named `BENCH_<name>.json`. Every bench bin that emits
+/// machine-readable output takes `--out PATH` and defaults to this, so
+/// CI artifacts land in one predictable place.
+pub fn default_bench_out(name: &str) -> PathBuf {
+    workspace_root().join(format!("BENCH_{name}.json"))
+}
+
+/// Parses the conventional `--out PATH` argument shared by the bench
+/// bins, falling back to [`default_bench_out`]. Exits with usage on
+/// anything unrecognized.
+pub fn parse_out_arg(bin: &str) -> PathBuf {
+    let mut out = default_bench_out(bin);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(path) => out = PathBuf::from(path),
+                None => {
+                    eprintln!("--out needs a path; usage: {bin} [--out PATH]");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown arg {other}; usage: {bin} [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
 /// Output directory for reports.
 pub fn out_dir() -> PathBuf {
     let dir = PathBuf::from("bench").join("out");

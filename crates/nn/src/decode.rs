@@ -271,6 +271,9 @@ fn batched_decode_loop(
     }
     let _span = obs::span!("decode/batched");
     let obs_on = obs::enabled();
+    if obs_on {
+        obs::gauge_set("decode.threads", tensor::par::threads() as f64);
+    }
     let mut state = BatchedDecodeState::new(model, ps, capacity);
     let mut slot_req: Vec<Option<usize>> = vec![None; capacity];
     let mut slot_prev: Vec<u32> = vec![DECODER_START; capacity];

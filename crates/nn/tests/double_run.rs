@@ -138,3 +138,47 @@ fn untrained_decode_is_bit_identical() {
     };
     assert_eq!(run(), run());
 }
+
+/// The multi-core witness behind the parallel-safety audit: the whole
+/// pipeline — init, training (weights + Adam moments + every loss), and
+/// batched decode — must produce *bitwise*-identical results at 1, 2,
+/// and 4 worker threads. The fork-join kernels split only the output
+/// axis under certified schedules, so every reduction chain keeps its
+/// sequential order regardless of worker count; this test is the
+/// dynamic proof of that static argument.
+///
+/// `tensor::par::set_threads` is process-global, which is safe to flip
+/// here precisely *because* the kernels are thread-count-invariant:
+/// other tests running concurrently see different worker counts but
+/// identical bits.
+#[test]
+fn thread_sweep_is_bit_identical() {
+    let run_at = |threads: usize| {
+        tensor::par::set_threads(threads);
+        let out = full_run(T5Config::base(VOCAB));
+        tensor::par::set_threads(1);
+        out
+    };
+    let (fp_1, rep_1, dec_1) = run_at(1);
+    for threads in [2usize, 4] {
+        let (fp_t, rep_t, dec_t) = run_at(threads);
+        assert_eq!(
+            fp_1, fp_t,
+            "weights or Adam moments differ between 1 and {threads} thread(s)"
+        );
+        assert_eq!(
+            loss_bits(&rep_1.step_losses),
+            loss_bits(&rep_t.step_losses),
+            "per-step losses differ between 1 and {threads} thread(s)"
+        );
+        assert_eq!(
+            loss_bits(&rep_1.valid_losses),
+            loss_bits(&rep_t.valid_losses),
+            "validation losses differ between 1 and {threads} thread(s)"
+        );
+        assert_eq!(
+            dec_1, dec_t,
+            "decoded tokens differ between 1 and {threads} thread(s)"
+        );
+    }
+}

@@ -63,8 +63,10 @@ pub fn enabled() -> bool {
     ENV_INIT.call_once(|| {
         let on =
             matches!(std::env::var("DATAVIST5_OBS").as_deref(), Ok(v) if !v.is_empty() && v != "0");
+        // par-ok: on/off flag for telemetry only; a stale read skips or adds a sample, never alters computation
         ENABLED.store(on, Ordering::Relaxed);
     });
+    // par-ok: telemetry flag read; observability must stay zero-overhead, and stale reads only affect sampling
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -72,6 +74,7 @@ pub fn enabled() -> bool {
 /// environment (used by `obs_report` and the test suite).
 pub fn set_enabled(on: bool) {
     ENV_INIT.call_once(|| {});
+    // par-ok: telemetry flag toggle from tests and obs_report; never guards data used by kernels
     ENABLED.store(on, Ordering::Relaxed);
 }
 

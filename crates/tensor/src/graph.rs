@@ -635,6 +635,9 @@ impl Graph {
         );
         self.grads = (0..self.nodes.len()).map(|_| None).collect();
         self.grads[loss.0] = Some(Tensor::scalar(1.0));
+        // Attribute parallel-kernel worker samples spawned below to the
+        // backward phase (restored to Forward when the guard drops).
+        let _phase = crate::par::phase_scope(obs::Phase::Backward);
         if self.prof {
             self.prof_mark = obs::clock::now_ns();
         }

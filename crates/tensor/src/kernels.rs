@@ -13,6 +13,17 @@
 //! arrive in ascending-`k` order, so results are bit-identical to the
 //! unblocked loops (a property the batched-decode differential suite
 //! relies on, locked by `blocked_kernels_match_unblocked_bitwise`).
+//!
+//! On top of the serial bodies sits a fork-join dispatch layer: when
+//! `DATAVIST5_THREADS > 1` and the launch is big enough
+//! (`par::plan_workers`), the output rows are split into the contiguous
+//! ascending chunks of `par::row_chunks` and each worker runs the serial
+//! body on its own disjoint `&mut` row slice. Row splits keep every
+//! ascending-`k` reduction chain inside one worker, so multi-core results
+//! are bit-identical to single-core at any thread count — the property
+//! the `analysis::par` schedule certifier proves statically for the
+//! schedules `sched::declared_schedules` exposes, and
+//! `parallel_dispatch_matches_serial_bitwise` pins dynamically.
 
 /// Returns the index of the first non-finite (NaN/Inf) element, if any.
 ///
@@ -56,7 +67,20 @@ pub fn mm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, 
         "mm_nn: C has {} elements, want m*n = {m}*{n}",
         c.len()
     );
-    if !accumulate {
+    let workers = crate::par::plan_workers(m, m * k * n);
+    if workers <= 1 {
+        mm_nn_serial(a, b, c, m, k, n, accumulate);
+        return;
+    }
+    let chunks = crate::par::row_chunks(m, workers);
+    crate::par::run_row_chunks("mm_nn", c, n, &chunks, |_, (lo, hi), chunk| {
+        mm_nn_serial(&a[lo * k..hi * k], b, chunk, hi - lo, k, n, accumulate);
+    });
+}
+
+/// Serial body of [`mm_nn`]; the parallel dispatch runs it per row chunk.
+fn mm_nn_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, acc: bool) {
+    if !acc {
         c.fill(0.0);
     }
     // k-blocked: the `[p0..p1, n]` panel of B is reused by every row of A
@@ -107,6 +131,27 @@ pub fn mm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, 
         "mm_nt: C has {} elements, want m*n = {m}*{n}",
         c.len()
     );
+    let workers = crate::par::plan_workers(m, m * k * n);
+    if workers <= 1 {
+        mm_nt_serial(a, b, c, m, k, n, accumulate);
+        return;
+    }
+    let chunks = crate::par::row_chunks(m, workers);
+    crate::par::run_row_chunks("mm_nt", c, n, &chunks, |_, (lo, hi), chunk| {
+        mm_nt_serial(&a[lo * k..hi * k], b, chunk, hi - lo, k, n, accumulate);
+    });
+}
+
+/// Serial body of [`mm_nt`]; the parallel dispatch runs it per row chunk.
+fn mm_nt_serial(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
     // n-blocked: the `[j0..j1, k]` panel of B is reused by every row of A.
     // Each C[i,j] is still one full-`k` register dot product, so results
     // are bit-identical to the unblocked loop.
@@ -151,15 +196,44 @@ pub fn mm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, 
         "mm_tn: C has {} elements, want m*n = {m}*{n}",
         c.len()
     );
-    if !accumulate {
+    let workers = crate::par::plan_workers(m, m * k * n);
+    if workers <= 1 {
+        mm_tn_serial_range(a, b, c, 0, m, m, k, n, accumulate);
+        return;
+    }
+    let chunks = crate::par::row_chunks(m, workers);
+    crate::par::run_row_chunks("mm_tn", c, n, &chunks, |_, (lo, hi), chunk| {
+        mm_tn_serial_range(a, b, chunk, lo, hi, m, k, n, accumulate);
+    });
+}
+
+/// Serial body of [`mm_tn`] over output rows `[lo, hi)` of the full
+/// `[m, n]` product, with `c` holding exactly those rows. `A` is `[k, m]`,
+/// so a row range of `C` is a *column* range of `A` — the parallel
+/// dispatch cannot sub-slice `A` the way the other orientations do, hence
+/// the explicit range parameters.
+#[allow(clippy::too_many_arguments)]
+fn mm_tn_serial_range(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    lo: usize,
+    hi: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    acc: bool,
+) {
+    if !acc {
         c.fill(0.0);
     }
     // m-blocked: the `[i0..i1, n]` panel of C stays hot across the full
     // k-sweep. Per C[i,j] the p-contributions remain in ascending order,
-    // so the sum is bit-identical to the unblocked loop.
-    let mut i0 = 0;
-    while i0 < m {
-        let i1 = (i0 + MM_IC).min(m);
+    // so the sum is bit-identical to the unblocked loop. (Block starts
+    // shift with `lo`, but i-blocking only reorders independent rows.)
+    let mut i0 = lo;
+    while i0 < hi {
+        let i1 = (i0 + MM_IC).min(hi);
         for p in 0..k {
             let a_row = &a[p * m + i0..p * m + i1];
             let b_row = &b[p * n..(p + 1) * n];
@@ -167,7 +241,7 @@ pub fn mm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, 
                 if av == 0.0 {
                     continue;
                 }
-                let i = i0 + off;
+                let i = i0 + off - lo;
                 let c_row = &mut c[i * n..(i + 1) * n];
                 for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
                     *cv += av * bv;
@@ -442,6 +516,63 @@ mod tests {
                 assert!(c1.iter().zip(&c2).all(|(x, y)| x.to_bits() == y.to_bits()));
             }
         }
+    }
+
+    /// Fork-join dispatch must be invisible in the bits: every thread
+    /// count produces the same output as the serial path, for every
+    /// orientation, with and without accumulation. (Thread config is
+    /// process-global; this test flips it, which is safe precisely
+    /// because of the property it pins.)
+    #[test]
+    fn parallel_dispatch_matches_serial_bitwise() {
+        let (m, k, n) = (65, 130, 257);
+        let mut a = seq(m * k);
+        let mut b = seq(k * n);
+        for v in a.iter_mut().step_by(7) {
+            *v = 0.0;
+        }
+        for v in b.iter_mut().step_by(11) {
+            *v = 0.0;
+        }
+        let at = seq(k * m);
+        let bt = seq(n * k);
+        let init = seq(m * n);
+        for acc in [false, true] {
+            crate::par::set_threads(1);
+            let (mut want_nn, mut want_nt, mut want_tn) =
+                (init.clone(), init.clone(), init.clone());
+            mm_nn(&a, &b, &mut want_nn, m, k, n, acc);
+            mm_nt(&a, &bt, &mut want_nt, m, k, n, acc);
+            mm_tn(&at, &b, &mut want_tn, m, k, n, acc);
+            for t in [2, 3, 4, 8] {
+                crate::par::set_threads(t);
+                let mut c = init.clone();
+                mm_nn(&a, &b, &mut c, m, k, n, acc);
+                assert!(
+                    c.iter()
+                        .zip(&want_nn)
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "mm_nn diverges at {t} threads (acc={acc})"
+                );
+                let mut c = init.clone();
+                mm_nt(&a, &bt, &mut c, m, k, n, acc);
+                assert!(
+                    c.iter()
+                        .zip(&want_nt)
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "mm_nt diverges at {t} threads (acc={acc})"
+                );
+                let mut c = init.clone();
+                mm_tn(&at, &b, &mut c, m, k, n, acc);
+                assert!(
+                    c.iter()
+                        .zip(&want_tn)
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "mm_tn diverges at {t} threads (acc={acc})"
+                );
+            }
+        }
+        crate::par::set_threads(1);
     }
 
     #[test]

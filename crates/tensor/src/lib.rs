@@ -11,6 +11,10 @@
 //!
 //! * [`Tensor`] — shape + contiguous `Vec<f32>` storage.
 //! * [`kernels`] — the hot loops (`mm_nn`, `mm_nt`, `mm_tn`, row softmax).
+//! * [`par`] / [`sched`] — deterministic fork-join dispatch for the matmul
+//!   kernels (`DATAVIST5_THREADS` workers over contiguous output-row
+//!   chunks) and the declared [`sched::ReductionSchedule`]s the
+//!   `analysis::par` certifier proves bit-equivalent to sequential order.
 //! * [`Graph`] — the autodiff tape. Every forward op appends a node holding
 //!   its output value and enough context to compute input gradients; calling
 //!   [`Graph::backward`] walks the tape in reverse.
@@ -39,6 +43,8 @@
 
 mod graph;
 pub mod kernels;
+pub mod par;
+pub mod sched;
 mod tensor;
 
 pub use graph::{Graph, MmOrient, OpKind, OpView, Var, IGNORE_TARGET};
