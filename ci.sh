@@ -54,6 +54,15 @@ echo "== decode_bench smoke (2 requests, thread sweep) =="
 cargo run --release -p bench --bin decode_bench -- \
   --requests 2 --batch 2 --max-out 8 --out target/BENCH_decode_smoke.json
 
+echo "== serving engine: double-run determinism + invariants + golden =="
+cargo test -p serve -q
+cargo test -p bench --test golden_serve -q
+
+echo "== serve_bench smoke (2 clients, gated on identical + no silent drops) =="
+cargo run --release -p bench --bin serve_bench -- \
+  --requests 8 --clients 2 --slots 2 --max-out 8 \
+  --out target/BENCH_serve_smoke.json
+
 echo "== observability suite: spans, sinks, double-run with obs on =="
 cargo test -p obs -q
 cargo test -p nn --test obs_double_run -q

@@ -184,6 +184,27 @@ pub const CODES: &[CodeEntry] = &[
         family: "sched",
         summary: "reduction schedule not bit-equivalent to sequential order",
     },
+    // Serving engine rejection codes (serve::request::Rejection).
+    CodeEntry {
+        code: "R001",
+        family: "serve",
+        summary: "request refused at the front door: admission queue full",
+    },
+    CodeEntry {
+        code: "R002",
+        family: "serve",
+        summary: "deadline expired while the request was still queued",
+    },
+    CodeEntry {
+        code: "R003",
+        family: "serve",
+        summary: "deadline expired mid-decode; partial tokens returned",
+    },
+    CodeEntry {
+        code: "R004",
+        family: "serve",
+        summary: "engine shutdown retired a queued or in-flight request",
+    },
 ];
 
 /// Looks up a code's entry.
@@ -203,7 +224,7 @@ mod tests {
             assert!(seen.insert(e.code), "duplicate code {}", e.code);
             let (prefix, digits) = e.code.split_at(1);
             assert!(
-                matches!(prefix, "S" | "G" | "N" | "V" | "D" | "P"),
+                matches!(prefix, "S" | "G" | "N" | "V" | "D" | "P" | "R"),
                 "unknown family prefix in {}",
                 e.code
             );

@@ -62,17 +62,11 @@ fn main() {
     let mut rng = XorShift::new(0xdec0de);
     let model = T5Model::new(&mut ps, "bench", cfg, &mut rng);
 
-    // Ragged sources, lengths 8..=24; EOS outside the vocabulary so every
-    // request decodes exactly max_out tokens.
+    // Ragged sources, lengths 8..=24, from the shared workload-trace
+    // module (continuing the model-init RNG stream); EOS outside the
+    // vocabulary so every request decodes exactly max_out tokens.
     let eos = VOCAB as u32;
-    let srcs: Vec<Vec<u32>> = (0..requests)
-        .map(|_| {
-            let len = 8 + (rng.next_u64() % 17) as usize;
-            (0..len)
-                .map(|_| (rng.next_u64() % VOCAB as u64) as u32)
-                .collect()
-        })
-        .collect();
+    let srcs = bench::trace::ragged_sources_with(&mut rng, requests, VOCAB, 8, 24);
 
     let hardware_threads = std::thread::available_parallelism()
         .map(|n| n.get())

@@ -10,6 +10,8 @@ use std::path::PathBuf;
 
 use datavist5::config::Scale;
 
+pub mod trace;
+
 /// The scale experiment binaries run at: `DATAVIST5_SCALE` if set,
 /// otherwise `Full` (binaries exist to regenerate the paper's numbers;
 /// tests and Criterion default to smoke via [`Scale::from_env`]).

@@ -1,0 +1,249 @@
+//! Seeded workload traces shared by the bench binaries.
+//!
+//! `decode_bench` and `serve_bench` draw from the *same* generators, so
+//! a seed names one workload across both: the ragged-source generator
+//! here is the one `decode_bench` has always used (same RNG stream),
+//! and the bursty arrival-offset generator gives `serve_bench` its
+//! open-loop load shape. The serve trace builder combines the two into
+//! `(arrival_ns, ServeRequest)` pairs — the deterministic input the
+//! double-run contract and the golden admission log are defined over.
+
+use corpus::Corpus;
+use datavist5::data::{Task, TaskRequest};
+use serve::ServeRequest;
+use tensor::XorShift;
+
+/// Ragged random token sources drawn from an existing RNG stream
+/// (lengths in `min_len..=max_len`, ids in `0..vocab`). `decode_bench`
+/// passes its model-init RNG here to keep its historical stream.
+pub fn ragged_sources_with(
+    rng: &mut XorShift,
+    n: usize,
+    vocab: usize,
+    min_len: usize,
+    max_len: usize,
+) -> Vec<Vec<u32>> {
+    assert!(min_len >= 1 && max_len >= min_len, "bad length range");
+    let span = (max_len - min_len + 1) as u64;
+    (0..n)
+        .map(|_| {
+            let len = min_len + (rng.next_u64() % span) as usize;
+            (0..len)
+                .map(|_| (rng.next_u64() % vocab as u64) as u32)
+                .collect()
+        })
+        .collect()
+}
+
+/// [`ragged_sources_with`] from a fresh seed.
+pub fn ragged_sources(
+    seed: u64,
+    n: usize,
+    vocab: usize,
+    min_len: usize,
+    max_len: usize,
+) -> Vec<Vec<u32>> {
+    let mut rng = XorShift::new(seed);
+    ragged_sources_with(&mut rng, n, vocab, min_len, max_len)
+}
+
+/// Bursty arrival offsets: requests land in bursts of `burst` every
+/// `gap_ns`, each jittered by `0..jitter_ns`. Sorted ascending — the
+/// trace-replay contract requires nondecreasing arrivals.
+pub fn bursty_offsets(seed: u64, n: usize, burst: usize, gap_ns: u64, jitter_ns: u64) -> Vec<u64> {
+    assert!(burst >= 1, "burst size must be at least 1");
+    let mut rng = XorShift::new(seed ^ 0xb065);
+    let mut out: Vec<u64> = (0..n)
+        .map(|i| {
+            let base = (i / burst) as u64 * gap_ns;
+            let jitter = if jitter_ns == 0 {
+                0
+            } else {
+                rng.next_u64() % jitter_ns
+            };
+            base + jitter
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Everything that names one serving workload.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceSpec {
+    pub seed: u64,
+    pub requests: usize,
+    /// Token ids are drawn from `0..vocab` (callers reserving special
+    /// ids shift the range themselves via `min_token`).
+    pub vocab: usize,
+    /// Lowest token id to emit (skips PAD/EOS/UNK when serving a real
+    /// tokenizer's id space).
+    pub min_token: u32,
+    pub min_len: usize,
+    pub max_len: usize,
+    pub burst: usize,
+    pub gap_ns: u64,
+    pub jitter_ns: u64,
+    /// Every `deadline_every`-th request gets a deadline (0 disables).
+    pub deadline_every: usize,
+    /// Deadline slack added to the arrival time.
+    pub deadline_slack_ns: u64,
+}
+
+impl TraceSpec {
+    /// The serve-bench smoke default: bursts of 4 every 3 ms.
+    pub fn smoke(seed: u64, requests: usize, vocab: usize) -> TraceSpec {
+        TraceSpec {
+            seed,
+            requests,
+            vocab,
+            min_token: 3,
+            min_len: 3,
+            max_len: 10,
+            burst: 4,
+            gap_ns: 3_000_000,
+            jitter_ns: 500_000,
+            deadline_every: 5,
+            deadline_slack_ns: 40_000_000,
+        }
+    }
+}
+
+/// Builds the full `(arrival_ns, request)` trace for a spec: bursty
+/// arrivals, ragged sources, round-robin task labels, periodic
+/// deadlines. Pure function of the spec — two calls yield identical
+/// traces, which is what makes the double-run comparison meaningful.
+pub fn serve_trace(spec: &TraceSpec) -> Vec<(u64, ServeRequest)> {
+    assert!(
+        (spec.min_token as usize) < spec.vocab,
+        "min_token outside vocab"
+    );
+    let offsets = bursty_offsets(
+        spec.seed,
+        spec.requests,
+        spec.burst,
+        spec.gap_ns,
+        spec.jitter_ns,
+    );
+    let span = spec.vocab as u64 - spec.min_token as u64;
+    let mut rng = XorShift::new(spec.seed);
+    let raw = ragged_sources_with(
+        &mut rng,
+        spec.requests,
+        span as usize,
+        spec.min_len,
+        spec.max_len,
+    );
+    offsets
+        .into_iter()
+        .zip(raw)
+        .enumerate()
+        .map(|(i, (arrival, src))| {
+            let src: Vec<u32> = src.into_iter().map(|t| t + spec.min_token).collect();
+            let mut req = ServeRequest::new(i as u64, Task::ALL[i % 4], src);
+            if spec.deadline_every > 0 && i % spec.deadline_every == spec.deadline_every - 1 {
+                req = req.with_deadline(arrival + spec.deadline_slack_ns);
+            }
+            (arrival, req)
+        })
+        .collect()
+}
+
+/// Text-level requests cycling the four tasks over a generated corpus:
+/// text-to-vis and vis-to-text from NvBench pairs, FeVisQA from its QA
+/// examples, table-to-text from chart2text tables. Used by serve_bench
+/// to exercise the full text → filtration → tokens path.
+pub fn corpus_requests(corpus: &Corpus, n: usize) -> Vec<TaskRequest> {
+    let schema_of = |db_name: &str| {
+        corpus
+            .database(db_name)
+            .unwrap_or_else(|| panic!("corpus names unknown database {db_name}"))
+            .schema()
+    };
+    assert!(
+        !corpus.nvbench.is_empty() && !corpus.fevisqa.is_empty() && !corpus.chart2text.is_empty(),
+        "corpus too small for a serving workload"
+    );
+    (0..n)
+        .map(|i| match i % 4 {
+            0 => {
+                let e = &corpus.nvbench[(i / 4) % corpus.nvbench.len()];
+                TaskRequest::TextToVis {
+                    question: e.question.clone(),
+                    schema: schema_of(&e.db_name),
+                }
+            }
+            1 => {
+                let e = &corpus.nvbench[(i / 4) % corpus.nvbench.len()];
+                TaskRequest::VisToText {
+                    query: e.query.clone(),
+                    schema: schema_of(&e.db_name),
+                }
+            }
+            2 => {
+                let e = &corpus.fevisqa[(i / 4) % corpus.fevisqa.len()];
+                TaskRequest::FeVisQa {
+                    question: e.question.clone(),
+                    query: e.query.clone(),
+                    schema: schema_of(&e.db_name),
+                    table: e.table.clone(),
+                }
+            }
+            _ => {
+                let e = &corpus.chart2text[(i / 4) % corpus.chart2text.len()];
+                TaskRequest::TableToText {
+                    table: e.table.clone(),
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ragged_sources_respect_bounds_and_are_seeded() {
+        let a = ragged_sources(9, 20, 64, 2, 7);
+        let b = ragged_sources(9, 20, 64, 2, 7);
+        assert_eq!(a, b);
+        for src in &a {
+            assert!((2..=7).contains(&src.len()));
+            assert!(src.iter().all(|&t| (t as usize) < 64));
+        }
+        assert_ne!(a, ragged_sources(10, 20, 64, 2, 7));
+    }
+
+    #[test]
+    fn bursty_offsets_are_sorted_and_bursty() {
+        let offs = bursty_offsets(3, 12, 4, 1_000_000, 10_000);
+        assert!(offs.windows(2).all(|w| w[0] <= w[1]));
+        // Three bursts of four: gaps inside a burst stay under the
+        // jitter bound, gaps across bursts approach gap_ns.
+        assert!(offs[3] < 10_000 + 1);
+        assert!(offs[4] >= 1_000_000);
+    }
+
+    #[test]
+    fn serve_trace_is_a_pure_function_of_its_spec() {
+        let spec = TraceSpec::smoke(0xabc, 16, 128);
+        let a = serve_trace(&spec);
+        let b = serve_trace(&spec);
+        assert_eq!(a.len(), 16);
+        for ((ta, ra), (tb, rb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ta, tb);
+            assert_eq!(ra, rb);
+        }
+        // Round-robin tasks and periodic deadlines.
+        assert_eq!(a[0].1.task, Task::TextToVis);
+        assert_eq!(a[1].1.task, Task::VisToText);
+        assert_eq!(
+            a.iter()
+                .filter(|(_, r)| r.deadline_ns != serve::NO_DEADLINE)
+                .count(),
+            3
+        );
+        assert!(a.iter().all(|(_, r)| r.src.iter().all(|&t| t >= 3)));
+    }
+}

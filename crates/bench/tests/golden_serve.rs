@@ -1,0 +1,89 @@
+//! Golden-pinned admission log for one small seeded serving trace.
+//!
+//! The scheduler's determinism claim is only as strong as its anchor:
+//! the double-run tests prove *self*-consistency, this test pins the
+//! actual bytes. One `TraceSpec::smoke` trace through the scripted
+//! decoder must render the exact admission log and outcome summary
+//! committed at `bench/golden/serve_admission_smoke.txt` — any change
+//! to queue ordering, slot assignment, deadline handling, or the
+//! virtual-clock arithmetic shows up as a diff here, not as a silent
+//! behavior change. Regenerate with `GOLDEN_BLESS=1 cargo test -p bench
+//! --test golden_serve`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use bench::trace::{serve_trace, TraceSpec};
+use serve::{Outcome, ScriptedDecoder, ServeConfig, ServeEngine};
+
+const EOS: u32 = 1;
+const VOCAB: usize = 128;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../bench/golden")
+        .join("serve_admission_smoke.txt")
+}
+
+#[test]
+fn admission_log_matches_golden() {
+    let spec = TraceSpec::smoke(0x90de, 16, VOCAB);
+    let trace = serve_trace(&spec);
+    // Script: each request emits (src_len % 5) + 1 copies of its first
+    // token — output length and content both depend on the source, so
+    // the golden log also pins the src → script plumbing.
+    let dec = ScriptedDecoder::new(2, VOCAB, EOS, |src| vec![src[0]; src.len() % 5 + 1]);
+    let mut engine = ServeEngine::new(dec, ServeConfig::new(4, 8, EOS));
+    engine.run_trace(&trace);
+    let report = engine.into_report();
+    assert!(report.accounted());
+
+    let mut rendered = String::new();
+    let _ = writeln!(
+        rendered,
+        "# serve admission log (seed=0x90de, n=16, slots=2, queue=4)"
+    );
+    for rec in &report.admission_log {
+        let _ = writeln!(rendered, "admit {}", rec.render());
+    }
+    let _ = writeln!(rendered, "# outcomes");
+    for r in &report.responses {
+        let outcome = match r.outcome {
+            Outcome::Completed => "completed".to_string(),
+            Outcome::Rejected(rej) => rej.code().to_string(),
+        };
+        let _ = writeln!(
+            rendered,
+            "resp id={} task={} outcome={outcome} tokens={}",
+            r.id,
+            r.task.label(),
+            r.tokens.len()
+        );
+    }
+    let _ = writeln!(
+        rendered,
+        "# totals arrivals={} completed={} rejected={} end_ms={}",
+        report.arrivals,
+        report.completed,
+        report.rejections(),
+        report.end_ns / 1_000_000
+    );
+
+    let path = golden_path();
+    if std::env::var("GOLDEN_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with GOLDEN_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, committed,
+        "scheduler admission log diverged from the committed golden; \
+         if the change is intentional, regenerate with GOLDEN_BLESS=1"
+    );
+}

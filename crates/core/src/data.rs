@@ -119,6 +119,65 @@ pub fn fevisqa_input(
     )
 }
 
+/// One serving-time request for any of the four tasks, carrying the raw
+/// ingredients (question/query/schema/table) rather than a pre-encoded
+/// input string.
+///
+/// [`TaskRequest::input_text`] renders the paper's unified encoding for
+/// the request — including *per-request* schema filtration for
+/// text-to-vis and query-table restriction for vis-to-text / FeVisQA —
+/// so the serving front door (`crates/serve`) and the offline dataset
+/// builder ([`TaskDatasets::build`]) share one construction path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskRequest {
+    TextToVis {
+        question: String,
+        schema: DbSchema,
+    },
+    VisToText {
+        query: String,
+        schema: DbSchema,
+    },
+    FeVisQa {
+        question: String,
+        query: String,
+        schema: DbSchema,
+        table: LinearTable,
+    },
+    TableToText {
+        table: LinearTable,
+    },
+}
+
+impl TaskRequest {
+    /// Which of the four tasks this request targets.
+    pub fn task(&self) -> Task {
+        match self {
+            TaskRequest::TextToVis { .. } => Task::TextToVis,
+            TaskRequest::VisToText { .. } => Task::VisToText,
+            TaskRequest::FeVisQa { .. } => Task::FeVisQa,
+            TaskRequest::TableToText { .. } => Task::TableToText,
+        }
+    }
+
+    /// Renders the unified model input for this request, running schema
+    /// filtration (§III-B) on the request's own question/query — the
+    /// serving-path twin of the builders above.
+    pub fn input_text(&self) -> String {
+        match self {
+            TaskRequest::TextToVis { question, schema } => text_to_vis_input(question, schema),
+            TaskRequest::VisToText { query, schema } => vis_to_text_input(query, schema),
+            TaskRequest::FeVisQa {
+                question,
+                query,
+                schema,
+                table,
+            } => fevisqa_input(question, query, schema, table),
+            TaskRequest::TableToText { table } => table_to_text_input(table),
+        }
+    }
+}
+
 /// Prefixes an output with its corpus token.
 pub fn prefixed_output(task: Task, text: &str) -> String {
     format!("{} {text}", task.output_prefix())
@@ -313,6 +372,45 @@ mod tests {
                 assert!(schema_part.contains(&format!("{t} :")), "{schema_part}");
             }
         }
+    }
+
+    #[test]
+    fn task_request_matches_dataset_builders() {
+        use vql::schema::{DbSchema, TableSchema};
+        let schema = DbSchema::new(
+            "gallery",
+            vec![
+                TableSchema::new("artist", vec!["artist_id".into(), "country".into()]),
+                TableSchema::new("exhibit", vec!["theme".into(), "ticket_price".into()]),
+            ],
+        );
+        let req = TaskRequest::TextToVis {
+            question: "pie chart of artist country counts".into(),
+            schema: schema.clone(),
+        };
+        assert_eq!(req.task(), Task::TextToVis);
+        assert_eq!(
+            req.input_text(),
+            text_to_vis_input("pie chart of artist country counts", &schema)
+        );
+        // Per-request filtration applies: only the referenced table stays.
+        assert!(req.input_text().contains("artist"));
+        assert!(!req.input_text().contains("ticket_price"));
+
+        let table = LinearTable::new(vec!["theme".into()], vec![vec!["modern".into()]]);
+        let req = TaskRequest::FeVisQa {
+            question: "what is shown".into(),
+            query: "visualize bar select theme , count ( theme ) from exhibit".into(),
+            schema: schema.clone(),
+            table: table.clone(),
+        };
+        assert_eq!(req.task(), Task::FeVisQa);
+        assert!(req.input_text().starts_with("<question> "));
+
+        let req = TaskRequest::TableToText {
+            table: table.clone(),
+        };
+        assert_eq!(req.input_text(), table_to_text_input(&table));
     }
 
     #[test]

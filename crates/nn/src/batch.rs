@@ -56,12 +56,31 @@ struct Slot {
     live: bool,
 }
 
+/// A slot lifecycle notification from the batcher, in the order the
+/// transitions happened. External schedulers ([`crates/serve`]'s engine)
+/// drain these with [`BatchedDecodeState::take_slot_events`] and
+/// cross-check them against their own admission bookkeeping, so a
+/// scheduler bug that admits into an occupied slot or double-retires is
+/// caught at the boundary between the two layers rather than as NaN
+/// logits three steps later.
+///
+/// [`crates/serve`]: https://docs.rs/serve
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotEvent {
+    /// A request was installed in `slot`; its source had `src_len` tokens.
+    Admitted { slot: usize, src_len: usize },
+    /// The request in `slot` was retired after consuming `steps` decoder
+    /// tokens.
+    Retired { slot: usize, steps: usize },
+}
+
 /// Batched KV-cached decoding over up to `capacity` concurrent requests.
 pub struct BatchedDecodeState<'m> {
     model: &'m T5Model,
     ps: &'m ParamSet,
     slots: Vec<Option<Slot>>,
     scratch: Scratch,
+    events: Vec<SlotEvent>,
 }
 
 /// Step-to-step reusable activation buffers (all `[n, ·]`, row-major).
@@ -88,7 +107,14 @@ impl<'m> BatchedDecodeState<'m> {
             ps,
             slots: (0..capacity).map(|_| None).collect(),
             scratch: Scratch::default(),
+            events: Vec::new(),
         }
+    }
+
+    /// Drains the slot admission/retirement log accumulated since the
+    /// last call (or construction), in transition order.
+    pub fn take_slot_events(&mut self) -> Vec<SlotEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// Number of slots.
@@ -124,6 +150,10 @@ impl<'m> BatchedDecodeState<'m> {
             t: 0,
             live: true,
         });
+        self.events.push(SlotEvent::Admitted {
+            slot: idx,
+            src_len: src.len(),
+        });
         Some(idx)
     }
 
@@ -156,6 +186,8 @@ impl<'m> BatchedDecodeState<'m> {
             cache.data_mut().fill(f32::NAN);
         }
         s.live = false;
+        let steps = s.t;
+        self.events.push(SlotEvent::Retired { slot, steps });
     }
 
     fn slot(&self, idx: usize) -> &Slot {
@@ -593,6 +625,42 @@ mod tests {
         let slot = batched.admit(&[3, 1]).unwrap();
         batched.retire(slot);
         batched.step_packed(&[(slot, DECODER_START)]);
+    }
+
+    #[test]
+    fn slot_events_record_admissions_and_retirements_in_order() {
+        let (m, ps) = build(Positional::RelativeBias);
+        let mut batched = BatchedDecodeState::new(&m, &ps, 2);
+        let a = batched.admit(&[3, 4, 1]).unwrap();
+        let b = batched.admit(&[5, 1]).unwrap();
+        batched.step_packed(&[(a, DECODER_START), (b, DECODER_START)]);
+        batched.retire(b);
+        let c = batched.admit(&[6, 1]).unwrap();
+        assert_eq!(c, b, "retired slot is reused");
+        assert_eq!(
+            batched.take_slot_events(),
+            vec![
+                SlotEvent::Admitted {
+                    slot: a,
+                    src_len: 3
+                },
+                SlotEvent::Admitted {
+                    slot: b,
+                    src_len: 2
+                },
+                SlotEvent::Retired { slot: b, steps: 1 },
+                SlotEvent::Admitted {
+                    slot: c,
+                    src_len: 2
+                },
+            ]
+        );
+        // The log drains: a second take returns only what happened since.
+        batched.retire(a);
+        assert_eq!(
+            batched.take_slot_events(),
+            vec![SlotEvent::Retired { slot: a, steps: 1 }]
+        );
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! The bounded admission queue: FIFO within priority, strict capacity.
+//!
+//! Backpressure is the queue's whole job — an unbounded queue under a
+//! sustained overload turns every latency percentile into the queueing
+//! delay of the backlog. Arrivals beyond `capacity` are refused at the
+//! front door with [`Rejection::QueueFull`] so the client learns
+//! immediately instead of timing out later.
+//!
+//! Ordering is a determinism contract: requests leave in ascending
+//! `(priority, arrival sequence)` order, with the arrival sequence
+//! assigned by the engine in submission order. No hash-ordered container
+//! is involved (`BTreeMap` keyed by priority), so two identical arrival
+//! traces drain identically — the double-run test relies on this.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::request::{Priority, ServeRequest};
+
+/// A queued request plus its arrival bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Queued {
+    /// Engine-wide arrival sequence number (FIFO key within priority).
+    pub seq: u64,
+    /// Virtual arrival time.
+    pub arrival_ns: u64,
+    pub req: ServeRequest,
+}
+
+/// Bounded priority queue with FIFO order inside each priority class.
+#[derive(Debug, Default)]
+pub struct AdmissionQueue {
+    capacity: usize,
+    len: usize,
+    classes: BTreeMap<Priority, VecDeque<Queued>>,
+}
+
+impl AdmissionQueue {
+    /// Creates a queue admitting at most `capacity` waiting requests.
+    pub fn new(capacity: usize) -> AdmissionQueue {
+        assert!(capacity > 0, "queue capacity must be positive");
+        AdmissionQueue {
+            capacity,
+            len: 0,
+            classes: BTreeMap::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.len >= self.capacity
+    }
+
+    /// Enqueues a request, or returns it when the queue is full.
+    pub fn push(&mut self, item: Queued) -> Result<(), Queued> {
+        if self.is_full() {
+            return Err(item);
+        }
+        self.classes
+            .entry(item.req.priority)
+            .or_default()
+            .push_back(item);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Removes and returns the next request in `(priority, seq)` order.
+    pub fn pop(&mut self) -> Option<Queued> {
+        let (&prio, _) = self.classes.iter().find(|(_, q)| !q.is_empty())?;
+        let q = self.classes.get_mut(&prio).expect("class exists");
+        let item = q.pop_front();
+        if item.is_some() {
+            self.len -= 1;
+        }
+        if q.is_empty() {
+            self.classes.remove(&prio);
+        }
+        item
+    }
+
+    /// Removes every queued request whose deadline is at or before `now`,
+    /// in `(priority, seq)` order.
+    pub fn expire(&mut self, now_ns: u64) -> Vec<Queued> {
+        let mut out = Vec::new();
+        for q in self.classes.values_mut() {
+            let mut kept = VecDeque::with_capacity(q.len());
+            for item in q.drain(..) {
+                if item.req.deadline_ns <= now_ns {
+                    out.push(item);
+                } else {
+                    kept.push_back(item);
+                }
+            }
+            *q = kept;
+        }
+        self.classes.retain(|_, q| !q.is_empty());
+        self.len -= out.len();
+        out
+    }
+
+    /// Drains everything still queued (shutdown path), in order.
+    pub fn drain_all(&mut self) -> Vec<Queued> {
+        let mut out = Vec::new();
+        while let Some(item) = self.pop() {
+            out.push(item);
+        }
+        out
+    }
+
+    /// The earliest deadline among queued requests, if any request has
+    /// one (drives virtual-clock jumps while slots are idle).
+    pub fn earliest_deadline(&self) -> Option<u64> {
+        self.classes
+            .values()
+            .flat_map(|q| q.iter())
+            .map(|i| i.req.deadline_ns)
+            .filter(|&d| d != crate::request::NO_DEADLINE)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datavist5::data::Task;
+
+    fn q(seq: u64, priority: u8, deadline: u64) -> Queued {
+        Queued {
+            seq,
+            arrival_ns: 0,
+            req: ServeRequest::new(seq, Task::TextToVis, vec![1])
+                .with_priority(priority)
+                .with_deadline(deadline),
+        }
+    }
+
+    #[test]
+    fn fifo_within_priority_and_priority_order_across() {
+        let mut aq = AdmissionQueue::new(8);
+        for (seq, prio) in [(0u64, 1u8), (1, 0), (2, 1), (3, 0), (4, 2)] {
+            aq.push(q(seq, prio, u64::MAX)).unwrap();
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| aq.pop()).map(|i| i.seq).collect();
+        assert_eq!(order, vec![1, 3, 0, 2, 4]);
+        assert!(aq.is_empty());
+    }
+
+    #[test]
+    fn push_beyond_capacity_returns_the_request() {
+        let mut aq = AdmissionQueue::new(2);
+        aq.push(q(0, 0, u64::MAX)).unwrap();
+        aq.push(q(1, 0, u64::MAX)).unwrap();
+        let bounced = aq.push(q(2, 0, u64::MAX)).unwrap_err();
+        assert_eq!(bounced.seq, 2);
+        assert_eq!(aq.len(), 2);
+        // Popping frees a slot again.
+        aq.pop().unwrap();
+        assert!(aq.push(q(3, 0, u64::MAX)).is_ok());
+    }
+
+    #[test]
+    fn expire_removes_only_overdue_requests() {
+        let mut aq = AdmissionQueue::new(8);
+        aq.push(q(0, 0, 100)).unwrap();
+        aq.push(q(1, 0, 200)).unwrap();
+        aq.push(q(2, 1, 50)).unwrap();
+        let expired: Vec<u64> = aq.expire(100).into_iter().map(|i| i.seq).collect();
+        assert_eq!(expired, vec![0, 2]);
+        assert_eq!(aq.len(), 1);
+        assert_eq!(aq.pop().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn earliest_deadline_ignores_unbounded_requests() {
+        let mut aq = AdmissionQueue::new(8);
+        aq.push(q(0, 0, u64::MAX)).unwrap();
+        assert_eq!(aq.earliest_deadline(), None);
+        aq.push(q(1, 3, 700)).unwrap();
+        aq.push(q(2, 0, 900)).unwrap();
+        assert_eq!(aq.earliest_deadline(), Some(700));
+    }
+}

@@ -1,0 +1,174 @@
+//! Test doubles for the scheduler: a scripted [`BatchDecoder`] that
+//! replays a per-request token script instead of running a model.
+//!
+//! Scheduler properties (admission order, deadline handling, queue
+//! accounting, slot reuse) are independent of the model's weights, so
+//! the proptest and edge-case suites run against [`ScriptedDecoder`] —
+//! deterministic by construction and thousands of times faster than a
+//! real forward pass — while the double-run and bench suites exercise
+//! the real [`nn::batch::BatchedDecodeState`].
+
+use nn::batch::SlotEvent;
+
+use crate::engine::BatchDecoder;
+
+/// Per-slot decode state inside the scripted decoder.
+struct ScriptSlot {
+    /// Tokens this request will emit, in order; after the script is
+    /// exhausted the decoder emits EOS forever.
+    script: Vec<u32>,
+    /// Steps taken so far.
+    t: usize,
+    live: bool,
+}
+
+/// Maps an admitted source to the token script its request replays.
+type ScriptFn = Box<dyn Fn(&[u32]) -> Vec<u32> + Send>;
+
+/// A [`BatchDecoder`] that turns each admitted source into a fixed token
+/// script via a caller-supplied function. Logits are one-hot: the
+/// scripted token gets 1.0, everything else 0.0, so `argmax` recovers
+/// the script exactly.
+pub struct ScriptedDecoder {
+    slots: Vec<Option<ScriptSlot>>,
+    vocab: usize,
+    eos: u32,
+    script_fn: ScriptFn,
+    events: Vec<SlotEvent>,
+}
+
+impl ScriptedDecoder {
+    /// `script_fn` maps an admitted source to the tokens the request
+    /// should emit (EOS follows automatically).
+    pub fn new(
+        capacity: usize,
+        vocab: usize,
+        eos: u32,
+        script_fn: impl Fn(&[u32]) -> Vec<u32> + Send + 'static,
+    ) -> ScriptedDecoder {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!((eos as usize) < vocab, "EOS must be inside the vocab");
+        ScriptedDecoder {
+            slots: (0..capacity).map(|_| None).collect(),
+            vocab,
+            eos,
+            script_fn: Box::new(script_fn),
+            events: Vec::new(),
+        }
+    }
+
+    /// Live-slot count (test visibility).
+    pub fn live_slots(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.as_ref().is_some_and(|s| s.live))
+            .count()
+    }
+}
+
+impl BatchDecoder for ScriptedDecoder {
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn admit(&mut self, src: &[u32]) -> Option<usize> {
+        assert!(
+            !src.is_empty(),
+            "scripted decoder requires a non-empty source"
+        );
+        let idx = self
+            .slots
+            .iter()
+            .position(|s| s.as_ref().is_none_or(|s| !s.live))?;
+        let script = (self.script_fn)(src);
+        for &tok in &script {
+            assert!((tok as usize) < self.vocab, "script token outside vocab");
+        }
+        self.slots[idx] = Some(ScriptSlot {
+            script,
+            t: 0,
+            live: true,
+        });
+        self.events.push(SlotEvent::Admitted {
+            slot: idx,
+            src_len: src.len(),
+        });
+        Some(idx)
+    }
+
+    fn retire(&mut self, slot: usize) {
+        let s = self.slots[slot]
+            .as_mut()
+            .expect("retire of never-admitted slot");
+        assert!(s.live, "retire of already-retired slot");
+        s.live = false;
+        self.events.push(SlotEvent::Retired { slot, steps: s.t });
+    }
+
+    fn step_packed(&mut self, active: &[(usize, u32)]) -> Vec<Vec<f32>> {
+        assert!(!active.is_empty(), "step_packed with no active slots");
+        let mut seen = std::collections::BTreeSet::new();
+        active
+            .iter()
+            .map(|&(slot, _prev)| {
+                assert!(seen.insert(slot), "duplicate slot in packed step");
+                let s = self.slots[slot]
+                    .as_mut()
+                    .filter(|s| s.live)
+                    .expect("step of retired slot");
+                let tok = s.script.get(s.t).copied().unwrap_or(self.eos);
+                s.t += 1;
+                let mut row = vec![0.0; self.vocab];
+                row[tok as usize] = 1.0;
+                row
+            })
+            .collect()
+    }
+
+    fn cache_bytes(&self) -> usize {
+        // A fixed per-live-slot footprint: enough for the shutdown
+        // leak check to see nonzero bytes while requests are resident.
+        self.live_slots() * 1024
+    }
+
+    fn take_slot_events(&mut self) -> Vec<SlotEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_decoder_replays_script_then_eos() {
+        let mut d = ScriptedDecoder::new(2, 8, 1, |src| src.to_vec());
+        let slot = d.admit(&[5, 6]).unwrap();
+        let r1 = d.step_packed(&[(slot, 0)]);
+        assert_eq!(r1[0][5], 1.0);
+        let r2 = d.step_packed(&[(slot, 5)]);
+        assert_eq!(r2[0][6], 1.0);
+        let r3 = d.step_packed(&[(slot, 6)]);
+        assert_eq!(r3[0][1], 1.0, "script exhausted -> EOS");
+        assert_eq!(d.cache_bytes(), 1024);
+        d.retire(slot);
+        assert_eq!(d.cache_bytes(), 0);
+        assert_eq!(
+            d.take_slot_events(),
+            vec![
+                SlotEvent::Admitted { slot, src_len: 2 },
+                SlotEvent::Retired { slot, steps: 3 },
+            ]
+        );
+    }
+
+    #[test]
+    fn retired_slots_are_reused() {
+        let mut d = ScriptedDecoder::new(1, 8, 1, |_| vec![2]);
+        let a = d.admit(&[3]).unwrap();
+        assert!(d.admit(&[4]).is_none(), "full decoder refuses admission");
+        d.retire(a);
+        let b = d.admit(&[4]).unwrap();
+        assert_eq!(a, b, "freed slot is reused");
+    }
+}
