@@ -58,7 +58,13 @@ echo "== serving engine: double-run determinism + invariants + golden =="
 cargo test -p serve -q
 cargo test -p bench --test golden_serve -q
 
-echo "== serve_bench smoke (2 clients, gated on identical + no silent drops) =="
+echo "== prefix cache: differential battery + property suite + golden event stream =="
+cargo test -p nn --test cache_differential -q
+cargo test -p nn --test cache_proptests -q
+cargo test -p bench --test golden_serve_cache -q
+
+echo "== serve_bench smoke (2 clients; gated on identical + no silent drops"
+echo "   + cache phases bit-identical + 90%-reuse hit rate > 0) =="
 cargo run --release -p bench --bin serve_bench -- \
   --requests 8 --clients 2 --slots 2 --max-out 8 \
   --out target/BENCH_serve_smoke.json

@@ -205,6 +205,27 @@ pub const CODES: &[CodeEntry] = &[
         family: "serve",
         summary: "engine shutdown retired a queued or in-flight request",
     },
+    // Prefix-cache events (nn::prefix_cache).
+    CodeEntry {
+        code: "C001",
+        family: "cache",
+        summary: "lookup adopted a resident encoder-state entry",
+    },
+    CodeEntry {
+        code: "C002",
+        family: "cache",
+        summary: "lookup found no reusable entry; encoder recomputed",
+    },
+    CodeEntry {
+        code: "C003",
+        family: "cache",
+        summary: "unpinned LRU entry evicted to fit an insert",
+    },
+    CodeEntry {
+        code: "C004",
+        family: "cache",
+        summary: "insert bypassed: oversized, all-pinned, or hash collision",
+    },
 ];
 
 /// Looks up a code's entry.
@@ -224,7 +245,7 @@ mod tests {
             assert!(seen.insert(e.code), "duplicate code {}", e.code);
             let (prefix, digits) = e.code.split_at(1);
             assert!(
-                matches!(prefix, "S" | "G" | "N" | "V" | "D" | "P" | "R"),
+                matches!(prefix, "S" | "G" | "N" | "V" | "D" | "P" | "R" | "C"),
                 "unknown family prefix in {}",
                 e.code
             );

@@ -14,23 +14,33 @@
 //!    deadline-free requests through the front door against a real
 //!    monotonic clock; sustained QPS, p50/p99 latency, and per-task
 //!    fairness are measured here.
+//! 4. **Schema-skewed cache phases** — the same corpus workload at
+//!    0% / 50% / 90% schema reuse, each run three times: prefix cache
+//!    on (wall-clock timed), cache on again, cache off. All three
+//!    fingerprints must be bitwise-identical (the cache is invisible
+//!    at the bits level); hit rate and QPS per phase land in the
+//!    report, and the 90%-reuse phase must actually hit.
 //!
-//! The process exits nonzero unless both determinism gates hold
-//! (`identical: true`) and accounting is exact (zero requests dropped
-//! without a typed rejection) — CI runs a 2-client smoke of this.
+//! The process exits nonzero unless every determinism gate holds
+//! (`identical: true`, including all cache phases), accounting is exact
+//! (zero requests dropped without a typed rejection), and the
+//! 90%-reuse phase shows a nonzero hit rate — CI runs a 2-client smoke
+//! of this.
 //!
 //! Writes `BENCH_serve.json` at the repo root.
 //!
 //! Usage: `serve_bench [--requests N] [--clients N] [--slots N]
-//! [--queue-cap N] [--max-out N] [--seed S] [--out PATH]`
+//! [--queue-cap N] [--max-out N] [--seed S] [--cache-bytes N]
+//! [--out PATH]`
 
 use std::time::Instant;
 
-use bench::trace::{bursty_offsets, corpus_requests};
+use bench::trace::{bursty_offsets, corpus_requests, corpus_requests_with_reuse};
 use datavist5::config::{Scale, Size};
 use datavist5::zoo::Zoo;
 use nn::batch::BatchedDecodeState;
 use nn::param::ParamSet;
+use nn::prefix_cache::PrefixCache;
 use nn::t5::T5Model;
 use serve::{serve_concurrent, ServeConfig, ServeEngine, ServeReport, ServeRequest};
 use tensor::XorShift;
@@ -43,6 +53,7 @@ fn main() {
     let mut queue_cap = 16usize;
     let mut max_out = 12usize;
     let mut seed = 0x5e12feu64;
+    let mut cache_bytes = 32usize << 20;
     let mut out_path = bench::default_bench_out("serve");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -57,6 +68,7 @@ fn main() {
             "--queue-cap" => queue_cap = val("--queue-cap").parse().expect("--queue-cap"),
             "--max-out" => max_out = val("--max-out").parse().expect("--max-out"),
             "--seed" => seed = val("--seed").parse().expect("--seed"),
+            "--cache-bytes" => cache_bytes = val("--cache-bytes").parse().expect("--cache-bytes"),
             "--out" => out_path = val("--out").into(),
             other => panic!("unknown argument {other}"),
         }
@@ -192,6 +204,71 @@ fn main() {
         real.fairness()
     );
 
+    // Phase 4: schema-skewed cache phases. Same workload shape at
+    // increasing schema reuse; each phase proves the prefix cache is
+    // bit-invisible (cache-on twice + cache-off once, fingerprints all
+    // equal) and reports hit rate plus wall-clock QPS of the timed
+    // cache-on run. Deadline-free so completed == arrivals and QPS
+    // comparisons across phases measure compute, not deadline luck.
+    let mut cache_phases = Vec::new();
+    let mut cache_identical = true;
+    let mut reuse90_hit_rate = 0.0f64;
+    for reuse in [0u8, 50, 90] {
+        let texts = corpus_requests_with_reuse(&zoo.corpus, requests, reuse, seed);
+        let trace: Vec<(u64, ServeRequest)> = texts
+            .iter()
+            .zip(&offsets)
+            .enumerate()
+            .map(|(i, (tr, &arrival))| (arrival, ServeRequest::from_task(i as u64, tr, &zoo.tok)))
+            .collect();
+        let cached_run = |cache: Option<usize>| -> (ServeReport, f64) {
+            let dec = match cache {
+                Some(cap) => {
+                    BatchedDecodeState::with_prefix_cache(&model, &ps, slots, PrefixCache::new(cap))
+                }
+                None => BatchedDecodeState::new(&model, &ps, slots),
+            };
+            let mut engine = ServeEngine::new(dec, ServeConfig::new(queue_cap, max_out, EOS));
+            let t = Instant::now();
+            engine.run_trace(&trace);
+            let wall = t.elapsed().as_secs_f64();
+            (engine.into_report(), wall)
+        };
+        let (on_a, wall) = cached_run(Some(cache_bytes));
+        let (on_b, _) = cached_run(Some(cache_bytes));
+        let (off, _) = cached_run(None);
+        let identical =
+            on_a.fingerprint() == on_b.fingerprint() && on_a.fingerprint() == off.fingerprint();
+        cache_identical &= identical;
+        assert!(on_a.accounted(), "cache phase dropped a request silently");
+        let stats = on_a.cache.expect("cache-on run reports stats");
+        if reuse == 90 {
+            reuse90_hit_rate = stats.hit_rate();
+        }
+        let qps = on_a.completed as f64 / wall;
+        eprintln!(
+            "[serve_bench] cache reuse={reuse}%: hit_rate={:.3} \
+             ({} hits / {} lookups), {qps:.1} req/s, identical={identical}",
+            stats.hit_rate(),
+            stats.hits,
+            stats.lookups()
+        );
+        cache_phases.push(serde_json::json!({
+            "reuse_pct": reuse,
+            "hit_rate": stats.hit_rate(),
+            "hits": stats.hits as i64,
+            "misses": stats.misses as i64,
+            "insertions": stats.insertions as i64,
+            "evictions": stats.evictions as i64,
+            "bypasses": stats.bypasses as i64,
+            "completed": on_a.completed as i64,
+            "wall_secs": wall,
+            "qps": qps,
+            "identical": identical,
+        }));
+    }
+    let identical = identical && cache_identical;
+
     let json = serde_json::json!({
         "requests": requests,
         "clients": clients,
@@ -199,13 +276,16 @@ fn main() {
         "queue_cap": queue_cap,
         "max_out": max_out,
         "seed": seed as i64,
+        "cache_bytes": cache_bytes,
         "vocab": vocab,
         "hardware_threads": hardware_threads,
         "identical": identical,
         "identical_rerun": identical_rerun,
         "identical_4_threads": identical_threads,
+        "identical_cache_phases": cache_identical,
         "dropped_without_rejection": dropped_without_rejection as i64,
         "virtual": virtual_json,
+        "cache_phases": cache_phases,
         "real": {
             "wall_secs": wall_secs,
             "sustained_qps": qps,
@@ -223,10 +303,11 @@ fn main() {
     std::fs::write(&out_path, rendered + "\n").expect("write BENCH_serve.json");
     eprintln!("[serve_bench] -> {}", out_path.display());
 
-    if !identical || dropped_without_rejection != 0 {
+    if !identical || dropped_without_rejection != 0 || reuse90_hit_rate <= 0.0 {
         eprintln!(
             "[serve_bench] FAIL: identical={identical} \
-             dropped_without_rejection={dropped_without_rejection}"
+             dropped_without_rejection={dropped_without_rejection} \
+             reuse90_hit_rate={reuse90_hit_rate:.3}"
         );
         std::process::exit(1);
     }

@@ -88,6 +88,13 @@ pub struct TraceSpec {
     pub deadline_every: usize,
     /// Deadline slack added to the arrival time.
     pub deadline_slack_ns: u64,
+    /// Schema-skew knob: each request past the first task cycle is,
+    /// with this percent probability, replaced by a byte-identical copy
+    /// of an earlier same-task request's source — the workload shape
+    /// the prefix cache exists for. `0` leaves the historical trace
+    /// untouched (the reuse decisions draw from their own RNG stream,
+    /// so enabling reuse never shifts the base source stream).
+    pub reuse_pct: u8,
 }
 
 impl TraceSpec {
@@ -105,6 +112,39 @@ impl TraceSpec {
             jitter_ns: 500_000,
             deadline_every: 5,
             deadline_slack_ns: 40_000_000,
+            reuse_pct: 0,
+        }
+    }
+
+    /// Sets the schema-reuse probability (builder style).
+    pub fn with_reuse(mut self, reuse_pct: u8) -> TraceSpec {
+        assert!(reuse_pct <= 100, "reuse_pct is a percentage");
+        self.reuse_pct = reuse_pct;
+        self
+    }
+}
+
+/// The XOR mixed into a spec's seed for the reuse-overlay RNG: a
+/// *separate* stream from the base sources, so `reuse_pct == 0` traces
+/// are bit-identical to traces generated before the knob existed.
+const REUSE_STREAM: u64 = 0x5eed_0cac_4e5e_ed00;
+
+/// Overlays schema reuse on a list of per-request payloads: each index
+/// `i >= 4` is, with probability `reuse_pct`%, replaced by a clone of a
+/// uniformly chosen earlier index with the same task slot (`j ≡ i mod
+/// 4`), keeping task labels aligned with their sources. Deterministic
+/// in `(seed, reuse_pct, len)`.
+fn overlay_reuse<T: Clone>(items: &mut [T], reuse_pct: u8, seed: u64) {
+    assert!(reuse_pct <= 100, "reuse_pct is a percentage");
+    if reuse_pct == 0 {
+        return;
+    }
+    let mut rng = XorShift::new(seed ^ REUSE_STREAM);
+    for i in 4..items.len() {
+        if rng.next_u64() % 100 < reuse_pct as u64 {
+            let earlier_cycles = (i / 4) as u64;
+            let j = (i % 4) + 4 * (rng.next_u64() % earlier_cycles) as usize;
+            items[i] = items[j].clone();
         }
     }
 }
@@ -127,13 +167,14 @@ pub fn serve_trace(spec: &TraceSpec) -> Vec<(u64, ServeRequest)> {
     );
     let span = spec.vocab as u64 - spec.min_token as u64;
     let mut rng = XorShift::new(spec.seed);
-    let raw = ragged_sources_with(
+    let mut raw = ragged_sources_with(
         &mut rng,
         spec.requests,
         span as usize,
         spec.min_len,
         spec.max_len,
     );
+    overlay_reuse(&mut raw, spec.reuse_pct, spec.seed);
     offsets
         .into_iter()
         .zip(raw)
@@ -147,6 +188,24 @@ pub fn serve_trace(spec: &TraceSpec) -> Vec<(u64, ServeRequest)> {
             (arrival, req)
         })
         .collect()
+}
+
+/// [`corpus_requests`] with the schema-reuse overlay applied: with
+/// probability `reuse_pct`% a request (past the first task cycle)
+/// repeats an earlier same-task request verbatim — standardized input
+/// and all — which is what gives the prefix cache something to hit.
+/// The base request cycle never repeats a standardized input within
+/// realistic trace lengths (each cycle advances to the next corpus
+/// entry), so without this overlay hit-rate benchmarks measure nothing.
+pub fn corpus_requests_with_reuse(
+    corpus: &Corpus,
+    n: usize,
+    reuse_pct: u8,
+    seed: u64,
+) -> Vec<TaskRequest> {
+    let mut reqs = corpus_requests(corpus, n);
+    overlay_reuse(&mut reqs, reuse_pct, seed);
+    reqs
 }
 
 /// Text-level requests cycling the four tasks over a generated corpus:
@@ -245,5 +304,90 @@ mod tests {
             3
         );
         assert!(a.iter().all(|(_, r)| r.src.iter().all(|&t| t >= 3)));
+    }
+
+    #[test]
+    fn reuse_zero_preserves_the_historical_rng_stream() {
+        // Pinned values captured before the reuse knob existed: a
+        // `reuse_pct == 0` trace must reproduce the pre-knob stream
+        // exactly (golden_serve.rs depends on it), and `with_reuse(0)`
+        // must be a no-op.
+        let spec = TraceSpec::smoke(0x90de, 16, 128);
+        let t = serve_trace(&spec);
+        assert_eq!(t[0].1.src, [126, 113, 6, 59, 30]);
+        assert_eq!(t[15].1.src, [30, 55, 24]);
+        assert_eq!(t[0].0, 164_050);
+        let combined = t
+            .iter()
+            .map(|(a, r)| a ^ nn::prefix_hash(&r.src))
+            .fold(0u64, |acc, x| acc.wrapping_mul(31).wrapping_add(x));
+        assert_eq!(combined, 0xc692_8ad8_6b51_6428);
+        let explicit_zero = serve_trace(&spec.with_reuse(0));
+        assert_eq!(t, explicit_zero);
+    }
+
+    #[test]
+    fn reuse_overlay_repeats_earlier_same_task_sources() {
+        let base = serve_trace(&TraceSpec::smoke(0x90de, 40, 128));
+        let spec = TraceSpec::smoke(0x90de, 40, 128).with_reuse(90);
+        let skewed = serve_trace(&spec);
+        assert_eq!(serve_trace(&spec), skewed, "overlay is deterministic");
+        let mut reused = 0;
+        for (i, (arrival, req)) in skewed.iter().enumerate() {
+            // Reuse never touches arrivals, tasks, ids, or deadlines.
+            assert_eq!(*arrival, base[i].0);
+            assert_eq!(req.task, base[i].1.task);
+            assert_eq!(req.deadline_ns, base[i].1.deadline_ns);
+            if req.src != base[i].1.src {
+                reused += 1;
+                assert!(i >= 4, "first task cycle is never rewritten");
+                // The replacement is an earlier same-task source.
+                assert!(
+                    skewed[..i]
+                        .iter()
+                        .enumerate()
+                        .any(|(j, (_, r))| j % 4 == i % 4 && r.src == req.src),
+                    "request {i} reuses no earlier same-task source"
+                );
+            }
+        }
+        assert!(reused > 10, "90% reuse must actually repeat sources");
+    }
+
+    #[test]
+    fn corpus_reuse_repeats_earlier_same_task_requests() {
+        let corpus = Corpus::generate(&corpus::CorpusConfig {
+            seed: 5,
+            dbs_per_domain: 1,
+            queries_per_db: 4,
+            facts_per_db: 3,
+        });
+        let base = corpus_requests(&corpus, 32);
+        assert_eq!(
+            corpus_requests_with_reuse(&corpus, 32, 0, 7),
+            base,
+            "reuse 0 is the identity"
+        );
+        let skewed = corpus_requests_with_reuse(&corpus, 32, 90, 7);
+        assert_eq!(
+            corpus_requests_with_reuse(&corpus, 32, 90, 7),
+            skewed,
+            "overlay is deterministic"
+        );
+        let mut reused = 0;
+        for (i, req) in skewed.iter().enumerate() {
+            assert_eq!(req.task(), base[i].task(), "task cycle preserved");
+            if *req != base[i] {
+                reused += 1;
+                assert!(
+                    skewed[..i]
+                        .iter()
+                        .enumerate()
+                        .any(|(j, r)| j % 4 == i % 4 && r == req),
+                    "request {i} reuses no earlier same-task request"
+                );
+            }
+        }
+        assert!(reused > 5, "90% reuse must actually repeat requests");
     }
 }

@@ -1,0 +1,115 @@
+//! Golden-pinned cache event stream for one schema-skewed serving
+//! trace.
+//!
+//! The prefix cache's determinism claim gets the same anchor the
+//! scheduler got: a 90%-reuse `TraceSpec::smoke` trace through the
+//! scripted decoder with an event-logged cache must render the exact
+//! admission log, per-event hit/miss/evict/bypass stream, and final
+//! code tallies committed at `bench/golden/serve_cache_smoke.txt`. Any
+//! change to keying, recency bumping, pin bookkeeping, or eviction
+//! order shows up as a diff here, not as a silent behavior change.
+//! Every event code is cross-checked against `analysis::registry`
+//! (family `cache`), so the golden cannot pin an unregistered code.
+//! Regenerate with `GOLDEN_BLESS=1 cargo test -p bench --test
+//! golden_serve_cache`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use bench::trace::{serve_trace, TraceSpec};
+use serve::{PrefixCache, ScriptedDecoder, ServeConfig, ServeEngine};
+
+const EOS: u32 = 1;
+const VOCAB: usize = 128;
+/// Small enough that the 90%-reuse working set does not all fit —
+/// the golden stream must exercise eviction as well as hits (at this
+/// budget the smoke trace produces both).
+const CACHE_BYTES: usize = 2048;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../bench/golden")
+        .join("serve_cache_smoke.txt")
+}
+
+#[test]
+fn cache_event_stream_matches_golden() {
+    let spec = TraceSpec::smoke(0x90de, 24, VOCAB).with_reuse(90);
+    let trace = serve_trace(&spec);
+    let dec = ScriptedDecoder::new(2, VOCAB, EOS, |src| vec![src[0]; src.len() % 5 + 1])
+        .with_prefix_cache(PrefixCache::new(CACHE_BYTES).with_event_log());
+    let mut engine = ServeEngine::new(dec, ServeConfig::new(16, 8, EOS));
+    engine.run_trace(&trace);
+
+    let cache = engine
+        .decoder_mut()
+        .prefix_cache_mut()
+        .expect("decoder carries a cache");
+    let events = cache.take_events();
+    let stats = cache.stats();
+    assert_eq!(cache.pinned_entries(), 0, "run left a pin behind");
+    cache.audit();
+    assert!(stats.hits > 0, "90% reuse must produce hits");
+    assert!(stats.evictions > 0, "the tiny budget must evict");
+
+    let report = engine.into_report();
+    assert!(report.accounted());
+    assert_eq!(
+        report.cache.expect("report carries cache tallies"),
+        stats,
+        "report tallies disagree with the cache's own"
+    );
+
+    let mut rendered = String::new();
+    let _ = writeln!(
+        rendered,
+        "# serve cache smoke (seed=0x90de, n=24, reuse=90%, slots=2, \
+         queue=16, cache_bytes={CACHE_BYTES})"
+    );
+    let _ = writeln!(rendered, "# admissions");
+    for rec in &report.admission_log {
+        let _ = writeln!(rendered, "admit {}", rec.render());
+    }
+    let _ = writeln!(rendered, "# cache events");
+    for ev in &events {
+        let entry = analysis::registry::lookup(ev.code)
+            .unwrap_or_else(|| panic!("cache event code {} is unregistered", ev.code));
+        assert_eq!(
+            entry.family, "cache",
+            "{} is registered under family {:?}, not cache",
+            ev.code, entry.family
+        );
+        let _ = writeln!(rendered, "{} hash={:016x}", ev.code, ev.hash);
+    }
+    let _ = writeln!(rendered, "# tallies");
+    for (code, count) in stats.code_tallies() {
+        let summary = analysis::registry::lookup(code).unwrap().summary;
+        let _ = writeln!(rendered, "{code} {count} ({summary})");
+    }
+    let _ = writeln!(
+        rendered,
+        "# totals lookups={} hit_rate={:.3} insertions={} completed={}",
+        stats.lookups(),
+        stats.hit_rate(),
+        stats.insertions,
+        report.completed
+    );
+
+    let path = golden_path();
+    if std::env::var("GOLDEN_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with GOLDEN_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, committed,
+        "cache event stream diverged from the committed golden; \
+         if the change is intentional, regenerate with GOLDEN_BLESS=1"
+    );
+}

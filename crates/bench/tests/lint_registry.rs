@@ -91,7 +91,7 @@ fn vql_validator_codes_match_the_registry() {
 fn registry_covers_all_families() {
     let families: std::collections::BTreeSet<&str> = CODES.iter().map(|e| e.family).collect();
     for family in [
-        "shape", "flow", "sanitize", "vql", "det", "order", "par", "sched", "serve",
+        "shape", "flow", "sanitize", "vql", "det", "order", "par", "sched", "serve", "cache",
     ] {
         assert!(
             families.contains(family),

@@ -176,6 +176,17 @@ impl TaskRequest {
             TaskRequest::TableToText { table } => table_to_text_input(table),
         }
     }
+
+    /// The serving engine's prefix-cache key for this request: the
+    /// content hash of the standardized, filtered, tokenized input —
+    /// exactly the token sequence `serve::ServeRequest::from_task`
+    /// admits. Two requests share cached encoder state iff their keys
+    /// (and underlying tokens) match, so the key must be computed over
+    /// the *post-filtration* encoding: the same question against a
+    /// different schema, or vice versa, keys differently.
+    pub fn cache_key(&self, tok: &tokenizer::WordTokenizer) -> u64 {
+        nn::prefix_hash(&tok.encode_with_eos(&self.input_text()))
+    }
 }
 
 /// Prefixes an output with its corpus token.
@@ -418,5 +429,33 @@ mod tests {
         let d = datasets();
         let n = d.all_texts().count();
         assert_eq!(n, d.examples.len() * 2);
+    }
+
+    #[test]
+    fn cache_key_hashes_the_standardized_tokenized_input() {
+        use vql::schema::{DbSchema, TableSchema};
+        let schema = DbSchema::new(
+            "gallery",
+            vec![TableSchema::new("artist", vec!["country".into()])],
+        );
+        let req = TaskRequest::TextToVis {
+            question: "bar chart of artist country".into(),
+            schema: schema.clone(),
+        };
+        let tok = tokenizer::WordTokenizer::fit([req.input_text().as_str()], 1);
+        // The key is exactly the hash of the tokens the serving engine
+        // admits for this request.
+        assert_eq!(
+            req.cache_key(&tok),
+            nn::prefix_hash(&tok.encode_with_eos(&req.input_text()))
+        );
+        // Same standardized input -> same key; different question ->
+        // different key.
+        assert_eq!(req.cache_key(&tok), req.clone().cache_key(&tok));
+        let other = TaskRequest::TextToVis {
+            question: "pie chart of artist country".into(),
+            schema,
+        };
+        assert_ne!(req.cache_key(&tok), other.cache_key(&tok));
     }
 }

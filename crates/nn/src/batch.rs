@@ -29,24 +29,83 @@
 //! [`admit`] — the scheduling loop in [`crate::decode::batched_greedy_decode`]
 //! refills slots from its pending queue without draining the batch.
 //!
+//! # Prefix caching
+//!
+//! With [`BatchedDecodeState::with_prefix_cache`], admissions consult a
+//! cross-request [`PrefixCache`]: a request whose standardized input
+//! matches a resident entry adopts the cached cross-attention K/V blocks
+//! (shared by `Arc`, pinned until retirement) instead of re-running the
+//! encoder. The adopted tensors are the same bits a cold encoder run
+//! produces, so tokens stay identical cache on, off, cold, warm, or
+//! thrashing — `crates/nn/tests/cache_differential.rs` locks that in.
+//!
 //! [`step_packed`]: BatchedDecodeState::step_packed
 //! [`retire`]: BatchedDecodeState::retire
 //! [`admit`]: BatchedDecodeState::admit
 //! [`DecodeState`]: crate::t5::DecodeState
 //! [`DecodeState::step`]: crate::t5::DecodeState::step
 
+use std::sync::Arc;
+
 use tensor::kernels;
 use tensor::Tensor;
 
 use crate::layers::{Linear, RelPosBias, RmsNorm};
 use crate::param::ParamSet;
+use crate::prefix_cache::{CacheStats, PrefixCache, PrefixKv};
 use crate::t5::{DecodeState, Positional, T5Model};
+
+/// Where a slot's cross-attention K/V came from.
+///
+/// Without a prefix cache every slot owns its tensors (`Owned`), exactly
+/// as before the cache existed. With a cache attached, slots share the
+/// cached tensors by `Arc` (`Shared`) — the same bits whether they were
+/// computed this admission or adopted from an earlier request, which is
+/// what keeps the cache invisible at the logits level.
+enum CrossKv {
+    Owned {
+        k: Vec<Tensor>,
+        v: Vec<Tensor>,
+    },
+    Shared {
+        kv: Arc<PrefixKv>,
+        /// The cache pin to release at retirement (`None` when the
+        /// insert was bypassed — oversized entry or hash collision).
+        pinned: Option<u64>,
+    },
+}
+
+impl CrossKv {
+    fn k(&self, layer: usize) -> &Tensor {
+        match self {
+            CrossKv::Owned { k, .. } => &k[layer],
+            CrossKv::Shared { kv, .. } => &kv.cross_k[layer],
+        }
+    }
+
+    fn v(&self, layer: usize) -> &Tensor {
+        match self {
+            CrossKv::Owned { v, .. } => &v[layer],
+            CrossKv::Shared { kv, .. } => &kv.cross_v[layer],
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        match self {
+            CrossKv::Owned { k, v } => k
+                .iter()
+                .chain(v.iter())
+                .map(|t| t.numel() * 4)
+                .sum::<usize>(),
+            CrossKv::Shared { kv, .. } => kv.bytes(),
+        }
+    }
+}
 
 /// One resident request: per-layer KV caches plus the decode position.
 struct Slot {
     /// Per-decoder-layer cached cross-attention keys/values `[ts, d]`.
-    cross_k: Vec<Tensor>,
-    cross_v: Vec<Tensor>,
+    cross: CrossKv,
     /// Per-decoder-layer growing self-attention keys/values `[t, d]`.
     self_k: Vec<Tensor>,
     self_v: Vec<Tensor>,
@@ -81,6 +140,8 @@ pub struct BatchedDecodeState<'m> {
     slots: Vec<Option<Slot>>,
     scratch: Scratch,
     events: Vec<SlotEvent>,
+    /// Cross-request encoder-output cache; `None` = recompute always.
+    cache: Option<PrefixCache>,
 }
 
 /// Step-to-step reusable activation buffers (all `[n, ·]`, row-major).
@@ -108,7 +169,54 @@ impl<'m> BatchedDecodeState<'m> {
             slots: (0..capacity).map(|_| None).collect(),
             scratch: Scratch::default(),
             events: Vec::new(),
+            cache: None,
         }
+    }
+
+    /// [`new`](Self::new) with a cross-request prefix cache attached:
+    /// admissions whose standardized input matches a resident entry
+    /// adopt the cached cross-attention K/V instead of re-running the
+    /// encoder. Decoded tokens are bit-identical either way (the
+    /// `cache_differential` suite locks this in).
+    pub fn with_prefix_cache(
+        model: &'m T5Model,
+        ps: &'m ParamSet,
+        capacity: usize,
+        cache: PrefixCache,
+    ) -> Self {
+        let mut s = Self::new(model, ps, capacity);
+        s.cache = Some(cache);
+        s
+    }
+
+    /// The attached prefix cache, if any.
+    pub fn prefix_cache(&self) -> Option<&PrefixCache> {
+        self.cache.as_ref()
+    }
+
+    /// Mutable access to the attached prefix cache (event-log drains).
+    pub fn prefix_cache_mut(&mut self) -> Option<&mut PrefixCache> {
+        self.cache.as_mut()
+    }
+
+    /// Detaches and returns the prefix cache (pre-warming: run one
+    /// batch, take the cache back, attach it to the next engine).
+    /// Panics if any live slot still pins an entry.
+    pub fn take_prefix_cache(&mut self) -> Option<PrefixCache> {
+        let cache = self.cache.take();
+        if let Some(c) = &cache {
+            assert_eq!(
+                c.pinned_entries(),
+                0,
+                "detaching a prefix cache with pinned entries"
+            );
+        }
+        cache
+    }
+
+    /// Running cache tallies (`None` when no cache is attached).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(PrefixCache::stats)
     }
 
     /// Drains the slot admission/retirement log accumulated since the
@@ -141,12 +249,37 @@ impl<'m> BatchedDecodeState<'m> {
             .slots
             .iter()
             .position(|s| !matches!(s, Some(Slot { live: true, .. })))?;
-        let mut seq = DecodeState::new(self.model, self.ps, src);
+        let (model, ps) = (self.model, self.ps);
+        let cross = match self.cache.as_mut() {
+            None => {
+                let mut seq = DecodeState::new(model, ps, src);
+                CrossKv::Owned {
+                    k: std::mem::take(&mut seq.cross_k),
+                    v: std::mem::take(&mut seq.cross_v),
+                }
+            }
+            Some(cache) => match cache.lookup_pin(src) {
+                Some((kv, hash)) => CrossKv::Shared {
+                    kv,
+                    pinned: Some(hash),
+                },
+                None => {
+                    let mut seq = DecodeState::new(model, ps, src);
+                    let fresh = PrefixKv {
+                        cross_k: std::mem::take(&mut seq.cross_k),
+                        cross_v: std::mem::take(&mut seq.cross_v),
+                    };
+                    let (kv, pinned) = cache.insert_pin(src, fresh);
+                    CrossKv::Shared { kv, pinned }
+                }
+            },
+        };
+        let layers = model.dec.len();
+        let d = model.cfg.d_model;
         self.slots[idx] = Some(Slot {
-            cross_k: std::mem::take(&mut seq.cross_k),
-            cross_v: std::mem::take(&mut seq.cross_v),
-            self_k: std::mem::take(&mut seq.self_k),
-            self_v: std::mem::take(&mut seq.self_v),
+            cross,
+            self_k: vec![Tensor::zeros(vec![0, d]); layers],
+            self_v: vec![Tensor::zeros(vec![0, d]); layers],
             t: 0,
             live: true,
         });
@@ -167,27 +300,48 @@ impl<'m> BatchedDecodeState<'m> {
         matches!(self.slots.get(slot), Some(Some(Slot { live: true, .. })))
     }
 
-    /// Finishes a request: poisons every cache row with NaN and marks the
-    /// slot free. The poisoned tensors stay resident until `admit` reuses
-    /// the slot, so a stale read from any later `step_packed` surfaces as
-    /// NaN logits instead of silently borrowing another request's state.
+    /// Finishes a request: poisons every owned cache row with NaN and
+    /// marks the slot free. Poisoned tensors stay resident until `admit`
+    /// reuses the slot, so a stale read from any later `step_packed`
+    /// surfaces as NaN logits instead of silently borrowing another
+    /// request's state. Shared cross-attention tensors belong to the
+    /// prefix cache and cannot be poisoned — the slot's reference is
+    /// dropped instead (a stale access then panics on the empty
+    /// replacement) and the cache pin is released, making the entry
+    /// evictable again.
     pub fn retire(&mut self, slot: usize) {
         let s = self.slots[slot]
             .as_mut()
             .unwrap_or_else(|| panic!("retire of empty slot {slot}"));
         assert!(s.live, "retire of already-retired slot {slot}");
-        for cache in s
-            .cross_k
-            .iter_mut()
-            .chain(s.cross_v.iter_mut())
-            .chain(s.self_k.iter_mut())
-            .chain(s.self_v.iter_mut())
-        {
+        for cache in s.self_k.iter_mut().chain(s.self_v.iter_mut()) {
             cache.data_mut().fill(f32::NAN);
         }
+        let unpin = match &mut s.cross {
+            CrossKv::Owned { k, v } => {
+                for cache in k.iter_mut().chain(v.iter_mut()) {
+                    cache.data_mut().fill(f32::NAN);
+                }
+                None
+            }
+            CrossKv::Shared { pinned, .. } => {
+                let hash = pinned.take();
+                s.cross = CrossKv::Owned {
+                    k: Vec::new(),
+                    v: Vec::new(),
+                };
+                hash
+            }
+        };
         s.live = false;
         let steps = s.t;
         self.events.push(SlotEvent::Retired { slot, steps });
+        if let Some(hash) = unpin {
+            self.cache
+                .as_mut()
+                .expect("pinned entry without a cache")
+                .unpin(hash);
+        }
     }
 
     fn slot(&self, idx: usize) -> &Slot {
@@ -203,13 +357,12 @@ impl<'m> BatchedDecodeState<'m> {
             .flatten()
             .filter(|s| s.live)
             .map(|s| {
-                s.cross_k
-                    .iter()
-                    .chain(s.cross_v.iter())
-                    .chain(s.self_k.iter())
-                    .chain(s.self_v.iter())
-                    .map(|t| t.numel() * 4)
-                    .sum::<usize>()
+                s.cross.bytes()
+                    + s.self_k
+                        .iter()
+                        .chain(s.self_v.iter())
+                        .map(|t| t.numel() * 4)
+                        .sum::<usize>()
             })
             .sum()
     }
@@ -323,8 +476,8 @@ impl<'m> BatchedDecodeState<'m> {
                 let slot = self.slot(slot_idx);
                 attend_row(
                     &scratch.q[row * d..(row + 1) * d],
-                    &slot.cross_k[l],
-                    &slot.cross_v[l],
+                    slot.cross.k(l),
+                    slot.cross.v(l),
                     None,
                     dh,
                     &mut scratch.scores,
@@ -661,6 +814,40 @@ mod tests {
             batched.take_slot_events(),
             vec![SlotEvent::Retired { slot: a, steps: 1 }]
         );
+    }
+
+    #[test]
+    fn cached_admission_is_bitwise_equal_and_pins_then_unpins() {
+        let (m, ps) = build(Positional::RelativeBias);
+        let src = [3u32, 4, 5, 1];
+        let mut plain = BatchedDecodeState::new(&m, &ps, 1);
+        let mut cached =
+            BatchedDecodeState::with_prefix_cache(&m, &ps, 1, PrefixCache::new(1 << 20));
+        // First admission misses and inserts; second (after retire) hits.
+        for round in 0..2 {
+            let a = plain.admit(&src).unwrap();
+            let b = cached.admit(&src).unwrap();
+            let cache = cached.prefix_cache().unwrap();
+            assert_eq!(cache.pinned_entries(), 1, "slot pins its entry");
+            assert_eq!(
+                cached.cache_bytes(),
+                plain.cache_bytes(),
+                "round {round}: shared KV accounts like owned KV"
+            );
+            let want = plain.step_packed(&[(a, DECODER_START)]);
+            let got = cached.step_packed(&[(b, DECODER_START)]);
+            for (x, y) in got[0].iter().zip(want[0].iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "round {round}");
+            }
+            plain.retire(a);
+            cached.retire(b);
+            assert_eq!(cached.prefix_cache().unwrap().pinned_entries(), 0);
+        }
+        let stats = cached.cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        let cache = cached.take_prefix_cache().unwrap();
+        assert!(cache.contains(&src));
+        assert!(cached.cache_stats().is_none());
     }
 
     #[test]

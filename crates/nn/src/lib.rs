@@ -19,6 +19,10 @@
 //! * [`batch`] — the cross-request batched inference engine: concurrent
 //!   decodes packed into shared `[N, d]` matmuls, bit-identical to the
 //!   sequential path, with continuous slot-based batching;
+//! * [`prefix_cache`] — the cross-request encoder-output cache: decoder
+//!   cross-attention K/V blocks keyed by a content hash of the
+//!   standardized input, byte-bounded with deterministic LRU eviction
+//!   and pinning, bit-invisible to decoded tokens;
 //! * [`lstm`] — the attention LSTM seq2seq used by the Seq2Vis baseline;
 //! * [`lora`] — low-rank adapters over frozen linear weights;
 //! * [`decode`] / [`sample`] — greedy, beam, grammar-constrained, and
@@ -33,6 +37,7 @@ pub mod lora;
 pub mod lstm;
 pub mod optim;
 pub mod param;
+pub mod prefix_cache;
 pub mod sample;
 pub mod t5;
 pub mod train;
@@ -42,4 +47,5 @@ pub use ckpt::{CheckpointIo, CkptError, FaultIo, FaultMode, FaultPlan, StdIo};
 pub use decode::{batched_greedy_decode, beam_decode, greedy_decode};
 pub use optim::{AdamW, LrSchedule};
 pub use param::{ParamId, ParamSet};
+pub use prefix_cache::{prefix_hash, CacheStats, PrefixCache, PrefixKv};
 pub use t5::{T5Config, T5Model};

@@ -42,6 +42,7 @@ use std::collections::BTreeMap;
 use datavist5::data::Task;
 use nn::batch::{BatchedDecodeState, SlotEvent};
 use nn::decode::argmax;
+use nn::prefix_cache::CacheStats;
 use nn::t5::DECODER_START;
 
 use crate::queue::{AdmissionQueue, Queued};
@@ -64,6 +65,12 @@ pub trait BatchDecoder {
     fn cache_bytes(&self) -> usize;
     /// Drains the slot admission/retirement log.
     fn take_slot_events(&mut self) -> Vec<SlotEvent>;
+    /// Running prefix-cache tallies, when a cross-request cache is
+    /// attached (`None` for cacheless decoders). Purely observational:
+    /// nothing scheduling-visible may depend on it.
+    fn prefix_cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
 }
 
 impl BatchDecoder for BatchedDecodeState<'_> {
@@ -84,6 +91,9 @@ impl BatchDecoder for BatchedDecodeState<'_> {
     }
     fn take_slot_events(&mut self) -> Vec<SlotEvent> {
         BatchedDecodeState::take_slot_events(self)
+    }
+    fn prefix_cache_stats(&self) -> Option<CacheStats> {
+        BatchedDecodeState::cache_stats(self)
     }
 }
 
@@ -227,6 +237,17 @@ impl<D: BatchDecoder> ServeEngine<D> {
     /// Whether nothing is queued or in flight.
     pub fn is_idle(&self) -> bool {
         self.live == 0 && self.queue.is_empty()
+    }
+
+    /// The underlying decoder (cache statistics, test inspection).
+    pub fn decoder(&self) -> &D {
+        &self.dec
+    }
+
+    /// Mutable access to the underlying decoder (draining a prefix
+    /// cache's event log after a run).
+    pub fn decoder_mut(&mut self) -> &mut D {
+        &mut self.dec
     }
 
     /// Moves the virtual clock forward to `t` (never backward): external
@@ -526,6 +547,7 @@ impl<D: BatchDecoder> ServeEngine<D> {
             rejected: self.rejected,
             per_task: self.per_task,
             end_ns: self.now_ns,
+            cache: self.dec.prefix_cache_stats(),
         }
     }
 }
@@ -544,6 +566,12 @@ pub struct ServeReport {
     pub per_task: BTreeMap<Task, TaskTally>,
     /// Virtual time when the run finished.
     pub end_ns: u64,
+    /// Prefix-cache tallies, when the decoder carries a cache.
+    /// Deliberately **excluded** from [`fingerprint`](Self::fingerprint):
+    /// the cache must be invisible at the bits level, and a fingerprint
+    /// that mentioned hit counts would (correctly) differ between
+    /// cache-on and cache-off runs of the same trace.
+    pub cache: Option<CacheStats>,
 }
 
 impl ServeReport {

@@ -33,6 +33,7 @@ pub mod testing;
 
 pub use engine::{AdmissionRecord, BatchDecoder, ServeConfig, ServeEngine, ServeReport, TaskTally};
 pub use front::serve_concurrent;
+pub use nn::prefix_cache::{prefix_hash, CacheStats, PrefixCache, PrefixKv};
 pub use queue::{AdmissionQueue, Queued};
 pub use request::{Outcome, Priority, Rejection, ServeRequest, ServeResponse, NO_DEADLINE};
 pub use testing::ScriptedDecoder;

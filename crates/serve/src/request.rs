@@ -201,5 +201,9 @@ mod tests {
         // encoded input is shorter than the unfiltered text would be.
         let text = task.input_text();
         assert!(!text.contains("theme"));
+        // The request's admitted tokens hash to the task's cache key:
+        // core-side key computation and serve-side admission agree on
+        // what "the standardized input" is.
+        assert_eq!(nn::prefix_hash(&req.src), task.cache_key(&tok));
     }
 }

@@ -9,6 +9,7 @@
 //! the real [`nn::batch::BatchedDecodeState`].
 
 use nn::batch::SlotEvent;
+use nn::prefix_cache::{CacheStats, PrefixCache, PrefixKv};
 
 use crate::engine::BatchDecoder;
 
@@ -20,6 +21,9 @@ struct ScriptSlot {
     /// Steps taken so far.
     t: usize,
     live: bool,
+    /// Prefix-cache pin owed back at retirement, when the decoder
+    /// carries a cache and this slot's entry was cached.
+    pinned: Option<u64>,
 }
 
 /// Maps an admitted source to the token script its request replays.
@@ -35,6 +39,12 @@ pub struct ScriptedDecoder {
     eos: u32,
     script_fn: ScriptFn,
     events: Vec<SlotEvent>,
+    /// Optional prefix cache exercised with synthetic KV payloads —
+    /// lets the scheduler suites drive real pin/evict/hit accounting
+    /// without a model. Scripts never depend on the cache, so output
+    /// bits stay identical with it on or off (the same contract the
+    /// real decoder proves in `cache_differential.rs`).
+    cache: Option<PrefixCache>,
 }
 
 impl ScriptedDecoder {
@@ -54,7 +64,27 @@ impl ScriptedDecoder {
             eos,
             script_fn: Box::new(script_fn),
             events: Vec::new(),
+            cache: None,
         }
+    }
+
+    /// Attaches a prefix cache (builder style). Each admission then
+    /// looks its source up and, on a miss, inserts a deterministic
+    /// synthetic [`PrefixKv`]; retirement releases the pin.
+    pub fn with_prefix_cache(mut self, cache: PrefixCache) -> ScriptedDecoder {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached prefix cache, when one was configured.
+    pub fn prefix_cache(&self) -> Option<&PrefixCache> {
+        self.cache.as_ref()
+    }
+
+    /// Mutable access to the attached prefix cache (test visibility:
+    /// draining event logs, audits).
+    pub fn prefix_cache_mut(&mut self) -> Option<&mut PrefixCache> {
+        self.cache.as_mut()
     }
 
     /// Live-slot count (test visibility).
@@ -84,10 +114,15 @@ impl BatchDecoder for ScriptedDecoder {
         for &tok in &script {
             assert!((tok as usize) < self.vocab, "script token outside vocab");
         }
+        let pinned = self.cache.as_mut().and_then(|c| match c.lookup_pin(src) {
+            Some((_, hash)) => Some(hash),
+            None => c.insert_pin(src, PrefixKv::synthetic(src, 2, 4)).1,
+        });
         self.slots[idx] = Some(ScriptSlot {
             script,
             t: 0,
             live: true,
+            pinned,
         });
         self.events.push(SlotEvent::Admitted {
             slot: idx,
@@ -103,6 +138,12 @@ impl BatchDecoder for ScriptedDecoder {
         assert!(s.live, "retire of already-retired slot");
         s.live = false;
         self.events.push(SlotEvent::Retired { slot, steps: s.t });
+        if let Some(hash) = s.pinned.take() {
+            self.cache
+                .as_mut()
+                .expect("pinned slot without a cache")
+                .unpin(hash);
+        }
     }
 
     fn step_packed(&mut self, active: &[(usize, u32)]) -> Vec<Vec<f32>> {
@@ -134,6 +175,10 @@ impl BatchDecoder for ScriptedDecoder {
     fn take_slot_events(&mut self) -> Vec<SlotEvent> {
         std::mem::take(&mut self.events)
     }
+
+    fn prefix_cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +205,25 @@ mod tests {
                 SlotEvent::Retired { slot, steps: 3 },
             ]
         );
+    }
+
+    #[test]
+    fn scripted_decoder_drives_cache_pins_and_hits() {
+        let mut d = ScriptedDecoder::new(2, 8, 1, |src| src.to_vec())
+            .with_prefix_cache(PrefixCache::new(1 << 20));
+        let a = d.admit(&[5, 6]).unwrap();
+        let b = d.admit(&[5, 6]).unwrap();
+        let c = d.prefix_cache().unwrap();
+        assert_eq!(c.stats().misses, 1, "first admission misses");
+        assert_eq!(c.stats().hits, 1, "same source hits");
+        assert_eq!(c.pinned_entries(), 1, "both slots pin the one entry");
+        d.retire(a);
+        d.retire(b);
+        let c = d.prefix_cache().unwrap();
+        assert_eq!(c.pinned_entries(), 0, "retirement releases pins");
+        assert_eq!(c.entries(), 1, "entry stays resident for reuse");
+        assert_eq!(d.prefix_cache_stats(), Some(c.stats()));
+        c.audit();
     }
 
     #[test]

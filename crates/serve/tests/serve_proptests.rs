@@ -14,15 +14,21 @@
 //!    one priority class, is ordered by arrival sequence.
 //! 4. **Conservation** — rejections + completions == arrivals, exactly
 //!    one response per request id, nothing silently dropped.
+//! 5. **Cache transparency** — with a prefix cache attached, all of the
+//!    above still hold, the fingerprint equals the uncached run's (the
+//!    cache is invisible at the bits level), shutdown leaves zero slot
+//!    KV bytes *and* zero pinned cache entries, and double-running one
+//!    trace reproduces the cache tallies exactly.
 
 use std::collections::BTreeMap;
 
 use datavist5::data::Task;
 use nn::batch::SlotEvent;
+use nn::prefix_cache::CacheStats;
 use proptest::prelude::*;
 use serve::{
-    BatchDecoder, Outcome, Priority, Rejection, ScriptedDecoder, ServeConfig, ServeEngine,
-    ServeReport, ServeRequest,
+    BatchDecoder, Outcome, PrefixCache, Priority, Rejection, ScriptedDecoder, ServeConfig,
+    ServeEngine, ServeReport, ServeRequest,
 };
 use tensor::XorShift;
 
@@ -81,6 +87,9 @@ impl<D: BatchDecoder> BatchDecoder for EventTap<'_, D> {
         self.tee.extend(events.iter().copied());
         events
     }
+    fn prefix_cache_stats(&self) -> Option<CacheStats> {
+        self.inner.prefix_cache_stats()
+    }
 }
 
 /// Runs a trace to completion (`shutdown_after == None`) or for a fixed
@@ -92,11 +101,29 @@ fn run(
     queue_cap: usize,
     shutdown_after: Option<usize>,
 ) -> (ServeReport, Vec<SlotEvent>) {
+    run_with_cache(trace, slots, queue_cap, shutdown_after, None)
+}
+
+/// [`run`] with an optional prefix cache of `cache_cap` bytes attached
+/// to the scripted decoder. After the run, asserts the cache drained
+/// cleanly: zero pinned entries (every retirement released its pin),
+/// internal accounting consistent, budget held.
+fn run_with_cache(
+    trace: &[(u64, ServeRequest)],
+    slots: usize,
+    queue_cap: usize,
+    shutdown_after: Option<usize>,
+    cache_cap: Option<usize>,
+) -> (ServeReport, Vec<SlotEvent>) {
     let mut events = Vec::new();
+    let mut inner = ScriptedDecoder::new(slots, VOCAB, EOS, |src| {
+        vec![3; src.first().copied().unwrap_or(0) as usize]
+    });
+    if let Some(cap) = cache_cap {
+        inner = inner.with_prefix_cache(PrefixCache::new(cap));
+    }
     let dec = EventTap {
-        inner: ScriptedDecoder::new(slots, VOCAB, EOS, |src| {
-            vec![3; src.first().copied().unwrap_or(0) as usize]
-        }),
+        inner,
         tee: &mut events,
     };
     let mut engine = ServeEngine::new(dec, ServeConfig::new(queue_cap, MAX_OUT, EOS));
@@ -113,6 +140,16 @@ fn run(
             }
             engine.shutdown();
         }
+    }
+    // Shutdown (or drain) left no live slots: the scripted decoder's
+    // per-slot KV accounting must be back to zero while the prefix
+    // cache itself drains cleanly — resident entries are fine, pins
+    // are not.
+    assert_eq!(engine.decoder().cache_bytes(), 0, "slot KV bytes leaked");
+    if let Some(cache) = engine.decoder().inner.prefix_cache() {
+        assert_eq!(cache.pinned_entries(), 0, "retirement leaked a pin");
+        assert!(cache.bytes() <= cache.cap_bytes());
+        cache.audit();
     }
     let report = engine.into_report();
     (report, events)
@@ -243,5 +280,61 @@ proptest! {
         let (a, _) = run(&trace, slots, queue_cap, None);
         let (b, _) = run(&trace, slots, queue_cap, None);
         prop_assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    /// Invariant 5, drained runs: with caching on, every scheduler
+    /// invariant still holds and the fingerprint is bit-identical to
+    /// the uncached run of the same trace. Small byte budgets force
+    /// eviction and bypass mid-run; `run_with_cache` itself asserts the
+    /// cache drains with zero pins.
+    #[test]
+    fn cached_runs_hold_all_invariants_and_match_uncached_fingerprints(
+        seed in 800u64..1000,
+        n in 1usize..=24,
+        slots in 1usize..=4,
+        queue_cap in 1usize..=6,
+        cache_cap in 100usize..=4000,
+    ) {
+        let trace = random_trace(seed, n);
+        let (cached, events) = run_with_cache(&trace, slots, queue_cap, None, Some(cache_cap));
+        check_all(&trace, &cached, &events, slots);
+        prop_assert!(cached.cache.is_some(), "cached run reports tallies");
+        let (plain, _) = run(&trace, slots, queue_cap, None);
+        prop_assert_eq!(cached.fingerprint(), plain.fingerprint(),
+            "prefix cache leaked into observable bits");
+    }
+
+    /// Invariant 5, interrupted runs: shutdown mid-flight still drains
+    /// every pin and accounts every request with caching on.
+    #[test]
+    fn cached_shutdown_mid_flight_holds_all_invariants(
+        seed in 1000u64..1200,
+        n in 1usize..=24,
+        slots in 1usize..=4,
+        queue_cap in 1usize..=6,
+        ticks in 0usize..=6,
+        cache_cap in 100usize..=4000,
+    ) {
+        let trace = random_trace(seed, n);
+        let (report, events) = run_with_cache(&trace, slots, queue_cap, Some(ticks), Some(cache_cap));
+        check_all(&trace, &report, &events, slots);
+    }
+
+    /// Invariant 5, determinism: a cached trace double-runs to the same
+    /// fingerprint *and* the same cache tallies (hit/miss/evict order is
+    /// part of the deterministic history, not just the token bits).
+    #[test]
+    fn cached_double_runs_reproduce_fingerprint_and_tallies(
+        seed in 1200u64..1400,
+        n in 1usize..=16,
+        slots in 1usize..=4,
+        queue_cap in 1usize..=6,
+        cache_cap in 100usize..=4000,
+    ) {
+        let trace = random_trace(seed, n);
+        let (a, _) = run_with_cache(&trace, slots, queue_cap, None, Some(cache_cap));
+        let (b, _) = run_with_cache(&trace, slots, queue_cap, None, Some(cache_cap));
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        prop_assert_eq!(a.cache, b.cache, "cache tallies diverged across runs");
     }
 }
