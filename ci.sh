@@ -39,6 +39,13 @@ cargo run --release -p bench --bin det_audit -- --out target/BENCH_det_audit.jso
 echo "== parallel-safety audit: concurrency lints + schedule certification =="
 cargo run --release -p bench --bin par_audit -- --out target/BENCH_par_audit.json
 
+echo "== hot-path audit: panic-freedom + allocation-discipline lints =="
+cargo run --release -p bench --bin hot_audit -- --out target/BENCH_hot_audit.json
+
+echo "== zero-alloc steady state: counting-allocator certification =="
+cargo test --release -p serve --test zero_alloc -q
+cargo test -p analysis --test hot_proptests -q
+
 echo "== double-run bit-equality suite (incl. 1/2/4-thread sweep) =="
 cargo test -p nn --test double_run -q
 cargo test -p analysis --test order_proptests -q

@@ -62,6 +62,8 @@ impl SourceFinding {
     pub fn family(&self) -> &'static str {
         if self.code.starts_with('P') {
             "par-ok"
+        } else if self.code.starts_with('H') {
+            "hot-ok"
         } else {
             "det-ok"
         }

@@ -20,7 +20,7 @@ use std::path::{Path, PathBuf};
 
 /// The suppression families the strip pass collects. Each analyzer
 /// consumes its own family via [`crate::suppress::Suppressions`].
-pub const SUPPRESS_FAMILIES: &[&str] = &["det-ok", "par-ok"];
+pub const SUPPRESS_FAMILIES: &[&str] = &["det-ok", "hot-ok", "par-ok"];
 
 /// One lexed token with its 1-based source position.
 #[derive(Debug, Clone)]

@@ -28,6 +28,12 @@
 //!   plus the static schedule certifier that symbolically proves each
 //!   declared [`tensor::sched::ReductionSchedule`] bit-equivalent to the
 //!   canonical sequential reduction order.
+//! * [`hot`] — the hot-path auditor (`H000`–`H009`): panic-freedom and
+//!   allocation-discipline lints over an explicit manifest of the files
+//!   that execute per serve tick (engine tick loop, admission queue,
+//!   packed batch step, prefix cache, tensor kernels), paired with the
+//!   counting-allocator test that certifies zero allocations per
+//!   steady-state decode tick.
 //! * [`registry`] — the canonical table of every emittable lint code,
 //!   cross-checked against the counters and documentation.
 //!
@@ -41,6 +47,7 @@ use tensor::{Graph, Var};
 
 pub mod det;
 pub mod flow;
+pub mod hot;
 pub mod lexer;
 pub mod order;
 pub mod par;
@@ -50,6 +57,7 @@ pub mod shape;
 pub mod suppress;
 
 pub use det::{DetCounts, SourceFinding};
+pub use hot::HotCounts;
 pub use par::{ParCounts, ScheduleRejection};
 pub use sanitize::SanitizerMode;
 

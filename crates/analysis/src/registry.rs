@@ -184,6 +184,42 @@ pub const CODES: &[CodeEntry] = &[
         family: "sched",
         summary: "reduction schedule not bit-equivalent to sequential order",
     },
+    // Hot-path auditor (analysis::hot).
+    CodeEntry {
+        code: "H000",
+        family: "hot",
+        summary: "hot-ok annotation without a reason",
+    },
+    CodeEntry {
+        code: "H001",
+        family: "hot",
+        summary: "unwrap/expect in hot-path non-test code",
+    },
+    CodeEntry {
+        code: "H002",
+        family: "hot",
+        summary: "panic-family macro inside a steady-state tick function",
+    },
+    CodeEntry {
+        code: "H003",
+        family: "hot",
+        summary: "unchecked direct indexing inside a tick function",
+    },
+    CodeEntry {
+        code: "H004",
+        family: "hot",
+        summary: "heap allocation inside a steady-state tick function",
+    },
+    CodeEntry {
+        code: "H005",
+        family: "hot",
+        summary: "fallible cast feeding capacity or indexing in a tick function",
+    },
+    CodeEntry {
+        code: "H009",
+        family: "hot",
+        summary: "stale hot-ok suppression matching no finding",
+    },
     // Serving engine rejection codes (serve::request::Rejection).
     CodeEntry {
         code: "R001",
@@ -204,6 +240,11 @@ pub const CODES: &[CodeEntry] = &[
         code: "R004",
         family: "serve",
         summary: "engine shutdown retired a queued or in-flight request",
+    },
+    CodeEntry {
+        code: "R005",
+        family: "serve",
+        summary: "engine invariant violation; request drained with a typed error",
     },
     // Prefix-cache events (nn::prefix_cache).
     CodeEntry {
@@ -245,7 +286,7 @@ mod tests {
             assert!(seen.insert(e.code), "duplicate code {}", e.code);
             let (prefix, digits) = e.code.split_at(1);
             assert!(
-                matches!(prefix, "S" | "G" | "N" | "V" | "D" | "P" | "R" | "C"),
+                matches!(prefix, "S" | "G" | "N" | "V" | "D" | "P" | "H" | "R" | "C"),
                 "unknown family prefix in {}",
                 e.code
             );
@@ -293,6 +334,34 @@ mod tests {
         c.record_schedule("P010");
         assert_eq!(c.unsuppressed(), 1);
         assert!(lookup("P010").is_some());
+    }
+
+    #[test]
+    fn hot_counts_codes_are_all_registered() {
+        // Every code HotCounts can tally must be in the registry, and
+        // every registered hot-family code must be tallied by HotCounts.
+        for code in ["H000", "H001", "H002", "H003", "H004", "H005", "H009"] {
+            assert!(lookup(code).is_some(), "{code} missing from registry");
+        }
+        for e in CODES.iter().filter(|e| e.family == "hot") {
+            let mut c = crate::hot::HotCounts::default();
+            c.record(&crate::det::SourceFinding {
+                code: e.code,
+                file: "x.rs".into(),
+                line: 1,
+                message: String::new(),
+                suppressed: None,
+            });
+            assert_eq!(c.unsuppressed(), 1, "{} not counted", e.code);
+        }
+    }
+
+    #[test]
+    fn serve_rejection_codes_are_registered() {
+        for code in ["R001", "R002", "R003", "R004", "R005"] {
+            let e = lookup(code).unwrap_or_else(|| panic!("{code} missing"));
+            assert_eq!(e.family, "serve");
+        }
     }
 
     #[test]

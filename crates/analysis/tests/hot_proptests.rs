@@ -1,0 +1,200 @@
+//! Property tests for the hot-path auditor: seeded violations are
+//! always caught, and reasoned `// hot-ok:` suppressions are always
+//! honored.
+//!
+//! The generator assembles a synthetic source file from a random mix of
+//! violation templates (one per lint code H001–H005), placing each
+//! either inside a tick function (`fn tick`) or a helper (`fn helper`),
+//! optionally annotated with a reasoned suppression. The properties:
+//!
+//! * every unsuppressed violation that is in scope for its code is
+//!   reported with exactly that code;
+//! * every reasoned suppression silences its line (no finding, no H000);
+//! * a reason-less annotation surfaces as H000 and a dangling one as
+//!   H009 — suppressions can never silently rot.
+
+use analysis::hot::scan_hot_source;
+use proptest::prelude::*;
+
+/// One violation template: the line to plant, the code it must trip,
+/// and whether it only fires inside a tick function.
+#[derive(Debug, Clone, Copy)]
+struct Template {
+    line: &'static str,
+    code: &'static str,
+    tick_only: bool,
+}
+
+const TEMPLATES: &[Template] = &[
+    Template {
+        line: "let v = maybe.unwrap();",
+        code: "H001",
+        tick_only: false,
+    },
+    Template {
+        line: "let v = maybe.expect(\"present\");",
+        code: "H001",
+        tick_only: false,
+    },
+    Template {
+        line: "panic!(\"boom\");",
+        code: "H002",
+        tick_only: true,
+    },
+    Template {
+        line: "assert_eq!(a, b);",
+        code: "H002",
+        tick_only: true,
+    },
+    Template {
+        line: "let v = xs[i];",
+        code: "H003",
+        tick_only: true,
+    },
+    Template {
+        line: "let v = vec![0u8; n];",
+        code: "H004",
+        tick_only: true,
+    },
+    Template {
+        line: "let s = format!(\"{x}\");",
+        code: "H004",
+        tick_only: true,
+    },
+    Template {
+        line: "let v = Vec::<u32>::with_capacity(n);",
+        code: "H004",
+        tick_only: true,
+    },
+    Template {
+        line: "buf.reserve(len as u16 as usize);",
+        code: "H005",
+        tick_only: true,
+    },
+    Template {
+        line: "buf.truncate(keep as u32 as usize);",
+        code: "H005",
+        tick_only: true,
+    },
+];
+
+/// One planted site: which template, whether it goes in the tick fn,
+/// and whether it carries a reasoned suppression.
+#[derive(Debug, Clone, Copy)]
+struct Site {
+    template: usize,
+    in_tick: bool,
+    suppressed: bool,
+}
+
+fn sites() -> impl Strategy<Value = Vec<Site>> {
+    prop::collection::vec(
+        (0..TEMPLATES.len(), any::<bool>(), any::<bool>()).prop_map(
+            |(template, in_tick, suppressed)| Site {
+                template,
+                in_tick,
+                suppressed,
+            },
+        ),
+        1..12,
+    )
+}
+
+/// Renders the synthetic source: a tick fn and a helper fn, each
+/// receiving its share of the planted sites.
+fn render(sites: &[Site]) -> String {
+    let mut tick_body = String::new();
+    let mut helper_body = String::new();
+    for site in sites {
+        let t = TEMPLATES[site.template];
+        let body = if site.in_tick {
+            &mut tick_body
+        } else {
+            &mut helper_body
+        };
+        if site.suppressed {
+            body.push_str("    // hot-ok: planted suppression with a reason\n");
+        }
+        body.push_str("    ");
+        body.push_str(t.line);
+        body.push('\n');
+    }
+    format!("fn tick() {{\n{tick_body}}}\n\nfn helper() {{\n{helper_body}}}\n")
+}
+
+/// Whether this planted site is in scope for its template's code.
+fn in_scope(site: Site) -> bool {
+    site.in_tick || !TEMPLATES[site.template].tick_only
+}
+
+proptest! {
+    /// Every in-scope unsuppressed plant is found under its own code;
+    /// every suppressed plant is silenced; nothing else fires.
+    #[test]
+    fn seeded_violations_are_caught_and_suppressions_honored(sites in sites()) {
+        let src = render(&sites);
+        let findings = scan_hot_source("synthetic.rs", &src, &["tick"]);
+
+        let mut expected: Vec<&str> = sites
+            .iter()
+            .filter(|s| in_scope(**s) && !s.suppressed)
+            .map(|s| TEMPLATES[s.template].code)
+            .collect();
+        expected.sort_unstable();
+
+        // Hygiene codes are asserted separately below: H009 findings are
+        // unsuppressed by construction but are not violation plants.
+        let mut unsuppressed: Vec<&str> = findings
+            .iter()
+            .filter(|f| f.suppressed.is_none() && f.code != "H009")
+            .map(|f| f.code)
+            .collect();
+        unsuppressed.sort_unstable();
+        prop_assert_eq!(
+            unsuppressed,
+            expected,
+            "unsuppressed findings must be exactly the in-scope plants\n{}",
+            src
+        );
+
+        // Reasoned suppressions on in-scope plants surface as allowed
+        // findings (suppressed = the reason), never as H000 or H009.
+        prop_assert!(
+            findings.iter().all(|f| f.code != "H000"),
+            "every planted annotation carries a reason\n{}",
+            src
+        );
+        let in_scope_suppressed = sites
+            .iter()
+            .filter(|s| in_scope(**s) && s.suppressed)
+            .count();
+        let allowed = findings.iter().filter(|f| f.suppressed.is_some()).count();
+        prop_assert!(
+            allowed >= in_scope_suppressed,
+            "each in-scope suppressed plant is recorded as allowed\n{}",
+            src
+        );
+
+        // Annotations on out-of-scope plants match no finding: H009.
+        let dangling = sites
+            .iter()
+            .filter(|s| !in_scope(**s) && s.suppressed)
+            .count();
+        let stale = findings.iter().filter(|f| f.code == "H009").count();
+        prop_assert_eq!(stale, dangling, "stale suppressions are H009\n{}", src);
+    }
+
+    /// A reason-less annotation is itself a finding (H000) regardless of
+    /// what it sits on.
+    #[test]
+    fn reasonless_annotations_always_fire_h000(template in 0..TEMPLATES.len()) {
+        let t = TEMPLATES[template];
+        let src = format!("fn tick() {{\n    // hot-ok:\n    {}\n}}\n", t.line);
+        let findings = scan_hot_source("synthetic.rs", &src, &["tick"]);
+        prop_assert!(
+            findings.iter().any(|f| f.code == "H000"),
+            "missing-reason annotation must trip H000\n{}",
+            src
+        );
+    }
+}

@@ -9,9 +9,11 @@
 //! profiler staying wired into every hot path.
 //!
 //! Artifacts: `BENCH_obs.json` (machine-readable summary), plus
-//! `bench/out/obs_events.jsonl` (the raw event log) and
-//! `bench/out/obs_trace.json` (Chrome `trace_event` export; load it at
-//! `chrome://tracing` or <https://ui.perfetto.dev>).
+//! `target/bench/obs_events.jsonl` (the raw event log) and
+//! `target/bench/obs_trace.json` (Chrome `trace_event` export; load it
+//! at `chrome://tracing` or <https://ui.perfetto.dev>). These change on
+//! every run, so they live under `target/` — `bench/out/` holds only
+//! blessed, committed goldens.
 //!
 //! `--overhead` runs the zero-overhead smoke instead: with `DATAVIST5_OBS`
 //! unset, the instrumented decode path must match a baseline pass of the
@@ -259,10 +261,12 @@ fn run_report(
         step_kernels.len(),
         min_coverage * 100.0
     ));
-    bench::emit("obs_report", &r.render());
+    bench::emit_scratch("obs_report", &r.render());
 
-    // Raw artifacts: the JSONL event log and the Chrome trace.
-    let out_dir = bench::out_dir();
+    // Raw artifacts: the JSONL event log and the Chrome trace. These
+    // differ on every run (wall-clock timestamps), so they land in the
+    // uncommitted scratch dir — never in the blessed bench/out goldens.
+    let out_dir = bench::scratch_dir();
     let events_path = out_dir.join("obs_events.jsonl");
     std::fs::write(&events_path, obs::sink::write_jsonl(&snap.events)).expect("write events");
     let trace_path = out_dir.join("obs_trace.json");

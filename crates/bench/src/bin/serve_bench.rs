@@ -120,7 +120,7 @@ fn main() {
         tensor::par::set_threads(threads);
         let dec = BatchedDecodeState::new(&model, &ps, slots);
         let mut engine = ServeEngine::new(dec, ServeConfig::new(queue_cap, max_out, EOS));
-        engine.run_trace(&trace);
+        engine.run_trace(&trace).expect("bench trace never poisons");
         tensor::par::set_threads(1);
         engine.into_report()
     };
@@ -230,7 +230,7 @@ fn main() {
             };
             let mut engine = ServeEngine::new(dec, ServeConfig::new(queue_cap, max_out, EOS));
             let t = Instant::now();
-            engine.run_trace(&trace);
+            engine.run_trace(&trace).expect("bench trace never poisons");
             let wall = t.elapsed().as_secs_f64();
             (engine.into_report(), wall)
         };

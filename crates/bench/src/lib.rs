@@ -66,17 +66,39 @@ pub fn parse_out_arg(bin: &str) -> PathBuf {
     out
 }
 
-/// Output directory for reports.
+/// Output directory for *blessed* reports: paper tables and figures that
+/// are committed to the repository and reviewed when they change.
 pub fn out_dir() -> PathBuf {
     let dir = PathBuf::from("bench").join("out");
     let _ = std::fs::create_dir_all(&dir);
     dir
 }
 
-/// Prints a report and writes it to `bench/out/<name>.txt`.
+/// Scratch directory for run-to-run artifacts (raw event logs, traces,
+/// per-run reports): `target/bench`, which is never committed. Anything
+/// whose bytes change on every invocation belongs here, not in
+/// [`out_dir`], so routine runs leave the working tree clean.
+pub fn scratch_dir() -> PathBuf {
+    let dir = workspace_root().join("target").join("bench");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Prints a report and writes it to `bench/out/<name>.txt` (a blessed,
+/// committed artifact — use [`emit_scratch`] for per-run output).
 pub fn emit(name: &str, content: &str) {
     println!("{content}");
     let path = out_dir().join(format!("{name}.txt"));
+    if let Err(e) = std::fs::write(&path, content) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+/// Prints a report and writes it to `target/bench/<name>.txt` — the
+/// uncommitted twin of [`emit`] for artifacts that differ every run.
+pub fn emit_scratch(name: &str, content: &str) {
+    println!("{content}");
+    let path = scratch_dir().join(format!("{name}.txt"));
     if let Err(e) = std::fs::write(&path, content) {
         eprintln!("warning: could not write {}: {e}", path.display());
     }

@@ -34,7 +34,9 @@ fn admission_log_matches_golden() {
     // the golden log also pins the src → script plumbing.
     let dec = ScriptedDecoder::new(2, VOCAB, EOS, |src| vec![src[0]; src.len() % 5 + 1]);
     let mut engine = ServeEngine::new(dec, ServeConfig::new(4, 8, EOS));
-    engine.run_trace(&trace);
+    engine
+        .run_trace(&trace)
+        .expect("golden trace never poisons");
     let report = engine.into_report();
     assert!(report.accounted());
 

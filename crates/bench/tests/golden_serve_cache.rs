@@ -39,7 +39,9 @@ fn cache_event_stream_matches_golden() {
     let dec = ScriptedDecoder::new(2, VOCAB, EOS, |src| vec![src[0]; src.len() % 5 + 1])
         .with_prefix_cache(PrefixCache::new(CACHE_BYTES).with_event_log());
     let mut engine = ServeEngine::new(dec, ServeConfig::new(16, 8, EOS));
-    engine.run_trace(&trace);
+    engine
+        .run_trace(&trace)
+        .expect("golden trace never poisons");
 
     let cache = engine
         .decoder_mut()

@@ -88,10 +88,25 @@ fn vql_validator_codes_match_the_registry() {
 }
 
 #[test]
+fn hot_auditor_codes_match_the_registry() {
+    // The H family must stay in lockstep across analysis::hot::HotCounts,
+    // the registry, and the DESIGN.md table (checked by the tests above).
+    let hot: Vec<&str> = CODES
+        .iter()
+        .filter(|e| e.family == "hot")
+        .map(|e| e.code)
+        .collect();
+    assert_eq!(
+        hot,
+        ["H000", "H001", "H002", "H003", "H004", "H005", "H009"]
+    );
+}
+
+#[test]
 fn registry_covers_all_families() {
     let families: std::collections::BTreeSet<&str> = CODES.iter().map(|e| e.family).collect();
     for family in [
-        "shape", "flow", "sanitize", "vql", "det", "order", "par", "sched", "serve", "cache",
+        "shape", "flow", "sanitize", "vql", "det", "order", "par", "sched", "hot", "serve", "cache",
     ] {
         assert!(
             families.contains(family),

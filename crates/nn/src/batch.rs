@@ -142,9 +142,18 @@ pub struct BatchedDecodeState<'m> {
     events: Vec<SlotEvent>,
     /// Cross-request encoder-output cache; `None` = recompute always.
     cache: Option<PrefixCache>,
+    /// Self-attention KV rows to pre-reserve per layer at admission
+    /// (see [`reserve_steps`](Self::reserve_steps)).
+    kv_reserve: usize,
 }
 
 /// Step-to-step reusable activation buffers (all `[n, ·]`, row-major).
+///
+/// Everything a packed step needs lives here so a warm step performs no
+/// heap allocation at all — `clear` + `resize` on a buffer that already
+/// reached its high-water mark touches only the existing allocation. The
+/// counting-allocator test in `crates/serve/tests/zero_alloc.rs` holds
+/// the whole tick path to this.
 #[derive(Default)]
 struct Scratch {
     x: Vec<f32>,
@@ -157,6 +166,18 @@ struct Scratch {
     ff_h: Vec<f32>,
     scores: Vec<f32>,
     logits: Vec<f32>,
+    /// Duplicate-slot check for `step_packed_into` (reused, not re-allocated).
+    seen: Vec<bool>,
+    lora: LoraScratch,
+}
+
+/// Reusable temporaries for the LoRA delta in [`linear_packed`] (the
+/// low-rank product needs two intermediates that used to be fresh `vec!`s
+/// per projection per layer per step).
+#[derive(Default)]
+struct LoraScratch {
+    xa: Vec<f32>,
+    xab: Vec<f32>,
 }
 
 impl<'m> BatchedDecodeState<'m> {
@@ -170,7 +191,20 @@ impl<'m> BatchedDecodeState<'m> {
             scratch: Scratch::default(),
             events: Vec::new(),
             cache: None,
+            kv_reserve: 0,
         }
+    }
+
+    /// Hints the maximum decode steps any one request will take, so each
+    /// admission pre-reserves that many self-attention KV rows per layer
+    /// and the per-step [`Tensor::push_row`] appends never reallocate.
+    /// The attention-score scratch (whose length tracks the growing KV
+    /// depth) is reserved up front for the same reason. Applies to
+    /// subsequent admissions; purely a capacity hint — decoded bits are
+    /// identical with or without it.
+    pub fn reserve_steps(&mut self, max_steps: usize) {
+        self.kv_reserve = max_steps;
+        self.scratch.scores.reserve(max_steps);
     }
 
     /// [`new`](Self::new) with a cross-request prefix cache attached:
@@ -278,8 +312,12 @@ impl<'m> BatchedDecodeState<'m> {
         let d = model.cfg.d_model;
         self.slots[idx] = Some(Slot {
             cross,
-            self_k: vec![Tensor::zeros(vec![0, d]); layers],
-            self_v: vec![Tensor::zeros(vec![0, d]); layers],
+            self_k: (0..layers)
+                .map(|_| Tensor::empty_rows(d, self.kv_reserve))
+                .collect(),
+            self_v: (0..layers)
+                .map(|_| Tensor::empty_rows(d, self.kv_reserve))
+                .collect(),
             t: 0,
             live: true,
         });
@@ -339,12 +377,14 @@ impl<'m> BatchedDecodeState<'m> {
         if let Some(hash) = unpin {
             self.cache
                 .as_mut()
+                // hot-ok: a pin implies a cache — only admissions with a cache pin
                 .expect("pinned entry without a cache")
                 .unpin(hash);
         }
     }
 
     fn slot(&self, idx: usize) -> &Slot {
+        // hot-ok: batcher contract teeth — callers index only validated live slots
         self.slots[idx].as_ref().expect("empty slot")
     }
 
@@ -370,16 +410,47 @@ impl<'m> BatchedDecodeState<'m> {
     /// Advances every `(slot, previous_token)` pair by one step and returns
     /// their next-token logit rows, in input order.
     ///
+    /// Compatibility wrapper over [`step_packed_into`] that allocates a
+    /// fresh output buffer per call; the serving engine calls
+    /// [`step_packed_into`] directly with recycled buffers.
+    ///
+    /// [`step_packed_into`]: Self::step_packed_into
+    pub fn step_packed(&mut self, active: &[(usize, u32)]) -> Vec<Vec<f32>> {
+        // hot-ok: test/compat wrapper — the steady-state path is step_packed_into
+        let mut out = Vec::new();
+        self.step_packed_into(active, &mut out);
+        out
+    }
+
+    /// Advances every `(slot, previous_token)` pair by one step, writing
+    /// their next-token logit rows into `out` in input order.
+    ///
+    /// `out` is truncated to `active.len()` and every retained row is
+    /// overwritten in place, so a caller handing back the same buffer each
+    /// step reuses the row allocations; combined with the [`Scratch`]
+    /// buffers and the KV capacity from [`reserve_steps`], a warm step
+    /// performs no heap allocation at all (with relative-position bias —
+    /// the sinusoidal branch builds a position row per request). The
+    /// counting-allocator test in `crates/serve/tests/zero_alloc.rs`
+    /// certifies this.
+    ///
     /// Requests may sit at different positions (ragged batching); each
     /// attends over exactly its own caches. Listing a slot twice, listing a
     /// retired/empty slot, or passing no requests panics.
-    pub fn step_packed(&mut self, active: &[(usize, u32)]) -> Vec<Vec<f32>> {
+    ///
+    /// [`reserve_steps`]: Self::reserve_steps
+    pub fn step_packed_into(&mut self, active: &[(usize, u32)], out: &mut Vec<Vec<f32>>) {
+        // hot-ok: contract teeth — an empty packed step is a scheduler bug
         assert!(!active.is_empty(), "step_packed needs at least one request");
-        let mut seen = vec![false; self.slots.len()];
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.seen.clear();
+        scratch.seen.resize(self.slots.len(), false);
         for &(slot, _) in active {
+            // hot-ok: contract teeth — is_live bounds-checks slot before the index below
             assert!(self.is_live(slot), "step of empty or retired slot {slot}");
-            assert!(!seen[slot], "slot {slot} listed twice in one step");
-            seen[slot] = true;
+            // hot-ok: contract teeth — slot < slots.len() established by is_live above
+            assert!(!scratch.seen[slot], "slot {slot} listed twice in one step");
+            scratch.seen[slot] = true; // hot-ok: in bounds per the is_live assert
         }
 
         let m = self.model;
@@ -388,7 +459,6 @@ impl<'m> BatchedDecodeState<'m> {
         let heads = m.cfg.heads;
         let dh = d / heads;
         let n = active.len();
-        let mut scratch = std::mem::take(&mut self.scratch);
 
         // Section profiling: the packed decoder bypasses the autodiff
         // tape (pure scratch-buffer kernels), so the tape profiler never
@@ -403,6 +473,7 @@ impl<'m> BatchedDecodeState<'m> {
         scratch.x.resize(n * d, 0.0);
         for (row, &(slot, tok)) in active.iter().enumerate() {
             let id = tok as usize;
+            // hot-ok: contract teeth — rejects out-of-vocab ids before the row copy
             assert!(
                 id < m.cfg.vocab,
                 "token id {id} out of range {}",
@@ -423,13 +494,21 @@ impl<'m> BatchedDecodeState<'m> {
         for (l, block) in m.dec.iter().enumerate() {
             // Self-attention: packed projections, per-slot cached attention.
             rms_norm_packed(ps, &block.norm1, &scratch.x, d, &mut scratch.normed);
-            linear_packed(ps, &block.self_attn.wq, &scratch.normed, n, &mut scratch.q);
+            linear_packed(
+                ps,
+                &block.self_attn.wq,
+                &scratch.normed,
+                n,
+                &mut scratch.q,
+                &mut scratch.lora,
+            );
             linear_packed(
                 ps,
                 &block.self_attn.wk,
                 &scratch.normed,
                 n,
                 &mut scratch.k_new,
+                &mut scratch.lora,
             );
             linear_packed(
                 ps,
@@ -437,39 +516,49 @@ impl<'m> BatchedDecodeState<'m> {
                 &scratch.normed,
                 n,
                 &mut scratch.v_new,
+                &mut scratch.lora,
             );
             scratch.ctx.clear();
             scratch.ctx.resize(n * d, 0.0);
             for (row, &(slot_idx, _)) in active.iter().enumerate() {
+                // hot-ok: liveness of every active slot is asserted at entry
                 let slot = self.slots[slot_idx].as_mut().expect("live slot");
-                append_cache_row(
-                    &mut slot.self_k[l],
-                    &scratch.k_new[row * d..(row + 1) * d],
-                    d,
-                );
-                append_cache_row(
-                    &mut slot.self_v[l],
-                    &scratch.v_new[row * d..(row + 1) * d],
-                    d,
-                );
                 let pos = slot.t;
+                // hot-ok: l < dec.len() by loop construction
+                let (k_cache, v_cache) = (&mut slot.self_k[l], &mut slot.self_v[l]);
+                k_cache.push_row(&scratch.k_new[row * d..(row + 1) * d]);
+                v_cache.push_row(&scratch.v_new[row * d..(row + 1) * d]);
                 attend_row(
                     &scratch.q[row * d..(row + 1) * d],
-                    &slot.self_k[l],
-                    &slot.self_v[l],
+                    k_cache,
+                    v_cache,
                     m.dec_bias.as_ref().map(|b| (b, ps, pos)),
                     dh,
                     &mut scratch.scores,
                     &mut scratch.ctx[row * d..(row + 1) * d],
                 );
             }
-            linear_packed(ps, &block.self_attn.wo, &scratch.ctx, n, &mut scratch.proj);
+            linear_packed(
+                ps,
+                &block.self_attn.wo,
+                &scratch.ctx,
+                n,
+                &mut scratch.proj,
+                &mut scratch.lora,
+            );
             add_assign(&mut scratch.x, &scratch.proj);
             t_self += lap(prof, &mut mark);
 
             // Cross-attention over the precomputed encoder keys/values.
             rms_norm_packed(ps, &block.norm2, &scratch.x, d, &mut scratch.normed);
-            linear_packed(ps, &block.cross_attn.wq, &scratch.normed, n, &mut scratch.q);
+            linear_packed(
+                ps,
+                &block.cross_attn.wq,
+                &scratch.normed,
+                n,
+                &mut scratch.q,
+                &mut scratch.lora,
+            );
             scratch.ctx.clear();
             scratch.ctx.resize(n * d, 0.0);
             for (row, &(slot_idx, _)) in active.iter().enumerate() {
@@ -484,17 +573,38 @@ impl<'m> BatchedDecodeState<'m> {
                     &mut scratch.ctx[row * d..(row + 1) * d],
                 );
             }
-            linear_packed(ps, &block.cross_attn.wo, &scratch.ctx, n, &mut scratch.proj);
+            linear_packed(
+                ps,
+                &block.cross_attn.wo,
+                &scratch.ctx,
+                n,
+                &mut scratch.proj,
+                &mut scratch.lora,
+            );
             add_assign(&mut scratch.x, &scratch.proj);
             t_cross += lap(prof, &mut mark);
 
             // Feed-forward.
             rms_norm_packed(ps, &block.norm3, &scratch.x, d, &mut scratch.normed);
-            linear_packed(ps, &block.ff.wi, &scratch.normed, n, &mut scratch.ff_h);
+            linear_packed(
+                ps,
+                &block.ff.wi,
+                &scratch.normed,
+                n,
+                &mut scratch.ff_h,
+                &mut scratch.lora,
+            );
             for v in scratch.ff_h.iter_mut() {
                 *v = v.max(0.0);
             }
-            linear_packed(ps, &block.ff.wo, &scratch.ff_h, n, &mut scratch.proj);
+            linear_packed(
+                ps,
+                &block.ff.wo,
+                &scratch.ff_h,
+                n,
+                &mut scratch.proj,
+                &mut scratch.lora,
+            );
             add_assign(&mut scratch.x, &scratch.proj);
             t_ff += lap(prof, &mut mark);
         }
@@ -519,13 +629,23 @@ impl<'m> BatchedDecodeState<'m> {
             *v *= factor;
         }
 
-        let out: Vec<Vec<f32>> = scratch
-            .logits
-            .chunks(vocab)
-            .map(|row| row.to_vec())
-            .collect();
+        // Recycle the caller's row buffers: clear + extend on a row that
+        // already held a logit vector touches no allocator.
+        out.truncate(n);
+        for (row, chunk) in scratch.logits.chunks(vocab).enumerate() {
+            match out.get_mut(row) {
+                Some(buf) => {
+                    buf.clear();
+                    buf.extend_from_slice(chunk);
+                }
+                // hot-ok: warm-up only — a row allocated once is recycled by every later step
+                None => out.push(chunk.to_vec()),
+            }
+        }
         for &(slot_idx, _) in active {
-            self.slots[slot_idx].as_mut().expect("live slot").t += 1;
+            if let Some(s) = self.slots.get_mut(slot_idx).and_then(Option::as_mut) {
+                s.t += 1;
+            }
         }
         self.scratch = scratch;
 
@@ -572,7 +692,6 @@ impl<'m> BatchedDecodeState<'m> {
                 2 * rows * d64 * v64,
             );
         }
-        out
     }
 }
 
@@ -588,17 +707,17 @@ fn lap(prof: bool, mark: &mut u64) -> u64 {
     delta
 }
 
-/// Appends one `[d]` row to a growing `[t, d]` cache tensor.
-fn append_cache_row(store: &mut Tensor, row: &[f32], d: usize) {
-    let t = store.shape()[0];
-    let mut data = std::mem::take(store).into_data();
-    data.extend_from_slice(row);
-    *store = Tensor::from_vec(vec![t + 1, d], data);
-}
-
 /// `y = x·W (+ LoRA delta) (+ bias)` on packed `[n, d_in]` rows, matching
-/// `Linear::forward` term order exactly.
-fn linear_packed(ps: &ParamSet, lin: &Linear, x: &[f32], n: usize, out: &mut Vec<f32>) {
+/// `Linear::forward` term order exactly. The LoRA intermediates live in
+/// the caller's [`LoraScratch`] so a warm call allocates nothing.
+fn linear_packed(
+    ps: &ParamSet,
+    lin: &Linear,
+    x: &[f32],
+    n: usize,
+    out: &mut Vec<f32>,
+    lora: &mut LoraScratch,
+) {
     let w = ps.value(lin.w);
     out.clear();
     out.resize(n * lin.d_out, 0.0);
@@ -607,11 +726,21 @@ fn linear_packed(ps: &ParamSet, lin: &Linear, x: &[f32], n: usize, out: &mut Vec
         let va = ps.value(a);
         let vb = ps.value(b);
         let rank = va.shape()[1];
-        let mut xa = vec![0.0; n * rank];
-        kernels::mm_nn(x, va.data(), &mut xa, n, lin.d_in, rank, false);
-        let mut xab = vec![0.0; n * lin.d_out];
-        kernels::mm_nn(&xa, vb.data(), &mut xab, n, rank, lin.d_out, false);
-        for (o, &dv) in out.iter_mut().zip(xab.iter()) {
+        lora.xa.clear();
+        lora.xa.resize(n * rank, 0.0);
+        kernels::mm_nn(x, va.data(), &mut lora.xa, n, lin.d_in, rank, false);
+        lora.xab.clear();
+        lora.xab.resize(n * lin.d_out, 0.0);
+        kernels::mm_nn(
+            &lora.xa,
+            vb.data(),
+            &mut lora.xab,
+            n,
+            rank,
+            lin.d_out,
+            false,
+        );
+        for (o, &dv) in out.iter_mut().zip(lora.xab.iter()) {
             *o += dv * scale;
         }
     }

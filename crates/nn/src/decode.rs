@@ -184,6 +184,7 @@ pub fn masked_argmax(logits: &[f32], mask: &[u32]) -> u32 {
                 .partial_cmp(&logits[b as usize])
                 .unwrap_or(std::cmp::Ordering::Equal)
         })
+        // hot-ok: documented precondition — every caller rejects an empty mask first
         .expect("non-empty mask")
 }
 
@@ -265,6 +266,7 @@ fn batched_decode_loop(
     capacity: usize,
     mut pick: impl FnMut(usize, &[f32], &[u32]) -> Option<u32>,
 ) -> Vec<Vec<u32>> {
+    // hot-ok: per-run output table — allocated once, before the step loop
     let mut outs: Vec<Vec<u32>> = vec![Vec::new(); srcs.len()];
     if srcs.is_empty() || max_len == 0 {
         return outs;
@@ -275,18 +277,28 @@ fn batched_decode_loop(
         obs::gauge_set("decode.threads", tensor::par::threads() as f64);
     }
     let mut state = BatchedDecodeState::new(model, ps, capacity);
+    state.reserve_steps(max_len);
+    // hot-ok: per-run slot tables — allocated once, reused by every step
     let mut slot_req: Vec<Option<usize>> = vec![None; capacity];
+    // hot-ok: per-run slot tables — allocated once, reused by every step
     let mut slot_prev: Vec<u32> = vec![DECODER_START; capacity];
+    // hot-ok: per-run step buffers — recycled by step_packed_into each iteration
+    let mut active: Vec<(usize, u32)> = Vec::with_capacity(capacity);
+    // hot-ok: per-run step buffers — recycled by step_packed_into each iteration
+    let mut logits: Vec<Vec<f32>> = Vec::with_capacity(capacity);
     let mut next_req = 0usize;
     let mut live = 0usize;
     loop {
         // Refill free slots from the pending queue.
         let mut admitted = 0u64;
         while next_req < srcs.len() {
+            // hot-ok: next_req < srcs.len() is the loop condition
             let Some(slot) = state.admit(&srcs[next_req]) else {
                 break;
             };
+            // hot-ok: slot indices come from state.admit, bounded by capacity
             slot_req[slot] = Some(next_req);
+            // hot-ok: slot indices come from state.admit, bounded by capacity
             slot_prev[slot] = DECODER_START;
             next_req += 1;
             live += 1;
@@ -303,27 +315,37 @@ fn batched_decode_loop(
             obs::gauge_set("decode.slot_occupancy", live as f64 / capacity as f64);
             obs::gauge_set("decode.kv_cache_bytes", state.cache_bytes() as f64);
         }
-        let active: Vec<(usize, u32)> = slot_req
-            .iter()
-            .enumerate()
-            .filter_map(|(slot, req)| req.map(|_| (slot, slot_prev[slot])))
-            .collect();
-        let logits = state.step_packed(&active);
+        active.clear();
+        active.extend(
+            slot_req
+                .iter()
+                .enumerate()
+                // hot-ok: slot enumerates slot_prev's own indices
+                .filter_map(|(slot, req)| req.map(|_| (slot, slot_prev[slot]))),
+        );
+        state.step_packed_into(&active, &mut logits);
         let mut emitted = 0u64;
         let mut retired = 0u64;
         for (&(slot, _), row) in active.iter().zip(logits.iter()) {
-            let req = slot_req[slot].expect("active slot carries a request");
+            let Some(req) = slot_req.get(slot).copied().flatten() else {
+                continue;
+            };
+            // hot-ok: req indexes outs, sized to srcs.len() which bounds every req id
             let finished = match pick(req, row, &outs[req]) {
                 None => true,
                 Some(next) => {
+                    // hot-ok: req indexes outs, sized to srcs.len() which bounds every req id
                     outs[req].push(next);
+                    // hot-ok: slot came from active, built over slot_prev's indices
                     slot_prev[slot] = next;
                     emitted += 1;
+                    // hot-ok: req indexes outs, sized to srcs.len() which bounds every req id
                     outs[req].len() >= max_len
                 }
             };
             if finished {
                 state.retire(slot);
+                // hot-ok: slot came from active, built over slot_req's indices
                 slot_req[slot] = None;
                 live -= 1;
                 retired += 1;

@@ -382,6 +382,7 @@ impl PrefixCache {
             let Some(hash) = victim else {
                 return false; // everything left is pinned
             };
+            // hot-ok: lru and entries are updated in lockstep (audit() proves it)
             let e = self.entries.remove(&hash).expect("lru names a resident");
             self.lru.remove(&e.seq);
             self.bytes -= e.bytes;

@@ -12,12 +12,27 @@
 //! 2. fill free batcher slots from the queue in `(priority, arrival)`
 //!    order, logging each admission;
 //! 3. advance every live slot one token via
-//!    [`step_packed`](nn::batch::BatchedDecodeState::step_packed);
+//!    [`step_packed_into`](nn::batch::BatchedDecodeState::step_packed_into);
 //! 4. complete requests that emitted EOS or hit the output cap, then
 //!    retire any survivor past its deadline (R003);
 //! 5. advance the virtual clock by the configured per-step and
 //!    per-admission costs and cross-check the batcher's own
 //!    [`SlotEvent`] log against the scheduler's bookkeeping.
+//!
+//! # Panic freedom
+//!
+//! A scheduler/batcher bookkeeping divergence used to be a process-
+//! killing `.expect()` inside the tick loop — one bad slot would abort
+//! every in-flight request on the machine. Those invariants are now
+//! typed: [`tick`](ServeEngine::tick) returns `Err(`[`EngineError`]`)`
+//! on the first violation, after **poisoning** the engine — every queued
+//! and in-flight request is drained with a terminal
+//! [`Rejection::Internal`] (R005) response (partial tokens kept), later
+//! submissions reject immediately with R005, and further ticks are
+//! no-ops. The accounting invariant (`arrivals == completed +
+//! rejections`) holds through the failure, so the front door can report
+//! the outage request-by-request instead of dying. The hot-path auditor
+//! (`analysis::hot`, `hot_audit`) statically pins this file panic-free.
 //!
 //! # Determinism
 //!
@@ -38,6 +53,7 @@
 //! checks it and the CI smoke gates on it. Nothing is silently dropped.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use datavist5::data::Task;
 use nn::batch::{BatchedDecodeState, SlotEvent};
@@ -59,8 +75,18 @@ pub trait BatchDecoder {
     /// Frees a slot (poisoning its caches).
     fn retire(&mut self, slot: usize);
     /// Advances the listed `(slot, previous token)` pairs one step,
-    /// returning next-token logits per request in input order.
-    fn step_packed(&mut self, active: &[(usize, u32)]) -> Vec<Vec<f32>>;
+    /// writing next-token logits per request into `out`, in input order.
+    ///
+    /// `out` is a caller-owned reusable buffer: implementations must
+    /// truncate it to `active.len()` rows and overwrite retained rows in
+    /// place, so a steady-state tick (constant batch shape) performs no
+    /// heap allocation. The zero-alloc certification test
+    /// (`crates/serve/tests/zero_alloc.rs`) holds implementations to it.
+    fn step_packed_into(&mut self, active: &[(usize, u32)], out: &mut Vec<Vec<f32>>);
+    /// Sizing hint from the scheduler: no request decodes more than
+    /// `max_steps` tokens, so per-slot KV storage can be reserved up
+    /// front and steady-state ticks never grow it. Default: no-op.
+    fn reserve_steps(&mut self, _max_steps: usize) {}
     /// Resident KV bytes of live slots (leak detection at shutdown).
     fn cache_bytes(&self) -> usize;
     /// Drains the slot admission/retirement log.
@@ -83,8 +109,11 @@ impl BatchDecoder for BatchedDecodeState<'_> {
     fn retire(&mut self, slot: usize) {
         BatchedDecodeState::retire(self, slot)
     }
-    fn step_packed(&mut self, active: &[(usize, u32)]) -> Vec<Vec<f32>> {
-        BatchedDecodeState::step_packed(self, active)
+    fn step_packed_into(&mut self, active: &[(usize, u32)], out: &mut Vec<Vec<f32>>) {
+        BatchedDecodeState::step_packed_into(self, active, out)
+    }
+    fn reserve_steps(&mut self, max_steps: usize) {
+        BatchedDecodeState::reserve_steps(self, max_steps)
     }
     fn cache_bytes(&self) -> usize {
         BatchedDecodeState::cache_bytes(self)
@@ -96,6 +125,76 @@ impl BatchDecoder for BatchedDecodeState<'_> {
         BatchedDecodeState::cache_stats(self)
     }
 }
+
+/// A scheduler/batcher invariant violation caught inside the tick loop.
+///
+/// Each variant was a process-killing `.expect()`/`assert!` before the
+/// hot-path audit; now the first violation poisons the engine (every
+/// queued and in-flight request drains with an R005
+/// [`Rejection::Internal`] response) and surfaces here as data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The scheduler saw a non-empty queue but `pop` returned nothing.
+    EmptyQueuePop,
+    /// The scheduler counted a free slot but the batcher refused the
+    /// admission.
+    AdmitRefused {
+        /// Queue depth at the moment of refusal.
+        queued: usize,
+    },
+    /// The batcher assigned a slot the scheduler believes is occupied or
+    /// out of range.
+    SlotUnavailable { slot: usize },
+    /// A slot listed in the packed step came back vacant.
+    VacantActiveSlot { slot: usize },
+    /// Completion targeted a slot with no resident request.
+    FinishOfEmptySlot { slot: usize },
+    /// The batcher returned a different number of logit rows than the
+    /// step listed active requests.
+    LogitsArity { got: usize, want: usize },
+    /// The batcher's own event log disagrees with the scheduler's
+    /// bookkeeping for this tick.
+    EventDivergence {
+        got: Vec<SlotEvent>,
+        expected: Vec<SlotEvent>,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::EmptyQueuePop => {
+                write!(f, "scheduler popped an empty admission queue")
+            }
+            EngineError::AdmitRefused { queued } => write!(
+                f,
+                "batcher refused an admission the scheduler counted a free slot \
+                 for (queue depth {queued})"
+            ),
+            EngineError::SlotUnavailable { slot } => write!(
+                f,
+                "batcher assigned slot {slot}, which is occupied or out of range"
+            ),
+            EngineError::VacantActiveSlot { slot } => {
+                write!(f, "active slot {slot} came back vacant mid-step")
+            }
+            EngineError::FinishOfEmptySlot { slot } => {
+                write!(f, "completion targeted empty slot {slot}")
+            }
+            EngineError::LogitsArity { got, want } => write!(
+                f,
+                "batcher returned {got} logit rows for {want} active requests"
+            ),
+            EngineError::EventDivergence { got, expected } => write!(
+                f,
+                "batcher slot events diverged from scheduler bookkeeping \
+                 (got {got:?}, expected {expected:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// Scheduler configuration.
 #[derive(Debug, Clone, Copy)]
@@ -194,11 +293,19 @@ pub struct ServeEngine<D: BatchDecoder> {
     completed: u64,
     /// Expected batcher events for the current tick (cross-check).
     expected_events: Vec<SlotEvent>,
+    /// Set by the first [`EngineError`]: the engine has drained all work
+    /// with R005 responses and refuses everything thereafter.
+    poisoned: bool,
+    /// Reusable per-tick `(slot, prev)` list (zero-alloc steady state).
+    active: Vec<(usize, u32)>,
+    /// Reusable per-tick logits buffer, row-recycled by the decoder.
+    logits_buf: Vec<Vec<f32>>,
 }
 
 impl<D: BatchDecoder> ServeEngine<D> {
-    pub fn new(dec: D, cfg: ServeConfig) -> ServeEngine<D> {
+    pub fn new(mut dec: D, cfg: ServeConfig) -> ServeEngine<D> {
         assert!(cfg.max_out > 0, "max_out must be positive");
+        dec.reserve_steps(cfg.max_out);
         let capacity = dec.capacity();
         ServeEngine {
             dec,
@@ -216,7 +323,17 @@ impl<D: BatchDecoder> ServeEngine<D> {
             arrivals: 0,
             completed: 0,
             expected_events: Vec::new(),
+            poisoned: false,
+            active: Vec::with_capacity(capacity),
+            logits_buf: Vec::with_capacity(capacity),
         }
+    }
+
+    /// Whether a tick invariant violation has drained the engine; a
+    /// poisoned engine rejects all submissions with R005 and its ticks
+    /// are no-ops.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// Current virtual time.
@@ -275,6 +392,10 @@ impl<D: BatchDecoder> ServeEngine<D> {
         self.per_task.entry(req.task).or_default().arrivals += 1;
         if obs::enabled() {
             obs::counter_add("serve.arrivals", 1);
+        }
+        if self.poisoned {
+            self.reject(req, arrival_ns, Rejection::Internal);
+            return;
         }
         if req.deadline_ns <= self.now_ns {
             self.reject(req, arrival_ns, Rejection::DeadlineQueued);
@@ -339,9 +460,28 @@ impl<D: BatchDecoder> ServeEngine<D> {
         std::mem::take(&mut self.outbox)
     }
 
-    /// One scheduler tick; returns `true` if a decode step ran. With an
-    /// empty queue and no live request this is a no-op.
-    pub fn tick(&mut self) -> bool {
+    /// One scheduler tick; returns `Ok(true)` if a decode step ran. With
+    /// an empty queue and no live request this is a no-op. The first
+    /// invariant violation poisons the engine (all work drains with R005
+    /// responses) and returns the violation; every later tick is an
+    /// `Ok(false)` no-op.
+    pub fn tick(&mut self) -> Result<bool, EngineError> {
+        if self.poisoned {
+            return Ok(false);
+        }
+        match self.tick_inner() {
+            Ok(stepped) => Ok(stepped),
+            Err(e) => {
+                self.poison();
+                Err(e)
+            }
+        }
+    }
+
+    /// The tick body. Any `Err` leaves bookkeeping mid-transition;
+    /// [`tick`](Self::tick) immediately poisons the engine, which is the
+    /// only caller allowed to observe that state.
+    fn tick_inner(&mut self) -> Result<bool, EngineError> {
         // 1. Expire overdue queued requests.
         for item in self.queue.expire(self.now_ns) {
             self.reject(item.req, item.arrival_ns, Rejection::DeadlineQueued);
@@ -350,22 +490,31 @@ impl<D: BatchDecoder> ServeEngine<D> {
         // 2. Fill free slots in (priority, arrival) order.
         let mut admissions = 0u64;
         while self.live < self.slots.len() && !self.queue.is_empty() {
-            let item = self.queue.pop().expect("non-empty queue");
+            let Some(item) = self.queue.pop() else {
+                return Err(EngineError::EmptyQueuePop);
+            };
             // An empty prompt still carries the EOS marker, mirroring
             // `encode_with_eos` (the encoder needs at least one token).
             let src = if item.req.src.is_empty() {
+                // hot-ok: admission path — runs once per request, never in a steady tick
                 vec![self.cfg.eos]
             } else {
+                // hot-ok: admission path — the decoder keeps no reference to src
                 item.req.src.clone()
             };
-            let slot = self
-                .dec
-                .admit(&src)
-                .expect("scheduler and batcher disagree on free slots");
-            assert!(
-                self.slots[slot].is_none(),
-                "batcher assigned occupied slot {slot}"
-            );
+            let Some(slot) = self.dec.admit(&src) else {
+                // The popped item is in neither the queue nor a slot;
+                // give it its terminal R005 response before bailing so
+                // accounting survives the poison.
+                self.reject(item.req, item.arrival_ns, Rejection::Internal);
+                return Err(EngineError::AdmitRefused {
+                    queued: self.queue.len(),
+                });
+            };
+            if !matches!(self.slots.get(slot), Some(None)) {
+                self.reject(item.req, item.arrival_ns, Rejection::Internal);
+                return Err(EngineError::SlotUnavailable { slot });
+            }
             self.expected_events.push(SlotEvent::Admitted {
                 slot,
                 src_len: src.len(),
@@ -378,15 +527,18 @@ impl<D: BatchDecoder> ServeEngine<D> {
                 admitted_ns: self.now_ns,
                 queue_wait_ns: self.now_ns.saturating_sub(item.arrival_ns),
             });
-            self.slots[slot] = Some(InFlight {
-                req: item.req,
-                arrival_ns: item.arrival_ns,
-                tokens: Vec::new(),
-                prev: DECODER_START,
-                steps: 0,
-            });
-            self.live += 1;
-            admissions += 1;
+            if let Some(entry) = self.slots.get_mut(slot) {
+                *entry = Some(InFlight {
+                    req: item.req,
+                    arrival_ns: item.arrival_ns,
+                    // hot-ok: admission path — one reservation per request, reused every tick
+                    tokens: Vec::with_capacity(self.cfg.max_out),
+                    prev: DECODER_START,
+                    steps: 0,
+                });
+                self.live += 1;
+                admissions += 1;
+            }
         }
         if obs::enabled() {
             if admissions > 0 {
@@ -400,24 +552,39 @@ impl<D: BatchDecoder> ServeEngine<D> {
             obs::gauge_set("serve.kv_cache_bytes", self.dec.cache_bytes() as f64);
         }
 
-        // 3. One packed decode step over every live slot.
+        // 3. One packed decode step over every live slot. The `active`
+        // and logits buffers are engine-owned and recycled tick to tick;
+        // on the error paths below they are simply dropped — the engine
+        // is poisoned and will never tick again.
         let stepped = self.live > 0;
         if stepped {
-            let active: Vec<(usize, u32)> = self
-                .slots
-                .iter()
-                .enumerate()
-                .filter_map(|(slot, s)| s.as_ref().map(|f| (slot, f.prev)))
-                .collect();
-            let logits = self.dec.step_packed(&active);
+            let mut active = std::mem::take(&mut self.active);
+            active.clear();
+            active.extend(
+                self.slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(slot, s)| s.as_ref().map(|f| (slot, f.prev))),
+            );
+            let mut logits = std::mem::take(&mut self.logits_buf);
+            self.dec.step_packed_into(&active, &mut logits);
+            if logits.len() != active.len() {
+                return Err(EngineError::LogitsArity {
+                    got: logits.len(),
+                    want: active.len(),
+                });
+            }
             // The step and this tick's admissions are paid before the
             // post-step deadline check, so a deadline shorter than one
             // step retires its request with whatever that step emitted.
             self.now_ns += self.cfg.step_cost_ns + admissions * self.cfg.admit_cost_ns;
             let mut emitted = 0u64;
             for (&(slot, _), row) in active.iter().zip(logits.iter()) {
-                let f = self.slots[slot].as_mut().expect("active slot is live");
+                let Some(f) = self.slots.get_mut(slot).and_then(Option::as_mut) else {
+                    return Err(EngineError::VacantActiveSlot { slot });
+                };
                 f.steps += 1;
+                let deadline_ns = f.req.deadline_ns;
                 let next = argmax(row);
                 let mut finished = next == self.cfg.eos;
                 if !finished {
@@ -427,14 +594,19 @@ impl<D: BatchDecoder> ServeEngine<D> {
                     finished = f.tokens.len() >= self.cfg.max_out;
                 }
                 if finished {
-                    self.finish_slot(slot, Outcome::Completed);
-                } else if self.slots[slot]
-                    .as_ref()
-                    .is_some_and(|f| f.req.deadline_ns <= self.now_ns)
-                {
-                    self.finish_slot(slot, Outcome::Rejected(Rejection::DeadlineDecoding));
+                    let flight = self.take_flight(slot)?;
+                    self.finish_flight(slot, flight, Outcome::Completed);
+                } else if deadline_ns <= self.now_ns {
+                    let flight = self.take_flight(slot)?;
+                    self.finish_flight(
+                        slot,
+                        flight,
+                        Outcome::Rejected(Rejection::DeadlineDecoding),
+                    );
                 }
             }
+            self.active = active;
+            self.logits_buf = logits;
             if obs::enabled() && emitted > 0 {
                 obs::counter_add("serve.tokens", emitted);
             }
@@ -445,17 +617,23 @@ impl<D: BatchDecoder> ServeEngine<D> {
         // 4. The batcher's own event log must mirror the scheduler's.
         let got = self.dec.take_slot_events();
         let expected = std::mem::take(&mut self.expected_events);
-        assert_eq!(
-            got, expected,
-            "batcher slot events diverged from scheduler bookkeeping"
-        );
-        stepped
+        if got != expected {
+            return Err(EngineError::EventDivergence { got, expected });
+        }
+        Ok(stepped)
     }
 
-    /// Retires the request in `slot` with `outcome` and emits its
-    /// response.
-    fn finish_slot(&mut self, slot: usize, outcome: Outcome) {
-        let f = self.slots[slot].take().expect("finish of empty slot");
+    /// Removes the request resident in `slot` (typed counterpart of the
+    /// old finish-of-empty-slot panic).
+    fn take_flight(&mut self, slot: usize) -> Result<InFlight, EngineError> {
+        self.slots
+            .get_mut(slot)
+            .and_then(Option::take)
+            .ok_or(EngineError::FinishOfEmptySlot { slot })
+    }
+
+    /// Retires a removed request with `outcome` and emits its response.
+    fn finish_flight(&mut self, slot: usize, f: InFlight, outcome: Outcome) {
         self.live -= 1;
         self.dec.retire(slot);
         self.expected_events.push(SlotEvent::Retired {
@@ -473,11 +651,41 @@ impl<D: BatchDecoder> ServeEngine<D> {
         self.respond(resp);
     }
 
+    /// Drains every queued and in-flight request with a terminal R005
+    /// response and marks the engine refused-for-business. The decoder
+    /// is deliberately not touched: its bookkeeping is the suspect.
+    fn poison(&mut self) {
+        self.poisoned = true;
+        self.expected_events.clear();
+        for item in self.queue.drain_all() {
+            self.reject(item.req, item.arrival_ns, Rejection::Internal);
+        }
+        for slot in 0..self.slots.len() {
+            if let Some(f) = self.slots.get_mut(slot).and_then(Option::take) {
+                let resp = ServeResponse {
+                    id: f.req.id,
+                    task: f.req.task,
+                    outcome: Outcome::Rejected(Rejection::Internal),
+                    tokens: f.tokens,
+                    arrival_ns: f.arrival_ns,
+                    finished_ns: self.now_ns,
+                };
+                self.respond(resp);
+            }
+        }
+        self.live = 0;
+    }
+
     /// Replays a fixed arrival trace to completion (the deterministic
     /// path): arrivals are submitted when the virtual clock reaches
     /// them, the clock jumps over idle gaps, and the loop runs until
     /// every request has a terminal response.
-    pub fn run_trace(&mut self, trace: &[(u64, ServeRequest)]) {
+    ///
+    /// On an [`EngineError`] the engine poisons itself; the remaining
+    /// trace arrivals are still submitted (each draws an immediate R005
+    /// rejection) so the accounting invariant holds, then the error is
+    /// returned.
+    pub fn run_trace(&mut self, trace: &[(u64, ServeRequest)]) -> Result<(), EngineError> {
         let _span = obs::span!("serve/run_trace");
         let mut next = 0usize;
         loop {
@@ -489,38 +697,44 @@ impl<D: BatchDecoder> ServeEngine<D> {
             if self.is_idle() {
                 match trace.get(next) {
                     Some(&(t, _)) => self.advance_to(t),
-                    None => break,
+                    None => return Ok(()),
                 }
                 continue;
             }
-            if !self.tick() && self.live == 0 && self.queue.is_empty() {
-                // Everything expired without a decode step; re-check
-                // arrivals / termination from the top.
-                continue;
+            if let Err(e) = self.tick() {
+                for (arrival, req) in trace.iter().skip(next) {
+                    self.submit_at(*arrival, req.clone());
+                }
+                return Err(e);
             }
         }
     }
 
     /// Shuts the engine down: every queued and in-flight request is
     /// retired with [`Rejection::Shutdown`] (keeping partial tokens),
-    /// and the batcher must end with zero live KV bytes.
+    /// and the batcher must end with zero live KV bytes. A poisoned
+    /// engine has already drained itself (with R005, not R004) and its
+    /// batcher bookkeeping is untrusted, so the cross-checks are
+    /// skipped.
     pub fn shutdown(&mut self) {
         for item in self.queue.drain_all() {
             self.reject(item.req, item.arrival_ns, Rejection::Shutdown);
         }
         for slot in 0..self.slots.len() {
-            if self.slots[slot].is_some() {
-                self.finish_slot(slot, Outcome::Rejected(Rejection::Shutdown));
+            if let Some(f) = self.slots.get_mut(slot).and_then(Option::take) {
+                self.finish_flight(slot, f, Outcome::Rejected(Rejection::Shutdown));
             }
         }
-        let got = self.dec.take_slot_events();
-        let expected = std::mem::take(&mut self.expected_events);
-        assert_eq!(got, expected, "shutdown slot events diverged");
-        assert_eq!(
-            self.dec.cache_bytes(),
-            0,
-            "KV cache bytes leaked past shutdown"
-        );
+        if !self.poisoned {
+            let got = self.dec.take_slot_events();
+            let expected = std::mem::take(&mut self.expected_events);
+            assert_eq!(got, expected, "shutdown slot events diverged");
+            assert_eq!(
+                self.dec.cache_bytes(),
+                0,
+                "KV cache bytes leaked past shutdown"
+            );
+        }
         if obs::enabled() {
             obs::gauge_set("serve.kv_cache_bytes", 0.0);
             obs::gauge_set("serve.slot_occupancy", 0.0);
@@ -682,7 +896,7 @@ mod tests {
     fn single_request_completes_with_scripted_tokens() {
         let mut e = engine(2, 4);
         e.submit(req(0, 3));
-        e.run_trace(&[]);
+        e.run_trace(&[]).unwrap();
         let report = e.into_report();
         assert!(report.accounted());
         assert_eq!(report.responses[0].outcome, Outcome::Completed);
@@ -695,13 +909,13 @@ mod tests {
         let mut e = engine(1, 1);
         // Slot takes one, queue takes one, third bounces.
         e.submit(req(0, 5));
-        e.tick(); // admits request 0 into the slot
+        e.tick().unwrap(); // admits request 0 into the slot
         e.submit(req(1, 5));
         e.submit(req(2, 5));
         let resp: Vec<_> = e.drain_responses();
         let bounced = resp.iter().find(|r| r.id == 2).expect("response for #2");
         assert_eq!(bounced.outcome, Outcome::Rejected(Rejection::QueueFull));
-        e.run_trace(&[]);
+        e.run_trace(&[]).unwrap();
         let report = e.into_report();
         assert!(report.accounted());
         assert_eq!(report.rejected["queue-full"], 1);
@@ -712,7 +926,7 @@ mod tests {
     fn max_out_caps_runaway_decodes() {
         let mut e = engine(1, 2);
         e.submit(req(0, 100)); // wants 100 tokens, cap is 16
-        e.run_trace(&[]);
+        e.run_trace(&[]).unwrap();
         let report = e.into_report();
         assert_eq!(report.responses[0].tokens.len(), 16);
         assert_eq!(report.responses[0].outcome, Outcome::Completed);
@@ -725,7 +939,7 @@ mod tests {
             .collect();
         let run = || {
             let mut e = engine(2, 3);
-            e.run_trace(&trace);
+            e.run_trace(&trace).unwrap();
             e.into_report().fingerprint()
         };
         assert_eq!(run(), run());

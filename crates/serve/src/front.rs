@@ -89,7 +89,10 @@ pub fn serve_concurrent<D: BatchDecoder>(
                     }
                 }
             }
-            engine.tick();
+            // A poisoned engine has already drained every request with a
+            // typed R005 response; the delivery loop below still routes
+            // them, and `is_idle` then ends the session cleanly.
+            let _ = engine.tick();
             for resp in engine.drain_responses() {
                 let route = routes.remove(&resp.id).expect("response has a route");
                 route.send(resp).expect("client waits for its responses");

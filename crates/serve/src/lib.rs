@@ -9,13 +9,15 @@
 //! Layer map:
 //!
 //! * [`request`] — [`ServeRequest`]/[`ServeResponse`], typed
-//!   [`Rejection`]s (`R001`–`R004`), and text-level request construction
+//!   [`Rejection`]s (`R001`–`R005`), and text-level request construction
 //!   through the paper's unified encoding (schema filtration included).
 //! * [`queue`] — the bounded FIFO-within-priority admission queue.
 //! * [`engine`] — the scheduler itself: virtual clock, tick loop, slot
 //!   bookkeeping cross-checked against the batcher's event log,
 //!   deterministic [`ServeReport`] with fingerprint / percentiles /
-//!   fairness.
+//!   fairness. Invariant violations surface as typed [`EngineError`]s
+//!   that poison the engine and drain every request with an `R005`
+//!   response instead of panicking (see `engine` § "Panic freedom").
 //! * [`front`] — the concurrent client front door (threads only send
 //!   and receive; scheduling stays single-threaded).
 //! * [`testing`] — the scripted decoder the scheduler test suites run
@@ -31,7 +33,9 @@ pub mod queue;
 pub mod request;
 pub mod testing;
 
-pub use engine::{AdmissionRecord, BatchDecoder, ServeConfig, ServeEngine, ServeReport, TaskTally};
+pub use engine::{
+    AdmissionRecord, BatchDecoder, EngineError, ServeConfig, ServeEngine, ServeReport, TaskTally,
+};
 pub use front::serve_concurrent;
 pub use nn::prefix_cache::{prefix_hash, CacheStats, PrefixCache, PrefixKv};
 pub use queue::{AdmissionQueue, Queued};

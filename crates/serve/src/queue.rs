@@ -77,7 +77,7 @@ impl AdmissionQueue {
     /// Removes and returns the next request in `(priority, seq)` order.
     pub fn pop(&mut self) -> Option<Queued> {
         let (&prio, _) = self.classes.iter().find(|(_, q)| !q.is_empty())?;
-        let q = self.classes.get_mut(&prio).expect("class exists");
+        let q = self.classes.get_mut(&prio)?;
         let item = q.pop_front();
         if item.is_some() {
             self.len -= 1;
@@ -89,10 +89,22 @@ impl AdmissionQueue {
     }
 
     /// Removes every queued request whose deadline is at or before `now`,
-    /// in `(priority, seq)` order.
+    /// in `(priority, seq)` order. Runs every scheduler tick, so the
+    /// nothing-expired case (by far the common one) allocates nothing.
     pub fn expire(&mut self, now_ns: u64) -> Vec<Queued> {
+        let any_expired = self
+            .classes
+            .values()
+            .flat_map(|q| q.iter())
+            .any(|item| item.req.deadline_ns <= now_ns);
+        if !any_expired {
+            // hot-ok: Vec::new never allocates and nothing is pushed on this path
+            return Vec::new();
+        }
+        // hot-ok: expiry slow path — only reached when a deadline actually lapsed
         let mut out = Vec::new();
         for q in self.classes.values_mut() {
+            // hot-ok: expiry slow path — only reached when a deadline actually lapsed
             let mut kept = VecDeque::with_capacity(q.len());
             for item in q.drain(..) {
                 if item.req.deadline_ns <= now_ns {

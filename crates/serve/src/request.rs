@@ -10,7 +10,7 @@
 //! Every admitted or rejected request produces exactly one
 //! [`ServeResponse`]; nothing is silently dropped. Rejections are typed
 //! ([`Rejection`]) and each variant carries a registered diagnostic code
-//! (`R001`–`R004`, see `analysis::registry` and the DESIGN.md lint-code
+//! (`R001`–`R005`, see `analysis::registry` and the DESIGN.md lint-code
 //! table), so rejection tallies are auditable the same way lint tallies
 //! are.
 
@@ -93,6 +93,10 @@ pub enum Rejection {
     DeadlineDecoding,
     /// The engine shut down while the request was queued or in flight.
     Shutdown,
+    /// A scheduler/batcher invariant violation poisoned the engine
+    /// (`serve::EngineError`); the request was drained with this typed
+    /// response — partial tokens kept — instead of dying in a panic.
+    Internal,
 }
 
 impl Rejection {
@@ -103,6 +107,7 @@ impl Rejection {
             Rejection::DeadlineQueued => "R002",
             Rejection::DeadlineDecoding => "R003",
             Rejection::Shutdown => "R004",
+            Rejection::Internal => "R005",
         }
     }
 
@@ -113,6 +118,7 @@ impl Rejection {
             Rejection::DeadlineQueued => "deadline-queued",
             Rejection::DeadlineDecoding => "deadline-decoding",
             Rejection::Shutdown => "shutdown",
+            Rejection::Internal => "internal-error",
         }
     }
 }
@@ -161,9 +167,10 @@ mod tests {
             Rejection::DeadlineQueued,
             Rejection::DeadlineDecoding,
             Rejection::Shutdown,
+            Rejection::Internal,
         ];
         let codes: Vec<&str> = all.iter().map(|r| r.code()).collect();
-        assert_eq!(codes, ["R001", "R002", "R003", "R004"]);
+        assert_eq!(codes, ["R001", "R002", "R003", "R004", "R005"]);
         let mut labels: Vec<&str> = all.iter().map(|r| r.label()).collect();
         labels.dedup();
         assert_eq!(labels.len(), all.len());

@@ -45,6 +45,10 @@ pub struct ScriptedDecoder {
     /// bits stay identical with it on or off (the same contract the
     /// real decoder proves in `cache_differential.rs`).
     cache: Option<PrefixCache>,
+    /// Duplicate-slot check buffer, reused across steps (the scripted
+    /// decoder honors the same zero-alloc steady-state contract
+    /// `step_packed_into` documents, so scheduler suites exercise it).
+    seen_scratch: Vec<bool>,
 }
 
 impl ScriptedDecoder {
@@ -65,6 +69,7 @@ impl ScriptedDecoder {
             script_fn: Box::new(script_fn),
             events: Vec::new(),
             cache: None,
+            seen_scratch: Vec::new(),
         }
     }
 
@@ -146,24 +151,28 @@ impl BatchDecoder for ScriptedDecoder {
         }
     }
 
-    fn step_packed(&mut self, active: &[(usize, u32)]) -> Vec<Vec<f32>> {
+    fn step_packed_into(&mut self, active: &[(usize, u32)], out: &mut Vec<Vec<f32>>) {
         assert!(!active.is_empty(), "step_packed with no active slots");
-        let mut seen = std::collections::BTreeSet::new();
-        active
-            .iter()
-            .map(|&(slot, _prev)| {
-                assert!(seen.insert(slot), "duplicate slot in packed step");
-                let s = self.slots[slot]
-                    .as_mut()
-                    .filter(|s| s.live)
-                    .expect("step of retired slot");
-                let tok = s.script.get(s.t).copied().unwrap_or(self.eos);
-                s.t += 1;
-                let mut row = vec![0.0; self.vocab];
-                row[tok as usize] = 1.0;
-                row
-            })
-            .collect()
+        self.seen_scratch.clear();
+        self.seen_scratch.resize(self.slots.len(), false);
+        out.truncate(active.len());
+        for (row, &(slot, _prev)) in active.iter().enumerate() {
+            assert!(!self.seen_scratch[slot], "duplicate slot in packed step");
+            self.seen_scratch[slot] = true;
+            let s = self.slots[slot]
+                .as_mut()
+                .filter(|s| s.live)
+                .expect("step of retired slot");
+            let tok = s.script.get(s.t).copied().unwrap_or(self.eos);
+            s.t += 1;
+            if out.len() <= row {
+                out.push(Vec::new());
+            }
+            let buf = &mut out[row];
+            buf.clear();
+            buf.resize(self.vocab, 0.0);
+            buf[tok as usize] = 1.0;
+        }
     }
 
     fn cache_bytes(&self) -> usize {
@@ -185,15 +194,22 @@ impl BatchDecoder for ScriptedDecoder {
 mod tests {
     use super::*;
 
+    /// Allocating convenience over `step_packed_into` for assertions.
+    fn step(d: &mut ScriptedDecoder, active: &[(usize, u32)]) -> Vec<Vec<f32>> {
+        let mut out = Vec::new();
+        d.step_packed_into(active, &mut out);
+        out
+    }
+
     #[test]
     fn scripted_decoder_replays_script_then_eos() {
         let mut d = ScriptedDecoder::new(2, 8, 1, |src| src.to_vec());
         let slot = d.admit(&[5, 6]).unwrap();
-        let r1 = d.step_packed(&[(slot, 0)]);
+        let r1 = step(&mut d, &[(slot, 0)]);
         assert_eq!(r1[0][5], 1.0);
-        let r2 = d.step_packed(&[(slot, 5)]);
+        let r2 = step(&mut d, &[(slot, 5)]);
         assert_eq!(r2[0][6], 1.0);
-        let r3 = d.step_packed(&[(slot, 6)]);
+        let r3 = step(&mut d, &[(slot, 6)]);
         assert_eq!(r3[0][1], 1.0, "script exhausted -> EOS");
         assert_eq!(d.cache_bytes(), 1024);
         d.retire(slot);

@@ -74,7 +74,9 @@ fn run_once(seed: u64, n: usize) -> String {
     let (model, ps) = build_model();
     let dec = BatchedDecodeState::new(&model, &ps, SLOTS);
     let mut engine = ServeEngine::new(dec, ServeConfig::new(4, 10, EOS));
-    engine.run_trace(&trace(seed, n));
+    engine
+        .run_trace(&trace(seed, n))
+        .expect("real-decoder trace never poisons");
     let report = engine.into_report();
     assert!(report.accounted(), "every arrival has a terminal response");
     report.fingerprint()

@@ -9,7 +9,8 @@
 
 use datavist5::data::{Task, TaskRequest};
 use serve::{
-    BatchDecoder, Outcome, Rejection, ScriptedDecoder, ServeConfig, ServeEngine, ServeRequest,
+    BatchDecoder, EngineError, Outcome, Rejection, ScriptedDecoder, ServeConfig, ServeEngine,
+    ServeRequest,
 };
 use tokenizer::WordTokenizer;
 use vql::schema::{DbSchema, TableSchema};
@@ -36,7 +37,7 @@ fn req(id: u64, len: u32) -> ServeRequest {
 fn burst_peak_overflows_queue_with_typed_rejections() {
     let mut e = ServeEngine::new(scripted(1), ServeConfig::new(2, 8, EOS));
     let trace: Vec<(u64, ServeRequest)> = (0..6).map(|i| (1_000, req(i, 2))).collect();
-    e.run_trace(&trace);
+    e.run_trace(&trace).unwrap();
     let report = e.into_report();
     assert!(report.accounted());
     assert_eq!(report.completed, 2);
@@ -61,7 +62,7 @@ fn deadline_shorter_than_one_step_rejects_mid_decode() {
     let mut e = ServeEngine::new(scripted(2), ServeConfig { ..cfg });
     // Wants 5 tokens but the deadline expires inside the first step.
     let r = req(0, 5).with_deadline(500_000);
-    e.run_trace(&[(0, r)]);
+    e.run_trace(&[(0, r)]).unwrap();
     let report = e.into_report();
     assert!(report.accounted());
     let resp = &report.responses[0];
@@ -81,7 +82,7 @@ fn deadline_expiring_in_queue_rejects_without_admission() {
         (0u64, req(0, 8)),
         (1_000u64, req(1, 1).with_deadline(2_000_000)),
     ];
-    e.run_trace(&trace);
+    e.run_trace(&trace).unwrap();
     let report = e.into_report();
     assert!(report.accounted());
     let starved = report.responses.iter().find(|r| r.id == 1).unwrap();
@@ -132,7 +133,7 @@ fn same_schema_burst_serves_every_request_independently() {
     let dec = ScriptedDecoder::new(2, 4096, EOS, move |src| vec![src.len() as u32 + 2]);
     let mut e = ServeEngine::new(dec, ServeConfig::new(8, 8, EOS));
     let trace: Vec<(u64, ServeRequest)> = reqs.into_iter().map(|r| (0u64, r)).collect();
-    e.run_trace(&trace);
+    e.run_trace(&trace).unwrap();
     let report = e.into_report();
     assert!(report.accounted());
     assert_eq!(report.completed, 4);
@@ -154,7 +155,8 @@ fn zero_length_prompt_is_normalized_and_served() {
         vec![7, 7]
     });
     let mut e = ServeEngine::new(dec, ServeConfig::new(2, 8, EOS));
-    e.run_trace(&[(0, ServeRequest::new(0, Task::TableToText, Vec::new()))]);
+    e.run_trace(&[(0, ServeRequest::new(0, Task::TableToText, Vec::new()))])
+        .unwrap();
     let report = e.into_report();
     assert!(report.accounted());
     assert_eq!(report.responses[0].outcome, Outcome::Completed);
@@ -174,7 +176,7 @@ fn shutdown_with_in_flight_slots_leaks_nothing() {
     // Three ticks: two requests in flight with partial output, three
     // queued (slots=2).
     for _ in 0..3 {
-        e.tick();
+        e.tick().unwrap();
     }
     assert_eq!(e.live(), 2);
     assert!(e.queue_depth() > 0);
@@ -209,9 +211,75 @@ fn cache_bytes_drop_to_zero_at_shutdown() {
 
     let mut e = ServeEngine::new(dec, ServeConfig::new(4, 16, EOS));
     e.submit(req(0, 10));
-    e.tick();
+    e.tick().unwrap();
     e.shutdown(); // panics internally if any KV bytes survive
     assert!(e.into_report().accounted());
+}
+
+/// A decoder that violates the batcher contract: it reports free
+/// capacity but refuses every admission.
+struct RefusingDecoder;
+
+impl BatchDecoder for RefusingDecoder {
+    fn capacity(&self) -> usize {
+        1
+    }
+    fn admit(&mut self, _src: &[u32]) -> Option<usize> {
+        None
+    }
+    fn retire(&mut self, _slot: usize) {}
+    fn step_packed_into(&mut self, _active: &[(usize, u32)], _out: &mut Vec<Vec<f32>>) {}
+    fn cache_bytes(&self) -> usize {
+        0
+    }
+    fn take_slot_events(&mut self) -> Vec<nn::batch::SlotEvent> {
+        Vec::new()
+    }
+}
+
+/// An invariant violation mid-tick poisons the engine instead of
+/// panicking: the failing tick returns a typed [`EngineError`], every
+/// caught-in-the-middle request drains with an R005 response, later
+/// submissions reject immediately with R005, further ticks are no-ops,
+/// and the request accounting still balances.
+#[test]
+fn invariant_violation_poisons_engine_with_typed_r005_drain() {
+    let mut e = ServeEngine::new(RefusingDecoder, ServeConfig::new(4, 8, EOS));
+    e.submit(req(0, 2));
+    e.submit(req(1, 2));
+    let err = e.tick().unwrap_err();
+    assert_eq!(err, EngineError::AdmitRefused { queued: 1 });
+    assert!(e.is_poisoned());
+
+    // Post-poison: submissions bounce with R005, ticks are inert no-ops.
+    e.submit(req(2, 2));
+    assert_eq!(e.tick(), Ok(false));
+    assert_eq!(e.live(), 0);
+    assert_eq!(e.queue_depth(), 0);
+
+    let report = e.into_report();
+    assert!(report.accounted(), "accounting survives the poison drain");
+    assert_eq!(report.completed, 0);
+    assert_eq!(report.rejected["internal-error"], 3);
+    for r in &report.responses {
+        assert_eq!(r.outcome, Outcome::Rejected(Rejection::Internal));
+        assert!(r.tokens.is_empty());
+    }
+}
+
+/// `run_trace` on a poisoned engine: the error surfaces, and every
+/// arrival after the failing tick still gets its typed R005 response so
+/// nothing is silently dropped.
+#[test]
+fn run_trace_drains_remaining_arrivals_after_poison() {
+    let mut e = ServeEngine::new(RefusingDecoder, ServeConfig::new(4, 8, EOS));
+    let trace: Vec<(u64, ServeRequest)> = (0..3).map(|i| (i * 1_000, req(i, 2))).collect();
+    let err = e.run_trace(&trace).unwrap_err();
+    assert!(matches!(err, EngineError::AdmitRefused { .. }));
+    let report = e.into_report();
+    assert!(report.accounted());
+    assert_eq!(report.responses.len(), 3, "every arrival answered");
+    assert_eq!(report.rejected["internal-error"], 3);
 }
 
 /// Every rejection code the serving layer can emit is registered in the
@@ -223,6 +291,7 @@ fn rejection_codes_are_registered() {
         Rejection::DeadlineQueued,
         Rejection::DeadlineDecoding,
         Rejection::Shutdown,
+        Rejection::Internal,
     ];
     for rej in all {
         let entry = analysis::registry::CODES

@@ -76,8 +76,11 @@ impl<D: BatchDecoder> BatchDecoder for EventTap<'_, D> {
     fn retire(&mut self, slot: usize) {
         self.inner.retire(slot)
     }
-    fn step_packed(&mut self, active: &[(usize, u32)]) -> Vec<Vec<f32>> {
-        self.inner.step_packed(active)
+    fn step_packed_into(&mut self, active: &[(usize, u32)], out: &mut Vec<Vec<f32>>) {
+        self.inner.step_packed_into(active, out)
+    }
+    fn reserve_steps(&mut self, max_steps: usize) {
+        self.inner.reserve_steps(max_steps)
     }
     fn cache_bytes(&self) -> usize {
         self.inner.cache_bytes()
@@ -128,7 +131,9 @@ fn run_with_cache(
     };
     let mut engine = ServeEngine::new(dec, ServeConfig::new(queue_cap, MAX_OUT, EOS));
     match shutdown_after {
-        None => engine.run_trace(trace),
+        None => engine
+            .run_trace(trace)
+            .expect("scripted trace never poisons"),
         Some(ticks) => {
             // Everything arrives up front, the engine runs a bounded
             // number of ticks, then shuts down mid-flight.
@@ -136,7 +141,7 @@ fn run_with_cache(
                 engine.submit_at(*arrival, req.clone());
             }
             for _ in 0..ticks {
-                engine.tick();
+                engine.tick().expect("scripted tick never poisons");
             }
             engine.shutdown();
         }

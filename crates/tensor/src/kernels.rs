@@ -49,18 +49,21 @@ pub const MM_IC: usize = 64;
 /// `C = A·B` (or `C += A·B` when `accumulate`), with `A: [m,k]`, `B: [k,n]`,
 /// `C: [m,n]`.
 pub fn mm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, accumulate: bool) {
+    // hot-ok: shape contract at kernel entry — once per call, amortized over m*k*n work
     assert_eq!(
         a.len(),
         m * k,
         "mm_nn: A has {} elements, want m*k = {m}*{k}",
         a.len()
     );
+    // hot-ok: shape contract at kernel entry — once per call, amortized over m*k*n work
     assert_eq!(
         b.len(),
         k * n,
         "mm_nn: B has {} elements, want k*n = {k}*{n}",
         b.len()
     );
+    // hot-ok: shape contract at kernel entry — once per call, amortized over m*k*n work
     assert_eq!(
         c.len(),
         m * n,
@@ -113,18 +116,21 @@ fn mm_nn_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usiz
 /// This is the attention-score orientation (`Q·Kᵀ`) and the `dA = dC·Bᵀ`
 /// orientation of the backward pass; both operands stream row-wise.
 pub fn mm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, accumulate: bool) {
+    // hot-ok: shape contract at kernel entry — once per call, amortized over m*k*n work
     assert_eq!(
         a.len(),
         m * k,
         "mm_nt: A has {} elements, want m*k = {m}*{k}",
         a.len()
     );
+    // hot-ok: shape contract at kernel entry — once per call, amortized over m*k*n work
     assert_eq!(
         b.len(),
         n * k,
         "mm_nt: B has {} elements, want n*k = {n}*{k}",
         b.len()
     );
+    // hot-ok: shape contract at kernel entry — once per call, amortized over m*k*n work
     assert_eq!(
         c.len(),
         m * n,
@@ -277,6 +283,7 @@ pub fn scatter_rows(src: &[f32], d: usize, ids: &[usize], dst: &mut [f32]) {
 
 /// Numerically stable softmax applied independently to each `cols`-wide row.
 pub fn softmax_rows(data: &mut [f32], cols: usize) {
+    // hot-ok: shape contract at kernel entry — once per call, amortized over the row sweep
     assert!(cols > 0, "softmax over empty rows");
     debug_assert_eq!(data.len() % cols, 0);
     for row in data.chunks_mut(cols) {

@@ -48,6 +48,39 @@ impl Tensor {
         }
     }
 
+    /// A `[0, d]` tensor whose buffer has room for `row_capacity` rows of
+    /// `d` elements before [`push_row`](Self::push_row) must reallocate.
+    /// Capacity is invisible to `PartialEq` and byte accounting, so
+    /// pre-reserving never changes observable state — only when the
+    /// allocator runs.
+    pub fn empty_rows(d: usize, row_capacity: usize) -> Self {
+        Self {
+            shape: vec![0, d],
+            data: Vec::with_capacity(row_capacity * d),
+        }
+    }
+
+    /// Appends one row to a rank-2 tensor in place (`[t, d]` → `[t+1, d]`),
+    /// without the take/rebuild round trip `from_vec` would need. Within
+    /// the capacity reserved by [`empty_rows`](Self::empty_rows) this
+    /// performs no allocation — the KV-cache growth path in batched
+    /// decoding depends on that for its zero-alloc steady state.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not rank 2 or the row width mismatches.
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(self.rank(), 2, "push_row requires a 2-D tensor");
+        assert_eq!(
+            self.shape[1],
+            row.len(),
+            "push_row width {} does not match tensor width {}",
+            row.len(),
+            self.shape[1]
+        );
+        self.data.extend_from_slice(row);
+        self.shape[0] += 1;
+    }
+
     /// Tensor filled with a constant.
     pub fn filled(shape: Vec<usize>, value: f32) -> Self {
         let numel: usize = shape.iter().product();
@@ -195,6 +228,36 @@ mod tests {
     #[should_panic(expected = "needs 6 elements")]
     fn from_vec_rejects_bad_volume() {
         let _ = Tensor::from_vec(vec![2, 3], vec![0.0; 5]);
+    }
+
+    #[test]
+    fn push_row_grows_without_realloc_inside_reserve() {
+        let mut t = Tensor::empty_rows(3, 4);
+        assert_eq!(t.shape(), &[0, 3]);
+        let base = t.data().as_ptr();
+        for i in 0..4 {
+            t.push_row(&[i as f32, 1.0, 2.0]);
+        }
+        assert_eq!(t.shape(), &[4, 3]);
+        assert_eq!(t.at2(2, 0), 2.0);
+        assert_eq!(
+            t.data().as_ptr(),
+            base,
+            "rows within the reserved capacity must not move the buffer"
+        );
+        // Capacity is invisible to equality: a from_vec twin compares equal.
+        let twin = Tensor::from_vec(
+            vec![4, 3],
+            (0..4).flat_map(|i| [i as f32, 1.0, 2.0]).collect(),
+        );
+        assert_eq!(t, twin);
+    }
+
+    #[test]
+    #[should_panic(expected = "width 2 does not match")]
+    fn push_row_rejects_width_mismatch() {
+        let mut t = Tensor::empty_rows(3, 1);
+        t.push_row(&[0.0, 1.0]);
     }
 
     #[test]
