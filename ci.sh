@@ -88,4 +88,16 @@ echo "== obs report: kernel attribution covers >=95% of the train step =="
 DATAVIST5_OBS=1 cargo run --release -p bench --bin obs_report -- \
   --out target/BENCH_obs.json
 
+echo "== perf-trajectory suite: history round-trip + gate + golden trends =="
+cargo test -p bench --test perf_proptests -q
+cargo test -p bench --test golden_perf_trends -q
+
+echo "== perf gate: committed BENCH_*.json vs committed baseline =="
+cargo run --release -p bench --bin perf_gate -- --out target/BENCH_perf_gate.json
+
+echo "== perf trend charts rendered =="
+test -s target/bench/trends/perf_trends.txt
+test -s target/bench/trends/trend_decode.svg
+test -s target/bench/trends/trend_kernel.svg
+
 echo "ci: all stages passed"

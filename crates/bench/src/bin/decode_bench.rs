@@ -24,6 +24,7 @@
 
 use std::time::Instant;
 
+use bench::perf::{sample, PerfBlock, Unit};
 use nn::decode::{batched_greedy_decode, greedy_decode};
 use nn::param::ParamSet;
 use nn::t5::{DecodeState, T5Config, T5Model};
@@ -139,6 +140,42 @@ fn main() {
         .map(|(_, tps)| *tps)
         .unwrap_or(batched_tps);
 
+    // The thread sweep must be monotone-or-flagged: `worst_step_ratio`
+    // is the smallest tokens/sec ratio between consecutive thread counts
+    // (1.0 = perfectly monotone, <1.0 = some step loses throughput). The
+    // perf gate tracks it, so a parallelism collapse like the old 6.8×
+    // 4-thread regression shows up as a T001 instead of rotting silently.
+    let worst_step_ratio = tps_by_threads
+        .windows(2)
+        .map(|w| w[1].1 / w[0].1)
+        .fold(1.0_f64, f64::min);
+    let mut samples = vec![
+        sample("decode/seq/tokens_per_sec", Unit::TokensPerSec, seq_tps),
+        sample(
+            "decode/batched/tokens_per_sec",
+            Unit::TokensPerSec,
+            batched_tps,
+        ),
+        sample("decode/batched/speedup", Unit::Ratio, speedup),
+        sample(
+            "decode/sweep/worst_step_ratio",
+            Unit::Ratio,
+            worst_step_ratio,
+        ),
+    ];
+    for (threads, tps) in &tps_by_threads {
+        if *threads > 1 {
+            samples.push(sample(
+                &format!("decode/batched/t{threads}/tokens_per_sec"),
+                Unit::TokensPerSec,
+                *tps,
+            ));
+        }
+    }
+    let perf = PerfBlock::new(bench::perf::run_header("decode", Some(&preset)), samples);
+
+    // Legacy ad-hoc fields are kept alongside the canonical `perf` block
+    // for one release; readers should migrate to `perf.samples`.
     let json = serde_json::json!({
         "preset": preset,
         "requests": requests,
@@ -151,6 +188,7 @@ fn main() {
         "speedup": speedup,
         "identical": identical,
         "thread_sweep": sweep,
+        "perf": perf.to_json(),
     });
     let rendered = serde_json::to_string_pretty(&json).expect("serialize");
     println!("{rendered}");

@@ -112,6 +112,21 @@ fn main() {
         .iter()
         .map(|(code, message)| serde_json::json!({ "code": code, "message": message }))
         .collect();
+    let perf = bench::perf::PerfBlock::new(
+        bench::perf::run_header("det_audit", None),
+        vec![
+            bench::perf::sample(
+                "audit/det/files",
+                bench::perf::Unit::Count,
+                counts.files as f64,
+            ),
+            bench::perf::sample(
+                "audit/det/allowed",
+                bench::perf::Unit::Count,
+                counts.suppressed as f64,
+            ),
+        ],
+    );
     let report = serde_json::json!({
         "bench": "det_audit",
         "files": counts.files,
@@ -131,6 +146,7 @@ fn main() {
         "allowlist": allowed_json,
         "tape_findings": tape_json,
         "clean": counts.unsuppressed() == 0,
+        "perf": perf.to_json(),
     });
     let rendered = serde_json::to_string_pretty(&report).expect("render report");
     std::fs::write(&out_path, rendered + "\n").expect("write BENCH_det_audit.json");

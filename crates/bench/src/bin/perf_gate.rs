@@ -1,0 +1,306 @@
+//! Perf-trajectory gate CLI: compares the current `BENCH_*.json` perf
+//! blocks against the latest `bench/history.jsonl` run under the
+//! tolerance bands in `bench/perf_gates.toml`, renders trend charts,
+//! and exits nonzero on any unsuppressed T-code (see
+//! `analysis::registry`, family `perf`).
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf_gate [-- \
+//!     [--bench-dir DIR] [--history PATH] [--gates PATH] \
+//!     [--bless] [--out PATH]]
+//! ```
+//!
+//! `--bless` appends the current blocks to the history as the next run
+//! (the GOLDEN_BLESS idiom: regenerate the benches, eyeball the deltas,
+//! bless, commit the updated `bench/history.jsonl`). The normal mode
+//! never writes history — CI compares the committed BENCH files against
+//! the committed baseline, so the gate bites exactly when a PR ships
+//! regressed numbers without blessing them.
+
+use std::path::PathBuf;
+
+use bench::perf::history::{append_run, History, HistoryRecord};
+use bench::perf::{gate, parse_block, trend, PerfBlock};
+use bench::workspace_root;
+
+struct Args {
+    bench_dir: PathBuf,
+    history: PathBuf,
+    gates: PathBuf,
+    out: PathBuf,
+    bless: bool,
+}
+
+fn parse_args() -> Args {
+    let root = workspace_root();
+    let mut parsed = Args {
+        bench_dir: root.clone(),
+        history: root.join("bench").join("history.jsonl"),
+        gates: root.join("bench").join("perf_gates.toml"),
+        out: bench::default_bench_out("perf_gate"),
+        bless: false,
+    };
+    let usage = "usage: perf_gate [--bench-dir DIR] [--history PATH] [--gates PATH] \
+                 [--bless] [--out PATH]";
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut path_arg = |name: &str| match args.next() {
+            Some(p) => PathBuf::from(p),
+            None => {
+                eprintln!("{name} needs a path; {usage}");
+                std::process::exit(2);
+            }
+        };
+        match arg.as_str() {
+            "--bench-dir" => parsed.bench_dir = path_arg("--bench-dir"),
+            "--history" => parsed.history = path_arg("--history"),
+            "--gates" => parsed.gates = path_arg("--gates"),
+            "--out" => parsed.out = path_arg("--out"),
+            "--bless" => parsed.bless = true,
+            other => {
+                eprintln!("unknown arg {other}; {usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    parsed
+}
+
+/// Reads every `BENCH_*.json` in the dir (sorted by name, skipping the
+/// gate's own report) and extracts perf blocks. Files without a `"perf"`
+/// key are warned about and skipped — the one-release compatibility
+/// window for bins that have not adopted the schema yet.
+fn load_blocks(dir: &PathBuf) -> (Vec<PerfBlock>, Vec<String>) {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| {
+            eprintln!("perf_gate: cannot read {}: {e}", dir.display());
+            std::process::exit(2);
+        })
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| {
+            name.starts_with("BENCH_") && name.ends_with(".json") && name != "BENCH_perf_gate.json"
+        })
+        .collect();
+    names.sort();
+
+    let mut blocks = Vec::new();
+    let mut violations = Vec::new();
+    for name in &names {
+        let path = dir.join(name);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                violations.push(format!("{name}: unreadable: {e}"));
+                continue;
+            }
+        };
+        let doc = match obs::json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                violations.push(format!("{name}: invalid JSON: {e}"));
+                continue;
+            }
+        };
+        let Some(perf) = doc.get("perf") else {
+            eprintln!("perf_gate: warning: {name} has no 'perf' block yet — skipped");
+            continue;
+        };
+        match parse_block(perf) {
+            Ok((block, mut bad)) => {
+                violations.append(&mut bad);
+                blocks.push(block);
+            }
+            Err(e) => violations.push(format!("{name}: {e}")),
+        }
+    }
+    if blocks.is_empty() && violations.is_empty() {
+        eprintln!(
+            "perf_gate: no perf blocks found under {} — run the bench sweep first",
+            dir.display()
+        );
+        std::process::exit(2);
+    }
+    (blocks, violations)
+}
+
+/// The history extended with the current blocks as a virtual next run,
+/// so trend charts always include the run being gated.
+fn with_current(h: &History, blocks: &[PerfBlock]) -> History {
+    let mut extended = h.clone();
+    let seq = h.latest_seq().map_or(1, |s| s + 1);
+    for block in blocks {
+        for s in &block.samples {
+            extended.records.push(HistoryRecord {
+                seq,
+                series: s.series.clone(),
+                unit: s.unit,
+                value: s.value,
+                bench: block.header.bench.clone(),
+                preset: block.header.preset.clone(),
+                git_rev: block.header.git_rev.clone(),
+                hardware_threads: block.header.hardware_threads,
+            });
+        }
+    }
+    extended
+}
+
+fn main() {
+    let args = parse_args();
+    let (blocks, violations) = load_blocks(&args.bench_dir);
+    let total_samples: usize = blocks.iter().map(|b| b.samples.len()).sum();
+    println!(
+        "perf_gate: {} perf block(s), {} series, {} parse violation(s)",
+        blocks.len(),
+        total_samples,
+        violations.len()
+    );
+
+    if args.bless {
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("T003 {v}");
+            }
+            eprintln!(
+                "perf_gate: refusing to bless {} schema violation(s)",
+                violations.len()
+            );
+            std::process::exit(1);
+        }
+        let seq = append_run(&args.history, &blocks).expect("append history run");
+        let h = History::load(&args.history).expect("reload history");
+        let trends_dir = bench::scratch_dir().join("trends");
+        let written = trend::write_trends(&h, &trends_dir).expect("render trends");
+        println!(
+            "perf_gate: blessed run {seq} ({} series) into {}",
+            total_samples,
+            args.history.display()
+        );
+        for p in written {
+            println!("  wrote {}", p.display());
+        }
+        return;
+    }
+
+    let gates_text = std::fs::read_to_string(&args.gates).unwrap_or_else(|e| {
+        eprintln!("perf_gate: cannot read {}: {e}", args.gates.display());
+        std::process::exit(2);
+    });
+    let cfg = gate::parse_gates(&gates_text).unwrap_or_else(|e| {
+        eprintln!("perf_gate: bad {}: {e}", args.gates.display());
+        std::process::exit(2);
+    });
+    let hist = History::load(&args.history).expect("load history");
+    if hist.skipped > 0 {
+        eprintln!(
+            "perf_gate: warning: skipped {} malformed history line(s)",
+            hist.skipped
+        );
+    }
+    if hist.latest_seq().is_none() {
+        eprintln!(
+            "perf_gate: {} has no baseline run — seed it with `perf_gate --bless`",
+            args.history.display()
+        );
+        std::process::exit(2);
+    }
+    let baseline = hist.latest_run();
+    let report = gate::run_gate(&blocks, &violations, &baseline, &cfg);
+
+    // Trends always render, pass or fail — a failing gate is exactly
+    // when you want the chart.
+    let extended = with_current(&hist, &blocks);
+    let trends_dir = bench::scratch_dir().join("trends");
+    let written = trend::write_trends(&extended, &trends_dir).expect("render trends");
+
+    println!(
+        "== perf gate: run vs baseline seq {} ==",
+        hist.latest_seq().unwrap_or(0)
+    );
+    for f in &report.findings {
+        match &f.suppressed {
+            Some(reason) => println!("{} {} [allowed: {reason}]", f.code, f.message),
+            None => println!("{} {}", f.code, f.message),
+        }
+    }
+    if report.findings.is_empty() {
+        println!(
+            "gate clean: {} series within band (default ±{:.0}%)",
+            report.checked,
+            cfg.default_tol * 100.0
+        );
+    }
+    for s in &report.improved {
+        println!("note: '{s}' improved beyond its band — consider re-blessing");
+    }
+    println!("trends under {}", trends_dir.display());
+
+    let findings_json: Vec<serde_json::Value> = report
+        .findings
+        .iter()
+        .filter(|f| f.suppressed.is_none())
+        .map(|f| {
+            serde_json::json!({
+                "code": f.code,
+                "series": f.series.clone(),
+                "message": f.message.clone(),
+            })
+        })
+        .collect();
+    let allowed_json: Vec<serde_json::Value> = report
+        .findings
+        .iter()
+        .filter_map(|f| {
+            f.suppressed.as_ref().map(|reason| {
+                serde_json::json!({
+                    "code": f.code,
+                    "series": f.series.clone(),
+                    "reason": reason.clone(),
+                })
+            })
+        })
+        .collect();
+    let trend_files: Vec<serde_json::Value> = written
+        .iter()
+        .filter_map(|p| p.file_name().and_then(|n| n.to_str()))
+        .map(|n| serde_json::json!(n))
+        .collect();
+    let (t001o, t001s) = report.count("T001");
+    let (t002o, t002s) = report.count("T002");
+    let (t003o, _) = report.count("T003");
+    let (t004o, _) = report.count("T004");
+    let header = bench::perf::run_header("perf_gate", None);
+    let doc = serde_json::json!({
+        "bench": "perf_gate",
+        "baseline_seq": hist.latest_seq().unwrap_or(0) as i64,
+        "series_checked": report.checked as i64,
+        "unsuppressed": report.unsuppressed() as i64,
+        "allowed": report.allowed() as i64,
+        "counts": {
+            "T001": (t001o + t001s) as i64,
+            "T002": (t002o + t002s) as i64,
+            "T003": t003o as i64,
+            "T004": t004o as i64,
+        },
+        "findings": findings_json,
+        "allowlist": allowed_json,
+        "improved": report.improved.clone(),
+        "trend_files": trend_files,
+        "clean": report.clean(),
+        "perf": bench::perf::PerfBlock::new(header, Vec::new()).to_json(),
+    });
+    let rendered = serde_json::to_string_pretty(&doc).expect("render report");
+    std::fs::write(&args.out, rendered + "\n").expect("write BENCH_perf_gate.json");
+    println!("wrote {}", args.out.display());
+
+    if !report.clean() {
+        eprintln!(
+            "perf_gate: {} unsuppressed T-code(s) — fix the regression, adjust \
+             bench/perf_gates.toml with a reasoned entry, or re-bless a deliberate \
+             trade-off with `perf_gate --bless`",
+            report.unsuppressed()
+        );
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,7 @@ use std::path::PathBuf;
 
 use datavist5::config::Scale;
 
+pub mod perf;
 pub mod trace;
 
 /// The scale experiment binaries run at: `DATAVIST5_SCALE` if set,

@@ -1,0 +1,560 @@
+//! The perf-trajectory harness: one canonical throughput-series schema
+//! shared by every bench bin, an append-only history, trend rendering,
+//! and the CI regression gate.
+//!
+//! Before this module, every `BENCH_*.json` was an ad-hoc blob: six
+//! shapes, no shared header, no history, no comparison — a 6.8× decode
+//! collapse at 4 threads sat in `BENCH_decode.json` and nothing flagged
+//! it. The harness fixes that with four pieces:
+//!
+//! 1. **Schema** ([`PerfSample`], [`RunHeader`], [`PerfBlock`]): every
+//!    bench bin attaches a `"perf"` block to its JSON report — a shared
+//!    run header (bench name, preset, git rev, hardware threads) plus a
+//!    flat list of samples. Series names are slash-separated paths from
+//!    most-general to most-specific (the multiplot idiom):
+//!    `decode/batched/tokens_per_sec`, `kernel/mm_nt/fwd/flops_per_sec`,
+//!    `serve/cache/reuse90/qps`, `train/step_ms`. The unit names the
+//!    quantity *and* fixes the default gate direction (throughput up,
+//!    latency down).
+//! 2. **History** ([`history`]): `bench/history.jsonl`, append-only, one
+//!    line per series per blessed run, ordered by a monotonic run `seq`
+//!    (never wall-clock — ordering is deterministic and merge-friendly).
+//!    The loader tolerates unknown series and unknown fields so old
+//!    readers survive new writers.
+//! 3. **Trends** ([`trend`]): a dependency-free renderer that emits
+//!    stacked per-family SVG charts plus an aligned text table to the
+//!    bench scratch dir.
+//! 4. **Gate** ([`gate`] + the `perf_gate` bin): compares the current
+//!    `BENCH_*.json` perf blocks against the latest history run with
+//!    per-series tolerance bands (`bench/perf_gates.toml`), emitting
+//!    typed codes T001–T004 (family `perf` in `analysis::registry`) and
+//!    exiting nonzero on any unsuppressed finding.
+
+pub mod gate;
+pub mod history;
+pub mod trend;
+
+use obs::KernelEntry;
+
+/// Schema version stamped into every perf block; bump on incompatible
+/// changes so old history readers can skip what they don't understand.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The measurement unit of a series. The unit is part of the schema: it
+/// fixes how the gate compares values ([`Direction`]) and how trends are
+/// labelled. A series may not change unit between runs (T003).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Unit {
+    /// Decoded tokens per wall-clock second (higher is better).
+    TokensPerSec,
+    /// Completed requests per wall-clock second (higher is better).
+    Qps,
+    /// Floating-point operations per second (higher is better).
+    FlopsPerSec,
+    /// Bytes moved per second (higher is better).
+    BytesPerSec,
+    /// Milliseconds of wall time (lower is better).
+    Ms,
+    /// A dimensionless 0-ish..1-ish ratio (higher is better by default;
+    /// override `dir` in `perf_gates.toml` for lower-is-better ratios
+    /// like `obs/overhead_ratio`).
+    Ratio,
+    /// A structural count (files audited, findings allowed). Counts are
+    /// informational: tracked and charted, never value-gated — but their
+    /// *presence* is still gated (a vanished series is T002).
+    Count,
+}
+
+impl Unit {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Unit::TokensPerSec => "tokens_per_sec",
+            Unit::Qps => "qps",
+            Unit::FlopsPerSec => "flops_per_sec",
+            Unit::BytesPerSec => "bytes_per_sec",
+            Unit::Ms => "ms",
+            Unit::Ratio => "ratio",
+            Unit::Count => "count",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Unit> {
+        Some(match s {
+            "tokens_per_sec" => Unit::TokensPerSec,
+            "qps" => Unit::Qps,
+            "flops_per_sec" => Unit::FlopsPerSec,
+            "bytes_per_sec" => Unit::BytesPerSec,
+            "ms" => Unit::Ms,
+            "ratio" => Unit::Ratio,
+            "count" => Unit::Count,
+            _ => return None,
+        })
+    }
+
+    /// The default gate direction this unit implies.
+    pub fn direction(&self) -> Direction {
+        match self {
+            Unit::TokensPerSec | Unit::Qps | Unit::FlopsPerSec | Unit::BytesPerSec => {
+                Direction::Higher
+            }
+            Unit::Ms => Direction::Lower,
+            Unit::Ratio => Direction::Higher,
+            Unit::Count => Direction::Info,
+        }
+    }
+}
+
+/// Which way a series is supposed to move: the gate flags movement
+/// *against* this direction beyond the tolerance band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better (throughput): T001 when current falls below
+    /// `baseline * (1 - tol)`.
+    Higher,
+    /// Smaller is better (latency): T001 when current rises above
+    /// `baseline * (1 + tol)`.
+    Lower,
+    /// Tracked but never value-gated.
+    Info,
+}
+
+impl Direction {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Direction::Higher => "up",
+            Direction::Lower => "down",
+            Direction::Info => "info",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Direction> {
+        Some(match s {
+            "up" => Direction::Higher,
+            "down" => Direction::Lower,
+            "info" => Direction::Info,
+            _ => return None,
+        })
+    }
+}
+
+/// One measured point: a slash-separated series name, its unit, and a
+/// finite value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfSample {
+    pub series: String,
+    pub unit: Unit,
+    pub value: f64,
+}
+
+/// Shorthand constructor used by the bench bins.
+pub fn sample(series: &str, unit: Unit, value: f64) -> PerfSample {
+    PerfSample {
+        series: series.to_string(),
+        unit,
+        value,
+    }
+}
+
+/// Validates a series name: one or more `/`-separated segments, each
+/// nonempty and drawn from `[A-Za-z0-9._-]` (the kernel worker labels
+/// like `mm_nn.par.t0` motivate the dot). Anything else is a schema
+/// violation (T003).
+pub fn validate_series(name: &str) -> Result<(), String> {
+    if name.is_empty() {
+        return Err("series name is empty".to_string());
+    }
+    for segment in name.split('/') {
+        if segment.is_empty() {
+            return Err(format!(
+                "series '{name}' has an empty segment (leading, trailing, or doubled '/')"
+            ));
+        }
+        if let Some(bad) = segment
+            .chars()
+            .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')))
+        {
+            return Err(format!(
+                "series '{name}' contains {bad:?}; segments are [A-Za-z0-9._-]+"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a full sample: series name plus a finite value.
+pub fn validate_sample(s: &PerfSample) -> Result<(), String> {
+    validate_series(&s.series)?;
+    if !s.value.is_finite() {
+        return Err(format!(
+            "series '{}' has non-finite value {}",
+            s.series, s.value
+        ));
+    }
+    Ok(())
+}
+
+/// The shared run header every bench bin stamps on its perf block, so a
+/// history line can always answer "measured where, at what revision".
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunHeader {
+    /// The emitting bench bin (`decode`, `serve`, `det_audit`, ...).
+    pub bench: String,
+    /// Model preset, where the bin has one (`base`/`large`).
+    pub preset: Option<String>,
+    /// Short git revision the workspace was at, or `"unknown"` outside a
+    /// git checkout. Reported only — never feeds computation.
+    pub git_rev: String,
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub hardware_threads: u64,
+}
+
+/// Builds the shared header for a bench bin.
+pub fn run_header(bench: &str, preset: Option<&str>) -> RunHeader {
+    RunHeader {
+        bench: bench.to_string(),
+        preset: preset.map(str::to_string),
+        git_rev: git_rev(),
+        hardware_threads: std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1),
+    }
+}
+
+/// The workspace's short git revision, or `"unknown"`.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(crate::workspace_root())
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// A complete perf block: header plus samples. This is what lands under
+/// the `"perf"` key of each `BENCH_*.json` and what `perf_gate` reads
+/// back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfBlock {
+    pub header: RunHeader,
+    pub samples: Vec<PerfSample>,
+}
+
+impl PerfBlock {
+    /// Builds a block, panicking on invalid or duplicate series — bench
+    /// bins fail loudly at emit time so a schema violation can never
+    /// reach a committed report.
+    pub fn new(header: RunHeader, samples: Vec<PerfSample>) -> PerfBlock {
+        let mut seen: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        for s in &samples {
+            if let Err(e) = validate_sample(s) {
+                panic!("perf block for bench '{}': {e}", header.bench);
+            }
+            assert!(
+                seen.insert(&s.series),
+                "perf block for bench '{}' emits series '{}' twice",
+                header.bench,
+                s.series
+            );
+        }
+        PerfBlock { header, samples }
+    }
+
+    /// Serializes the block for inclusion in a bench bin's JSON report:
+    /// `"perf": block.to_json()` inside the top-level `json!`.
+    pub fn to_json(&self) -> serde_json::Value {
+        let samples: Vec<serde_json::Value> = self
+            .samples
+            .iter()
+            .map(|s| {
+                serde_json::json!({
+                    "series": s.series.clone(),
+                    "unit": s.unit.as_str(),
+                    "value": s.value,
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "schema": SCHEMA_VERSION as i64,
+            "bench": self.header.bench.clone(),
+            "preset": self.header.preset.clone(),
+            "git_rev": self.header.git_rev.clone(),
+            "hardware_threads": self.header.hardware_threads as i64,
+            "samples": samples,
+        })
+    }
+}
+
+/// Parses a perf block back out of a `BENCH_*.json` document (the value
+/// under its `"perf"` key), leniently: malformed samples are collected
+/// as violation messages (the gate turns them into T003 findings) while
+/// well-formed samples are kept.
+pub fn parse_block(v: &obs::json::Value) -> Result<(PerfBlock, Vec<String>), String> {
+    let bench = v
+        .get("bench")
+        .and_then(obs::json::Value::as_str)
+        .ok_or("perf block is missing 'bench'")?
+        .to_string();
+    let preset = v
+        .get("preset")
+        .and_then(obs::json::Value::as_str)
+        .map(str::to_string);
+    let git_rev = v
+        .get("git_rev")
+        .and_then(obs::json::Value::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let hardware_threads = v
+        .get("hardware_threads")
+        .and_then(obs::json::Value::as_u64)
+        .unwrap_or(1);
+    let mut samples = Vec::new();
+    let mut violations = Vec::new();
+    let raw = v
+        .get("samples")
+        .and_then(obs::json::Value::as_arr)
+        .ok_or_else(|| format!("perf block for '{bench}' is missing 'samples'"))?;
+    for (i, entry) in raw.iter().enumerate() {
+        let series = match entry.get("series").and_then(obs::json::Value::as_str) {
+            Some(s) => s.to_string(),
+            None => {
+                violations.push(format!("bench '{bench}' sample #{i} has no 'series'"));
+                continue;
+            }
+        };
+        let unit_str = entry
+            .get("unit")
+            .and_then(obs::json::Value::as_str)
+            .unwrap_or("");
+        let Some(unit) = Unit::parse(unit_str) else {
+            violations.push(format!(
+                "bench '{bench}' series '{series}' has unknown unit '{unit_str}'"
+            ));
+            continue;
+        };
+        let Some(value) = entry.get("value").and_then(obs::json::Value::as_f64) else {
+            violations.push(format!(
+                "bench '{bench}' series '{series}' has a non-numeric value"
+            ));
+            continue;
+        };
+        let s = PerfSample {
+            series,
+            unit,
+            value,
+        };
+        match validate_sample(&s) {
+            Ok(()) => samples.push(s),
+            Err(e) => violations.push(format!("bench '{bench}': {e}")),
+        }
+    }
+    let header = RunHeader {
+        bench,
+        preset,
+        git_rev,
+        hardware_threads,
+    };
+    Ok((PerfBlock { header, samples }, violations))
+}
+
+/// Derives per-OpKind throughput series from obs kernel-profiler rows:
+/// `kernel/<op>/<phase>/flops_per_sec` for every op that reported FLOPs,
+/// plus `kernel/<op>/<phase>/bytes_per_sec` where byte estimates exist.
+/// Zero new instrumentation — this is a pure re-aggregation of what the
+/// profiler already attributes (PR 5), which is how kernel-level
+/// throughput gets tracked per phase for free.
+pub fn kernel_series(entries: &[&KernelEntry]) -> Vec<PerfSample> {
+    use std::collections::BTreeMap;
+    let mut totals: BTreeMap<(String, obs::Phase), obs::KernelStat> = BTreeMap::new();
+    for e in entries {
+        let slot = totals.entry((e.op.clone(), e.phase)).or_default();
+        slot.calls += e.stat.calls;
+        slot.ns += e.stat.ns;
+        slot.bytes += e.stat.bytes;
+        slot.flops += e.stat.flops;
+    }
+    let mut out = Vec::new();
+    for ((op, phase), stat) in &totals {
+        if stat.ns == 0 {
+            continue;
+        }
+        let secs = stat.ns as f64 / 1e9;
+        if stat.flops > 0 {
+            out.push(sample(
+                &format!("kernel/{op}/{}/flops_per_sec", phase.as_str()),
+                Unit::FlopsPerSec,
+                stat.flops as f64 / secs,
+            ));
+        }
+        if stat.bytes > 0 {
+            out.push(sample(
+                &format!("kernel/{op}/{}/bytes_per_sec", phase.as_str()),
+                Unit::BytesPerSec,
+                stat.bytes as f64 / secs,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_validation_accepts_the_conventions() {
+        for ok in [
+            "decode/batched/tokens_per_sec",
+            "kernel/mm_nn.par.t0/bwd/flops_per_sec",
+            "train/step_ms",
+            "audit/det/files",
+            "obs/overhead_ratio",
+        ] {
+            assert!(validate_series(ok).is_ok(), "{ok} should validate");
+        }
+    }
+
+    #[test]
+    fn series_validation_rejects_malformed_names() {
+        for bad in [
+            "",
+            "/lead",
+            "trail/",
+            "a//b",
+            "sp ace/x",
+            "uni\u{1f4be}/x",
+            "a/b\"c",
+        ] {
+            assert!(validate_series(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn sample_validation_rejects_non_finite_values() {
+        assert!(validate_sample(&sample("a/b", Unit::Ms, f64::NAN)).is_err());
+        assert!(validate_sample(&sample("a/b", Unit::Ms, f64::INFINITY)).is_err());
+        assert!(validate_sample(&sample("a/b", Unit::Ms, 1.5)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn block_rejects_duplicate_series() {
+        let header = RunHeader {
+            bench: "t".into(),
+            preset: None,
+            git_rev: "abc".into(),
+            hardware_threads: 1,
+        };
+        PerfBlock::new(
+            header,
+            vec![sample("a/b", Unit::Ms, 1.0), sample("a/b", Unit::Ms, 2.0)],
+        );
+    }
+
+    #[test]
+    fn block_round_trips_through_json() {
+        let header = RunHeader {
+            bench: "decode".into(),
+            preset: Some("base".into()),
+            git_rev: "abc1234".into(),
+            hardware_threads: 8,
+        };
+        let block = PerfBlock::new(
+            header,
+            vec![
+                sample(
+                    "decode/batched/tokens_per_sec",
+                    Unit::TokensPerSec,
+                    16485.985206017824,
+                ),
+                sample("decode/batched/speedup", Unit::Ratio, 3.214974220362626),
+            ],
+        );
+        let text = serde_json::to_string(&block.to_json()).unwrap();
+        let parsed = obs::json::parse(&text).unwrap();
+        let (back, violations) = parse_block(&parsed).unwrap();
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(back, block);
+    }
+
+    #[test]
+    fn parse_block_is_lenient_about_bad_samples() {
+        let text = r#"{
+            "schema": 1, "bench": "x", "preset": null, "git_rev": "r",
+            "hardware_threads": 2,
+            "samples": [
+                {"series": "ok/one", "unit": "ms", "value": 2.5},
+                {"series": "bad unit", "unit": "furlongs", "value": 1.0},
+                {"unit": "ms", "value": 1.0},
+                {"series": "bad//name", "unit": "ms", "value": 1.0},
+                {"series": "bad/value", "unit": "ms", "value": "nope"}
+            ]
+        }"#;
+        let parsed = obs::json::parse(text).unwrap();
+        let (block, violations) = parse_block(&parsed).unwrap();
+        assert_eq!(block.samples.len(), 1);
+        assert_eq!(block.samples[0].series, "ok/one");
+        assert_eq!(violations.len(), 4);
+    }
+
+    #[test]
+    fn unit_directions_and_round_trip() {
+        for unit in [
+            Unit::TokensPerSec,
+            Unit::Qps,
+            Unit::FlopsPerSec,
+            Unit::BytesPerSec,
+            Unit::Ms,
+            Unit::Ratio,
+            Unit::Count,
+        ] {
+            assert_eq!(Unit::parse(unit.as_str()), Some(unit));
+        }
+        assert_eq!(Unit::Ms.direction(), Direction::Lower);
+        assert_eq!(Unit::Qps.direction(), Direction::Higher);
+        assert_eq!(Unit::Count.direction(), Direction::Info);
+        assert_eq!(Unit::parse("parsecs"), None);
+    }
+
+    #[test]
+    fn kernel_series_aggregates_across_spans() {
+        use obs::{KernelEntry, KernelStat, Phase};
+        let a = KernelEntry {
+            span: "s1".into(),
+            op: "mm_nn".into(),
+            phase: Phase::Forward,
+            stat: KernelStat {
+                calls: 2,
+                ns: 1_000_000,
+                bytes: 0,
+                flops: 4_000_000,
+            },
+        };
+        let b = KernelEntry {
+            span: "s2".into(),
+            op: "mm_nn".into(),
+            phase: Phase::Forward,
+            stat: KernelStat {
+                calls: 1,
+                ns: 1_000_000,
+                bytes: 2_000_000,
+                flops: 4_000_000,
+            },
+        };
+        let series = kernel_series(&[&a, &b]);
+        let flops = series
+            .iter()
+            .find(|s| s.series == "kernel/mm_nn/fwd/flops_per_sec")
+            .expect("flops series");
+        // 8 MFLOP over 2 ms = 4 GFLOP/s.
+        assert!((flops.value - 4e9).abs() < 1e-3);
+        let bytes = series
+            .iter()
+            .find(|s| s.series == "kernel/mm_nn/fwd/bytes_per_sec")
+            .expect("bytes series");
+        assert!((bytes.value - 1e9).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,587 @@
+//! The regression gate: compares the current run's perf blocks against
+//! the history baseline under per-series tolerance bands and emits the
+//! typed T-codes registered in `analysis::registry` family `perf`:
+//!
+//! - **T001** throughput regression — a gated series moved against its
+//!   direction by more than its tolerance band. Suppressable per series
+//!   via `[allow."…"]` with a reason.
+//! - **T002** missing series — the baseline has a series no current
+//!   bench emitted. Suppressable (a series can be retired with a
+//!   reasoned allow entry, then removed from the baseline at the next
+//!   bless).
+//! - **T003** schema violation — malformed series name, non-finite
+//!   value, unknown unit, unit changed vs baseline, or duplicate
+//!   series. Never suppressable: the schema is the contract.
+//! - **T004** stale gate entry — `perf_gates.toml` names a series no
+//!   bin emits. Never suppressable: the config must describe reality.
+//!
+//! Comparison semantics (direction `up`): regression iff
+//! `cur < base * (1 - tol)` — strictly below the band edge, so a value
+//! *exactly at* the boundary passes. Direction `down` mirrors this:
+//! `cur > base * (1 + tol)`.
+
+use std::collections::BTreeMap;
+
+use super::{Direction, PerfBlock, Unit};
+use crate::perf::history::HistoryRecord;
+
+/// Default tolerance band when a series has no override: ±10%.
+pub const DEFAULT_TOL: f64 = 0.10;
+
+/// Per-series override from `perf_gates.toml`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SeriesOverride {
+    pub tol: Option<f64>,
+    pub dir: Option<Direction>,
+}
+
+/// Parsed gate configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateConfig {
+    pub default_tol: f64,
+    /// Keys are exact series names or `family/*` prefixes (trailing
+    /// wildcard only); exact match wins over the longest wildcard.
+    pub overrides: BTreeMap<String, SeriesOverride>,
+    /// Series → reason. Suppresses T001/T002 for that series.
+    pub allow: BTreeMap<String, String>,
+}
+
+impl Default for GateConfig {
+    fn default() -> GateConfig {
+        GateConfig {
+            default_tol: DEFAULT_TOL,
+            overrides: BTreeMap::new(),
+            allow: BTreeMap::new(),
+        }
+    }
+}
+
+impl GateConfig {
+    /// The effective (tolerance, direction-override) for a series:
+    /// exact entry first, else the longest matching `prefix/*` wildcard.
+    pub fn effective(&self, series: &str) -> (f64, Option<Direction>) {
+        let mut tol = self.default_tol;
+        let mut dir = None;
+        let mut best: Option<&SeriesOverride> = self.overrides.get(series);
+        if best.is_none() {
+            let mut best_len = 0;
+            for (key, ov) in &self.overrides {
+                if let Some(prefix) = key.strip_suffix("/*") {
+                    if wildcard_matches(prefix, series) && prefix.len() >= best_len {
+                        best_len = prefix.len();
+                        best = Some(ov);
+                    }
+                }
+            }
+        }
+        if let Some(ov) = best {
+            if let Some(t) = ov.tol {
+                tol = t;
+            }
+            dir = ov.dir;
+        }
+        (tol, dir)
+    }
+}
+
+fn wildcard_matches(prefix: &str, series: &str) -> bool {
+    series
+        .strip_prefix(prefix)
+        .is_some_and(|rest| rest.starts_with('/'))
+}
+
+/// Does a gate-config key (exact or `prefix/*`) match any current series?
+fn key_matches_any<'a>(key: &str, mut series: impl Iterator<Item = &'a str>) -> bool {
+    match key.strip_suffix("/*") {
+        Some(prefix) => series.any(|s| wildcard_matches(prefix, s)),
+        None => series.any(|s| s == key),
+    }
+}
+
+/// Parses the `perf_gates.toml` subset: `#` comments, `[defaults]`,
+/// `[series."name"]`, `[allow."name"]` sections; `key = value` with
+/// float, quoted-string, or bool values. Anything else is an error —
+/// a config typo must fail the gate loudly, not silently un-gate.
+pub fn parse_gates(text: &str) -> Result<GateConfig, String> {
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Defaults,
+        Series(String),
+        Allow(String),
+    }
+    let mut cfg = GateConfig::default();
+    let mut section = Section::None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let line = match raw.split_once('#') {
+            // A '#' inside a quoted value would be mis-stripped; keep it
+            // simple by only stripping when the '#' is outside quotes.
+            Some((before, _)) if before.matches('"').count() % 2 == 0 => before.trim(),
+            _ => raw.trim(),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(head) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = if head == "defaults" {
+                Section::Defaults
+            } else if let Some(name) = parse_section_key(head, "series") {
+                Section::Series(name?)
+            } else if let Some(name) = parse_section_key(head, "allow") {
+                Section::Allow(name?)
+            } else {
+                return Err(format!("line {n}: unknown section [{head}]"));
+            };
+            if let Section::Series(name) | Section::Allow(name) = &section {
+                let check = name.strip_suffix("/*").unwrap_or(name);
+                super::validate_series(check).map_err(|e| format!("line {n}: {e}"))?;
+            }
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .map(|(k, v)| (k.trim(), v.trim()))
+            .ok_or_else(|| format!("line {n}: expected 'key = value', got '{line}'"))?;
+        match &section {
+            Section::None => return Err(format!("line {n}: key outside any section")),
+            Section::Defaults => match key {
+                "tol" => {
+                    cfg.default_tol = parse_float(value).map_err(|e| format!("line {n}: {e}"))?
+                }
+                _ => return Err(format!("line {n}: unknown defaults key '{key}'")),
+            },
+            Section::Series(name) => {
+                let ov = cfg.overrides.entry(name.clone()).or_default();
+                match key {
+                    "tol" => {
+                        ov.tol = Some(parse_float(value).map_err(|e| format!("line {n}: {e}"))?)
+                    }
+                    "dir" => {
+                        let s = parse_string(value).map_err(|e| format!("line {n}: {e}"))?;
+                        ov.dir = Some(
+                            Direction::parse(&s)
+                                .ok_or_else(|| format!("line {n}: unknown dir '{s}'"))?,
+                        );
+                    }
+                    _ => return Err(format!("line {n}: unknown series key '{key}'")),
+                }
+            }
+            Section::Allow(name) => match key {
+                "reason" => {
+                    let reason = parse_string(value).map_err(|e| format!("line {n}: {e}"))?;
+                    if reason.trim().is_empty() {
+                        return Err(format!("line {n}: allow entry needs a non-empty reason"));
+                    }
+                    cfg.allow.insert(name.clone(), reason);
+                }
+                _ => return Err(format!("line {n}: unknown allow key '{key}'")),
+            },
+        }
+    }
+    for name in cfg.allow.keys() {
+        if name.ends_with("/*") {
+            return Err(format!(
+                "allow entry '{name}': wildcards are not allowed in [allow] — \
+                 suppressions must name one series each"
+            ));
+        }
+    }
+    Ok(cfg)
+}
+
+/// Parses `series."quoted/name"` / `allow."quoted/name"` section heads.
+fn parse_section_key(head: &str, kind: &str) -> Option<Result<String, String>> {
+    let rest = head.strip_prefix(kind)?.strip_prefix('.')?;
+    Some(
+        rest.strip_prefix('"')
+            .and_then(|r| r.strip_suffix('"'))
+            .map(str::to_string)
+            .ok_or_else(|| format!("[{kind}.…] key must be double-quoted, got [{head}]")),
+    )
+}
+
+fn parse_float(v: &str) -> Result<f64, String> {
+    let x: f64 = v
+        .parse()
+        .map_err(|_| format!("expected a number, got '{v}'"))?;
+    if !x.is_finite() || x < 0.0 {
+        return Err(format!("tolerance must be finite and >= 0, got '{v}'"));
+    }
+    Ok(x)
+}
+
+fn parse_string(v: &str) -> Result<String, String> {
+    v.strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a double-quoted string, got '{v}'"))
+}
+
+/// One gate finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateFinding {
+    /// `T001` | `T002` | `T003` | `T004`.
+    pub code: &'static str,
+    /// The series (or gate-config key) the finding is about; empty for
+    /// block-level schema violations.
+    pub series: String,
+    pub message: String,
+    /// The allow reason, when a `[allow]` entry suppresses this finding.
+    pub suppressed: Option<String>,
+}
+
+/// The gate verdict over one run.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    pub findings: Vec<GateFinding>,
+    /// Series compared against the baseline.
+    pub checked: usize,
+    /// Series that *improved* beyond the band (informational).
+    pub improved: Vec<String>,
+}
+
+impl GateReport {
+    pub fn unsuppressed(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.suppressed.is_none())
+            .count()
+    }
+
+    pub fn allowed(&self) -> usize {
+        self.findings.len() - self.unsuppressed()
+    }
+
+    /// `(unsuppressed, suppressed)` counts for one code.
+    pub fn count(&self, code: &str) -> (usize, usize) {
+        let mut open = 0;
+        let mut shut = 0;
+        for f in self.findings.iter().filter(|f| f.code == code) {
+            if f.suppressed.is_none() {
+                open += 1;
+            } else {
+                shut += 1;
+            }
+        }
+        (open, shut)
+    }
+
+    pub fn clean(&self) -> bool {
+        self.unsuppressed() == 0
+    }
+}
+
+/// Runs the gate: current blocks (+ parse-time violations) vs the
+/// baseline run.
+pub fn run_gate(
+    blocks: &[PerfBlock],
+    parse_violations: &[String],
+    baseline: &BTreeMap<&str, &HistoryRecord>,
+    cfg: &GateConfig,
+) -> GateReport {
+    let mut report = GateReport::default();
+
+    for v in parse_violations {
+        report.findings.push(GateFinding {
+            code: "T003",
+            series: String::new(),
+            message: v.clone(),
+            suppressed: None,
+        });
+    }
+
+    // Collect current samples; a series emitted twice (within or across
+    // bins) is a schema violation — series names are globally unique.
+    let mut current: BTreeMap<&str, (Unit, f64, &str)> = BTreeMap::new();
+    for block in blocks {
+        for s in &block.samples {
+            match current.get(s.series.as_str()) {
+                Some((_, _, first_bench)) => report.findings.push(GateFinding {
+                    code: "T003",
+                    series: s.series.clone(),
+                    message: format!(
+                        "series '{}' emitted by both '{}' and '{}'",
+                        s.series, first_bench, block.header.bench
+                    ),
+                    suppressed: None,
+                }),
+                None => {
+                    current.insert(&s.series, (s.unit, s.value, &block.header.bench));
+                }
+            }
+        }
+    }
+
+    // Baseline series that vanished → T002 (suppressable: retiring a
+    // series takes a reasoned allow entry until the next bless).
+    for (series, rec) in baseline {
+        if !current.contains_key(series) {
+            report.findings.push(GateFinding {
+                code: "T002",
+                series: series.to_string(),
+                message: format!(
+                    "baseline (run {}) has '{series}' but no current bench emitted it",
+                    rec.seq
+                ),
+                suppressed: cfg.allow.get(*series).cloned(),
+            });
+        }
+    }
+
+    // Value comparison for series present in both.
+    for (series, (unit, value, _bench)) in &current {
+        let Some(base) = baseline.get(series) else {
+            continue; // new series: starts being gated at the next bless
+        };
+        if base.unit != *unit {
+            report.findings.push(GateFinding {
+                code: "T003",
+                series: series.to_string(),
+                message: format!(
+                    "'{series}' changed unit: baseline {}, current {}",
+                    base.unit.as_str(),
+                    unit.as_str()
+                ),
+                suppressed: None,
+            });
+            continue;
+        }
+        report.checked += 1;
+        let (tol, dir_override) = cfg.effective(series);
+        let dir = dir_override.unwrap_or_else(|| unit.direction());
+        let (regressed, improved) = match dir {
+            Direction::Higher => (
+                *value < base.value * (1.0 - tol),
+                *value > base.value * (1.0 + tol),
+            ),
+            Direction::Lower => (
+                *value > base.value * (1.0 + tol),
+                *value < base.value * (1.0 - tol),
+            ),
+            Direction::Info => (false, false),
+        };
+        if regressed {
+            let pct = if base.value != 0.0 {
+                (value / base.value - 1.0) * 100.0
+            } else {
+                0.0
+            };
+            report.findings.push(GateFinding {
+                code: "T001",
+                series: series.to_string(),
+                message: format!(
+                    "'{series}' regressed: baseline {} -> current {} ({pct:+.1}%, tol ±{:.0}%, dir {})",
+                    super::trend::fmt_value(base.value),
+                    super::trend::fmt_value(*value),
+                    tol * 100.0,
+                    dir.as_str(),
+                ),
+                suppressed: cfg.allow.get(*series).cloned(),
+            });
+        } else if improved {
+            report.improved.push(series.to_string());
+        }
+    }
+
+    // Gate-config entries that match nothing current → T004.
+    for key in cfg.overrides.keys() {
+        if !key_matches_any(key, current.keys().copied()) {
+            report.findings.push(GateFinding {
+                code: "T004",
+                series: key.clone(),
+                message: format!("[series.\"{key}\"] matches no series any bench emits"),
+                suppressed: None,
+            });
+        }
+    }
+    for key in cfg.allow.keys() {
+        // An allow for a *baseline* series that vanished is load-bearing
+        // (it suppresses the T002 above), so only flag entries matching
+        // neither current nor baseline.
+        if !key_matches_any(key, current.keys().copied()) && !baseline.contains_key(key.as_str()) {
+            report.findings.push(GateFinding {
+                code: "T004",
+                series: key.clone(),
+                message: format!("[allow.\"{key}\"] matches no current or baseline series"),
+                suppressed: None,
+            });
+        }
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (a.code, &a.series).cmp(&(b.code, &b.series)));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{sample, PerfBlock, RunHeader};
+    use super::*;
+
+    fn header(bench: &str) -> RunHeader {
+        RunHeader {
+            bench: bench.to_string(),
+            preset: None,
+            git_rev: "r".to_string(),
+            hardware_threads: 2,
+        }
+    }
+
+    fn base_rec(series: &str, unit: Unit, value: f64) -> HistoryRecord {
+        HistoryRecord {
+            seq: 7,
+            series: series.to_string(),
+            unit,
+            value,
+            bench: "decode".to_string(),
+            preset: None,
+            git_rev: "r".to_string(),
+            hardware_threads: 2,
+        }
+    }
+
+    #[test]
+    fn config_parses_defaults_overrides_and_allows() {
+        let cfg = parse_gates(
+            r#"
+            # comment
+            [defaults]
+            tol = 0.10
+
+            [series."decode/batched/tokens_per_sec"]
+            tol = 0.25   # wall-clock noise
+
+            [series."kernel/*"]
+            tol = 0.5
+
+            [series."obs/overhead_ratio"]
+            dir = "down"
+            tol = 3.0
+
+            [allow."serve/old/qps"]
+            reason = "retired in PR 11"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(cfg.default_tol, 0.10);
+        assert_eq!(cfg.effective("decode/batched/tokens_per_sec").0, 0.25);
+        assert_eq!(cfg.effective("kernel/mm_nn/fwd/flops_per_sec").0, 0.5);
+        assert_eq!(cfg.effective("decode/seq/tokens_per_sec").0, 0.10);
+        assert_eq!(
+            cfg.effective("obs/overhead_ratio").1,
+            Some(Direction::Lower)
+        );
+        assert_eq!(cfg.allow["serve/old/qps"], "retired in PR 11");
+    }
+
+    #[test]
+    fn config_rejects_garbage() {
+        assert!(parse_gates("[defaults]\nspeed = 1").is_err());
+        assert!(parse_gates("tol = 0.1").is_err()); // key outside section
+        assert!(parse_gates("[series.unquoted/name]\ntol = 0.1").is_err());
+        assert!(parse_gates("[defaults]\ntol = -0.5").is_err());
+        assert!(parse_gates("[allow.\"a/b\"]\nreason = \"\"").is_err());
+        assert!(parse_gates("[allow.\"a/*\"]\nreason = \"no wildcards\"").is_err());
+        assert!(parse_gates("[mystery]\nx = 1").is_err());
+    }
+
+    #[test]
+    fn regression_is_strictly_below_the_band_edge() {
+        let cfg = GateConfig::default();
+        let base = base_rec("d/tps", Unit::TokensPerSec, 1000.0);
+        let baseline: BTreeMap<&str, &HistoryRecord> = [("d/tps", &base)].into();
+        // Exactly at the edge: 900.0 == 1000 * (1 - 0.10) → passes.
+        let at_edge = PerfBlock::new(
+            header("decode"),
+            vec![sample("d/tps", Unit::TokensPerSec, 900.0)],
+        );
+        let r = run_gate(&[at_edge], &[], &baseline, &cfg);
+        assert_eq!(r.count("T001"), (0, 0), "{:?}", r.findings);
+        // One ulp below the edge → T001.
+        let below = PerfBlock::new(
+            header("decode"),
+            vec![sample(
+                "d/tps",
+                Unit::TokensPerSec,
+                f64::from_bits(900.0f64.to_bits() - 1),
+            )],
+        );
+        let r = run_gate(&[below], &[], &baseline, &cfg);
+        assert_eq!(r.count("T001"), (1, 0), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn lower_is_better_direction_mirrors() {
+        let cfg = GateConfig::default();
+        let base = base_rec("t/step_ms", Unit::Ms, 10.0);
+        let baseline: BTreeMap<&str, &HistoryRecord> = [("t/step_ms", &base)].into();
+        let slower = PerfBlock::new(header("obs"), vec![sample("t/step_ms", Unit::Ms, 11.5)]);
+        let r = run_gate(&[slower], &[], &baseline, &cfg);
+        assert_eq!(r.count("T001"), (1, 0));
+        let faster = PerfBlock::new(header("obs"), vec![sample("t/step_ms", Unit::Ms, 8.0)]);
+        let r = run_gate(&[faster], &[], &baseline, &cfg);
+        assert_eq!(r.count("T001"), (0, 0));
+        assert_eq!(r.improved, vec!["t/step_ms".to_string()]);
+    }
+
+    #[test]
+    fn counts_are_presence_gated_only() {
+        let cfg = GateConfig::default();
+        let base = base_rec("audit/det/files", Unit::Count, 50.0);
+        let baseline: BTreeMap<&str, &HistoryRecord> = [("audit/det/files", &base)].into();
+        // A big drop in a count series is not a T001 (Info direction)…
+        let dropped = PerfBlock::new(
+            header("det_audit"),
+            vec![sample("audit/det/files", Unit::Count, 10.0)],
+        );
+        let r = run_gate(&[dropped], &[], &baseline, &cfg);
+        assert!(r.clean(), "{:?}", r.findings);
+        // …but the series vanishing entirely is a T002.
+        let r = run_gate(&[], &[], &baseline, &cfg);
+        assert_eq!(r.count("T002"), (1, 0));
+    }
+
+    #[test]
+    fn missing_series_suppressable_and_stale_entries_flagged() {
+        let mut cfg = GateConfig::default();
+        cfg.allow
+            .insert("gone/qps".to_string(), "retired".to_string());
+        cfg.overrides
+            .insert("never/was/*".to_string(), SeriesOverride::default());
+        let base = base_rec("gone/qps", Unit::Qps, 5.0);
+        let baseline: BTreeMap<&str, &HistoryRecord> = [("gone/qps", &base)].into();
+        let r = run_gate(&[], &[], &baseline, &cfg);
+        // T002 present but suppressed; stale [series.…] entry → T004;
+        // the allow itself is NOT stale (it matches a baseline series).
+        assert_eq!(r.count("T002"), (0, 1));
+        assert_eq!(r.count("T004"), (1, 0));
+        assert_eq!(r.unsuppressed(), 1);
+    }
+
+    #[test]
+    fn unit_change_and_duplicates_are_t003() {
+        let cfg = GateConfig::default();
+        let base = base_rec("a/x", Unit::Ms, 10.0);
+        let baseline: BTreeMap<&str, &HistoryRecord> = [("a/x", &base)].into();
+        let changed = PerfBlock::new(header("b1"), vec![sample("a/x", Unit::Qps, 10.0)]);
+        let dup = PerfBlock::new(header("b2"), vec![sample("a/x", Unit::Qps, 10.0)]);
+        let r = run_gate(&[changed, dup], &[], &baseline, &cfg);
+        let (open, _) = r.count("T003");
+        assert_eq!(open, 2, "{:?}", r.findings); // unit change + duplicate
+    }
+
+    #[test]
+    fn parse_violations_become_t003() {
+        let cfg = GateConfig::default();
+        let r = run_gate(
+            &[],
+            &["bench 'x': bad sample".to_string()],
+            &BTreeMap::new(),
+            &cfg,
+        );
+        assert_eq!(r.count("T003"), (1, 0));
+        assert!(!r.clean());
+    }
+}

@@ -1,0 +1,309 @@
+//! The append-only perf history: `bench/history.jsonl`.
+//!
+//! One JSON object per line, one line per series per blessed run. Runs
+//! are ordered by a monotonic `seq` assigned at append time — never by
+//! wall-clock — so ordering is deterministic, merge conflicts are
+//! line-local, and replaying the file reconstructs the full trajectory.
+//! Encoding goes through `obs::json` (raw-text numbers), so `u64` values
+//! survive without an `f64` round-trip and floats are written with
+//! shortest-round-trip formatting.
+//!
+//! The loader is tolerant by design: lines that fail to parse are
+//! counted and skipped (not fatal), and unknown fields are ignored, so a
+//! reader from release N survives a writer from release N+1.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::io::Write as _;
+use std::path::Path;
+
+use super::{validate_sample, PerfBlock, PerfSample, Unit};
+
+/// One history line: a sample plus the run context it was measured in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRecord {
+    /// Monotonic run sequence number; all lines of one blessed run share
+    /// it. Full-width `u64` — the encoder must not route it through f64.
+    pub seq: u64,
+    pub series: String,
+    pub unit: Unit,
+    pub value: f64,
+    /// Which bench bin emitted the series.
+    pub bench: String,
+    pub preset: Option<String>,
+    pub git_rev: String,
+    pub hardware_threads: u64,
+}
+
+/// The parsed history file.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    pub records: Vec<HistoryRecord>,
+    /// Lines the tolerant loader could not parse (counted, not fatal).
+    pub skipped: usize,
+}
+
+impl History {
+    /// Loads a history file; a missing file is an empty history (the
+    /// gate distinguishes "no baseline yet" via [`History::latest_seq`]).
+    pub fn load(path: &Path) -> io::Result<History> {
+        if !path.exists() {
+            return Ok(History::default());
+        }
+        Ok(History::parse(&std::fs::read_to_string(path)?))
+    }
+
+    /// Parses JSONL text, skipping (and counting) malformed lines.
+    pub fn parse(text: &str) -> History {
+        let mut h = History::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match parse_record(line) {
+                Ok(r) => h.records.push(r),
+                Err(_) => h.skipped += 1,
+            }
+        }
+        h
+    }
+
+    /// The highest run seq present, or `None` for an empty history.
+    pub fn latest_seq(&self) -> Option<u64> {
+        self.records.iter().map(|r| r.seq).max()
+    }
+
+    /// The latest run's records, keyed by series (the gate baseline).
+    /// First record wins if a run somehow repeats a series.
+    pub fn latest_run(&self) -> BTreeMap<&str, &HistoryRecord> {
+        let mut out: BTreeMap<&str, &HistoryRecord> = BTreeMap::new();
+        if let Some(latest) = self.latest_seq() {
+            for r in self.records.iter().filter(|r| r.seq == latest) {
+                out.entry(&r.series).or_insert(r);
+            }
+        }
+        out
+    }
+
+    /// All runs, `seq -> records`, in seq order.
+    pub fn runs(&self) -> BTreeMap<u64, Vec<&HistoryRecord>> {
+        let mut out: BTreeMap<u64, Vec<&HistoryRecord>> = BTreeMap::new();
+        for r in &self.records {
+            out.entry(r.seq).or_default().push(r);
+        }
+        out
+    }
+
+    /// Per-series trajectory `(seq, value)`, seq-ascending, keyed by
+    /// series name (first record wins within a run).
+    pub fn series_points(&self) -> BTreeMap<&str, Vec<(u64, f64)>> {
+        let mut seen: std::collections::BTreeSet<(&str, u64)> = std::collections::BTreeSet::new();
+        let mut out: BTreeMap<&str, Vec<(u64, f64)>> = BTreeMap::new();
+        let mut sorted: Vec<&HistoryRecord> = self.records.iter().collect();
+        sorted.sort_by_key(|r| r.seq);
+        for r in sorted {
+            if seen.insert((&r.series, r.seq)) {
+                out.entry(&r.series).or_default().push((r.seq, r.value));
+            }
+        }
+        out
+    }
+
+    /// The unit each series last reported (latest seq wins), for trend
+    /// labels and gate unit checks.
+    pub fn series_units(&self) -> BTreeMap<&str, Unit> {
+        let mut sorted: Vec<&HistoryRecord> = self.records.iter().collect();
+        sorted.sort_by_key(|r| r.seq);
+        let mut out = BTreeMap::new();
+        for r in sorted {
+            out.insert(r.series.as_str(), r.unit);
+        }
+        out
+    }
+}
+
+/// Encodes one record as a single JSONL line (no trailing newline).
+/// Written by hand over `obs::json::escape` so `seq` keeps full `u64`
+/// width and `value` uses shortest-round-trip float text.
+pub fn encode_record(r: &HistoryRecord) -> String {
+    let preset = match &r.preset {
+        Some(p) => obs::json::escape(p),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"seq\":{},\"series\":{},\"unit\":{},\"value\":{:?},\"bench\":{},\"preset\":{},\"git_rev\":{},\"hardware_threads\":{}}}",
+        r.seq,
+        obs::json::escape(&r.series),
+        obs::json::escape(r.unit.as_str()),
+        r.value,
+        obs::json::escape(&r.bench),
+        preset,
+        obs::json::escape(&r.git_rev),
+        r.hardware_threads,
+    )
+}
+
+/// Parses one history line. Unknown fields are ignored; missing or
+/// malformed required fields are an error (the tolerant loader skips the
+/// line). Non-finite values cannot appear: they are not valid JSON and
+/// the encoder refuses them upstream.
+pub fn parse_record(line: &str) -> Result<HistoryRecord, String> {
+    let v = obs::json::parse(line)?;
+    let str_field = |key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(obs::json::Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing or non-string '{key}'"))
+    };
+    let seq = v
+        .get("seq")
+        .and_then(obs::json::Value::as_u64)
+        .ok_or("missing or non-u64 'seq'")?;
+    let series = str_field("series")?;
+    let unit_str = str_field("unit")?;
+    let unit = Unit::parse(&unit_str).ok_or_else(|| format!("unknown unit '{unit_str}'"))?;
+    let value = v
+        .get("value")
+        .and_then(obs::json::Value::as_f64)
+        .ok_or("missing or non-numeric 'value'")?;
+    let preset = match v.get("preset") {
+        None | Some(obs::json::Value::Null) => None,
+        Some(p) => Some(
+            p.as_str()
+                .map(str::to_string)
+                .ok_or("non-string 'preset'")?,
+        ),
+    };
+    let rec = HistoryRecord {
+        seq,
+        series,
+        unit,
+        value,
+        bench: str_field("bench")?,
+        preset,
+        git_rev: str_field("git_rev")?,
+        hardware_threads: v
+            .get("hardware_threads")
+            .and_then(obs::json::Value::as_u64)
+            .unwrap_or(0),
+    };
+    validate_sample(&PerfSample {
+        series: rec.series.clone(),
+        unit: rec.unit,
+        value: rec.value,
+    })?;
+    Ok(rec)
+}
+
+/// Appends one blessed run (all blocks share the next seq) to the
+/// history file, creating it if needed. Returns the assigned seq.
+pub fn append_run(path: &Path, blocks: &[PerfBlock]) -> io::Result<u64> {
+    let seq = History::load(path)?.latest_seq().map_or(1, |s| s + 1);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut out = String::new();
+    for block in blocks {
+        for s in &block.samples {
+            validate_sample(s).map_err(io::Error::other)?;
+            let rec = HistoryRecord {
+                seq,
+                series: s.series.clone(),
+                unit: s.unit,
+                value: s.value,
+                bench: block.header.bench.clone(),
+                preset: block.header.preset.clone(),
+                git_rev: block.header.git_rev.clone(),
+                hardware_threads: block.header.hardware_threads,
+            };
+            out.push_str(&encode_record(&rec));
+            out.push('\n');
+        }
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(out.as_bytes())?;
+    Ok(seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, series: &str, value: f64) -> HistoryRecord {
+        HistoryRecord {
+            seq,
+            series: series.to_string(),
+            unit: Unit::TokensPerSec,
+            value,
+            bench: "decode".to_string(),
+            preset: Some("base".to_string()),
+            git_rev: "abc1234".to_string(),
+            hardware_threads: 8,
+        }
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let r = rec(
+            u64::MAX,
+            "decode/batched/tokens_per_sec",
+            16485.985206017824,
+        );
+        let line = encode_record(&r);
+        assert_eq!(parse_record(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn loader_skips_malformed_lines_and_counts_them() {
+        let good = encode_record(&rec(3, "a/b", 1.5));
+        let text = format!("{good}\nnot json\n{{\"seq\":1}}\n\n{good}\n");
+        let h = History::parse(&text);
+        assert_eq!(h.records.len(), 2);
+        assert_eq!(h.skipped, 2);
+    }
+
+    #[test]
+    fn loader_ignores_unknown_fields() {
+        let line = r#"{"seq":2,"series":"x/y","unit":"ms","value":1.25,"bench":"b","preset":null,"git_rev":"r","hardware_threads":4,"future_field":[1,2]}"#;
+        let r = parse_record(line).unwrap();
+        assert_eq!(r.series, "x/y");
+        assert_eq!(r.preset, None);
+    }
+
+    #[test]
+    fn latest_run_takes_the_max_seq() {
+        let h = History {
+            records: vec![rec(1, "a/b", 1.0), rec(2, "a/b", 2.0), rec(2, "c/d", 3.0)],
+            skipped: 0,
+        };
+        assert_eq!(h.latest_seq(), Some(2));
+        let latest = h.latest_run();
+        assert_eq!(latest.len(), 2);
+        assert_eq!(latest["a/b"].value, 2.0);
+    }
+
+    #[test]
+    fn append_run_assigns_monotonic_seq() {
+        let dir = std::env::temp_dir().join(format!("perf_history_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("history.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let header = super::super::RunHeader {
+            bench: "decode".to_string(),
+            preset: None,
+            git_rev: "r".to_string(),
+            hardware_threads: 2,
+        };
+        let block = PerfBlock::new(header, vec![super::super::sample("a/b", Unit::Ms, 1.0)]);
+        assert_eq!(append_run(&path, std::slice::from_ref(&block)).unwrap(), 1);
+        assert_eq!(append_run(&path, &[block]).unwrap(), 2);
+        let h = History::load(&path).unwrap();
+        assert_eq!(h.records.len(), 2);
+        assert_eq!(h.latest_seq(), Some(2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,367 @@
+//! Dependency-free trend rendering: an aligned text table plus stacked
+//! per-family SVG charts, both derived purely from the history (no
+//! wall-clock, no randomness — identical history renders identical
+//! bytes, which is what lets the text table be golden-pinned).
+//!
+//! A *family* is the first segment of a series name (`decode`, `kernel`,
+//! `serve`, ...). Each family gets one SVG with one stacked panel per
+//! series — the multiplot idiom: small aligned panels over a shared run
+//! axis beat one overloaded chart.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use super::history::History;
+use super::Unit;
+
+/// How many most-recent runs the text table shows per series.
+const TABLE_RUNS: usize = 8;
+
+/// Stroke palette for series panels, cycled by panel index.
+const PALETTE: &[&str] = &[
+    "#2563eb", "#dc2626", "#059669", "#d97706", "#7c3aed", "#0891b2",
+];
+
+/// The family (first path segment) of a series name.
+pub fn family_of(series: &str) -> &str {
+    series.split('/').next().unwrap_or(series)
+}
+
+/// Series names grouped by family, both levels sorted.
+pub fn families(history: &History) -> BTreeMap<String, Vec<String>> {
+    let mut out: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for series in history.series_points().keys() {
+        out.entry(family_of(series).to_string())
+            .or_default()
+            .push(series.to_string());
+    }
+    out
+}
+
+/// Formats a value compactly but deterministically for the table.
+pub fn fmt_value(v: f64) -> String {
+    let a = v.abs();
+    if v == 0.0 {
+        "0".to_string()
+    } else if !(1e-3..1e7).contains(&a) {
+        format!("{v:.3e}")
+    } else if a >= 100.0 {
+        format!("{v:.1}")
+    } else if a >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+/// Renders the aligned text trend table: one row per series, one column
+/// per run (last [`TABLE_RUNS`] seqs), grouped by family. Deterministic,
+/// so it can be golden-pinned.
+pub fn trend_table(history: &History) -> String {
+    let points = history.series_points();
+    let units = history.series_units();
+    let mut seqs: Vec<u64> = history.runs().keys().copied().collect();
+    if seqs.len() > TABLE_RUNS {
+        seqs = seqs[seqs.len() - TABLE_RUNS..].to_vec();
+    }
+
+    let mut series_w = "series".len();
+    let mut unit_w = "unit".len();
+    for (series, unit) in &units {
+        series_w = series_w.max(series.len());
+        unit_w = unit_w.max(unit.as_str().len());
+    }
+    let mut col_w: Vec<usize> = Vec::new();
+    let mut headers: Vec<String> = Vec::new();
+    for seq in &seqs {
+        headers.push(format!("run{seq}"));
+    }
+    for (i, h) in headers.iter().enumerate() {
+        let mut w = h.len();
+        for pts in points.values() {
+            if let Some((_, v)) = pts.iter().find(|(s, _)| *s == seqs[i]) {
+                w = w.max(fmt_value(*v).len());
+            }
+        }
+        col_w.push(w);
+    }
+
+    let mut out = String::new();
+    out.push_str("== perf trends ==\n");
+    match (seqs.first(), seqs.last()) {
+        (Some(first), Some(last)) => {
+            out.push_str(&format!(
+                "runs {first}..{last} ({} series, {} runs shown)\n",
+                points.len(),
+                seqs.len()
+            ));
+        }
+        _ => out.push_str("(empty history)\n"),
+    }
+    let mut header = format!("{:<series_w$}  {:<unit_w$}", "series", "unit");
+    for (h, w) in headers.iter().zip(&col_w) {
+        header.push_str(&format!("  {h:>w$}"));
+    }
+    out.push_str(&header);
+    out.push('\n');
+    let rule_len = header.len();
+    out.push_str(&"-".repeat(rule_len));
+    out.push('\n');
+
+    for (fam, members) in families(history) {
+        out.push_str(&format!("[{fam}]\n"));
+        for series in members {
+            let unit = units
+                .get(series.as_str())
+                .map_or("?", |u: &Unit| u.as_str());
+            let mut row = format!("{series:<series_w$}  {unit:<unit_w$}");
+            let pts = &points[series.as_str()];
+            for (seq, w) in seqs.iter().zip(&col_w) {
+                let cell = pts
+                    .iter()
+                    .find(|(s, _)| s == seq)
+                    .map_or_else(|| "-".to_string(), |(_, v)| fmt_value(*v));
+                row.push_str(&format!("  {cell:>w$}"));
+            }
+            out.push_str(&row);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn svg_coord(v: f64) -> String {
+    format!("{:.2}", v)
+}
+
+/// Renders one family's stacked SVG: a shared run axis, one panel per
+/// series with its own y-scale, min/max annotations, and the latest
+/// value called out in the panel title.
+pub fn family_svg(
+    family: &str,
+    members: &[String],
+    points: &BTreeMap<&str, Vec<(u64, f64)>>,
+    units: &BTreeMap<&str, Unit>,
+    seqs: &[u64],
+) -> String {
+    const W: f64 = 640.0;
+    const PANEL_H: f64 = 72.0;
+    const TOP: f64 = 30.0;
+    const PLOT_X0: f64 = 16.0;
+    const PLOT_X1: f64 = W - 130.0;
+
+    let height = TOP + members.len() as f64 * (PANEL_H + 10.0) + 8.0;
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W}\" height=\"{height}\" \
+         viewBox=\"0 0 {W} {height}\">\n"
+    ));
+    svg.push_str(
+        "<style>text{font-family:monospace;font-size:11px;fill:#111}\
+         .dim{fill:#666}.title{font-size:13px}</style>\n",
+    );
+    svg.push_str(&format!(
+        "<rect width=\"{W}\" height=\"{height}\" fill=\"#ffffff\"/>\n"
+    ));
+    let run_span = match (seqs.first(), seqs.last()) {
+        (Some(a), Some(b)) => format!("runs {a}..{b}"),
+        _ => "no runs".to_string(),
+    };
+    svg.push_str(&format!(
+        "<text class=\"title\" x=\"{PLOT_X0}\" y=\"18\">perf trend \u{2014} {} ({run_span})</text>\n",
+        xml_escape(family)
+    ));
+
+    let (min_seq, max_seq) = (
+        seqs.first().copied().unwrap_or(0) as f64,
+        seqs.last().copied().unwrap_or(0) as f64,
+    );
+    let x_of = |seq: u64| -> f64 {
+        if max_seq > min_seq {
+            PLOT_X0 + (seq as f64 - min_seq) / (max_seq - min_seq) * (PLOT_X1 - PLOT_X0)
+        } else {
+            (PLOT_X0 + PLOT_X1) / 2.0
+        }
+    };
+
+    for (i, series) in members.iter().enumerate() {
+        let y0 = TOP + i as f64 * (PANEL_H + 10.0);
+        let pts = match points.get(series.as_str()) {
+            Some(p) if !p.is_empty() => p,
+            _ => continue,
+        };
+        let unit = units.get(series.as_str()).map_or("?", |u| u.as_str());
+        let color = PALETTE[i % PALETTE.len()];
+        let (mut lo, mut hi) = (f64::MAX, f64::MIN);
+        for (_, v) in pts {
+            lo = lo.min(*v);
+            hi = hi.max(*v);
+        }
+        let pad = if hi > lo {
+            (hi - lo) * 0.12
+        } else {
+            lo.abs().max(1.0) * 0.05
+        };
+        let (lo_p, hi_p) = (lo - pad, hi + pad);
+        let plot_y0 = y0 + 16.0;
+        let plot_y1 = y0 + PANEL_H;
+        let y_of = |v: f64| -> f64 { plot_y1 - (v - lo_p) / (hi_p - lo_p) * (plot_y1 - plot_y0) };
+
+        let latest = pts.last().map(|(_, v)| *v).unwrap_or(0.0);
+        svg.push_str(&format!(
+            "<text x=\"{PLOT_X0}\" y=\"{}\">{} <tspan class=\"dim\">latest {} {}</tspan></text>\n",
+            svg_coord(y0 + 10.0),
+            xml_escape(series),
+            fmt_value(latest),
+            unit,
+        ));
+        svg.push_str(&format!(
+            "<rect x=\"{PLOT_X0}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"#f8fafc\" \
+             stroke=\"#d4d4d8\" stroke-width=\"1\"/>\n",
+            svg_coord(plot_y0),
+            svg_coord(PLOT_X1 - PLOT_X0),
+            svg_coord(plot_y1 - plot_y0),
+        ));
+        let coords: Vec<String> = pts
+            .iter()
+            .map(|(s, v)| format!("{},{}", svg_coord(x_of(*s)), svg_coord(y_of(*v))))
+            .collect();
+        if coords.len() > 1 {
+            svg.push_str(&format!(
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>\n",
+                coords.join(" ")
+            ));
+        }
+        for c in &coords {
+            let (x, y) = c.split_once(',').unwrap_or(("0", "0"));
+            svg.push_str(&format!(
+                "<circle cx=\"{x}\" cy=\"{y}\" r=\"2.2\" fill=\"{color}\"/>\n"
+            ));
+        }
+        svg.push_str(&format!(
+            "<text class=\"dim\" x=\"{}\" y=\"{}\">max {}</text>\n",
+            svg_coord(PLOT_X1 + 6.0),
+            svg_coord(plot_y0 + 9.0),
+            fmt_value(hi),
+        ));
+        svg.push_str(&format!(
+            "<text class=\"dim\" x=\"{}\" y=\"{}\">min {}</text>\n",
+            svg_coord(PLOT_X1 + 6.0),
+            svg_coord(plot_y1 - 2.0),
+            fmt_value(lo),
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Renders everything to `dir`: `perf_trends.txt` plus one
+/// `trend_<family>.svg` per family. Returns the written paths.
+pub fn write_trends(history: &History, dir: &Path) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    let table_path = dir.join("perf_trends.txt");
+    std::fs::write(&table_path, trend_table(history))?;
+    written.push(table_path);
+    let points = history.series_points();
+    let units = history.series_units();
+    let seqs: Vec<u64> = history.runs().keys().copied().collect();
+    for (fam, members) in families(history) {
+        let svg = family_svg(&fam, &members, &points, &units, &seqs);
+        let path = dir.join(format!("trend_{fam}.svg"));
+        std::fs::write(&path, svg)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::history::{encode_record, History, HistoryRecord};
+    use super::*;
+
+    fn history() -> History {
+        let mut lines = String::new();
+        for (seq, v1, v2) in [(1u64, 100.0, 5.0), (2, 110.0, 4.5), (3, 95.0, 4.8)] {
+            for (series, unit, v) in [
+                ("decode/batched/tokens_per_sec", Unit::TokensPerSec, v1),
+                ("train/step_ms", Unit::Ms, v2),
+            ] {
+                lines.push_str(&encode_record(&HistoryRecord {
+                    seq,
+                    series: series.to_string(),
+                    unit,
+                    value: v,
+                    bench: "b".to_string(),
+                    preset: None,
+                    git_rev: "r".to_string(),
+                    hardware_threads: 2,
+                }));
+                lines.push('\n');
+            }
+        }
+        History::parse(&lines)
+    }
+
+    #[test]
+    fn table_is_deterministic_and_aligned() {
+        let h = history();
+        let t1 = trend_table(&h);
+        let t2 = trend_table(&h);
+        assert_eq!(t1, t2);
+        assert!(t1.contains("[decode]"));
+        assert!(t1.contains("[train]"));
+        assert!(t1.contains("run1"));
+        assert!(t1.contains("run3"));
+        // Header and rows line up: all non-rule lines inside a family
+        // block have the same rendered width for full rows.
+        assert!(t1.contains("decode/batched/tokens_per_sec"));
+    }
+
+    #[test]
+    fn svg_has_one_panel_per_series_and_is_well_formed() {
+        let h = history();
+        let points = h.series_points();
+        let units = h.series_units();
+        let seqs: Vec<u64> = h.runs().keys().copied().collect();
+        let members = vec!["decode/batched/tokens_per_sec".to_string()];
+        let svg = family_svg("decode", &members, &points, &units, &seqs);
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 1);
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn single_run_history_renders_without_division_by_zero() {
+        let mut h = history();
+        h.records.retain(|r| r.seq == 1);
+        let points = h.series_points();
+        let units = h.series_units();
+        let seqs: Vec<u64> = h.runs().keys().copied().collect();
+        let members = vec![
+            "decode/batched/tokens_per_sec".to_string(),
+            "train/step_ms".to_string(),
+        ];
+        let svg = family_svg("all", &members, &points, &units, &seqs);
+        assert!(!svg.contains("NaN"));
+        assert!(!svg.contains("inf"));
+    }
+
+    #[test]
+    fn value_formatting_is_compact() {
+        assert_eq!(fmt_value(0.0), "0");
+        assert_eq!(fmt_value(16485.985206017824), "16486.0");
+        assert_eq!(fmt_value(3.214974), "3.215");
+        assert_eq!(fmt_value(0.95), "0.95000");
+        assert_eq!(fmt_value(4.752e9), "4.752e9");
+    }
+}

@@ -1,0 +1,91 @@
+//! Golden test of the perf trend renderer: the text trend table over a
+//! committed history fixture is byte-identical to
+//! `bench/golden/perf_trends.txt`, and the per-family SVGs are
+//! well-formed with one panel per series. The fixture
+//! (`perf_history_fixture.jsonl`) is hand-written history covering a
+//! series that collapses then recovers (`decode/sweep/worst_step_ratio`
+//! — the shape of the 4-thread regression this harness exists to
+//! catch), a series that joins mid-history (`train/step_ms`), and four
+//! families. Regenerate the golden with `GOLDEN_BLESS=1 cargo test -p
+//! bench`.
+
+use std::path::PathBuf;
+
+use bench::perf::history::History;
+use bench::perf::trend::{families, trend_table, write_trends};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench/golden")
+}
+
+fn fixture() -> History {
+    let path = golden_dir().join("perf_history_fixture.jsonl");
+    let h = History::load(&path).expect("read fixture");
+    assert_eq!(h.skipped, 0, "fixture must be fully well-formed");
+    assert!(!h.records.is_empty(), "fixture must not be empty");
+    h
+}
+
+#[test]
+fn trend_table_matches_golden() {
+    let rendered = trend_table(&fixture());
+
+    let path = golden_dir().join("perf_trends.txt");
+    if std::env::var("GOLDEN_BLESS").is_ok() {
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with GOLDEN_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, committed,
+        "trend table diverged from the committed golden; if the change \
+         is intentional, regenerate with GOLDEN_BLESS=1"
+    );
+}
+
+#[test]
+fn fixture_svgs_are_well_formed_with_one_panel_per_series() {
+    let h = fixture();
+    let dir = std::env::temp_dir().join(format!("perf_trend_golden_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let written = write_trends(&h, &dir).expect("render trends");
+
+    let fams = families(&h);
+    // One SVG per family plus the text table.
+    assert_eq!(written.len(), fams.len() + 1);
+    for (family, members) in &fams {
+        let svg_path = dir.join(format!("trend_{family}.svg"));
+        assert!(
+            written.contains(&svg_path),
+            "missing {}",
+            svg_path.display()
+        );
+        let svg = std::fs::read_to_string(&svg_path).unwrap();
+        assert!(svg.starts_with("<svg"), "{family}: not an SVG");
+        assert!(svg.trim_end().ends_with("</svg>"), "{family}: unterminated");
+        assert!(!svg.contains("NaN"), "{family}: NaN leaked into geometry");
+        for series in members {
+            assert!(
+                svg.contains(series.as_str()),
+                "{family}: panel label for '{series}' missing"
+            );
+        }
+        assert_eq!(
+            svg.matches("<polyline").count(),
+            members.len(),
+            "{family}: one polyline per series"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn rendering_is_deterministic() {
+    let h = fixture();
+    assert_eq!(trend_table(&h), trend_table(&h));
+}

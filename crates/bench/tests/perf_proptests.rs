@@ -1,0 +1,306 @@
+//! Property tests for the perf-trajectory harness.
+//!
+//! History encoding (`bench::perf::history`) must round-trip *exactly*:
+//! full-width `u64` seq values (no f64 detour), shortest-round-trip
+//! floats, and context strings containing anything `obs::json::escape`
+//! can carry — quotes, backslashes, newlines, non-ASCII. The gate
+//! (`bench::perf::gate`) must treat its tolerance band as a strict
+//! inequality (the band edge itself passes), flag every vanished
+//! baseline series (T002), and flag every config entry that matches
+//! nothing (T004) — under arbitrary series inventories, not just the
+//! handful the unit tests pin.
+
+use std::collections::BTreeMap;
+
+use bench::perf::gate::{run_gate, GateConfig, SeriesOverride};
+use bench::perf::history::{encode_record, parse_record, History, HistoryRecord};
+use bench::perf::{sample, PerfBlock, RunHeader, Unit};
+use proptest::prelude::*;
+
+/// A schema-valid slash-separated series name.
+fn series_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-zA-Z0-9._-]{1,8}", 1..4).prop_map(|segs| segs.join("/"))
+}
+
+/// Context strings (bench, git_rev, preset) are *not* restricted to the
+/// series grammar — anything the JSON escaper can carry must round-trip.
+fn nasty_string_strategy() -> impl Strategy<Value = String> {
+    let chars = vec![
+        'a', 'Z', '7', '"', '\\', '\n', '\t', '\r', '/', ' ', '{', '}', ':', ',', 'µ', '≤', '\0',
+    ];
+    prop::collection::vec(prop::sample::select(chars), 0..16)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Any finite f64, negative and subnormal included (non-finite bit
+/// patterns collapse to 0.0 — the schema refuses them upstream).
+fn finite_f64_strategy() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(|bits| {
+        let x = f64::from_bits(bits);
+        if x.is_finite() {
+            x
+        } else {
+            0.0
+        }
+    })
+}
+
+fn unit_strategy() -> impl Strategy<Value = Unit> {
+    prop::sample::select(vec![
+        Unit::TokensPerSec,
+        Unit::Qps,
+        Unit::FlopsPerSec,
+        Unit::BytesPerSec,
+        Unit::Ms,
+        Unit::Ratio,
+        Unit::Count,
+    ])
+}
+
+fn record_strategy() -> impl Strategy<Value = HistoryRecord> {
+    (
+        any::<u64>(),
+        series_strategy(),
+        unit_strategy(),
+        finite_f64_strategy(),
+        nasty_string_strategy(),
+        prop_oneof![Just(None), nasty_string_strategy().prop_map(Some)],
+        nasty_string_strategy(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(seq, series, unit, value, bench, preset, git_rev, hardware_threads)| HistoryRecord {
+                seq,
+                series,
+                unit,
+                value,
+                bench,
+                preset,
+                git_rev,
+                hardware_threads,
+            },
+        )
+}
+
+proptest! {
+    /// encode → parse is the identity, bit patterns and full-width
+    /// integers included.
+    #[test]
+    fn history_record_round_trips(rec in record_strategy()) {
+        let line = encode_record(&rec);
+        prop_assert!(!line.contains('\n'), "JSONL line must stay one line: {line:?}");
+        let back = parse_record(&line).map_err(TestCaseError::new)?;
+        prop_assert_eq!(back.seq, rec.seq, "u64 seq must not round through f64");
+        prop_assert_eq!(back.hardware_threads, rec.hardware_threads);
+        prop_assert!(
+            back.value.to_bits() == rec.value.to_bits() || back.value == rec.value,
+            "value drifted: {} -> {}", rec.value, back.value
+        );
+        prop_assert_eq!(back, rec);
+    }
+
+    /// The tolerant loader recovers every well-formed line no matter
+    /// what garbage is interleaved, and counts exactly the garbage.
+    #[test]
+    fn loader_survives_interleaved_garbage(
+        recs in prop::collection::vec(record_strategy(), 1..8),
+        garbage in prop::collection::vec(
+            prop_oneof![
+                Just("not json at all".to_string()),
+                Just("{\"seq\":1}".to_string()),
+                Just("{\"seq\":2,\"series\":\"//\",\"unit\":\"ms\",\"value\":1,\"bench\":\"b\",\"git_rev\":\"r\"}".to_string()),
+                nasty_string_strategy(),
+            ],
+            0..6,
+        ),
+    ) {
+        let mut text = String::new();
+        let mut expect_skipped = 0;
+        for (i, r) in recs.iter().enumerate() {
+            text.push_str(&encode_record(r));
+            text.push('\n');
+            if let Some(g) = garbage.get(i) {
+                // A nasty string may contain newlines: each non-empty,
+                // non-parsing line counts once.
+                expect_skipped += g
+                    .lines()
+                    .filter(|l| !l.trim().is_empty() && parse_record(l.trim()).is_err())
+                    .count();
+                text.push_str(g);
+                text.push('\n');
+            }
+        }
+        let h = History::parse(&text);
+        prop_assert_eq!(h.records.len(), recs.len());
+        prop_assert_eq!(h.skipped, expect_skipped);
+        for (got, want) in h.records.iter().zip(&recs) {
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// `latest_run` always picks the maximum seq, even at u64::MAX.
+    #[test]
+    fn latest_run_tracks_max_seq(
+        seqs in prop::collection::vec(any::<u64>(), 1..10),
+    ) {
+        let records: Vec<HistoryRecord> = seqs
+            .iter()
+            .map(|&seq| HistoryRecord {
+                seq,
+                series: "a/b".to_string(),
+                unit: Unit::Ms,
+                value: 1.0,
+                bench: "b".to_string(),
+                preset: None,
+                git_rev: "r".to_string(),
+                hardware_threads: 1,
+            })
+            .collect();
+        let h = History { records, skipped: 0 };
+        let max = seqs.iter().copied().max().unwrap();
+        prop_assert_eq!(h.latest_seq(), Some(max));
+        prop_assert_eq!(h.latest_run()["a/b"].seq, max);
+    }
+}
+
+fn header(bench: &str) -> RunHeader {
+    RunHeader {
+        bench: bench.to_string(),
+        preset: None,
+        git_rev: "r".to_string(),
+        hardware_threads: 2,
+    }
+}
+
+fn base_rec(series: &str, unit: Unit, value: f64) -> HistoryRecord {
+    HistoryRecord {
+        seq: 1,
+        series: series.to_string(),
+        unit,
+        value,
+        bench: "b".to_string(),
+        preset: None,
+        git_rev: "r".to_string(),
+        hardware_threads: 2,
+    }
+}
+
+proptest! {
+    /// The band edge is exact: `base * (1 - tol)` passes, one ulp below
+    /// it regresses (direction up; mirrored for down).
+    #[test]
+    fn gate_band_edge_is_exact(
+        base in 1e-3f64..1e9,
+        tol in 0.0f64..0.9,
+    ) {
+        let mut cfg = GateConfig::default();
+        cfg.overrides.insert(
+            "d/tps".to_string(),
+            SeriesOverride { tol: Some(tol), dir: None },
+        );
+        let rec = base_rec("d/tps", Unit::TokensPerSec, base);
+        let baseline: BTreeMap<&str, &HistoryRecord> = [("d/tps", &rec)].into();
+
+        let edge = base * (1.0 - tol);
+        let at = PerfBlock::new(header("d"), vec![sample("d/tps", Unit::TokensPerSec, edge)]);
+        let r = run_gate(&[at], &[], &baseline, &cfg);
+        prop_assert_eq!(r.count("T001"), (0, 0), "edge value must pass: {:?}", r.findings);
+
+        let below = f64::from_bits(edge.to_bits() - 1);
+        let under = PerfBlock::new(header("d"), vec![sample("d/tps", Unit::TokensPerSec, below)]);
+        let r = run_gate(&[under], &[], &baseline, &cfg);
+        prop_assert_eq!(r.count("T001"), (1, 0), "one ulp below must regress");
+
+        // Mirrored for lower-is-better: the upper edge passes, one ulp
+        // above regresses.
+        let mut cfg_down = GateConfig::default();
+        cfg_down.overrides.insert(
+            "d/tps".to_string(),
+            SeriesOverride { tol: Some(tol), dir: Some(bench::perf::Direction::Lower) },
+        );
+        let upper = base * (1.0 + tol);
+        let at = PerfBlock::new(header("d"), vec![sample("d/tps", Unit::TokensPerSec, upper)]);
+        let r = run_gate(&[at], &[], &baseline, &cfg_down);
+        prop_assert_eq!(r.count("T001"), (0, 0), "upper edge must pass: {:?}", r.findings);
+        let above = f64::from_bits(upper.to_bits() + 1);
+        let over = PerfBlock::new(header("d"), vec![sample("d/tps", Unit::TokensPerSec, above)]);
+        let r = run_gate(&[over], &[], &baseline, &cfg_down);
+        prop_assert_eq!(r.count("T001"), (1, 0), "one ulp above must regress");
+    }
+
+    /// Every dropped baseline series yields exactly one T002; allowed
+    /// drops are suppressed but still counted; nothing else fires.
+    #[test]
+    fn gate_flags_every_vanished_series(
+        names in prop::collection::vec(series_strategy(), 1..8),
+        drop_mask in prop::collection::vec(0u8..4, 8),
+        allow_mask in prop::collection::vec(0u8..2, 8),
+    ) {
+        // Dedup: series names are unique per run by contract.
+        let mut names = names;
+        names.sort();
+        names.dedup();
+
+        let mut cfg = GateConfig::default();
+        let records: Vec<HistoryRecord> = names
+            .iter()
+            .map(|n| base_rec(n, Unit::Qps, 10.0))
+            .collect();
+        let baseline: BTreeMap<&str, &HistoryRecord> =
+            records.iter().map(|r| (r.series.as_str(), r)).collect();
+
+        let mut kept = Vec::new();
+        let mut dropped = 0usize;
+        let mut allowed = 0usize;
+        for (i, n) in names.iter().enumerate() {
+            if drop_mask[i] == 0 {
+                dropped += 1;
+                if allow_mask[i] == 1 {
+                    allowed += 1;
+                    cfg.allow.insert(n.clone(), "retired on purpose".to_string());
+                }
+            } else {
+                kept.push(sample(n, Unit::Qps, 10.0));
+            }
+        }
+        let blocks = if kept.is_empty() {
+            vec![]
+        } else {
+            vec![PerfBlock::new(header("b"), kept)]
+        };
+        let r = run_gate(&blocks, &[], &baseline, &cfg);
+        prop_assert_eq!(r.count("T002"), (dropped - allowed, allowed));
+        prop_assert_eq!(r.count("T001"), (0, 0));
+        prop_assert_eq!(r.count("T003"), (0, 0));
+        // Every allow entry matches a baseline series, so none is stale.
+        prop_assert_eq!(r.count("T004"), (0, 0));
+        prop_assert_eq!(r.checked, names.len() - dropped);
+    }
+
+    /// A config entry naming a series nobody emits is always a T004 —
+    /// exact and wildcard overrides alike, and allows matching neither
+    /// current nor baseline.
+    #[test]
+    fn gate_flags_stale_config_entries(
+        live in series_strategy(),
+        ghost in series_strategy(),
+    ) {
+        // `ghost` must not collide with (or wildcard-match) `live`.
+        if ghost == live || live.starts_with(&format!("{ghost}/")) {
+            return Ok(());
+        }
+        let mut cfg = GateConfig::default();
+        cfg.overrides.insert(ghost.clone(), SeriesOverride { tol: Some(0.2), dir: None });
+        cfg.overrides.insert(format!("{ghost}/*"), SeriesOverride { tol: Some(0.2), dir: None });
+        cfg.allow.insert(format!("{ghost}.allow-only"), "no such series".to_string());
+
+        let rec = base_rec(&live, Unit::Ms, 5.0);
+        let baseline: BTreeMap<&str, &HistoryRecord> = [(live.as_str(), &rec)].into();
+        let blocks = vec![PerfBlock::new(header("b"), vec![sample(&live, Unit::Ms, 5.0)])];
+        let r = run_gate(&blocks, &[], &baseline, &cfg);
+        // Exact ghost override + wildcard ghost override + ghost allow.
+        prop_assert_eq!(r.count("T004"), (3, 0), "{:?}", r.findings);
+        prop_assert_eq!(r.count("T001"), (0, 0));
+        prop_assert_eq!(r.count("T002"), (0, 0));
+    }
+}

@@ -311,6 +311,24 @@ pub struct Snapshot {
     pub kernels: Vec<KernelEntry>,
 }
 
+impl Snapshot {
+    /// Aggregates the flattened kernel rows across spans into
+    /// per-`(op, phase)` totals — the export surface the perf-trajectory
+    /// harness derives its `kernel/<op>/<phase>/...` throughput series
+    /// from. `BTreeMap` keyed, so iteration order is deterministic.
+    pub fn kernel_totals(&self) -> BTreeMap<(String, Phase), KernelStat> {
+        let mut totals: BTreeMap<(String, Phase), KernelStat> = BTreeMap::new();
+        for entry in &self.kernels {
+            let slot = totals.entry((entry.op.clone(), entry.phase)).or_default();
+            slot.calls += entry.stat.calls;
+            slot.ns += entry.stat.ns;
+            slot.bytes += entry.stat.bytes;
+            slot.flops += entry.stat.flops;
+        }
+        totals
+    }
+}
+
 /// Clones the current collector state.
 pub fn snapshot() -> Snapshot {
     let c = collector();

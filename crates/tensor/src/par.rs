@@ -29,9 +29,20 @@ pub use obs::Phase;
 /// tables used for kernel attribution.
 pub const MAX_THREADS: usize = 8;
 
-/// Minimum `m·k·n` multiply-accumulate count before a kernel forks. Below
-/// this, spawn/join overhead dwarfs the loop itself.
-pub const PAR_MIN_ELEMS: usize = 4096;
+/// Minimum `m·k·n` multiply-accumulates **per forked worker**. The
+/// executor spawns OS threads per kernel call (tens of microseconds of
+/// spawn/join each), so every worker must own enough arithmetic to
+/// amortize its own fork. 256K MACs is roughly 100 µs of scalar f32
+/// work — comfortably above the fork cost.
+///
+/// This floor being *per worker* (not a single total-work threshold) is
+/// what fixes the decode-time parallelism collapse: a decode-step GEMM
+/// is ~32K MACs, which under the old total-work threshold (4096) forked
+/// 4 workers of ~8K MACs each and ran ~6.8× slower at 4 threads than
+/// at 1 thread. Now such kernels stay sequential, and the worker count
+/// scales smoothly with kernel size: `elems / PAR_MIN_ELEMS` workers,
+/// capped by the configured thread count and the row count.
+pub const PAR_MIN_ELEMS: usize = 262_144;
 
 /// Configured worker count; 0 means "not yet read from the environment".
 static THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -102,15 +113,18 @@ impl Drop for PhaseGuard {
 }
 
 /// How many workers a kernel with `rows` output rows and `elems` total
-/// multiply-accumulates should fork: 1 (sequential) unless threads are
-/// configured, there are rows to split, and the work amortizes the forks.
+/// multiply-accumulates should fork: the configured thread count, capped
+/// by the row count and by `elems / PAR_MIN_ELEMS` so every forked
+/// worker owns at least [`PAR_MIN_ELEMS`] MACs. Small kernels therefore
+/// run sequentially and mid-size kernels fork fewer workers than the
+/// configured maximum — the thread sweep stays monotone instead of
+/// collapsing on spawn overhead.
 pub fn plan_workers(rows: usize, elems: usize) -> usize {
     let t = threads();
-    if t <= 1 || rows < 2 || elems < PAR_MIN_ELEMS {
-        1
-    } else {
-        t.min(rows)
+    if t <= 1 || rows < 2 {
+        return 1;
     }
+    t.min(rows).min((elems / PAR_MIN_ELEMS).max(1))
 }
 
 /// Splits `rows` into `workers` contiguous ascending `[lo, hi)` chunks,
@@ -250,10 +264,25 @@ mod tests {
     }
 
     #[test]
-    fn plan_workers_respects_threshold_and_rows() {
+    fn plan_workers_gives_every_fork_a_full_floor_of_work() {
         set_threads(4);
-        assert_eq!(plan_workers(64, PAR_MIN_ELEMS), 4);
-        assert_eq!(plan_workers(64, PAR_MIN_ELEMS - 1), 1, "below threshold");
+        assert_eq!(plan_workers(64, PAR_MIN_ELEMS * 4), 4, "work for all");
+        assert_eq!(
+            plan_workers(64, PAR_MIN_ELEMS * 2),
+            2,
+            "scales down so each worker still owns PAR_MIN_ELEMS"
+        );
+        assert_eq!(
+            plan_workers(64, PAR_MIN_ELEMS * 2 - 1),
+            1,
+            "cannot feed two workers -> sequential"
+        );
+        assert_eq!(plan_workers(64, PAR_MIN_ELEMS - 1), 1, "tiny kernel");
+        assert_eq!(
+            plan_workers(64, 8 * 64 * 64),
+            1,
+            "a decode-step GEMM stays sequential (the old 4-thread collapse)"
+        );
         assert_eq!(plan_workers(1, PAR_MIN_ELEMS * 10), 1, "single row");
         assert_eq!(plan_workers(3, PAR_MIN_ELEMS * 10), 3, "capped by rows");
         set_threads(1);
